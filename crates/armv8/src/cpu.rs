@@ -1,0 +1,75 @@
+//! Per-core architectural state.
+
+use crate::isa::NUM_GPRS;
+use crate::pstate::Pstate;
+use neve_core::NeveEngine;
+use neve_sysreg::RegFile;
+
+/// One CPU core's state.
+///
+/// System registers live in [`CoreState::regs`]; GIC and timer registers
+/// are owned by their device models and reached through the machine's
+/// access routing, mirroring how a real core's system-register transport
+/// targets the external interrupt controller and counter blocks.
+#[derive(Debug, Clone, Default)]
+pub struct CoreState {
+    /// General-purpose registers x0-x30.
+    pub gprs: [u64; NUM_GPRS],
+    /// Program counter (a virtual address into loaded [`crate::isa::Program`]s).
+    pub pc: u64,
+    /// Processor state.
+    pub pstate: Pstate,
+    /// System registers.
+    pub regs: RegFile,
+    /// The NEVE engine (consulted when `HCR_EL2.NV2` is set).
+    pub neve: NeveEngine,
+    /// Core is halted waiting for an interrupt (`wfi`).
+    pub wfi: bool,
+    /// Core executed [`crate::isa::Instr::Halt`]; holds the code.
+    pub halted: Option<u16>,
+}
+
+impl CoreState {
+    /// Creates a core at reset (EL2, pc 0).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Reads a GPR (x31 reads as zero, matching xzr).
+    pub fn gpr(&self, n: u8) -> u64 {
+        if (n as usize) < NUM_GPRS {
+            self.gprs[n as usize]
+        } else {
+            0
+        }
+    }
+
+    /// Writes a GPR (writes to x31 are discarded).
+    pub fn set_gpr(&mut self, n: u8, v: u64) {
+        if (n as usize) < NUM_GPRS {
+            self.gprs[n as usize] = v;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xzr_semantics() {
+        let mut c = CoreState::new();
+        c.set_gpr(31, 123);
+        assert_eq!(c.gpr(31), 0);
+        c.set_gpr(5, 7);
+        assert_eq!(c.gpr(5), 7);
+    }
+
+    #[test]
+    fn reset_is_el2() {
+        let c = CoreState::new();
+        assert_eq!(c.pstate.el, 2);
+        assert!(!c.wfi);
+        assert!(c.halted.is_none());
+    }
+}

@@ -1,0 +1,343 @@
+//! The interpreted instruction set and assembler.
+//!
+//! Guest software is expressed as structured instructions rather than
+//! machine encodings; the semantics (and, crucially, the *trap*
+//! semantics) are architectural. Instructions occupy 4 bytes of address
+//! space each, so vector-table offsets (`VBAR + 0x400` etc.) work exactly
+//! as on hardware.
+
+use neve_sysreg::RegId;
+use std::sync::Arc;
+
+/// Number of general-purpose registers (x0-x30; x30 is the link register).
+pub const NUM_GPRS: usize = 31;
+
+/// The link register index.
+pub const LR: u8 = 30;
+
+/// Special (non-`RegFile`) system registers readable via `mrs`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Special {
+    /// `CurrentEL` — disguised under nested virtualization (paper
+    /// Section 2: ARMv8.3 "tells the guest hypervisor that it runs in EL2
+    /// if it reads the CurrentEL register").
+    CurrentEl,
+    /// `CNTVCT_EL0` — virtual counter (physical minus `CNTVOFF_EL2`).
+    CntVct,
+    /// `CNTPCT_EL0` — physical counter.
+    CntPct,
+}
+
+/// One instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Instr {
+    /// `mov xd, #imm`.
+    MovImm(u8, u64),
+    /// `mov xd, xn`.
+    Mov(u8, u8),
+    /// `add xd, xn, xm`.
+    Add(u8, u8, u8),
+    /// `add xd, xn, #imm`.
+    AddImm(u8, u8, u64),
+    /// `sub xd, xn, xm`.
+    Sub(u8, u8, u8),
+    /// `sub xd, xn, #imm`.
+    SubImm(u8, u8, u64),
+    /// `and xd, xn, xm`.
+    And(u8, u8, u8),
+    /// `orr xd, xn, xm`.
+    Orr(u8, u8, u8),
+    /// `orr xd, xn, #imm`.
+    OrrImm(u8, u8, u64),
+    /// `lsl xd, xn, #sh`.
+    LslImm(u8, u8, u8),
+    /// `lsr xd, xn, #sh`.
+    LsrImm(u8, u8, u8),
+    /// `ldr xd, [xn, #off]` — virtual address load.
+    Ldr(u8, u8, i64),
+    /// `str xs, [xn, #off]` — virtual address store.
+    Str(u8, u8, i64),
+    /// `mrs xd, <sysreg>`.
+    Mrs(u8, RegId),
+    /// `msr <sysreg>, xs`.
+    Msr(RegId, u8),
+    /// `mrs xd, <special>`.
+    MrsSpecial(u8, Special),
+    /// `hvc #imm16`.
+    Hvc(u16),
+    /// `svc #imm16`.
+    Svc(u16),
+    /// `smc #imm16`.
+    Smc(u16),
+    /// `eret`.
+    Eret,
+    /// `isb`.
+    Isb,
+    /// `dsb sy`.
+    Dsb,
+    /// `tlbi vmalls12e1is` — invalidate the current VMID's entries.
+    TlbiVmall,
+    /// `wfi`.
+    Wfi,
+    /// `nop`.
+    Nop,
+    /// `b <addr>`.
+    B(u64),
+    /// `bl <addr>` — branch and link (x30).
+    Bl(u64),
+    /// `ret` — branch to x30.
+    Ret,
+    /// `cbz xn, <addr>`.
+    Cbz(u8, u64),
+    /// `cbnz xn, <addr>`.
+    Cbnz(u8, u64),
+    /// Modelled straight-line work of `n` cycles (stands in for ALU-heavy
+    /// code sequences; charged as generic instructions, no side effects).
+    Work(u64),
+    /// Stop the harness: a test payload signalling completion. Carries a
+    /// 16-bit code the embedder interprets.
+    Halt(u16),
+}
+
+/// A resolved program: instructions at `base + 4*i`.
+#[derive(Debug, Clone)]
+pub struct Program {
+    /// Load (virtual) address of the first instruction.
+    pub base: u64,
+    /// The instructions.
+    pub code: Arc<[Instr]>,
+}
+
+impl Program {
+    /// The instruction at virtual address `addr`, if inside the program.
+    pub fn fetch(&self, addr: u64) -> Option<Instr> {
+        if addr < self.base || (addr - self.base) % 4 != 0 {
+            return None;
+        }
+        self.code.get(((addr - self.base) / 4) as usize).copied()
+    }
+
+    /// Address one past the last instruction.
+    pub fn end(&self) -> u64 {
+        self.base + 4 * self.code.len() as u64
+    }
+
+    /// Instruction count.
+    pub fn len(&self) -> usize {
+        self.code.len()
+    }
+
+    /// True when the program is empty.
+    pub fn is_empty(&self) -> bool {
+        self.code.is_empty()
+    }
+}
+
+/// A forward-referenceable code label.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Label(usize);
+
+/// The assembler: collects instructions and resolves labels.
+///
+/// # Examples
+///
+/// ```
+/// use neve_armv8::isa::{Asm, Instr};
+///
+/// let mut a = Asm::new(0x1000);
+/// let loop_top = a.label();
+/// a.i(Instr::MovImm(0, 10));
+/// a.bind(loop_top);
+/// a.i(Instr::SubImm(0, 0, 1));
+/// a.cbnz(0, loop_top);
+/// a.i(Instr::Halt(0));
+/// let prog = a.assemble();
+/// assert_eq!(prog.base, 0x1000);
+/// assert_eq!(prog.len(), 4);
+/// ```
+#[derive(Debug)]
+pub struct Asm {
+    base: u64,
+    code: Vec<Instr>,
+    labels: Vec<Option<u64>>,
+    fixups: Vec<(usize, Label)>,
+}
+
+impl Asm {
+    /// Starts a program at virtual address `base` (4-byte aligned).
+    pub fn new(base: u64) -> Self {
+        assert_eq!(base % 4, 0, "program base must be 4-byte aligned");
+        Self {
+            base,
+            code: Vec::new(),
+            labels: Vec::new(),
+            fixups: Vec::new(),
+        }
+    }
+
+    /// Emits one instruction.
+    pub fn i(&mut self, instr: Instr) -> &mut Self {
+        self.code.push(instr);
+        self
+    }
+
+    /// Current emission address.
+    pub fn here(&self) -> u64 {
+        self.base + 4 * self.code.len() as u64
+    }
+
+    /// Creates an unbound label.
+    pub fn label(&mut self) -> Label {
+        self.labels.push(None);
+        Label(self.labels.len() - 1)
+    }
+
+    /// Binds `label` to the current address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label was already bound.
+    pub fn bind(&mut self, label: Label) {
+        assert!(self.labels[label.0].is_none(), "label bound twice");
+        self.labels[label.0] = Some(self.here());
+    }
+
+    /// Pads with `nop` until the emission address is `base + offset`
+    /// (used to lay out vector tables at architectural offsets).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the current address is already past the target.
+    pub fn org(&mut self, offset: u64) {
+        let target = self.base + offset;
+        assert!(
+            self.here() <= target,
+            "org {offset:#x}: already at {:#x}",
+            self.here()
+        );
+        while self.here() < target {
+            self.code.push(Instr::Nop);
+        }
+    }
+
+    /// `b label` (forward references allowed).
+    pub fn b(&mut self, label: Label) -> &mut Self {
+        self.fixups.push((self.code.len(), label));
+        self.code.push(Instr::B(0));
+        self
+    }
+
+    /// `bl label`.
+    pub fn bl(&mut self, label: Label) -> &mut Self {
+        self.fixups.push((self.code.len(), label));
+        self.code.push(Instr::Bl(0));
+        self
+    }
+
+    /// `cbz xn, label`.
+    pub fn cbz(&mut self, rn: u8, label: Label) -> &mut Self {
+        self.fixups.push((self.code.len(), label));
+        self.code.push(Instr::Cbz(rn, 0));
+        self
+    }
+
+    /// `cbnz xn, label`.
+    pub fn cbnz(&mut self, rn: u8, label: Label) -> &mut Self {
+        self.fixups.push((self.code.len(), label));
+        self.code.push(Instr::Cbnz(rn, 0));
+        self
+    }
+
+    /// Resolves all labels and produces the program.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any referenced label was never bound.
+    pub fn assemble(mut self) -> Program {
+        for (idx, label) in std::mem::take(&mut self.fixups) {
+            let addr = self.labels[label.0].expect("unbound label referenced");
+            match &mut self.code[idx] {
+                Instr::B(a) | Instr::Bl(a) | Instr::Cbz(_, a) | Instr::Cbnz(_, a) => *a = addr,
+                other => unreachable!("fixup on non-branch {other:?}"),
+            }
+        }
+        Program {
+            base: self.base,
+            code: self.code.into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neve_sysreg::SysReg;
+
+    #[test]
+    fn fetch_maps_addresses_to_instructions() {
+        let mut a = Asm::new(0x1000);
+        a.i(Instr::Nop).i(Instr::MovImm(1, 42));
+        let p = a.assemble();
+        assert_eq!(p.fetch(0x1000), Some(Instr::Nop));
+        assert_eq!(p.fetch(0x1004), Some(Instr::MovImm(1, 42)));
+        assert_eq!(p.fetch(0x1008), None);
+        assert_eq!(p.fetch(0x0fff), None);
+        assert_eq!(p.fetch(0x1002), None, "unaligned");
+        assert_eq!(p.end(), 0x1008);
+    }
+
+    #[test]
+    fn forward_labels_resolve() {
+        let mut a = Asm::new(0);
+        let target = a.label();
+        a.b(target);
+        a.i(Instr::Nop);
+        a.bind(target);
+        a.i(Instr::Halt(0));
+        let p = a.assemble();
+        assert_eq!(p.fetch(0), Some(Instr::B(8)));
+    }
+
+    #[test]
+    fn backward_labels_resolve() {
+        let mut a = Asm::new(0x100);
+        let top = a.label();
+        a.bind(top);
+        a.i(Instr::SubImm(0, 0, 1));
+        a.cbnz(0, top);
+        let p = a.assemble();
+        assert_eq!(p.fetch(0x104), Some(Instr::Cbnz(0, 0x100)));
+    }
+
+    #[test]
+    fn org_pads_to_vector_offsets() {
+        let mut a = Asm::new(0x2000);
+        a.i(Instr::Nop);
+        a.org(0x400);
+        a.i(Instr::Mrs(0, RegId::Plain(SysReg::EsrEl1)));
+        let p = a.assemble();
+        assert_eq!(
+            p.fetch(0x2400),
+            Some(Instr::Mrs(0, RegId::Plain(SysReg::EsrEl1)))
+        );
+        assert_eq!(p.fetch(0x2004), Some(Instr::Nop));
+    }
+
+    #[test]
+    #[should_panic(expected = "unbound label")]
+    fn unbound_label_panics_at_assemble() {
+        let mut a = Asm::new(0);
+        let l = a.label();
+        a.b(l);
+        a.assemble();
+    }
+
+    #[test]
+    #[should_panic(expected = "bound twice")]
+    fn double_bind_panics() {
+        let mut a = Asm::new(0);
+        let l = a.label();
+        a.bind(l);
+        a.bind(l);
+    }
+}

@@ -1,0 +1,1174 @@
+//! The simulated machine: cores, memory system, interrupt controller,
+//! timers, cycle accounting and the run loop.
+//!
+//! Control-flow model: guest software (anything at EL0/EL1, including
+//! deprivileged guest hypervisors) is interpreted one instruction at a
+//! time by [`Machine::step`]. Exceptions taken **to EL2** latch the
+//! syndrome registers and synchronously invoke the native-Rust
+//! [`Hypervisor`] (the host hypervisor), after which the machine performs
+//! the `eret` the handler prepared in `ELR_EL2`/`SPSR_EL2`. Exceptions
+//! taken **to EL1** are pure state mutation — the interpreter continues
+//! at the EL1 vector. Both rules together give the paper's nested
+//! reflection (Section 4) without coroutines: a nested VM's trap enters
+//! the host, the host *emulates an exception into virtual EL2* by
+//! adjusting EL1 state, and the interpreter finds itself running the
+//! guest hypervisor's vector code.
+
+use crate::cpu::CoreState;
+use crate::isa::{Instr, Program, Special};
+use crate::pstate::Pstate;
+use crate::trace::{Trace, TraceEvent};
+use crate::ArchLevel;
+use neve_core::Disposition;
+use neve_cycles::{CostModel, CycleCounter, Event, TrapKind};
+use neve_gic::Gic;
+use neve_memsim::{walk, Access, PageTable, PhysMem, Tlb, TlbKey};
+use neve_sysreg::bits::{esr, hcr, vttbr};
+use neve_sysreg::classify::{neve_class, NeveClass};
+use neve_sysreg::{RegId, SysReg};
+use neve_vtimer::Timers;
+
+/// Machine construction parameters.
+#[derive(Debug, Clone)]
+pub struct MachineConfig {
+    /// Architecture revision of the hardware.
+    pub arch: ArchLevel,
+    /// Number of CPU cores.
+    pub ncpus: usize,
+    /// Physical memory size in bytes.
+    pub mem_size: u64,
+    /// The cycle cost model.
+    pub cost: CostModel,
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        Self {
+            arch: ArchLevel::V8_4,
+            ncpus: 1,
+            mem_size: 1 << 32,
+            cost: CostModel::default(),
+        }
+    }
+}
+
+/// A trapped MMIO access awaiting emulation (the simulator's equivalent
+/// of the ISS "instruction syndrome valid" information KVM decodes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MmioRequest {
+    /// True for a store.
+    pub write: bool,
+    /// GPR that supplies (store) or receives (load) the data.
+    pub reg: u8,
+    /// Store data (0 for loads).
+    pub value: u64,
+    /// Faulting intermediate physical address.
+    pub ipa: u64,
+}
+
+/// What a single [`Machine::step`] did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// An instruction retired (possibly after trapping to the hypervisor
+    /// and returning).
+    Executed,
+    /// The core is waiting for an interrupt.
+    Wfi,
+    /// The core executed [`Instr::Halt`].
+    Halted(u16),
+    /// The program counter points at no loaded program: a simulator
+    /// usage error (or a crashed guest that jumped into the weeds).
+    FetchFailure(u64),
+}
+
+/// Details of the exception that entered EL2, for hypervisor handlers.
+#[derive(Debug, Clone, Copy)]
+pub struct ExitInfo {
+    /// `ESR_EL2` at entry.
+    pub esr: u64,
+    /// `ELR_EL2` at entry (preferred return address).
+    pub elr: u64,
+    /// `FAR_EL2` at entry.
+    pub far: u64,
+    /// `HPFAR_EL2` at entry (faulting IPA page).
+    pub hpfar: u64,
+}
+
+/// The native-software interface: the host hypervisor running in EL2.
+pub trait Hypervisor {
+    /// A synchronous exception reached EL2. Syndrome registers are
+    /// latched; the handler prepares `ELR_EL2`/`SPSR_EL2` (and any other
+    /// state) for the `eret` the machine performs on return.
+    fn handle_sync(&mut self, m: &mut Machine, cpu: usize, info: ExitInfo);
+
+    /// A physical interrupt routed to EL2 (`HCR_EL2.IMO`).
+    fn handle_irq(&mut self, m: &mut Machine, cpu: usize);
+}
+
+/// The machine.
+#[derive(Debug)]
+pub struct Machine {
+    /// Construction parameters.
+    pub cfg: MachineConfig,
+    /// Physical memory.
+    pub mem: PhysMem,
+    /// Interrupt controller.
+    pub gic: Gic,
+    /// Generic timers.
+    pub timers: Timers,
+    /// Translation cache.
+    pub tlb: Tlb,
+    /// Cycle and trap accounting.
+    pub counter: CycleCounter,
+    cores: Vec<CoreState>,
+    programs: Vec<Program>,
+    pending_mmio: Vec<Option<MmioRequest>>,
+    /// Optional execution trace (attach with [`Machine::attach_trace`]).
+    pub trace: Option<Trace>,
+}
+
+/// Internal: what a system-register access decision resolved to.
+enum RouteOutcome {
+    Done(u64),
+    TrapEl2(TrapKind, u64),
+    UndefEl1,
+}
+
+impl Machine {
+    /// Builds a machine per `cfg`; cores start halted at EL1 with pc 0 —
+    /// the embedder (hypervisor harness) sets them up.
+    pub fn new(cfg: MachineConfig) -> Self {
+        let ncpus = cfg.ncpus;
+        Self {
+            mem: PhysMem::new(cfg.mem_size),
+            gic: Gic::new(ncpus),
+            timers: Timers::new(ncpus),
+            tlb: Tlb::default(),
+            counter: CycleCounter::new(),
+            cores: (0..ncpus).map(|_| CoreState::new()).collect(),
+            programs: Vec::new(),
+            pending_mmio: vec![None; ncpus],
+            trace: None,
+            cfg,
+        }
+    }
+
+    /// Attaches an execution trace keeping the last `capacity` events.
+    pub fn attach_trace(&mut self, capacity: usize) {
+        self.trace = Some(Trace::new(capacity));
+    }
+
+    /// Loads a program into the flat interpreter address space.
+    ///
+    /// # Panics
+    ///
+    /// Panics if it overlaps an already-loaded program (all guest images
+    /// must occupy disjoint virtual ranges; see DESIGN.md).
+    pub fn load(&mut self, prog: Program) {
+        for p in &self.programs {
+            let disjoint = prog.end() <= p.base || prog.base >= p.end();
+            assert!(
+                disjoint,
+                "program [{:#x},{:#x}) overlaps [{:#x},{:#x})",
+                prog.base,
+                prog.end(),
+                p.base,
+                p.end()
+            );
+        }
+        self.programs.push(prog);
+    }
+
+    /// Immutable core access.
+    pub fn core(&self, cpu: usize) -> &CoreState {
+        &self.cores[cpu]
+    }
+
+    /// Mutable core access (hypervisor handlers rewrite state through
+    /// this; architectural costs must be charged via the `hyp_*`
+    /// helpers).
+    pub fn core_mut(&mut self, cpu: usize) -> &mut CoreState {
+        &mut self.cores[cpu]
+    }
+
+    /// Number of cores.
+    pub fn ncpus(&self) -> usize {
+        self.cores.len()
+    }
+
+    // ------------------------------------------------------------------
+    // Host (EL2 native software) access helpers: charge hardware costs.
+    // ------------------------------------------------------------------
+
+    /// Host hypervisor system-register read (EL2 privilege, no traps).
+    pub fn hyp_read(&mut self, cpu: usize, reg: SysReg) -> u64 {
+        let c = self.cfg.cost.arm_cost(Event::SysRegRead);
+        self.counter.charge(Event::SysRegRead, c);
+        self.read_storage(cpu, reg)
+    }
+
+    /// Host hypervisor system-register write.
+    pub fn hyp_write(&mut self, cpu: usize, reg: SysReg, value: u64) {
+        let c = self.cfg.cost.arm_cost(Event::SysRegWrite);
+        self.counter.charge(Event::SysRegWrite, c);
+        self.write_storage(cpu, reg, value);
+    }
+
+    /// Host physical-memory read (one 64-bit word).
+    pub fn hyp_mem_read(&mut self, pa: u64) -> u64 {
+        let c = self.cfg.cost.arm_cost(Event::MemLoad);
+        self.counter.charge(Event::MemLoad, c);
+        self.mem.read_u64(pa)
+    }
+
+    /// Host physical-memory write.
+    pub fn hyp_mem_write(&mut self, pa: u64, v: u64) {
+        let c = self.cfg.cost.arm_cost(Event::MemStore);
+        self.counter.charge(Event::MemStore, c);
+        self.mem.write_u64(pa, v);
+    }
+
+    /// Lump-sum software work in the host hypervisor (modelled C paths).
+    pub fn hyp_work(&mut self, cycles: u64) {
+        self.counter.charge_software(cycles);
+    }
+
+    /// Host TLB maintenance for one VMID.
+    pub fn hyp_tlbi_vmid(&mut self, vmid: u16) {
+        let c = self.cfg.cost.arm_cost(Event::TlbFlush);
+        self.counter.charge(Event::TlbFlush, c);
+        self.tlb.flush_vmid(vmid);
+    }
+
+    /// Takes the pending MMIO request for `cpu`, if any.
+    pub fn take_mmio(&mut self, cpu: usize) -> Option<MmioRequest> {
+        self.pending_mmio[cpu].take()
+    }
+
+    /// Completes a trapped MMIO *load* by writing the destination GPR.
+    pub fn complete_mmio_read(&mut self, cpu: usize, req: MmioRequest, value: u64) {
+        debug_assert!(!req.write);
+        self.cores[cpu].set_gpr(req.reg, value);
+    }
+
+    // ------------------------------------------------------------------
+    // Register storage routing (no trap logic; privileged perspective).
+    // ------------------------------------------------------------------
+
+    fn read_storage(&mut self, cpu: usize, reg: SysReg) -> u64 {
+        use SysReg::*;
+        match reg {
+            IchHcrEl2 | IchVtrEl2 | IchVmcrEl2 | IchMisrEl2 | IchEisrEl2 | IchElrsrEl2
+            | IchAp0rEl2(_) | IchAp1rEl2(_) | IchLrEl2(_) => self.gic.ich_read(cpu, reg),
+            r if Timers::owns(r) => {
+                let now = self.counter.cycles();
+                self.timers.read(cpu, r, now)
+            }
+            r => self.cores[cpu].regs.read(r),
+        }
+    }
+
+    fn write_storage(&mut self, cpu: usize, reg: SysReg, value: u64) {
+        use SysReg::*;
+        match reg {
+            IchHcrEl2 | IchVtrEl2 | IchVmcrEl2 | IchMisrEl2 | IchEisrEl2 | IchElrsrEl2
+            | IchAp0rEl2(_) | IchAp1rEl2(_) | IchLrEl2(_) => self.gic.ich_write(cpu, reg, value),
+            r if Timers::owns(r) => self.timers.write(cpu, r, value),
+            VncrEl2 => {
+                self.cores[cpu].regs.write(reg, value);
+                self.cores[cpu].neve.vncr = neve_core::VncrEl2::from_raw(value);
+            }
+            r => self.cores[cpu].regs.write_checked(r, value),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Exception machinery.
+    // ------------------------------------------------------------------
+
+    fn hw_hcr(&self, cpu: usize) -> u64 {
+        self.cores[cpu].regs.read(SysReg::HcrEl2)
+    }
+
+    fn nv_active(&self, cpu: usize) -> bool {
+        self.cfg.arch.has_nv() && self.hw_hcr(cpu) & hcr::NV != 0
+    }
+
+    fn nv2_active(&self, cpu: usize) -> bool {
+        self.cfg.arch.has_nv2()
+            && self.hw_hcr(cpu) & hcr::NV2 != 0
+            && self.nv_active(cpu)
+            && self.cores[cpu].neve.enabled()
+    }
+
+    /// Latches syndrome state and raises the EL to 2. The caller then
+    /// invokes the hypervisor and afterwards [`Machine::eret_from_el2`].
+    fn enter_el2(
+        &mut self,
+        cpu: usize,
+        kind: TrapKind,
+        esr_val: u64,
+        far: u64,
+        hpfar: u64,
+        ret: u64,
+    ) -> ExitInfo {
+        let c = self.cfg.cost.arm_cost(Event::TrapEnter);
+        self.counter.charge(Event::TrapEnter, c);
+        self.counter.record_trap(kind);
+        if let Some(t) = &mut self.trace {
+            t.push(TraceEvent::TrapToEl2 {
+                cpu,
+                kind,
+                esr: esr_val,
+                pc: ret,
+            });
+        }
+        let spsr = self.cores[cpu].pstate.to_spsr();
+        let regs = &mut self.cores[cpu].regs;
+        regs.write(SysReg::EsrEl2, esr_val);
+        regs.write(SysReg::FarEl2, far);
+        regs.write(SysReg::HpfarEl2, hpfar);
+        regs.write(SysReg::ElrEl2, ret);
+        regs.write(SysReg::SpsrEl2, spsr);
+        self.cores[cpu].pstate = Pstate {
+            el: 2,
+            irq_masked: true,
+            fiq_masked: true,
+        };
+        ExitInfo {
+            esr: esr_val,
+            elr: ret,
+            far,
+            hpfar,
+        }
+    }
+
+    /// Returns from EL2 using `ELR_EL2`/`SPSR_EL2` (the hardware `eret`
+    /// the machine performs after a native handler finishes).
+    fn eret_from_el2(&mut self, cpu: usize) {
+        let c = self.cfg.cost.arm_cost(Event::TrapReturn);
+        self.counter.charge(Event::TrapReturn, c);
+        let elr = self.cores[cpu].regs.read(SysReg::ElrEl2);
+        let spsr = self.cores[cpu].regs.read(SysReg::SpsrEl2);
+        self.cores[cpu].pstate = Pstate::from_spsr(spsr);
+        self.cores[cpu].pc = elr;
+    }
+
+    /// Delivers an exception to EL1 (state mutation only).
+    ///
+    /// `vector_offset` follows the architectural table: 0x200 sync /
+    /// 0x280 IRQ from the current EL with SP_ELx, 0x400 / 0x480 from a
+    /// lower EL.
+    fn enter_el1(&mut self, cpu: usize, esr_val: u64, far: u64, ret: u64, is_irq: bool) {
+        let c = self.cfg.cost.arm_cost(Event::El1ExceptionEntry);
+        self.counter.charge(Event::El1ExceptionEntry, c);
+        let from_el = self.cores[cpu].pstate.el;
+        let base = if from_el == 1 { 0x200 } else { 0x400 };
+        let off = base + if is_irq { 0x80 } else { 0 };
+        let spsr = self.cores[cpu].pstate.to_spsr();
+        let regs = &mut self.cores[cpu].regs;
+        regs.write(SysReg::EsrEl1, esr_val);
+        regs.write(SysReg::FarEl1, far);
+        regs.write(SysReg::ElrEl1, ret);
+        regs.write(SysReg::SpsrEl1, spsr);
+        let vbar = regs.read(SysReg::VbarEl1);
+        if let Some(t) = &mut self.trace {
+            t.push(TraceEvent::ExceptionToEl1 {
+                cpu,
+                esr: esr_val,
+                vector: vbar + off,
+            });
+        }
+        self.cores[cpu].pstate = Pstate {
+            el: 1,
+            irq_masked: true,
+            fiq_masked: true,
+        };
+        self.cores[cpu].pc = vbar + off;
+    }
+
+    // ------------------------------------------------------------------
+    // Guest system-register access routing (the trap decision tree of
+    // paper Sections 2 and 4, plus NEVE's Section 6 rewrites).
+    // ------------------------------------------------------------------
+
+    /// Routes a guest `mrs`/`msr` at the core's current EL. `rt` is the
+    /// transfer GPR, encoded into the trap syndrome for the hypervisor.
+    ///
+    /// Returns the value read (reads) or 0 (writes), or the trap that
+    /// must be taken instead.
+    fn route_sysreg(
+        &mut self,
+        cpu: usize,
+        id: RegId,
+        write: bool,
+        val: u64,
+        rt: u8,
+    ) -> RouteOutcome {
+        let el = self.cores[cpu].pstate.el;
+        match el {
+            2 => self.route_sysreg_el2(cpu, id, write, val),
+            1 => self.route_sysreg_el1(cpu, id, write, val, rt),
+            _ => self.route_sysreg_el0(cpu, id, write, val),
+        }
+    }
+
+    fn route_sysreg_el2(&mut self, cpu: usize, id: RegId, write: bool, val: u64) -> RouteOutcome {
+        // Only reached if a *program* runs at EL2 (bare-metal payloads in
+        // unit tests); the host hypervisor is native and uses hyp_read /
+        // hyp_write. VHE alias names resolve to the EL1 storage; plain
+        // EL1 names under E2H redirect to the EL2 counterpart when one
+        // exists (ARMv8.1 semantics, paper Section 2).
+        let e2h = self.cfg.arch.has_vhe() && self.hw_hcr(cpu) & hcr::E2H != 0;
+        let target = match id {
+            RegId::El12(r) | RegId::El02(r) => {
+                if !self.cfg.arch.has_vhe() {
+                    return RouteOutcome::UndefEl1; // undefined encoding
+                }
+                r
+            }
+            RegId::Plain(r) => {
+                if e2h && !r.is_el2() {
+                    neve_sysreg::classify::el1_counterpart_inverse(r).unwrap_or(r)
+                } else {
+                    r
+                }
+            }
+        };
+        RouteOutcome::Done(self.perform(cpu, target, write, val))
+    }
+
+    fn route_sysreg_el1(
+        &mut self,
+        cpu: usize,
+        id: RegId,
+        write: bool,
+        val: u64,
+        rt: u8,
+    ) -> RouteOutcome {
+        let nv = self.nv_active(cpu);
+        let nv1 = self.hw_hcr(cpu) & hcr::NV1 != 0;
+        let base = id.base_reg();
+        let sysreg_esr = esr::build(
+            esr::EC_SYSREG,
+            neve_sysreg::regcode::sysreg_iss(id, write, rt),
+        );
+
+        // VHE-added alias names (`*_EL12`, `*_EL02`): undefined below EL2
+        // without NV; with NV they always trap (paper Section 7.1 notes
+        // even the timer EL02 forms "always trap"); with NV2 they are VM
+        // register accesses and defer to the access page.
+        if id.is_vhe_alias() {
+            if !nv {
+                return RouteOutcome::UndefEl1;
+            }
+            if self.nv2_active(cpu) {
+                let vhe_guest = true; // only VHE guests emit these names
+                match self.cores[cpu].neve.disposition(id, write, vhe_guest) {
+                    Disposition::Memory { offset } => {
+                        return RouteOutcome::Done(self.vncr_slot_access(cpu, offset, write, val));
+                    }
+                    Disposition::RedirectEl1(t) => {
+                        return RouteOutcome::Done(self.perform(cpu, t, write, val));
+                    }
+                    Disposition::Trap | Disposition::Passthrough => {}
+                }
+            }
+            return RouteOutcome::TrapEl2(TrapKind::SysReg, sysreg_esr);
+        }
+
+        if base.is_el2() {
+            // A hypervisor instruction. UNDEFINED at EL1 without nested
+            // virtualization (the crash the paper describes in Section
+            // 2); trapped with NV; rewritten with NEVE.
+            if !nv {
+                return RouteOutcome::UndefEl1;
+            }
+            if self.nv2_active(cpu) {
+                // The guest's (virtual) E2H selects the TCR/TTBR0
+                // treatment; NV1 clear means the host runs a VHE guest.
+                let vhe_guest = !nv1;
+                match self.cores[cpu].neve.disposition(id, write, vhe_guest) {
+                    Disposition::Memory { offset } => {
+                        return RouteOutcome::Done(self.vncr_slot_access(cpu, offset, write, val));
+                    }
+                    Disposition::RedirectEl1(t) => {
+                        return RouteOutcome::Done(self.perform(cpu, t, write, val));
+                    }
+                    Disposition::Trap | Disposition::Passthrough => {}
+                }
+            }
+            return RouteOutcome::TrapEl2(TrapKind::SysReg, sysreg_esr);
+        }
+
+        // Plain EL1/EL0-named access at EL1.
+        if nv
+            && nv1
+            && matches!(
+                neve_class(base),
+                NeveClass::VmExecutionControl | NeveClass::DebugTrapOnWrite
+            )
+        {
+            // The EL1 register file holds the *VM's* state while a
+            // non-VHE guest hypervisor runs (paper Section 4, second
+            // kind): these accesses trap (TVM/TRVM/NV1) or, with NEVE,
+            // defer to the access page.
+            if self.nv2_active(cpu) {
+                if let Disposition::Memory { offset } =
+                    self.cores[cpu].neve.disposition(id, write, false)
+                {
+                    return RouteOutcome::Done(self.vncr_slot_access(cpu, offset, write, val));
+                }
+            }
+            return RouteOutcome::TrapEl2(TrapKind::SysReg, sysreg_esr);
+        }
+
+        // GIC SGI generation traps to the hypervisor when running as a VM
+        // (virtual IPIs are emulated, paper Section 5's Virtual IPI
+        // microbenchmark).
+        if base == SysReg::IccSgi1rEl1 && write && self.hw_hcr(cpu) & hcr::IMO != 0 {
+            return RouteOutcome::TrapEl2(TrapKind::SysReg, sysreg_esr);
+        }
+
+        // EL1 physical-timer access traps when the hypervisor keeps
+        // CNTHCTL_EL2.EL1PCEN clear for a VM.
+        if matches!(base, SysReg::CntpCtlEl0 | SysReg::CntpCvalEl0)
+            && self.hw_hcr(cpu) & hcr::VM != 0
+        {
+            let cnthctl = self.read_storage(cpu, SysReg::CnthctlEl2);
+            if cnthctl & neve_sysreg::bits::cnthctl::EL1PCEN == 0 {
+                return RouteOutcome::TrapEl2(TrapKind::SysReg, sysreg_esr);
+            }
+        }
+
+        RouteOutcome::Done(self.perform(cpu, base, write, val))
+    }
+
+    fn route_sysreg_el0(&mut self, cpu: usize, id: RegId, write: bool, val: u64) -> RouteOutcome {
+        let base = id.base_reg();
+        if id.is_vhe_alias() || base.min_el() > 0 {
+            return RouteOutcome::UndefEl1;
+        }
+        RouteOutcome::Done(self.perform(cpu, base, write, val))
+    }
+
+    /// Performs an (already-routed) register access with device dispatch
+    /// and VM-interrupt-interface semantics.
+    fn perform(&mut self, cpu: usize, reg: SysReg, write: bool, val: u64) -> u64 {
+        use SysReg::*;
+        let virtual_if = self.cores[cpu].pstate.el <= 1 && self.hw_hcr(cpu) & hcr::IMO != 0;
+        match (reg, write) {
+            // The GIC CPU interface: a VM (IMO set) talks to the *virtual*
+            // interface backed by list registers — acknowledge and EOI
+            // complete in hardware without traps (paper's Virtual EOI).
+            (IccIar1El1, false) => {
+                if virtual_if {
+                    self.gic.virq_ack(cpu).map(u64::from).unwrap_or(1023)
+                } else {
+                    self.gic.dist.ack(cpu).map(u64::from).unwrap_or(1023)
+                }
+            }
+            (IccEoir1El1, true) => {
+                if virtual_if {
+                    self.gic.virq_eoi(cpu, val as u32);
+                } else {
+                    self.gic.dist.eoi(cpu, val as u32);
+                }
+                0
+            }
+            (IccSgi1rEl1, true) => {
+                // Only reachable untrapped from hypervisor-ish contexts.
+                let intid = (val >> 24) & 0xf;
+                let targets = (val & 0xffff) as u16;
+                self.gic.dist.send_sgi(cpu, targets, intid as u32);
+                0
+            }
+            (r, false) => self.read_storage(cpu, r),
+            (r, true) => {
+                self.write_storage(cpu, r, val);
+                0
+            }
+        }
+    }
+
+    /// NEVE: a register access rewritten into a deferred-access-page slot
+    /// access (charged as memory, paper Section 6.1).
+    fn vncr_slot_access(&mut self, cpu: usize, offset: u16, write: bool, val: u64) -> u64 {
+        let addr = self.cores[cpu].neve.slot_address(offset);
+        if write {
+            let c = self.cfg.cost.arm_cost(Event::MemStore);
+            self.counter.charge(Event::MemStore, c);
+            self.mem.write_u64(addr, val);
+            0
+        } else {
+            let c = self.cfg.cost.arm_cost(Event::MemLoad);
+            self.counter.charge(Event::MemLoad, c);
+            self.mem.read_u64(addr)
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Data memory access with two-stage translation.
+    // ------------------------------------------------------------------
+
+    /// Translates and performs a guest load/store. `Err` carries the trap
+    /// that was delivered instead (EL1 aborts are delivered internally).
+    fn data_access(
+        &mut self,
+        cpu: usize,
+        hyp: &mut dyn Hypervisor,
+        va: u64,
+        write: bool,
+        reg: u8,
+    ) -> Option<u64> {
+        let el = self.cores[cpu].pstate.el;
+        let pc = self.cores[cpu].pc;
+        let access = if write { Access::Write } else { Access::Read };
+
+        // Stage 1: the guest's own tables when enabled; identity
+        // otherwise. Hypervisor-native contexts (EL2) are identity.
+        let s1_on = el <= 1 && self.cores[cpu].regs.read(SysReg::SctlrEl1) & 1 != 0;
+        let s2_on = el <= 1 && self.hw_hcr(cpu) & hcr::VM != 0;
+        let vmid = if s2_on {
+            vttbr::vmid(self.cores[cpu].regs.read(SysReg::VttbrEl2))
+        } else {
+            0
+        };
+
+        let key = TlbKey {
+            vmid,
+            stage2: s2_on,
+            page: va & !0xfff,
+        };
+        let pa = if let Some(e) = self.tlb.lookup(key) {
+            if !e.perms.allows(access) {
+                // Conservative: permission misses re-walk below.
+                None
+            } else {
+                Some(e.out_page | (va & 0xfff))
+            }
+        } else {
+            None
+        };
+
+        let pa = match pa {
+            Some(pa) => pa,
+            None => {
+                // Walk stage 1.
+                let ipa = if s1_on {
+                    let root = self.cores[cpu].regs.read(SysReg::Ttbr0El1) & !0xfff;
+                    match walk(&self.mem, PageTable { root }, va, access) {
+                        Ok(t) => {
+                            let c = self.cfg.cost.arm_cost(Event::PageWalkLevel);
+                            self.counter
+                                .charge_n(Event::PageWalkLevel, c, t.levels_walked as u64);
+                            t.pa
+                        }
+                        Err(f) => {
+                            let c = self.cfg.cost.arm_cost(Event::PageWalkLevel);
+                            self.counter
+                                .charge_n(Event::PageWalkLevel, c, f.levels_walked as u64);
+                            // Stage-1 abort: to EL1 (or EL2 under TGE).
+                            let esr_v = esr::build(esr::EC_DABT_LOW, 0);
+                            if self.hw_hcr(cpu) & hcr::TGE != 0 {
+                                let info =
+                                    self.enter_el2(cpu, TrapKind::Stage1Abort, esr_v, va, 0, pc);
+                                hyp.handle_sync(self, cpu, info);
+                                self.eret_from_el2(cpu);
+                            } else {
+                                self.enter_el1(cpu, esr_v, va, pc, false);
+                            }
+                            return None;
+                        }
+                    }
+                } else {
+                    va
+                };
+                // Walk stage 2.
+                let pa = if s2_on {
+                    let root = vttbr::baddr(self.cores[cpu].regs.read(SysReg::VttbrEl2));
+                    match walk(&self.mem, PageTable { root }, ipa, access) {
+                        Ok(t) => {
+                            let c = self.cfg.cost.arm_cost(Event::PageWalkLevel);
+                            self.counter
+                                .charge_n(Event::PageWalkLevel, c, t.levels_walked as u64);
+                            t.pa
+                        }
+                        Err(f) => {
+                            let c = self.cfg.cost.arm_cost(Event::PageWalkLevel);
+                            self.counter
+                                .charge_n(Event::PageWalkLevel, c, f.levels_walked as u64);
+                            // Stage-2 abort: to EL2 with the IPA latched;
+                            // this is also the MMIO emulation path.
+                            self.pending_mmio[cpu] = Some(MmioRequest {
+                                write,
+                                reg,
+                                value: if write { self.cores[cpu].gpr(reg) } else { 0 },
+                                ipa,
+                            });
+                            let esr_v = esr::build(esr::EC_DABT_LOW, 1 << 24);
+                            let info = self.enter_el2(
+                                cpu,
+                                TrapKind::Stage2Abort,
+                                esr_v,
+                                va,
+                                ipa & !0xfff,
+                                pc,
+                            );
+                            hyp.handle_sync(self, cpu, info);
+                            self.eret_from_el2(cpu);
+                            return None;
+                        }
+                    }
+                } else {
+                    ipa
+                };
+                self.tlb.insert(
+                    key,
+                    neve_memsim::tlb::TlbEntry {
+                        out_page: pa & !0xfff,
+                        perms: neve_memsim::Perms::RWX,
+                    },
+                );
+                pa
+            }
+        };
+
+        // A physical access beyond the populated RAM is an external
+        // abort, delivered to EL1 — a guest can reach here with the MMU
+        // off and a wild pointer; it must never bring the machine down.
+        if pa.checked_add(8).is_none() || pa + 8 > self.mem.limit() {
+            self.enter_el1(cpu, esr::build(esr::EC_DABT_LOW, 0), va, pc, false);
+            return None;
+        }
+
+        if write {
+            let c = self.cfg.cost.arm_cost(Event::MemStore);
+            self.counter.charge(Event::MemStore, c);
+            let v = self.cores[cpu].gpr(reg);
+            self.mem.write_u64(pa, v);
+            Some(0)
+        } else {
+            let c = self.cfg.cost.arm_cost(Event::MemLoad);
+            self.counter.charge(Event::MemLoad, c);
+            Some(self.mem.read_u64(pa))
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Interrupt delivery.
+    // ------------------------------------------------------------------
+
+    /// Polls timers into the distributor and delivers any deliverable
+    /// interrupt. Returns true if an exception was delivered.
+    fn poll_interrupts(&mut self, cpu: usize, hyp: &mut dyn Hypervisor) -> bool {
+        // Timer lines -> banked PPIs.
+        let now = self.counter.cycles();
+        for ppi in self.timers.firing(cpu, now) {
+            self.gic.dist.raise_banked(cpu, ppi);
+        }
+
+        let el = self.cores[cpu].pstate.el;
+        if el == 2 {
+            return false;
+        }
+        let hcr_v = self.hw_hcr(cpu);
+
+        // Physical interrupts routed to EL2 (taken regardless of
+        // PSTATE.I at EL0/EL1 when IMO is set).
+        if hcr_v & hcr::IMO != 0 && self.gic.dist.pending_for(cpu).is_some() {
+            self.cores[cpu].wfi = false;
+            let pc = self.cores[cpu].pc;
+            let info = self.enter_el2(cpu, TrapKind::Irq, 0, 0, 0, pc);
+            let _ = info;
+            hyp.handle_irq(self, cpu);
+            self.eret_from_el2(cpu);
+            return true;
+        }
+
+        // Virtual interrupts from the list registers.
+        if hcr_v & hcr::IMO != 0 && !self.cores[cpu].pstate.irq_masked && self.gic.virq_line(cpu) {
+            self.cores[cpu].wfi = false;
+            let pc = self.cores[cpu].pc;
+            self.enter_el1(cpu, 0, 0, pc, true);
+            return true;
+        }
+
+        // Bare-metal (no IMO): physical IRQ to EL1.
+        if hcr_v & hcr::IMO == 0
+            && !self.cores[cpu].pstate.irq_masked
+            && self.gic.dist.pending_for(cpu).is_some()
+        {
+            self.cores[cpu].wfi = false;
+            let pc = self.cores[cpu].pc;
+            self.enter_el1(cpu, 0, 0, pc, true);
+            return true;
+        }
+        false
+    }
+
+    // ------------------------------------------------------------------
+    // The interpreter.
+    // ------------------------------------------------------------------
+
+    fn fetch(&self, pc: u64) -> Option<Instr> {
+        self.programs.iter().find_map(|p| p.fetch(pc))
+    }
+
+    /// Looks up the instruction at `pc` without executing (harness use:
+    /// bracketing fine-grained measurements).
+    pub fn peek(&self, pc: u64) -> Option<Instr> {
+        self.fetch(pc)
+    }
+
+    /// Executes one instruction on `cpu` (delivering pending interrupts
+    /// first). Traps to EL2 synchronously invoke `hyp`.
+    pub fn step(&mut self, hyp: &mut dyn Hypervisor, cpu: usize) -> StepOutcome {
+        if let Some(code) = self.cores[cpu].halted {
+            return StepOutcome::Halted(code);
+        }
+        if self.poll_interrupts(cpu, hyp) {
+            return StepOutcome::Executed;
+        }
+        if self.cores[cpu].wfi {
+            // Idle: model the core sleeping briefly so cross-CPU events
+            // make progress.
+            self.counter.advance(0);
+            return StepOutcome::Wfi;
+        }
+
+        let pc = self.cores[cpu].pc;
+        let Some(instr) = self.fetch(pc) else {
+            return StepOutcome::FetchFailure(pc);
+        };
+        if let Some(t) = &mut self.trace {
+            t.push(TraceEvent::Retired {
+                cpu,
+                pc,
+                el: self.cores[cpu].pstate.el,
+                instr,
+            });
+        }
+        let mut next_pc = pc + 4;
+        let instr_c = self.cfg.cost.arm_cost(Event::Instr);
+        let barrier_c = self.cfg.cost.arm_cost(Event::Barrier);
+        let tlb_c = self.cfg.cost.arm_cost(Event::TlbFlush);
+        let eret_c = self.cfg.cost.arm_cost(Event::EretNative);
+        let sread_c = self.cfg.cost.arm_cost(Event::SysRegRead);
+        let swrite_c = self.cfg.cost.arm_cost(Event::SysRegWrite);
+        let dirq_c = self.cfg.cost.arm_cost(Event::DirectIrqOp);
+
+        match instr {
+            Instr::Nop => self.counter.charge(Event::Instr, instr_c),
+            Instr::Work(n) => self.counter.charge(Event::Instr, instr_c * n.max(1)),
+            Instr::MovImm(rd, imm) => {
+                self.counter.charge(Event::Instr, instr_c);
+                self.cores[cpu].set_gpr(rd, imm);
+            }
+            Instr::Mov(rd, rn) => {
+                self.counter.charge(Event::Instr, instr_c);
+                let v = self.cores[cpu].gpr(rn);
+                self.cores[cpu].set_gpr(rd, v);
+            }
+            Instr::Add(rd, rn, rm) => {
+                self.counter.charge(Event::Instr, instr_c);
+                let v = self.cores[cpu]
+                    .gpr(rn)
+                    .wrapping_add(self.cores[cpu].gpr(rm));
+                self.cores[cpu].set_gpr(rd, v);
+            }
+            Instr::AddImm(rd, rn, imm) => {
+                self.counter.charge(Event::Instr, instr_c);
+                let v = self.cores[cpu].gpr(rn).wrapping_add(imm);
+                self.cores[cpu].set_gpr(rd, v);
+            }
+            Instr::Sub(rd, rn, rm) => {
+                self.counter.charge(Event::Instr, instr_c);
+                let v = self.cores[cpu]
+                    .gpr(rn)
+                    .wrapping_sub(self.cores[cpu].gpr(rm));
+                self.cores[cpu].set_gpr(rd, v);
+            }
+            Instr::SubImm(rd, rn, imm) => {
+                self.counter.charge(Event::Instr, instr_c);
+                let v = self.cores[cpu].gpr(rn).wrapping_sub(imm);
+                self.cores[cpu].set_gpr(rd, v);
+            }
+            Instr::And(rd, rn, rm) => {
+                self.counter.charge(Event::Instr, instr_c);
+                let v = self.cores[cpu].gpr(rn) & self.cores[cpu].gpr(rm);
+                self.cores[cpu].set_gpr(rd, v);
+            }
+            Instr::Orr(rd, rn, rm) => {
+                self.counter.charge(Event::Instr, instr_c);
+                let v = self.cores[cpu].gpr(rn) | self.cores[cpu].gpr(rm);
+                self.cores[cpu].set_gpr(rd, v);
+            }
+            Instr::OrrImm(rd, rn, imm) => {
+                self.counter.charge(Event::Instr, instr_c);
+                let v = self.cores[cpu].gpr(rn) | imm;
+                self.cores[cpu].set_gpr(rd, v);
+            }
+            Instr::LslImm(rd, rn, sh) => {
+                self.counter.charge(Event::Instr, instr_c);
+                let v = self.cores[cpu].gpr(rn) << sh;
+                self.cores[cpu].set_gpr(rd, v);
+            }
+            Instr::LsrImm(rd, rn, sh) => {
+                self.counter.charge(Event::Instr, instr_c);
+                let v = self.cores[cpu].gpr(rn) >> sh;
+                self.cores[cpu].set_gpr(rd, v);
+            }
+            Instr::B(a) => {
+                self.counter.charge(Event::Instr, instr_c);
+                next_pc = a;
+            }
+            Instr::Bl(a) => {
+                self.counter.charge(Event::Instr, instr_c);
+                self.cores[cpu].set_gpr(crate::isa::LR, next_pc);
+                next_pc = a;
+            }
+            Instr::Ret => {
+                self.counter.charge(Event::Instr, instr_c);
+                next_pc = self.cores[cpu].gpr(crate::isa::LR);
+            }
+            Instr::Cbz(rn, a) => {
+                self.counter.charge(Event::Instr, instr_c);
+                if self.cores[cpu].gpr(rn) == 0 {
+                    next_pc = a;
+                }
+            }
+            Instr::Cbnz(rn, a) => {
+                self.counter.charge(Event::Instr, instr_c);
+                if self.cores[cpu].gpr(rn) != 0 {
+                    next_pc = a;
+                }
+            }
+            Instr::Halt(code) => {
+                self.cores[cpu].halted = Some(code);
+                return StepOutcome::Halted(code);
+            }
+            Instr::Isb | Instr::Dsb => {
+                let c = barrier_c;
+                self.counter.charge(Event::Barrier, c);
+            }
+            Instr::Wfi => {
+                let el = self.cores[cpu].pstate.el;
+                if el <= 1 && self.hw_hcr(cpu) & hcr::TWI != 0 {
+                    let info =
+                        self.enter_el2(cpu, TrapKind::Wfx, esr::build(esr::EC_WFX, 0), 0, 0, pc);
+                    hyp.handle_sync(self, cpu, info);
+                    self.eret_from_el2(cpu);
+                    next_pc = self.cores[cpu].pc;
+                } else {
+                    self.counter.charge(Event::Instr, instr_c);
+                    self.cores[cpu].wfi = true;
+                    self.cores[cpu].pc = next_pc;
+                    return StepOutcome::Wfi;
+                }
+            }
+            Instr::TlbiVmall => {
+                let el = self.cores[cpu].pstate.el;
+                if el == 1 && self.nv_active(cpu) {
+                    // A hypervisor TLB-maintenance instruction from
+                    // virtual EL2 traps even with NEVE.
+                    let info = self.enter_el2(
+                        cpu,
+                        TrapKind::SysReg,
+                        esr::build(esr::EC_SYSREG, 1),
+                        0,
+                        0,
+                        pc,
+                    );
+                    hyp.handle_sync(self, cpu, info);
+                    self.eret_from_el2(cpu);
+                    next_pc = self.cores[cpu].pc;
+                } else {
+                    let c = tlb_c;
+                    self.counter.charge(Event::TlbFlush, c);
+                    let vmid = vttbr::vmid(self.cores[cpu].regs.read(SysReg::VttbrEl2));
+                    self.tlb.flush_vmid(vmid);
+                }
+            }
+            Instr::Hvc(imm) => {
+                let el = self.cores[cpu].pstate.el;
+                if el == 0 {
+                    self.enter_el1(cpu, esr::build(esr::EC_UNKNOWN, 0), 0, pc, false);
+                    next_pc = self.cores[cpu].pc;
+                } else {
+                    // Preferred return for hvc is the *next* instruction.
+                    let info = self.enter_el2(
+                        cpu,
+                        TrapKind::Hvc,
+                        esr::build(esr::EC_HVC64, imm as u64),
+                        0,
+                        0,
+                        next_pc,
+                    );
+                    hyp.handle_sync(self, cpu, info);
+                    self.eret_from_el2(cpu);
+                    next_pc = self.cores[cpu].pc;
+                }
+            }
+            Instr::Svc(imm) => {
+                let el = self.cores[cpu].pstate.el;
+                let esr_v = esr::build(esr::EC_SVC64, imm as u64);
+                if el == 0 && self.hw_hcr(cpu) & hcr::TGE != 0 {
+                    let info = self.enter_el2(cpu, TrapKind::Svc, esr_v, 0, 0, next_pc);
+                    hyp.handle_sync(self, cpu, info);
+                    self.eret_from_el2(cpu);
+                } else {
+                    self.enter_el1(cpu, esr_v, 0, next_pc, false);
+                }
+                next_pc = self.cores[cpu].pc;
+            }
+            Instr::Smc(imm) => {
+                let el = self.cores[cpu].pstate.el;
+                if el >= 1 && self.hw_hcr(cpu) & hcr::TSC != 0 {
+                    let info = self.enter_el2(
+                        cpu,
+                        TrapKind::Smc,
+                        esr::build(esr::EC_SMC64, imm as u64),
+                        0,
+                        0,
+                        pc,
+                    );
+                    hyp.handle_sync(self, cpu, info);
+                    self.eret_from_el2(cpu);
+                } else {
+                    // No EL3: UNDEFINED.
+                    self.enter_el1(cpu, esr::build(esr::EC_UNKNOWN, 0), 0, pc, false);
+                }
+                next_pc = self.cores[cpu].pc;
+            }
+            Instr::Eret => {
+                let el = self.cores[cpu].pstate.el;
+                if el == 1 && self.nv_active(cpu) {
+                    // eret from virtual EL2 traps (ARMv8.3-NV); the host
+                    // enters the nested VM on the guest hypervisor's
+                    // behalf (paper Section 4).
+                    let info =
+                        self.enter_el2(cpu, TrapKind::Eret, esr::build(esr::EC_ERET, 0), 0, 0, pc);
+                    hyp.handle_sync(self, cpu, info);
+                    self.eret_from_el2(cpu);
+                    next_pc = self.cores[cpu].pc;
+                } else if el >= 1 {
+                    let c = eret_c;
+                    self.counter.charge(Event::EretNative, c);
+                    let (elr_reg, spsr_reg) = (SysReg::ElrEl1, SysReg::SpsrEl1);
+                    let elr = self.cores[cpu].regs.read(elr_reg);
+                    let spsr = self.cores[cpu].regs.read(spsr_reg);
+                    let mut target = Pstate::from_spsr(spsr);
+                    // An EL1 eret cannot raise the EL.
+                    if el == 1 && target.el > 1 {
+                        target.el = 1;
+                    }
+                    self.cores[cpu].pstate = target;
+                    next_pc = elr;
+                } else {
+                    self.enter_el1(cpu, esr::build(esr::EC_UNKNOWN, 0), 0, pc, false);
+                    next_pc = self.cores[cpu].pc;
+                }
+            }
+            Instr::MrsSpecial(rd, sp) => {
+                self.counter.charge(Event::SysRegRead, sread_c);
+                let v = match sp {
+                    Special::CurrentEl => {
+                        let el = self.cores[cpu].pstate.el;
+                        // The NV disguise (paper Section 2): a
+                        // deprivileged hypervisor reads EL2.
+                        let shown = if el == 1 && self.nv_active(cpu) {
+                            2
+                        } else {
+                            el
+                        };
+                        (shown as u64) << 2
+                    }
+                    Special::CntVct => {
+                        let now = self.counter.cycles();
+                        self.timers.cntvct(cpu, now)
+                    }
+                    Special::CntPct => self.counter.cycles(),
+                };
+                self.cores[cpu].set_gpr(rd, v);
+            }
+            Instr::Mrs(rd, id) => {
+                self.counter.charge(Event::SysRegRead, sread_c);
+                match self.route_sysreg(cpu, id, false, 0, rd) {
+                    RouteOutcome::Done(v) => {
+                        // GIC acknowledge/EOI complete in hardware at the
+                        // virtual interface: charge the direct-IRQ cost.
+                        if matches!(id.base_reg(), SysReg::IccIar1El1) {
+                            let c = dirq_c;
+                            self.counter.charge(Event::DirectIrqOp, c);
+                        }
+                        self.cores[cpu].set_gpr(rd, v);
+                    }
+                    RouteOutcome::TrapEl2(kind, esr_v) => {
+                        let info = self.enter_el2(cpu, kind, esr_v, 0, 0, pc);
+                        hyp.handle_sync(self, cpu, info);
+                        self.eret_from_el2(cpu);
+                        next_pc = self.cores[cpu].pc;
+                    }
+                    RouteOutcome::UndefEl1 => {
+                        self.enter_el1(cpu, esr::build(esr::EC_UNKNOWN, 0), 0, pc, false);
+                        next_pc = self.cores[cpu].pc;
+                    }
+                }
+            }
+            Instr::Msr(id, rs) => {
+                self.counter.charge(Event::SysRegWrite, swrite_c);
+                let v = self.cores[cpu].gpr(rs);
+                match self.route_sysreg(cpu, id, true, v, rs) {
+                    RouteOutcome::Done(_) => {
+                        if matches!(id.base_reg(), SysReg::IccEoir1El1 | SysReg::IccDirEl1) {
+                            let c = dirq_c;
+                            self.counter.charge(Event::DirectIrqOp, c);
+                        }
+                    }
+                    RouteOutcome::TrapEl2(kind, esr_v) => {
+                        let info = self.enter_el2(cpu, kind, esr_v, 0, 0, pc);
+                        hyp.handle_sync(self, cpu, info);
+                        self.eret_from_el2(cpu);
+                        next_pc = self.cores[cpu].pc;
+                    }
+                    RouteOutcome::UndefEl1 => {
+                        self.enter_el1(cpu, esr::build(esr::EC_UNKNOWN, 0), 0, pc, false);
+                        next_pc = self.cores[cpu].pc;
+                    }
+                }
+            }
+            Instr::Ldr(rd, rn, off) => {
+                let va = self.cores[cpu].gpr(rn).wrapping_add_signed(off);
+                match self.data_access(cpu, hyp, va, false, rd) {
+                    Some(v) => self.cores[cpu].set_gpr(rd, v),
+                    None => next_pc = self.cores[cpu].pc,
+                }
+            }
+            Instr::Str(rs, rn, off) => {
+                let va = self.cores[cpu].gpr(rn).wrapping_add_signed(off);
+                match self.data_access(cpu, hyp, va, true, rs) {
+                    Some(_) => {}
+                    None => next_pc = self.cores[cpu].pc,
+                }
+            }
+        }
+
+        self.cores[cpu].pc = next_pc;
+        StepOutcome::Executed
+    }
+
+    /// Runs `cpu` until it halts, idles, or `max_steps` instructions
+    /// retire. Returns the last outcome.
+    pub fn run(&mut self, hyp: &mut dyn Hypervisor, cpu: usize, max_steps: u64) -> StepOutcome {
+        let mut last = StepOutcome::Executed;
+        for _ in 0..max_steps {
+            last = self.step(hyp, cpu);
+            match last {
+                StepOutcome::Executed => continue,
+                _ => break,
+            }
+        }
+        last
+    }
+}

@@ -1,0 +1,75 @@
+//! Processor state (PSTATE).
+
+use neve_sysreg::bits::spsr;
+
+/// The architectural processor state the simulator tracks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pstate {
+    /// Current exception level (0-2; EL3 is not modelled).
+    pub el: u8,
+    /// IRQ masked (`PSTATE.I`).
+    pub irq_masked: bool,
+    /// FIQ masked (`PSTATE.F`).
+    pub fiq_masked: bool,
+}
+
+impl Default for Pstate {
+    fn default() -> Self {
+        // Cores come out of reset at the highest EL with interrupts
+        // masked.
+        Self {
+            el: 2,
+            irq_masked: true,
+            fiq_masked: true,
+        }
+    }
+}
+
+impl Pstate {
+    /// Encodes into an `SPSR_ELx` value.
+    pub fn to_spsr(self) -> u64 {
+        let mut v = spsr::mode_h(self.el);
+        if self.irq_masked {
+            v |= spsr::I;
+        }
+        if self.fiq_masked {
+            v |= spsr::F;
+        }
+        v
+    }
+
+    /// Decodes from an `SPSR_ELx` value.
+    pub fn from_spsr(v: u64) -> Self {
+        Self {
+            el: spsr::el_of(v),
+            irq_masked: v & spsr::I != 0,
+            fiq_masked: v & spsr::F != 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spsr_round_trip() {
+        for el in 0..=2u8 {
+            for irq in [false, true] {
+                let p = Pstate {
+                    el,
+                    irq_masked: irq,
+                    fiq_masked: !irq,
+                };
+                assert_eq!(Pstate::from_spsr(p.to_spsr()), p);
+            }
+        }
+    }
+
+    #[test]
+    fn reset_state_is_el2_masked() {
+        let p = Pstate::default();
+        assert_eq!(p.el, 2);
+        assert!(p.irq_masked);
+    }
+}

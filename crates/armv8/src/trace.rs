@@ -1,0 +1,152 @@
+//! Execution tracing.
+//!
+//! An optional ring buffer of architectural events, cheap enough to
+//! leave compiled in: the machine records nothing unless a trace is
+//! attached. The `neve-cli trace` command uses this to show the
+//! instruction-level anatomy of a nested world switch — the literal
+//! sequence Section 5 of the paper describes in prose.
+
+use crate::isa::Instr;
+use neve_cycles::TrapKind;
+use std::collections::VecDeque;
+
+/// One traced event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// An instruction retired.
+    Retired {
+        /// CPU index.
+        cpu: usize,
+        /// Address it executed from.
+        pc: u64,
+        /// Exception level it executed at.
+        el: u8,
+        /// The instruction.
+        instr: Instr,
+    },
+    /// A trap was taken to EL2 (the host hypervisor ran).
+    TrapToEl2 {
+        /// CPU index.
+        cpu: usize,
+        /// Trap classification.
+        kind: TrapKind,
+        /// Syndrome register value.
+        esr: u64,
+        /// Faulting/preferred-return address.
+        pc: u64,
+    },
+    /// An exception was delivered to EL1 (vectored entry).
+    ExceptionToEl1 {
+        /// CPU index.
+        cpu: usize,
+        /// Syndrome value.
+        esr: u64,
+        /// Vector target.
+        vector: u64,
+    },
+}
+
+/// A bounded event trace.
+#[derive(Debug, Clone)]
+pub struct Trace {
+    ring: VecDeque<TraceEvent>,
+    capacity: usize,
+    /// Total events observed (including evicted ones).
+    pub total: u64,
+}
+
+impl Trace {
+    /// Creates a trace keeping the most recent `capacity` events.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            ring: VecDeque::with_capacity(capacity.min(1 << 16)),
+            capacity: capacity.max(1),
+            total: 0,
+        }
+    }
+
+    /// Records one event.
+    pub fn push(&mut self, ev: TraceEvent) {
+        if self.ring.len() == self.capacity {
+            self.ring.pop_front();
+        }
+        self.ring.push_back(ev);
+        self.total += 1;
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.ring.iter()
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// True when nothing has been retained.
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// Drops all retained events (the total keeps counting).
+    pub fn clear(&mut self) {
+        self.ring.clear();
+    }
+
+    /// Renders an event as one display line.
+    pub fn render(ev: &TraceEvent) -> String {
+        match ev {
+            TraceEvent::Retired { cpu, pc, el, instr } => {
+                format!("cpu{cpu} EL{el} {pc:#010x}  {instr:?}")
+            }
+            TraceEvent::TrapToEl2 { cpu, kind, esr, pc } => {
+                format!("cpu{cpu} ---- TRAP to EL2: {kind:?} (esr={esr:#x}) from {pc:#010x}")
+            }
+            TraceEvent::ExceptionToEl1 { cpu, esr, vector } => {
+                format!("cpu{cpu} ---- exception to EL1 (esr={esr:#x}) -> {vector:#010x}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_keeps_most_recent() {
+        let mut t = Trace::new(2);
+        for pc in 0..5u64 {
+            t.push(TraceEvent::Retired {
+                cpu: 0,
+                pc,
+                el: 1,
+                instr: Instr::Nop,
+            });
+        }
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.total, 5);
+        let pcs: Vec<u64> = t
+            .events()
+            .map(|e| match e {
+                TraceEvent::Retired { pc, .. } => *pc,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(pcs, vec![3, 4]);
+    }
+
+    #[test]
+    fn render_mentions_the_essentials() {
+        let s = Trace::render(&TraceEvent::TrapToEl2 {
+            cpu: 1,
+            kind: TrapKind::Hvc,
+            esr: 0x5800_0000,
+            pc: 0x1000,
+        });
+        assert!(s.contains("TRAP"));
+        assert!(s.contains("Hvc"));
+        assert!(s.contains("cpu1"));
+    }
+}

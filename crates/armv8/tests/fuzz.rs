@@ -1,0 +1,187 @@
+//! Property-based robustness tests: arbitrary guest programs must never
+//! panic the machine, corrupt hypervisor-owned state, or escape their
+//! privilege level.
+//!
+//! These are the library-quality guarantees a hypervisor substrate
+//! needs: everything a guest can do is either performed, trapped, or
+//! faulted — never undefined behaviour in the *simulator*.
+
+use neve_armv8::isa::{Asm, Instr, Program, Special};
+use neve_armv8::machine::{ExitInfo, Hypervisor, Machine, MachineConfig, StepOutcome};
+use neve_armv8::pstate::Pstate;
+use neve_armv8::ArchLevel;
+use neve_sysreg::bits::esr;
+use neve_sysreg::{RegId, SysReg};
+use proptest::prelude::*;
+
+/// A hypervisor that services every trap by skipping the instruction —
+/// the most adversarial-friendly host (never rejects anything).
+struct SkipHyp;
+
+impl Hypervisor for SkipHyp {
+    fn handle_sync(&mut self, m: &mut Machine, cpu: usize, info: ExitInfo) {
+        if esr::ec(info.esr) != esr::EC_HVC64 {
+            m.core_mut(cpu)
+                .regs
+                .write(SysReg::ElrEl2, info.elr.wrapping_add(4));
+        }
+    }
+    fn handle_irq(&mut self, _m: &mut Machine, _cpu: usize) {}
+}
+
+/// Strategy: one arbitrary (but assemblable) instruction.
+fn any_instr() -> impl Strategy<Value = Instr> {
+    let reg = 0u8..32;
+    let small = 0u64..0x1_0000;
+    let addr = 0u64..0x4000_0000u64;
+    let off = -64i64..64;
+    prop_oneof![
+        (reg.clone(), small.clone()).prop_map(|(r, v)| Instr::MovImm(r, v)),
+        (reg.clone(), reg.clone()).prop_map(|(a, b)| Instr::Mov(a, b)),
+        (reg.clone(), reg.clone(), reg.clone()).prop_map(|(a, b, c)| Instr::Add(a, b, c)),
+        (reg.clone(), reg.clone(), small.clone()).prop_map(|(a, b, v)| Instr::AddImm(a, b, v)),
+        (reg.clone(), reg.clone(), small.clone()).prop_map(|(a, b, v)| Instr::SubImm(a, b, v)),
+        (reg.clone(), reg.clone(), 0u8..64).prop_map(|(a, b, s)| Instr::LslImm(a, b, s)),
+        (reg.clone(), reg.clone(), off.clone()).prop_map(|(a, b, o)| Instr::Ldr(a, b, o)),
+        (reg.clone(), reg.clone(), off).prop_map(|(a, b, o)| Instr::Str(a, b, o)),
+        any_sysreg().prop_flat_map({
+            let reg = reg.clone();
+            move |id| (reg.clone(), Just(id)).prop_map(|(r, id)| Instr::Mrs(r, id))
+        }),
+        any_sysreg().prop_flat_map({
+            let reg = reg.clone();
+            move |id| (reg.clone(), Just(id)).prop_map(|(r, id)| Instr::Msr(id, r))
+        }),
+        (0u16..0x100).prop_map(Instr::Hvc),
+        (0u16..0x100).prop_map(Instr::Svc),
+        (0u16..0x100).prop_map(Instr::Smc),
+        Just(Instr::Eret),
+        Just(Instr::Isb),
+        Just(Instr::Dsb),
+        Just(Instr::TlbiVmall),
+        Just(Instr::Nop),
+        (1u64..50).prop_map(Instr::Work),
+        reg.clone()
+            .prop_map(|r| Instr::MrsSpecial(r, Special::CurrentEl)),
+        reg.prop_map(|r| Instr::MrsSpecial(r, Special::CntVct)),
+        addr.prop_map(|_| Instr::Nop), // placeholder weight
+    ]
+}
+
+/// Strategy: any modelled register name under any alias.
+fn any_sysreg() -> impl Strategy<Value = RegId> {
+    let regs = SysReg::all();
+    let n = regs.len();
+    (0usize..n, 0u8..3).prop_map(move |(i, kind)| {
+        let r = regs[i];
+        match kind {
+            0 => RegId::Plain(r),
+            1 => RegId::El12(r),
+            _ => RegId::El02(r),
+        }
+    })
+}
+
+fn machine_with(program: Program, arch: ArchLevel, hcr_bits: u64, el: u8) -> Machine {
+    let mut m = Machine::new(MachineConfig {
+        arch,
+        ncpus: 1,
+        mem_size: 1 << 28,
+        cost: Default::default(),
+    });
+    // A catch-all vector so EL1 exceptions land somewhere executable.
+    let mut v = Asm::new(0x0F00_0000);
+    for _ in 0..0x200 {
+        v.i(Instr::Nop);
+    }
+    v.i(Instr::Halt(0xe));
+    m.load(v.assemble());
+    m.load(program);
+    m.core_mut(0).pstate = Pstate {
+        el,
+        irq_masked: true,
+        fiq_masked: true,
+    };
+    m.core_mut(0).pc = 0x10_0000;
+    m.core_mut(0).regs.write(SysReg::VbarEl1, 0x0F00_0000);
+    m.core_mut(0).regs.write(SysReg::HcrEl2, hcr_bits);
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Arbitrary instruction streams never panic and never raise the
+    /// core's privilege: software entering at EL0/EL1 stays at or below
+    /// EL1 forever (the hypervisor boundary).
+    #[test]
+    fn guest_programs_cannot_escape_or_crash(
+        instrs in proptest::collection::vec(any_instr(), 1..60),
+        arch_sel in 0u8..4,
+        hcr_sel in proptest::collection::vec(proptest::bool::ANY, 9),
+        el in 0u8..2,
+    ) {
+        let arch = match arch_sel {
+            0 => ArchLevel::V8_0,
+            1 => ArchLevel::V8_1,
+            2 => ArchLevel::V8_3,
+            _ => ArchLevel::V8_4,
+        };
+        // Random subset of the interesting HCR_EL2 bits.
+        let bit_positions = [0u32, 4, 26, 27, 30, 34, 42, 43, 45];
+        let hcr: u64 = bit_positions
+            .iter()
+            .zip(&hcr_sel)
+            .filter(|(_, on)| **on)
+            .map(|(b, _)| 1u64 << b)
+            .sum();
+        let mut a = Asm::new(0x10_0000);
+        for i in instrs {
+            a.i(i);
+        }
+        a.i(Instr::Halt(1));
+        let mut m = machine_with(a.assemble(), arch, hcr, el);
+        let mut hyp = SkipHyp;
+        for _ in 0..2_000 {
+            match m.step(&mut hyp, 0) {
+                StepOutcome::Executed => {
+                    prop_assert!(m.core(0).pstate.el <= 1, "guest escaped to EL2");
+                }
+                _ => break,
+            }
+        }
+        // The cycle counter only moves forward.
+        prop_assert!(m.counter.cycles() < u64::MAX / 2);
+    }
+
+    /// Hardware HCR_EL2 is hypervisor-owned: no guest instruction
+    /// sequence may change it (NEVE defers, NV traps, v8.0 faults — all
+    /// paths leave the real register alone).
+    #[test]
+    fn guests_never_modify_hardware_hcr(
+        instrs in proptest::collection::vec(any_instr(), 1..40),
+        neve in proptest::bool::ANY,
+    ) {
+        use neve_sysreg::bits::hcr;
+        let hcr_bits = hcr::VM | hcr::IMO | hcr::NV | hcr::NV1
+            | if neve { hcr::NV2 } else { 0 };
+        let mut a = Asm::new(0x10_0000);
+        for i in instrs {
+            a.i(i);
+        }
+        a.i(Instr::Halt(1));
+        let mut m = machine_with(a.assemble(), ArchLevel::V8_4, hcr_bits, 1);
+        if neve {
+            let raw = neve_core::VncrEl2::enabled_at(0x0E00_0000).unwrap().raw();
+            m.hyp_write(0, SysReg::VncrEl2, raw);
+        }
+        let before = m.core(0).regs.read(SysReg::HcrEl2);
+        let mut hyp = SkipHyp;
+        for _ in 0..1_500 {
+            if m.step(&mut hyp, 0) != StepOutcome::Executed {
+                break;
+            }
+        }
+        prop_assert_eq!(m.core(0).regs.read(SysReg::HcrEl2), before);
+    }
+}

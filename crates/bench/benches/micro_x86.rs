@@ -1,0 +1,25 @@
+//! Criterion benches over the x86 microbenchmark configurations.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use neve_x86vt::testbed::{X86Bench, X86Config, X86TestBed};
+
+fn bench_x86(c: &mut Criterion) {
+    let mut g = c.benchmark_group("x86_hypercall");
+    g.sample_size(10);
+    for (name, cfg) in [
+        ("vm", X86Config::Vm),
+        ("nested_shadowed", X86Config::Nested { shadowing: true }),
+        ("nested_unshadowed", X86Config::Nested { shadowing: false }),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let mut tb = X86TestBed::new(cfg, X86Bench::Hypercall, 10);
+                std::hint::black_box(tb.run(10))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_x86);
+criterion_main!(benches);

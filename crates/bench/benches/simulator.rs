@@ -1,0 +1,88 @@
+//! Criterion benches of the simulator's building blocks: interpreter
+//! throughput, page-table walks, NEVE engine decisions.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use neve_armv8::isa::{Asm, Instr};
+use neve_armv8::machine::{ExitInfo, Hypervisor, Machine, MachineConfig};
+use neve_armv8::pstate::Pstate;
+use neve_armv8::ArchLevel;
+use neve_core::{NeveEngine, VncrEl2};
+use neve_memsim::{walk, Access, FrameAlloc, PageTable, Perms, PhysMem};
+use neve_sysreg::{RegId, SysReg};
+
+struct NullHyp;
+impl Hypervisor for NullHyp {
+    fn handle_sync(&mut self, _m: &mut Machine, _c: usize, _i: ExitInfo) {}
+    fn handle_irq(&mut self, _m: &mut Machine, _c: usize) {}
+}
+
+fn bench_interpreter(c: &mut Criterion) {
+    c.bench_function("interpreter_1k_alu", |b| {
+        let mut m = Machine::new(MachineConfig {
+            arch: ArchLevel::V8_0,
+            ncpus: 1,
+            mem_size: 1 << 20,
+            cost: Default::default(),
+        });
+        let mut a = Asm::new(0x1000);
+        let top = a.label();
+        a.i(Instr::MovImm(0, 1000));
+        a.bind(top);
+        a.i(Instr::SubImm(0, 0, 1));
+        a.cbnz(0, top);
+        a.i(Instr::Halt(0));
+        m.load(a.assemble());
+        b.iter(|| {
+            m.core_mut(0).halted = None;
+            m.core_mut(0).pstate = Pstate {
+                el: 1,
+                irq_masked: true,
+                fiq_masked: true,
+            };
+            m.core_mut(0).pc = 0x1000;
+            let mut h = NullHyp;
+            std::hint::black_box(m.run(&mut h, 0, 10_000))
+        })
+    });
+}
+
+fn bench_page_walk(c: &mut Criterion) {
+    let mut mem = PhysMem::new(1 << 30);
+    let mut fr = FrameAlloc::new(0x10_0000, 0x10_0000);
+    let t = PageTable::new(&mut mem, &mut fr);
+    for p in 0..64u64 {
+        t.map(
+            &mut mem,
+            &mut fr,
+            p * 4096,
+            0x20_0000 + p * 4096,
+            Perms::RWX,
+        );
+    }
+    c.bench_function("stage2_walk", |b| {
+        b.iter(|| std::hint::black_box(walk(&mem, t, 0x8123, Access::Read)))
+    });
+}
+
+fn bench_neve_engine(c: &mut Criterion) {
+    let e = NeveEngine {
+        vncr: VncrEl2::enabled_at(0x9000_0000).unwrap(),
+        features: Default::default(),
+    };
+    let regs: Vec<_> = SysReg::all();
+    c.bench_function("neve_disposition_all_regs", |b| {
+        b.iter(|| {
+            for &r in &regs {
+                std::hint::black_box(e.disposition(RegId::Plain(r), false, true));
+            }
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_interpreter,
+    bench_page_walk,
+    bench_neve_engine
+);
+criterion_main!(benches);

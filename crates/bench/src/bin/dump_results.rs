@@ -1,0 +1,78 @@
+//! Dumps every regenerated result (Tables 1/6/7 and Figure 2) as JSON to
+//! `results/` for downstream plotting. The writer is hand-rolled (the
+//! data is flat numbers/strings; no extra dependency warranted).
+
+use neve_workloads::apps;
+use neve_workloads::platforms::{Config, MicroMatrix};
+use std::fmt::Write as _;
+use std::fs;
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn main() {
+    fs::create_dir_all("results").expect("create results/");
+    println!("Measuring every configuration (about a minute)...");
+    let m = MicroMatrix::measure();
+
+    // Microbenchmark matrix.
+    let mut out = String::from("{\n  \"micro\": {\n");
+    let mut cfg_parts = Vec::new();
+    for c in Config::all() {
+        let costs = m.costs(c);
+        let mut s = format!("    \"{}\": {{\n", json_escape(c.label()));
+        for (name, p) in [
+            ("hypercall", costs.hypercall),
+            ("device_io", costs.device_io),
+            ("virtual_ipi", costs.virtual_ipi),
+            ("virtual_eoi", costs.virtual_eoi),
+        ] {
+            let _ = writeln!(
+                s,
+                "      \"{name}\": {{ \"cycles\": {}, \"traps\": {} }},",
+                p.cycles, p.traps
+            );
+        }
+        s.truncate(s.trim_end_matches(",\n").len());
+        s.push_str("\n    }");
+        cfg_parts.push(s);
+    }
+    out.push_str(&cfg_parts.join(",\n"));
+    out.push_str("\n  },\n  \"figure2\": {\n");
+
+    let rows = apps::figure2(&m);
+    let mut row_parts = Vec::new();
+    for r in &rows {
+        let mut s = format!("    \"{}\": {{ ", json_escape(r.name));
+        let cells: Vec<String> = r
+            .overheads
+            .iter()
+            .map(|(c, o)| format!("\"{}\": {:.4}", json_escape(c.label()), o))
+            .collect();
+        s.push_str(&cells.join(", "));
+        s.push_str(" }");
+        row_parts.push(s);
+    }
+    out.push_str(&row_parts.join(",\n"));
+    out.push_str("\n  }\n}\n");
+
+    fs::write("results/neve_results.json", &out).expect("write results");
+    println!("Wrote results/neve_results.json ({} bytes).", out.len());
+
+    // A CSV of Figure 2 for spreadsheet users.
+    let mut csv = String::from("workload");
+    for c in Config::all() {
+        let _ = write!(csv, ",{}", c.label());
+    }
+    csv.push('\n');
+    for r in &rows {
+        let _ = write!(csv, "{}", r.name);
+        for (_, o) in &r.overheads {
+            let _ = write!(csv, ",{o:.4}");
+        }
+        csv.push('\n');
+    }
+    fs::write("results/figure2.csv", &csv).expect("write csv");
+    println!("Wrote results/figure2.csv.");
+}

@@ -1,0 +1,30 @@
+//! Regenerates paper Table 1: microbenchmark cycle counts for ARMv8.3
+//! and x86, VM and nested VM.
+
+use neve_bench::paper;
+use neve_workloads::platforms::{Config, MicroMatrix};
+use neve_workloads::tables;
+
+fn main() {
+    println!("Table 1: Microbenchmark Cycle Counts (measured | paper)");
+    println!("=======================================================");
+    let m = MicroMatrix::measure();
+    let rows = tables::table1(&m);
+    println!("{}", tables::render(&rows));
+    println!("Paper reference:");
+    for (name, a, b, c, d, e) in paper::TABLE1 {
+        println!(
+            "  {name:<12} ARM VM={a:>7} v8.3={b:>7} v8.3-VHE={c:>7} x86 VM={d:>6} x86N={e:>6}"
+        );
+    }
+    // The headline: ARM nested overhead is an order of magnitude worse
+    // than x86 in relative terms (Section 5).
+    let hc = &rows[0];
+    let arm_rel = hc.cells[1].2;
+    let x86_rel = hc.cells[4].2;
+    println!();
+    println!(
+        "ARM v8.3 nested/VM = {arm_rel:.0}x vs x86 nested/VM = {x86_rel:.0}x (paper: 155x vs 31x)"
+    );
+    let _ = Config::all();
+}

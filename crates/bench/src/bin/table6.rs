@@ -1,0 +1,26 @@
+//! Regenerates paper Table 6: microbenchmark cycle counts including
+//! NEVE, with the overhead-vs-VM multipliers.
+
+use neve_bench::paper;
+use neve_workloads::platforms::MicroMatrix;
+use neve_workloads::tables;
+
+fn main() {
+    println!("Table 6: Microbenchmark Cycle Counts with NEVE (measured | paper)");
+    println!("=================================================================");
+    let m = MicroMatrix::measure();
+    let rows = tables::table6(&m);
+    println!("{}", tables::render(&rows));
+    println!("Paper reference:");
+    for (name, a, b, c, d, e) in paper::TABLE6 {
+        println!(
+            "  {name:<12} v8.3={a:>7} v8.3-VHE={b:>7} NEVE={c:>7} NEVE-VHE={d:>7} x86N={e:>6}"
+        );
+    }
+    let hc = &rows[0];
+    println!();
+    println!(
+        "NEVE speedup over ARMv8.3 (hypercall): {:.1}x (paper: ~4.6x, \"up to 5 times\")",
+        hc.cells[0].1 as f64 / hc.cells[2].1 as f64
+    );
+}

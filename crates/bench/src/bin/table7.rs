@@ -1,0 +1,25 @@
+//! Regenerates paper Table 7: average trap counts per microbenchmark.
+
+use neve_bench::paper;
+use neve_workloads::platforms::MicroMatrix;
+use neve_workloads::tables;
+
+fn main() {
+    println!("Table 7: Microbenchmark Average Trap Counts (measured | paper)");
+    println!("==============================================================");
+    let m = MicroMatrix::measure();
+    let rows = tables::table7(&m);
+    println!("{}", tables::render(&rows));
+    println!("Paper reference:");
+    for (name, a, b, c, d, e) in paper::TABLE7 {
+        println!(
+            "  {name:<12} v8.3={a:>4} v8.3-VHE={b:>4} NEVE={c:>3} NEVE-VHE={d:>3} x86N={e:>2}"
+        );
+    }
+    let hc = &rows[0];
+    println!();
+    println!(
+        "NEVE reduces hypercall traps {:.1}x vs ARMv8.3 (paper: \"more than six times\", 126 -> 15)",
+        hc.cells[0].1 as f64 / hc.cells[2].1.max(1) as f64
+    );
+}

@@ -1,0 +1,95 @@
+//! Minimal flag parsing (the workspace's dependency policy rules out an
+//! argument-parsing crate; the grammar here is flat `--key value`).
+
+use std::collections::BTreeMap;
+
+/// Parsed invocation: a subcommand plus `--key value` options.
+#[derive(Debug, Default)]
+pub struct Parsed {
+    /// The subcommand (first bare argument).
+    pub command: String,
+    /// `--key value` pairs.
+    pub options: BTreeMap<String, String>,
+}
+
+/// Parses `argv` (without the program name).
+///
+/// # Errors
+///
+/// Rejects dangling `--key` without a value and unexpected bare words.
+pub fn parse(argv: &[String]) -> Result<Parsed, String> {
+    let mut p = Parsed::default();
+    let mut it = argv.iter();
+    match it.next() {
+        Some(cmd) if !cmd.starts_with("--") => p.command = cmd.clone(),
+        Some(flag) => return Err(format!("expected a subcommand before {flag}")),
+        None => p.command = "help".into(),
+    }
+    while let Some(a) = it.next() {
+        let Some(key) = a.strip_prefix("--") else {
+            return Err(format!("unexpected argument: {a}"));
+        };
+        let Some(value) = it.next() else {
+            return Err(format!("--{key} needs a value"));
+        };
+        p.options.insert(key.to_string(), value.clone());
+    }
+    Ok(p)
+}
+
+impl Parsed {
+    /// The option `key` or `default`.
+    pub fn get<'a>(&'a self, key: &str, default: &'a str) -> &'a str {
+        self.options.get(key).map(String::as_str).unwrap_or(default)
+    }
+
+    /// The option `key` parsed as u64.
+    ///
+    /// # Errors
+    ///
+    /// Reports unparseable numbers.
+    pub fn get_u64(&self, key: &str, default: u64) -> Result<u64, String> {
+        match self.options.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{key}: `{v}` is not a number")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_subcommand_and_flags() {
+        let p = parse(&sv(&["micro", "--bench", "ipi", "--iters", "7"])).unwrap();
+        assert_eq!(p.command, "micro");
+        assert_eq!(p.get("bench", "x"), "ipi");
+        assert_eq!(p.get_u64("iters", 1).unwrap(), 7);
+        assert_eq!(p.get("config", "vm"), "vm");
+    }
+
+    #[test]
+    fn empty_argv_means_help() {
+        assert_eq!(parse(&[]).unwrap().command, "help");
+    }
+
+    #[test]
+    fn rejects_dangling_flag() {
+        assert!(parse(&sv(&["micro", "--bench"])).is_err());
+        assert!(parse(&sv(&["--bench", "x"])).is_err());
+        assert!(parse(&sv(&["micro", "stray"])).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_numbers() {
+        let p = parse(&sv(&["micro", "--iters", "many"])).unwrap();
+        assert!(p.get_u64("iters", 1).is_err());
+    }
+}

@@ -1,0 +1,298 @@
+//! Subcommand implementations.
+
+use crate::args;
+use neve_armv8::trace::{Trace, TraceEvent};
+use neve_kvmarm::{ArmConfig, MicroBench, ParaMode, TestBed};
+use neve_workloads::platforms::MicroMatrix;
+use neve_workloads::{apps, tables};
+use neve_x86vt::testbed::{X86Bench, X86Config, X86TestBed};
+
+/// A resolved platform configuration.
+enum Target {
+    Arm { cfg: ArmConfig, xen: bool },
+    X86(X86Config),
+}
+
+fn target(name: &str) -> Result<Target, String> {
+    let nested = |vhe, neve| ArmConfig::Nested {
+        guest_vhe: vhe,
+        neve,
+        para: ParaMode::None,
+    };
+    Ok(match name {
+        "vm" => Target::Arm {
+            cfg: ArmConfig::Vm,
+            xen: false,
+        },
+        "v83" => Target::Arm {
+            cfg: nested(false, false),
+            xen: false,
+        },
+        "v83-vhe" => Target::Arm {
+            cfg: nested(true, false),
+            xen: false,
+        },
+        "neve" => Target::Arm {
+            cfg: nested(false, true),
+            xen: false,
+        },
+        "neve-vhe" => Target::Arm {
+            cfg: nested(true, true),
+            xen: false,
+        },
+        "v83-xen" => Target::Arm {
+            cfg: nested(false, false),
+            xen: true,
+        },
+        "neve-xen" => Target::Arm {
+            cfg: nested(false, true),
+            xen: true,
+        },
+        "x86-vm" => Target::X86(X86Config::Vm),
+        "x86-nested" => Target::X86(X86Config::Nested { shadowing: true }),
+        "x86-noshadow" => Target::X86(X86Config::Nested { shadowing: false }),
+        other => return Err(format!("unknown config `{other}`")),
+    })
+}
+
+fn arm_bench(name: &str) -> Result<MicroBench, String> {
+    Ok(match name {
+        "hypercall" => MicroBench::Hypercall,
+        "devio" => MicroBench::DeviceIo,
+        "ipi" => MicroBench::VirtualIpi,
+        "eoi" => MicroBench::VirtualEoi,
+        other => return Err(format!("unknown benchmark `{other}`")),
+    })
+}
+
+fn x86_bench(name: &str) -> Result<X86Bench, String> {
+    Ok(match name {
+        "hypercall" => X86Bench::Hypercall,
+        "devio" => X86Bench::DeviceIo,
+        "ipi" => X86Bench::VirtualIpi,
+        "eoi" => X86Bench::VirtualEoi,
+        other => return Err(format!("unknown benchmark `{other}`")),
+    })
+}
+
+/// Routes a parsed command line.
+pub fn dispatch(argv: &[String]) -> Result<(), String> {
+    let p = args::parse(argv)?;
+    match p.command.as_str() {
+        "micro" => micro(&p),
+        "tables" => tables_cmd(),
+        "figure2" => figure2_cmd(&p),
+        "trace" => trace_cmd(&p),
+        "help" | "-h" | "--help" => {
+            print!("{}", HELP);
+            Ok(())
+        }
+        other => Err(format!("unknown subcommand `{other}`")),
+    }
+}
+
+const HELP: &str = "\
+neve - the NEVE nested-virtualization simulator
+
+USAGE:
+    neve micro   [--bench B] [--config C] [--iters N]   run one microbenchmark
+    neve tables                                         regenerate Tables 1/6/7
+    neve figure2 [--explain WORKLOAD]                   regenerate Figure 2
+    neve trace   [--config C] [--limit N]               world-switch anatomy
+    neve help                                           this text
+
+CONFIGS:    vm v83 v83-vhe neve neve-vhe v83-xen neve-xen
+            x86-vm x86-nested x86-noshadow
+BENCHMARKS: hypercall devio ipi eoi
+";
+
+fn micro(p: &args::Parsed) -> Result<(), String> {
+    let iters = p.get_u64("iters", 25)?.max(1);
+    let bench = p.get("bench", "hypercall");
+    let cfg = p.get("config", "neve");
+    let result = match target(cfg)? {
+        Target::Arm { cfg: ac, xen } => {
+            let b = arm_bench(bench)?;
+            let mut tb = if xen {
+                TestBed::new_xen(ac, b, iters)
+            } else {
+                TestBed::new(ac, b, iters)
+            };
+            tb.run(iters)
+        }
+        Target::X86(xc) => {
+            let b = x86_bench(bench)?;
+            let mut tb = X86TestBed::new(xc, b, iters);
+            tb.run(iters)
+        }
+    };
+    println!(
+        "{bench} on {cfg}: {} cycles/op, {:.1} traps/op ({iters} iterations)",
+        result.cycles, result.traps
+    );
+    Ok(())
+}
+
+fn tables_cmd() -> Result<(), String> {
+    println!("Measuring every configuration (about a minute)...\n");
+    let m = MicroMatrix::measure();
+    println!("Table 1 (cycle counts):");
+    println!("{}", tables::render(&tables::table1(&m)));
+    println!("Table 6 (cycle counts with NEVE):");
+    println!("{}", tables::render(&tables::table6(&m)));
+    println!("Table 7 (trap counts):");
+    println!("{}", tables::render(&tables::table7(&m)));
+    Ok(())
+}
+
+fn figure2_cmd(p: &args::Parsed) -> Result<(), String> {
+    println!("Measuring every configuration (about a minute)...\n");
+    let m = MicroMatrix::measure();
+    println!("{}", apps::render(&apps::figure2(&m)));
+    if let Some(workload) = p.options.get("explain") {
+        let Some(w) = apps::WORKLOADS
+            .iter()
+            .find(|w| w.name.eq_ignore_ascii_case(workload))
+        else {
+            return Err(format!("unknown workload `{workload}`"));
+        };
+        println!("\nOverhead composition for {}:", w.name);
+        println!(
+            "{:<22} {:>6} {:>6} {:>6} {:>6} {:>6} {:>6}",
+            "config", "hc%", "io%", "ipi%", "irq%", "kick%", "tick%"
+        );
+        for c in neve_workloads::platforms::Config::all() {
+            let b = apps::breakdown(w, c, &m);
+            println!(
+                "{:<22} {:>5.0}% {:>5.0}% {:>5.0}% {:>5.0}% {:>5.0}% {:>5.0}%",
+                c.label(),
+                b.hypercalls * 100.0,
+                b.device_ios * 100.0,
+                b.ipis * 100.0,
+                b.net_irqs * 100.0,
+                b.virtio_kicks * 100.0,
+                b.feedback * 100.0
+            );
+        }
+    }
+    Ok(())
+}
+
+/// Traces one nested hypercall round trip and prints every architectural
+/// event — the paper's Section 5 prose as an event log.
+fn trace_cmd(p: &args::Parsed) -> Result<(), String> {
+    let cfg_name = p.get("config", "v83");
+    let limit = p.get_u64("limit", 2000)? as usize;
+    let Target::Arm { cfg, xen } = target(cfg_name)? else {
+        return Err("trace supports the ARM configurations".into());
+    };
+    let bench = MicroBench::Hypercall;
+    let iters = 12;
+    let mut tb = if xen {
+        TestBed::new_xen(cfg, bench, iters)
+    } else {
+        TestBed::new(cfg, bench, iters)
+    };
+    // Warm up past the lazy faults so the trace shows steady state, then
+    // attach the trace and capture one full round trip.
+    let warm = tb.run(iters);
+    println!(
+        "steady state on {cfg_name}: {} cycles/op, {:.1} traps/op",
+        warm.cycles, warm.traps
+    );
+    println!("re-running with tracing for one round trip:\n");
+
+    let mut tb = if xen {
+        TestBed::new_xen(cfg, bench, iters)
+    } else {
+        TestBed::new(cfg, bench, iters)
+    };
+    tb.m.attach_trace(limit);
+    let _ = tb.run(iters);
+    let trace = tb.m.trace.take().expect("trace attached");
+    print_one_round_trip(&trace);
+    Ok(())
+}
+
+/// Prints the retained events of the last captured hypercall round trip:
+/// from the final `Hvc` the payload executed back to the payload.
+fn print_one_round_trip(trace: &Trace) {
+    // Find the last payload-level Hvc (EL1 at the payload's address
+    // range) and print from there.
+    let events: Vec<&TraceEvent> = trace.events().collect();
+    let mut start = 0;
+    for (i, ev) in events.iter().enumerate() {
+        if let TraceEvent::Retired {
+            instr: neve_armv8::isa::Instr::Hvc(0),
+            pc,
+            ..
+        } = ev
+        {
+            if *pc >= neve_kvmarm::layout::L2_PAYLOAD_BASE
+                || *pc >= neve_kvmarm::layout::L1_PAYLOAD_BASE
+            {
+                start = i;
+            }
+        }
+    }
+    let mut shown = 0;
+    for ev in &events[start..] {
+        println!("{}", Trace::render(ev));
+        shown += 1;
+        if shown > 400 {
+            println!("... (truncated)");
+            break;
+        }
+    }
+    println!(
+        "\n{} events shown ({} captured in total).",
+        shown, trace.total
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sv(a: &[&str]) -> Vec<String> {
+        a.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn help_is_always_available() {
+        assert!(dispatch(&sv(&["help"])).is_ok());
+        assert!(dispatch(&[]).is_ok());
+    }
+
+    #[test]
+    fn unknown_subcommand_is_an_error() {
+        assert!(dispatch(&sv(&["frobnicate"])).is_err());
+    }
+
+    #[test]
+    fn micro_runs_on_every_config() {
+        for cfg in ["vm", "v83", "neve", "v83-xen", "x86-vm", "x86-nested"] {
+            dispatch(&sv(&[
+                "micro",
+                "--config",
+                cfg,
+                "--bench",
+                "hypercall",
+                "--iters",
+                "5",
+            ]))
+            .unwrap_or_else(|e| panic!("{cfg}: {e}"));
+        }
+    }
+
+    #[test]
+    fn bad_config_and_bench_are_reported() {
+        assert!(dispatch(&sv(&["micro", "--config", "pdp11"])).is_err());
+        assert!(dispatch(&sv(&["micro", "--bench", "quantum"])).is_err());
+    }
+
+    #[test]
+    fn trace_rejects_x86() {
+        assert!(dispatch(&sv(&["trace", "--config", "x86-vm"])).is_err());
+    }
+}

@@ -1,0 +1,316 @@
+//! Calibrated cycle costs for simulated hardware primitives.
+//!
+//! Every constant in this module is documented with its provenance:
+//! either a measurement reported by the NEVE paper (Section 5), a
+//! publicly known order of magnitude for the primitive, or a calibration
+//! chosen so that the end-to-end microbenchmarks land in the paper's
+//! reported bands (Tables 1 and 6). Calibrated values are marked
+//! `CALIBRATED`; they are inputs to the model, not results.
+
+use crate::Event;
+use serde::{Deserialize, Serialize};
+
+/// Cycle costs of ARM hardware primitives.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ArmCosts {
+    /// Taking a trap from EL1 (or EL0) into EL2.
+    ///
+    /// The paper measured 68-76 cycles across system-register access
+    /// instructions and `hvc` on ARMv8.0 Applied Micro Atlas hardware
+    /// (Section 5); we use the midpoint.
+    pub trap_el1_to_el2: u64,
+    /// Returning from EL2 back to EL1 via `eret`.
+    ///
+    /// Measured at 65 cycles in the paper (Section 5).
+    pub trap_return: u64,
+    /// Exception entry targeting EL1 (an `svc`, or the hardware part of an
+    /// exception the host hypervisor *emulates* into virtual EL2).
+    /// CALIBRATED: same order as an EL2 trap, slightly cheaper because no
+    /// stage change of translation regime occurs.
+    pub el1_exception_entry: u64,
+    /// `eret` executed at EL1/EL2 without trapping.
+    pub eret_native: u64,
+    /// An untrapped `mrs` (system register read).
+    pub sysreg_read: u64,
+    /// An untrapped `msr` (system register write). System register writes
+    /// are serialising on most implementations and cost more than reads.
+    pub sysreg_write: u64,
+    /// A generic ALU/branch/move instruction.
+    pub instr: u64,
+    /// A data load hitting the (unmodelled) cache.
+    pub mem_load: u64,
+    /// A data store.
+    pub mem_store: u64,
+    /// `isb`/`dsb` barrier.
+    pub barrier: u64,
+    /// One level of a hardware page-table walk (TLB miss path).
+    pub page_walk_level: u64,
+    /// A `tlbi` invalidation.
+    pub tlb_flush: u64,
+    /// A GIC CPU-interface operation completed in hardware without a trap
+    /// (e.g. virtual EOI; Table 1/6 report 71 cycles for Virtual EOI on
+    /// ARM, which is exactly this primitive plus a few instructions).
+    pub direct_irq_op: u64,
+}
+
+impl Default for ArmCosts {
+    fn default() -> Self {
+        Self {
+            trap_el1_to_el2: 72,
+            trap_return: 65,
+            el1_exception_entry: 48,
+            eret_native: 40,
+            sysreg_read: 6,
+            sysreg_write: 9,
+            instr: 1,
+            mem_load: 4,
+            mem_store: 4,
+            barrier: 18,
+            page_walk_level: 20,
+            tlb_flush: 45,
+            direct_irq_op: 60,
+        }
+    }
+}
+
+/// Cycle costs of x86 (Intel VT-x) hardware primitives.
+///
+/// The structural difference from ARM that the paper leans on (Section 2)
+/// is that a VM exit/entry on x86 saves and restores guest state to the
+/// in-memory VMCS *in hardware* as part of one expensive transition, where
+/// ARM leaves state transfer to software as many cheap instructions.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct X86Costs {
+    /// The non-root -> root transition, *excluding* the VMCS hardware
+    /// save (charged separately so ablations can vary it).
+    /// CALIBRATED so that a single-level hypercall lands near the paper's
+    /// 1,188 cycles for an x86 VM (Table 1).
+    pub vmexit_transition: u64,
+    /// The root -> non-root transition, excluding the VMCS hardware load.
+    pub vmentry_transition: u64,
+    /// Hardware save of guest state into the VMCS on exit.
+    pub vmcs_hw_save: u64,
+    /// Hardware load of guest state from the VMCS on entry.
+    pub vmcs_hw_load: u64,
+    /// A `vmread` executed in root mode (or in non-root mode with VMCS
+    /// shadowing): microcoded VMCS field access.
+    pub vmread: u64,
+    /// A `vmwrite` executed in root mode (or shadowed).
+    pub vmwrite: u64,
+    /// Generic instruction.
+    pub instr: u64,
+    /// Data load / store.
+    pub mem_load: u64,
+    /// Data store.
+    pub mem_store: u64,
+    /// APICv virtual EOI completed without an exit. Table 1 reports 316
+    /// cycles for x86 Virtual EOI.
+    pub direct_irq_op: u64,
+}
+
+impl Default for X86Costs {
+    fn default() -> Self {
+        Self {
+            vmexit_transition: 280,
+            vmentry_transition: 240,
+            vmcs_hw_save: 180,
+            vmcs_hw_load: 160,
+            vmread: 28,
+            vmwrite: 32,
+            instr: 1,
+            mem_load: 4,
+            mem_store: 4,
+            direct_irq_op: 300,
+        }
+    }
+}
+
+/// Cycle costs of modelled *software* paths inside the hypervisors.
+///
+/// The host hypervisor in this reproduction is native Rust; its C-code
+/// equivalents (exit dispatch, emulation logic, scheduler glue) are charged
+/// as lump sums. These are all CALIBRATED against the single-level VM rows
+/// of Table 1, then held fixed while the nested configurations are measured
+/// - mirroring how the paper holds hardware fixed across configurations.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SoftwareCosts {
+    /// KVM/ARM exit path boilerplate: vector entry, GPR save, exit-reason
+    /// decode (`handle_exit`), before any specific handler runs.
+    pub kvm_arm_exit_common: u64,
+    /// KVM/ARM re-entry path boilerplate: final checks, GPR restore.
+    pub kvm_arm_enter_common: u64,
+    /// Specific-handler dispatch and vcpu bookkeeping for a trivial trap
+    /// (e.g. recording a hypercall result).
+    pub kvm_arm_handler_simple: u64,
+    /// Emulating one trapped system-register access (decode ESR, look up
+    /// the register, update the shadow vcpu context).
+    pub kvm_arm_sysreg_emul: u64,
+    /// Constructing/forwarding an exception into virtual EL2 (nested exit
+    /// reflection, Section 4).
+    pub kvm_arm_vel2_inject: u64,
+    /// Switching Stage-2 translation to/from the shadow page tables for a
+    /// nested VM entry/exit.
+    pub kvm_arm_shadow_s2_switch: u64,
+    /// Emulating a trapped `eret` from the guest hypervisor: loading the
+    /// nested VM's virtual EL1 state into hardware (Section 4).
+    pub kvm_arm_eret_emul: u64,
+    /// Emulating one MMIO device access (the Device I/O microbenchmark's
+    /// device model).
+    pub kvm_arm_mmio_emul: u64,
+    /// Virtual interrupt injection: programming one GIC list register and
+    /// the associated bookkeeping.
+    pub kvm_arm_virq_inject: u64,
+    /// KVM x86 exit boilerplate.
+    pub kvm_x86_exit_common: u64,
+    /// KVM x86 entry boilerplate.
+    pub kvm_x86_enter_common: u64,
+    /// KVM x86 simple handler.
+    pub kvm_x86_handler_simple: u64,
+    /// KVM x86: merging vmcs12 into vmcs02 for a nested VM entry
+    /// (Turtles-style), excluding the individual vmread/vmwrites which are
+    /// charged per access.
+    pub kvm_x86_vmcs_merge: u64,
+    /// KVM x86: reflecting an exit from L2 into L1 (copying exit fields
+    /// from vmcs02 to vmcs12).
+    pub kvm_x86_exit_reflect: u64,
+    /// KVM x86: emulating one MMIO access.
+    pub kvm_x86_mmio_emul: u64,
+    /// KVM x86: emulating one privileged VMX/MSR operation from the L1
+    /// guest hypervisor (`invept`, MSR dance) — the per-switch exits
+    /// that remain even with VMCS shadowing.
+    pub kvm_x86_vmx_op_emul: u64,
+    /// KVM x86: injecting a virtual interrupt.
+    pub kvm_x86_virq_inject: u64,
+}
+
+impl Default for SoftwareCosts {
+    fn default() -> Self {
+        Self {
+            kvm_arm_exit_common: 950,
+            kvm_arm_enter_common: 850,
+            kvm_arm_handler_simple: 260,
+            kvm_arm_sysreg_emul: 900,
+            kvm_arm_vel2_inject: 2400,
+            kvm_arm_shadow_s2_switch: 1300,
+            kvm_arm_eret_emul: 2600,
+            kvm_arm_mmio_emul: 900,
+            kvm_arm_virq_inject: 600,
+            kvm_x86_exit_common: 180,
+            kvm_x86_enter_common: 150,
+            kvm_x86_handler_simple: 100,
+            kvm_x86_vmcs_merge: 7500,
+            kvm_x86_exit_reflect: 6500,
+            kvm_x86_mmio_emul: 650,
+            kvm_x86_vmx_op_emul: 900,
+            kvm_x86_virq_inject: 380,
+        }
+    }
+}
+
+/// The complete cost model used by a simulated machine.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct CostModel {
+    /// ARM hardware primitive costs.
+    pub arm: ArmCosts,
+    /// x86 hardware primitive costs.
+    pub x86: X86Costs,
+    /// Hypervisor software path costs.
+    pub sw: SoftwareCosts,
+}
+
+impl CostModel {
+    /// Returns the ARM-side cost of `event`.
+    ///
+    /// [`Event::SoftwareWork`] has no intrinsic cost; callers charge
+    /// explicit cycles for it and this function returns 0.
+    pub fn arm_cost(&self, event: Event) -> u64 {
+        match event {
+            Event::Instr => self.arm.instr,
+            Event::SysRegRead => self.arm.sysreg_read,
+            Event::SysRegWrite => self.arm.sysreg_write,
+            Event::MemLoad => self.arm.mem_load,
+            Event::MemStore => self.arm.mem_store,
+            Event::TrapEnter => self.arm.trap_el1_to_el2,
+            Event::TrapReturn => self.arm.trap_return,
+            Event::El1ExceptionEntry => self.arm.el1_exception_entry,
+            Event::EretNative => self.arm.eret_native,
+            Event::Barrier => self.arm.barrier,
+            Event::PageWalkLevel => self.arm.page_walk_level,
+            Event::TlbFlush => self.arm.tlb_flush,
+            Event::DirectIrqOp => self.arm.direct_irq_op,
+            Event::SoftwareWork => 0,
+            // The x86-only events cost nothing on an ARM machine; they are
+            // never emitted there, but a total function keeps call sites
+            // simple.
+            Event::VmcsHwSave | Event::VmcsHwLoad | Event::VmRead | Event::VmWrite => 0,
+        }
+    }
+
+    /// Returns the x86-side cost of `event`.
+    pub fn x86_cost(&self, event: Event) -> u64 {
+        match event {
+            Event::Instr => self.x86.instr,
+            Event::MemLoad => self.x86.mem_load,
+            Event::MemStore => self.x86.mem_store,
+            Event::TrapEnter => self.x86.vmexit_transition,
+            Event::TrapReturn => self.x86.vmentry_transition,
+            Event::VmcsHwSave => self.x86.vmcs_hw_save,
+            Event::VmcsHwLoad => self.x86.vmcs_hw_load,
+            Event::VmRead => self.x86.vmread,
+            Event::VmWrite => self.x86.vmwrite,
+            Event::DirectIrqOp => self.x86.direct_irq_op,
+            Event::SoftwareWork => 0,
+            // ARM-only events never occur on the x86 model.
+            Event::SysRegRead
+            | Event::SysRegWrite
+            | Event::El1ExceptionEntry
+            | Event::EretNative
+            | Event::Barrier
+            | Event::PageWalkLevel
+            | Event::TlbFlush => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_trap_cost_is_in_papers_measured_band() {
+        let c = ArmCosts::default();
+        assert!((68..=76).contains(&c.trap_el1_to_el2));
+        assert_eq!(c.trap_return, 65);
+    }
+
+    #[test]
+    fn arm_round_trip_trap_cost_matches_section_5() {
+        // Section 5: trapping EL1 -> EL2 and returning costs roughly
+        // 72 + 65 cycles before any handler work.
+        let m = CostModel::default();
+        let rt = m.arm_cost(Event::TrapEnter) + m.arm_cost(Event::TrapReturn);
+        assert!((130..=145).contains(&rt), "round trip {rt}");
+    }
+
+    #[test]
+    fn software_work_has_no_intrinsic_cost() {
+        let m = CostModel::default();
+        assert_eq!(m.arm_cost(Event::SoftwareWork), 0);
+        assert_eq!(m.x86_cost(Event::SoftwareWork), 0);
+    }
+
+    #[test]
+    fn x86_exit_is_much_more_expensive_than_arm_trap() {
+        // The structural premise of the paper's Section 2 comparison.
+        let m = CostModel::default();
+        let x86_exit = m.x86_cost(Event::TrapEnter) + m.x86_cost(Event::VmcsHwSave);
+        assert!(x86_exit > 4 * m.arm_cost(Event::TrapEnter));
+    }
+
+    #[test]
+    fn cost_model_clone_preserves_equality() {
+        let m = CostModel::default();
+        let m2 = m.clone();
+        assert_eq!(m, m2);
+    }
+}

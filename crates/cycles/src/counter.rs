@@ -1,0 +1,262 @@
+//! The cycle counter shared by all components of a simulated machine.
+
+use crate::{Event, TrapKind};
+use std::collections::BTreeMap;
+
+/// Accumulates cycles and event statistics for one simulated machine.
+///
+/// Components hold an `Rc<RefCell<CycleCounter>>` (the simulator is
+/// single-threaded per machine); benchmarks snapshot the counter around a
+/// measured region and report the [`Delta`].
+#[derive(Debug, Default, Clone)]
+pub struct CycleCounter {
+    cycles: u64,
+    events: BTreeMap<Event, u64>,
+    traps: BTreeMap<TrapKind, u64>,
+    /// Cycles attributed to hypervisor software paths (subset of `cycles`).
+    software_cycles: u64,
+}
+
+/// A point-in-time copy of the counters, used to compute per-region deltas.
+#[derive(Debug, Clone, Default)]
+pub struct CounterSnapshot {
+    cycles: u64,
+    traps_total: u64,
+    traps: BTreeMap<TrapKind, u64>,
+    events: BTreeMap<Event, u64>,
+}
+
+/// The difference between two snapshots: what one measured region cost.
+#[derive(Debug, Clone, Default)]
+pub struct Delta {
+    /// Cycles elapsed in the region.
+    pub cycles: u64,
+    /// Traps (hypervisor entries) in the region.
+    pub traps: u64,
+    /// Trap breakdown by reason.
+    pub traps_by_kind: BTreeMap<TrapKind, u64>,
+    /// Event breakdown.
+    pub events: BTreeMap<Event, u64>,
+}
+
+impl CycleCounter {
+    /// Creates a counter at cycle zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total cycles accumulated so far. Also serves as the machine's
+    /// monotonic clock (the timer crate derives counter values from it).
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Cycles charged through [`CycleCounter::charge_software`].
+    pub fn software_cycles(&self) -> u64 {
+        self.software_cycles
+    }
+
+    /// Charges `cycles` for `event` (the caller computed the cost from the
+    /// [`crate::CostModel`]; the counter stays model-agnostic).
+    pub fn charge(&mut self, event: Event, cycles: u64) {
+        self.cycles += cycles;
+        *self.events.entry(event).or_insert(0) += 1;
+    }
+
+    /// Charges `n` occurrences of `event` at `cycles_each`.
+    pub fn charge_n(&mut self, event: Event, cycles_each: u64, n: u64) {
+        self.cycles += cycles_each * n;
+        *self.events.entry(event).or_insert(0) += n;
+    }
+
+    /// Charges lump-sum software work (a modelled C-code path).
+    pub fn charge_software(&mut self, cycles: u64) {
+        self.cycles += cycles;
+        self.software_cycles += cycles;
+        *self.events.entry(Event::SoftwareWork).or_insert(0) += 1;
+    }
+
+    /// Records a trap of `kind`. Cost is charged separately via
+    /// [`CycleCounter::charge`] with [`Event::TrapEnter`].
+    pub fn record_trap(&mut self, kind: TrapKind) {
+        *self.traps.entry(kind).or_insert(0) += 1;
+    }
+
+    /// Advances the clock without attributing cost to an event (used for
+    /// idle time / modelled waiting).
+    pub fn advance(&mut self, cycles: u64) {
+        self.cycles += cycles;
+    }
+
+    /// Total number of traps recorded.
+    pub fn traps_total(&self) -> u64 {
+        self.traps.values().sum()
+    }
+
+    /// Number of traps of a given kind.
+    pub fn traps_of(&self, kind: TrapKind) -> u64 {
+        self.traps.get(&kind).copied().unwrap_or(0)
+    }
+
+    /// Number of occurrences of an event.
+    pub fn events_of(&self, event: Event) -> u64 {
+        self.events.get(&event).copied().unwrap_or(0)
+    }
+
+    /// Takes a snapshot for later delta computation.
+    pub fn snapshot(&self) -> CounterSnapshot {
+        CounterSnapshot {
+            cycles: self.cycles,
+            traps_total: self.traps_total(),
+            traps: self.traps.clone(),
+            events: self.events.clone(),
+        }
+    }
+
+    /// Computes what happened since `snap`.
+    pub fn delta_since(&self, snap: &CounterSnapshot) -> Delta {
+        let mut traps_by_kind = BTreeMap::new();
+        for (k, v) in &self.traps {
+            let before = snap.traps.get(k).copied().unwrap_or(0);
+            if *v > before {
+                traps_by_kind.insert(*k, *v - before);
+            }
+        }
+        let mut events = BTreeMap::new();
+        for (k, v) in &self.events {
+            let before = snap.events.get(k).copied().unwrap_or(0);
+            if *v > before {
+                events.insert(*k, *v - before);
+            }
+        }
+        Delta {
+            cycles: self.cycles - snap.cycles,
+            traps: self.traps_total() - snap.traps_total,
+            traps_by_kind,
+            events,
+        }
+    }
+
+    /// Resets all counters to zero.
+    pub fn reset(&mut self) {
+        *self = Self::default();
+    }
+}
+
+impl Delta {
+    /// Divides the delta by `n` iterations, rounding to nearest, producing
+    /// per-operation averages (how the paper reports Tables 1, 6 and 7).
+    pub fn per_op(&self, n: u64) -> PerOp {
+        assert!(n > 0, "per_op requires at least one iteration");
+        PerOp {
+            cycles: (self.cycles + n / 2) / n,
+            traps: self.traps as f64 / n as f64,
+        }
+    }
+}
+
+/// Per-operation averages over a measured region.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PerOp {
+    /// Average cycles per operation.
+    pub cycles: u64,
+    /// Average traps per operation (Table 7 reports these as integers but
+    /// they are averages).
+    pub traps: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charge_accumulates_cycles_and_counts() {
+        let mut c = CycleCounter::new();
+        c.charge(Event::Instr, 1);
+        c.charge(Event::Instr, 1);
+        c.charge(Event::MemLoad, 4);
+        assert_eq!(c.cycles(), 6);
+        assert_eq!(c.events_of(Event::Instr), 2);
+        assert_eq!(c.events_of(Event::MemLoad), 1);
+    }
+
+    #[test]
+    fn charge_n_matches_repeated_charge() {
+        let mut a = CycleCounter::new();
+        let mut b = CycleCounter::new();
+        for _ in 0..7 {
+            a.charge(Event::SysRegWrite, 9);
+        }
+        b.charge_n(Event::SysRegWrite, 9, 7);
+        assert_eq!(a.cycles(), b.cycles());
+        assert_eq!(
+            a.events_of(Event::SysRegWrite),
+            b.events_of(Event::SysRegWrite)
+        );
+    }
+
+    #[test]
+    fn trap_recording_by_kind() {
+        let mut c = CycleCounter::new();
+        c.record_trap(TrapKind::Hvc);
+        c.record_trap(TrapKind::SysReg);
+        c.record_trap(TrapKind::SysReg);
+        assert_eq!(c.traps_total(), 3);
+        assert_eq!(c.traps_of(TrapKind::SysReg), 2);
+        assert_eq!(c.traps_of(TrapKind::Eret), 0);
+    }
+
+    #[test]
+    fn delta_isolates_region() {
+        let mut c = CycleCounter::new();
+        c.charge(Event::Instr, 1);
+        c.record_trap(TrapKind::Hvc);
+        let snap = c.snapshot();
+        c.charge(Event::TrapEnter, 72);
+        c.record_trap(TrapKind::SysReg);
+        c.record_trap(TrapKind::SysReg);
+        let d = c.delta_since(&snap);
+        assert_eq!(d.cycles, 72);
+        assert_eq!(d.traps, 2);
+        assert_eq!(d.traps_by_kind.get(&TrapKind::SysReg), Some(&2));
+        assert_eq!(d.traps_by_kind.get(&TrapKind::Hvc), None);
+    }
+
+    #[test]
+    fn per_op_rounds_to_nearest() {
+        let d = Delta {
+            cycles: 10,
+            traps: 3,
+            traps_by_kind: BTreeMap::new(),
+            events: BTreeMap::new(),
+        };
+        let p = d.per_op(4);
+        assert_eq!(p.cycles, 3); // 2.5 rounds to 3 (banker's not needed)
+        assert!((p.traps - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one iteration")]
+    fn per_op_zero_iterations_panics() {
+        Delta::default().per_op(0);
+    }
+
+    #[test]
+    fn software_cycles_tracked_separately() {
+        let mut c = CycleCounter::new();
+        c.charge(Event::Instr, 1);
+        c.charge_software(500);
+        assert_eq!(c.cycles(), 501);
+        assert_eq!(c.software_cycles(), 500);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut c = CycleCounter::new();
+        c.charge(Event::Instr, 1);
+        c.record_trap(TrapKind::Hvc);
+        c.reset();
+        assert_eq!(c.cycles(), 0);
+        assert_eq!(c.traps_total(), 0);
+    }
+}

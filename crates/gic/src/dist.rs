@@ -1,0 +1,246 @@
+//! The GIC distributor: interrupt state and routing.
+
+/// An interrupt identifier.
+///
+/// 0-15 are SGIs (inter-processor interrupts), 16-31 PPIs (per-CPU
+/// peripherals such as the generic timers), 32+ SPIs (shared
+/// peripherals such as network devices).
+pub type IntId = u32;
+
+/// Highest modelled INTID (exclusive).
+pub const INTID_LIMIT: IntId = 256;
+
+/// First SPI.
+pub const SPI_BASE: IntId = 32;
+
+/// Per-interrupt, per-CPU state in the distributor.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct IrqState {
+    pending: bool,
+    active: bool,
+    enabled: bool,
+}
+
+/// The distributor: SGI/PPI state per CPU, SPI state shared with a
+/// target CPU.
+#[derive(Debug)]
+pub struct Distributor {
+    ncpus: usize,
+    /// Banked SGI/PPI state: `[cpu][intid]` for intid < 32.
+    banked: Vec<[IrqState; SPI_BASE as usize]>,
+    /// Shared SPI state.
+    spis: Vec<IrqState>,
+    /// SPI target CPU.
+    spi_target: Vec<usize>,
+    /// Group enable (GICD_CTLR).
+    pub enabled: bool,
+}
+
+impl Distributor {
+    /// Creates a distributor for `ncpus` CPUs.
+    pub fn new(ncpus: usize) -> Self {
+        assert!(ncpus >= 1);
+        Self {
+            ncpus,
+            banked: vec![[IrqState::default(); SPI_BASE as usize]; ncpus],
+            spis: vec![IrqState::default(); (INTID_LIMIT - SPI_BASE) as usize],
+            spi_target: vec![0; (INTID_LIMIT - SPI_BASE) as usize],
+            enabled: true,
+        }
+    }
+
+    /// CPUs attached.
+    pub fn ncpus(&self) -> usize {
+        self.ncpus
+    }
+
+    fn state(&mut self, cpu: usize, intid: IntId) -> &mut IrqState {
+        assert!(intid < INTID_LIMIT, "intid {intid} out of range");
+        if intid < SPI_BASE {
+            &mut self.banked[cpu][intid as usize]
+        } else {
+            &mut self.spis[(intid - SPI_BASE) as usize]
+        }
+    }
+
+    fn state_ref(&self, cpu: usize, intid: IntId) -> &IrqState {
+        assert!(intid < INTID_LIMIT, "intid {intid} out of range");
+        if intid < SPI_BASE {
+            &self.banked[cpu][intid as usize]
+        } else {
+            &self.spis[(intid - SPI_BASE) as usize]
+        }
+    }
+
+    /// Enables an interrupt for `cpu` (banked) or globally (SPI).
+    pub fn enable(&mut self, cpu: usize, intid: IntId) {
+        self.state(cpu, intid).enabled = true;
+    }
+
+    /// Disables an interrupt.
+    pub fn disable(&mut self, cpu: usize, intid: IntId) {
+        self.state(cpu, intid).enabled = false;
+    }
+
+    /// Routes an SPI to a CPU (GICD_ITARGETSR / IROUTER).
+    pub fn set_spi_target(&mut self, intid: IntId, cpu: usize) {
+        assert!(intid >= SPI_BASE && intid < INTID_LIMIT);
+        assert!(cpu < self.ncpus);
+        self.spi_target[(intid - SPI_BASE) as usize] = cpu;
+    }
+
+    /// Marks an SPI pending (a device raised its line).
+    pub fn raise_spi(&mut self, intid: IntId) {
+        assert!(intid >= SPI_BASE);
+        self.state(0, intid).pending = true;
+    }
+
+    /// Marks a banked interrupt (SGI/PPI) pending on `cpu`.
+    pub fn raise_banked(&mut self, cpu: usize, intid: IntId) {
+        assert!(intid < SPI_BASE);
+        self.state(cpu, intid).pending = true;
+    }
+
+    /// Sends an SGI from `_from` to every CPU in `targets` (a bitmask).
+    pub fn send_sgi(&mut self, _from: usize, targets: u16, intid: IntId) {
+        assert!(intid < 16, "SGIs are INTIDs 0-15");
+        for cpu in 0..self.ncpus {
+            if targets & (1 << cpu) != 0 {
+                self.banked[cpu][intid as usize].pending = true;
+            }
+        }
+    }
+
+    /// The highest-priority pending, enabled, not-active interrupt for
+    /// `cpu` (priorities are not modelled; lowest INTID wins, which is
+    /// deterministic and sufficient for the workloads).
+    pub fn pending_for(&self, cpu: usize) -> Option<IntId> {
+        if !self.enabled {
+            return None;
+        }
+        for intid in 0..SPI_BASE {
+            let s = self.state_ref(cpu, intid);
+            if s.pending && s.enabled && !s.active {
+                return Some(intid);
+            }
+        }
+        for intid in SPI_BASE..INTID_LIMIT {
+            if self.spi_target[(intid - SPI_BASE) as usize] != cpu {
+                continue;
+            }
+            let s = self.state_ref(cpu, intid);
+            if s.pending && s.enabled && !s.active {
+                return Some(intid);
+            }
+        }
+        None
+    }
+
+    /// Acknowledges the pending interrupt for `cpu` (physical
+    /// `ICC_IAR1_EL1` read): pending -> active.
+    pub fn ack(&mut self, cpu: usize) -> Option<IntId> {
+        let intid = self.pending_for(cpu)?;
+        let s = self.state(cpu, intid);
+        s.pending = false;
+        s.active = true;
+        Some(intid)
+    }
+
+    /// Completes an interrupt (physical `ICC_EOIR1_EL1` write).
+    pub fn eoi(&mut self, cpu: usize, intid: IntId) {
+        self.state(cpu, intid).active = false;
+    }
+
+    /// True if `intid` is pending for `cpu`.
+    pub fn is_pending(&self, cpu: usize, intid: IntId) -> bool {
+        self.state_ref(cpu, intid).pending
+    }
+
+    /// True if `intid` is active on `cpu`.
+    pub fn is_active(&self, cpu: usize, intid: IntId) -> bool {
+        self.state_ref(cpu, intid).active
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sgi_targets_selected_cpus() {
+        let mut d = Distributor::new(4);
+        for c in 0..4 {
+            d.enable(c, 7);
+        }
+        d.send_sgi(0, 0b0110, 7);
+        assert!(!d.is_pending(0, 7));
+        assert!(d.is_pending(1, 7));
+        assert!(d.is_pending(2, 7));
+        assert!(!d.is_pending(3, 7));
+    }
+
+    #[test]
+    fn ack_moves_pending_to_active() {
+        let mut d = Distributor::new(1);
+        d.enable(0, 3);
+        d.raise_banked(0, 3);
+        assert_eq!(d.ack(0), Some(3));
+        assert!(!d.is_pending(0, 3));
+        assert!(d.is_active(0, 3));
+        // Active interrupts are not re-delivered.
+        assert_eq!(d.ack(0), None);
+        d.eoi(0, 3);
+        assert!(!d.is_active(0, 3));
+    }
+
+    #[test]
+    fn disabled_interrupts_are_not_delivered() {
+        let mut d = Distributor::new(1);
+        d.raise_banked(0, 3);
+        assert_eq!(d.pending_for(0), None);
+        d.enable(0, 3);
+        assert_eq!(d.pending_for(0), Some(3));
+    }
+
+    #[test]
+    fn spis_follow_their_target() {
+        let mut d = Distributor::new(2);
+        d.enable(0, 40);
+        d.enable(1, 40);
+        d.set_spi_target(40, 1);
+        d.raise_spi(40);
+        assert_eq!(d.pending_for(0), None);
+        assert_eq!(d.pending_for(1), Some(40));
+    }
+
+    #[test]
+    fn lowest_intid_wins() {
+        let mut d = Distributor::new(1);
+        for i in [9, 2, 5] {
+            d.enable(0, i);
+            d.raise_banked(0, i);
+        }
+        assert_eq!(d.ack(0), Some(2));
+        assert_eq!(d.ack(0), Some(5));
+        assert_eq!(d.ack(0), Some(9));
+    }
+
+    #[test]
+    fn banked_interrupts_are_per_cpu() {
+        let mut d = Distributor::new(2);
+        d.enable(0, 27);
+        d.enable(1, 27);
+        d.raise_banked(0, 27);
+        assert!(d.is_pending(0, 27));
+        assert!(!d.is_pending(1, 27));
+    }
+
+    #[test]
+    fn global_disable_gates_delivery() {
+        let mut d = Distributor::new(1);
+        d.enable(0, 3);
+        d.raise_banked(0, 3);
+        d.enabled = false;
+        assert_eq!(d.pending_for(0), None);
+    }
+}

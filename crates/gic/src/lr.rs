@@ -1,0 +1,148 @@
+//! List-register encoding (`ICH_LR<n>_EL2`).
+
+use crate::dist::IntId;
+
+/// State field of a list register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LrState {
+    /// Empty/invalid.
+    Invalid,
+    /// Virtual interrupt pending for the VM.
+    Pending,
+    /// Acknowledged by the VM, not yet completed.
+    Active,
+    /// Both pending and active.
+    PendingActive,
+}
+
+impl LrState {
+    fn to_bits(self) -> u64 {
+        match self {
+            LrState::Invalid => 0,
+            LrState::Pending => 1,
+            LrState::Active => 2,
+            LrState::PendingActive => 3,
+        }
+    }
+
+    fn from_bits(b: u64) -> Self {
+        match b & 0b11 {
+            0 => LrState::Invalid,
+            1 => LrState::Pending,
+            2 => LrState::Active,
+            _ => LrState::PendingActive,
+        }
+    }
+}
+
+/// A decoded list register.
+///
+/// Field layout follows `ICH_LR<n>_EL2`: virtual INTID in `[31:0]`,
+/// physical INTID in `[41:32]`, priority in `[55:48]`, HW bit 61 is folded
+/// into [`ListRegister::hw`], state in `[63:62]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ListRegister {
+    /// Virtual interrupt ID presented to the VM.
+    pub vintid: IntId,
+    /// Linked physical interrupt (deactivated in the distributor when the
+    /// VM completes the virtual one), if `hw`.
+    pub pintid: IntId,
+    /// Priority (lower value is more urgent).
+    pub priority: u8,
+    /// Hardware-linked interrupt.
+    pub hw: bool,
+    /// Occupancy state.
+    pub state: LrState,
+}
+
+impl ListRegister {
+    /// An empty list register.
+    pub const EMPTY: ListRegister = ListRegister {
+        vintid: 0,
+        pintid: 0,
+        priority: 0,
+        hw: false,
+        state: LrState::Invalid,
+    };
+
+    /// A software-injected pending virtual interrupt.
+    pub fn pending(vintid: IntId, priority: u8) -> Self {
+        Self {
+            vintid,
+            pintid: 0,
+            priority,
+            hw: false,
+            state: LrState::Pending,
+        }
+    }
+
+    /// Encodes to the architectural 64-bit format.
+    pub fn encode(self) -> u64 {
+        (self.vintid as u64 & 0xffff_ffff)
+            | ((self.pintid as u64 & 0x3ff) << 32)
+            | ((self.priority as u64) << 48)
+            | ((self.hw as u64) << 61)
+            | (self.state.to_bits() << 62)
+    }
+
+    /// Decodes from the architectural 64-bit format.
+    pub fn decode(raw: u64) -> Self {
+        Self {
+            vintid: (raw & 0xffff_ffff) as IntId,
+            pintid: ((raw >> 32) & 0x3ff) as IntId,
+            priority: ((raw >> 48) & 0xff) as u8,
+            hw: raw & (1 << 61) != 0,
+            state: LrState::from_bits(raw >> 62),
+        }
+    }
+
+    /// True when the register holds nothing.
+    pub fn is_empty(self) -> bool {
+        self.state == LrState::Invalid
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let lr = ListRegister {
+            vintid: 27,
+            pintid: 27,
+            priority: 0xa0,
+            hw: true,
+            state: LrState::Pending,
+        };
+        assert_eq!(ListRegister::decode(lr.encode()), lr);
+    }
+
+    #[test]
+    fn empty_encodes_to_zero() {
+        assert_eq!(ListRegister::EMPTY.encode(), 0);
+        assert!(ListRegister::decode(0).is_empty());
+    }
+
+    #[test]
+    fn state_bits_are_top_bits() {
+        let lr = ListRegister::pending(1, 0);
+        assert_eq!(lr.encode() >> 62, 1);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_round_trip(vintid in 0u32..1020, pintid in 0u32..1020,
+                           priority: u8, hw: bool, state in 0u64..4) {
+            let lr = ListRegister {
+                vintid,
+                pintid: pintid & 0x3ff,
+                priority,
+                hw,
+                state: LrState::from_bits(state),
+            };
+            prop_assert_eq!(ListRegister::decode(lr.encode()), lr);
+        }
+    }
+}

@@ -1,0 +1,105 @@
+//! GICv2-style memory-mapped hypervisor control interface.
+//!
+//! With GICv2 the hypervisor control interface (`GICH_*`) is a
+//! memory-mapped window rather than system registers, so a *guest*
+//! hypervisor's accesses "trivially trap to EL2 when not mapped in the
+//! Stage-2 page tables" (paper Section 4). The simulator exposes the same
+//! state as the GICv3 `ICH_*` system registers through a register block
+//! at [`GICH_SIZE`]-byte granularity; the offsets follow the GICv2 layout
+//! widened to 8-byte slots (the paper notes the v2/v3 programming
+//! interfaces are almost identical, Section 7).
+
+use crate::vgic::Gic;
+use neve_sysreg::regs::{SysReg, NUM_LIST_REGS};
+
+/// Byte size of the GICH register frame.
+pub const GICH_SIZE: u64 = 0x200;
+
+/// Offset of `GICH_HCR`.
+pub const GICH_HCR: u64 = 0x00;
+/// Offset of `GICH_VTR`.
+pub const GICH_VTR: u64 = 0x08;
+/// Offset of `GICH_VMCR`.
+pub const GICH_VMCR: u64 = 0x10;
+/// Offset of `GICH_MISR`.
+pub const GICH_MISR: u64 = 0x18;
+/// Offset of `GICH_EISR`.
+pub const GICH_EISR: u64 = 0x20;
+/// Offset of `GICH_ELRSR`.
+pub const GICH_ELRSR: u64 = 0x28;
+/// Offset of `GICH_APR0`.
+pub const GICH_APR0: u64 = 0x30;
+/// Offset of `GICH_APR1`.
+pub const GICH_APR1: u64 = 0x38;
+/// Offset of the first list register; subsequent LRs at 8-byte stride.
+pub const GICH_LR_BASE: u64 = 0x100;
+
+/// Maps a GICH frame offset to the equivalent `ICH_*` system register.
+pub fn reg_at(offset: u64) -> Option<SysReg> {
+    match offset {
+        GICH_HCR => Some(SysReg::IchHcrEl2),
+        GICH_VTR => Some(SysReg::IchVtrEl2),
+        GICH_VMCR => Some(SysReg::IchVmcrEl2),
+        GICH_MISR => Some(SysReg::IchMisrEl2),
+        GICH_EISR => Some(SysReg::IchEisrEl2),
+        GICH_ELRSR => Some(SysReg::IchElrsrEl2),
+        GICH_APR0 => Some(SysReg::IchAp0rEl2(0)),
+        GICH_APR1 => Some(SysReg::IchAp1rEl2(0)),
+        o if (GICH_LR_BASE..GICH_LR_BASE + 8 * NUM_LIST_REGS as u64).contains(&o) && o % 8 == 0 => {
+            Some(SysReg::IchLrEl2(((o - GICH_LR_BASE) / 8) as u8))
+        }
+        _ => None,
+    }
+}
+
+impl Gic {
+    /// Reads the GICH frame at `offset` for `cpu` (returns 0 for holes,
+    /// like RAZ/WI hardware).
+    pub fn gich_mmio_read(&self, cpu: usize, offset: u64) -> u64 {
+        match reg_at(offset) {
+            Some(reg) => self.ich_read(cpu, reg),
+            None => 0,
+        }
+    }
+
+    /// Writes the GICH frame at `offset` for `cpu` (holes ignored).
+    pub fn gich_mmio_write(&mut self, cpu: usize, offset: u64, value: u64) {
+        if let Some(reg) = reg_at(offset) {
+            self.ich_write(cpu, reg, value);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lr::ListRegister;
+    use crate::vgic::ICH_HCR_EN;
+
+    #[test]
+    fn offsets_map_to_ich_registers() {
+        assert_eq!(reg_at(GICH_HCR), Some(SysReg::IchHcrEl2));
+        assert_eq!(reg_at(GICH_LR_BASE), Some(SysReg::IchLrEl2(0)));
+        assert_eq!(reg_at(GICH_LR_BASE + 16), Some(SysReg::IchLrEl2(2)));
+        assert_eq!(reg_at(0x48), None);
+        assert_eq!(reg_at(GICH_LR_BASE + 8 * NUM_LIST_REGS as u64), None);
+        assert_eq!(reg_at(GICH_LR_BASE + 4), None, "unaligned");
+    }
+
+    #[test]
+    fn mmio_and_sysreg_paths_share_state() {
+        let mut g = Gic::new(1);
+        g.gich_mmio_write(0, GICH_HCR, ICH_HCR_EN);
+        assert_eq!(g.ich_read(0, SysReg::IchHcrEl2), ICH_HCR_EN);
+        let lr = ListRegister::pending(34, 0).encode();
+        g.ich_write(0, SysReg::IchLrEl2(1), lr);
+        assert_eq!(g.gich_mmio_read(0, GICH_LR_BASE + 8), lr);
+    }
+
+    #[test]
+    fn holes_read_zero_and_ignore_writes() {
+        let mut g = Gic::new(1);
+        g.gich_mmio_write(0, 0x48, 0xdead);
+        assert_eq!(g.gich_mmio_read(0, 0x48), 0);
+    }
+}

@@ -1,0 +1,381 @@
+//! The virtual CPU interface and hypervisor control interface.
+//!
+//! A hypervisor injects virtual interrupts by programming *list
+//! registers* (`ICH_LR<n>_EL2`); the VM then acknowledges and completes
+//! them through its CPU interface **without trapping** — the property the
+//! paper's Virtual EOI microbenchmark isolates (Tables 1/6 report 71
+//! cycles and zero traps at every nesting depth). The hypervisor control
+//! interface (paper Table 5) is the set of `ICH_*` registers the *guest*
+//! hypervisor must access through the host under ARMv8.3, and which NEVE
+//! converts to cached copies.
+
+use crate::dist::{Distributor, IntId};
+use crate::lr::{ListRegister, LrState};
+use neve_sysreg::regs::{SysReg, NUM_LIST_REGS};
+
+/// Why a maintenance interrupt is pending.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MaintenanceReason {
+    /// A virtual interrupt was completed (EOI) and the hypervisor asked
+    /// to be told.
+    Eoi,
+    /// List registers ran dry while more interrupts are queued
+    /// (`ICH_HCR_EL2.UIE`).
+    Underflow,
+}
+
+/// `ICH_HCR_EL2.En` — virtual CPU interface enable.
+pub const ICH_HCR_EN: u64 = 1 << 0;
+/// `ICH_HCR_EL2.UIE` — underflow interrupt enable.
+pub const ICH_HCR_UIE: u64 = 1 << 1;
+/// `ICH_HCR_EL2.LRENPIE` — EOI maintenance interrupt enable (modelled
+/// after the architectural EOI-count mechanism, simplified to a flag).
+pub const ICH_HCR_EOI: u64 = 1 << 2;
+
+/// Per physical CPU virtual-interface state.
+#[derive(Debug, Clone)]
+struct VirtIf {
+    lrs: [ListRegister; NUM_LIST_REGS as usize],
+    /// LRs whose interrupt the VM completed since the hypervisor last
+    /// rewrote them (feeds `ICH_EISR_EL2`).
+    eoied: [bool; NUM_LIST_REGS as usize],
+    hcr: u64,
+    vmcr: u64,
+    ap0r: u64,
+    ap1r: u64,
+}
+
+impl Default for VirtIf {
+    fn default() -> Self {
+        Self {
+            lrs: [ListRegister::EMPTY; NUM_LIST_REGS as usize],
+            eoied: [false; NUM_LIST_REGS as usize],
+            hcr: 0,
+            vmcr: 0,
+            ap0r: 0,
+            ap1r: 0,
+        }
+    }
+}
+
+/// The complete GIC: distributor + one virtual interface per CPU.
+#[derive(Debug)]
+pub struct Gic {
+    /// The distributor (physical interrupt state).
+    pub dist: Distributor,
+    vifs: Vec<VirtIf>,
+}
+
+impl Gic {
+    /// Creates a GIC for `ncpus` CPUs.
+    pub fn new(ncpus: usize) -> Self {
+        Self {
+            dist: Distributor::new(ncpus),
+            vifs: vec![VirtIf::default(); ncpus],
+        }
+    }
+
+    // --- Hypervisor control interface (ICH_*) ---
+
+    /// Reads an `ICH_*` register for `cpu`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reg` is not a GIC hypervisor-interface register.
+    pub fn ich_read(&self, cpu: usize, reg: SysReg) -> u64 {
+        let v = &self.vifs[cpu];
+        match reg {
+            SysReg::IchHcrEl2 => v.hcr,
+            SysReg::IchVmcrEl2 => v.vmcr,
+            SysReg::IchVtrEl2 => (NUM_LIST_REGS as u64) - 1,
+            SysReg::IchLrEl2(n) => v.lrs[n as usize].encode(),
+            SysReg::IchAp0rEl2(_) => v.ap0r,
+            SysReg::IchAp1rEl2(_) => v.ap1r,
+            SysReg::IchEisrEl2 => {
+                let mut m = 0u64;
+                for (i, e) in v.eoied.iter().enumerate() {
+                    if *e {
+                        m |= 1 << i;
+                    }
+                }
+                m
+            }
+            SysReg::IchElrsrEl2 => {
+                let mut m = 0u64;
+                for (i, lr) in v.lrs.iter().enumerate() {
+                    if lr.is_empty() {
+                        m |= 1 << i;
+                    }
+                }
+                m
+            }
+            SysReg::IchMisrEl2 => {
+                let mut m = 0u64;
+                if self.maintenance_pending(cpu) == Some(MaintenanceReason::Eoi) {
+                    m |= 1;
+                }
+                if self.maintenance_pending(cpu) == Some(MaintenanceReason::Underflow) {
+                    m |= 2;
+                }
+                m
+            }
+            other => panic!("{other} is not an ICH register"),
+        }
+    }
+
+    /// Writes an `ICH_*` register for `cpu`. Writes to the read-only
+    /// status registers are ignored, as in hardware.
+    pub fn ich_write(&mut self, cpu: usize, reg: SysReg, value: u64) {
+        let v = &mut self.vifs[cpu];
+        match reg {
+            SysReg::IchHcrEl2 => v.hcr = value,
+            SysReg::IchVmcrEl2 => v.vmcr = value,
+            SysReg::IchLrEl2(n) => {
+                v.lrs[n as usize] = ListRegister::decode(value);
+                v.eoied[n as usize] = false;
+            }
+            SysReg::IchAp0rEl2(_) => v.ap0r = value,
+            SysReg::IchAp1rEl2(_) => v.ap1r = value,
+            SysReg::IchVtrEl2 | SysReg::IchEisrEl2 | SysReg::IchElrsrEl2 | SysReg::IchMisrEl2 => {}
+            other => panic!("{other} is not an ICH register"),
+        }
+    }
+
+    // --- VM-facing virtual CPU interface ---
+
+    /// True when the virtual interface would assert the virtual IRQ line
+    /// for `cpu` (a pending list register with the interface enabled).
+    pub fn virq_line(&self, cpu: usize) -> bool {
+        let v = &self.vifs[cpu];
+        v.hcr & ICH_HCR_EN != 0
+            && v.lrs
+                .iter()
+                .any(|lr| matches!(lr.state, LrState::Pending | LrState::PendingActive))
+    }
+
+    /// VM acknowledge (`ICC_IAR1_EL1` read under virtualization): the
+    /// highest-priority pending list register goes active. Hardware does
+    /// this without hypervisor involvement.
+    pub fn virq_ack(&mut self, cpu: usize) -> Option<IntId> {
+        let v = &mut self.vifs[cpu];
+        if v.hcr & ICH_HCR_EN == 0 {
+            return None;
+        }
+        let mut best: Option<usize> = None;
+        for (i, lr) in v.lrs.iter().enumerate() {
+            if matches!(lr.state, LrState::Pending | LrState::PendingActive) {
+                let better = match best {
+                    None => true,
+                    Some(b) => (lr.priority, lr.vintid) < (v.lrs[b].priority, v.lrs[b].vintid),
+                };
+                if better {
+                    best = Some(i);
+                }
+            }
+        }
+        let i = best?;
+        let lr = &mut v.lrs[i];
+        lr.state = match lr.state {
+            LrState::Pending => LrState::Active,
+            LrState::PendingActive => LrState::Active,
+            s => s,
+        };
+        Some(lr.vintid)
+    }
+
+    /// VM end-of-interrupt (`ICC_EOIR1_EL1` write under virtualization):
+    /// the active list register holding `vintid` is retired; a linked
+    /// hardware interrupt is deactivated in the distributor. Returns true
+    /// if a matching active LR was found.
+    pub fn virq_eoi(&mut self, cpu: usize, vintid: IntId) -> bool {
+        // Find the matching LR without holding a mutable borrow across
+        // the distributor deactivation below.
+        let idx = {
+            let v = &self.vifs[cpu];
+            v.lrs
+                .iter()
+                .position(|lr| lr.state == LrState::Active && lr.vintid == vintid)
+        };
+        let Some(i) = idx else { return false };
+        let (hw, pintid) = {
+            let lr = &mut self.vifs[cpu].lrs[i];
+            lr.state = LrState::Invalid;
+            (lr.hw, lr.pintid)
+        };
+        self.vifs[cpu].eoied[i] = true;
+        if hw {
+            self.dist.eoi(cpu, pintid);
+        }
+        true
+    }
+
+    /// Maintenance interrupt status for `cpu`.
+    pub fn maintenance_pending(&self, cpu: usize) -> Option<MaintenanceReason> {
+        let v = &self.vifs[cpu];
+        if v.hcr & ICH_HCR_EN == 0 {
+            return None;
+        }
+        if v.hcr & ICH_HCR_EOI != 0 && v.eoied.iter().any(|e| *e) {
+            return Some(MaintenanceReason::Eoi);
+        }
+        if v.hcr & ICH_HCR_UIE != 0 {
+            let occupied = v.lrs.iter().filter(|lr| !lr.is_empty()).count();
+            if occupied <= 1 {
+                return Some(MaintenanceReason::Underflow);
+            }
+        }
+        None
+    }
+
+    /// Convenience for hypervisors: injects `vintid` into the first empty
+    /// list register of `cpu`. Returns the LR index used, or `None` when
+    /// all list registers are occupied (the hypervisor must then queue in
+    /// software and enable the underflow maintenance interrupt).
+    pub fn inject_virq(&mut self, cpu: usize, vintid: IntId, priority: u8) -> Option<u8> {
+        let v = &mut self.vifs[cpu];
+        for (i, lr) in v.lrs.iter_mut().enumerate() {
+            if lr.is_empty() {
+                *lr = ListRegister::pending(vintid, priority);
+                v.eoied[i] = false;
+                return Some(i as u8);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gic_on(cpu: usize) -> Gic {
+        let mut g = Gic::new(2);
+        g.ich_write(cpu, SysReg::IchHcrEl2, ICH_HCR_EN);
+        g
+    }
+
+    #[test]
+    fn inject_ack_eoi_cycle() {
+        let mut g = gic_on(0);
+        let lr = g.inject_virq(0, 27, 0x80).unwrap();
+        assert!(g.virq_line(0));
+        assert_eq!(g.virq_ack(0), Some(27));
+        assert!(!g.virq_line(0), "active interrupts do not assert IRQ");
+        assert!(g.virq_eoi(0, 27));
+        assert_eq!(g.ich_read(0, SysReg::IchEisrEl2), 1 << lr);
+        assert_eq!(
+            g.ich_read(0, SysReg::IchElrsrEl2) & (1 << lr),
+            1 << lr,
+            "LR empty after EOI"
+        );
+    }
+
+    #[test]
+    fn disabled_interface_delivers_nothing() {
+        let mut g = Gic::new(1);
+        g.inject_virq(0, 27, 0);
+        assert!(!g.virq_line(0));
+        assert_eq!(g.virq_ack(0), None);
+    }
+
+    #[test]
+    fn priority_orders_acknowledge() {
+        let mut g = gic_on(0);
+        g.inject_virq(0, 40, 0xa0);
+        g.inject_virq(0, 41, 0x20);
+        g.inject_virq(0, 42, 0x60);
+        assert_eq!(g.virq_ack(0), Some(41));
+        assert_eq!(g.virq_ack(0), Some(42));
+        assert_eq!(g.virq_ack(0), Some(40));
+    }
+
+    #[test]
+    fn list_registers_fill_up() {
+        let mut g = gic_on(0);
+        for i in 0..NUM_LIST_REGS {
+            assert!(g.inject_virq(0, 32 + i as u32, 0).is_some());
+        }
+        assert_eq!(g.inject_virq(0, 99, 0), None);
+    }
+
+    #[test]
+    fn hw_linked_eoi_deactivates_physical_interrupt() {
+        let mut g = gic_on(0);
+        g.dist.enable(0, 40);
+        g.dist.set_spi_target(40, 0);
+        g.dist.raise_spi(40);
+        assert_eq!(g.dist.ack(0), Some(40));
+        // Inject as hardware-linked.
+        let lr = ListRegister {
+            vintid: 40,
+            pintid: 40,
+            priority: 0,
+            hw: true,
+            state: LrState::Pending,
+        };
+        g.ich_write(0, SysReg::IchLrEl2(0), lr.encode());
+        assert_eq!(g.virq_ack(0), Some(40));
+        assert!(g.dist.is_active(0, 40));
+        g.virq_eoi(0, 40);
+        assert!(!g.dist.is_active(0, 40), "physical deactivation followed");
+    }
+
+    #[test]
+    fn underflow_maintenance_when_lrs_run_dry() {
+        let mut g = Gic::new(1);
+        g.ich_write(0, SysReg::IchHcrEl2, ICH_HCR_EN | ICH_HCR_UIE);
+        g.inject_virq(0, 32, 0);
+        g.inject_virq(0, 33, 0);
+        assert_eq!(g.maintenance_pending(0), None);
+        g.virq_ack(0);
+        g.virq_eoi(0, 32);
+        assert_eq!(g.maintenance_pending(0), Some(MaintenanceReason::Underflow));
+    }
+
+    #[test]
+    fn eoi_maintenance_when_enabled() {
+        let mut g = Gic::new(1);
+        g.ich_write(0, SysReg::IchHcrEl2, ICH_HCR_EN | ICH_HCR_EOI);
+        g.inject_virq(0, 32, 0);
+        g.virq_ack(0);
+        g.virq_eoi(0, 32);
+        assert_eq!(g.maintenance_pending(0), Some(MaintenanceReason::Eoi));
+        assert_eq!(g.ich_read(0, SysReg::IchMisrEl2) & 1, 1);
+        // Rewriting the LR clears the EOI latch.
+        g.ich_write(0, SysReg::IchLrEl2(0), 0);
+        assert_eq!(g.maintenance_pending(0), None);
+    }
+
+    #[test]
+    fn ich_lr_read_back_round_trips() {
+        let mut g = gic_on(0);
+        let lr = ListRegister::pending(123, 7).encode();
+        g.ich_write(0, SysReg::IchLrEl2(2), lr);
+        assert_eq!(g.ich_read(0, SysReg::IchLrEl2(2)), lr);
+    }
+
+    #[test]
+    fn vtr_reports_list_register_count() {
+        let g = Gic::new(1);
+        assert_eq!(g.ich_read(0, SysReg::IchVtrEl2) + 1, NUM_LIST_REGS as u64);
+    }
+
+    #[test]
+    fn per_cpu_interfaces_are_independent() {
+        let mut g = Gic::new(2);
+        g.ich_write(0, SysReg::IchHcrEl2, ICH_HCR_EN);
+        g.ich_write(1, SysReg::IchHcrEl2, ICH_HCR_EN);
+        g.inject_virq(0, 32, 0);
+        assert!(g.virq_line(0));
+        assert!(!g.virq_line(1));
+    }
+
+    #[test]
+    fn eoi_of_unknown_vintid_is_rejected() {
+        let mut g = gic_on(0);
+        g.inject_virq(0, 32, 0);
+        g.virq_ack(0);
+        assert!(!g.virq_eoi(0, 99));
+        assert!(g.virq_eoi(0, 32));
+    }
+}

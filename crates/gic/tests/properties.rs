@@ -1,0 +1,91 @@
+//! Property-based tests on interrupt-lifecycle invariants.
+
+use neve_gic::lr::{ListRegister, LrState};
+use neve_gic::vgic::{Gic, ICH_HCR_EN};
+use neve_sysreg::regs::{SysReg, NUM_LIST_REGS};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Inject(u32),
+    Ack,
+    Eoi(u32),
+}
+
+fn op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (32u32..64).prop_map(Op::Inject),
+        Just(Op::Ack),
+        (32u32..64).prop_map(Op::Eoi),
+    ]
+}
+
+proptest! {
+    /// Under any inject/ack/eoi interleaving: at most one LR holds a
+    /// given vintid in a non-empty state, acknowledge returns only
+    /// previously injected ids, and the occupied-LR count never exceeds
+    /// the hardware's.
+    #[test]
+    fn prop_lifecycle_invariants(ops in proptest::collection::vec(op(), 1..80)) {
+        let mut g = Gic::new(1);
+        g.ich_write(0, SysReg::IchHcrEl2, ICH_HCR_EN);
+        let mut injected = std::collections::HashSet::new();
+        for o in ops {
+            match o {
+                Op::Inject(id) => {
+                    if !injected.contains(&id) && g.inject_virq(0, id, 0x80).is_some() {
+                        injected.insert(id);
+                    }
+                }
+                Op::Ack => {
+                    if let Some(id) = g.virq_ack(0) {
+                        prop_assert!(injected.contains(&id), "acked unknown {id}");
+                    }
+                }
+                Op::Eoi(id) => {
+                    if g.virq_eoi(0, id) {
+                        injected.remove(&id);
+                    }
+                }
+            }
+            // Invariant: occupied LRs <= hardware count, no duplicate
+            // vintids among occupied LRs.
+            let mut seen = std::collections::HashSet::new();
+            let mut occupied = 0;
+            for n in 0..NUM_LIST_REGS {
+                let lr = ListRegister::decode(g.ich_read(0, SysReg::IchLrEl2(n)));
+                if lr.state != LrState::Invalid {
+                    occupied += 1;
+                    prop_assert!(seen.insert(lr.vintid), "duplicate {}", lr.vintid);
+                }
+            }
+            prop_assert!(occupied <= NUM_LIST_REGS as usize);
+            // ELRSR stays consistent with the LR states.
+            let elrsr = g.ich_read(0, SysReg::IchElrsrEl2);
+            for n in 0..NUM_LIST_REGS {
+                let lr = ListRegister::decode(g.ich_read(0, SysReg::IchLrEl2(n)));
+                let empty_bit = elrsr & (1 << n) != 0;
+                prop_assert_eq!(empty_bit, lr.state == LrState::Invalid);
+            }
+        }
+    }
+
+    /// Acknowledge order respects priority: an acked interrupt never has
+    /// lower urgency (higher priority value) than one still pending.
+    #[test]
+    fn prop_ack_respects_priority(prios in proptest::collection::vec(0u8..=255, 2..4)) {
+        let mut g = Gic::new(1);
+        g.ich_write(0, SysReg::IchHcrEl2, ICH_HCR_EN);
+        for (i, p) in prios.iter().enumerate() {
+            g.inject_virq(0, 32 + i as u32, *p);
+        }
+        let first = g.virq_ack(0).expect("something pending");
+        let first_prio = prios[(first - 32) as usize];
+        for n in 0..NUM_LIST_REGS {
+            let lr = ListRegister::decode(g.ich_read(0, SysReg::IchLrEl2(n)));
+            if lr.state == LrState::Pending {
+                prop_assert!(lr.priority >= first_prio);
+            }
+        }
+    }
+}

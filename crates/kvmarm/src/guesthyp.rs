@@ -1,0 +1,879 @@
+//! The guest hypervisor, as an interpreted program.
+//!
+//! This is a miniature KVM/ARM emitted by a builder from one source
+//! description in the flavours the paper evaluates:
+//!
+//! - **non-VHE** (`vhe = false`): the hypervisor part runs in (virtual)
+//!   EL2 and bounces through its kernel half in virtual EL1 on every
+//!   exit, swapping the full EL1 context both ways — the design whose
+//!   exit multiplication is worst on ARMv8.3 (Section 6.5, first case).
+//! - **VHE** (`vhe = true`): hypervisor and kernel both live in virtual
+//!   EL2; VM state is reached through `*_EL12` accessors and the
+//!   hypervisor's own state through plain EL1 accessors that never trap
+//!   (Section 6.5, second case).
+//!
+//! and in three *build modes* reproducing the paper's methodology:
+//!
+//! - [`ParaMode::None`]: unmodified hypervisor instructions — run this on
+//!   simulated ARMv8.3/v8.4 hardware.
+//! - [`ParaMode::HvcV83`]: every instruction that would trap on ARMv8.3
+//!   is replaced with `hvc #code` (Section 4's paravirtualization), so
+//!   the image runs on simulated ARMv8.0 with identical trap behaviour.
+//! - [`ParaMode::NeveLs`]: VM-register accesses become loads/stores to
+//!   the shared page and redirected control registers become EL1
+//!   accesses (Section 6.4's NEVE paravirtualization for ARMv8.0).
+//!
+//! The world-switch sequences follow the rosters in [`crate::rosters`];
+//! trap counts per microbenchmark are *emergent* from which of these
+//! instructions trap on the configured hardware.
+
+use crate::layout;
+use crate::rosters;
+use neve_armv8::isa::{Asm, Instr, Program};
+use neve_sysreg::classify::{el1_counterpart, neve_class, vncr_offset, NeveClass};
+use neve_sysreg::regcode;
+use neve_sysreg::{RegId, SysReg};
+
+/// How the emitted image encodes hypervisor instructions (paper §3/§6.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParaMode {
+    /// Unmodified: requires ARMv8.3+ hardware (or v8.4 for NEVE runs).
+    None,
+    /// `hvc`-replacement paravirtualization for ARMv8.0 hardware,
+    /// mimicking ARMv8.3 trap behaviour.
+    HvcV83,
+    /// Load/store + EL1-redirect paravirtualization for ARMv8.0
+    /// hardware, mimicking NEVE behaviour.
+    NeveLs,
+}
+
+/// Guest hypervisor build flavour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GuestHypFlavor {
+    /// VHE hypervisor (runs its kernel in virtual EL2).
+    pub vhe: bool,
+    /// Instruction encoding mode.
+    pub para: ParaMode,
+    /// GICv2 system: the hypervisor control interface is the
+    /// memory-mapped GICH frame instead of `ICH_*` system registers —
+    /// the paper's actual hardware (Sections 4 and 7: "the programming
+    /// interfaces for both GIC versions are almost identical"). Each
+    /// access Stage-2-faults to the host instead of sysreg-trapping.
+    pub gicv2: bool,
+}
+
+impl GuestHypFlavor {
+    /// The default (GICv3 system-register) flavour.
+    pub fn new(vhe: bool, para: ParaMode) -> Self {
+        Self {
+            vhe,
+            para,
+            gicv2: false,
+        }
+    }
+}
+
+/// `hvc` immediates: paravirtualized operations use the upper half of
+/// the 16-bit space; real hypercalls use the lower half.
+pub const PARA_HVC_BASE: u16 = 0x8000;
+/// Paravirtualized `eret` (Section 4: "the eret instruction is
+/// paravirtualized to trap to EL2").
+pub const PARA_HVC_ERET: u16 = 0xffff;
+/// Read flag within a paravirt `hvc` immediate.
+pub const PARA_WRITE_BIT: u16 = 0x4000;
+
+/// The `hvc` immediate the guest hypervisor's kernel uses to call back
+/// into its hypervisor half (`kvm_call_hyp` / "run the vCPU").
+pub const HVC_RUN_VCPU: u16 = 0x10;
+
+/// Save-area slot offsets (relative to the per-CPU save area).
+pub mod slots {
+    /// Saved nested-VM GPRs x0..x27 (28 slots).
+    pub const GPRS: u64 = 0x000;
+    /// Saved virtual `ESR_EL2`.
+    pub const ESR: u64 = 0x0e0;
+    /// Saved virtual `ELR_EL2`.
+    pub const ELR: u64 = 0x0e8;
+    /// Saved virtual `SPSR_EL2`.
+    pub const SPSR: u64 = 0x0f0;
+    /// Saved virtual `FAR_EL2`.
+    pub const FAR: u64 = 0x0f8;
+    /// Saved VM EL1 context (16 slots, roster order).
+    pub const VM_EL1: u64 = 0x100;
+    /// Host-kernel EL1 context values (16 slots, roster order;
+    /// initialised by the harness at "boot").
+    pub const HOST_EL1: u64 = 0x180;
+    /// Saved VM timer state (2 slots).
+    pub const TIMER: u64 = 0x200;
+    /// Saved VM GIC state (VMCR + 4 LRs).
+    pub const GIC: u64 = 0x210;
+    /// Exit reason for the kernel half.
+    pub const REASON: u64 = 0x240;
+    /// Pending virtual interrupt to inject into the nested VM
+    /// (0 = none; else INTID).
+    pub const PENDING_VIRQ: u64 = 0x248;
+    /// Host-mode virtual HCR value (initialised by harness).
+    pub const HCR_HOST: u64 = 0x250;
+    /// VM-mode virtual HCR value (initialised by harness).
+    pub const HCR_VM: u64 = 0x258;
+    /// Virtual VTTBR value for the nested VM (initialised by harness).
+    pub const VTTBR_VM: u64 = 0x260;
+    /// Scratch.
+    pub const SCRATCH: u64 = 0x268;
+}
+
+/// Registers the switch code uses as fixed scratch (the interpreted
+/// equivalent of KVM's reserved host registers). Payload programs must
+/// not rely on x26-x28 surviving an exit; ours never touch them.
+pub(crate) const SAVE_BASE: u8 = 28;
+/// Scratch register holding the shared/VNCR page base in `NeveLs` mode.
+const PAGE_BASE: u8 = 27;
+/// Scratch register holding the GICH frame base in GICv2 mode.
+const GICH_REG: u8 = 26;
+
+/// Number of GPRs the switch saves/restores (x0..x25 of the payload
+/// plus the two scratch regs would be pointless — KVM saves all 31; we
+/// save 26 and document the reserved ones).
+pub(crate) const SAVED_GPRS: u8 = 26;
+
+/// Emits flavour-dependent register accesses.
+pub(crate) struct Emit<'a> {
+    pub(crate) a: &'a mut Asm,
+    pub(crate) flavor: GuestHypFlavor,
+}
+
+impl<'a> Emit<'a> {
+    /// The GICH frame offset of an ICH register, if this flavour uses
+    /// the memory-mapped interface for it.
+    pub(crate) fn gich_offset(&self, reg: SysReg) -> Option<i64> {
+        if !self.flavor.gicv2 {
+            return None;
+        }
+        use neve_gic::mmio;
+        Some(match reg {
+            SysReg::IchHcrEl2 => mmio::GICH_HCR as i64,
+            SysReg::IchVtrEl2 => mmio::GICH_VTR as i64,
+            SysReg::IchVmcrEl2 => mmio::GICH_VMCR as i64,
+            SysReg::IchMisrEl2 => mmio::GICH_MISR as i64,
+            SysReg::IchEisrEl2 => mmio::GICH_EISR as i64,
+            SysReg::IchElrsrEl2 => mmio::GICH_ELRSR as i64,
+            SysReg::IchAp0rEl2(_) => mmio::GICH_APR0 as i64,
+            SysReg::IchAp1rEl2(_) => mmio::GICH_APR1 as i64,
+            SysReg::IchLrEl2(n) => (mmio::GICH_LR_BASE + 8 * n as u64) as i64,
+            _ => return None,
+        })
+    }
+
+    /// `mrs rd, <EL2 register>` as the flavour encodes it.
+    pub(crate) fn read_el2(&mut self, rd: u8, reg: SysReg) {
+        if let Some(off) = self.gich_offset(reg) {
+            // A load from the unmapped GICH frame: Stage-2 abort to the
+            // host, which emulates against the virtual interface.
+            self.a.i(Instr::Ldr(rd, GICH_REG, off));
+            return;
+        }
+        let id = RegId::Plain(reg);
+        match self.flavor.para {
+            ParaMode::None => {
+                self.a.i(Instr::Mrs(rd, id));
+            }
+            ParaMode::HvcV83 => emit_para_hvc(self.a, id, false, rd),
+            ParaMode::NeveLs => match neve_class(reg) {
+                NeveClass::VmTrapControl
+                | NeveClass::VmThreadId
+                | NeveClass::HypTrapOnWrite
+                | NeveClass::GicTrapOnWrite => {
+                    // Deferred / cached: a load from the shared page.
+                    let off = vncr_offset(reg).expect("cached register has a slot");
+                    self.a.i(Instr::Ldr(rd, PAGE_BASE, off as i64));
+                }
+                NeveClass::HypRedirect | NeveClass::HypRedirectVhe => {
+                    let el1 = el1_counterpart(reg).expect("redirectable");
+                    self.a.i(Instr::Mrs(rd, RegId::Plain(el1)));
+                }
+                NeveClass::HypRedirectOrTrap => {
+                    if self.flavor.vhe {
+                        let el1 = el1_counterpart(reg).expect("redirectable");
+                        self.a.i(Instr::Mrs(rd, RegId::Plain(el1)));
+                    } else {
+                        let off = vncr_offset(reg).expect("cached");
+                        self.a.i(Instr::Ldr(rd, PAGE_BASE, off as i64));
+                    }
+                }
+                // Timer EL2 registers and anything else: still a trap.
+                _ => emit_para_hvc(self.a, id, false, rd),
+            },
+        }
+    }
+
+    /// `msr <EL2 register>, rs` as the flavour encodes it.
+    pub(crate) fn write_el2(&mut self, reg: SysReg, rs: u8) {
+        if let Some(off) = self.gich_offset(reg) {
+            self.a.i(Instr::Str(rs, GICH_REG, off));
+            return;
+        }
+        let id = RegId::Plain(reg);
+        match self.flavor.para {
+            ParaMode::None => {
+                self.a.i(Instr::Msr(id, rs));
+            }
+            ParaMode::HvcV83 => emit_para_hvc(self.a, id, true, rs),
+            ParaMode::NeveLs => match neve_class(reg) {
+                NeveClass::VmTrapControl | NeveClass::VmThreadId => {
+                    let off = vncr_offset(reg).expect("deferred register has a slot");
+                    self.a.i(Instr::Str(rs, PAGE_BASE, off as i64));
+                }
+                NeveClass::HypRedirect | NeveClass::HypRedirectVhe => {
+                    let el1 = el1_counterpart(reg).expect("redirectable");
+                    self.a.i(Instr::Msr(RegId::Plain(el1), rs));
+                }
+                NeveClass::HypRedirectOrTrap if self.flavor.vhe => {
+                    let el1 = el1_counterpart(reg).expect("redirectable");
+                    self.a.i(Instr::Msr(RegId::Plain(el1), rs));
+                }
+                // Trap-on-write classes (incl. GIC) and timers trap.
+                _ => emit_para_hvc(self.a, id, true, rs),
+            },
+        }
+    }
+
+    /// Access to the *VM's* EL1 context register (the nested VM state):
+    /// plain EL1 names for non-VHE, `*_EL12` for VHE.
+    pub(crate) fn read_vm_el1(&mut self, rd: u8, reg: SysReg) {
+        let id = if self.flavor.vhe {
+            RegId::El12(reg)
+        } else {
+            RegId::Plain(reg)
+        };
+        match self.flavor.para {
+            ParaMode::None => {
+                self.a.i(Instr::Mrs(rd, id));
+            }
+            ParaMode::HvcV83 => emit_para_hvc(self.a, id, false, rd),
+            ParaMode::NeveLs => {
+                let off = vncr_offset(reg).expect("VM register has a slot");
+                self.a.i(Instr::Ldr(rd, PAGE_BASE, off as i64));
+            }
+        }
+    }
+
+    /// Write to the VM's EL1 context register.
+    pub(crate) fn write_vm_el1(&mut self, reg: SysReg, rs: u8) {
+        let id = if self.flavor.vhe {
+            RegId::El12(reg)
+        } else {
+            RegId::Plain(reg)
+        };
+        match self.flavor.para {
+            ParaMode::None => {
+                self.a.i(Instr::Msr(id, rs));
+            }
+            ParaMode::HvcV83 => emit_para_hvc(self.a, id, true, rs),
+            ParaMode::NeveLs => {
+                // Cached-copy registers (e.g. the debug control
+                // register) trap on write even under NEVE (paper
+                // Section 6.1); the paravirtualized image preserves
+                // that.
+                if matches!(neve_class(reg), NeveClass::DebugTrapOnWrite) {
+                    emit_para_hvc(self.a, id, true, rs);
+                } else {
+                    let off = vncr_offset(reg).expect("VM register has a slot");
+                    self.a.i(Instr::Str(rs, PAGE_BASE, off as i64));
+                }
+            }
+        }
+    }
+
+    /// Access to the VM's EL1 *timer* registers. A VHE hypervisor uses
+    /// the `*_EL02` forms, which trap on every configuration (paper
+    /// Section 7.1); a non-VHE hypervisor uses the EL0 names directly.
+    pub(crate) fn read_vm_timer(&mut self, rd: u8, reg: SysReg) {
+        if self.flavor.vhe {
+            let id = RegId::El02(reg);
+            match self.flavor.para {
+                ParaMode::None => {
+                    self.a.i(Instr::Mrs(rd, id));
+                }
+                _ => emit_para_hvc(self.a, id, false, rd),
+            }
+        } else {
+            self.a.i(Instr::Mrs(rd, RegId::Plain(reg)));
+        }
+    }
+
+    /// Write to the VM's EL1 timer registers.
+    pub(crate) fn write_vm_timer(&mut self, reg: SysReg, rs: u8) {
+        if self.flavor.vhe {
+            let id = RegId::El02(reg);
+            match self.flavor.para {
+                ParaMode::None => {
+                    self.a.i(Instr::Msr(id, rs));
+                }
+                _ => emit_para_hvc(self.a, id, true, rs),
+            }
+        } else {
+            self.a.i(Instr::Msr(RegId::Plain(reg), rs));
+        }
+    }
+
+    /// `eret` as the flavour encodes it.
+    pub(crate) fn eret(&mut self) {
+        match self.flavor.para {
+            ParaMode::None => {
+                self.a.i(Instr::Eret);
+            }
+            // Both paravirtualization modes replace eret with a trap
+            // (Sections 4 and 6.4: entering the nested VM is only
+            // possible through the host hypervisor).
+            _ => {
+                self.a.i(Instr::Hvc(PARA_HVC_ERET));
+            }
+        }
+    }
+}
+
+/// Emits the `hvc`-replacement of one register access: the operand
+/// encodes the register and direction; the value travels in x0
+/// (Section 4: "We encode the hypervisor instructions using the 16-bit
+/// operand").
+fn emit_para_hvc(a: &mut Asm, id: RegId, write: bool, rt: u8) {
+    let code = PARA_HVC_BASE | regcode::encode(id) | if write { PARA_WRITE_BIT } else { 0 };
+    if write {
+        if rt != 0 {
+            a.i(Instr::Mov(0, rt));
+        }
+        a.i(Instr::Hvc(code));
+    } else {
+        a.i(Instr::Hvc(code));
+        if rt != 0 {
+            a.i(Instr::Mov(rt, 0));
+        }
+    }
+}
+
+/// All programs the guest hypervisor contributes: the hypervisor image
+/// (vector table at its base) and, for non-VHE flavours, the kernel-half
+/// image.
+#[derive(Debug, Clone)]
+pub struct GuestHypImage {
+    /// The (virtual EL2) hypervisor program; vectors at its base.
+    pub hyp: Program,
+    /// The kernel half (virtual EL1); entry at its base. Present for
+    /// every flavour, but VHE flavours never execute it.
+    pub kernel: Program,
+    /// Flavour it was built for.
+    pub flavor: GuestHypFlavor,
+}
+
+/// Builds the guest hypervisor image for `flavor` and `cpu` (the save
+/// area is per-CPU).
+///
+/// The hypervisor image layout: base = virtual `VBAR_EL2`; offsets
+/// 0x400/0x480 are the lower-EL sync/IRQ vectors, exactly as hardware
+/// dispatches them.
+pub fn build(flavor: GuestHypFlavor, cpu: usize) -> GuestHypImage {
+    let save = layout::gh_save_area(cpu);
+    let hyp = build_hyp(flavor, save, cpu);
+    let kernel = build_kernel(flavor, save, cpu);
+    GuestHypImage {
+        hyp,
+        kernel,
+        flavor,
+    }
+}
+
+/// Loads the save-area base and (for NeveLs) the shared-page base into
+/// the reserved scratch registers.
+pub(crate) fn prologue_bases(a: &mut Asm, flavor: GuestHypFlavor, save: u64, cpu: usize) {
+    a.i(Instr::MovImm(SAVE_BASE, save));
+    if flavor.para == ParaMode::NeveLs {
+        a.i(Instr::MovImm(PAGE_BASE, layout::vncr_page(cpu)));
+    }
+    if flavor.gicv2 {
+        a.i(Instr::MovImm(GICH_REG, layout::GICH_BASE));
+    }
+}
+
+/// Offset of the "run the vCPU" entry point within the hypervisor image
+/// (where the initial world switch into the nested VM begins, and where
+/// the kernel half's `hvc #HVC_RUN_VCPU` is reflected to).
+pub const RUN_ENTRY_OFFSET: u64 = 0x40;
+
+fn build_hyp(flavor: GuestHypFlavor, save: u64, cpu: usize) -> Program {
+    let base = layout::GUEST_HYP_BASE + cpu as u64 * 0x4000;
+    let mut a = Asm::new(base);
+    let guest_exit = a.label();
+    let save_guest_gprs = a.label();
+    let to_guest = a.label();
+    let handle_inline = a.label();
+
+    // ---- run entry (fixed offset; also the host-call target) ----
+    a.org(RUN_ENTRY_OFFSET);
+    {
+        prologue_bases(&mut a, flavor, save, cpu);
+        a.b(to_guest);
+    }
+
+    // ---- offset 0x400: synchronous exception from a lower EL ----
+    a.org(0x400);
+    {
+        prologue_bases(&mut a, flavor, save, cpu);
+        // Stash x0/x1 so the discriminator has scratch space (KVM's
+        // vector does the same dance through TPIDR_EL2).
+        a.i(Instr::Str(0, SAVE_BASE, slots::SCRATCH as i64));
+        a.i(Instr::Str(1, SAVE_BASE, (slots::SCRATCH + 8) as i64));
+        // KVM's vector reads its per-CPU base (`mrs tpidr_el2`) and
+        // distinguishes guest exits from host-kernel calls by the live
+        // VTTBR (guest hypervisors run their host with VTTBR cleared).
+        let mut e = Emit { a: &mut a, flavor };
+        e.read_el2(0, SysReg::TpidrEl2);
+        e.read_el2(0, SysReg::VttbrEl2);
+        a.cbnz(0, save_guest_gprs);
+        // Host call (the kernel half's hvc): re-run the vCPU.
+        a.b(to_guest);
+    }
+
+    // ---- offset 0x480: IRQ from a lower EL (only ever from the
+    // nested VM: the hypervisor halves run with interrupts masked) ----
+    a.org(0x480);
+    {
+        prologue_bases(&mut a, flavor, save, cpu);
+        a.i(Instr::Str(0, SAVE_BASE, slots::SCRATCH as i64));
+        a.i(Instr::Str(1, SAVE_BASE, (slots::SCRATCH + 8) as i64));
+        let mut e = Emit { a: &mut a, flavor };
+        e.read_el2(0, SysReg::TpidrEl2);
+        a.b(save_guest_gprs);
+    }
+
+    // ---- save the interrupted nested VM's GPRs ----
+    a.bind(save_guest_gprs);
+    {
+        for r in 2..SAVED_GPRS {
+            a.i(Instr::Str(
+                r,
+                SAVE_BASE,
+                (slots::GPRS + 8 * r as u64) as i64,
+            ));
+        }
+        // x0/x1 from the scratch stash.
+        a.i(Instr::Ldr(0, SAVE_BASE, slots::SCRATCH as i64));
+        a.i(Instr::Str(0, SAVE_BASE, slots::GPRS as i64));
+        a.i(Instr::Ldr(0, SAVE_BASE, (slots::SCRATCH + 8) as i64));
+        a.i(Instr::Str(0, SAVE_BASE, (slots::GPRS + 8) as i64));
+        a.b(guest_exit);
+    }
+
+    // ---- the world switch away from the nested VM ----
+    a.bind(guest_exit);
+    {
+        let mut e = Emit { a: &mut a, flavor };
+        // Read and stash the exit syndrome (vESR/vELR/vSPSR/vFAR).
+        e.read_el2(1, SysReg::EsrEl2);
+        e.a.i(Instr::Str(1, SAVE_BASE, slots::ESR as i64));
+        e.read_el2(2, SysReg::ElrEl2);
+        e.a.i(Instr::Str(2, SAVE_BASE, slots::ELR as i64));
+        e.read_el2(3, SysReg::SpsrEl2);
+        e.a.i(Instr::Str(3, SAVE_BASE, slots::SPSR as i64));
+        e.read_el2(4, SysReg::FarEl2);
+        e.a.i(Instr::Str(4, SAVE_BASE, slots::FAR as i64));
+        e.read_el2(4, SysReg::HpfarEl2);
+        e.a.i(Instr::Str(4, SAVE_BASE, (slots::FAR + 8) as i64));
+
+        // Save the VM's EL1 context (paper Table 3's execution-control
+        // group; each access traps on ARMv8.3, none trap with NEVE).
+        for (i, reg) in rosters::el1_context().into_iter().enumerate() {
+            e.read_vm_el1(1, reg);
+            e.a.i(Instr::Str(
+                1,
+                SAVE_BASE,
+                (slots::VM_EL1 + 8 * i as u64) as i64,
+            ));
+        }
+
+        // Save the VM's timer and disable it while the hypervisor runs.
+        e.read_vm_timer(1, SysReg::CntvCtlEl0);
+        e.a.i(Instr::Str(1, SAVE_BASE, slots::TIMER as i64));
+        e.a.i(Instr::MovImm(1, 0));
+        e.write_vm_timer(SysReg::CntvCtlEl0, 1);
+        e.read_el2(1, SysReg::CntvoffEl2);
+        e.a.i(Instr::Str(1, SAVE_BASE, (slots::TIMER + 8) as i64));
+        e.a.i(Instr::MovImm(1, 1)); // EL1PCTEN: host-mode counter access
+        e.write_el2(SysReg::CnthctlEl2, 1);
+
+        // Save the VM's debug state (MDSCR: cached read under NEVE).
+        e.read_vm_el1(1, SysReg::MdscrEl1);
+        e.a.i(Instr::Str(1, SAVE_BASE, (slots::TIMER + 16) as i64));
+
+        // Save the VM's GIC interface state and disable it (vgic-v3's
+        // save path reads the status registers to fold in maintenance
+        // state before parking the interface).
+        e.read_el2(1, SysReg::IchVmcrEl2);
+        e.a.i(Instr::Str(1, SAVE_BASE, slots::GIC as i64));
+        for n in 0..neve_sysreg::regs::NUM_LIST_REGS {
+            e.read_el2(1, SysReg::IchLrEl2(n));
+            e.a.i(Instr::Str(
+                1,
+                SAVE_BASE,
+                (slots::GIC + 8 * (1 + n as u64)) as i64,
+            ));
+        }
+        e.read_el2(1, SysReg::IchHcrEl2);
+        e.read_el2(1, SysReg::IchMisrEl2);
+        e.read_el2(1, SysReg::IchEisrEl2);
+        e.read_el2(1, SysReg::IchElrsrEl2);
+        e.a.i(Instr::MovImm(1, 0));
+        e.write_el2(SysReg::IchHcrEl2, 1);
+
+        // Leave VM mode: host-mode trap configuration.
+        e.a.i(Instr::Ldr(1, SAVE_BASE, slots::HCR_HOST as i64));
+        e.write_el2(SysReg::HcrEl2, 1);
+        e.a.i(Instr::MovImm(1, 0));
+        e.write_el2(SysReg::VttbrEl2, 1);
+        e.a.i(Instr::MovImm(1, 0));
+        e.write_el2(SysReg::CptrEl2, 1);
+        e.a.i(Instr::MovImm(1, 0));
+        e.write_el2(SysReg::MdcrEl2, 1);
+    }
+
+    if flavor.vhe {
+        // VHE: handle the exit right here in virtual EL2.
+        a.b(handle_inline);
+    } else {
+        // Non-VHE: restore the host kernel's EL1 context and eret into
+        // the kernel half (every write traps on ARMv8.3, none with
+        // NEVE — the host materialises the context on the eret).
+        let mut e = Emit { a: &mut a, flavor };
+        for (i, reg) in rosters::el1_context().into_iter().enumerate() {
+            e.a.i(Instr::Ldr(
+                1,
+                SAVE_BASE,
+                (slots::HOST_EL1 + 8 * i as u64) as i64,
+            ));
+            e.write_vm_el1(reg, 1);
+        }
+        // Hand the kernel the exit reason in its entry register and
+        // aim the virtual exception return at the kernel entry point.
+        e.a.i(Instr::MovImm(
+            1,
+            layout::GUEST_KERNEL_BASE + cpu as u64 * 0x1000,
+        ));
+        e.write_el2(SysReg::ElrEl2, 1);
+        e.a.i(Instr::MovImm(1, 0x3c5)); // EL1h, interrupts masked
+        e.write_el2(SysReg::SpsrEl2, 1);
+        e.eret();
+    }
+
+    // ---- inline exit handling (VHE flavours) ----
+    a.bind(handle_inline);
+    {
+        let mut e = Emit { a: &mut a, flavor };
+        e.read_el2(1, SysReg::EsrEl2);
+        emit_exit_handler(&mut a, flavor, true);
+        a.b(to_guest);
+    }
+
+    // ---- the world switch into the nested VM ----
+    a.bind(to_guest);
+    {
+        let mut e = Emit { a: &mut a, flavor };
+        if !flavor.vhe {
+            // A non-VHE hypervisor first saves its host kernel's EL1
+            // context, which the VM state is about to replace
+            // (`__sysreg_save_host_state`).
+            for (i, reg) in rosters::el1_context().into_iter().enumerate() {
+                e.read_vm_el1(1, reg);
+                e.a.i(Instr::Str(
+                    1,
+                    SAVE_BASE,
+                    (slots::HOST_EL1 + 8 * i as u64) as i64,
+                ));
+            }
+        }
+        // Restore the VM's EL1 context.
+        for (i, reg) in rosters::el1_context().into_iter().enumerate() {
+            e.a.i(Instr::Ldr(
+                1,
+                SAVE_BASE,
+                (slots::VM_EL1 + 8 * i as u64) as i64,
+            ));
+            e.write_vm_el1(reg, 1);
+        }
+        // Restore the VM's debug state (trap-on-write under NEVE).
+        e.a.i(Instr::Ldr(1, SAVE_BASE, (slots::TIMER + 16) as i64));
+        e.write_vm_el1(SysReg::MdscrEl1, 1);
+        // Restore the VM's timer, including the counter offset
+        // (trap-on-write under NEVE, paper Table 4).
+        e.a.i(Instr::Ldr(1, SAVE_BASE, (slots::TIMER + 8) as i64));
+        e.write_el2(SysReg::CntvoffEl2, 1);
+        e.a.i(Instr::Ldr(1, SAVE_BASE, slots::TIMER as i64));
+        e.write_vm_timer(SysReg::CntvCtlEl0, 1);
+        e.a.i(Instr::MovImm(1, 0));
+        e.write_el2(SysReg::CnthctlEl2, 1);
+
+        // Restore the VM's GIC interface; inject any pending virtual
+        // interrupt the kernel queued (the virtual IPI path).
+        e.a.i(Instr::Ldr(1, SAVE_BASE, slots::GIC as i64));
+        e.write_el2(SysReg::IchVmcrEl2, 1);
+        e.a.i(Instr::Ldr(1, SAVE_BASE, slots::PENDING_VIRQ as i64));
+        let no_virq = e.a.label();
+        e.a.cbz(1, no_virq);
+        {
+            // Compose a pending list register: state=pending, vintid.
+            e.a.i(Instr::MovImm(2, 1u64 << 62));
+            e.a.i(Instr::Orr(1, 1, 2));
+            e.write_el2(SysReg::IchLrEl2(0), 1);
+            e.a.i(Instr::MovImm(1, 0));
+            e.a.i(Instr::Str(1, SAVE_BASE, slots::PENDING_VIRQ as i64));
+        }
+        e.a.bind(no_virq);
+        e.a.i(Instr::MovImm(1, 1)); // ICH_HCR_EL2.En
+        e.write_el2(SysReg::IchHcrEl2, 1);
+
+        // Enter VM mode: trap configuration, Stage-2, traps.
+        e.a.i(Instr::Ldr(1, SAVE_BASE, slots::HCR_VM as i64));
+        e.write_el2(SysReg::HcrEl2, 1);
+        e.a.i(Instr::Ldr(1, SAVE_BASE, slots::VTTBR_VM as i64));
+        e.write_el2(SysReg::VttbrEl2, 1);
+        e.a.i(Instr::MovImm(1, 0));
+        e.write_el2(SysReg::CptrEl2, 1);
+        e.a.i(Instr::MovImm(1, 0));
+        e.write_el2(SysReg::MdcrEl2, 1);
+
+        // Return state: the (possibly adjusted) vELR/vSPSR.
+        e.a.i(Instr::Ldr(1, SAVE_BASE, slots::ELR as i64));
+        e.write_el2(SysReg::ElrEl2, 1);
+        e.a.i(Instr::Ldr(1, SAVE_BASE, slots::SPSR as i64));
+        e.write_el2(SysReg::SpsrEl2, 1);
+
+        // Restore the VM's GPRs and go.
+        for r in (0..SAVED_GPRS).rev() {
+            a.i(Instr::Ldr(
+                r,
+                SAVE_BASE,
+                (slots::GPRS + 8 * r as u64) as i64,
+            ));
+        }
+        let mut e = Emit { a: &mut a, flavor };
+        e.eret();
+    }
+
+    a.assemble()
+}
+
+/// Emits the exit handler body (used inline for VHE; the non-VHE
+/// kernel half wraps the same logic).
+///
+/// Expects the save area base in x28 (and page base in x27 for NeveLs).
+/// Dispatches on the saved vESR's exception class.
+fn emit_exit_handler(a: &mut Asm, _flavor: GuestHypFlavor, inline_vel2: bool) {
+    let done = a.label();
+    let mmio = a.label();
+    let sgi = a.label();
+    let irq = a.label();
+
+    // Modelled C overhead of kvm handle_exit dispatch.
+    a.i(Instr::Work(300));
+    a.i(Instr::Ldr(0, SAVE_BASE, slots::ESR as i64));
+    a.i(Instr::LsrImm(0, 0, 26)); // EC field
+    a.i(Instr::SubImm(1, 0, 0x16)); // EC_HVC64?
+    a.cbnz(1, mmio);
+    {
+        // Hypercall: service and set the return value in saved x0.
+        a.i(Instr::Work(120));
+        a.i(Instr::MovImm(1, 0));
+        a.i(Instr::Str(1, SAVE_BASE, slots::GPRS as i64));
+        a.b(done);
+    }
+    a.bind(mmio);
+    a.i(Instr::SubImm(1, 0, 0x24)); // EC_DABT_LOW?
+    a.cbnz(1, sgi);
+    {
+        // MMIO: emulate the test device — the Device I/O benchmark's
+        // emulated register read (modelled device model cost), result
+        // into the VM's x2, skip the faulting instruction.
+        a.i(Instr::Work(600));
+        a.i(Instr::MovImm(1, 0xd0d0));
+        a.i(Instr::Str(1, SAVE_BASE, (slots::GPRS + 16) as i64));
+        a.i(Instr::Ldr(1, SAVE_BASE, slots::ELR as i64));
+        a.i(Instr::AddImm(1, 1, 4));
+        a.i(Instr::Str(1, SAVE_BASE, slots::ELR as i64));
+        a.b(done);
+    }
+    a.bind(sgi);
+    a.i(Instr::SubImm(1, 0, 0x18)); // EC_SYSREG (the nested VM's SGI)?
+    a.cbnz(1, irq);
+    {
+        // The nested VM sent a virtual IPI: the guest hypervisor's vgic
+        // emulation re-issues the SGI at its own level — an IPI between
+        // L1 vCPUs that the host virtualizes in turn (the exit chain of
+        // the paper's Virtual IPI microbenchmark). The nested VM passes
+        // the SGI payload in x0 by convention.
+        a.i(Instr::Work(350));
+        a.i(Instr::Ldr(0, SAVE_BASE, slots::GPRS as i64));
+        a.i(Instr::Msr(RegId::Plain(SysReg::IccSgi1rEl1), 0));
+        // Skip the nested VM's trapped SGI write.
+        a.i(Instr::Ldr(1, SAVE_BASE, slots::ELR as i64));
+        a.i(Instr::AddImm(1, 1, 4));
+        a.i(Instr::Str(1, SAVE_BASE, slots::ELR as i64));
+        a.b(done);
+    }
+    a.bind(irq);
+    {
+        // Interrupt while the nested VM ran: acknowledge our own
+        // virtual interrupt (trap-free at the hardware virtual CPU
+        // interface), and if it is the IPI SGI, queue an injection for
+        // the nested VM.
+        a.i(Instr::Work(250));
+        a.i(Instr::Mrs(1, RegId::Plain(SysReg::IccIar1El1)));
+        let not_ipi = a.label();
+        a.i(Instr::SubImm(2, 1, layout::IPI_SGI as u64));
+        a.cbnz(2, not_ipi);
+        {
+            // Queue vintid = IPI_SGI for injection on re-entry.
+            a.i(Instr::MovImm(2, layout::IPI_SGI as u64));
+            a.i(Instr::Str(2, SAVE_BASE, slots::PENDING_VIRQ as i64));
+        }
+        a.bind(not_ipi);
+        a.i(Instr::Msr(RegId::Plain(SysReg::IccEoir1El1), 1));
+        a.b(done);
+    }
+    a.bind(done);
+    // Entry bookkeeping before returning to the VM.
+    a.i(Instr::Work(if inline_vel2 { 250 } else { 350 }));
+}
+
+/// Builds the kernel half (virtual EL1) for non-VHE flavours: entered by
+/// the hypervisor half's eret, handles the exit, calls back with
+/// `hvc #HVC_RUN_VCPU`.
+pub(crate) fn build_kernel(flavor: GuestHypFlavor, _save: u64, cpu: usize) -> Program {
+    let base = layout::GUEST_KERNEL_BASE + cpu as u64 * 0x1000;
+    let mut a = Asm::new(base);
+    prologue_bases(&mut a, flavor, layout::gh_save_area(cpu), cpu);
+    emit_exit_handler(&mut a, flavor, false);
+    a.i(Instr::Hvc(HVC_RUN_VCPU));
+    // Not reached: the run call never returns here (the next exit
+    // re-enters at the top).
+    a.i(Instr::B(base));
+    a.assemble()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flavors() -> Vec<GuestHypFlavor> {
+        let mut v = Vec::new();
+        for vhe in [false, true] {
+            for para in [ParaMode::None, ParaMode::HvcV83, ParaMode::NeveLs] {
+                v.push(GuestHypFlavor::new(vhe, para));
+            }
+        }
+        v
+    }
+
+    #[test]
+    fn all_flavours_assemble() {
+        for f in flavors() {
+            let img = build(f, 0);
+            assert!(img.hyp.len() > 100, "{f:?} suspiciously small");
+            assert!(!img.kernel.is_empty());
+        }
+    }
+
+    #[test]
+    fn vector_offsets_hold_code() {
+        for f in flavors() {
+            let img = build(f, 0);
+            assert!(
+                img.hyp.fetch(img.hyp.base + 0x400).is_some(),
+                "{f:?} sync vector"
+            );
+            assert!(
+                img.hyp.fetch(img.hyp.base + 0x480).is_some(),
+                "{f:?} irq vector"
+            );
+        }
+    }
+
+    #[test]
+    fn unmodified_flavour_contains_el2_accesses() {
+        let img = build(GuestHypFlavor::new(false, ParaMode::None), 0);
+        let has_el2_msr = img
+            .hyp
+            .code
+            .iter()
+            .any(|i| matches!(i, Instr::Msr(RegId::Plain(r), _) if r.is_el2()));
+        assert!(has_el2_msr, "unmodified image must use EL2 registers");
+        let has_eret = img.hyp.code.iter().any(|i| matches!(i, Instr::Eret));
+        assert!(has_eret);
+    }
+
+    #[test]
+    fn hvc_paravirt_flavour_has_no_trapping_el2_accesses() {
+        // The Section 4 property: on ARMv8.0 the image must contain no
+        // instruction that would be UNDEFINED at EL1.
+        for vhe in [false, true] {
+            let img = build(GuestHypFlavor::new(vhe, ParaMode::HvcV83), 0);
+            for prog in [&img.hyp, &img.kernel] {
+                for i in prog.code.iter() {
+                    match i {
+                        Instr::Msr(id, _) | Instr::Mrs(_, id) => {
+                            assert!(
+                                !id.base_reg().is_el2() && !id.is_vhe_alias(),
+                                "{i:?} would be undefined at EL1 on v8.0"
+                            );
+                        }
+                        Instr::Eret => panic!("eret must be paravirtualized"),
+                        _ => {}
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn neve_paravirt_flavour_uses_loads_stores_and_el1_redirects() {
+        let img = build(GuestHypFlavor::new(false, ParaMode::NeveLs), 0);
+        // No direct EL2 accesses other than via hvc fallbacks.
+        for i in img.hyp.code.iter() {
+            if let Instr::Msr(id, _) | Instr::Mrs(_, id) = i {
+                assert!(!id.base_reg().is_el2(), "{i:?} should be rewritten");
+            }
+        }
+        // It must reference the shared page base register.
+        let uses_page = img
+            .hyp
+            .code
+            .iter()
+            .any(|i| matches!(i, Instr::Ldr(_, r, _) | Instr::Str(_, r, _) if *r == PAGE_BASE));
+        assert!(uses_page);
+    }
+
+    #[test]
+    fn vhe_flavour_uses_el12_names_for_vm_state() {
+        let img = build(GuestHypFlavor::new(true, ParaMode::None), 0);
+        let has_el12 = img.hyp.code.iter().any(|i| {
+            matches!(
+                i,
+                Instr::Msr(RegId::El12(_), _) | Instr::Mrs(_, RegId::El12(_))
+            )
+        });
+        assert!(has_el12);
+        // VHE handles exits inline: the kernel half is never targeted,
+        // and timer accesses use EL02 forms.
+        let has_el02 = img.hyp.code.iter().any(|i| {
+            matches!(
+                i,
+                Instr::Msr(RegId::El02(_), _) | Instr::Mrs(_, RegId::El02(_))
+            )
+        });
+        assert!(has_el02);
+    }
+
+    #[test]
+    fn per_cpu_images_are_disjoint() {
+        let a = build(GuestHypFlavor::new(true, ParaMode::None), 0);
+        let b = build(GuestHypFlavor::new(true, ParaMode::None), 1);
+        assert!(a.hyp.end() <= b.hyp.base || b.hyp.end() <= a.hyp.base);
+    }
+}

@@ -1,0 +1,1001 @@
+//! The L0 host hypervisor (paper Section 4).
+//!
+//! Native Rust software invoked by the machine on every trap to EL2. It
+//! multiplexes the single level of ARM virtualization support across
+//! nesting levels, Turtles-style:
+//!
+//! - runs plain VMs (hypercall service, MMIO device emulation, virtual
+//!   interrupt injection, lazy Stage-2 faulting),
+//! - deprivileges a guest hypervisor into EL1, emulating its trapped
+//!   hypervisor instructions against virtual EL2 state,
+//! - reflects nested-VM exits into virtual EL2 ("the host hypervisor...
+//!   can then forward it to the L1 guest hypervisor"),
+//! - multiplexes hardware EL1 between the guest hypervisor's contexts
+//!   and the nested VM, switching Stage-2 roots between the host table
+//!   and the collapsed shadow table, and
+//! - on NEVE hardware, manages `VNCR_EL2` and the deferred access page
+//!   (populate on guest-hypervisor entry, harvest on nested-VM entry —
+//!   the "typical workflow" of Section 6.1).
+
+use crate::guesthyp::{ParaMode, HVC_RUN_VCPU, PARA_HVC_BASE, PARA_HVC_ERET, PARA_WRITE_BIT};
+use crate::guests::HVC_REARM;
+use crate::layout;
+use crate::rosters;
+use crate::vcpu::{Ctx, VCpu};
+use neve_armv8::machine::{ExitInfo, Hypervisor, Machine};
+use neve_armv8::pstate::Pstate;
+use neve_core::VncrEl2;
+use neve_gic::lr::ListRegister;
+use neve_gic::vgic::ICH_HCR_EN;
+use neve_memsim::{FrameAlloc, PageTable, ShadowS2};
+use neve_sysreg::bits::{esr, hcr, spsr, vttbr};
+use neve_sysreg::classify::{el1_counterpart, neve_class, vncr_offset, NeveClass};
+use neve_sysreg::regcode;
+use neve_sysreg::regs::NUM_LIST_REGS;
+use neve_sysreg::{RegId, SysReg};
+
+/// Physical SGI the host uses to kick a remote CPU out of a nested VM.
+pub const KICK_SGI: u32 = 8;
+
+/// PSCI v0.2 `CPU_ON` function identifier (SMC64 calling convention):
+/// x0 = function, x1 = target CPU, x2 = entry point, x3 = context.
+pub const PSCI_CPU_ON: u64 = 0xc400_0003;
+/// PSCI `SUCCESS` return value.
+pub const PSCI_SUCCESS: u64 = 0;
+/// PSCI `INVALID_PARAMETERS` return value.
+pub const PSCI_INVALID: u64 = -2i64 as u64;
+/// PSCI `ALREADY_ON` return value.
+pub const PSCI_ALREADY_ON: u64 = -4i64 as u64;
+
+/// `HCR_EL2` the host programs while a plain VM or a nested VM runs.
+pub const HCR_VM_RUN: u64 = hcr::VM | hcr::IMO | hcr::FMO | hcr::TSC;
+
+/// How the guest hypervisor level is virtualized.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NestedMode {
+    /// The guest hypervisor is a VHE hypervisor.
+    pub guest_vhe: bool,
+    /// Use NEVE (`NV2` + deferred access page).
+    pub neve: bool,
+    /// Paravirtualization mode of the guest hypervisor image (decides
+    /// how its `hvc`-encoded operations are decoded).
+    pub para: ParaMode,
+    /// GICv2: the guest hypervisor reaches the hypervisor control
+    /// interface through the memory-mapped GICH frame (each access a
+    /// Stage-2 abort) instead of `ICH_*` system-register traps.
+    pub gic_mmio: bool,
+    /// Standalone (Xen-style) guest hypervisor instead of the hosted
+    /// (KVM-style) one — paper Section 6.5's design comparison.
+    pub xen: bool,
+}
+
+/// The host hypervisor.
+#[derive(Debug)]
+pub struct HostHyp {
+    /// Per-CPU vCPU chains.
+    pub vcpus: Vec<VCpu>,
+    /// The host itself runs with VHE (ARMv8.1 `E2H`): its kernel lives
+    /// in EL2, so a trap needs *no* EL1 context swap to reach the
+    /// handler — the optimization of Dall et al., "Optimizing the
+    /// Design and Implementation of the Linux ARM Hypervisor" (ATC'17),
+    /// which the paper cites as reference 16. The paper's own host hardware was
+    /// ARMv8.0 and therefore non-VHE; this flag is the what-if.
+    pub vhe_host: bool,
+    /// The host's Stage-2 table for the L1 VM (lazily identity-filled).
+    pub host_s2: PageTable,
+    host_frames: FrameAlloc,
+    /// Per-CPU shadow Stage-2 tables for the nested VM.
+    shadows: Vec<ShadowS2>,
+    /// The guest hypervisor's Stage-2 root (L2 IPA -> L1 PA), pre-built
+    /// by the harness in L1-owned memory on the guest's behalf.
+    pub guest_s2_root: u64,
+    /// Nested virtualization parameters (None = plain-VM configuration).
+    pub nested: Option<NestedMode>,
+    /// Monotonic value returned by the emulated test device.
+    pub device_value: u64,
+    /// Hypercalls serviced at L0 for plain VMs.
+    pub l0_hypercalls: u64,
+}
+
+impl HostHyp {
+    /// Creates the host hypervisor and its Stage-2 scaffolding.
+    pub fn new(m: &mut Machine, ncpus: usize, nested: Option<NestedMode>) -> Self {
+        let mut host_frames = FrameAlloc::new(layout::HOST_S2_FRAMES, layout::HOST_S2_FRAMES_SIZE);
+        let host_s2 = PageTable::new(&mut m.mem, &mut host_frames);
+        let per_cpu = layout::SHADOW_S2_FRAMES_SIZE / ncpus as u64 / 4096 * 4096;
+        let shadows = (0..ncpus)
+            .map(|i| {
+                let fa = FrameAlloc::new(layout::SHADOW_S2_FRAMES + i as u64 * per_cpu, per_cpu);
+                ShadowS2::new(&mut m.mem, fa)
+            })
+            .collect();
+        let mut vcpus: Vec<VCpu> = (0..ncpus)
+            .map(|_| {
+                VCpu::new(if nested.is_some() {
+                    Ctx::GhVel2
+                } else {
+                    Ctx::L1Payload
+                })
+            })
+            .collect();
+        if let Some(nm) = nested {
+            for v in &mut vcpus {
+                v.neve = nm.neve;
+                v.guest_vhe = nm.guest_vhe;
+            }
+        }
+        // The host listens for its kick SGI on every CPU.
+        for c in 0..ncpus {
+            m.gic.dist.enable(c, KICK_SGI);
+        }
+        Self {
+            vcpus,
+            vhe_host: false,
+            host_s2,
+            host_frames,
+            shadows,
+            guest_s2_root: 0,
+            nested,
+            device_value: 0xd0d0,
+            l0_hypercalls: 0,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Cost helpers.
+    // ------------------------------------------------------------------
+
+    /// The non-VHE host's per-exit EL1 context swap: KVM on ARMv8.0
+    /// hardware swaps the full EL1 state to run its host-kernel handler
+    /// and back for every exit (the structure behind the paper's 2,729
+    /// cycle VM hypercall). Modelled as an identity save/restore so the
+    /// cycle cost is charged without disturbing semantics.
+    fn host_kernel_roundtrip(&mut self, m: &mut Machine, cpu: usize) {
+        m.hyp_work(m.cfg.cost.sw.kvm_arm_exit_common);
+        if !self.vhe_host {
+            // Non-VHE: the handler lives in the EL1 host kernel, so the
+            // full EL1/GIC/timer context swaps out and back per exit.
+            for reg in rosters::el1_context() {
+                let v = m.hyp_read(cpu, reg);
+                m.hyp_mem_write(0, 0); // spill to the host context frame
+                m.hyp_write(cpu, reg, v);
+            }
+            for reg in rosters::gic_save() {
+                let v = m.hyp_read(cpu, reg);
+                if !reg.is_read_only() {
+                    m.hyp_write(cpu, reg, v);
+                }
+            }
+            for reg in rosters::timer_el1() {
+                let v = m.hyp_read(cpu, reg);
+                m.hyp_write(cpu, reg, v);
+            }
+        } else {
+            // VHE: the kernel is already in EL2; only the GIC state is
+            // synced per exit.
+            for reg in rosters::gic_save() {
+                let v = m.hyp_read(cpu, reg);
+                if !reg.is_read_only() {
+                    m.hyp_write(cpu, reg, v);
+                }
+            }
+        }
+        m.hyp_work(m.cfg.cost.sw.kvm_arm_enter_common);
+    }
+
+    // ------------------------------------------------------------------
+    // NEVE page / staged-context accessors.
+    // ------------------------------------------------------------------
+
+    fn neve_on(&self, cpu: usize) -> bool {
+        self.vcpus[cpu].neve
+    }
+
+    /// Reads the staged EL1-context value of `reg` (page slot under
+    /// NEVE, host-side store on ARMv8.3).
+    fn stage_read(&mut self, m: &mut Machine, cpu: usize, reg: SysReg) -> u64 {
+        if self.neve_on(cpu) {
+            let off = vncr_offset(reg).expect("staged register has a slot") as u64;
+            m.hyp_mem_read(layout::vncr_page(cpu) + off)
+        } else {
+            m.hyp_work(m.cfg.cost.arm.mem_load);
+            self.vcpus[cpu].el1_stage.read(reg)
+        }
+    }
+
+    /// Writes the staged EL1-context value of `reg`.
+    fn stage_write(&mut self, m: &mut Machine, cpu: usize, reg: SysReg, v: u64) {
+        if self.neve_on(cpu) {
+            let off = vncr_offset(reg).expect("staged register has a slot") as u64;
+            m.hyp_mem_write(layout::vncr_page(cpu) + off, v);
+        } else {
+            m.hyp_work(m.cfg.cost.arm.mem_store);
+            self.vcpus[cpu].el1_stage.write(reg, v);
+        }
+    }
+
+    /// Reads a virtual-EL2 trap-control value (`vHCR`, `vVTTBR`, ...):
+    /// the page slot under NEVE (the guest wrote it there directly), the
+    /// trapped-write store on ARMv8.3.
+    fn vel2_ctl_read(&mut self, m: &mut Machine, cpu: usize, reg: SysReg) -> u64 {
+        if self.neve_on(cpu) && vncr_offset(reg).is_some() {
+            let off = vncr_offset(reg).expect("checked") as u64;
+            m.hyp_mem_read(layout::vncr_page(cpu) + off)
+        } else {
+            self.vcpus[cpu].vel2.read(reg)
+        }
+    }
+
+    /// Refreshes the cached copies in the deferred access page before
+    /// running the guest hypervisor (Section 6.1's workflow: GIC state
+    /// and trap-on-write control registers become readable without
+    /// traps).
+    fn refresh_neve_cached_copies(&mut self, m: &mut Machine, cpu: usize) {
+        if !self.neve_on(cpu) {
+            return;
+        }
+        let page = layout::vncr_page(cpu);
+        for reg in [
+            SysReg::IchVmcrEl2,
+            SysReg::IchEisrEl2,
+            SysReg::IchElrsrEl2,
+            SysReg::IchMisrEl2,
+            SysReg::IchHcrEl2,
+        ] {
+            let v = self.vcpus[cpu].vgic_l2.read(reg);
+            m.hyp_mem_write(page + vncr_offset(reg).expect("gic slot") as u64, v);
+        }
+        for n in 0..NUM_LIST_REGS {
+            let r = SysReg::IchLrEl2(n);
+            let v = self.vcpus[cpu].vgic_l2.read(r);
+            m.hyp_mem_write(page + vncr_offset(r).expect("lr slot") as u64, v);
+        }
+        for reg in [
+            SysReg::CnthctlEl2,
+            SysReg::CntvoffEl2,
+            SysReg::CptrEl2,
+            SysReg::MdcrEl2,
+        ] {
+            let v = self.vcpus[cpu].vel2.read(reg);
+            m.hyp_mem_write(page + vncr_offset(reg).expect("ctl slot") as u64, v);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Hardware EL1 context moves.
+    // ------------------------------------------------------------------
+
+    /// Saves hardware EL1 (the departing context) into the stage.
+    fn hw_to_stage(&mut self, m: &mut Machine, cpu: usize) {
+        for reg in rosters::el1_context() {
+            let v = m.hyp_read(cpu, reg);
+            self.stage_write(m, cpu, reg, v);
+        }
+    }
+
+    /// Materialises the staged context into hardware EL1.
+    fn stage_to_hw(&mut self, m: &mut Machine, cpu: usize) {
+        for reg in rosters::el1_context() {
+            let v = self.stage_read(m, cpu, reg);
+            m.hyp_write(cpu, reg, v);
+        }
+    }
+
+    /// Saves hardware EL1 into the virtual-EL2 hardware image.
+    fn hw_to_vel2_image(&mut self, m: &mut Machine, cpu: usize) {
+        for reg in rosters::el1_context() {
+            let v = m.hyp_read(cpu, reg);
+            self.vcpus[cpu].vel2_hw.write(reg, v);
+        }
+    }
+
+    /// Loads the virtual-EL2 hardware image into hardware EL1.
+    fn vel2_image_to_hw(&mut self, m: &mut Machine, cpu: usize) {
+        for reg in rosters::el1_context() {
+            let v = self.vcpus[cpu].vel2_hw.read(reg);
+            m.hyp_write(cpu, reg, v);
+        }
+    }
+
+    /// Saves the hardware GIC interface into `vgic_l2` (harvest after L2
+    /// ran) and restores the L1 interface.
+    fn gic_l2_to_l1(&mut self, m: &mut Machine, cpu: usize) {
+        for n in 0..NUM_LIST_REGS {
+            let r = SysReg::IchLrEl2(n);
+            let v = m.hyp_read(cpu, r);
+            self.vcpus[cpu].vgic_l2.write(r, v);
+        }
+        for r in [
+            SysReg::IchVmcrEl2,
+            SysReg::IchEisrEl2,
+            SysReg::IchElrsrEl2,
+            SysReg::IchMisrEl2,
+        ] {
+            let v = m.hyp_read(cpu, r);
+            self.vcpus[cpu].vgic_l2.write(r, v);
+        }
+        // Restore L1's interface.
+        for n in 0..NUM_LIST_REGS {
+            let r = SysReg::IchLrEl2(n);
+            let v = self.vcpus[cpu].vgic_l1.read(r);
+            m.hyp_write(cpu, r, v);
+        }
+        let v = self.vcpus[cpu].vgic_l1.read(SysReg::IchVmcrEl2);
+        m.hyp_write(cpu, SysReg::IchVmcrEl2, v);
+        m.hyp_write(cpu, SysReg::IchHcrEl2, ICH_HCR_EN);
+    }
+
+    /// Saves the hardware GIC interface into `vgic_l1` and loads the
+    /// guest hypervisor's (sanitized) interface for the nested VM.
+    fn gic_l1_to_l2(&mut self, m: &mut Machine, cpu: usize) {
+        for n in 0..NUM_LIST_REGS {
+            let r = SysReg::IchLrEl2(n);
+            let v = m.hyp_read(cpu, r);
+            self.vcpus[cpu].vgic_l1.write(r, v);
+        }
+        let v = m.hyp_read(cpu, SysReg::IchVmcrEl2);
+        self.vcpus[cpu].vgic_l1.write(SysReg::IchVmcrEl2, v);
+        // Sanitize and load the guest's list registers (paper Section 4:
+        // "sanitize and translate the payload before writing shadow
+        // copies of the register payload into the hardware control
+        // interface").
+        for n in 0..NUM_LIST_REGS {
+            let r = SysReg::IchLrEl2(n);
+            let raw = self.vcpus[cpu].vgic_l2.read(r);
+            let sanitized = ListRegister::decode(raw).encode();
+            m.hyp_write(cpu, r, sanitized);
+        }
+        let vmcr = self.vcpus[cpu].vgic_l2.read(SysReg::IchVmcrEl2);
+        m.hyp_write(cpu, SysReg::IchVmcrEl2, vmcr);
+        let hcr_v = self.vcpus[cpu].vgic_l2.read(SysReg::IchHcrEl2);
+        m.hyp_write(cpu, SysReg::IchHcrEl2, hcr_v | ICH_HCR_EN);
+    }
+
+    // ------------------------------------------------------------------
+    // Mode switches.
+    // ------------------------------------------------------------------
+
+    /// `HCR_EL2` for running the guest hypervisor in virtual EL2.
+    fn hcr_vel2(&self, cpu: usize) -> u64 {
+        let v = &self.vcpus[cpu];
+        let mut bits = hcr::VM | hcr::IMO | hcr::FMO | hcr::TSC | hcr::NV;
+        if !v.guest_vhe {
+            bits |= hcr::NV1;
+        }
+        if v.neve {
+            bits |= hcr::NV2;
+        }
+        bits
+    }
+
+    /// Reflects an exception into virtual EL2 (the guest hypervisor's
+    /// vector). `vector_offset` is 0x400 for sync, 0x480 for IRQ.
+    #[allow(clippy::too_many_arguments)]
+    fn reflect_to_vel2(
+        &mut self,
+        m: &mut Machine,
+        cpu: usize,
+        vesr: u64,
+        velr: u64,
+        vspsr: u64,
+        vfar: u64,
+        vhpfar: u64,
+        vector_offset: u64,
+    ) {
+        m.hyp_work(m.cfg.cost.sw.kvm_arm_vel2_inject);
+        // Virtual exception state lives in the EL1 counterparts of the
+        // redirected registers (paper Table 4): on NEVE hardware the
+        // guest reads them from hardware EL1 without trapping, on
+        // ARMv8.3 the host serves the traps from the same image.
+        self.vcpus[cpu].vel2_hw.write(SysReg::EsrEl1, vesr);
+        self.vcpus[cpu].vel2_hw.write(SysReg::ElrEl1, velr);
+        self.vcpus[cpu].vel2_hw.write(SysReg::SpsrEl1, vspsr);
+        self.vcpus[cpu].vel2_hw.write(SysReg::FarEl1, vfar);
+        self.vcpus[cpu].vel2.write(SysReg::HpfarEl2, vhpfar);
+        if self.neve_on(cpu) {
+            let off = vncr_offset(SysReg::HpfarEl2).expect("hpfar slot") as u64;
+            m.hyp_mem_write(layout::vncr_page(cpu) + off, vhpfar);
+        }
+        self.vel2_image_to_hw(m, cpu);
+        self.refresh_neve_cached_copies(m, cpu);
+        m.hyp_write(cpu, SysReg::HcrEl2, self.hcr_vel2(cpu));
+        m.hyp_write(
+            cpu,
+            SysReg::VttbrEl2,
+            vttbr::build(layout::VMID_L1, self.host_s2.root),
+        );
+        let vncr = if self.neve_on(cpu) {
+            VncrEl2::enabled_at(layout::vncr_page(cpu))
+                .expect("page aligned")
+                .raw()
+        } else {
+            0
+        };
+        m.hyp_write(cpu, SysReg::VncrEl2, vncr);
+        let vbar = self.vcpus[cpu].vel2_hw.read(SysReg::VbarEl1);
+        m.hyp_write(cpu, SysReg::ElrEl2, vbar + vector_offset);
+        m.hyp_write(cpu, SysReg::SpsrEl2, spsr::mode_h(1) | spsr::I | spsr::F);
+        self.vcpus[cpu].ctx = Ctx::GhVel2;
+        self.vcpus[cpu].exits_forwarded += 1;
+    }
+
+    /// Full switch: the nested VM exits into the guest hypervisor.
+    fn switch_l2_to_vel2(
+        &mut self,
+        m: &mut Machine,
+        cpu: usize,
+        vesr: u64,
+        vfar: u64,
+        vhpfar: u64,
+        vector_offset: u64,
+    ) {
+        // The L2 interrupt state and EL1 context leave the hardware.
+        let velr = m.hyp_read(cpu, SysReg::ElrEl2);
+        let vspsr = m.hyp_read(cpu, SysReg::SpsrEl2);
+        self.hw_to_stage(m, cpu);
+        self.gic_l2_to_l1(m, cpu);
+        self.reflect_to_vel2(m, cpu, vesr, velr, vspsr, vfar, vhpfar, vector_offset);
+    }
+
+    /// The guest hypervisor's trapped `eret`: enter the nested VM or its
+    /// virtual-EL1 kernel depending on the virtual `HCR_EL2.VM`
+    /// (Section 4: "entering the nested VM is only possible once the
+    /// host hypervisor loads the emulated nested VM state").
+    fn emulate_eret(&mut self, m: &mut Machine, cpu: usize) {
+        m.hyp_work(m.cfg.cost.sw.kvm_arm_eret_emul);
+        // Capture the virtual return state before touching hardware EL1.
+        // Both paths keep it in hardware `ELR_EL1`/`SPSR_EL1` while
+        // virtual EL2 runs: NEVE by hardware redirection, ARMv8.3 by the
+        // host syncing its emulation of the trapped writes.
+        let velr = m.hyp_read(cpu, SysReg::ElrEl1);
+        let vspsr = m.hyp_read(cpu, SysReg::SpsrEl1);
+        let vhcr = self.vel2_ctl_read(m, cpu, SysReg::HcrEl2);
+        // The virtual-EL2 hardware image leaves the hardware.
+        self.hw_to_vel2_image(m, cpu);
+
+        if vhcr & hcr::VM != 0 {
+            // Enter the nested VM over the shadow Stage-2.
+            m.hyp_work(m.cfg.cost.sw.kvm_arm_shadow_s2_switch);
+            self.stage_to_hw(m, cpu);
+            self.gic_l1_to_l2(m, cpu);
+            m.hyp_write(cpu, SysReg::HcrEl2, HCR_VM_RUN);
+            m.hyp_write(
+                cpu,
+                SysReg::VttbrEl2,
+                vttbr::build(layout::VMID_L2, self.shadows[cpu].table.root),
+            );
+            m.hyp_write(cpu, SysReg::VncrEl2, 0);
+            m.hyp_write(cpu, SysReg::ElrEl2, velr);
+            let mut target = Pstate::from_spsr(vspsr);
+            if target.el > 1 {
+                target.el = 1; // sanitize: a VM never enters EL2
+            }
+            m.hyp_write(cpu, SysReg::SpsrEl2, target.to_spsr());
+            self.vcpus[cpu].ctx = Ctx::L2;
+        } else {
+            // Enter the guest hypervisor's kernel half in virtual EL1.
+            self.stage_to_hw(m, cpu);
+            m.hyp_write(cpu, SysReg::HcrEl2, HCR_VM_RUN);
+            m.hyp_write(
+                cpu,
+                SysReg::VttbrEl2,
+                vttbr::build(layout::VMID_L1, self.host_s2.root),
+            );
+            m.hyp_write(cpu, SysReg::VncrEl2, 0);
+            m.hyp_write(cpu, SysReg::ElrEl2, velr);
+            m.hyp_write(cpu, SysReg::SpsrEl2, spsr::mode_h(1) | spsr::I | spsr::F);
+            self.vcpus[cpu].ctx = Ctx::GhVel1;
+        }
+    }
+
+    /// The kernel half calls back into the hypervisor half: reflect an
+    /// `hvc` into virtual EL2.
+    fn switch_vel1_to_vel2(&mut self, m: &mut Machine, cpu: usize, info: ExitInfo) {
+        let vspsr = m.hyp_read(cpu, SysReg::SpsrEl2);
+        self.hw_to_stage(m, cpu);
+        self.reflect_to_vel2(
+            m,
+            cpu,
+            esr::build(esr::EC_HVC64, esr::iss(info.esr)),
+            info.elr,
+            vspsr,
+            0,
+            0,
+            0x400,
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // Trapped-instruction emulation for the guest hypervisor.
+    // ------------------------------------------------------------------
+
+    /// Emulates one trapped (or `hvc`-paravirtualized) system-register
+    /// access from virtual EL2.
+    fn emulate_gh_sysreg(
+        &mut self,
+        m: &mut Machine,
+        cpu: usize,
+        id: RegId,
+        write: bool,
+        value: u64,
+    ) -> u64 {
+        m.hyp_work(m.cfg.cost.sw.kvm_arm_sysreg_emul);
+        let reg = id.base_reg();
+        // The VM's EL1 timer accessed through VHE `*_EL02` forms: the
+        // VM timer stays live in hardware across the switch (KVM only
+        // parks it at vcpu_put), so these operate on the real timer.
+        if matches!(id, RegId::El02(_)) {
+            return if write {
+                m.hyp_write(cpu, reg, value);
+                0
+            } else {
+                m.hyp_read(cpu, reg)
+            };
+        }
+        // The VM's EL1 context (`*_EL12`, plain EL1 names under NV1, or
+        // the EL2-encoded `SP_EL1`).
+        if matches!(id, RegId::El12(_))
+            || !reg.is_el2()
+            || neve_class(reg) == NeveClass::VmExecutionControl
+        {
+            return if write {
+                self.stage_write(m, cpu, reg, value);
+                0
+            } else {
+                self.stage_read(m, cpu, reg)
+            };
+        }
+        match neve_class(reg) {
+            NeveClass::GicTrapOnWrite => {
+                if write {
+                    self.vcpus[cpu].vgic_l2.write(reg, value);
+                    if self.neve_on(cpu) {
+                        let off = vncr_offset(reg).expect("gic slot") as u64;
+                        m.hyp_mem_write(layout::vncr_page(cpu) + off, value);
+                    }
+                    0
+                } else {
+                    self.vcpus[cpu].vgic_l2.read(reg)
+                }
+            }
+            NeveClass::HypRedirect | NeveClass::HypRedirectVhe => {
+                // ARMv8.3 path only (NEVE redirects in hardware): the
+                // register lives in the virtual-EL2 hardware image.
+                let el1 = el1_counterpart(reg).expect("redirectable");
+                if write {
+                    self.vcpus[cpu].vel2_hw.write(el1, value);
+                    // Keep hardware in sync while virtual EL2 runs.
+                    m.hyp_write(cpu, el1, value);
+                    0
+                } else {
+                    self.vcpus[cpu].vel2_hw.read(el1)
+                }
+            }
+            NeveClass::HypRedirectOrTrap => {
+                let el1 = el1_counterpart(reg).expect("redirectable");
+                if write {
+                    self.vcpus[cpu].vel2_hw.write(el1, value);
+                    0
+                } else {
+                    self.vcpus[cpu].vel2_hw.read(el1)
+                }
+            }
+            NeveClass::TimerTrap => {
+                // The guest hypervisor's own EL2 timer: emulate against
+                // the virtual store (full hardware timer emulation for
+                // virtual EL2 timers is future work for the workloads).
+                if write {
+                    self.vcpus[cpu].vel2.write(reg, value);
+                    0
+                } else {
+                    self.vcpus[cpu].vel2.read(reg)
+                }
+            }
+            // VM trap control, thread ID, trap-on-write controls and
+            // anything else EL2-flavoured: the virtual EL2 store, with
+            // the NEVE cached copy refreshed on writes.
+            _ => {
+                if write {
+                    self.vcpus[cpu].vel2.write(reg, value);
+                    if self.neve_on(cpu) {
+                        if let Some(off) = vncr_offset(reg) {
+                            m.hyp_mem_write(layout::vncr_page(cpu) + off as u64, value);
+                        }
+                    }
+                    0
+                } else {
+                    self.vel2_ctl_read(m, cpu, reg)
+                }
+            }
+        }
+    }
+
+    /// Emulates an SGI-generation write (`ICC_SGI1R_EL1`) from any L1
+    /// context: a virtual IPI between L1 vCPUs.
+    fn emulate_sgi(&mut self, m: &mut Machine, cpu: usize, value: u64) {
+        m.hyp_work(m.cfg.cost.sw.kvm_arm_virq_inject);
+        let intid = ((value >> 24) & 0xf) as u32;
+        let targets = (value & 0xffff) as u16;
+        for t in 0..m.ncpus() {
+            if targets & (1 << t) == 0 {
+                continue;
+            }
+            // Queue for the target and send a physical IPI so the
+            // target CPU exits and its host-side entry path performs the
+            // injection — both VM exits the paper's Virtual IPI
+            // microbenchmark counts (sender *and* receiver, Section 5).
+            self.vcpus[t].pending_l1_virqs.push(intid);
+            m.gic.dist.send_sgi(cpu, 1 << t, KICK_SGI);
+        }
+    }
+
+    /// Lazily identity-maps L1 RAM at Stage-2 (KVM's fault-in path).
+    /// An IPA outside the memslots gets an external abort injected into
+    /// the guest instead (KVM's `kvm_inject_dabt`); a guest must never
+    /// be able to panic the host.
+    fn map_l1_ram(&mut self, m: &mut Machine, cpu: usize, ipa: u64) {
+        m.hyp_work(600); // fault path: mmu lock, memslot lookup, pfn
+        if ipa >= layout::RAM_SIZE {
+            self.inject_guest_abort(m, cpu, ipa);
+            return;
+        }
+        self.host_s2.map(
+            &mut m.mem,
+            &mut self.host_frames,
+            ipa,
+            ipa,
+            neve_memsim::Perms::RWX,
+        );
+    }
+
+    /// Injects a synchronous external abort into the guest's EL1 (the
+    /// response to an access no memslot backs).
+    fn inject_guest_abort(&mut self, m: &mut Machine, cpu: usize, far: u64) {
+        m.hyp_work(m.cfg.cost.sw.kvm_arm_handler_simple);
+        let elr = m.hyp_read(cpu, SysReg::ElrEl2);
+        let spsr = m.hyp_read(cpu, SysReg::SpsrEl2);
+        m.hyp_write(cpu, SysReg::EsrEl1, esr::build(esr::EC_DABT_LOW, 0));
+        m.hyp_write(cpu, SysReg::FarEl1, far);
+        m.hyp_write(cpu, SysReg::ElrEl1, elr);
+        m.hyp_write(cpu, SysReg::SpsrEl1, spsr);
+        let vbar = m.hyp_read(cpu, SysReg::VbarEl1);
+        m.hyp_write(cpu, SysReg::ElrEl2, vbar + 0x200);
+        m.hyp_write(cpu, SysReg::SpsrEl2, spsr::mode_h(1) | spsr::I | spsr::F);
+    }
+
+    /// Handles a Stage-2 abort from the nested VM over the shadow table.
+    fn handle_l2_abort(&mut self, m: &mut Machine, cpu: usize, info: ExitInfo) {
+        let ipa = info.hpfar;
+        if layout::is_device(ipa) {
+            // Forward to the guest hypervisor: its device, its abort.
+            let vesr = esr::build(esr::EC_DABT_LOW, esr::iss(info.esr));
+            // The guest hypervisor's shadow-ISS: keep the request so the
+            // *it* can emulate; drop the host-latched MMIO record.
+            let _ = m.take_mmio(cpu);
+            self.switch_l2_to_vel2(m, cpu, vesr, info.far, ipa, 0x400);
+            return;
+        }
+        let _ = m.take_mmio(cpu);
+        m.hyp_work(m.cfg.cost.sw.kvm_arm_shadow_s2_switch);
+        let vvttbr = self.vel2_ctl_read(m, cpu, SysReg::VttbrEl2);
+        let root = if vttbr::baddr(vvttbr) != 0 {
+            vttbr::baddr(vvttbr)
+        } else {
+            self.guest_s2_root
+        };
+        let guest_s2 = PageTable { root };
+        match self.shadows[cpu].fill(&mut m.mem, guest_s2, self.host_s2, ipa) {
+            Ok(()) => {}
+            Err(neve_memsim::shadow::ShadowFault::HostStage2(_)) => {
+                // Host has not faulted this L1 page in yet: do both.
+                let g = neve_memsim::walk(&m.mem, guest_s2, ipa, neve_memsim::Access::Read)
+                    .expect("guest mapping existed a moment ago");
+                self.map_l1_ram(m, cpu, g.pa);
+                self.shadows[cpu]
+                    .fill(&mut m.mem, guest_s2, self.host_s2, ipa)
+                    .expect("fill after host map");
+            }
+            Err(neve_memsim::shadow::ShadowFault::GuestStage2(_)) => {
+                // The guest hypervisor did not map this IPA: its abort.
+                let vesr = esr::build(esr::EC_DABT_LOW, esr::iss(info.esr));
+                self.switch_l2_to_vel2(m, cpu, vesr, info.far, ipa, 0x400);
+            }
+        }
+        // Retry the faulting access (ELR_EL2 still points at it).
+    }
+
+    /// Advances the trapped instruction (KVM's `kvm_skip_instr`).
+    fn skip(&mut self, m: &mut Machine, cpu: usize, info: ExitInfo) {
+        m.hyp_write(cpu, SysReg::ElrEl2, info.elr + 4);
+    }
+
+    // ------------------------------------------------------------------
+    // Exit handlers per context.
+    // ------------------------------------------------------------------
+
+    fn handle_l1_payload(&mut self, m: &mut Machine, cpu: usize, info: ExitInfo) {
+        self.host_kernel_roundtrip(m, cpu);
+        match esr::ec(info.esr) {
+            esr::EC_HVC64 => {
+                if esr::iss(info.esr) == HVC_REARM as u64 {
+                    // The EOI benchmark's re-arm hook.
+                    m.hyp_write(cpu, SysReg::IchHcrEl2, ICH_HCR_EN);
+                    m.gic.inject_virq(cpu, layout::EOI_VINTID, 0x80);
+                } else {
+                    m.hyp_work(m.cfg.cost.sw.kvm_arm_handler_simple);
+                    self.l0_hypercalls += 1;
+                    self.vcpus[cpu].hypercalls_serviced += 1;
+                    m.core_mut(cpu).set_gpr(0, 0);
+                }
+            }
+            esr::EC_DABT_LOW => {
+                if let Some(req) = m.take_mmio(cpu) {
+                    if layout::is_device(req.ipa) {
+                        m.hyp_work(m.cfg.cost.sw.kvm_arm_mmio_emul);
+                        if !req.write {
+                            let v = self.device_value;
+                            m.complete_mmio_read(cpu, req, v);
+                        }
+                        self.skip(m, cpu, info);
+                    } else {
+                        self.map_l1_ram(m, cpu, req.ipa);
+                        // Retry the access.
+                    }
+                }
+            }
+            esr::EC_SYSREG => {
+                if let Some((id, write, rt)) = regcode::parse_sysreg_iss(esr::iss(info.esr)) {
+                    if id.base_reg() == SysReg::IccSgi1rEl1 && write {
+                        let v = m.core(cpu).gpr(rt);
+                        self.emulate_sgi(m, cpu, v);
+                    }
+                }
+                self.skip(m, cpu, info);
+            }
+            esr::EC_SMC64 => {
+                self.handle_psci(m, cpu);
+                self.skip(m, cpu, info);
+            }
+            _ => {
+                self.skip(m, cpu, info);
+            }
+        }
+    }
+
+    /// Emulates the PSCI firmware interface for a VM (`smc` with the
+    /// function in x0) — how real ARM guests boot their secondary vCPUs.
+    fn handle_psci(&mut self, m: &mut Machine, cpu: usize) {
+        m.hyp_work(m.cfg.cost.sw.kvm_arm_handler_simple);
+        let fid = m.core(cpu).gpr(0);
+        if fid != PSCI_CPU_ON {
+            m.core_mut(cpu).set_gpr(0, PSCI_INVALID);
+            return;
+        }
+        let target = m.core(cpu).gpr(1) as usize;
+        let entry = m.core(cpu).gpr(2);
+        let context = m.core(cpu).gpr(3);
+        if target >= m.ncpus() || target == cpu {
+            m.core_mut(cpu).set_gpr(0, PSCI_INVALID);
+            return;
+        }
+        if !matches!(self.vcpus[target].ctx, Ctx::L1Payload) || m.core(target).pc != 0 {
+            // Only parked (never-started) vCPUs can be powered on.
+            m.core_mut(cpu).set_gpr(0, PSCI_ALREADY_ON);
+            return;
+        }
+        // Mirror the caller's virtualization configuration onto the
+        // target and start it at the requested entry point.
+        let hcr_v = m.hyp_read(cpu, SysReg::HcrEl2);
+        let vttbr_v = m.hyp_read(cpu, SysReg::VttbrEl2);
+        m.hyp_write(target, SysReg::HcrEl2, hcr_v);
+        m.hyp_write(target, SysReg::VttbrEl2, vttbr_v);
+        m.hyp_write(target, SysReg::IchHcrEl2, ICH_HCR_EN);
+        m.core_mut(target).set_gpr(0, context);
+        m.core_mut(target).pc = entry;
+        m.core_mut(target).pstate = Pstate {
+            el: 1,
+            irq_masked: true,
+            fiq_masked: true,
+        };
+        m.core_mut(target).wfi = false;
+        m.core_mut(cpu).set_gpr(0, PSCI_SUCCESS);
+    }
+
+    fn handle_gh_vel2(&mut self, m: &mut Machine, cpu: usize, info: ExitInfo) {
+        self.host_kernel_roundtrip(m, cpu);
+        match esr::ec(info.esr) {
+            esr::EC_SYSREG => {
+                let iss = esr::iss(info.esr);
+                if iss == 1 {
+                    // Trapped TLB maintenance: the guest's Stage-2 view
+                    // changed; drop the shadow.
+                    self.shadows[cpu].invalidate_all(&mut m.mem);
+                    m.hyp_tlbi_vmid(layout::VMID_L2);
+                    self.skip(m, cpu, info);
+                    return;
+                }
+                let Some((id, write, rt)) = regcode::parse_sysreg_iss(iss) else {
+                    self.skip(m, cpu, info);
+                    return;
+                };
+                if id.base_reg() == SysReg::IccSgi1rEl1 && write {
+                    let v = m.core(cpu).gpr(rt);
+                    self.emulate_sgi(m, cpu, v);
+                    self.skip(m, cpu, info);
+                    return;
+                }
+                if write {
+                    let v = m.core(cpu).gpr(rt);
+                    self.emulate_gh_sysreg(m, cpu, id, true, v);
+                } else {
+                    let v = self.emulate_gh_sysreg(m, cpu, id, false, 0);
+                    m.core_mut(cpu).set_gpr(rt, v);
+                }
+                self.skip(m, cpu, info);
+            }
+            esr::EC_ERET => {
+                self.emulate_eret(m, cpu);
+            }
+            esr::EC_HVC64 => {
+                // Paravirtualized operations (Section 4) arrive as hvc
+                // with the operation encoded in the immediate.
+                let imm = esr::iss(info.esr) as u16;
+                if imm == PARA_HVC_ERET {
+                    self.emulate_eret(m, cpu);
+                } else if imm >= PARA_HVC_BASE {
+                    let write = imm & PARA_WRITE_BIT != 0;
+                    let code = imm & !(PARA_WRITE_BIT) & !PARA_HVC_BASE;
+                    if let Some(id) = regcode::decode(code) {
+                        if id.base_reg() == SysReg::IccSgi1rEl1 && write {
+                            let v = m.core(cpu).gpr(0);
+                            self.emulate_sgi(m, cpu, v);
+                        } else if write {
+                            let v = m.core(cpu).gpr(0);
+                            self.emulate_gh_sysreg(m, cpu, id, true, v);
+                        } else {
+                            let v = self.emulate_gh_sysreg(m, cpu, id, false, 0);
+                            m.core_mut(cpu).set_gpr(0, v);
+                        }
+                    }
+                    // hvc's preferred return is already past the call.
+                } else {
+                    // A run-vCPU call reflected while already in virtual
+                    // EL2 (initial entry path): nothing to do, continue.
+                }
+            }
+            esr::EC_DABT_LOW => {
+                if let Some(req) = m.take_mmio(cpu) {
+                    if layout::is_gich(req.ipa) {
+                        // GICv2: an access to the memory-mapped
+                        // hypervisor control interface — emulated like
+                        // the equivalent ICH system-register trap.
+                        let off = req.ipa - layout::GICH_BASE;
+                        if let Some(reg) = neve_gic::mmio::reg_at(off) {
+                            if req.write {
+                                self.emulate_gh_sysreg(m, cpu, RegId::Plain(reg), true, req.value);
+                            } else {
+                                let v = self.emulate_gh_sysreg(m, cpu, RegId::Plain(reg), false, 0);
+                                m.complete_mmio_read(cpu, req, v);
+                            }
+                        }
+                        self.skip(m, cpu, info);
+                    } else {
+                        // The guest hypervisor touched unmapped L1 RAM.
+                        self.map_l1_ram(m, cpu, req.ipa);
+                    }
+                }
+            }
+            _ => {
+                self.skip(m, cpu, info);
+            }
+        }
+    }
+
+    fn handle_gh_vel1(&mut self, m: &mut Machine, cpu: usize, info: ExitInfo) {
+        self.host_kernel_roundtrip(m, cpu);
+        match esr::ec(info.esr) {
+            esr::EC_HVC64 if esr::iss(info.esr) as u16 == HVC_RUN_VCPU => {
+                self.switch_vel1_to_vel2(m, cpu, info);
+            }
+            esr::EC_HVC64 => {
+                // Any other kernel hvc: also reflected (kvm_call_hyp).
+                self.switch_vel1_to_vel2(m, cpu, info);
+            }
+            esr::EC_SYSREG => {
+                if let Some((id, write, rt)) = regcode::parse_sysreg_iss(esr::iss(info.esr)) {
+                    if id.base_reg() == SysReg::IccSgi1rEl1 && write {
+                        let v = m.core(cpu).gpr(rt);
+                        self.emulate_sgi(m, cpu, v);
+                    }
+                }
+                self.skip(m, cpu, info);
+            }
+            esr::EC_DABT_LOW => {
+                if let Some(req) = m.take_mmio(cpu) {
+                    self.map_l1_ram(m, cpu, req.ipa);
+                }
+            }
+            _ => {
+                self.skip(m, cpu, info);
+            }
+        }
+    }
+
+    fn handle_l2_exit(&mut self, m: &mut Machine, cpu: usize, info: ExitInfo) {
+        self.host_kernel_roundtrip(m, cpu);
+        match esr::ec(info.esr) {
+            esr::EC_HVC64 if esr::iss(info.esr) == HVC_REARM as u64 => {
+                // The EOI benchmark's re-arm hook, serviced at L0 so the
+                // measured region stays confined to the guest (the
+                // kvm-unit-tests raise their interrupt outside the
+                // timed window too).
+                m.hyp_write(cpu, SysReg::IchHcrEl2, ICH_HCR_EN);
+                m.gic.inject_virq(cpu, layout::EOI_VINTID, 0x80);
+            }
+            esr::EC_DABT_LOW => {
+                self.handle_l2_abort(m, cpu, info);
+            }
+            // Everything else is the guest hypervisor's business:
+            // hypercalls, SGI writes, smc, wfx (paper Section 4: the
+            // host "can then forward it to the L1 guest hypervisor").
+            _ => {
+                let vesr = info.esr;
+                self.switch_l2_to_vel2(m, cpu, vesr, info.far, info.hpfar, 0x400);
+            }
+        }
+    }
+}
+
+impl Hypervisor for HostHyp {
+    fn handle_sync(&mut self, m: &mut Machine, cpu: usize, info: ExitInfo) {
+        match self.vcpus[cpu].ctx {
+            Ctx::L1Payload => self.handle_l1_payload(m, cpu, info),
+            Ctx::GhVel2 => self.handle_gh_vel2(m, cpu, info),
+            Ctx::GhVel1 => self.handle_gh_vel1(m, cpu, info),
+            Ctx::L2 => self.handle_l2_exit(m, cpu, info),
+        }
+    }
+
+    fn handle_irq(&mut self, m: &mut Machine, cpu: usize) {
+        self.host_kernel_roundtrip(m, cpu);
+        // Acknowledge and complete the physical interrupt.
+        while let Some(intid) = m.gic.dist.ack(cpu) {
+            m.gic.dist.eoi(cpu, intid);
+            m.hyp_work(m.cfg.cost.sw.kvm_arm_virq_inject);
+            if intid != KICK_SGI {
+                // A device interrupt owned by the L1 VM: queue it for
+                // virtual injection below.
+                self.vcpus[cpu].pending_l1_virqs.push(intid);
+            }
+        }
+        // Deliver queued L1 virtual interrupts.
+        let pending: Vec<u32> = std::mem::take(&mut self.vcpus[cpu].pending_l1_virqs);
+        if pending.is_empty() {
+            return;
+        }
+        match self.vcpus[cpu].ctx {
+            Ctx::L2 => {
+                // Stash into the saved L1 interface and pull the vCPU
+                // out of the nested VM so its hypervisor sees the IRQ.
+                for intid in pending {
+                    for n in 0..NUM_LIST_REGS {
+                        let r = SysReg::IchLrEl2(n);
+                        if ListRegister::decode(self.vcpus[cpu].vgic_l1.read(r)).is_empty() {
+                            self.vcpus[cpu]
+                                .vgic_l1
+                                .write(r, ListRegister::pending(intid, 0x80).encode());
+                            break;
+                        }
+                    }
+                }
+                self.switch_l2_to_vel2(m, cpu, 0, 0, 0, 0x480);
+            }
+            _ => {
+                m.hyp_write(cpu, SysReg::IchHcrEl2, ICH_HCR_EN);
+                for intid in pending {
+                    m.gic.inject_virq(cpu, intid, 0x80);
+                }
+            }
+        }
+    }
+}

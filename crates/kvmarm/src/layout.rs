@@ -1,0 +1,139 @@
+//! Memory and address-space layout conventions for the test bed.
+//!
+//! All guest images run with Stage-1 translation off (VA = IPA) and each
+//! occupies a disjoint range, so one flat interpreter address space
+//! serves every level (see DESIGN.md, "Key design decisions").
+
+/// Bytes of simulated RAM.
+pub const RAM_SIZE: u64 = 0x2000_0000; // 512 MiB
+
+/// Guest hypervisor image base (its virtual-EL2 vector base).
+pub const GUEST_HYP_BASE: u64 = 0x0010_0000;
+
+/// Guest hypervisor data area (saved nested-VM GPRs, scratch).
+pub const GUEST_HYP_DATA: u64 = 0x0020_0000;
+
+/// Guest hypervisor's virtual-EL1 (host kernel) image base.
+pub const GUEST_KERNEL_BASE: u64 = 0x0028_0000;
+
+/// L1 test payload base (used in the non-nested "VM" configuration).
+pub const L1_PAYLOAD_BASE: u64 = 0x0030_0000;
+
+/// L2 (nested VM) test payload base.
+pub const L2_PAYLOAD_BASE: u64 = 0x0040_0000;
+
+/// Frames for the guest hypervisor's own Stage-2 table (maps L2 IPA to
+/// L1 IPA); lives in L1-owned memory.
+pub const GUEST_S2_FRAMES: u64 = 0x0050_0000;
+/// Size of the guest Stage-2 frame pool.
+pub const GUEST_S2_FRAMES_SIZE: u64 = 0x0010_0000;
+
+/// Frames for the host's Stage-2 tables.
+pub const HOST_S2_FRAMES: u64 = 0x0100_0000;
+/// Size of the host Stage-2 frame pool.
+pub const HOST_S2_FRAMES_SIZE: u64 = 0x0040_0000;
+
+/// Frames for shadow Stage-2 tables.
+pub const SHADOW_S2_FRAMES: u64 = 0x0200_0000;
+/// Size of the shadow frame pool.
+pub const SHADOW_S2_FRAMES_SIZE: u64 = 0x0040_0000;
+
+/// Deferred access pages (one per vCPU, NEVE configurations).
+pub const VNCR_PAGES: u64 = 0x0300_0000;
+
+/// Per-CPU guest-hypervisor stack/save areas within
+/// [`GUEST_HYP_DATA`]; 4 KiB each.
+pub const GH_SAVE_STRIDE: u64 = 0x1000;
+
+/// GICv2 hypervisor control interface (GICH) MMIO frame: the paper's
+/// hardware exposes the Table 5 state as memory-mapped registers that
+/// "trivially trap to EL2 when not mapped in the Stage-2 page tables"
+/// (Section 4). Banked per CPU (same address, per-CPU state).
+pub const GICH_BASE: u64 = 0x0808_0000;
+
+/// Emulated-device MMIO window (never mapped at Stage-2).
+pub const DEVICE_BASE: u64 = 0x0900_0000;
+/// Device window size.
+pub const DEVICE_SIZE: u64 = 0x0010_0000;
+/// Offset of the "read a value" test-device register (the Device I/O
+/// microbenchmark target).
+pub const DEVICE_REG_VALUE: u64 = 0x8;
+
+/// VMID the host assigns the L1 VM.
+pub const VMID_L1: u16 = 1;
+/// VMID the host assigns the nested VM (shadow Stage-2).
+pub const VMID_L2: u16 = 2;
+
+/// SGI number used by guests for IPIs.
+pub const IPI_SGI: u32 = 5;
+
+/// Virtual interrupt number the EOI benchmark completes.
+pub const EOI_VINTID: u32 = 40;
+
+/// True if `ipa` falls in the device window.
+pub fn is_device(ipa: u64) -> bool {
+    (DEVICE_BASE..DEVICE_BASE + DEVICE_SIZE).contains(&ipa)
+}
+
+/// True if `ipa` falls in the GICv2 GICH frame.
+pub fn is_gich(ipa: u64) -> bool {
+    (GICH_BASE..GICH_BASE + neve_gic::mmio::GICH_SIZE).contains(&ipa)
+}
+
+/// Per-CPU save area base.
+pub fn gh_save_area(cpu: usize) -> u64 {
+    GUEST_HYP_DATA + cpu as u64 * GH_SAVE_STRIDE
+}
+
+/// Per-CPU deferred access page.
+pub fn vncr_page(cpu: usize) -> u64 {
+    VNCR_PAGES + cpu as u64 * 0x1000
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn device_window_detection() {
+        assert!(is_device(DEVICE_BASE));
+        assert!(is_device(DEVICE_BASE + DEVICE_REG_VALUE));
+        assert!(!is_device(DEVICE_BASE - 1));
+        assert!(!is_device(DEVICE_BASE + DEVICE_SIZE));
+    }
+
+    #[test]
+    fn regions_are_disjoint_and_in_ram() {
+        let regions = [
+            (GUEST_HYP_BASE, 0x8_0000),
+            (GUEST_HYP_DATA, 0x8_0000),
+            (GUEST_KERNEL_BASE, 0x8_0000),
+            (L1_PAYLOAD_BASE, 0x10_0000),
+            (L2_PAYLOAD_BASE, 0x10_0000),
+            (GUEST_S2_FRAMES, GUEST_S2_FRAMES_SIZE),
+            (HOST_S2_FRAMES, HOST_S2_FRAMES_SIZE),
+            (SHADOW_S2_FRAMES, SHADOW_S2_FRAMES_SIZE),
+            (VNCR_PAGES, 0x1_0000),
+        ];
+        for (i, &(b1, s1)) in regions.iter().enumerate() {
+            assert!(b1 + s1 <= RAM_SIZE, "region {i} beyond RAM");
+            for &(b2, s2) in &regions[i + 1..] {
+                assert!(b1 + s1 <= b2 || b2 + s2 <= b1, "overlap {b1:#x}/{b2:#x}");
+            }
+        }
+    }
+
+    #[test]
+    fn gich_window_detection() {
+        assert!(is_gich(GICH_BASE));
+        assert!(is_gich(GICH_BASE + neve_gic::mmio::GICH_LR_BASE));
+        assert!(!is_gich(GICH_BASE + neve_gic::mmio::GICH_SIZE));
+        assert!(!is_device(GICH_BASE), "GICH and device windows disjoint");
+    }
+
+    #[test]
+    fn per_cpu_areas_do_not_collide() {
+        assert_ne!(gh_save_area(0), gh_save_area(1));
+        assert_ne!(vncr_page(0), vncr_page(1));
+    }
+}

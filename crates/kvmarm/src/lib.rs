@@ -1,0 +1,36 @@
+//! A miniature KVM/ARM with nested virtualization — the hypervisor stack
+//! of the NEVE paper (Section 4), built on the `neve-armv8` machine.
+//!
+//! Components:
+//!
+//! - [`hyp::HostHyp`]: the L0 host hypervisor. Native Rust invoked on
+//!   every trap to EL2; multiplexes hardware EL1 state between the guest
+//!   hypervisor's virtual EL2 context, its virtual EL1 (host kernel)
+//!   context and the nested VM; emulates trapped hypervisor instructions
+//!   against virtual EL2 state; builds shadow Stage-2 tables; forwards
+//!   exits into virtual EL2 ("exception reflection").
+//! - [`guesthyp`]: the guest hypervisor as an *interpreted program*,
+//!   emitted by a builder in the flavours the paper evaluates — non-VHE
+//!   and VHE, each targeting ARMv8.3 trap-and-emulate or NEVE, plus the
+//!   paravirtualized variants of Sections 3/6.4 for ARMv8.0 hardware.
+//!   Its world-switch register rosters ([`rosters`]) are what make exit
+//!   multiplication *emergent*: the same source description produces
+//!   126-ish traps on ARMv8.3 and 15-ish with NEVE.
+//! - [`guests`]: nested-VM / VM test payloads equivalent to the
+//!   kvm-unit-tests microbenchmarks (Hypercall, Device I/O, Virtual IPI,
+//!   Virtual EOI).
+//! - [`testbed`]: assembles machine + hypervisors per evaluation
+//!   configuration and runs the microbenchmarks.
+
+pub mod guesthyp;
+pub mod guests;
+pub mod hyp;
+pub mod layout;
+pub mod rosters;
+pub mod testbed;
+pub mod vcpu;
+pub mod xen;
+
+pub use guesthyp::{GuestHypFlavor, ParaMode};
+pub use hyp::HostHyp;
+pub use testbed::{ArmConfig, MicroBench, TestBed};

@@ -1,0 +1,132 @@
+//! World-switch register rosters.
+//!
+//! Which registers a hypervisor saves and restores on each transition is
+//! *the* quantity behind the paper's exit-multiplication analysis: every
+//! roster entry a deprivileged guest hypervisor touches is one potential
+//! trap on ARMv8.3 and (usually) zero traps with NEVE. The rosters here
+//! are transcribed from KVM/ARM's switch path (`__sysreg_save_el1_state`
+//! and friends) restricted to the registers the simulator models, and
+//! they are shared between the native host hypervisor and the guest
+//! hypervisor program builder so both levels move the same state.
+
+use neve_sysreg::regs::{SysReg, NUM_LIST_REGS};
+
+/// EL1 context a hypervisor saves/restores when switching the EL1
+/// hardware state between execution contexts (VM vs host kernel, or
+/// nested VM vs guest hypervisor). These are the paper's Table 3 "VM
+/// Execution Control" registers.
+pub fn el1_context() -> Vec<SysReg> {
+    use SysReg::*;
+    vec![
+        SctlrEl1,
+        Ttbr0El1,
+        Ttbr1El1,
+        TcrEl1,
+        EsrEl1,
+        FarEl1,
+        Afsr0El1,
+        Afsr1El1,
+        MairEl1,
+        AmairEl1,
+        ContextidrEl1,
+        CpacrEl1,
+        ElrEl1,
+        SpsrEl1,
+        SpEl1,
+        VbarEl1,
+    ]
+}
+
+/// VM trap-control registers a hypervisor programs when entering a VM
+/// and clears when returning to host context (Table 3's first group,
+/// minus `VNCR_EL2` which only the host touches).
+pub fn vm_trap_control() -> Vec<SysReg> {
+    use SysReg::*;
+    vec![HcrEl2, VttbrEl2, VtcrEl2, HstrEl2, VpidrEl2, VmpidrEl2]
+}
+
+/// Hypervisor configuration registers written on every switch
+/// (trap-on-write under NEVE; paper Table 4).
+pub fn switch_control() -> Vec<SysReg> {
+    use SysReg::*;
+    vec![CptrEl2, MdcrEl2]
+}
+
+/// GIC hypervisor-interface registers saved when leaving a VM.
+pub fn gic_save() -> Vec<SysReg> {
+    let mut v = vec![SysReg::IchVmcrEl2, SysReg::IchMisrEl2, SysReg::IchElrsrEl2];
+    for n in 0..NUM_LIST_REGS {
+        v.push(SysReg::IchLrEl2(n));
+    }
+    v
+}
+
+/// GIC hypervisor-interface registers restored when entering a VM.
+pub fn gic_restore() -> Vec<SysReg> {
+    let mut v = vec![SysReg::IchVmcrEl2, SysReg::IchHcrEl2];
+    for n in 0..NUM_LIST_REGS {
+        v.push(SysReg::IchLrEl2(n));
+    }
+    v
+}
+
+/// EL1 virtual-timer registers saved/restored around a VM switch; these
+/// are EL1/EL0-reachable and do not trap. The EL2 timer-control pair
+/// (`CNTHCTL_EL2`, `CNTVOFF_EL2`) is listed separately because it always
+/// needs hypervisor privilege.
+pub fn timer_el1() -> Vec<SysReg> {
+    vec![SysReg::CntvCtlEl0, SysReg::CntvCvalEl0]
+}
+
+/// EL2 timer control written around a VM switch.
+pub fn timer_el2() -> Vec<SysReg> {
+    vec![SysReg::CnthctlEl2, SysReg::CntvoffEl2]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neve_sysreg::classify::{neve_class, NeveClass};
+
+    #[test]
+    fn el1_context_is_exactly_the_vm_execution_control_group() {
+        let roster = el1_context();
+        assert_eq!(roster.len(), 16);
+        for r in &roster {
+            assert_eq!(
+                neve_class(*r),
+                NeveClass::VmExecutionControl,
+                "{r} misclassified"
+            );
+        }
+    }
+
+    #[test]
+    fn vm_trap_control_registers_are_table3_group1() {
+        for r in vm_trap_control() {
+            assert_eq!(neve_class(r), NeveClass::VmTrapControl, "{r}");
+        }
+    }
+
+    #[test]
+    fn switch_control_registers_trap_on_write_under_neve() {
+        for r in switch_control() {
+            assert_eq!(neve_class(r), NeveClass::HypTrapOnWrite, "{r}");
+        }
+    }
+
+    #[test]
+    fn gic_rosters_are_table5_registers() {
+        for r in gic_save().into_iter().chain(gic_restore()) {
+            assert_eq!(neve_class(r), NeveClass::GicTrapOnWrite, "{r}");
+        }
+    }
+
+    #[test]
+    fn rosters_have_no_duplicates() {
+        for roster in [el1_context(), vm_trap_control(), gic_save(), gic_restore()] {
+            let set: std::collections::HashSet<_> = roster.iter().collect();
+            assert_eq!(set.len(), roster.len());
+        }
+    }
+}

@@ -1,0 +1,517 @@
+//! Evaluation test bed: assembles a machine + hypervisor stack per paper
+//! configuration and runs the kvm-unit-tests-equivalent microbenchmarks.
+//!
+//! Configurations follow Tables 1 and 6:
+//!
+//! - **VM**: the payload runs as a single-level VM on the host
+//!   hypervisor.
+//! - **Nested VM**: the payload runs as a nested VM on a guest
+//!   hypervisor (non-VHE or VHE) which runs on the host hypervisor,
+//!   with the architecture level selecting ARMv8.3 trap-and-emulate or
+//!   NEVE — or ARMv8.0 plus the paravirtualized guest hypervisor images
+//!   (the paper's own methodology, used here for the validation
+//!   ablation).
+
+use crate::guesthyp::{self, GuestHypFlavor, ParaMode};
+use crate::guests;
+use crate::hyp::{HostHyp, NestedMode, HCR_VM_RUN};
+use crate::layout;
+use crate::rosters;
+use crate::vcpu::Ctx;
+use neve_armv8::isa::Instr;
+use neve_armv8::machine::{Machine, MachineConfig, StepOutcome};
+use neve_armv8::pstate::Pstate;
+use neve_armv8::ArchLevel;
+use neve_core::VncrEl2;
+use neve_cycles::counter::PerOp;
+use neve_gic::vgic::ICH_HCR_EN;
+use neve_memsim::{FrameAlloc, PageTable, Perms};
+use neve_sysreg::bits::{spsr, vttbr};
+use neve_sysreg::SysReg;
+
+/// An evaluation configuration (one column of Tables 1/6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArmConfig {
+    /// Single-level VM on the host hypervisor.
+    Vm,
+    /// Nested VM under a guest hypervisor.
+    Nested {
+        /// VHE guest hypervisor.
+        guest_vhe: bool,
+        /// NEVE (ARMv8.4) instead of ARMv8.3 trap-and-emulate.
+        neve: bool,
+        /// Paravirtualization mode (selects ARMv8.0 hardware when not
+        /// [`ParaMode::None`]).
+        para: ParaMode,
+    },
+}
+
+impl ArmConfig {
+    /// The hardware architecture level this configuration requires.
+    pub fn arch(self) -> ArchLevel {
+        match self {
+            ArmConfig::Vm => ArchLevel::V8_0,
+            ArmConfig::Nested {
+                para: ParaMode::None,
+                neve: true,
+                ..
+            } => ArchLevel::V8_4,
+            ArmConfig::Nested {
+                para: ParaMode::None,
+                neve: false,
+                ..
+            } => ArchLevel::V8_3,
+            ArmConfig::Nested { .. } => ArchLevel::V8_0,
+        }
+    }
+}
+
+/// A microbenchmark (one row of Tables 1/6/7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MicroBench {
+    /// VM -> hypervisor -> VM round trip.
+    Hypercall,
+    /// Read of a device register emulated by the owning hypervisor.
+    DeviceIo,
+    /// Cross-vCPU virtual IPI, send to delivery.
+    VirtualIpi,
+    /// Trap-free virtual interrupt completion.
+    VirtualEoi,
+    /// Workload replay: per transaction, `work` cycles of computation
+    /// plus `hcs` hypercalls and `ios` device reads (the
+    /// execution-based Figure 2 cross-check).
+    Mixed {
+        /// Computation per transaction, in cycles.
+        work: u16,
+        /// Hypercalls per transaction.
+        hcs: u8,
+        /// Device reads per transaction.
+        ios: u8,
+    },
+}
+
+impl MicroBench {
+    /// CPUs the benchmark needs.
+    pub fn ncpus(self) -> usize {
+        match self {
+            MicroBench::VirtualIpi => 2,
+            _ => 1,
+        }
+    }
+}
+
+/// The assembled stack.
+pub struct TestBed {
+    /// The machine.
+    pub m: Machine,
+    /// The host hypervisor.
+    pub hyp: HostHyp,
+    /// The configuration.
+    pub cfg: ArmConfig,
+    bench: MicroBench,
+}
+
+/// Iterations dropped as warm-up (lazy Stage-2 faults, shadow fills).
+const WARMUP: u64 = 8;
+
+impl TestBed {
+    /// Builds the full stack for `cfg` running `bench` with `iters`
+    /// measured iterations (GICv3 system-register GIC interface).
+    pub fn new(cfg: ArmConfig, bench: MicroBench, iters: u64) -> Self {
+        Self::with_gic(cfg, bench, iters, false)
+    }
+
+    /// Like [`TestBed::new`] but with a GICv2 memory-mapped hypervisor
+    /// control interface (the paper's hardware; nested configurations
+    /// only — the flag is ignored for plain VMs).
+    pub fn new_gicv2(cfg: ArmConfig, bench: MicroBench, iters: u64) -> Self {
+        Self::build(cfg, bench, iters, true, false)
+    }
+
+    /// Like [`TestBed::new`] but with a standalone (Xen-style) guest
+    /// hypervisor (paper Section 6.5's design comparison; nested
+    /// configurations only).
+    pub fn new_xen(cfg: ArmConfig, bench: MicroBench, iters: u64) -> Self {
+        Self::build(cfg, bench, iters, false, true)
+    }
+
+    fn with_gic(cfg: ArmConfig, bench: MicroBench, iters: u64, gic_mmio: bool) -> Self {
+        Self::build(cfg, bench, iters, gic_mmio, false)
+    }
+
+    fn build(cfg: ArmConfig, bench: MicroBench, iters: u64, gic_mmio: bool, xen: bool) -> Self {
+        let ncpus = bench.ncpus();
+        let mut m = Machine::new(MachineConfig {
+            arch: cfg.arch(),
+            ncpus,
+            mem_size: layout::RAM_SIZE,
+            cost: Default::default(),
+        });
+        let total = iters + WARMUP;
+        match cfg {
+            ArmConfig::Vm => {
+                let hyp = Self::setup_vm(&mut m, bench, total, ncpus);
+                Self { m, hyp, cfg, bench }
+            }
+            ArmConfig::Nested {
+                guest_vhe,
+                neve,
+                para,
+            } => {
+                let hyp = Self::setup_nested(
+                    &mut m,
+                    bench,
+                    total,
+                    ncpus,
+                    NestedMode {
+                        guest_vhe,
+                        neve,
+                        para,
+                        gic_mmio,
+                        xen,
+                    },
+                );
+                Self { m, hyp, cfg, bench }
+            }
+        }
+    }
+
+    fn load_payloads(m: &mut Machine, bench: MicroBench, base: u64, iters: u64) {
+        match bench {
+            MicroBench::Hypercall => m.load(guests::hypercall(base, iters)),
+            MicroBench::DeviceIo => m.load(guests::device_io(base, iters)),
+            MicroBench::VirtualIpi => {
+                let flag = guests::ipi_flag(base);
+                m.load(guests::ipi_sender(base, flag, iters));
+                m.load(guests::ipi_receiver(base + 0x4000, flag));
+            }
+            MicroBench::VirtualEoi => m.load(guests::eoi(base, iters)),
+            MicroBench::Mixed { work, hcs, ios } => {
+                m.load(guests::mixed(base, iters, work as u64, hcs, ios))
+            }
+        }
+    }
+
+    fn payload_entry(bench: MicroBench, base: u64, cpu: usize) -> u64 {
+        match (bench, cpu) {
+            (MicroBench::VirtualIpi, 1) => base + 0x4000,
+            _ => base,
+        }
+    }
+
+    fn payload_vbar(bench: MicroBench, base: u64, cpu: usize) -> u64 {
+        match (bench, cpu) {
+            (MicroBench::VirtualIpi, 1) => base + 0x4000,
+            _ => 0,
+        }
+    }
+
+    fn payload_irqs_unmasked(bench: MicroBench, cpu: usize) -> bool {
+        matches!((bench, cpu), (MicroBench::VirtualIpi, 1))
+    }
+
+    /// Single-level VM configuration.
+    fn setup_vm(m: &mut Machine, bench: MicroBench, iters: u64, ncpus: usize) -> HostHyp {
+        let hyp = HostHyp::new(m, ncpus, None);
+        let base = layout::L1_PAYLOAD_BASE;
+        Self::load_payloads(m, bench, base, iters);
+        for cpu in 0..ncpus {
+            m.core_mut(cpu).pstate = Pstate {
+                el: 1,
+                irq_masked: !Self::payload_irqs_unmasked(bench, cpu),
+                fiq_masked: true,
+            };
+            m.core_mut(cpu).pc = Self::payload_entry(bench, base, cpu);
+            m.core_mut(cpu)
+                .regs
+                .write(SysReg::VbarEl1, Self::payload_vbar(bench, base, cpu));
+            m.core_mut(cpu).regs.write(SysReg::HcrEl2, HCR_VM_RUN);
+            m.core_mut(cpu).regs.write(
+                SysReg::VttbrEl2,
+                vttbr::build(layout::VMID_L1, hyp.host_s2.root),
+            );
+            m.gic.ich_write(cpu, SysReg::IchHcrEl2, ICH_HCR_EN);
+        }
+        if bench == MicroBench::VirtualEoi {
+            m.gic.inject_virq(0, layout::EOI_VINTID, 0x80);
+        }
+        hyp
+    }
+
+    /// Nested configuration: guest hypervisor + nested VM.
+    fn setup_nested(
+        m: &mut Machine,
+        bench: MicroBench,
+        iters: u64,
+        ncpus: usize,
+        mode: NestedMode,
+    ) -> HostHyp {
+        let mut hyp = HostHyp::new(m, ncpus, Some(mode));
+        let flavor = GuestHypFlavor {
+            vhe: mode.guest_vhe,
+            para: mode.para,
+            gicv2: mode.gic_mmio,
+        };
+
+        // The guest hypervisor's Stage-2 table for its nested VM, built
+        // in L1-owned memory on its behalf (the "booted" state): L2 IPA
+        // identity-maps to L1 PA for the payload's data pages.
+        let mut gframes = FrameAlloc::new(layout::GUEST_S2_FRAMES, layout::GUEST_S2_FRAMES_SIZE);
+        let guest_s2 = PageTable::new(&mut m.mem, &mut gframes);
+        let l2 = layout::L2_PAYLOAD_BASE;
+        for page in 0..32u64 {
+            let a = l2 + page * 4096;
+            guest_s2.map(&mut m.mem, &mut gframes, a, a, Perms::RWX);
+        }
+        hyp.guest_s2_root = guest_s2.root;
+
+        Self::load_payloads(m, bench, l2, iters);
+
+        for cpu in 0..ncpus {
+            let img = if mode.xen {
+                crate::xen::build(flavor, cpu)
+            } else {
+                guesthyp::build(flavor, cpu)
+            };
+            let hyp_base = img.hyp.base;
+            m.load(img.hyp);
+            m.load(img.kernel);
+
+            // "Boot" state of the guest hypervisor: its vector base and
+            // the save-area constants its switch code loads. The chain
+            // starts in virtual EL2, so hardware EL1 must *be* the
+            // virtual-EL2 image (the host saves hardware into the image
+            // on the first switch away).
+            hyp.vcpus[cpu].vel2_hw.write(SysReg::VbarEl1, hyp_base);
+            m.core_mut(cpu).regs.write(SysReg::VbarEl1, hyp_base);
+            hyp.vcpus[cpu].ctx = Ctx::GhVel2;
+            let save = layout::gh_save_area(cpu);
+            use crate::guesthyp::slots;
+            // Host-kernel EL1 context: synthetic but distinct values.
+            for (i, _) in rosters::el1_context().iter().enumerate() {
+                m.mem
+                    .write_u64(save + slots::HOST_EL1 + 8 * i as u64, 0x1000 + i as u64);
+            }
+            m.mem
+                .write_u64(save + slots::HCR_HOST, neve_sysreg::bits::hcr::IMO);
+            m.mem.write_u64(
+                save + slots::HCR_VM,
+                neve_sysreg::bits::hcr::VM | neve_sysreg::bits::hcr::IMO,
+            );
+            m.mem
+                .write_u64(save + slots::VTTBR_VM, vttbr::build(7, guest_s2.root));
+            m.mem
+                .write_u64(save + slots::ELR, Self::payload_entry(bench, l2, cpu));
+            let sp = if Self::payload_irqs_unmasked(bench, cpu) {
+                spsr::mode_h(1)
+            } else {
+                spsr::mode_h(1) | spsr::I | spsr::F
+            };
+            m.mem.write_u64(save + slots::SPSR, sp);
+            // The VM context starts dirty so lazy-restoring designs
+            // (the Xen flavour) load it on first entry.
+            m.mem.write_u64(save + slots::REASON, 1);
+            // The nested VM's initial EL1 context (roster order).
+            for (i, reg) in rosters::el1_context().into_iter().enumerate() {
+                let v = if reg == SysReg::VbarEl1 {
+                    Self::payload_vbar(bench, l2, cpu)
+                } else {
+                    0
+                };
+                m.mem.write_u64(save + slots::VM_EL1 + 8 * i as u64, v);
+            }
+
+            // Hardware state: enter the guest hypervisor at its run
+            // entry; it performs the first world switch into the VM.
+            m.core_mut(cpu).pstate = Pstate {
+                el: 1,
+                irq_masked: true,
+                fiq_masked: true,
+            };
+            m.core_mut(cpu).pc = hyp_base + guesthyp::RUN_ENTRY_OFFSET;
+            let hcr_bits = {
+                use neve_sysreg::bits::hcr;
+                let mut b = HCR_VM_RUN | hcr::NV;
+                if !mode.guest_vhe {
+                    b |= hcr::NV1;
+                }
+                if mode.neve {
+                    b |= hcr::NV2;
+                }
+                b
+            };
+            m.core_mut(cpu).regs.write(SysReg::HcrEl2, hcr_bits);
+            m.core_mut(cpu).regs.write(
+                SysReg::VttbrEl2,
+                vttbr::build(layout::VMID_L1, hyp.host_s2.root),
+            );
+            if mode.neve {
+                let raw = VncrEl2::enabled_at(layout::vncr_page(cpu))
+                    .expect("aligned")
+                    .raw();
+                // Through the storage router so the core's NEVE engine
+                // sees the value.
+                m.hyp_write(cpu, SysReg::VncrEl2, raw);
+            }
+            m.gic.ich_write(cpu, SysReg::IchHcrEl2, ICH_HCR_EN);
+        }
+        if bench == MicroBench::VirtualEoi {
+            // The guest hypervisor "injected" an interrupt: place it in
+            // the virtual GIC state so L2 entry loads it.
+            hyp.vcpus[0].vgic_l2.write(
+                SysReg::IchLrEl2(0),
+                neve_gic::lr::ListRegister::pending(layout::EOI_VINTID, 0x80).encode(),
+            );
+        }
+        hyp
+    }
+
+    /// Switches the host hypervisor to VHE mode (kernel in EL2: no EL1
+    /// context swap per exit). Call before [`TestBed::run`].
+    pub fn host_vhe(&mut self) -> &mut Self {
+        self.hyp.vhe_host = true;
+        self
+    }
+
+    /// Runs the benchmark to completion and returns per-operation
+    /// averages over the measured iterations (warm-up excluded).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the payload crashes or stalls.
+    pub fn run(&mut self, iters: u64) -> PerOp {
+        match self.bench {
+            MicroBench::VirtualEoi => self.run_eoi(iters),
+            MicroBench::VirtualIpi => self.run_ipi(iters),
+            _ => self.run_simple(iters),
+        }
+    }
+
+    /// Single-CPU benchmarks: run until the payload halts, snapshotting
+    /// after the warm-up iterations.
+    fn run_simple(&mut self, iters: u64) -> PerOp {
+        // Warm-up: run until the iteration counter (x10 at L1/L2)
+        // drops to `iters`.
+        let mut snap = None;
+        let mut steps: u64 = 0;
+        loop {
+            let out = self.m.step(&mut self.hyp, 0);
+            steps += 1;
+            assert!(steps < 80_000_000, "benchmark stalled");
+            match out {
+                StepOutcome::Executed => {}
+                StepOutcome::Halted(code) => {
+                    assert_eq!(code, guests::DONE, "payload crashed: {code:#x}");
+                    break;
+                }
+                StepOutcome::Wfi => panic!("unexpected wfi"),
+                StepOutcome::FetchFailure(pc) => panic!("fetch failure at {pc:#x}"),
+            }
+            if snap.is_none() && self.payload_counter() == iters {
+                snap = Some(self.m.counter.snapshot());
+            }
+        }
+        let snap = snap.expect("warm-up longer than the run");
+        self.m.counter.delta_since(&snap).per_op(iters)
+    }
+
+    /// The payload's remaining-iterations counter (x10), regardless of
+    /// which context currently owns the hardware.
+    fn payload_counter(&self) -> u64 {
+        match self.hyp.vcpus[0].ctx {
+            Ctx::L1Payload | Ctx::L2 => self.m.core(0).gpr(10),
+            _ => {
+                // The payload's x10 sits in the guest hypervisor's save
+                // area while the hypervisor runs.
+                let save = layout::gh_save_area(0);
+                self.m
+                    .mem
+                    .read_u64(save + crate::guesthyp::slots::GPRS + 8 * 10)
+            }
+        }
+    }
+
+    /// The IPI benchmark: interleave both CPUs.
+    fn run_ipi(&mut self, iters: u64) -> PerOp {
+        let mut snap = None;
+        let mut steps: u64 = 0;
+        loop {
+            let out0 = self.m.step(&mut self.hyp, 0);
+            // The receiver gets a burst of steps so delivery latency is
+            // not dominated by the interleave ratio.
+            for _ in 0..4 {
+                let r = self.m.step(&mut self.hyp, 1);
+                assert!(
+                    matches!(r, StepOutcome::Executed | StepOutcome::Wfi),
+                    "receiver stopped: {r:?}"
+                );
+            }
+            steps += 1;
+            assert!(steps < 80_000_000, "IPI benchmark stalled");
+            match out0 {
+                StepOutcome::Executed | StepOutcome::Wfi => {}
+                StepOutcome::Halted(code) => {
+                    assert_eq!(code, guests::DONE, "sender crashed: {code:#x}");
+                    break;
+                }
+                StepOutcome::FetchFailure(pc) => panic!("fetch failure at {pc:#x}"),
+            }
+            if snap.is_none() && self.payload_counter() == iters {
+                snap = Some(self.m.counter.snapshot());
+            }
+        }
+        let snap = snap.expect("warm-up longer than the run");
+        self.m.counter.delta_since(&snap).per_op(iters)
+    }
+
+    /// The EOI benchmark measures only the acknowledge + complete pair;
+    /// the re-arm hypercall between iterations is excluded, as in
+    /// kvm-unit-tests where the interrupt is raised outside the timed
+    /// region.
+    fn run_eoi(&mut self, iters: u64) -> PerOp {
+        let mut measured = neve_cycles::counter::Delta::default();
+        let mut done = 0u64;
+        let mut steps: u64 = 0;
+        let mut measuring_snap = None;
+        loop {
+            // Peek at the next instruction to bracket the measured
+            // region: [Mrs IAR .. Msr EOIR].
+            let pc = self.m.core(0).pc;
+            let at_eoir = matches!(
+                self.fetch_at(pc),
+                Some(Instr::Msr(
+                    neve_sysreg::RegId::Plain(SysReg::IccEoir1El1),
+                    _
+                ))
+            );
+            if at_eoir {
+                measuring_snap = Some(self.m.counter.snapshot());
+            }
+            let out = self.m.step(&mut self.hyp, 0);
+            steps += 1;
+            assert!(steps < 80_000_000, "EOI benchmark stalled");
+            if let Some(snapped) = measuring_snap.take() {
+                let d = self.m.counter.delta_since(&snapped);
+                done += 1;
+                if done > WARMUP {
+                    measured.cycles += d.cycles;
+                    measured.traps += d.traps;
+                }
+            }
+            match out {
+                StepOutcome::Executed => {}
+                StepOutcome::Halted(code) => {
+                    assert_eq!(code, guests::DONE);
+                    break;
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert!(done >= iters, "expected {iters} EOI pairs, saw {done}");
+        measured.per_op(done - WARMUP)
+    }
+
+    fn fetch_at(&self, pc: u64) -> Option<Instr> {
+        self.m.peek(pc)
+    }
+}

@@ -1,0 +1,131 @@
+//! Per-vCPU virtualization state the host hypervisor maintains.
+//!
+//! The central idea (mirroring how the paper's KVM/ARM prototype and the
+//! later upstream implementation organise state): hardware EL1 is a
+//! multiplexed resource, and the host keeps
+//!
+//! - `vel2_hw` — the hardware-EL1 *image of virtual EL2*: what hardware
+//!   EL1 registers must contain while the guest hypervisor runs (the
+//!   redirect targets of paper Table 4: `VBAR_EL1` holds the guest
+//!   hypervisor's `VBAR_EL2`, ...),
+//! - `el1_stage` — the *staged* EL1 context: whatever should become
+//!   hardware EL1 at the guest hypervisor's next `eret` (the nested
+//!   VM's context, or the guest's own kernel context). Under ARMv8.3
+//!   every guest access to it traps and the host reads/writes this
+//!   store; under NEVE the deferred access page *is* the stage and no
+//!   trap happens (paper Section 6's key insight: these accesses "simply
+//!   prepare the hardware for running a different execution context at a
+//!   later time").
+
+use neve_sysreg::{RegFile, SysReg};
+
+/// Which execution context currently owns the hardware on a physical CPU.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Ctx {
+    /// A plain (single-level) VM payload — the "VM" configurations.
+    L1Payload,
+    /// The guest hypervisor executing in virtual EL2.
+    GhVel2,
+    /// The guest hypervisor's kernel half executing in virtual EL1
+    /// (non-VHE guest hypervisors only).
+    GhVel1,
+    /// The nested VM.
+    L2,
+}
+
+/// Host-side state for one virtual CPU chain (the L1 vCPU and, in
+/// nested configurations, the L2 vCPU multiplexed onto one physical CPU).
+#[derive(Debug)]
+pub struct VCpu {
+    /// What is loaded on the hardware right now.
+    pub ctx: Ctx,
+    /// Virtual EL2 system registers that have no hardware home while
+    /// deprivileged: `vHCR`, `vVTTBR`, `vCNTHCTL`, `vCPTR`, `vMDCR`,
+    /// `vCNTVOFF`, `vTPIDR_EL2`, and (on ARMv8.3, where they cannot be
+    /// redirected) `vESR/vELR/vSPSR_EL2`.
+    pub vel2: RegFile,
+    /// Hardware-EL1 image of virtual EL2 (see module docs).
+    pub vel2_hw: RegFile,
+    /// Staged EL1 context on the ARMv8.3 path (the NEVE path stages in
+    /// the deferred access page instead).
+    pub el1_stage: RegFile,
+    /// The guest hypervisor's virtual GIC hypervisor-interface state for
+    /// its nested VM (`ICH_*` writes, sanitized into hardware on L2
+    /// entry; paper Section 4, interrupt virtualization).
+    pub vgic_l2: RegFile,
+    /// The L1 VM's GIC interface state, saved while L2 owns the hardware
+    /// list registers.
+    pub vgic_l1: RegFile,
+    /// L1 virtual interrupts that arrived while L2 owned the hardware,
+    /// waiting for the next switch into the guest hypervisor.
+    pub pending_l1_virqs: Vec<u32>,
+    /// True when this guest hypervisor runs with NEVE.
+    pub neve: bool,
+    /// True for a VHE guest hypervisor (selects `NV1` and the
+    /// redirect-or-trap treatment of `TCR_EL2`/`TTBR0_EL2`).
+    pub guest_vhe: bool,
+    /// Hypercalls the host serviced directly (plain-VM configurations).
+    pub hypercalls_serviced: u64,
+    /// Nested-VM exits reflected into virtual EL2.
+    pub exits_forwarded: u64,
+}
+
+impl VCpu {
+    /// Creates a vCPU chain in the given initial context.
+    pub fn new(ctx: Ctx) -> Self {
+        Self {
+            ctx,
+            vel2: RegFile::new(),
+            vel2_hw: RegFile::new(),
+            el1_stage: RegFile::new(),
+            vgic_l2: RegFile::new(),
+            vgic_l1: RegFile::new(),
+            pending_l1_virqs: Vec::new(),
+            neve: false,
+            guest_vhe: false,
+            hypercalls_serviced: 0,
+            exits_forwarded: 0,
+        }
+    }
+
+    /// The guest hypervisor's virtual `HCR_EL2` (ARMv8.3 storage; the
+    /// NEVE path reads the deferred access page instead).
+    pub fn vhcr(&self) -> u64 {
+        self.vel2.read(SysReg::HcrEl2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neve_sysreg::bits::hcr;
+
+    #[test]
+    fn fresh_vcpu_has_zeroed_virtual_state() {
+        let v = VCpu::new(Ctx::L1Payload);
+        assert_eq!(v.ctx, Ctx::L1Payload);
+        assert_eq!(v.vhcr(), 0);
+        assert_eq!(v.hypercalls_serviced, 0);
+        assert!(v.pending_l1_virqs.is_empty());
+    }
+
+    #[test]
+    fn state_stores_are_independent() {
+        let mut v = VCpu::new(Ctx::GhVel2);
+        v.vel2_hw.write(SysReg::VbarEl1, 1);
+        v.el1_stage.write(SysReg::VbarEl1, 2);
+        v.vgic_l1.write(SysReg::IchLrEl2(0), 3);
+        v.vgic_l2.write(SysReg::IchLrEl2(0), 4);
+        assert_eq!(v.vel2_hw.read(SysReg::VbarEl1), 1);
+        assert_eq!(v.el1_stage.read(SysReg::VbarEl1), 2);
+        assert_eq!(v.vgic_l1.read(SysReg::IchLrEl2(0)), 3);
+        assert_eq!(v.vgic_l2.read(SysReg::IchLrEl2(0)), 4);
+    }
+
+    #[test]
+    fn vhcr_reads_virtual_hcr() {
+        let mut v = VCpu::new(Ctx::GhVel2);
+        v.vel2.write(SysReg::HcrEl2, hcr::VM | hcr::IMO);
+        assert_eq!(v.vhcr() & hcr::VM, hcr::VM);
+    }
+}

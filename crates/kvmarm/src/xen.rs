@@ -1,0 +1,348 @@
+//! A standalone (Xen-style) guest hypervisor — the third design of
+//! paper Section 6.5.
+//!
+//! Xen "runs only in EL2 as a standalone hypervisor. Since Xen does not
+//! need to use the VM system registers for its execution, it does not
+//! save and restore them for every VM exit. However, even Xen must save
+//! and restore all the VM system registers when it switches between
+//! VMs, which is a common operation on Xen because all I/O is handled
+//! in a special separate VM called Dom0. Furthermore, Xen frequently
+//! accesses the hypervisor control registers which trap when Xen is a
+//! guest hypervisor under ARMv8.3. Therefore, Xen is likely to also
+//! benefit from NEVE."
+//!
+//! The builder here emits exactly that structure:
+//!
+//! - **hypercalls** are handled entirely in virtual EL2: no EL1-context
+//!   switch at all, so the ARMv8.3 trap count collapses to the syndrome
+//!   reads, the control-register pokes and the `eret`;
+//! - **device I/O** bounces through Dom0 (a virtual-EL1 context),
+//!   paying the full VM-register save/restore in both directions — the
+//!   switch-between-VMs cost the paper highlights.
+//!
+//! The host hypervisor needs no Xen-specific support: the image uses
+//! the same vector interface and the same (trapped or NEVE-rewritten)
+//! instructions as the KVM-style image.
+
+use crate::guesthyp::{
+    build_kernel, prologue_bases, slots, Emit, GuestHypFlavor, GuestHypImage, RUN_ENTRY_OFFSET,
+    SAVED_GPRS, SAVE_BASE,
+};
+use crate::layout;
+use crate::rosters;
+use neve_armv8::isa::{Asm, Instr, Program};
+use neve_sysreg::SysReg;
+
+/// Builds the Xen-style guest hypervisor image for `flavor` and `cpu`.
+///
+/// The kernel half plays Dom0 (the I/O domain). VHE flavours are
+/// accepted but behave identically to non-VHE here: a standalone
+/// hypervisor gains nothing from VHE (it never hosts a kernel), which
+/// is itself a Section 6.5 observation.
+pub fn build(flavor: GuestHypFlavor, cpu: usize) -> GuestHypImage {
+    let hyp = build_hyp(flavor, cpu);
+    let kernel = build_kernel(flavor, layout::gh_save_area(cpu), cpu);
+    GuestHypImage {
+        hyp,
+        kernel,
+        flavor,
+    }
+}
+
+fn build_hyp(flavor: GuestHypFlavor, cpu: usize) -> Program {
+    let base = layout::GUEST_HYP_BASE + cpu as u64 * 0x4000;
+    let save = layout::gh_save_area(cpu);
+    let mut a = Asm::new(base);
+    let save_guest_gprs = a.label();
+    let dispatch = a.label();
+    let hypercall_fast = a.label();
+    let to_dom0 = a.label();
+    let to_guest = a.label();
+    let sgi_fast = a.label();
+    let irq_fast = a.label();
+
+    // ---- run entry ----
+    a.org(RUN_ENTRY_OFFSET);
+    {
+        prologue_bases(&mut a, flavor, save, cpu);
+        a.b(to_guest);
+    }
+
+    // ---- 0x400: sync from lower EL ----
+    a.org(0x400);
+    {
+        prologue_bases(&mut a, flavor, save, cpu);
+        a.i(Instr::Str(0, SAVE_BASE, slots::SCRATCH as i64));
+        a.i(Instr::Str(1, SAVE_BASE, (slots::SCRATCH + 8) as i64));
+        let mut e = Emit { a: &mut a, flavor };
+        e.read_el2(0, SysReg::TpidrEl2);
+        e.read_el2(0, SysReg::VttbrEl2);
+        a.cbnz(0, save_guest_gprs);
+        // A Dom0 hvc: run the vCPU again.
+        a.b(to_guest);
+    }
+
+    // ---- 0x480: IRQ from lower EL ----
+    a.org(0x480);
+    {
+        prologue_bases(&mut a, flavor, save, cpu);
+        a.i(Instr::Str(0, SAVE_BASE, slots::SCRATCH as i64));
+        a.i(Instr::Str(1, SAVE_BASE, (slots::SCRATCH + 8) as i64));
+        a.b(save_guest_gprs);
+    }
+
+    // ---- save the interrupted VM's GPRs, then dispatch ----
+    a.bind(save_guest_gprs);
+    {
+        for r in 2..SAVED_GPRS {
+            a.i(Instr::Str(
+                r,
+                SAVE_BASE,
+                (slots::GPRS + 8 * r as u64) as i64,
+            ));
+        }
+        a.i(Instr::Ldr(0, SAVE_BASE, slots::SCRATCH as i64));
+        a.i(Instr::Str(0, SAVE_BASE, slots::GPRS as i64));
+        a.i(Instr::Ldr(0, SAVE_BASE, (slots::SCRATCH + 8) as i64));
+        a.i(Instr::Str(0, SAVE_BASE, (slots::GPRS + 8) as i64));
+        a.b(dispatch);
+    }
+
+    // ---- dispatch on the syndrome, all in virtual EL2 ----
+    a.bind(dispatch);
+    {
+        let mut e = Emit { a: &mut a, flavor };
+        e.read_el2(1, SysReg::EsrEl2);
+        e.a.i(Instr::Str(1, SAVE_BASE, slots::ESR as i64));
+        e.read_el2(2, SysReg::ElrEl2);
+        e.a.i(Instr::Str(2, SAVE_BASE, slots::ELR as i64));
+        e.read_el2(3, SysReg::SpsrEl2);
+        e.a.i(Instr::Str(3, SAVE_BASE, slots::SPSR as i64));
+        e.read_el2(4, SysReg::FarEl2);
+        e.a.i(Instr::Str(4, SAVE_BASE, slots::FAR as i64));
+
+        a.i(Instr::Work(250)); // Xen's leave_hypervisor_tail / decode
+        a.i(Instr::Ldr(0, SAVE_BASE, slots::ESR as i64));
+        a.i(Instr::LsrImm(0, 0, 26));
+        a.i(Instr::SubImm(1, 0, 0x16)); // hvc?
+        a.cbz(1, hypercall_fast);
+        a.i(Instr::SubImm(1, 0, 0x18)); // sysreg (the VM's SGI)?
+        a.cbz(1, sgi_fast);
+        a.i(Instr::SubImm(1, 0, 0x24)); // data abort (device I/O)?
+        a.cbz(1, to_dom0);
+        a.b(irq_fast);
+    }
+
+    // ---- fast path: hypercalls never leave virtual EL2 ----
+    // No VM-register save/restore: "Xen does not need to use the VM
+    // system registers for its execution".
+    a.bind(hypercall_fast);
+    {
+        a.i(Instr::Work(400));
+        a.i(Instr::MovImm(1, 0));
+        a.i(Instr::Str(1, SAVE_BASE, slots::GPRS as i64));
+        a.b(to_guest);
+    }
+
+    // ---- fast path: the VM's SGI, emulated in the hypervisor ----
+    a.bind(sgi_fast);
+    {
+        a.i(Instr::Work(350));
+        a.i(Instr::Ldr(0, SAVE_BASE, slots::GPRS as i64));
+        a.i(Instr::Msr(
+            neve_sysreg::RegId::Plain(SysReg::IccSgi1rEl1),
+            0,
+        ));
+        a.i(Instr::Ldr(1, SAVE_BASE, slots::ELR as i64));
+        a.i(Instr::AddImm(1, 1, 4));
+        a.i(Instr::Str(1, SAVE_BASE, slots::ELR as i64));
+        a.b(to_guest);
+    }
+
+    // ---- fast path: interrupts, acknowledged at the hypervisor ----
+    a.bind(irq_fast);
+    {
+        a.i(Instr::Work(300));
+        a.i(Instr::Mrs(1, neve_sysreg::RegId::Plain(SysReg::IccIar1El1)));
+        let not_ipi = a.label();
+        a.i(Instr::SubImm(2, 1, layout::IPI_SGI as u64));
+        a.cbnz(2, not_ipi);
+        a.i(Instr::MovImm(2, layout::IPI_SGI as u64));
+        a.i(Instr::Str(2, SAVE_BASE, slots::PENDING_VIRQ as i64));
+        a.bind(not_ipi);
+        a.i(Instr::Msr(
+            neve_sysreg::RegId::Plain(SysReg::IccEoir1El1),
+            1,
+        ));
+        a.b(to_guest);
+    }
+
+    // ---- slow path: device I/O means switching to Dom0 ----
+    // "Even Xen must save and restore all the VM system registers when
+    // it switches between VMs."
+    a.bind(to_dom0);
+    {
+        let mut e = Emit { a: &mut a, flavor };
+        // Park the interrupted VM's full EL1 context.
+        for (i, reg) in rosters::el1_context().into_iter().enumerate() {
+            e.read_vm_el1(1, reg);
+            e.a.i(Instr::Str(
+                1,
+                SAVE_BASE,
+                (slots::VM_EL1 + 8 * i as u64) as i64,
+            ));
+        }
+        // Timer and GIC state follow the VM.
+        e.read_vm_timer(1, SysReg::CntvCtlEl0);
+        e.a.i(Instr::Str(1, SAVE_BASE, slots::TIMER as i64));
+        e.read_el2(1, SysReg::IchVmcrEl2);
+        e.a.i(Instr::Str(1, SAVE_BASE, slots::GIC as i64));
+        for n in 0..neve_sysreg::regs::NUM_LIST_REGS {
+            e.read_el2(1, SysReg::IchLrEl2(n));
+            e.a.i(Instr::Str(
+                1,
+                SAVE_BASE,
+                (slots::GIC + 8 * (1 + n as u64)) as i64,
+            ));
+        }
+        // Load Dom0's EL1 context and run it.
+        for (i, reg) in rosters::el1_context().into_iter().enumerate() {
+            e.a.i(Instr::Ldr(
+                1,
+                SAVE_BASE,
+                (slots::HOST_EL1 + 8 * i as u64) as i64,
+            ));
+            e.write_vm_el1(reg, 1);
+        }
+        // Mark the VM context dirty so the resume path restores it.
+        e.a.i(Instr::MovImm(1, 1));
+        e.a.i(Instr::Str(1, SAVE_BASE, slots::REASON as i64));
+        e.a.i(Instr::Ldr(1, SAVE_BASE, slots::HCR_HOST as i64));
+        e.write_el2(SysReg::HcrEl2, 1);
+        e.a.i(Instr::MovImm(1, 0));
+        e.write_el2(SysReg::VttbrEl2, 1);
+        e.a.i(Instr::MovImm(
+            1,
+            layout::GUEST_KERNEL_BASE + cpu as u64 * 0x1000,
+        ));
+        e.write_el2(SysReg::ElrEl2, 1);
+        e.a.i(Instr::MovImm(1, 0x3c5));
+        e.write_el2(SysReg::SpsrEl2, 1);
+        e.eret();
+    }
+
+    // ---- resume the VM ----
+    a.bind(to_guest);
+    {
+        let mut e = Emit { a: &mut a, flavor };
+        // Restore the VM's EL1 context only if a Dom0 trip replaced it;
+        // Xen tracks this with a dirty flag. We restore unconditionally
+        // when the VM-state slot area is in use (the Dom0 path stored
+        // into it) — modelled by reloading it; the fast paths reach
+        // here without having saved, in which case the slots still hold
+        // the values from the last Dom0 trip (idempotent restore, same
+        // values, no semantic change, matching Xen's lazy context
+        // tracking at a small cycle cost).
+        e.a.i(Instr::Ldr(1, SAVE_BASE, slots::REASON as i64));
+        let skip_restore = e.a.label();
+        e.a.cbz(1, skip_restore);
+        {
+            for (i, reg) in rosters::el1_context().into_iter().enumerate() {
+                e.a.i(Instr::Ldr(
+                    1,
+                    SAVE_BASE,
+                    (slots::VM_EL1 + 8 * i as u64) as i64,
+                ));
+                e.write_vm_el1(reg, 1);
+            }
+            e.a.i(Instr::Ldr(1, SAVE_BASE, slots::TIMER as i64));
+            e.write_vm_timer(SysReg::CntvCtlEl0, 1);
+            e.a.i(Instr::Ldr(1, SAVE_BASE, slots::GIC as i64));
+            e.write_el2(SysReg::IchVmcrEl2, 1);
+            e.a.i(Instr::MovImm(1, 0));
+            e.a.i(Instr::Str(1, SAVE_BASE, slots::REASON as i64));
+        }
+        e.a.bind(skip_restore);
+
+        // Pending virtual interrupt injection (IPI receive path).
+        e.a.i(Instr::Ldr(1, SAVE_BASE, slots::PENDING_VIRQ as i64));
+        let no_virq = e.a.label();
+        e.a.cbz(1, no_virq);
+        {
+            e.a.i(Instr::MovImm(2, 1u64 << 62));
+            e.a.i(Instr::Orr(1, 1, 2));
+            e.write_el2(SysReg::IchLrEl2(0), 1);
+            e.a.i(Instr::MovImm(1, 0));
+            e.a.i(Instr::Str(1, SAVE_BASE, slots::PENDING_VIRQ as i64));
+        }
+        e.a.bind(no_virq);
+        e.a.i(Instr::MovImm(1, 1));
+        e.write_el2(SysReg::IchHcrEl2, 1);
+
+        // VM trap configuration and return state.
+        e.a.i(Instr::Ldr(1, SAVE_BASE, slots::HCR_VM as i64));
+        e.write_el2(SysReg::HcrEl2, 1);
+        e.a.i(Instr::Ldr(1, SAVE_BASE, slots::VTTBR_VM as i64));
+        e.write_el2(SysReg::VttbrEl2, 1);
+        e.a.i(Instr::Ldr(1, SAVE_BASE, slots::ELR as i64));
+        e.write_el2(SysReg::ElrEl2, 1);
+        e.a.i(Instr::Ldr(1, SAVE_BASE, slots::SPSR as i64));
+        e.write_el2(SysReg::SpsrEl2, 1);
+
+        for r in (0..SAVED_GPRS).rev() {
+            a.i(Instr::Ldr(
+                r,
+                SAVE_BASE,
+                (slots::GPRS + 8 * r as u64) as i64,
+            ));
+        }
+        let mut e = Emit { a: &mut a, flavor };
+        e.eret();
+    }
+
+    a.assemble()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::guesthyp::ParaMode;
+
+    #[test]
+    fn xen_image_assembles() {
+        for para in [ParaMode::None, ParaMode::HvcV83, ParaMode::NeveLs] {
+            let img = build(GuestHypFlavor::new(false, para), 0);
+            assert!(img.hyp.len() > 100);
+            assert!(img.hyp.fetch(img.hyp.base + 0x400).is_some());
+            assert!(img.hyp.fetch(img.hyp.base + 0x480).is_some());
+        }
+    }
+
+    #[test]
+    fn xen_hypercall_path_avoids_vm_register_accesses() {
+        // Count VM-EL1-register instructions between the dispatch and
+        // the hypercall fast path: there must be none before `to_guest`
+        // — the structural difference from the KVM design.
+        let img = build(GuestHypFlavor::new(false, ParaMode::None), 0);
+        // Weak but meaningful check: the image contains *fewer* EL1
+        // context accesses than the KVM image (which does 4 roster
+        // passes; Xen does 3: park + Dom0-load + restore).
+        let kvm = crate::guesthyp::build(GuestHypFlavor::new(false, ParaMode::None), 0);
+        let count = |p: &neve_armv8::isa::Program| {
+            p.code
+                .iter()
+                .filter(|i| {
+                    matches!(
+                        i,
+                        neve_armv8::isa::Instr::Msr(neve_sysreg::RegId::Plain(SysReg::SctlrEl1), _)
+                            | neve_armv8::isa::Instr::Mrs(
+                                _,
+                                neve_sysreg::RegId::Plain(SysReg::SctlrEl1)
+                            )
+                    )
+                })
+                .count()
+        };
+        assert!(count(&img.hyp) <= count(&kvm.hyp));
+    }
+}

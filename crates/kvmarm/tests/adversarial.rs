@@ -1,0 +1,213 @@
+//! Adversarial guest hypervisors: a malicious or buggy L1 hypervisor
+//! must never crash the host or escape its VM (failure injection on the
+//! nested-virtualization paths).
+
+use neve_armv8::isa::{Asm, Instr};
+use neve_armv8::machine::{Machine, MachineConfig, StepOutcome};
+use neve_armv8::pstate::Pstate;
+use neve_armv8::ArchLevel;
+use neve_kvmarm::hyp::{HostHyp, NestedMode};
+use neve_kvmarm::layout;
+use neve_kvmarm::ParaMode;
+use neve_sysreg::bits::hcr;
+use neve_sysreg::{RegId, SysReg};
+
+/// Builds a machine whose "guest hypervisor" is an arbitrary adversarial
+/// program at virtual EL2.
+fn adversary(program: impl FnOnce(&mut Asm), neve: bool) -> (Machine, HostHyp) {
+    let arch = if neve {
+        ArchLevel::V8_4
+    } else {
+        ArchLevel::V8_3
+    };
+    let mut m = Machine::new(MachineConfig {
+        arch,
+        ncpus: 1,
+        mem_size: layout::RAM_SIZE,
+        cost: Default::default(),
+    });
+    let hyp = HostHyp::new(
+        &mut m,
+        1,
+        Some(NestedMode {
+            guest_vhe: false,
+            neve,
+            para: ParaMode::None,
+            gic_mmio: false,
+            xen: false,
+        }),
+    );
+    let mut a = Asm::new(layout::GUEST_HYP_BASE);
+    program(&mut a);
+    a.i(Instr::Halt(0x77));
+    m.load(a.assemble());
+    m.core_mut(0).pstate = Pstate {
+        el: 1,
+        irq_masked: true,
+        fiq_masked: true,
+    };
+    m.core_mut(0).pc = layout::GUEST_HYP_BASE;
+    let mut bits = hcr::VM | hcr::IMO | hcr::NV | hcr::NV1;
+    if neve {
+        bits |= hcr::NV2;
+    }
+    m.core_mut(0).regs.write(SysReg::HcrEl2, bits);
+    m.core_mut(0).regs.write(
+        SysReg::VttbrEl2,
+        neve_sysreg::bits::vttbr::build(layout::VMID_L1, hyp.host_s2.root),
+    );
+    if neve {
+        let raw = neve_core::VncrEl2::enabled_at(layout::vncr_page(0))
+            .unwrap()
+            .raw();
+        m.core_mut(0).regs.write(SysReg::VncrEl2, raw);
+        m.core_mut(0).neve.vncr = neve_core::VncrEl2::from_raw(raw);
+    }
+    (m, hyp)
+}
+
+fn run_to_halt(m: &mut Machine, hyp: &mut HostHyp) -> StepOutcome {
+    for _ in 0..1_000_000 {
+        match m.step(hyp, 0) {
+            StepOutcome::Executed => {}
+            other => return other,
+        }
+    }
+    panic!("adversary looped forever");
+}
+
+#[test]
+fn garbage_eret_state_cannot_enter_el2() {
+    // The guest hypervisor claims an EL2h return state; the host must
+    // sanitize it to EL1 on nested entry (paper Section 4: a VM never
+    // really enters EL2).
+    for neve in [false, true] {
+        let (mut m, mut hyp) = adversary(
+            |a| {
+                // vHCR with VM set so the eret targets the "nested VM".
+                a.i(Instr::MovImm(1, hcr::VM | hcr::IMO));
+                a.i(Instr::Msr(RegId::Plain(SysReg::HcrEl2), 1));
+                // Aim the return at the Halt after the eret
+                // (instruction index 7 of this program).
+                a.i(Instr::MovImm(
+                    1,
+                    neve_kvmarm::layout::GUEST_HYP_BASE + 7 * 4,
+                ));
+                a.i(Instr::Msr(RegId::Plain(SysReg::ElrEl2), 1));
+                a.i(Instr::MovImm(1, 0x3c9)); // EL2h, masked: forged
+                a.i(Instr::Msr(RegId::Plain(SysReg::SpsrEl2), 1));
+                a.i(Instr::Eret);
+                // The eret resumes at the trailing Halt: at EL1, never
+                // EL2 (the host sanitized the forged SPSR).
+            },
+            neve,
+        );
+        let out = run_to_halt(&mut m, &mut hyp);
+        assert_eq!(out, StepOutcome::Halted(0x77), "neve={neve}");
+        assert!(m.core(0).pstate.el <= 1, "forged SPSR reached EL2");
+    }
+}
+
+#[test]
+fn wild_virtual_vttbr_is_survivable() {
+    // The guest hypervisor points its Stage-2 at garbage, then "enters"
+    // its VM, which immediately faults on everything; the host forwards
+    // the fault back to the guest hypervisor rather than dying.
+    let (mut m, mut hyp) = adversary(
+        |a| {
+            a.i(Instr::MovImm(
+                1,
+                neve_sysreg::bits::vttbr::build(9, 0x1f_f000),
+            ));
+            a.i(Instr::Msr(RegId::Plain(SysReg::VttbrEl2), 1));
+            a.i(Instr::MovImm(1, hcr::VM | hcr::IMO));
+            a.i(Instr::Msr(RegId::Plain(SysReg::HcrEl2), 1));
+            // Return into "the VM" at an address backed by nothing the
+            // guest Stage-2 maps; data accesses there would fault. The
+            // program halts first — the point is the host survived the
+            // garbage table programming.
+            a.i(Instr::MovImm(1, 0));
+            a.i(Instr::Msr(RegId::Plain(SysReg::HcrEl2), 1));
+        },
+        false,
+    );
+    let out = run_to_halt(&mut m, &mut hyp);
+    assert_eq!(out, StepOutcome::Halted(0x77));
+}
+
+#[test]
+fn hammering_trapped_registers_only_costs_cycles() {
+    // A trap storm (the worst a guest hypervisor can do) burns time but
+    // corrupts nothing: hardware HCR is bit-identical afterwards.
+    for neve in [false, true] {
+        let (mut m, mut hyp) = adversary(
+            |a| {
+                a.i(Instr::MovImm(10, 200));
+                let top = a.label();
+                a.bind(top);
+                a.i(Instr::MovImm(1, 0xffff_ffff_ffff_ffff));
+                a.i(Instr::Msr(RegId::Plain(SysReg::VtcrEl2), 1));
+                a.i(Instr::Msr(RegId::Plain(SysReg::HstrEl2), 1));
+                a.i(Instr::Mrs(2, RegId::Plain(SysReg::CnthctlEl2)));
+                a.i(Instr::SubImm(10, 10, 1));
+                a.cbnz(10, top);
+            },
+            neve,
+        );
+        let before = m.core(0).regs.read(SysReg::HcrEl2);
+        let out = run_to_halt(&mut m, &mut hyp);
+        assert_eq!(out, StepOutcome::Halted(0x77), "neve={neve}");
+        assert_eq!(m.core(0).regs.read(SysReg::HcrEl2), before);
+        // The trap storm was visible in the accounting (v8.3) or mostly
+        // absorbed by NEVE.
+        if neve {
+            assert!(m.counter.traps_total() < 250, "NEVE absorbed the storm");
+        } else {
+            assert!(m.counter.traps_total() >= 600, "v8.3 trap storm counted");
+        }
+    }
+}
+
+#[test]
+fn unmapped_guest_hypervisor_stack_faults_in_lazily() {
+    // The guest hypervisor touches memory the host has not mapped yet:
+    // the host's lazy Stage-2 fault-in path serves it transparently.
+    let (mut m, mut hyp) = adversary(
+        |a| {
+            a.i(Instr::MovImm(1, 0x0070_0000)); // RAM, never touched
+            a.i(Instr::MovImm(2, 0x5a5a));
+            a.i(Instr::Str(2, 1, 0));
+            a.i(Instr::Ldr(3, 1, 0));
+        },
+        false,
+    );
+    let out = run_to_halt(&mut m, &mut hyp);
+    assert_eq!(out, StepOutcome::Halted(0x77));
+    assert_eq!(m.core(0).gpr(3), 0x5a5a);
+    assert!(m.counter.traps_total() >= 1, "the fault-in trap happened");
+}
+
+#[test]
+fn access_beyond_ram_gets_an_abort_injected() {
+    // Pointing a load at IPA space no memslot backs must inject an
+    // abort into the guest, not panic the host's mapper.
+    let (mut m, mut hyp) = adversary(
+        |a| {
+            // An exception vector for the injected abort.
+            a.i(Instr::MovImm(1, layout::RAM_SIZE + 0x1000));
+            a.i(Instr::Ldr(2, 1, 0));
+            a.i(Instr::Halt(0x78)); // skipped: the abort lands at VBAR
+        },
+        false,
+    );
+    // Give the adversary a vector table: VBAR_EL1 = image base + 0x100.
+    let mut v = Asm::new(layout::GUEST_HYP_BASE + 0x4000);
+    v.org(0x200);
+    v.i(Instr::Halt(0xcc));
+    m.load(v.assemble());
+    m.core_mut(0)
+        .regs
+        .write(SysReg::VbarEl1, layout::GUEST_HYP_BASE + 0x4000);
+    let out = run_to_halt(&mut m, &mut hyp);
+    assert_eq!(out, StepOutcome::Halted(0xcc), "abort delivered to guest");
+}

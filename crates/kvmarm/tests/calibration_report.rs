@@ -1,0 +1,69 @@
+//! Prints the raw microbenchmark numbers next to the paper's (run with
+//! --nocapture); the bands themselves are asserted in microbench.rs and
+//! in the neve-workloads crate.
+
+use neve_kvmarm::{ArmConfig, MicroBench, ParaMode, TestBed};
+
+fn cfgs() -> Vec<(&'static str, ArmConfig)> {
+    vec![
+        ("VM", ArmConfig::Vm),
+        (
+            "v8.3",
+            ArmConfig::Nested {
+                guest_vhe: false,
+                neve: false,
+                para: ParaMode::None,
+            },
+        ),
+        (
+            "v8.3-VHE",
+            ArmConfig::Nested {
+                guest_vhe: true,
+                neve: false,
+                para: ParaMode::None,
+            },
+        ),
+        (
+            "NEVE",
+            ArmConfig::Nested {
+                guest_vhe: false,
+                neve: true,
+                para: ParaMode::None,
+            },
+        ),
+        (
+            "NEVE-VHE",
+            ArmConfig::Nested {
+                guest_vhe: true,
+                neve: true,
+                para: ParaMode::None,
+            },
+        ),
+    ]
+}
+
+#[test]
+fn report() {
+    println!();
+    println!("paper:   Hypercall VM=2729 v8.3=422720 v8.3-VHE=307363 NEVE=92385 NEVE-VHE=100895");
+    println!("paper traps: v8.3=126 v8.3-VHE=82 NEVE=15 NEVE-VHE=15");
+    for bench in [
+        MicroBench::Hypercall,
+        MicroBench::DeviceIo,
+        MicroBench::VirtualIpi,
+        MicroBench::VirtualEoi,
+    ] {
+        print!("{bench:?}:");
+        for (name, cfg) in cfgs() {
+            let iters = if bench == MicroBench::VirtualIpi {
+                12
+            } else {
+                30
+            };
+            let mut tb = TestBed::new(cfg, bench, iters);
+            let p = tb.run(iters);
+            print!("  {name}={} ({:.1}t)", p.cycles, p.traps);
+        }
+        println!();
+    }
+}

@@ -1,0 +1,39 @@
+//! Diagnostic trace of the nested flow (run with --nocapture).
+
+use neve_kvmarm::testbed::{ArmConfig, MicroBench, TestBed};
+use neve_kvmarm::ParaMode;
+
+#[test]
+fn trace_nested_hypercall() {
+    let cfg = ArmConfig::Nested {
+        guest_vhe: false,
+        neve: false,
+        para: ParaMode::None,
+    };
+    let mut tb = TestBed::new(cfg, MicroBench::Hypercall, 3);
+    for step in 0..4000 {
+        let pc = tb.m.core(0).pc;
+        let el = tb.m.core(0).pstate.el;
+        let ctx = tb.hyp.vcpus[0].ctx;
+        let instr = tb.m.peek(pc);
+        if step < 400 || instr.is_none() {
+            println!(
+                "{step:5} pc={pc:#x} el={el} ctx={ctx:?} traps={} instr={instr:?}",
+                tb.m.counter.traps_total()
+            );
+        }
+        let out = tb.m.step(&mut tb.hyp, 0);
+        match out {
+            neve_armv8::machine::StepOutcome::Executed => {}
+            other => {
+                println!("STOP at step {step}: {other:?} pc={:#x}", tb.m.core(0).pc);
+                let _ = (ctx,);
+                return;
+            }
+        }
+    }
+    println!(
+        "ran 4000 steps without stopping; ctx={:?}",
+        tb.hyp.vcpus[0].ctx
+    );
+}

@@ -1,0 +1,254 @@
+//! End-to-end microbenchmark runs across every evaluation configuration
+//! (the machinery behind Tables 1, 6 and 7).
+
+use neve_kvmarm::{ArmConfig, MicroBench, ParaMode, TestBed};
+
+const V83_NONVHE: ArmConfig = ArmConfig::Nested {
+    guest_vhe: false,
+    neve: false,
+    para: ParaMode::None,
+};
+const V83_VHE: ArmConfig = ArmConfig::Nested {
+    guest_vhe: true,
+    neve: false,
+    para: ParaMode::None,
+};
+const NEVE_NONVHE: ArmConfig = ArmConfig::Nested {
+    guest_vhe: false,
+    neve: true,
+    para: ParaMode::None,
+};
+const NEVE_VHE: ArmConfig = ArmConfig::Nested {
+    guest_vhe: true,
+    neve: true,
+    para: ParaMode::None,
+};
+
+fn run(cfg: ArmConfig, bench: MicroBench, iters: u64) -> neve_cycles::counter::PerOp {
+    let mut tb = TestBed::new(cfg, bench, iters);
+    tb.run(iters)
+}
+
+#[test]
+fn vm_hypercall_costs_a_few_thousand_cycles_and_one_trap() {
+    let p = run(ArmConfig::Vm, MicroBench::Hypercall, 50);
+    // Paper Table 1: 2,729 cycles, 1 trap per hypercall for a VM.
+    assert!((1.0 - p.traps).abs() < 0.05, "traps/op = {}", p.traps);
+    assert!(
+        (1_500..5_000).contains(&p.cycles),
+        "VM hypercall = {} cycles",
+        p.cycles
+    );
+}
+
+#[test]
+fn nested_hypercall_on_v8_3_suffers_exit_multiplication() {
+    let vm = run(ArmConfig::Vm, MicroBench::Hypercall, 30);
+    let nested = run(V83_NONVHE, MicroBench::Hypercall, 30);
+    // Paper Table 7: 126 traps non-VHE. Our miniature KVM has a smaller
+    // but same-order roster; the structural claim is tens-of-traps per
+    // single L2 hypercall.
+    assert!(
+        nested.traps > 50.0,
+        "expected heavy exit multiplication, got {} traps/op",
+        nested.traps
+    );
+    // Paper Table 1: 155x the VM cost; ours must be at least an order
+    // of magnitude.
+    assert!(
+        nested.cycles > 30 * vm.cycles,
+        "nested {} vs vm {}",
+        nested.cycles,
+        vm.cycles
+    );
+}
+
+#[test]
+fn vhe_guest_hypervisor_traps_less_than_non_vhe_on_v8_3() {
+    let nonvhe = run(V83_NONVHE, MicroBench::Hypercall, 30);
+    let vhe = run(V83_VHE, MicroBench::Hypercall, 30);
+    // Paper Table 7: 126 vs 82.
+    assert!(
+        vhe.traps < nonvhe.traps * 0.8,
+        "vhe {} vs nonvhe {}",
+        vhe.traps,
+        nonvhe.traps
+    );
+}
+
+#[test]
+fn neve_reduces_traps_by_an_order_of_magnitude() {
+    let v83 = run(V83_NONVHE, MicroBench::Hypercall, 30);
+    let neve = run(NEVE_NONVHE, MicroBench::Hypercall, 30);
+    // Paper Table 7: 126 -> 15 ("more than six times"); Table 6: up to
+    // 5x faster.
+    assert!(
+        neve.traps * 5.0 < v83.traps,
+        "neve {} vs v8.3 {} traps",
+        neve.traps,
+        v83.traps
+    );
+    assert!(
+        neve.cycles * 2 < v83.cycles,
+        "neve {} vs v8.3 {} cycles",
+        neve.cycles,
+        v83.cycles
+    );
+}
+
+#[test]
+fn neve_vhe_also_improves() {
+    let v83 = run(V83_VHE, MicroBench::Hypercall, 30);
+    let neve = run(NEVE_VHE, MicroBench::Hypercall, 30);
+    assert!(
+        neve.traps * 3.0 < v83.traps,
+        "neve {} vs v8.3 {} traps",
+        neve.traps,
+        v83.traps
+    );
+}
+
+#[test]
+fn device_io_is_more_expensive_than_hypercall() {
+    for cfg in [ArmConfig::Vm, V83_NONVHE, NEVE_VHE] {
+        let h = run(cfg, MicroBench::Hypercall, 30);
+        let d = run(cfg, MicroBench::DeviceIo, 30);
+        assert!(
+            d.cycles > h.cycles,
+            "{cfg:?}: device {} <= hypercall {}",
+            d.cycles,
+            h.cycles
+        );
+    }
+}
+
+#[test]
+fn virtual_eoi_is_trap_free_and_constant_across_configs() {
+    // Paper Tables 1/6: 71 cycles, zero traps, identical for VM and
+    // nested VM at every architecture level.
+    let vm = run(ArmConfig::Vm, MicroBench::VirtualEoi, 30);
+    assert_eq!(vm.traps, 0.0, "VM EOI trapped");
+    assert!(vm.cycles < 200, "VM EOI = {}", vm.cycles);
+    let nested = run(V83_NONVHE, MicroBench::VirtualEoi, 30);
+    assert_eq!(nested.traps, 0.0, "nested EOI trapped");
+    let diff = vm.cycles.abs_diff(nested.cycles);
+    assert!(
+        diff <= 10,
+        "EOI differs: {} vs {}",
+        vm.cycles,
+        nested.cycles
+    );
+}
+
+#[test]
+fn virtual_ipi_works_in_a_vm() {
+    let p = run(ArmConfig::Vm, MicroBench::VirtualIpi, 20);
+    // Paper Table 1: 8,364 cycles for a VM virtual IPI (3x hypercall).
+    assert!(p.traps >= 1.0, "IPI must trap at least once: {}", p.traps);
+    let h = run(ArmConfig::Vm, MicroBench::Hypercall, 20);
+    assert!(
+        p.cycles > h.cycles,
+        "IPI {} should exceed hypercall {}",
+        p.cycles,
+        h.cycles
+    );
+}
+
+#[test]
+fn virtual_ipi_nested_is_much_worse_on_v8_3_than_neve() {
+    let v83 = run(V83_NONVHE, MicroBench::VirtualIpi, 10);
+    let neve = run(NEVE_NONVHE, MicroBench::VirtualIpi, 10);
+    assert!(
+        neve.cycles < v83.cycles,
+        "neve {} vs v8.3 {}",
+        neve.cycles,
+        v83.cycles
+    );
+    assert!(neve.traps < v83.traps);
+}
+
+#[test]
+fn paravirtualized_v8_0_matches_native_v8_3_trap_counts() {
+    // The paper's methodological claim (Sections 3/5): replacing the
+    // would-trap instructions with hvc on ARMv8.0 reproduces ARMv8.3
+    // behaviour. Trap counts must match closely; cycles within a few
+    // percent.
+    for vhe in [false, true] {
+        let native = run(
+            ArmConfig::Nested {
+                guest_vhe: vhe,
+                neve: false,
+                para: ParaMode::None,
+            },
+            MicroBench::Hypercall,
+            30,
+        );
+        let para = run(
+            ArmConfig::Nested {
+                guest_vhe: vhe,
+                neve: false,
+                para: ParaMode::HvcV83,
+            },
+            MicroBench::Hypercall,
+            30,
+        );
+        let ratio = para.traps / native.traps;
+        assert!(
+            (0.9..1.1).contains(&ratio),
+            "vhe={vhe}: para {} vs native {} traps",
+            para.traps,
+            native.traps
+        );
+    }
+}
+
+#[test]
+fn paravirtualized_neve_matches_native_neve() {
+    let native = run(NEVE_NONVHE, MicroBench::Hypercall, 30);
+    let para = run(
+        ArmConfig::Nested {
+            guest_vhe: false,
+            neve: true,
+            para: ParaMode::NeveLs,
+        },
+        MicroBench::Hypercall,
+        30,
+    );
+    let ratio = para.traps / native.traps.max(1.0);
+    assert!(
+        (0.8..1.3).contains(&ratio),
+        "para {} vs native {} traps",
+        para.traps,
+        native.traps
+    );
+}
+
+#[test]
+fn gicv2_mmio_interface_matches_gicv3_trap_counts() {
+    // Paper Sections 4 and 7: with GICv2 the hypervisor control
+    // interface is memory mapped and "trivially traps to EL2" via
+    // Stage-2; "the programming interfaces for both GIC versions are
+    // almost identical", so nested trap counts must match the GICv3
+    // system-register configuration closely.
+    let mut v3 = TestBed::new(V83_NONVHE, MicroBench::Hypercall, 30);
+    let v3 = v3.run(30);
+    let mut v2 = neve_kvmarm::TestBed::new_gicv2(V83_NONVHE, MicroBench::Hypercall, 30);
+    let v2 = v2.run(30);
+    let ratio = v2.traps / v3.traps;
+    assert!(
+        (0.95..1.05).contains(&ratio),
+        "GICv2 {} vs GICv3 {} traps",
+        v2.traps,
+        v3.traps
+    );
+    // MMIO emulation costs slightly more per access than a sysreg trap
+    // (abort decode + address lookup), so cycles are >= GICv3's.
+    assert!(v2.cycles >= v3.cycles);
+}
+
+#[test]
+fn gicv2_works_for_the_ipi_chain() {
+    let mut tb = neve_kvmarm::TestBed::new_gicv2(V83_NONVHE, MicroBench::VirtualIpi, 8);
+    let p = tb.run(8);
+    assert!(p.traps > 50.0);
+}

@@ -1,0 +1,82 @@
+//! Section 6.5's hypervisor-design comparison: hosted (KVM-style) vs
+//! standalone (Xen-style) guest hypervisors.
+
+use neve_kvmarm::{ArmConfig, MicroBench, ParaMode, TestBed};
+
+const V83: ArmConfig = ArmConfig::Nested {
+    guest_vhe: false,
+    neve: false,
+    para: ParaMode::None,
+};
+const NEVE: ArmConfig = ArmConfig::Nested {
+    guest_vhe: false,
+    neve: true,
+    para: ParaMode::None,
+};
+
+fn kvm(cfg: ArmConfig, bench: MicroBench) -> neve_cycles::counter::PerOp {
+    let mut tb = TestBed::new(cfg, bench, 25);
+    tb.run(25)
+}
+
+fn xen(cfg: ArmConfig, bench: MicroBench) -> neve_cycles::counter::PerOp {
+    let mut tb = TestBed::new_xen(cfg, bench, 25);
+    tb.run(25)
+}
+
+#[test]
+fn xen_hypercalls_trap_far_less_than_kvm_on_v8_3() {
+    // "Since Xen does not need to use the VM system registers for its
+    // execution, it does not save and restore them for every VM exit"
+    // (Section 6.5) — its hypercall path avoids the 2x16-register EL1
+    // context churn of non-VHE KVM.
+    let k = kvm(V83, MicroBench::Hypercall);
+    let x = xen(V83, MicroBench::Hypercall);
+    assert!(
+        x.traps * 3.0 < k.traps,
+        "xen {} vs kvm {} traps",
+        x.traps,
+        k.traps
+    );
+    assert!(x.cycles < k.cycles);
+}
+
+#[test]
+fn xen_device_io_pays_the_dom0_switch() {
+    // "Even Xen must save and restore all the VM system registers when
+    // it switches between VMs, which is a common operation on Xen
+    // because all I/O is handled in Dom0."
+    let hc = xen(V83, MicroBench::Hypercall);
+    let io = xen(V83, MicroBench::DeviceIo);
+    assert!(
+        io.traps > 2.0 * hc.traps,
+        "device {} vs hypercall {} traps",
+        io.traps,
+        hc.traps
+    );
+    // The I/O path approaches KVM's cost: the VM switch dominates.
+    let kio = kvm(V83, MicroBench::DeviceIo);
+    assert!(io.cycles as f64 > 0.4 * kio.cycles as f64);
+}
+
+#[test]
+fn neve_benefits_xen_too() {
+    // "Therefore, Xen is likely to also benefit from NEVE."
+    let v83 = xen(V83, MicroBench::DeviceIo);
+    let neve = xen(NEVE, MicroBench::DeviceIo);
+    assert!(
+        neve.traps * 2.0 < v83.traps,
+        "neve {} vs v8.3 {} traps",
+        neve.traps,
+        v83.traps
+    );
+    assert!(neve.cycles < v83.cycles);
+}
+
+#[test]
+fn xen_ipi_chain_works() {
+    let p = xen(V83, MicroBench::VirtualIpi);
+    assert!(p.traps > 5.0);
+    let n = xen(NEVE, MicroBench::VirtualIpi);
+    assert!(n.traps < p.traps);
+}

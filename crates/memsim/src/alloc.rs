@@ -1,0 +1,95 @@
+//! Page-frame allocation for page tables and hypervisor data.
+
+use crate::phys::PAGE_SIZE;
+
+/// A bump allocator over a physical range.
+///
+/// Hypervisors in the simulator use one per ownership domain (the host
+/// allocates shadow-table frames from host-reserved memory; a guest
+/// hypervisor from its own). Frees are not supported — table teardown
+/// zeroes and reuses via [`FrameAlloc::reset`], which matches how the
+/// simulated hypervisors rebuild shadow tables wholesale on invalidation.
+#[derive(Debug, Clone)]
+pub struct FrameAlloc {
+    base: u64,
+    end: u64,
+    next: u64,
+}
+
+impl FrameAlloc {
+    /// Creates an allocator over `[base, base + size)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is not page aligned.
+    pub fn new(base: u64, size: u64) -> Self {
+        assert_eq!(base % PAGE_SIZE, 0, "base must be page aligned");
+        assert_eq!(size % PAGE_SIZE, 0, "size must be page aligned");
+        Self {
+            base,
+            end: base + size,
+            next: base,
+        }
+    }
+
+    /// Allocates one page frame; `None` when exhausted.
+    pub fn alloc(&mut self) -> Option<u64> {
+        if self.next >= self.end {
+            return None;
+        }
+        let pa = self.next;
+        self.next += PAGE_SIZE;
+        Some(pa)
+    }
+
+    /// Frames still available.
+    pub fn remaining(&self) -> u64 {
+        (self.end - self.next) / PAGE_SIZE
+    }
+
+    /// Frames handed out so far.
+    pub fn used(&self) -> u64 {
+        (self.next - self.base) / PAGE_SIZE
+    }
+
+    /// Returns every frame to the pool (callers must stop using old
+    /// frames; the simulated hypervisor zeroes them on reuse).
+    pub fn reset(&mut self) {
+        self.next = self.base;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocations_are_sequential_pages() {
+        let mut a = FrameAlloc::new(0x10_0000, 3 * PAGE_SIZE);
+        assert_eq!(a.alloc(), Some(0x10_0000));
+        assert_eq!(a.alloc(), Some(0x10_1000));
+        assert_eq!(a.used(), 2);
+        assert_eq!(a.remaining(), 1);
+    }
+
+    #[test]
+    fn exhaustion_returns_none() {
+        let mut a = FrameAlloc::new(0, PAGE_SIZE);
+        assert!(a.alloc().is_some());
+        assert_eq!(a.alloc(), None);
+    }
+
+    #[test]
+    fn reset_reclaims_frames() {
+        let mut a = FrameAlloc::new(0, PAGE_SIZE);
+        a.alloc().unwrap();
+        a.reset();
+        assert_eq!(a.alloc(), Some(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "page aligned")]
+    fn unaligned_base_panics() {
+        FrameAlloc::new(123, PAGE_SIZE);
+    }
+}

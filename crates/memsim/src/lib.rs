@@ -1,0 +1,31 @@
+//! Memory-system simulation: physical memory, Stage-1/Stage-2 page
+//! tables, shadow Stage-2 construction and a VMID-tagged TLB.
+//!
+//! Nested virtualization needs at least three translation stages (paper
+//! Section 4: L2 VA -> L2 PA -> L1 PA -> L0 PA) while the hardware walks
+//! only two; the host hypervisor therefore builds *shadow Stage-2* tables
+//! collapsing the guest hypervisor's Stage-2 with its own. This crate
+//! provides all the machinery:
+//!
+//! - [`PhysMem`]: sparse simulated physical memory.
+//! - [`FrameAlloc`]: a bump allocator for page-table frames.
+//! - [`PageTable`]: a 3-level, 4 KiB-granule table living *in simulated
+//!   memory*, so that walks have architectural depth and cost.
+//! - [`walk`]: the hardware page-table walker (used for both stages).
+//! - [`shadow`]: collapse guest and host Stage-2 tables on demand.
+//! - [`Tlb`]: translation cache with VMID-tagged invalidation.
+//!
+//! The crate is cost-model agnostic: walkers report how many levels they
+//! touched and the CPU layer charges cycles.
+
+pub mod alloc;
+pub mod phys;
+pub mod shadow;
+pub mod table;
+pub mod tlb;
+
+pub use alloc::FrameAlloc;
+pub use phys::{PhysMem, PAGE_SIZE};
+pub use shadow::ShadowS2;
+pub use table::{walk, Access, Fault, FaultKind, PageTable, Perms, Translation};
+pub use tlb::{Tlb, TlbEntry, TlbKey};

@@ -1,0 +1,155 @@
+//! Sparse simulated physical memory.
+
+use std::collections::HashMap;
+
+/// Page size (4 KiB granule throughout the simulator).
+pub const PAGE_SIZE: u64 = 4096;
+
+/// Sparse physical memory: pages materialise on first write.
+///
+/// Reads of never-written memory return zeroes, like fresh DRAM behind a
+/// zeroing allocator. A configurable size bound catches wild addresses
+/// early (a store at 2^60 is a simulator bug, not a feature).
+#[derive(Debug, Default)]
+pub struct PhysMem {
+    pages: HashMap<u64, Box<[u8; PAGE_SIZE as usize]>>,
+    limit: u64,
+}
+
+impl PhysMem {
+    /// Creates memory addressable up to `limit` bytes.
+    pub fn new(limit: u64) -> Self {
+        Self {
+            pages: HashMap::new(),
+            limit,
+        }
+    }
+
+    /// The address limit.
+    pub fn limit(&self) -> u64 {
+        self.limit
+    }
+
+    /// Number of materialised pages.
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    fn check(&self, pa: u64, len: u64) {
+        assert!(
+            pa.checked_add(len).is_some_and(|end| end <= self.limit),
+            "physical access [{pa:#x}, +{len}) beyond limit {:#x}",
+            self.limit
+        );
+    }
+
+    /// Reads one byte.
+    pub fn read_u8(&self, pa: u64) -> u8 {
+        self.check(pa, 1);
+        match self.pages.get(&(pa / PAGE_SIZE)) {
+            Some(p) => p[(pa % PAGE_SIZE) as usize],
+            None => 0,
+        }
+    }
+
+    /// Writes one byte.
+    pub fn write_u8(&mut self, pa: u64, v: u8) {
+        self.check(pa, 1);
+        let page = self
+            .pages
+            .entry(pa / PAGE_SIZE)
+            .or_insert_with(|| Box::new([0; PAGE_SIZE as usize]));
+        page[(pa % PAGE_SIZE) as usize] = v;
+    }
+
+    /// Reads a little-endian u64 (may straddle pages).
+    pub fn read_u64(&self, pa: u64) -> u64 {
+        let mut b = [0u8; 8];
+        for (i, slot) in b.iter_mut().enumerate() {
+            *slot = self.read_u8(pa + i as u64);
+        }
+        u64::from_le_bytes(b)
+    }
+
+    /// Writes a little-endian u64.
+    pub fn write_u64(&mut self, pa: u64, v: u64) {
+        for (i, byte) in v.to_le_bytes().into_iter().enumerate() {
+            self.write_u8(pa + i as u64, byte);
+        }
+    }
+
+    /// Copies `buf.len()` bytes out of memory.
+    pub fn read_bytes(&self, pa: u64, buf: &mut [u8]) {
+        for (i, slot) in buf.iter_mut().enumerate() {
+            *slot = self.read_u8(pa + i as u64);
+        }
+    }
+
+    /// Copies `buf` into memory.
+    pub fn write_bytes(&mut self, pa: u64, buf: &[u8]) {
+        for (i, byte) in buf.iter().enumerate() {
+            self.write_u8(pa + i as u64, *byte);
+        }
+    }
+
+    /// Zeroes a whole page.
+    pub fn zero_page(&mut self, pa: u64) {
+        assert_eq!(pa % PAGE_SIZE, 0, "zero_page needs page alignment");
+        self.check(pa, PAGE_SIZE);
+        self.pages.remove(&(pa / PAGE_SIZE));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_memory_reads_zero() {
+        let m = PhysMem::new(1 << 30);
+        assert_eq!(m.read_u8(0), 0);
+        assert_eq!(m.read_u64(0x1234), 0);
+        assert_eq!(m.resident_pages(), 0);
+    }
+
+    #[test]
+    fn u64_round_trip() {
+        let mut m = PhysMem::new(1 << 30);
+        m.write_u64(0x1000, 0x0102_0304_0506_0708);
+        assert_eq!(m.read_u64(0x1000), 0x0102_0304_0506_0708);
+        assert_eq!(m.read_u8(0x1000), 0x08, "little endian");
+    }
+
+    #[test]
+    fn cross_page_access_works() {
+        let mut m = PhysMem::new(1 << 30);
+        m.write_u64(PAGE_SIZE - 4, u64::MAX);
+        assert_eq!(m.read_u64(PAGE_SIZE - 4), u64::MAX);
+        assert_eq!(m.resident_pages(), 2);
+    }
+
+    #[test]
+    fn byte_slices_round_trip() {
+        let mut m = PhysMem::new(1 << 30);
+        let data = [1u8, 2, 3, 4, 5];
+        m.write_bytes(0x2000, &data);
+        let mut out = [0u8; 5];
+        m.read_bytes(0x2000, &mut out);
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    fn zero_page_clears_contents() {
+        let mut m = PhysMem::new(1 << 30);
+        m.write_u64(0x3000, 7);
+        m.zero_page(0x3000);
+        assert_eq!(m.read_u64(0x3000), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond limit")]
+    fn out_of_range_write_panics() {
+        let mut m = PhysMem::new(0x1000);
+        m.write_u8(0x1000, 1);
+    }
+}

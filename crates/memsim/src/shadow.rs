@@ -1,0 +1,252 @@
+//! Shadow Stage-2 page tables (paper Section 4, "Memory virtualization").
+//!
+//! The host hypervisor collapses two translations into one hardware
+//! Stage-2 table:
+//!
+//! ```text
+//!   L2 guest PA --(guest hypervisor's virtual Stage-2)--> L1 PA
+//!   L1 PA      --(host hypervisor's Stage-2)-----------> L0 machine PA
+//!   =========================================================
+//!   L2 guest PA --(shadow Stage-2, built here)---------> L0 machine PA
+//! ```
+//!
+//! Entries are faulted in lazily: when the nested VM takes a Stage-2
+//! abort, the host walks both source tables and installs the collapsed
+//! mapping. Any change to the guest's virtual Stage-2 (or a VMID roll)
+//! invalidates the shadow wholesale, matching the simple-and-correct
+//! strategy of the paper's KVM/ARM prototype.
+
+use crate::alloc::FrameAlloc;
+use crate::phys::PhysMem;
+use crate::table::{walk, Access, Fault, PageTable, Perms};
+
+/// A shadow Stage-2 table and its construction state.
+#[derive(Debug)]
+pub struct ShadowS2 {
+    /// The hardware-visible collapsed table.
+    pub table: PageTable,
+    /// Frames backing the shadow (reset on invalidation).
+    frames: FrameAlloc,
+    /// Collapsed entries installed since the last invalidation.
+    installed: u64,
+    /// Wholesale invalidations performed.
+    invalidations: u64,
+}
+
+/// Why a shadow fill failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShadowFault {
+    /// The guest hypervisor's virtual Stage-2 has no mapping: the fault
+    /// must be forwarded to the *guest* hypervisor (it may want to lazily
+    /// populate its own table or treat it as MMIO).
+    GuestStage2(Fault),
+    /// The host's Stage-2 has no mapping: host-level bug or host MMIO.
+    HostStage2(Fault),
+}
+
+impl ShadowS2 {
+    /// Creates an empty shadow over `frames`.
+    pub fn new(mem: &mut PhysMem, mut frames: FrameAlloc) -> Self {
+        let table = PageTable::new(mem, &mut frames);
+        Self {
+            table,
+            frames,
+            installed: 0,
+            invalidations: 0,
+        }
+    }
+
+    /// Handles a Stage-2 abort of the nested VM at `l2_pa`: walks the
+    /// guest's virtual Stage-2 (`guest_s2`) then the host's Stage-2
+    /// (`host_s2`) and installs the collapsed mapping with the
+    /// intersection of both permission sets.
+    ///
+    /// # Errors
+    ///
+    /// [`ShadowFault::GuestStage2`] when the guest mapping is absent (to
+    /// be reflected into the guest hypervisor) and
+    /// [`ShadowFault::HostStage2`] when the host mapping is absent.
+    pub fn fill(
+        &mut self,
+        mem: &mut PhysMem,
+        guest_s2: PageTable,
+        host_s2: PageTable,
+        l2_pa: u64,
+    ) -> Result<(), ShadowFault> {
+        // Walk the guest's table for read access first; permissions are
+        // intersected below.
+        let g = walk(mem, guest_s2, l2_pa, Access::Read).map_err(ShadowFault::GuestStage2)?;
+        let h = walk(mem, host_s2, g.pa, Access::Read).map_err(ShadowFault::HostStage2)?;
+        let perms = Perms {
+            r: g.perms.r && h.perms.r,
+            w: g.perms.w && h.perms.w,
+            x: g.perms.x && h.perms.x,
+        };
+        self.table.map(mem, &mut self.frames, l2_pa, h.pa, perms);
+        self.installed += 1;
+        Ok(())
+    }
+
+    /// Drops every collapsed mapping (guest Stage-2 changed, VMID rolled,
+    /// or the guest hypervisor switched nested VMs).
+    pub fn invalidate_all(&mut self, mem: &mut PhysMem) {
+        let root = self.table.root;
+        self.frames.reset();
+        // The root frame is the first allocation; re-take it and zero it.
+        let again = self.frames.alloc().expect("root frame");
+        assert_eq!(again, root, "root frame must be stable across resets");
+        mem.zero_page(root);
+        self.installed = 0;
+        self.invalidations += 1;
+    }
+
+    /// Collapsed entries currently installed.
+    pub fn installed(&self) -> u64 {
+        self.installed
+    }
+
+    /// Wholesale invalidations performed so far.
+    pub fn invalidations(&self) -> u64 {
+        self.invalidations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::phys::PAGE_SIZE;
+
+    struct Env {
+        mem: PhysMem,
+        guest_s2: PageTable,
+        host_s2: PageTable,
+        guest_frames: FrameAlloc,
+        host_frames: FrameAlloc,
+        shadow: ShadowS2,
+    }
+
+    fn setup() -> Env {
+        let mut mem = PhysMem::new(1 << 32);
+        let mut guest_frames = FrameAlloc::new(0x100_0000, 0x10_0000);
+        let mut host_frames = FrameAlloc::new(0x200_0000, 0x10_0000);
+        let shadow_frames = FrameAlloc::new(0x300_0000, 0x10_0000);
+        let guest_s2 = PageTable::new(&mut mem, &mut guest_frames);
+        let host_s2 = PageTable::new(&mut mem, &mut host_frames);
+        let shadow = ShadowS2::new(&mut mem, shadow_frames);
+        Env {
+            mem,
+            guest_s2,
+            host_s2,
+            guest_frames,
+            host_frames,
+            shadow,
+        }
+    }
+
+    #[test]
+    fn fill_collapses_two_stages() {
+        let mut e = setup();
+        // L2 PA 0x1000 -> L1 PA 0x4_2000 -> L0 PA 0x8_3000.
+        e.guest_s2.map(
+            &mut e.mem,
+            &mut e.guest_frames,
+            0x1000,
+            0x4_2000,
+            Perms::RWX,
+        );
+        e.host_s2.map(
+            &mut e.mem,
+            &mut e.host_frames,
+            0x4_2000,
+            0x8_3000,
+            Perms::RWX,
+        );
+        e.shadow
+            .fill(&mut e.mem, e.guest_s2, e.host_s2, 0x1abc)
+            .unwrap();
+        let t = walk(&e.mem, e.shadow.table, 0x1abc, Access::Read).unwrap();
+        assert_eq!(t.pa, 0x8_3abc);
+        assert_eq!(e.shadow.installed(), 1);
+    }
+
+    #[test]
+    fn permissions_are_intersected() {
+        let mut e = setup();
+        e.guest_s2
+            .map(&mut e.mem, &mut e.guest_frames, 0x1000, 0x4_2000, Perms::RW);
+        e.host_s2.map(
+            &mut e.mem,
+            &mut e.host_frames,
+            0x4_2000,
+            0x8_3000,
+            Perms::RO,
+        );
+        e.shadow
+            .fill(&mut e.mem, e.guest_s2, e.host_s2, 0x1000)
+            .unwrap();
+        let t = walk(&e.mem, e.shadow.table, 0x1000, Access::Read).unwrap();
+        assert!(t.perms.r && !t.perms.w && !t.perms.x);
+    }
+
+    #[test]
+    fn missing_guest_mapping_reflects_to_guest() {
+        let mut e = setup();
+        let err = e
+            .shadow
+            .fill(&mut e.mem, e.guest_s2, e.host_s2, 0x1000)
+            .unwrap_err();
+        assert!(matches!(err, ShadowFault::GuestStage2(_)));
+    }
+
+    #[test]
+    fn missing_host_mapping_is_host_fault() {
+        let mut e = setup();
+        e.guest_s2.map(
+            &mut e.mem,
+            &mut e.guest_frames,
+            0x1000,
+            0x4_2000,
+            Perms::RWX,
+        );
+        let err = e
+            .shadow
+            .fill(&mut e.mem, e.guest_s2, e.host_s2, 0x1000)
+            .unwrap_err();
+        assert!(matches!(err, ShadowFault::HostStage2(_)));
+    }
+
+    #[test]
+    fn invalidate_all_detaches_and_allows_refill() {
+        let mut e = setup();
+        for i in 0..8u64 {
+            e.guest_s2.map(
+                &mut e.mem,
+                &mut e.guest_frames,
+                i * PAGE_SIZE,
+                0x4_0000 + i * PAGE_SIZE,
+                Perms::RWX,
+            );
+            e.host_s2.map(
+                &mut e.mem,
+                &mut e.host_frames,
+                0x4_0000 + i * PAGE_SIZE,
+                0x8_0000 + i * PAGE_SIZE,
+                Perms::RWX,
+            );
+            e.shadow
+                .fill(&mut e.mem, e.guest_s2, e.host_s2, i * PAGE_SIZE)
+                .unwrap();
+        }
+        assert_eq!(e.shadow.installed(), 8);
+        e.shadow.invalidate_all(&mut e.mem);
+        assert_eq!(e.shadow.installed(), 0);
+        assert_eq!(e.shadow.invalidations(), 1);
+        assert!(walk(&e.mem, e.shadow.table, 0, Access::Read).is_err());
+        // Refill works after reset.
+        e.shadow.fill(&mut e.mem, e.guest_s2, e.host_s2, 0).unwrap();
+        assert_eq!(
+            walk(&e.mem, e.shadow.table, 0, Access::Read).unwrap().pa,
+            0x8_0000
+        );
+    }
+}

@@ -1,0 +1,479 @@
+//! Page tables and the hardware walker.
+//!
+//! A simplified but *in-memory* AArch64-style translation table: 3 levels,
+//! 4 KiB granule, 512 entries per level, covering a 39-bit input address
+//! space (L1 -> L2 -> L3, 1 GiB / 2 MiB / 4 KiB per entry). Descriptors
+//! live in simulated [`PhysMem`], so building a mapping costs stores and
+//! walking costs loads at architectural depth — which is what makes
+//! shadow-paging costs honest in the nested-virtualization experiments.
+
+use crate::alloc::FrameAlloc;
+use crate::phys::{PhysMem, PAGE_SIZE};
+
+/// Descriptor bit: entry is valid.
+const DESC_VALID: u64 = 1 << 0;
+/// Descriptor bit: entry points to a next-level table (levels 1-2).
+const DESC_TABLE: u64 = 1 << 1;
+/// Descriptor bit: readable.
+const DESC_R: u64 = 1 << 6;
+/// Descriptor bit: writable.
+const DESC_W: u64 = 1 << 7;
+/// Descriptor bit: executable.
+const DESC_X: u64 = 1 << 53;
+/// Output-address field mask (bits 47:12).
+const DESC_ADDR: u64 = 0x0000_ffff_ffff_f000;
+
+/// Access permissions of a mapping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Perms {
+    /// Readable.
+    pub r: bool,
+    /// Writable.
+    pub w: bool,
+    /// Executable.
+    pub x: bool,
+}
+
+impl Perms {
+    /// Read/write/execute.
+    pub const RWX: Perms = Perms {
+        r: true,
+        w: true,
+        x: true,
+    };
+    /// Read/write, no execute.
+    pub const RW: Perms = Perms {
+        r: true,
+        w: true,
+        x: false,
+    };
+    /// Read-only.
+    pub const RO: Perms = Perms {
+        r: true,
+        w: false,
+        x: false,
+    };
+
+    fn to_bits(self) -> u64 {
+        let mut d = 0;
+        if self.r {
+            d |= DESC_R;
+        }
+        if self.w {
+            d |= DESC_W;
+        }
+        if self.x {
+            d |= DESC_X;
+        }
+        d
+    }
+
+    fn from_bits(d: u64) -> Self {
+        Perms {
+            r: d & DESC_R != 0,
+            w: d & DESC_W != 0,
+            x: d & DESC_X != 0,
+        }
+    }
+
+    /// True if these permissions allow `access`.
+    pub fn allows(self, access: Access) -> bool {
+        match access {
+            Access::Read => self.r,
+            Access::Write => self.w,
+            Access::Fetch => self.x,
+        }
+    }
+}
+
+/// The kind of memory access being translated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Access {
+    /// Data read.
+    Read,
+    /// Data write.
+    Write,
+    /// Instruction fetch.
+    Fetch,
+}
+
+/// Why a translation failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// No valid descriptor at some level.
+    Translation,
+    /// Descriptor valid but permissions deny the access.
+    Permission,
+    /// Input address outside the 39-bit supported range.
+    AddressSize,
+}
+
+/// A translation fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fault {
+    /// The failing input address.
+    pub addr: u64,
+    /// Table level at which the walk failed (1-3; 0 for AddressSize).
+    pub level: u8,
+    /// Failure kind.
+    pub kind: FaultKind,
+    /// Levels actually visited (for cost accounting).
+    pub levels_walked: u8,
+}
+
+/// A successful translation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Translation {
+    /// Output physical (or intermediate-physical) address.
+    pub pa: u64,
+    /// Permissions of the final mapping.
+    pub perms: Perms,
+    /// Levels visited (always 3 in this format).
+    pub levels_walked: u8,
+}
+
+/// Maximum input address (39-bit space).
+pub const MAX_INPUT_ADDR: u64 = 1 << 39;
+
+/// Size of a level-2 block mapping.
+pub const BLOCK_SIZE: u64 = 2 * 1024 * 1024;
+
+fn index(addr: u64, level: u8) -> u64 {
+    debug_assert!((1..=3).contains(&level));
+    (addr >> (12 + 9 * (3 - level) as u32)) & 0x1ff
+}
+
+/// A translation table rooted at a physical frame.
+///
+/// Used for Stage-1 (VA -> IPA), Stage-2 (IPA -> PA) and shadow Stage-2
+/// tables alike; the descriptor format is shared for simplicity (the
+/// paper's point about EL2 vs EL1 *register* formats does not hinge on
+/// descriptor formats).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PageTable {
+    /// Physical address of the root (level-1) table frame.
+    pub root: u64,
+}
+
+impl PageTable {
+    /// Allocates an empty table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frames` is exhausted.
+    pub fn new(mem: &mut PhysMem, frames: &mut FrameAlloc) -> Self {
+        let root = frames.alloc().expect("page-table frames exhausted");
+        mem.zero_page(root);
+        Self { root }
+    }
+
+    /// Maps the 4 KiB page containing `input` to the frame `output` with
+    /// `perms`, creating intermediate tables as needed. Remapping an
+    /// existing entry overwrites it.
+    ///
+    /// # Panics
+    ///
+    /// Panics on frame exhaustion or out-of-range input address.
+    pub fn map(
+        &self,
+        mem: &mut PhysMem,
+        frames: &mut FrameAlloc,
+        input: u64,
+        output: u64,
+        perms: Perms,
+    ) {
+        assert!(input < MAX_INPUT_ADDR, "input {input:#x} out of range");
+        let input = input & !(PAGE_SIZE - 1);
+        let output = output & !(PAGE_SIZE - 1);
+        let mut table = self.root;
+        for level in 1..=2u8 {
+            let slot = table + index(input, level) * 8;
+            let desc = mem.read_u64(slot);
+            if desc & DESC_VALID == 0 {
+                let next = frames.alloc().expect("page-table frames exhausted");
+                mem.zero_page(next);
+                mem.write_u64(slot, next | DESC_VALID | DESC_TABLE);
+                table = next;
+            } else {
+                assert!(desc & DESC_TABLE != 0, "block entries unsupported");
+                table = desc & DESC_ADDR;
+            }
+        }
+        let slot = table + index(input, 3) * 8;
+        mem.write_u64(slot, output | perms.to_bits() | DESC_VALID);
+    }
+
+    /// Maps a 2 MiB block at level 2 (the hypervisor's THP-style huge
+    /// mapping: one descriptor, two-level walks).
+    ///
+    /// # Panics
+    ///
+    /// Panics on frame exhaustion, out-of-range or unaligned addresses,
+    /// or if a page table already occupies the slot.
+    pub fn map_block(
+        &self,
+        mem: &mut PhysMem,
+        frames: &mut FrameAlloc,
+        input: u64,
+        output: u64,
+        perms: Perms,
+    ) {
+        assert!(input < MAX_INPUT_ADDR, "input {input:#x} out of range");
+        assert_eq!(input % BLOCK_SIZE, 0, "block input must be 2MiB aligned");
+        assert_eq!(output % BLOCK_SIZE, 0, "block output must be 2MiB aligned");
+        let slot1 = self.root + index(input, 1) * 8;
+        let desc1 = mem.read_u64(slot1);
+        let l2 = if desc1 & DESC_VALID == 0 {
+            let next = frames.alloc().expect("page-table frames exhausted");
+            mem.zero_page(next);
+            mem.write_u64(slot1, next | DESC_VALID | DESC_TABLE);
+            next
+        } else {
+            desc1 & DESC_ADDR
+        };
+        let slot2 = l2 + index(input, 2) * 8;
+        let old = mem.read_u64(slot2);
+        assert!(
+            old & DESC_VALID == 0 || old & DESC_TABLE == 0,
+            "a page table occupies this 2MiB slot"
+        );
+        // A block descriptor: valid, TABLE clear.
+        mem.write_u64(slot2, output | perms.to_bits() | DESC_VALID);
+    }
+
+    /// Removes the mapping of the page containing `input` (no-op if the
+    /// walk hits an invalid entry first).
+    pub fn unmap(&self, mem: &mut PhysMem, input: u64) {
+        let mut table = self.root;
+        for level in 1..=2u8 {
+            let desc = mem.read_u64(table + index(input, level) * 8);
+            if desc & DESC_VALID == 0 {
+                return;
+            }
+            table = desc & DESC_ADDR;
+        }
+        mem.write_u64(table + index(input, 3) * 8, 0);
+    }
+
+    /// Zeroes the root frame, detaching every mapping at once (used with
+    /// [`FrameAlloc::reset`] for wholesale shadow invalidation).
+    pub fn clear_root(&self, mem: &mut PhysMem) {
+        mem.zero_page(self.root);
+    }
+}
+
+/// Walks `table` for `input`, checking `access` permissions.
+///
+/// This is the *hardware* walker: it reads descriptors from simulated
+/// memory and reports how many levels it touched so the CPU layer can
+/// charge walk cycles.
+///
+/// # Errors
+///
+/// Returns a [`Fault`] describing the failing level and kind.
+pub fn walk(
+    mem: &PhysMem,
+    table: PageTable,
+    input: u64,
+    access: Access,
+) -> Result<Translation, Fault> {
+    if input >= MAX_INPUT_ADDR {
+        return Err(Fault {
+            addr: input,
+            level: 0,
+            kind: FaultKind::AddressSize,
+            levels_walked: 0,
+        });
+    }
+    let mut frame = table.root;
+    for level in 1..=2u8 {
+        let desc = mem.read_u64(frame + index(input, level) * 8);
+        if desc & DESC_VALID == 0 {
+            return Err(Fault {
+                addr: input,
+                level,
+                kind: FaultKind::Translation,
+                levels_walked: level,
+            });
+        }
+        if level == 2 && desc & DESC_TABLE == 0 {
+            // A 2 MiB block descriptor terminates the walk early.
+            let perms = Perms::from_bits(desc);
+            if !perms.allows(access) {
+                return Err(Fault {
+                    addr: input,
+                    level: 2,
+                    kind: FaultKind::Permission,
+                    levels_walked: 2,
+                });
+            }
+            return Ok(Translation {
+                pa: (desc & DESC_ADDR & !(BLOCK_SIZE - 1)) | (input & (BLOCK_SIZE - 1)),
+                perms,
+                levels_walked: 2,
+            });
+        }
+        frame = desc & DESC_ADDR;
+    }
+    let desc = mem.read_u64(frame + index(input, 3) * 8);
+    if desc & DESC_VALID == 0 {
+        return Err(Fault {
+            addr: input,
+            level: 3,
+            kind: FaultKind::Translation,
+            levels_walked: 3,
+        });
+    }
+    let perms = Perms::from_bits(desc);
+    if !perms.allows(access) {
+        return Err(Fault {
+            addr: input,
+            level: 3,
+            kind: FaultKind::Permission,
+            levels_walked: 3,
+        });
+    }
+    Ok(Translation {
+        pa: (desc & DESC_ADDR) | (input & (PAGE_SIZE - 1)),
+        perms,
+        levels_walked: 3,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (PhysMem, FrameAlloc) {
+        let mem = PhysMem::new(1 << 32);
+        let frames = FrameAlloc::new(0x100_0000, 0x10_0000);
+        (mem, frames)
+    }
+
+    #[test]
+    fn map_then_walk_translates() {
+        let (mut mem, mut fr) = setup();
+        let t = PageTable::new(&mut mem, &mut fr);
+        t.map(&mut mem, &mut fr, 0x4000_1000, 0x8000_2000, Perms::RWX);
+        let tr = walk(&mem, t, 0x4000_1234, Access::Read).unwrap();
+        assert_eq!(tr.pa, 0x8000_2234);
+        assert_eq!(tr.levels_walked, 3);
+        assert!(tr.perms.w && tr.perms.x);
+    }
+
+    #[test]
+    fn unmapped_address_faults_with_level() {
+        let (mut mem, mut fr) = setup();
+        let t = PageTable::new(&mut mem, &mut fr);
+        let f = walk(&mem, t, 0x1000, Access::Read).unwrap_err();
+        assert_eq!(f.kind, FaultKind::Translation);
+        assert_eq!(f.level, 1);
+        // Map a sibling page; the fault for the original moves deeper.
+        t.map(&mut mem, &mut fr, 0x2000, 0x9000, Perms::RW);
+        let f = walk(&mem, t, 0x1000, Access::Read).unwrap_err();
+        assert_eq!(f.level, 3);
+    }
+
+    #[test]
+    fn permission_fault_on_write_to_readonly() {
+        let (mut mem, mut fr) = setup();
+        let t = PageTable::new(&mut mem, &mut fr);
+        t.map(&mut mem, &mut fr, 0x5000, 0x6000, Perms::RO);
+        assert!(walk(&mem, t, 0x5000, Access::Read).is_ok());
+        let f = walk(&mem, t, 0x5008, Access::Write).unwrap_err();
+        assert_eq!(f.kind, FaultKind::Permission);
+    }
+
+    #[test]
+    fn fetch_requires_execute() {
+        let (mut mem, mut fr) = setup();
+        let t = PageTable::new(&mut mem, &mut fr);
+        t.map(&mut mem, &mut fr, 0x5000, 0x6000, Perms::RW);
+        let f = walk(&mem, t, 0x5000, Access::Fetch).unwrap_err();
+        assert_eq!(f.kind, FaultKind::Permission);
+    }
+
+    #[test]
+    fn remap_overwrites() {
+        let (mut mem, mut fr) = setup();
+        let t = PageTable::new(&mut mem, &mut fr);
+        t.map(&mut mem, &mut fr, 0x5000, 0x6000, Perms::RW);
+        t.map(&mut mem, &mut fr, 0x5000, 0x7000, Perms::RO);
+        let tr = walk(&mem, t, 0x5000, Access::Read).unwrap();
+        assert_eq!(tr.pa, 0x7000);
+        assert!(!tr.perms.w);
+    }
+
+    #[test]
+    fn unmap_removes_leaf() {
+        let (mut mem, mut fr) = setup();
+        let t = PageTable::new(&mut mem, &mut fr);
+        t.map(&mut mem, &mut fr, 0x5000, 0x6000, Perms::RW);
+        t.unmap(&mut mem, 0x5000);
+        assert!(walk(&mem, t, 0x5000, Access::Read).is_err());
+    }
+
+    #[test]
+    fn address_size_fault_beyond_39_bits() {
+        let (mut mem, mut fr) = setup();
+        let t = PageTable::new(&mut mem, &mut fr);
+        let f = walk(&mem, t, 1 << 39, Access::Read).unwrap_err();
+        assert_eq!(f.kind, FaultKind::AddressSize);
+    }
+
+    #[test]
+    fn distinct_gigabyte_regions_use_distinct_l1_entries() {
+        let (mut mem, mut fr) = setup();
+        let t = PageTable::new(&mut mem, &mut fr);
+        let before = fr.used();
+        t.map(&mut mem, &mut fr, 0, 0x1000, Perms::RW);
+        t.map(&mut mem, &mut fr, 1 << 30, 0x2000, Perms::RW);
+        // Each GiB region allocates its own L2+L3 pair.
+        assert_eq!(fr.used() - before, 4);
+        assert_eq!(walk(&mem, t, 0, Access::Read).unwrap().pa, 0x1000);
+        assert_eq!(walk(&mem, t, 1 << 30, Access::Read).unwrap().pa, 0x2000);
+    }
+
+    #[test]
+    fn block_mapping_translates_with_two_levels() {
+        let (mut mem, mut fr) = setup();
+        let t = PageTable::new(&mut mem, &mut fr);
+        t.map_block(&mut mem, &mut fr, 2 * BLOCK_SIZE, 8 * BLOCK_SIZE, Perms::RW);
+        let tr = walk(&mem, t, 2 * BLOCK_SIZE + 0x12_3456, Access::Read).unwrap();
+        assert_eq!(tr.pa, 8 * BLOCK_SIZE + 0x12_3456);
+        assert_eq!(tr.levels_walked, 2, "block walks stop at level 2");
+        // Permission checks apply to blocks too.
+        assert!(walk(&mem, t, 2 * BLOCK_SIZE, Access::Fetch).is_err());
+    }
+
+    #[test]
+    fn blocks_and_pages_coexist_in_one_table() {
+        let (mut mem, mut fr) = setup();
+        let t = PageTable::new(&mut mem, &mut fr);
+        t.map_block(&mut mem, &mut fr, 0, 4 * BLOCK_SIZE, Perms::RWX);
+        t.map(&mut mem, &mut fr, BLOCK_SIZE, 0x9000, Perms::RO);
+        assert_eq!(
+            walk(&mem, t, 0x1000, Access::Read).unwrap().pa,
+            4 * BLOCK_SIZE + 0x1000
+        );
+        assert_eq!(walk(&mem, t, BLOCK_SIZE, Access::Read).unwrap().pa, 0x9000);
+    }
+
+    #[test]
+    #[should_panic(expected = "2MiB aligned")]
+    fn unaligned_block_panics() {
+        let (mut mem, mut fr) = setup();
+        let t = PageTable::new(&mut mem, &mut fr);
+        t.map_block(&mut mem, &mut fr, 0x1000, 0, Perms::RW);
+    }
+
+    #[test]
+    fn clear_root_detaches_all_mappings() {
+        let (mut mem, mut fr) = setup();
+        let t = PageTable::new(&mut mem, &mut fr);
+        t.map(&mut mem, &mut fr, 0x5000, 0x6000, Perms::RW);
+        t.clear_root(&mut mem);
+        let f = walk(&mem, t, 0x5000, Access::Read).unwrap_err();
+        assert_eq!(f.level, 1);
+    }
+}

@@ -1,0 +1,192 @@
+//! A VMID-tagged translation lookaside buffer.
+//!
+//! The TLB caches *final* translations (input page to output page with
+//! permissions) per translation regime. Entries are tagged with a VMID so
+//! the hypervisor can invalidate one VM's translations without flushing
+//! the world — and so the simulator charges realistic walk costs after
+//! `tlbi vmalls12e1` operations during world switches.
+
+use crate::table::Perms;
+use std::collections::HashMap;
+
+/// TLB tag: translation regime + VMID + input page.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TlbKey {
+    /// VMID of the Stage-2 regime (0 for host/hypervisor contexts).
+    pub vmid: u16,
+    /// True for Stage-2 (or combined) entries, false for Stage-1-only.
+    pub stage2: bool,
+    /// Input page base (low 12 bits clear).
+    pub page: u64,
+}
+
+/// A cached translation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TlbEntry {
+    /// Output page base.
+    pub out_page: u64,
+    /// Cached permissions.
+    pub perms: Perms,
+}
+
+/// The TLB. Capacity-bounded with random-ish (hash-order) eviction;
+/// capacity pressure is not a phenomenon the NEVE experiments depend on,
+/// but the bound keeps long simulations in check.
+#[derive(Debug)]
+pub struct Tlb {
+    entries: HashMap<TlbKey, TlbEntry>,
+    capacity: usize,
+    hits: u64,
+    misses: u64,
+    flushes: u64,
+}
+
+impl Default for Tlb {
+    fn default() -> Self {
+        Self::new(2048)
+    }
+}
+
+impl Tlb {
+    /// Creates a TLB holding at most `capacity` entries.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            entries: HashMap::new(),
+            capacity,
+            hits: 0,
+            misses: 0,
+            flushes: 0,
+        }
+    }
+
+    /// Looks up a translation, updating hit/miss statistics.
+    pub fn lookup(&mut self, key: TlbKey) -> Option<TlbEntry> {
+        match self.entries.get(&key) {
+            Some(e) => {
+                self.hits += 1;
+                Some(*e)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Installs a translation (evicting an arbitrary entry at capacity).
+    pub fn insert(&mut self, key: TlbKey, entry: TlbEntry) {
+        if self.entries.len() >= self.capacity && !self.entries.contains_key(&key) {
+            if let Some(k) = self.entries.keys().next().copied() {
+                self.entries.remove(&k);
+            }
+        }
+        self.entries.insert(key, entry);
+    }
+
+    /// Invalidates every entry of one VMID (`tlbi vmalls12e1`).
+    pub fn flush_vmid(&mut self, vmid: u16) {
+        self.entries.retain(|k, _| k.vmid != vmid);
+        self.flushes += 1;
+    }
+
+    /// Invalidates everything (`tlbi alle1`).
+    pub fn flush_all(&mut self) {
+        self.entries.clear();
+        self.flushes += 1;
+    }
+
+    /// (hits, misses, flushes) so far.
+    pub fn stats(&self) -> (u64, u64, u64) {
+        (self.hits, self.misses, self.flushes)
+    }
+
+    /// Resident entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no entries are cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(vmid: u16, page: u64) -> TlbKey {
+        TlbKey {
+            vmid,
+            stage2: true,
+            page,
+        }
+    }
+
+    fn entry(out: u64) -> TlbEntry {
+        TlbEntry {
+            out_page: out,
+            perms: Perms::RWX,
+        }
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut t = Tlb::new(16);
+        assert!(t.lookup(key(1, 0x1000)).is_none());
+        t.insert(key(1, 0x1000), entry(0x8000));
+        assert_eq!(t.lookup(key(1, 0x1000)).unwrap().out_page, 0x8000);
+        assert_eq!(t.stats(), (1, 1, 0));
+    }
+
+    #[test]
+    fn vmid_flush_is_selective() {
+        let mut t = Tlb::new(16);
+        t.insert(key(1, 0x1000), entry(0x8000));
+        t.insert(key(2, 0x1000), entry(0x9000));
+        t.flush_vmid(1);
+        assert!(t.lookup(key(1, 0x1000)).is_none());
+        assert!(t.lookup(key(2, 0x1000)).is_some());
+    }
+
+    #[test]
+    fn same_page_different_vmid_do_not_alias() {
+        let mut t = Tlb::new(16);
+        t.insert(key(1, 0x1000), entry(0x8000));
+        t.insert(key(2, 0x1000), entry(0x9000));
+        assert_eq!(t.lookup(key(1, 0x1000)).unwrap().out_page, 0x8000);
+        assert_eq!(t.lookup(key(2, 0x1000)).unwrap().out_page, 0x9000);
+    }
+
+    #[test]
+    fn capacity_is_bounded() {
+        let mut t = Tlb::new(4);
+        for i in 0..100u64 {
+            t.insert(key(0, i * 0x1000), entry(i));
+        }
+        assert!(t.len() <= 4);
+    }
+
+    #[test]
+    fn flush_all_clears() {
+        let mut t = Tlb::new(16);
+        t.insert(key(1, 0), entry(0));
+        t.flush_all();
+        assert!(t.is_empty());
+        assert_eq!(t.stats().2, 1);
+    }
+
+    #[test]
+    fn stage1_and_stage2_keys_are_distinct() {
+        let mut t = Tlb::new(16);
+        t.insert(
+            TlbKey {
+                vmid: 0,
+                stage2: false,
+                page: 0x1000,
+            },
+            entry(0xa000),
+        );
+        assert!(t.lookup(key(0, 0x1000)).is_none());
+    }
+}

@@ -1,0 +1,80 @@
+//! Property-based tests on the memory system's core invariants.
+
+use neve_memsim::{walk, Access, FrameAlloc, PageTable, Perms, PhysMem, ShadowS2};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+proptest! {
+    /// Every mapping installed is exactly the mapping observed: walks
+    /// agree with the last `map` call for each page, and unmapped pages
+    /// fault.
+    #[test]
+    fn prop_walk_agrees_with_map(
+        pages in proptest::collection::vec((0u64..512, 0u64..512), 1..40),
+        probe in 0u64..512,
+    ) {
+        let mut mem = PhysMem::new(1 << 32);
+        let mut fr = FrameAlloc::new(0x100_0000, 0x80_0000);
+        let t = PageTable::new(&mut mem, &mut fr);
+        let mut model = BTreeMap::new();
+        for (vpage, ppage) in pages {
+            let va = vpage * 4096;
+            let pa = 0x4000_0000 + ppage * 4096;
+            t.map(&mut mem, &mut fr, va, pa, Perms::RW);
+            model.insert(va, pa);
+        }
+        let va = probe * 4096;
+        match (walk(&mem, t, va + 8, Access::Read), model.get(&va)) {
+            (Ok(tr), Some(pa)) => prop_assert_eq!(tr.pa, pa + 8),
+            (Err(_), None) => {}
+            (got, want) => prop_assert!(false, "mismatch: {got:?} vs {want:?}"),
+        }
+    }
+
+    /// Shadow collapse is function composition: for every address the
+    /// shadow resolves, shadow(a) == host(guest(a)).
+    #[test]
+    fn prop_shadow_is_composition(
+        pages in proptest::collection::vec((0u64..64, 0u64..64, 0u64..64), 1..16),
+    ) {
+        let mut mem = PhysMem::new(1 << 32);
+        let mut gfr = FrameAlloc::new(0x100_0000, 0x40_0000);
+        let mut hfr = FrameAlloc::new(0x200_0000, 0x40_0000);
+        let sfr = FrameAlloc::new(0x300_0000, 0x40_0000);
+        let guest = PageTable::new(&mut mem, &mut gfr);
+        let host = PageTable::new(&mut mem, &mut hfr);
+        let mut shadow = ShadowS2::new(&mut mem, sfr);
+        let mut mapped = Vec::new();
+        for (l2, l1, l0) in pages {
+            let l2pa = l2 * 4096;
+            let l1pa = 0x1000_0000 + l1 * 4096;
+            let l0pa = 0x2000_0000 + l0 * 4096;
+            guest.map(&mut mem, &mut gfr, l2pa, l1pa, Perms::RWX);
+            host.map(&mut mem, &mut hfr, l1pa, l0pa, Perms::RWX);
+            mapped.push(l2pa);
+        }
+        for l2pa in mapped {
+            shadow.fill(&mut mem, guest, host, l2pa).expect("both stages mapped");
+            let via_shadow = walk(&mem, shadow.table, l2pa, Access::Read).unwrap().pa;
+            let l1pa = walk(&mem, guest, l2pa, Access::Read).unwrap().pa;
+            let via_composed = walk(&mem, host, l1pa, Access::Read).unwrap().pa;
+            prop_assert_eq!(via_shadow, via_composed);
+        }
+    }
+
+    /// Memory round-trips arbitrary values at arbitrary (in-range)
+    /// addresses, independent of write order.
+    #[test]
+    fn prop_phys_mem_roundtrip(writes in proptest::collection::vec((0u64..0x10_0000, any::<u64>()), 1..64)) {
+        let mut mem = PhysMem::new(1 << 32);
+        let mut model = BTreeMap::new();
+        for (slot, v) in writes {
+            let addr = slot * 8;
+            mem.write_u64(addr, v);
+            model.insert(addr, v);
+        }
+        for (addr, v) in model {
+            prop_assert_eq!(mem.read_u64(addr), v);
+        }
+    }
+}

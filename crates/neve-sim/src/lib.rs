@@ -1,0 +1,72 @@
+//! # neve-sim — NEVE: Nested Virtualization Extensions for ARM
+//!
+//! A full-system reproduction of *NEVE: Nested Virtualization Extensions
+//! for ARM* (Lim, Dall, Li, Nieh, Zyngier — SOSP 2017): a cycle-accounted
+//! ARMv8 system simulator with nested-virtualization support
+//! (ARMv8.3-NV semantics and the paper's NEVE extension, adopted as
+//! ARMv8.4-NV2), a miniature KVM/ARM hypervisor stack running on it, an
+//! x86/VT-x comparator, and the workload models that regenerate every
+//! table and figure of the paper's evaluation.
+//!
+//! ## Crate map
+//!
+//! | module | underlying crate | contents |
+//! |---|---|---|
+//! | [`neve`] | `neve-core` | **the contribution**: `VNCR_EL2`, the deferred access page, the access-rewriting engine |
+//! | [`sysreg`] | `neve-sysreg` | system registers + the paper's Tables 3/4/5 classification |
+//! | [`cycles`] | `neve-cycles` | cost model + cycle/trap accounting |
+//! | [`memsim`] | `neve-memsim` | physical memory, Stage-1/2 tables, shadow Stage-2, TLB |
+//! | [`gic`] | `neve-gic` | interrupt controller with virtualization support |
+//! | [`vtimer`] | `neve-vtimer` | generic timers |
+//! | [`armv8`] | `neve-armv8` | the CPU/machine model and interpreted ISA |
+//! | [`kvmarm`] | `neve-kvmarm` | host hypervisor, guest-hypervisor builder, test bed |
+//! | [`x86vt`] | `neve-x86vt` | the VT-x comparator |
+//! | [`workloads`] | `neve-workloads` | Tables 1/6/7 and Figure 2 generators |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use neve_sim::kvmarm::{ArmConfig, MicroBench, ParaMode, TestBed};
+//!
+//! // Run the hypercall microbenchmark in a nested VM under a NEVE
+//! // guest hypervisor (paper Table 6's "NEVE Nested" column).
+//! let cfg = ArmConfig::Nested { guest_vhe: false, neve: true, para: ParaMode::None };
+//! let mut tb = TestBed::new(cfg, MicroBench::Hypercall, 10);
+//! let per_op = tb.run(10);
+//! assert!(per_op.traps < 20.0); // paper: 15 traps
+//! ```
+
+pub use neve_armv8 as armv8;
+pub use neve_core as neve;
+pub use neve_cycles as cycles;
+pub use neve_gic as gic;
+pub use neve_kvmarm as kvmarm;
+pub use neve_memsim as memsim;
+pub use neve_sysreg as sysreg;
+pub use neve_vtimer as vtimer;
+pub use neve_workloads as workloads;
+pub use neve_x86vt as x86vt;
+
+/// Frequently-used items.
+pub mod prelude {
+    pub use neve_armv8::{ArchLevel, Machine, MachineConfig};
+    pub use neve_core::{DeferredAccessPage, Disposition, NeveEngine, VncrEl2};
+    pub use neve_cycles::{CostModel, CycleCounter, TrapKind};
+    pub use neve_kvmarm::{ArmConfig, MicroBench, ParaMode, TestBed};
+    pub use neve_sysreg::{RegId, SysReg};
+    pub use neve_workloads::platforms::{Config, MicroMatrix};
+    pub use neve_x86vt::testbed::{X86Bench, X86Config, X86TestBed};
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn facade_reaches_every_layer() {
+        use crate::prelude::*;
+        let _ = ArchLevel::V8_4;
+        let _ = VncrEl2::disabled();
+        let _ = CostModel::default();
+        let _ = SysReg::HcrEl2;
+        assert!(ArchLevel::V8_4.has_nv2());
+    }
+}

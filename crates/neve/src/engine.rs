@@ -1,0 +1,398 @@
+//! The NEVE access-rewriting engine (paper Sections 6 and 6.1).
+//!
+//! Given a system-register access performed by software running in
+//! *virtual EL2* (a guest hypervisor deprivileged into EL1 with
+//! `HCR_EL2.{NV,NV2}` set), the engine decides what the hardware does
+//! instead of trapping to the host hypervisor. This is the logic the
+//! paper proposes adding to the system-register decode stage
+//! (Section 6.3: "redirect system register access instructions ... to
+//! memory at a specified offset ... or to corresponding EL1 registers").
+
+use crate::vncr::VncrEl2;
+use neve_sysreg::classify::{el1_counterpart, neve_class_of_name, vncr_offset, NeveClass};
+use neve_sysreg::{RegId, SysReg};
+use serde::{Deserialize, Serialize};
+
+/// What the hardware does with a virtual-EL2 system register access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Disposition {
+    /// Rewrite the access into a load/store of the 8-byte slot at
+    /// `VNCR_EL2.BADDR + offset` (mechanism 1, VM system registers and
+    /// cached-copy reads).
+    Memory {
+        /// Byte offset within the deferred access page.
+        offset: u16,
+    },
+    /// Rewrite the access to target the EL1 counterpart register
+    /// (mechanism 2, hypervisor control registers with same-format EL1
+    /// equivalents).
+    RedirectEl1(SysReg),
+    /// Trap to the host hypervisor (writes to cached-copy registers,
+    /// and all timer EL2 register accesses).
+    Trap,
+    /// NEVE does not intervene; the access follows the base
+    /// architecture's rules (used for registers outside Tables 3-5, and
+    /// for everything when NEVE is disabled).
+    Passthrough,
+}
+
+/// Feature toggles for ablation studies (DESIGN.md Ablation B).
+///
+/// A full NEVE implementation enables all three mechanisms; the paper's
+/// order-of-magnitude win (Section 7) is their combination. Disabling one
+/// makes the affected accesses trap as on ARMv8.3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NeveFeatures {
+    /// Mechanism 1: defer VM system registers to memory.
+    pub defer_vm_regs: bool,
+    /// Mechanism 2: redirect EL2 control registers to EL1 counterparts.
+    pub redirect_el1: bool,
+    /// Mechanism 3: serve control-register reads from cached copies.
+    pub cached_reads: bool,
+}
+
+impl Default for NeveFeatures {
+    fn default() -> Self {
+        Self {
+            defer_vm_regs: true,
+            redirect_el1: true,
+            cached_reads: true,
+        }
+    }
+}
+
+/// The access-rewriting engine.
+///
+/// Holds the `VNCR_EL2` value and the feature toggles; stateless
+/// otherwise, so one engine per CPU suffices.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NeveEngine {
+    /// Current `VNCR_EL2` contents (host-hypervisor managed).
+    pub vncr: VncrEl2,
+    /// Mechanism toggles (all on for architectural NEVE).
+    pub features: NeveFeatures,
+}
+
+impl NeveEngine {
+    /// Creates an engine with NEVE disabled.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// True when `VNCR_EL2.Enable` is set.
+    pub fn enabled(&self) -> bool {
+        self.vncr.enabled()
+    }
+
+    /// Decides the disposition of an access to `id` from virtual EL2.
+    ///
+    /// `is_write` selects the direction; `vhe_guest` reflects the guest
+    /// hypervisor's (virtual) `HCR_EL2.E2H`, which changes the treatment
+    /// of `TCR_EL2`/`TTBR0_EL2` (paper Table 4: "Redirect or trap").
+    pub fn disposition(&self, id: RegId, is_write: bool, vhe_guest: bool) -> Disposition {
+        if !self.enabled() {
+            return Disposition::Passthrough;
+        }
+        let reg = id.base_reg();
+        match neve_class_of_name(id) {
+            NeveClass::VmTrapControl
+            | NeveClass::VmExecutionControl
+            | NeveClass::VmThreadId
+            | NeveClass::PmuDefer => self.defer(reg),
+            NeveClass::HypRedirect | NeveClass::HypRedirectVhe => self.redirect(reg),
+            NeveClass::HypTrapOnWrite => self.cached(reg, is_write),
+            NeveClass::HypRedirectOrTrap => {
+                if vhe_guest {
+                    self.redirect(reg)
+                } else {
+                    self.cached(reg, is_write)
+                }
+            }
+            NeveClass::GicTrapOnWrite | NeveClass::DebugTrapOnWrite => self.cached(reg, is_write),
+            NeveClass::TimerTrap => Disposition::Trap,
+            NeveClass::NotNeve => Disposition::Passthrough,
+        }
+    }
+
+    /// Absolute physical address of the slot an access was deferred to.
+    pub fn slot_address(&self, offset: u16) -> u64 {
+        self.vncr.baddr() + offset as u64
+    }
+
+    fn defer(&self, reg: SysReg) -> Disposition {
+        if !self.features.defer_vm_regs {
+            return Disposition::Trap;
+        }
+        match vncr_offset(reg) {
+            Some(offset) => Disposition::Memory { offset },
+            // Every register in the deferring classes has a slot; a miss
+            // would be a table bug, surfaced as a trap rather than a
+            // panic so the host hypervisor can log it.
+            None => Disposition::Trap,
+        }
+    }
+
+    fn redirect(&self, reg: SysReg) -> Disposition {
+        if !self.features.redirect_el1 {
+            return Disposition::Trap;
+        }
+        match el1_counterpart(reg) {
+            Some(el1) => Disposition::RedirectEl1(el1),
+            None => Disposition::Trap,
+        }
+    }
+
+    fn cached(&self, reg: SysReg, is_write: bool) -> Disposition {
+        if is_write {
+            return Disposition::Trap;
+        }
+        if !self.features.cached_reads {
+            return Disposition::Trap;
+        }
+        match vncr_offset(reg) {
+            Some(offset) => Disposition::Memory { offset },
+            None => Disposition::Trap,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neve_sysreg::classify::{deferrable_registers, neve_class};
+    use proptest::prelude::*;
+
+    fn engine() -> NeveEngine {
+        NeveEngine {
+            vncr: VncrEl2::enabled_at(0x9000_0000).unwrap(),
+            features: NeveFeatures::default(),
+        }
+    }
+
+    #[test]
+    fn disabled_engine_is_passthrough_for_everything() {
+        let e = NeveEngine::new();
+        for r in SysReg::all() {
+            for w in [false, true] {
+                assert_eq!(
+                    e.disposition(RegId::Plain(r), w, false),
+                    Disposition::Passthrough,
+                    "{r} write={w}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn vm_system_registers_defer_to_memory_both_directions() {
+        let e = engine();
+        for r in [SysReg::HcrEl2, SysReg::VttbrEl2, SysReg::SctlrEl1] {
+            for w in [false, true] {
+                match e.disposition(RegId::Plain(r), w, false) {
+                    Disposition::Memory { offset } => {
+                        assert_eq!(offset, vncr_offset(r).unwrap())
+                    }
+                    d => panic!("{r}: {d:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hypervisor_control_registers_redirect_to_el1() {
+        let e = engine();
+        assert_eq!(
+            e.disposition(RegId::Plain(SysReg::VbarEl2), true, false),
+            Disposition::RedirectEl1(SysReg::VbarEl1)
+        );
+        assert_eq!(
+            e.disposition(RegId::Plain(SysReg::EsrEl2), false, false),
+            Disposition::RedirectEl1(SysReg::EsrEl1)
+        );
+        // VHE-added counterparts (Table 4 "(VHE)" rows).
+        assert_eq!(
+            e.disposition(RegId::Plain(SysReg::Ttbr1El2), true, true),
+            Disposition::RedirectEl1(SysReg::Ttbr1El1)
+        );
+    }
+
+    #[test]
+    fn trap_on_write_registers_cache_reads_and_trap_writes() {
+        let e = engine();
+        for r in [
+            SysReg::CnthctlEl2,
+            SysReg::CntvoffEl2,
+            SysReg::CptrEl2,
+            SysReg::MdcrEl2,
+        ] {
+            assert!(
+                matches!(
+                    e.disposition(RegId::Plain(r), false, false),
+                    Disposition::Memory { .. }
+                ),
+                "{r} read"
+            );
+            assert_eq!(
+                e.disposition(RegId::Plain(r), true, false),
+                Disposition::Trap,
+                "{r} write"
+            );
+        }
+    }
+
+    #[test]
+    fn tcr_ttbr0_el2_redirect_for_vhe_and_trap_for_non_vhe() {
+        // Paper Table 4, "Redirect or trap": VHE makes the EL2 format
+        // identical to EL1's, so redirection is only valid for VHE guest
+        // hypervisors.
+        let e = engine();
+        for r in [SysReg::TcrEl2, SysReg::Ttbr0El2] {
+            assert!(matches!(
+                e.disposition(RegId::Plain(r), true, true),
+                Disposition::RedirectEl1(_)
+            ));
+            assert_eq!(
+                e.disposition(RegId::Plain(r), true, false),
+                Disposition::Trap
+            );
+            assert!(matches!(
+                e.disposition(RegId::Plain(r), false, false),
+                Disposition::Memory { .. }
+            ));
+        }
+    }
+
+    #[test]
+    fn gic_hypervisor_interface_is_cached_copy() {
+        let e = engine();
+        assert!(matches!(
+            e.disposition(RegId::Plain(SysReg::IchLrEl2(0)), false, false),
+            Disposition::Memory { .. }
+        ));
+        assert_eq!(
+            e.disposition(RegId::Plain(SysReg::IchLrEl2(0)), true, false),
+            Disposition::Trap
+        );
+        assert!(matches!(
+            e.disposition(RegId::Plain(SysReg::IchEisrEl2), false, false),
+            Disposition::Memory { .. }
+        ));
+    }
+
+    #[test]
+    fn timer_el2_registers_always_trap() {
+        let e = engine();
+        for r in [SysReg::CnthpCtlEl2, SysReg::CnthvCvalEl2] {
+            for w in [false, true] {
+                assert_eq!(e.disposition(RegId::Plain(r), w, true), Disposition::Trap);
+            }
+        }
+    }
+
+    #[test]
+    fn el12_names_defer_like_vm_registers() {
+        // A VHE guest hypervisor uses SCTLR_EL12 to touch the nested VM's
+        // EL1 state; NEVE rewrites those to the page (Section 6.4).
+        let e = engine();
+        assert!(matches!(
+            e.disposition(RegId::El12(SysReg::SctlrEl1), true, true),
+            Disposition::Memory { .. }
+        ));
+    }
+
+    #[test]
+    fn slot_address_offsets_from_baddr() {
+        let e = engine();
+        assert_eq!(e.slot_address(0x18), 0x9000_0000 + 0x18);
+    }
+
+    #[test]
+    fn ablation_disabling_defer_makes_vm_regs_trap() {
+        let mut e = engine();
+        e.features.defer_vm_regs = false;
+        assert_eq!(
+            e.disposition(RegId::Plain(SysReg::HcrEl2), true, false),
+            Disposition::Trap
+        );
+        // Redirection is unaffected.
+        assert!(matches!(
+            e.disposition(RegId::Plain(SysReg::VbarEl2), true, false),
+            Disposition::RedirectEl1(_)
+        ));
+    }
+
+    #[test]
+    fn ablation_disabling_redirect_makes_control_regs_trap() {
+        let mut e = engine();
+        e.features.redirect_el1 = false;
+        assert_eq!(
+            e.disposition(RegId::Plain(SysReg::VbarEl2), false, false),
+            Disposition::Trap
+        );
+    }
+
+    #[test]
+    fn ablation_disabling_cached_reads_makes_reads_trap() {
+        let mut e = engine();
+        e.features.cached_reads = false;
+        assert_eq!(
+            e.disposition(RegId::Plain(SysReg::IchVmcrEl2), false, false),
+            Disposition::Trap
+        );
+    }
+
+    proptest! {
+        /// NEVE never defers to an offset outside the page, and every
+        /// Memory disposition hits a real slot of a deferrable register.
+        #[test]
+        fn prop_memory_dispositions_are_valid_slots(idx in 0usize..200, w: bool, vhe: bool) {
+            let all = SysReg::all();
+            let r = all[idx % all.len()];
+            let e = engine();
+            if let Disposition::Memory { offset } =
+                e.disposition(RegId::Plain(r), w, vhe)
+            {
+                prop_assert!(usize::from(offset) + 8 <= crate::page::PAGE_SIZE);
+                prop_assert!(deferrable_registers().contains(&r));
+                prop_assert_eq!(offset, vncr_offset(r).unwrap());
+            }
+        }
+
+        /// Redirection always lands on an EL1 register and only for
+        /// hypervisor-control classes.
+        #[test]
+        fn prop_redirects_target_el1(idx in 0usize..200, w: bool, vhe: bool) {
+            let all = SysReg::all();
+            let r = all[idx % all.len()];
+            let e = engine();
+            if let Disposition::RedirectEl1(t) =
+                e.disposition(RegId::Plain(r), w, vhe)
+            {
+                prop_assert!(!t.is_el2());
+                prop_assert!(matches!(
+                    neve_class(r),
+                    NeveClass::HypRedirect
+                        | NeveClass::HypRedirectVhe
+                        | NeveClass::HypRedirectOrTrap
+                ));
+            }
+        }
+
+        /// Writes never read the cached copy: any cached-class write traps.
+        #[test]
+        fn prop_cached_copy_writes_trap(idx in 0usize..200, vhe: bool) {
+            let all = SysReg::all();
+            let r = all[idx % all.len()];
+            let e = engine();
+            if matches!(
+                neve_class(r),
+                NeveClass::GicTrapOnWrite | NeveClass::HypTrapOnWrite | NeveClass::DebugTrapOnWrite
+            ) {
+                prop_assert_eq!(
+                    e.disposition(RegId::Plain(r), true, vhe),
+                    Disposition::Trap
+                );
+            }
+        }
+    }
+}

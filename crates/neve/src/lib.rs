@@ -1,0 +1,32 @@
+//! NEVE — Nested Virtualization Extensions for ARM.
+//!
+//! This crate implements the paper's primary contribution (Section 6): a
+//! small architecture extension that lets a *guest hypervisor* (a
+//! hypervisor deprivileged into EL1 by a host hypervisor) execute most of
+//! its hypervisor instructions without trapping, by
+//!
+//! 1. **deferring** accesses to *VM system registers* (paper Table 3) to an
+//!    in-memory *deferred access page* addressed by the new
+//!    [`VncrEl2`] register (paper Table 2),
+//! 2. **redirecting** accesses to *hypervisor control registers* that have
+//!    same-format EL1 counterparts to those counterparts (paper Table 4),
+//!    and
+//! 3. serving reads of the remaining control registers from **cached
+//!    copies** in the deferred access page, trapping only on writes
+//!    (paper Tables 4 and 5).
+//!
+//! The crate is deliberately CPU-agnostic: [`NeveEngine`] maps a register
+//! access to a [`Disposition`] and the CPU model (`neve-armv8`) applies
+//! it; [`DeferredAccessPage`] provides the architectural page layout over
+//! any 4 KiB of memory. This mirrors how the real feature (adopted as
+//! ARMv8.4-NV2) slots into an existing core's system-register decode.
+
+pub mod engine;
+pub mod page;
+pub mod recursive;
+pub mod vncr;
+
+pub use engine::{Disposition, NeveEngine};
+pub use page::{DeferredAccessPage, PAGE_SIZE};
+pub use recursive::virtualize_vncr;
+pub use vncr::{VncrEl2, VncrError};

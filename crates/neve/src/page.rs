@@ -1,0 +1,189 @@
+//! The deferred access page (paper Section 6.1).
+//!
+//! When NEVE is enabled, accesses to VM system registers from virtual EL2
+//! are rewritten by hardware into ordinary loads/stores at
+//! `VNCR_EL2.BADDR + offset(register)`. The layout is architecturally
+//! defined so host hypervisor software can populate the page before
+//! running the guest hypervisor and harvest it afterwards; this module
+//! fixes the layout used throughout the simulator
+//! (see [`neve_sysreg::classify::vncr_offset`]).
+
+use neve_sysreg::classify::{deferrable_registers, vncr_offset};
+use neve_sysreg::SysReg;
+
+/// Size of the deferred access page in bytes.
+pub const PAGE_SIZE: usize = 4096;
+
+/// An owned deferred access page.
+///
+/// The host hypervisor keeps one per virtual CPU that exposes virtual EL2.
+/// In a machine simulation the *authoritative* copy lives in simulated
+/// guest memory (the page the host maps at `VNCR_EL2.BADDR`); this type is
+/// also used standalone in tests and by the host to stage initial values.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeferredAccessPage {
+    bytes: [u8; PAGE_SIZE],
+}
+
+impl Default for DeferredAccessPage {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DeferredAccessPage {
+    /// Creates a zeroed page.
+    pub fn new() -> Self {
+        Self {
+            bytes: [0; PAGE_SIZE],
+        }
+    }
+
+    /// Creates a page from raw bytes (e.g. copied out of guest memory).
+    pub fn from_bytes(bytes: [u8; PAGE_SIZE]) -> Self {
+        Self { bytes }
+    }
+
+    /// The raw page contents.
+    pub fn bytes(&self) -> &[u8; PAGE_SIZE] {
+        &self.bytes
+    }
+
+    /// Reads the slot of `reg`; `None` if the register has no slot.
+    pub fn read(&self, reg: SysReg) -> Option<u64> {
+        let off = vncr_offset(reg)? as usize;
+        Some(read_slot(&self.bytes, off))
+    }
+
+    /// Writes the slot of `reg`; returns false if the register has no slot.
+    pub fn write(&mut self, reg: SysReg, value: u64) -> bool {
+        match vncr_offset(reg) {
+            Some(off) => {
+                write_slot(&mut self.bytes, off as usize, value);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Populates every deferrable slot from a register-reading closure
+    /// (the host hypervisor copying virtual EL2 state into the page before
+    /// entering the guest hypervisor — the "typical workflow" of
+    /// Section 6.1).
+    pub fn populate_from(&mut self, mut read: impl FnMut(SysReg) -> u64) {
+        for reg in deferrable_registers() {
+            self.write(reg, read(reg));
+        }
+    }
+
+    /// Drains every deferrable slot into a register-writing closure (the
+    /// host hypervisor harvesting the page on nested VM entry).
+    pub fn drain_into(&self, mut write: impl FnMut(SysReg, u64)) {
+        for reg in deferrable_registers() {
+            if let Some(v) = self.read(reg) {
+                write(reg, v);
+            }
+        }
+    }
+}
+
+/// Reads an 8-byte little-endian slot from a page-sized buffer.
+///
+/// # Panics
+///
+/// Panics if `offset + 8` exceeds the buffer (offsets produced by
+/// [`vncr_offset`] never do).
+pub fn read_slot(page: &[u8], offset: usize) -> u64 {
+    u64::from_le_bytes(page[offset..offset + 8].try_into().expect("8-byte slot"))
+}
+
+/// Writes an 8-byte little-endian slot into a page-sized buffer.
+pub fn write_slot(page: &mut [u8], offset: usize, value: u64) {
+    page[offset..offset + 8].copy_from_slice(&value.to_le_bytes());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn new_page_reads_zero_for_every_deferrable_register() {
+        let p = DeferredAccessPage::new();
+        for r in deferrable_registers() {
+            assert_eq!(p.read(r), Some(0), "{r}");
+        }
+    }
+
+    #[test]
+    fn non_deferrable_register_has_no_slot() {
+        let mut p = DeferredAccessPage::new();
+        assert_eq!(p.read(SysReg::MidrEl1), None);
+        assert!(!p.write(SysReg::MidrEl1, 1));
+    }
+
+    #[test]
+    fn write_read_round_trip() {
+        let mut p = DeferredAccessPage::new();
+        assert!(p.write(SysReg::SctlrEl1, 0x30d0_1805));
+        assert_eq!(p.read(SysReg::SctlrEl1), Some(0x30d0_1805));
+    }
+
+    #[test]
+    fn slots_do_not_alias() {
+        let mut p = DeferredAccessPage::new();
+        for (i, r) in deferrable_registers().into_iter().enumerate() {
+            p.write(r, i as u64 + 1);
+        }
+        for (i, r) in deferrable_registers().into_iter().enumerate() {
+            assert_eq!(p.read(r), Some(i as u64 + 1), "{r}");
+        }
+    }
+
+    #[test]
+    fn populate_and_drain_are_inverse() {
+        let mut p = DeferredAccessPage::new();
+        p.populate_from(|r| vncr_offset(r).unwrap() as u64 * 3 + 1);
+        let mut seen = std::collections::BTreeMap::new();
+        p.drain_into(|r, v| {
+            seen.insert(r, v);
+        });
+        for r in deferrable_registers() {
+            assert_eq!(seen[&r], vncr_offset(r).unwrap() as u64 * 3 + 1);
+        }
+    }
+
+    #[test]
+    fn raw_slot_helpers_match_typed_access() {
+        let mut p = DeferredAccessPage::new();
+        p.write(SysReg::HcrEl2, 0xdead_beef);
+        let off = vncr_offset(SysReg::HcrEl2).unwrap() as usize;
+        assert_eq!(read_slot(p.bytes(), off), 0xdead_beef);
+    }
+
+    proptest! {
+        /// Any u64 round-trips through any slot, and neighbours are
+        /// untouched.
+        #[test]
+        fn prop_slot_roundtrip(value: u64, idx in 0usize..40) {
+            let regs = deferrable_registers();
+            let reg = regs[idx % regs.len()];
+            let mut p = DeferredAccessPage::new();
+            prop_assert!(p.write(reg, value));
+            prop_assert_eq!(p.read(reg), Some(value));
+            for other in &regs {
+                if *other != reg {
+                    prop_assert_eq!(p.read(*other), Some(0));
+                }
+            }
+        }
+
+        /// Byte-level helpers agree with `u64::to_le_bytes`.
+        #[test]
+        fn prop_raw_helpers(value: u64, slot in 0usize..512) {
+            let mut buf = vec![0u8; PAGE_SIZE];
+            write_slot(&mut buf, slot * 8, value);
+            prop_assert_eq!(read_slot(&buf, slot * 8), value);
+        }
+    }
+}

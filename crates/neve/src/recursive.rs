@@ -1,0 +1,93 @@
+//! Recursive virtualization support (paper Section 6.2).
+//!
+//! NEVE supports multiple nesting levels: when an L1 guest hypervisor
+//! programs its (virtual) `VNCR_EL2` for an L2 guest hypervisor, the L0
+//! host hypervisor emulates the feature *using the hardware feature
+//! directly* — it translates the page address the L1 hypervisor wrote
+//! (an L1 intermediate physical address) into a machine physical address
+//! and programs that into the real `VNCR_EL2`. The L2 guest hypervisor's
+//! register accesses then hit memory that the L1 hypervisor owns and can
+//! read directly, so no trap fidelity is lost at any level.
+
+use crate::vncr::{VncrEl2, VncrError};
+
+/// Errors when virtualizing a guest's `VNCR_EL2`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecursiveVncrError {
+    /// The guest's BADDR does not translate at Stage-2 (the L1 hypervisor
+    /// pointed outside its own memory); the host must inject a fault.
+    TranslationFault(u64),
+    /// The translated machine address is not usable as a BADDR.
+    Invalid(VncrError),
+}
+
+impl std::fmt::Display for RecursiveVncrError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecursiveVncrError::TranslationFault(ipa) => {
+                write!(f, "guest VNCR page IPA {ipa:#x} does not translate")
+            }
+            RecursiveVncrError::Invalid(e) => write!(f, "translated VNCR invalid: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RecursiveVncrError {}
+
+/// Builds the hardware `VNCR_EL2` value that emulates a guest hypervisor's
+/// virtual `VNCR_EL2`.
+///
+/// `translate` maps a guest physical (IPA) page address to a machine
+/// physical page address — in the full simulator this is the host's
+/// Stage-2 walk. A disabled guest VNCR yields a disabled hardware VNCR
+/// (NEVE off for the L2 guest hypervisor).
+///
+/// # Errors
+///
+/// Propagates a Stage-2 translation miss or an invalid translated address.
+pub fn virtualize_vncr(
+    guest_vncr: VncrEl2,
+    mut translate: impl FnMut(u64) -> Option<u64>,
+) -> Result<VncrEl2, RecursiveVncrError> {
+    if !guest_vncr.enabled() {
+        return Ok(VncrEl2::disabled());
+    }
+    let ipa = guest_vncr.baddr();
+    let pa = translate(ipa).ok_or(RecursiveVncrError::TranslationFault(ipa))?;
+    VncrEl2::enabled_at(pa).map_err(RecursiveVncrError::Invalid)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_guest_vncr_disables_hardware_vncr() {
+        let hw = virtualize_vncr(VncrEl2::disabled(), |_| panic!("no translate")).unwrap();
+        assert!(!hw.enabled());
+    }
+
+    #[test]
+    fn enabled_guest_vncr_translates_baddr() {
+        let guest = VncrEl2::enabled_at(0x4000_0000).unwrap();
+        let hw = virtualize_vncr(guest, |ipa| Some(ipa + 0x1_0000_0000)).unwrap();
+        assert!(hw.enabled());
+        assert_eq!(hw.baddr(), 0x1_4000_0000);
+    }
+
+    #[test]
+    fn untranslatable_page_reports_fault_with_ipa() {
+        let guest = VncrEl2::enabled_at(0x7000_0000).unwrap();
+        let err = virtualize_vncr(guest, |_| None).unwrap_err();
+        assert_eq!(err, RecursiveVncrError::TranslationFault(0x7000_0000));
+    }
+
+    #[test]
+    fn misaligned_translation_result_is_rejected() {
+        // A Stage-2 mapping at sub-page granularity cannot back the
+        // deferred access page (Section 6.3 mandates page alignment).
+        let guest = VncrEl2::enabled_at(0x7000_0000).unwrap();
+        let err = virtualize_vncr(guest, |_| Some(0x123)).unwrap_err();
+        assert!(matches!(err, RecursiveVncrError::Invalid(_)));
+    }
+}

@@ -1,0 +1,153 @@
+//! `VNCR_EL2` — the Virtual Nested Control Register (paper Table 2).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Mask of the BADDR field: bits `[52:12]` hold a page-aligned physical
+/// address (paper Table 2).
+pub const BADDR_MASK: u64 = ((1u64 << 53) - 1) & !0xfff;
+
+/// The Enable bit (bit 0).
+pub const ENABLE: u64 = 1;
+
+/// Errors from programming `VNCR_EL2`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VncrError {
+    /// The base address was not page aligned. The architecture mandates a
+    /// page-aligned physical address so hardware never performs alignment
+    /// checks or takes translation faults mid-redirect (paper Section 6.3).
+    Unaligned(u64),
+    /// The base address does not fit in bits `[52:12]`.
+    OutOfRange(u64),
+}
+
+impl fmt::Display for VncrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VncrError::Unaligned(a) => write!(f, "VNCR_EL2.BADDR {a:#x} is not page aligned"),
+            VncrError::OutOfRange(a) => write!(f, "VNCR_EL2.BADDR {a:#x} exceeds bits [52:12]"),
+        }
+    }
+}
+
+impl std::error::Error for VncrError {}
+
+/// A typed view of the `VNCR_EL2` register value.
+///
+/// Managed exclusively by the host hypervisor: it enables/disables NEVE
+/// and points at the deferred access page (paper Section 6.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct VncrEl2(u64);
+
+impl VncrEl2 {
+    /// Interprets a raw register value. Reserved bits `[11:1]` and bits
+    /// above 52 read-as-zero, matching the architectural field layout.
+    pub fn from_raw(raw: u64) -> Self {
+        Self(raw & (BADDR_MASK | ENABLE))
+    }
+
+    /// Builds an enabled VNCR_EL2 pointing at `baddr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VncrError::Unaligned`] if `baddr` is not 4 KiB aligned and
+    /// [`VncrError::OutOfRange`] if it does not fit the BADDR field.
+    pub fn enabled_at(baddr: u64) -> Result<Self, VncrError> {
+        if baddr & 0xfff != 0 {
+            return Err(VncrError::Unaligned(baddr));
+        }
+        if baddr & !BADDR_MASK != 0 {
+            return Err(VncrError::OutOfRange(baddr));
+        }
+        Ok(Self(baddr | ENABLE))
+    }
+
+    /// A disabled register (NEVE off).
+    pub fn disabled() -> Self {
+        Self(0)
+    }
+
+    /// The raw 64-bit register value.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// The Enable bit (paper Table 2, bit 0).
+    pub fn enabled(self) -> bool {
+        self.0 & ENABLE != 0
+    }
+
+    /// The deferred access page base address (paper Table 2, bits `[52:12]`).
+    pub fn baddr(self) -> u64 {
+        self.0 & BADDR_MASK
+    }
+
+    /// Returns a copy with the Enable bit set or cleared.
+    pub fn with_enabled(self, on: bool) -> Self {
+        if on {
+            Self(self.0 | ENABLE)
+        } else {
+            Self(self.0 & !ENABLE)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enabled_at_round_trips_fields() {
+        let v = VncrEl2::enabled_at(0x8000_0000).unwrap();
+        assert!(v.enabled());
+        assert_eq!(v.baddr(), 0x8000_0000);
+        assert_eq!(v.raw(), 0x8000_0000 | 1);
+    }
+
+    #[test]
+    fn unaligned_baddr_is_rejected() {
+        assert_eq!(
+            VncrEl2::enabled_at(0x8000_0800),
+            Err(VncrError::Unaligned(0x8000_0800))
+        );
+    }
+
+    #[test]
+    fn baddr_beyond_bit_52_is_rejected() {
+        let too_big = 1u64 << 53;
+        assert_eq!(
+            VncrEl2::enabled_at(too_big),
+            Err(VncrError::OutOfRange(too_big))
+        );
+    }
+
+    #[test]
+    fn reserved_bits_read_as_zero() {
+        // Bits [11:1] are reserved (paper Table 2); a raw write with them
+        // set must not surface them.
+        let v = VncrEl2::from_raw(0x8000_0000 | 0xffe | 1);
+        assert_eq!(v.raw(), 0x8000_0000 | 1);
+        assert_eq!(v.baddr(), 0x8000_0000);
+    }
+
+    #[test]
+    fn enable_toggling() {
+        let v = VncrEl2::enabled_at(0x1000).unwrap();
+        let off = v.with_enabled(false);
+        assert!(!off.enabled());
+        assert_eq!(off.baddr(), 0x1000);
+        assert!(off.with_enabled(true).enabled());
+    }
+
+    #[test]
+    fn disabled_is_zero() {
+        assert_eq!(VncrEl2::disabled().raw(), 0);
+        assert!(!VncrEl2::disabled().enabled());
+    }
+
+    #[test]
+    fn error_display_mentions_address() {
+        let e = VncrEl2::enabled_at(0x123).unwrap_err();
+        assert!(e.to_string().contains("0x123"));
+    }
+}

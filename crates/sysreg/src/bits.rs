@@ -1,0 +1,218 @@
+//! Bit-field constants for the control registers the simulator interprets.
+
+/// `HCR_EL2` — Hypervisor Configuration Register bits.
+///
+/// Bit positions follow the ARMv8 architecture reference manual; only the
+/// bits the simulator interprets are defined.
+pub mod hcr {
+    /// VM: enable Stage-2 translation for EL1&0.
+    pub const VM: u64 = 1 << 0;
+    /// FMO: route physical FIQs to EL2.
+    pub const FMO: u64 = 1 << 3;
+    /// IMO: route physical IRQs to EL2 and enable virtual IRQs.
+    pub const IMO: u64 = 1 << 4;
+    /// AMO: route SErrors to EL2.
+    pub const AMO: u64 = 1 << 5;
+    /// VI: pending virtual IRQ.
+    pub const VI: u64 = 1 << 7;
+    /// TWI: trap `wfi` to EL2.
+    pub const TWI: u64 = 1 << 13;
+    /// TWE: trap `wfe` to EL2.
+    pub const TWE: u64 = 1 << 14;
+    /// TSC: trap `smc` to EL2.
+    pub const TSC: u64 = 1 << 19;
+    /// TVM: trap EL1 writes of virtual-memory control registers.
+    pub const TVM: u64 = 1 << 26;
+    /// TGE: trap general exceptions (all EL0 exceptions go to EL2).
+    pub const TGE: u64 = 1 << 27;
+    /// TRVM: trap EL1 reads of virtual-memory control registers.
+    pub const TRVM: u64 = 1 << 30;
+    /// E2H: EL2 hosts an OS (VHE register redirection), ARMv8.1.
+    pub const E2H: u64 = 1 << 34;
+    /// NV: nested virtualization: trap EL2-register accesses and `eret`
+    /// from EL1, disguise `CurrentEL`, ARMv8.3.
+    pub const NV: u64 = 1 << 42;
+    /// NV1: variant control for which EL1 registers trap under NV.
+    pub const NV1: u64 = 1 << 43;
+    /// NV2: redirect register accesses to memory (NEVE / ARMv8.4-NV2).
+    pub const NV2: u64 = 1 << 45;
+}
+
+/// `SPSR_ELx` — saved program status.
+pub mod spsr {
+    /// Mode field mask, `M[3:0]`.
+    pub const M_MASK: u64 = 0xf;
+    /// EL0, SP_EL0.
+    pub const M_EL0T: u64 = 0b0000;
+    /// EL1, SP_EL0.
+    pub const M_EL1T: u64 = 0b0100;
+    /// EL1, SP_EL1.
+    pub const M_EL1H: u64 = 0b0101;
+    /// EL2, SP_EL0.
+    pub const M_EL2T: u64 = 0b1000;
+    /// EL2, SP_EL2.
+    pub const M_EL2H: u64 = 0b1001;
+    /// IRQ mask bit.
+    pub const I: u64 = 1 << 7;
+    /// FIQ mask bit.
+    pub const F: u64 = 1 << 6;
+
+    /// Extracts the target exception level from the mode field.
+    pub fn el_of(spsr: u64) -> u8 {
+        ((spsr & M_MASK) >> 2) as u8
+    }
+
+    /// Builds a mode field for `el` using SP_ELx ("handler" stack).
+    pub fn mode_h(el: u8) -> u64 {
+        assert!(el <= 2, "EL3 is not modelled");
+        if el == 0 {
+            M_EL0T
+        } else {
+            ((el as u64) << 2) | 0b01
+        }
+    }
+}
+
+/// `CNTHCTL_EL2` — counter-timer hypervisor control.
+pub mod cnthctl {
+    /// EL1PCTEN: EL1/EL0 physical counter access does not trap.
+    pub const EL1PCTEN: u64 = 1 << 0;
+    /// EL1PCEN: EL1/EL0 physical timer access does not trap.
+    pub const EL1PCEN: u64 = 1 << 1;
+}
+
+/// `CPTR_EL2` — architectural feature trap register.
+pub mod cptr {
+    /// TFP: trap floating point to EL2.
+    pub const TFP: u64 = 1 << 10;
+}
+
+/// `ESR` — exception syndrome register encoding.
+///
+/// `ESR_ELx[31:26]` is the exception class (EC); `[24:0]` is the
+/// instruction-specific syndrome (ISS). The simulator uses the
+/// architectural EC values so hypervisor code reads naturally.
+pub mod esr {
+    /// Shift of the EC field.
+    pub const EC_SHIFT: u32 = 26;
+    /// EC: trapped `wfi`/`wfe`.
+    pub const EC_WFX: u64 = 0x01;
+    /// EC: trapped floating point.
+    pub const EC_FP: u64 = 0x07;
+    /// EC: `hvc` from AArch64.
+    pub const EC_HVC64: u64 = 0x16;
+    /// EC: `smc` from AArch64.
+    pub const EC_SMC64: u64 = 0x17;
+    /// EC: trapped `msr`/`mrs` (system register).
+    pub const EC_SYSREG: u64 = 0x18;
+    /// EC: trapped `eret` (ARMv8.3-NV).
+    pub const EC_ERET: u64 = 0x1a;
+    /// EC: instruction abort from a lower EL.
+    pub const EC_IABT_LOW: u64 = 0x20;
+    /// EC: data abort from a lower EL.
+    pub const EC_DABT_LOW: u64 = 0x24;
+    /// EC: `svc` from AArch64.
+    pub const EC_SVC64: u64 = 0x15;
+    /// EC: unknown/undefined instruction.
+    pub const EC_UNKNOWN: u64 = 0x00;
+
+    /// Builds an ESR value from an exception class and ISS.
+    pub fn build(ec: u64, iss: u64) -> u64 {
+        (ec << EC_SHIFT) | (iss & 0x1ff_ffff)
+    }
+
+    /// Extracts the exception class.
+    pub fn ec(esr: u64) -> u64 {
+        esr >> EC_SHIFT
+    }
+
+    /// Extracts the ISS field.
+    pub fn iss(esr: u64) -> u64 {
+        esr & 0x1ff_ffff
+    }
+}
+
+/// `VTTBR_EL2` — VMID field handling.
+pub mod vttbr {
+    /// Shift of the VMID field (bits `[63:48]`).
+    pub const VMID_SHIFT: u32 = 48;
+
+    /// Extracts the VMID.
+    pub fn vmid(vttbr: u64) -> u16 {
+        (vttbr >> VMID_SHIFT) as u16
+    }
+
+    /// Extracts the Stage-2 table base address.
+    pub fn baddr(vttbr: u64) -> u64 {
+        vttbr & 0x0000_ffff_ffff_fffe
+    }
+
+    /// Composes a VTTBR value.
+    pub fn build(vmid: u16, baddr: u64) -> u64 {
+        ((vmid as u64) << VMID_SHIFT) | (baddr & 0x0000_ffff_ffff_fffe)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spsr_mode_round_trip() {
+        for el in 0..=2u8 {
+            let m = spsr::mode_h(el);
+            assert_eq!(spsr::el_of(m), el, "el {el} mode {m:#x}");
+        }
+    }
+
+    #[test]
+    fn spsr_el2h_matches_arm_encoding() {
+        assert_eq!(spsr::mode_h(2), spsr::M_EL2H);
+        assert_eq!(spsr::mode_h(1), spsr::M_EL1H);
+        assert_eq!(spsr::mode_h(0), spsr::M_EL0T);
+    }
+
+    #[test]
+    fn esr_build_and_split() {
+        let e = esr::build(esr::EC_HVC64, 0x1234);
+        assert_eq!(esr::ec(e), esr::EC_HVC64);
+        assert_eq!(esr::iss(e), 0x1234);
+    }
+
+    #[test]
+    fn esr_iss_is_masked() {
+        let e = esr::build(esr::EC_SYSREG, u64::MAX);
+        assert_eq!(esr::iss(e), 0x1ff_ffff);
+        assert_eq!(esr::ec(e), esr::EC_SYSREG);
+    }
+
+    #[test]
+    fn vttbr_round_trip() {
+        let v = vttbr::build(42, 0x8000_0000);
+        assert_eq!(vttbr::vmid(v), 42);
+        assert_eq!(vttbr::baddr(v), 0x8000_0000);
+    }
+
+    #[test]
+    fn hcr_bits_are_distinct() {
+        let bits = [
+            hcr::VM,
+            hcr::IMO,
+            hcr::FMO,
+            hcr::TWI,
+            hcr::TSC,
+            hcr::TVM,
+            hcr::TGE,
+            hcr::TRVM,
+            hcr::E2H,
+            hcr::NV,
+            hcr::NV1,
+            hcr::NV2,
+        ];
+        let mut acc = 0u64;
+        for b in bits {
+            assert_eq!(acc & b, 0, "overlapping bit {b:#x}");
+            acc |= b;
+        }
+    }
+}

@@ -1,0 +1,370 @@
+//! NEVE register classification — a transcription of the paper's
+//! Tables 3, 4 and 5.
+//!
+//! The paper classifies the system registers a guest hypervisor touches
+//! into *VM system registers* (no immediate effect on the guest
+//! hypervisor's own execution; NEVE defers them to the deferred access
+//! page — Table 3), *hypervisor control registers* (affect the guest
+//! hypervisor's execution; NEVE redirects them to EL1 counterparts or
+//! keeps a cached copy that traps on write — Table 4), and the *GIC
+//! hypervisor control interface* registers (cached copies, trap on write —
+//! Table 5).
+
+use crate::regs::{RegId, SysReg};
+use serde::{Deserialize, Serialize};
+
+/// How NEVE treats an access to a register name from virtual EL2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NeveClass {
+    /// Table 3, "VM Trap Control": EL2 registers that configure traps and
+    /// Stage-2 for the *nested* VM; deferred to the access page.
+    VmTrapControl,
+    /// Table 3, "VM Execution Control": the nested VM's own EL1 context;
+    /// deferred to the access page.
+    VmExecutionControl,
+    /// Table 3, "Thread ID": `TPIDR_EL2`; deferred to the access page.
+    VmThreadId,
+    /// Table 4, "Redirect to *_EL1": EL2 registers with same-format EL1
+    /// counterparts; accesses are redirected to the counterpart.
+    HypRedirect,
+    /// Table 4, "Redirect to *_EL1 (VHE)": counterparts added by VHE
+    /// (`CONTEXTIDR_EL2`, `TTBR1_EL2`).
+    HypRedirectVhe,
+    /// Table 4, "Trap on write": reads come from the cached copy in the
+    /// access page, writes trap to the host hypervisor.
+    HypTrapOnWrite,
+    /// Table 4, "Redirect or trap": `TCR_EL2`/`TTBR0_EL2` — redirected for
+    /// VHE guest hypervisors (VHE gives them the EL1 format), cached-copy
+    /// (trap on write) for non-VHE guest hypervisors.
+    HypRedirectOrTrap,
+    /// Table 5: GIC hypervisor-control registers; cached copies, trap on
+    /// write.
+    GicTrapOnWrite,
+    /// Timer EL2 registers: all accesses trap, because reads must see
+    /// values the hardware updates continuously (Section 6.1, final
+    /// paragraph).
+    TimerTrap,
+    /// `MDSCR_EL1`-style debug control: reads deferrable, writes trap.
+    DebugTrapOnWrite,
+    /// PMU selection/enable registers: deferrable like VM registers.
+    PmuDefer,
+    /// Not subject to NEVE (normal EL0/EL1 state, identification, ...).
+    NotNeve,
+}
+
+impl NeveClass {
+    /// True for the Table 3 groups (deferred to the access page).
+    pub fn is_vm_register(self) -> bool {
+        matches!(
+            self,
+            NeveClass::VmTrapControl | NeveClass::VmExecutionControl | NeveClass::VmThreadId
+        )
+    }
+}
+
+/// Returns the NEVE class of a register (paper Tables 3-5).
+pub fn neve_class(reg: SysReg) -> NeveClass {
+    use SysReg::*;
+    match reg {
+        // --- Table 3, VM Trap Control (10 registers) ---
+        HacrEl2 | HcrEl2 | HpfarEl2 | HstrEl2 | VmpidrEl2 | VpidrEl2 | VncrEl2 | VtcrEl2
+        | VttbrEl2 => NeveClass::VmTrapControl,
+        // --- Table 3, VM Execution Control (16 registers) ---
+        Afsr0El1 | Afsr1El1 | AmairEl1 | ContextidrEl1 | CpacrEl1 | ElrEl1 | EsrEl1 | FarEl1
+        | MairEl1 | SctlrEl1 | SpEl1 | SpsrEl1 | TcrEl1 | Ttbr0El1 | Ttbr1El1 | VbarEl1 => {
+            NeveClass::VmExecutionControl
+        }
+        // --- Table 3, Thread ID ---
+        TpidrEl2 => NeveClass::VmThreadId,
+        // --- Table 4, redirect to *_EL1 (10 registers) ---
+        Afsr0El2 | Afsr1El2 | AmairEl2 | ElrEl2 | EsrEl2 | FarEl2 | SpsrEl2 | MairEl2
+        | SctlrEl2 | VbarEl2 => NeveClass::HypRedirect,
+        // --- Table 4, redirect to *_EL1, VHE-added counterparts ---
+        ContextidrEl2 | Ttbr1El2 => NeveClass::HypRedirectVhe,
+        // --- Table 4, trap on write ---
+        CnthctlEl2 | CntvoffEl2 | CptrEl2 | MdcrEl2 => NeveClass::HypTrapOnWrite,
+        // --- Table 4, redirect (VHE) or trap (non-VHE) ---
+        TcrEl2 | Ttbr0El2 => NeveClass::HypRedirectOrTrap,
+        // --- Table 5, GIC hypervisor control interface ---
+        IchHcrEl2 | IchVtrEl2 | IchVmcrEl2 | IchMisrEl2 | IchEisrEl2 | IchElrsrEl2
+        | IchAp0rEl2(_) | IchAp1rEl2(_) | IchLrEl2(_) => NeveClass::GicTrapOnWrite,
+        // --- Timers (Section 6.1, final paragraph) ---
+        CnthpCtlEl2 | CnthpCvalEl2 | CnthvCtlEl2 | CnthvCvalEl2 => NeveClass::TimerTrap,
+        // --- Debug / PMU (Section 6.1, final paragraph) ---
+        MdscrEl1 => NeveClass::DebugTrapOnWrite,
+        PmuserenrEl0 | PmselrEl0 => NeveClass::PmuDefer,
+        _ => NeveClass::NotNeve,
+    }
+}
+
+/// The same-format EL1 counterpart of an EL2 register, if one exists
+/// (Table 4's redirection targets).
+pub fn el1_counterpart(reg: SysReg) -> Option<SysReg> {
+    use SysReg::*;
+    Some(match reg {
+        Afsr0El2 => Afsr0El1,
+        Afsr1El2 => Afsr1El1,
+        AmairEl2 => AmairEl1,
+        ElrEl2 => ElrEl1,
+        EsrEl2 => EsrEl1,
+        FarEl2 => FarEl1,
+        SpsrEl2 => SpsrEl1,
+        MairEl2 => MairEl1,
+        SctlrEl2 => SctlrEl1,
+        VbarEl2 => VbarEl1,
+        ContextidrEl2 => ContextidrEl1,
+        Ttbr1El2 => Ttbr1El1,
+        TcrEl2 => TcrEl1,
+        Ttbr0El2 => Ttbr0El1,
+        _ => return None,
+    })
+}
+
+/// The EL2 register whose EL1 counterpart is `reg` (inverse of
+/// [`el1_counterpart`]); used for VHE's E2H redirection of EL1-named
+/// accesses performed *at EL2*.
+pub fn el1_counterpart_inverse(reg: SysReg) -> Option<SysReg> {
+    SysReg::all()
+        .into_iter()
+        .find(|&el2| el1_counterpart(el2) == Some(reg))
+}
+
+/// Offset (bytes) of a register's slot in the deferred access page.
+///
+/// The architecture mandates only that "each VM system register is stored
+/// at a well-defined offset" (Section 6.1); ARMv8.4-NV2's concrete layout
+/// is not reproduced here — we define a stable layout of 8-byte slots in
+/// `SysReg::all()` order over the deferrable registers. Returns `None` for
+/// registers NEVE never defers.
+pub fn vncr_offset(reg: SysReg) -> Option<u16> {
+    let idx = deferrable_registers().iter().position(|&r| r == reg)?;
+    Some((idx as u16) * 8)
+}
+
+/// Every register that has a slot in the deferred access page: the
+/// Table 3 VM registers, the cached-copy registers of Tables 4 and 5
+/// (reads are served from the page), and the deferrable debug/PMU
+/// registers.
+pub fn deferrable_registers() -> Vec<SysReg> {
+    let mut v: Vec<SysReg> = SysReg::all()
+        .into_iter()
+        .filter(|&r| {
+            matches!(
+                neve_class(r),
+                NeveClass::VmTrapControl
+                    | NeveClass::VmExecutionControl
+                    | NeveClass::VmThreadId
+                    | NeveClass::HypTrapOnWrite
+                    | NeveClass::HypRedirectOrTrap
+                    | NeveClass::GicTrapOnWrite
+                    | NeveClass::DebugTrapOnWrite
+                    | NeveClass::PmuDefer
+            )
+        })
+        .collect();
+    v.sort();
+    v
+}
+
+/// The 27 VM system registers of Table 3.
+pub fn vm_system_registers() -> Vec<SysReg> {
+    SysReg::all()
+        .into_iter()
+        .filter(|&r| neve_class(r).is_vm_register())
+        .collect()
+}
+
+/// Resolves the effective NEVE class of an access *by name*.
+///
+/// A VHE guest hypervisor reaches the nested VM's EL1 context through
+/// `*_EL12` names; those are VM-register accesses (deferred). Through the
+/// plain EL1 names it reaches — under VHE redirection — its own virtual
+/// EL2 state, which NEVE handles via the Table 4 rules of the EL2
+/// register the name redirects to.
+pub fn neve_class_of_name(id: RegId) -> NeveClass {
+    match id {
+        RegId::Plain(r) => neve_class(r),
+        // `*_EL12` / `*_EL02` names always denote the VM's (nested VM's)
+        // EL1/EL0 context from the guest hypervisor's point of view.
+        RegId::El12(r) | RegId::El02(r) => match neve_class(r) {
+            NeveClass::NotNeve => NeveClass::VmExecutionControl,
+            c => c,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::regs::{NUM_APRS, NUM_LIST_REGS};
+    use std::collections::HashSet;
+
+    /// Table 3 of the paper lists 27 rows of VM system registers; one
+    /// register (`TPIDR_EL2`) appears both under "VM Trap Control" and
+    /// under "Thread ID", so the unique set is 26: 9 trap-control
+    /// registers (incl. `VNCR_EL2`), 16 execution-control registers and
+    /// the thread-ID register.
+    #[test]
+    fn table3_vm_system_registers_match_paper() {
+        let regs = vm_system_registers();
+        assert_eq!(regs.len(), 26, "{regs:?}");
+        let trap_ctl = regs
+            .iter()
+            .filter(|&&r| neve_class(r) == NeveClass::VmTrapControl)
+            .count();
+        let exec_ctl = regs
+            .iter()
+            .filter(|&&r| neve_class(r) == NeveClass::VmExecutionControl)
+            .count();
+        let tid = regs
+            .iter()
+            .filter(|&&r| neve_class(r) == NeveClass::VmThreadId)
+            .count();
+        assert_eq!(trap_ctl, 9); // incl. VNCR_EL2 itself
+        assert_eq!(exec_ctl, 16);
+        assert_eq!(tid, 1);
+        // Counting the paper's duplicated TPIDR_EL2 row reproduces the
+        // quoted "27 VM system registers".
+        assert_eq!(regs.len() + 1, 27);
+    }
+
+    /// Table 4 lists 17 hypervisor control registers plus the VHE-only
+    /// redirect-or-trap pair.
+    #[test]
+    fn table4_hypervisor_control_registers() {
+        let all = SysReg::all();
+        let redirect: Vec<_> = all
+            .iter()
+            .filter(|&&r| neve_class(r) == NeveClass::HypRedirect)
+            .collect();
+        let redirect_vhe: Vec<_> = all
+            .iter()
+            .filter(|&&r| neve_class(r) == NeveClass::HypRedirectVhe)
+            .collect();
+        let trap_write: Vec<_> = all
+            .iter()
+            .filter(|&&r| neve_class(r) == NeveClass::HypTrapOnWrite)
+            .collect();
+        let redirect_or_trap: Vec<_> = all
+            .iter()
+            .filter(|&&r| neve_class(r) == NeveClass::HypRedirectOrTrap)
+            .collect();
+        assert_eq!(redirect.len(), 10);
+        assert_eq!(redirect_vhe.len(), 2);
+        assert_eq!(trap_write.len(), 4);
+        assert_eq!(redirect_or_trap.len(), 2);
+        assert_eq!(
+            redirect.len() + redirect_vhe.len() + trap_write.len() + redirect_or_trap.len(),
+            18,
+            "17 Table 4 rows; SP_EL2 is handled via counterpart mapping only"
+        );
+    }
+
+    /// Table 5: every GIC hypervisor-interface register is a cached copy.
+    #[test]
+    fn table5_gic_registers_trap_on_write() {
+        for r in [
+            SysReg::IchHcrEl2,
+            SysReg::IchVtrEl2,
+            SysReg::IchVmcrEl2,
+            SysReg::IchMisrEl2,
+            SysReg::IchEisrEl2,
+            SysReg::IchElrsrEl2,
+        ] {
+            assert_eq!(neve_class(r), NeveClass::GicTrapOnWrite, "{r}");
+        }
+        for n in 0..NUM_LIST_REGS {
+            assert_eq!(neve_class(SysReg::IchLrEl2(n)), NeveClass::GicTrapOnWrite);
+        }
+        for n in 0..NUM_APRS {
+            assert_eq!(neve_class(SysReg::IchAp0rEl2(n)), NeveClass::GicTrapOnWrite);
+            assert_eq!(neve_class(SysReg::IchAp1rEl2(n)), NeveClass::GicTrapOnWrite);
+        }
+    }
+
+    /// Every redirect-class register must actually have an EL1 counterpart.
+    #[test]
+    fn redirect_classes_have_counterparts() {
+        for r in SysReg::all() {
+            let c = neve_class(r);
+            if matches!(
+                c,
+                NeveClass::HypRedirect | NeveClass::HypRedirectVhe | NeveClass::HypRedirectOrTrap
+            ) {
+                assert!(el1_counterpart(r).is_some(), "{r} has no counterpart");
+            }
+        }
+    }
+
+    /// Counterpart mapping targets EL1 registers and is injective.
+    #[test]
+    fn counterpart_map_is_injective_into_el1() {
+        let mut seen = HashSet::new();
+        for r in SysReg::all() {
+            if let Some(c) = el1_counterpart(r) {
+                assert!(!c.is_el2(), "counterpart {c} of {r} is not EL1");
+                assert!(seen.insert(c), "duplicate counterpart {c}");
+            }
+        }
+    }
+
+    /// VNCR offsets are unique, 8-byte aligned, and fit one 4 KiB page.
+    #[test]
+    fn vncr_offsets_fit_one_page() {
+        let mut seen = HashSet::new();
+        for r in deferrable_registers() {
+            let off = vncr_offset(r).expect("deferrable register has offset");
+            assert_eq!(off % 8, 0);
+            assert!(off < 4096, "{r} offset {off}");
+            assert!(seen.insert(off), "duplicate offset {off} for {r}");
+        }
+        assert!(seen.len() >= 40, "expected a substantial deferred set");
+    }
+
+    /// Registers NEVE never touches have no VNCR slot.
+    #[test]
+    fn non_deferrable_registers_have_no_offset() {
+        assert_eq!(vncr_offset(SysReg::MidrEl1), None);
+        assert_eq!(vncr_offset(SysReg::IccIar1El1), None);
+        assert_eq!(vncr_offset(SysReg::CnthvCtlEl2), None);
+        // Redirect-class register state lives in the EL1 counterpart, not
+        // the page.
+        assert_eq!(vncr_offset(SysReg::VbarEl2), None);
+    }
+
+    /// Timer EL2 registers always trap (reads need live hardware values).
+    #[test]
+    fn timer_el2_registers_always_trap() {
+        for r in [
+            SysReg::CnthpCtlEl2,
+            SysReg::CnthpCvalEl2,
+            SysReg::CnthvCtlEl2,
+            SysReg::CnthvCvalEl2,
+        ] {
+            assert_eq!(neve_class(r), NeveClass::TimerTrap);
+        }
+    }
+
+    #[test]
+    fn el12_names_classify_as_vm_execution_state() {
+        assert_eq!(
+            neve_class_of_name(RegId::El12(SysReg::SctlrEl1)),
+            NeveClass::VmExecutionControl
+        );
+        assert_eq!(
+            neve_class_of_name(RegId::El02(SysReg::CntvCtlEl0)),
+            NeveClass::VmExecutionControl
+        );
+        assert_eq!(
+            neve_class_of_name(RegId::Plain(SysReg::HcrEl2)),
+            NeveClass::VmTrapControl
+        );
+    }
+
+    #[test]
+    fn offsets_are_stable_across_calls() {
+        for r in deferrable_registers() {
+            assert_eq!(vncr_offset(r), vncr_offset(r));
+        }
+    }
+}

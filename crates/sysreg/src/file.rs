@@ -1,0 +1,130 @@
+//! Backing storage for a CPU's system registers.
+
+use crate::regs::SysReg;
+use std::collections::BTreeMap;
+
+/// A register file: the values of every modelled system register.
+///
+/// Unset registers read as their reset value (0, except identification
+/// registers which carry fixed implementation values). The file does not
+/// enforce access permissions — that is the CPU model's trap-routing job;
+/// it only enforces hardware read-only semantics via
+/// [`RegFile::write_checked`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RegFile {
+    values: BTreeMap<SysReg, u64>,
+}
+
+/// `MIDR_EL1` value the simulator reports (an ARMv8 implementer code).
+pub const RESET_MIDR: u64 = 0x410f_d070;
+
+/// `ICH_VTR_EL2`: ListRegs field = number of list registers minus one.
+fn reset_ich_vtr() -> u64 {
+    (crate::regs::NUM_LIST_REGS as u64) - 1
+}
+
+impl RegFile {
+    /// Creates a register file with architectural reset values.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Reads a register (reset value if never written).
+    pub fn read(&self, reg: SysReg) -> u64 {
+        if let Some(v) = self.values.get(&reg) {
+            return *v;
+        }
+        match reg {
+            SysReg::MidrEl1 => RESET_MIDR,
+            SysReg::IchVtrEl2 => reset_ich_vtr(),
+            SysReg::CntfrqEl0 => 100_000_000, // 100 MHz system counter
+            _ => 0,
+        }
+    }
+
+    /// Writes a register unconditionally (hardware-internal updates, e.g.
+    /// the CPU latching `ESR_EL2` on an exception, may write registers
+    /// software cannot).
+    pub fn write(&mut self, reg: SysReg, value: u64) {
+        self.values.insert(reg, value);
+    }
+
+    /// Writes a register as a software `msr` would; writes to read-only
+    /// registers are ignored (the architecture makes them UNDEFINED or
+    /// ignores them; the CPU model raises the trap before we get here for
+    /// the cases that matter).
+    pub fn write_checked(&mut self, reg: SysReg, value: u64) {
+        if reg.is_read_only() {
+            return;
+        }
+        self.write(reg, value);
+    }
+
+    /// Copies the value of `src` into `dst` (used by world-switch code and
+    /// by NEVE redirection tests).
+    pub fn copy(&mut self, src: SysReg, dst: SysReg) {
+        let v = self.read(src);
+        self.write(dst, v);
+    }
+
+    /// Number of registers explicitly written so far.
+    pub fn population(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Iterates over explicitly-written registers.
+    pub fn iter(&self) -> impl Iterator<Item = (&SysReg, &u64)> {
+        self.values.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unwritten_registers_read_reset_values() {
+        let f = RegFile::new();
+        assert_eq!(f.read(SysReg::SctlrEl1), 0);
+        assert_eq!(f.read(SysReg::MidrEl1), RESET_MIDR);
+        assert_eq!(
+            f.read(SysReg::IchVtrEl2) + 1,
+            crate::regs::NUM_LIST_REGS as u64
+        );
+    }
+
+    #[test]
+    fn write_then_read_round_trips() {
+        let mut f = RegFile::new();
+        f.write(SysReg::VbarEl2, 0xffff_0000_0000_0800);
+        assert_eq!(f.read(SysReg::VbarEl2), 0xffff_0000_0000_0800);
+    }
+
+    #[test]
+    fn checked_write_ignores_read_only() {
+        let mut f = RegFile::new();
+        f.write_checked(SysReg::MidrEl1, 0xdead);
+        assert_eq!(f.read(SysReg::MidrEl1), RESET_MIDR);
+        // Hardware-internal writes still work (the GIC updates EISR).
+        f.write(SysReg::IchEisrEl2, 0b11);
+        assert_eq!(f.read(SysReg::IchEisrEl2), 0b11);
+    }
+
+    #[test]
+    fn copy_moves_values() {
+        let mut f = RegFile::new();
+        f.write(SysReg::VbarEl2, 77);
+        f.copy(SysReg::VbarEl2, SysReg::VbarEl1);
+        assert_eq!(f.read(SysReg::VbarEl1), 77);
+    }
+
+    #[test]
+    fn indexed_registers_are_independent() {
+        let mut f = RegFile::new();
+        f.write(SysReg::IchLrEl2(0), 1);
+        f.write(SysReg::IchLrEl2(1), 2);
+        assert_eq!(f.read(SysReg::IchLrEl2(0)), 1);
+        assert_eq!(f.read(SysReg::IchLrEl2(1)), 2);
+        assert_eq!(f.read(SysReg::IchLrEl2(2)), 0);
+    }
+}

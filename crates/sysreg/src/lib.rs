@@ -1,0 +1,29 @@
+//! AArch64 system-register model for the NEVE simulator.
+//!
+//! This crate defines:
+//!
+//! - [`SysReg`]: every architectural register the simulator models
+//!   (EL0/EL1/EL2 system registers, GIC CPU/hypervisor interface
+//!   registers, generic-timer registers, and a small debug/PMU set).
+//! - [`RegId`]: the *name* used by an instruction to refer to a register.
+//!   With the Virtualization Host Extensions (VHE, ARMv8.1), one storage
+//!   location can be reached under several names (`SCTLR_EL1` vs
+//!   `SCTLR_EL12`), and the CPU redirects names to locations depending on
+//!   `HCR_EL2.{E2H,TGE}` — that redirection is what the paper's Section 2
+//!   background describes and what NEVE extends.
+//! - [`classify`]: the register classification transcribed from the
+//!   paper's Tables 3, 4 and 5 (which accesses NEVE defers to memory,
+//!   redirects to EL1 counterparts, or still traps).
+//! - [`RegFile`]: backing storage for a CPU's registers.
+//! - [`bits`]: bit-field constants for the control registers the
+//!   simulator interprets (`HCR_EL2`, `SPSR`, `CNTHCTL_EL2`, ...).
+
+pub mod bits;
+pub mod classify;
+pub mod file;
+pub mod regcode;
+pub mod regs;
+
+pub use classify::{el1_counterpart, neve_class, vncr_offset, NeveClass};
+pub use file::RegFile;
+pub use regs::{RegId, SysReg};

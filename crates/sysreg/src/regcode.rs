@@ -1,0 +1,102 @@
+//! Compact numeric codes for register names.
+//!
+//! Two users:
+//!
+//! - the CPU model encodes the trapped register, access direction and
+//!   transfer GPR into `ESR_EL2.ISS` for system-register traps (standing
+//!   in for the architectural Op0/Op1/CRn/CRm/Op2/Rt fields), and
+//! - the paravirtualization of paper Section 4 encodes the replaced
+//!   hypervisor instruction into the 16-bit `hvc` operand, "so that on
+//!   the trap to EL2, the host hypervisor is informed of the original
+//!   guest hypervisor instruction".
+
+use crate::regs::{RegId, SysReg};
+
+/// Alias-kind bits within a register code.
+const KIND_SHIFT: u32 = 12;
+/// Mask of the index field.
+const INDEX_MASK: u16 = (1 << KIND_SHIFT) - 1;
+
+/// Encodes a register name into a 16-bit code.
+///
+/// # Panics
+///
+/// Panics if the register is not in the modelled set.
+pub fn encode(id: RegId) -> u16 {
+    let (kind, reg) = match id {
+        RegId::Plain(r) => (0u16, r),
+        RegId::El12(r) => (1, r),
+        RegId::El02(r) => (2, r),
+    };
+    let idx = SysReg::all()
+        .iter()
+        .position(|&x| x == reg)
+        .unwrap_or_else(|| panic!("{reg} not in modelled register set"));
+    (kind << KIND_SHIFT) | (idx as u16 & INDEX_MASK)
+}
+
+/// Decodes a 16-bit code back into a register name.
+///
+/// Returns `None` for out-of-range codes.
+pub fn decode(code: u16) -> Option<RegId> {
+    let all = SysReg::all();
+    let reg = *all.get((code & INDEX_MASK) as usize)?;
+    Some(match code >> KIND_SHIFT {
+        0 => RegId::Plain(reg),
+        1 => RegId::El12(reg),
+        2 => RegId::El02(reg),
+        _ => return None,
+    })
+}
+
+/// Builds the ISS payload of a trapped system-register access:
+/// bits `[15:0]` register code, bit 16 write flag, bits `[22:17]` transfer GPR.
+pub fn sysreg_iss(id: RegId, is_write: bool, rt: u8) -> u64 {
+    (encode(id) as u64) | ((is_write as u64) << 16) | (((rt & 0x3f) as u64) << 17)
+}
+
+/// Splits a trapped-access ISS into (register, write, rt).
+pub fn parse_sysreg_iss(iss: u64) -> Option<(RegId, bool, u8)> {
+    let id = decode((iss & 0xffff) as u16)?;
+    Some((id, iss & (1 << 16) != 0, ((iss >> 17) & 0x3f) as u8))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_register_round_trips_in_all_alias_kinds() {
+        for r in SysReg::all() {
+            for id in [RegId::Plain(r), RegId::El12(r), RegId::El02(r)] {
+                assert_eq!(decode(encode(id)), Some(id), "{id}");
+            }
+        }
+    }
+
+    #[test]
+    fn codes_are_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for r in SysReg::all() {
+            assert!(seen.insert(encode(RegId::Plain(r))));
+            assert!(seen.insert(encode(RegId::El12(r))));
+        }
+    }
+
+    #[test]
+    fn iss_round_trip() {
+        let id = RegId::El12(SysReg::SctlrEl1);
+        let iss = sysreg_iss(id, true, 17);
+        let (id2, w, rt) = parse_sysreg_iss(iss).unwrap();
+        assert_eq!(id2, id);
+        assert!(w);
+        assert_eq!(rt, 17);
+        assert!(iss < 1 << 25, "fits the ISS field");
+    }
+
+    #[test]
+    fn bad_code_decodes_to_none() {
+        assert_eq!(decode(0x0fff), None);
+        assert_eq!(decode(3 << KIND_SHIFT), None);
+    }
+}

@@ -1,0 +1,589 @@
+//! The register set and instruction-level register names.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Number of GIC list registers modelled per CPU.
+///
+/// The architecture allows up to 16 (`ICH_LR<n>_EL2`, n = 0..15); real
+/// implementations commonly provide 4, which is what KVM-era GIC-400 /
+/// GIC-500 hardware exposed and what the world-switch sequences in the
+/// paper's workloads touch.
+pub const NUM_LIST_REGS: u8 = 4;
+
+/// Number of GIC active-priority registers per group modelled.
+pub const NUM_APRS: u8 = 1;
+
+/// An architectural register storage location.
+///
+/// Every variant is one 64-bit register. Banked registers (same name,
+/// different exception level) are distinct variants. Parameterised GIC
+/// registers carry their index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[allow(clippy::upper_case_acronyms)]
+pub enum SysReg {
+    // --- EL1 execution state (the "VM Execution Control" group of the
+    // paper's Table 3 when accessed by a guest hypervisor on behalf of a
+    // nested VM) ---
+    /// System control, EL1.
+    SctlrEl1,
+    /// Translation table base 0, EL1.
+    Ttbr0El1,
+    /// Translation table base 1, EL1.
+    Ttbr1El1,
+    /// Translation control, EL1.
+    TcrEl1,
+    /// Exception syndrome, EL1.
+    EsrEl1,
+    /// Fault address, EL1.
+    FarEl1,
+    /// Auxiliary fault status 0, EL1.
+    Afsr0El1,
+    /// Auxiliary fault status 1, EL1.
+    Afsr1El1,
+    /// Memory attribute indirection, EL1.
+    MairEl1,
+    /// Auxiliary memory attribute indirection, EL1.
+    AmairEl1,
+    /// Context ID, EL1.
+    ContextidrEl1,
+    /// Architectural feature access control, EL1.
+    CpacrEl1,
+    /// Exception link register, EL1.
+    ElrEl1,
+    /// Saved program status, EL1.
+    SpsrEl1,
+    /// Stack pointer, EL1.
+    SpEl1,
+    /// Vector base address, EL1.
+    VbarEl1,
+    /// Physical address result of an `at` address translation, EL1.
+    ParEl1,
+    /// Counter-timer kernel control (EL0 access control), EL1.
+    CntkctlEl1,
+    /// Cache size selection, EL1.
+    CsselrEl1,
+
+    // --- EL0-visible state managed by the OS ---
+    /// Stack pointer, EL0.
+    SpEl0,
+    /// Software thread ID, EL0.
+    TpidrEl0,
+    /// Read-only software thread ID, EL0.
+    TpidrroEl0,
+    /// Software thread ID, EL1.
+    TpidrEl1,
+
+    // --- EL2 / virtualization control (Table 3 "VM Trap Control" and
+    // Table 4 hypervisor control registers) ---
+    /// Hypervisor configuration (trap bits, E2H, NV, NV1, NV2, ...).
+    HcrEl2,
+    /// Hypervisor auxiliary control.
+    HacrEl2,
+    /// Hypervisor IPA fault address.
+    HpfarEl2,
+    /// Hypervisor system trap register.
+    HstrEl2,
+    /// Software thread ID, EL2.
+    TpidrEl2,
+    /// Virtualization multiprocessor ID.
+    VmpidrEl2,
+    /// Virtualization processor ID.
+    VpidrEl2,
+    /// Virtualization (Stage-2) translation control.
+    VtcrEl2,
+    /// Virtualization (Stage-2) translation table base.
+    VttbrEl2,
+    /// Virtual nested control (the NEVE register, paper Table 2).
+    VncrEl2,
+    /// System control, EL2.
+    SctlrEl2,
+    /// Translation table base 0, EL2.
+    Ttbr0El2,
+    /// Translation table base 1, EL2 (exists only with VHE).
+    Ttbr1El2,
+    /// Translation control, EL2.
+    TcrEl2,
+    /// Exception syndrome, EL2.
+    EsrEl2,
+    /// Fault address, EL2.
+    FarEl2,
+    /// Auxiliary fault status 0, EL2.
+    Afsr0El2,
+    /// Auxiliary fault status 1, EL2.
+    Afsr1El2,
+    /// Memory attribute indirection, EL2.
+    MairEl2,
+    /// Auxiliary memory attribute indirection, EL2.
+    AmairEl2,
+    /// Context ID, EL2 (VHE).
+    ContextidrEl2,
+    /// Exception link register, EL2.
+    ElrEl2,
+    /// Saved program status, EL2.
+    SpsrEl2,
+    /// Stack pointer, EL2.
+    SpEl2,
+    /// Vector base address, EL2.
+    VbarEl2,
+    /// Architectural feature trap, EL2.
+    CptrEl2,
+    /// Monitor debug configuration, EL2.
+    MdcrEl2,
+
+    // --- Identification ---
+    /// Main ID register (read-only).
+    MidrEl1,
+    /// Multiprocessor affinity (read-only).
+    MpidrEl1,
+
+    // --- Generic timers ---
+    /// Counter frequency.
+    CntfrqEl0,
+    /// Counter-timer hypervisor control (EL1 access traps; Table 4
+    /// trap-on-write under NEVE).
+    CnthctlEl2,
+    /// Virtual counter offset.
+    CntvoffEl2,
+    /// EL1 virtual timer control.
+    CntvCtlEl0,
+    /// EL1 virtual timer compare value.
+    CntvCvalEl0,
+    /// EL1 physical timer control.
+    CntpCtlEl0,
+    /// EL1 physical timer compare value.
+    CntpCvalEl0,
+    /// EL2 physical (hypervisor) timer control.
+    CnthpCtlEl2,
+    /// EL2 physical (hypervisor) timer compare value.
+    CnthpCvalEl2,
+    /// EL2 virtual timer control (added by VHE; see the paper's Section
+    /// 7.1 discussion of the extra traps it causes).
+    CnthvCtlEl2,
+    /// EL2 virtual timer compare value (VHE).
+    CnthvCvalEl2,
+
+    // --- GICv3 CPU interface (EL1) ---
+    /// Interrupt acknowledge, group 1.
+    IccIar1El1,
+    /// End of interrupt, group 1.
+    IccEoir1El1,
+    /// Deactivate interrupt.
+    IccDirEl1,
+    /// Priority mask.
+    IccPmrEl1,
+    /// Binary point, group 1.
+    IccBpr1El1,
+    /// Group 1 interrupt enable.
+    IccIgrpen1El1,
+    /// SGI generation, group 1 (writing this sends an IPI and traps to
+    /// the hypervisor when `ICH_HCR_EL2` / `HCR_EL2.IMO` demand it).
+    IccSgi1rEl1,
+    /// Running priority.
+    IccRprEl1,
+    /// CPU interface control.
+    IccCtlrEl1,
+    /// System register enable, EL1.
+    IccSreEl1,
+    /// System register enable, EL2.
+    IccSreEl2,
+    /// Highest priority pending interrupt.
+    IccHppir1El1,
+
+    // --- GIC hypervisor control interface (Table 5) ---
+    /// Hypervisor control.
+    IchHcrEl2,
+    /// VGIC type (read-only: list register count etc.).
+    IchVtrEl2,
+    /// Virtual machine control.
+    IchVmcrEl2,
+    /// Maintenance interrupt status (read-only).
+    IchMisrEl2,
+    /// End-of-interrupt status (read-only).
+    IchEisrEl2,
+    /// Empty list register status (read-only).
+    IchElrsrEl2,
+    /// Active priorities group 0, indexed.
+    IchAp0rEl2(u8),
+    /// Active priorities group 1, indexed.
+    IchAp1rEl2(u8),
+    /// List register, indexed.
+    IchLrEl2(u8),
+
+    // --- Debug / PMU (Section 6.1's closing paragraph) ---
+    /// Monitor debug system control (reads deferrable, writes trap).
+    MdscrEl1,
+    /// PMU user enable (deferrable like a VM system register).
+    PmuserenrEl0,
+    /// PMU event counter selection (deferrable).
+    PmselrEl0,
+}
+
+impl SysReg {
+    /// The lowest exception level from which this register is accessible
+    /// without trapping (ignoring fine-grained trap controls): 0, 1 or 2.
+    pub fn min_el(self) -> u8 {
+        use SysReg::*;
+        match self {
+            TpidrEl0 | TpidrroEl0 | CntfrqEl0 | CntvCtlEl0 | CntvCvalEl0 | CntpCtlEl0
+            | CntpCvalEl0 | PmuserenrEl0 | PmselrEl0 => 0,
+            // `SP_EL1` as an *MRS/MSR-named* register is only reachable
+            // from EL2 (at EL1 it is the implicit stack pointer), which is
+            // why a guest hypervisor saving a VM's SP_EL1 traps under NV.
+            SctlrEl1 | Ttbr0El1 | Ttbr1El1 | TcrEl1 | EsrEl1 | FarEl1 | Afsr0El1 | Afsr1El1
+            | MairEl1 | AmairEl1 | ContextidrEl1 | CpacrEl1 | ElrEl1 | SpsrEl1 | VbarEl1
+            | ParEl1 | CntkctlEl1 | CsselrEl1 | SpEl0 | TpidrEl1 | MidrEl1 | MpidrEl1
+            | IccIar1El1 | IccEoir1El1 | IccDirEl1 | IccPmrEl1 | IccBpr1El1 | IccIgrpen1El1
+            | IccSgi1rEl1 | IccRprEl1 | IccCtlrEl1 | IccSreEl1 | IccHppir1El1 | MdscrEl1 => 1,
+            _ => 2,
+        }
+    }
+
+    /// True if this is an EL2 register (only accessible from EL2, or from
+    /// EL1 under nested-virtualization trapping/redirection).
+    pub fn is_el2(self) -> bool {
+        self.min_el() == 2
+    }
+
+    /// True for registers that are read-only in hardware.
+    pub fn is_read_only(self) -> bool {
+        use SysReg::*;
+        matches!(
+            self,
+            MidrEl1
+                | MpidrEl1
+                | IchVtrEl2
+                | IchMisrEl2
+                | IchEisrEl2
+                | IchElrsrEl2
+                | IccIar1El1
+                | IccRprEl1
+                | IccHppir1El1
+        )
+    }
+
+    /// The architectural name, e.g. `"SCTLR_EL1"`.
+    pub fn name(self) -> String {
+        use SysReg::*;
+        match self {
+            SctlrEl1 => "SCTLR_EL1".into(),
+            Ttbr0El1 => "TTBR0_EL1".into(),
+            Ttbr1El1 => "TTBR1_EL1".into(),
+            TcrEl1 => "TCR_EL1".into(),
+            EsrEl1 => "ESR_EL1".into(),
+            FarEl1 => "FAR_EL1".into(),
+            Afsr0El1 => "AFSR0_EL1".into(),
+            Afsr1El1 => "AFSR1_EL1".into(),
+            MairEl1 => "MAIR_EL1".into(),
+            AmairEl1 => "AMAIR_EL1".into(),
+            ContextidrEl1 => "CONTEXTIDR_EL1".into(),
+            CpacrEl1 => "CPACR_EL1".into(),
+            ElrEl1 => "ELR_EL1".into(),
+            SpsrEl1 => "SPSR_EL1".into(),
+            SpEl1 => "SP_EL1".into(),
+            VbarEl1 => "VBAR_EL1".into(),
+            ParEl1 => "PAR_EL1".into(),
+            CntkctlEl1 => "CNTKCTL_EL1".into(),
+            CsselrEl1 => "CSSELR_EL1".into(),
+            SpEl0 => "SP_EL0".into(),
+            TpidrEl0 => "TPIDR_EL0".into(),
+            TpidrroEl0 => "TPIDRRO_EL0".into(),
+            TpidrEl1 => "TPIDR_EL1".into(),
+            HcrEl2 => "HCR_EL2".into(),
+            HacrEl2 => "HACR_EL2".into(),
+            HpfarEl2 => "HPFAR_EL2".into(),
+            HstrEl2 => "HSTR_EL2".into(),
+            TpidrEl2 => "TPIDR_EL2".into(),
+            VmpidrEl2 => "VMPIDR_EL2".into(),
+            VpidrEl2 => "VPIDR_EL2".into(),
+            VtcrEl2 => "VTCR_EL2".into(),
+            VttbrEl2 => "VTTBR_EL2".into(),
+            VncrEl2 => "VNCR_EL2".into(),
+            SctlrEl2 => "SCTLR_EL2".into(),
+            Ttbr0El2 => "TTBR0_EL2".into(),
+            Ttbr1El2 => "TTBR1_EL2".into(),
+            TcrEl2 => "TCR_EL2".into(),
+            EsrEl2 => "ESR_EL2".into(),
+            FarEl2 => "FAR_EL2".into(),
+            Afsr0El2 => "AFSR0_EL2".into(),
+            Afsr1El2 => "AFSR1_EL2".into(),
+            MairEl2 => "MAIR_EL2".into(),
+            AmairEl2 => "AMAIR_EL2".into(),
+            ContextidrEl2 => "CONTEXTIDR_EL2".into(),
+            ElrEl2 => "ELR_EL2".into(),
+            SpsrEl2 => "SPSR_EL2".into(),
+            SpEl2 => "SP_EL2".into(),
+            VbarEl2 => "VBAR_EL2".into(),
+            CptrEl2 => "CPTR_EL2".into(),
+            MdcrEl2 => "MDCR_EL2".into(),
+            MidrEl1 => "MIDR_EL1".into(),
+            MpidrEl1 => "MPIDR_EL1".into(),
+            CntfrqEl0 => "CNTFRQ_EL0".into(),
+            CnthctlEl2 => "CNTHCTL_EL2".into(),
+            CntvoffEl2 => "CNTVOFF_EL2".into(),
+            CntvCtlEl0 => "CNTV_CTL_EL0".into(),
+            CntvCvalEl0 => "CNTV_CVAL_EL0".into(),
+            CntpCtlEl0 => "CNTP_CTL_EL0".into(),
+            CntpCvalEl0 => "CNTP_CVAL_EL0".into(),
+            CnthpCtlEl2 => "CNTHP_CTL_EL2".into(),
+            CnthpCvalEl2 => "CNTHP_CVAL_EL2".into(),
+            CnthvCtlEl2 => "CNTHV_CTL_EL2".into(),
+            CnthvCvalEl2 => "CNTHV_CVAL_EL2".into(),
+            IccIar1El1 => "ICC_IAR1_EL1".into(),
+            IccEoir1El1 => "ICC_EOIR1_EL1".into(),
+            IccDirEl1 => "ICC_DIR_EL1".into(),
+            IccPmrEl1 => "ICC_PMR_EL1".into(),
+            IccBpr1El1 => "ICC_BPR1_EL1".into(),
+            IccIgrpen1El1 => "ICC_IGRPEN1_EL1".into(),
+            IccSgi1rEl1 => "ICC_SGI1R_EL1".into(),
+            IccRprEl1 => "ICC_RPR_EL1".into(),
+            IccCtlrEl1 => "ICC_CTLR_EL1".into(),
+            IccSreEl1 => "ICC_SRE_EL1".into(),
+            IccSreEl2 => "ICC_SRE_EL2".into(),
+            IccHppir1El1 => "ICC_HPPIR1_EL1".into(),
+            IchHcrEl2 => "ICH_HCR_EL2".into(),
+            IchVtrEl2 => "ICH_VTR_EL2".into(),
+            IchVmcrEl2 => "ICH_VMCR_EL2".into(),
+            IchMisrEl2 => "ICH_MISR_EL2".into(),
+            IchEisrEl2 => "ICH_EISR_EL2".into(),
+            IchElrsrEl2 => "ICH_ELRSR_EL2".into(),
+            IchAp0rEl2(n) => format!("ICH_AP0R{n}_EL2"),
+            IchAp1rEl2(n) => format!("ICH_AP1R{n}_EL2"),
+            IchLrEl2(n) => format!("ICH_LR{n}_EL2"),
+            MdscrEl1 => "MDSCR_EL1".into(),
+            PmuserenrEl0 => "PMUSERENR_EL0".into(),
+            PmselrEl0 => "PMSELR_EL0".into(),
+        }
+    }
+
+    /// Every modelled register (list registers and APRs expanded).
+    pub fn all() -> Vec<SysReg> {
+        use SysReg::*;
+        let mut v = vec![
+            SctlrEl1,
+            Ttbr0El1,
+            Ttbr1El1,
+            TcrEl1,
+            EsrEl1,
+            FarEl1,
+            Afsr0El1,
+            Afsr1El1,
+            MairEl1,
+            AmairEl1,
+            ContextidrEl1,
+            CpacrEl1,
+            ElrEl1,
+            SpsrEl1,
+            SpEl1,
+            VbarEl1,
+            ParEl1,
+            CntkctlEl1,
+            CsselrEl1,
+            SpEl0,
+            TpidrEl0,
+            TpidrroEl0,
+            TpidrEl1,
+            HcrEl2,
+            HacrEl2,
+            HpfarEl2,
+            HstrEl2,
+            TpidrEl2,
+            VmpidrEl2,
+            VpidrEl2,
+            VtcrEl2,
+            VttbrEl2,
+            VncrEl2,
+            SctlrEl2,
+            Ttbr0El2,
+            Ttbr1El2,
+            TcrEl2,
+            EsrEl2,
+            FarEl2,
+            Afsr0El2,
+            Afsr1El2,
+            MairEl2,
+            AmairEl2,
+            ContextidrEl2,
+            ElrEl2,
+            SpsrEl2,
+            SpEl2,
+            VbarEl2,
+            CptrEl2,
+            MdcrEl2,
+            MidrEl1,
+            MpidrEl1,
+            CntfrqEl0,
+            CnthctlEl2,
+            CntvoffEl2,
+            CntvCtlEl0,
+            CntvCvalEl0,
+            CntpCtlEl0,
+            CntpCvalEl0,
+            CnthpCtlEl2,
+            CnthpCvalEl2,
+            CnthvCtlEl2,
+            CnthvCvalEl2,
+            IccIar1El1,
+            IccEoir1El1,
+            IccDirEl1,
+            IccPmrEl1,
+            IccBpr1El1,
+            IccIgrpen1El1,
+            IccSgi1rEl1,
+            IccRprEl1,
+            IccCtlrEl1,
+            IccSreEl1,
+            IccSreEl2,
+            IccHppir1El1,
+            IchHcrEl2,
+            IchVtrEl2,
+            IchVmcrEl2,
+            IchMisrEl2,
+            IchEisrEl2,
+            IchElrsrEl2,
+            MdscrEl1,
+            PmuserenrEl0,
+            PmselrEl0,
+        ];
+        for n in 0..NUM_APRS {
+            v.push(IchAp0rEl2(n));
+            v.push(IchAp1rEl2(n));
+        }
+        for n in 0..NUM_LIST_REGS {
+            v.push(IchLrEl2(n));
+        }
+        v
+    }
+}
+
+impl fmt::Display for SysReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name())
+    }
+}
+
+/// The register *name* an instruction encodes.
+///
+/// `El12(SctlrEl1)` is the VHE-added `SCTLR_EL12` name (access the EL1
+/// register from EL2 while `E2H` redirection is active); `El02` covers the
+/// `CNTV_CTL_EL02`-style names for EL0-accessible timer registers. The
+/// paper's Section 4 paravirtualizes exactly these VHE-added names because
+/// they are undefined on ARMv8.0.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum RegId {
+    /// The plain architectural name.
+    Plain(SysReg),
+    /// The `*_EL12` alias of an EL1 register (VHE).
+    El12(SysReg),
+    /// The `*_EL02` alias of an EL0 register (VHE).
+    El02(SysReg),
+}
+
+impl RegId {
+    /// The storage location the name refers to in the *absence* of any
+    /// redirection (the alias target).
+    pub fn base_reg(self) -> SysReg {
+        match self {
+            RegId::Plain(r) | RegId::El12(r) | RegId::El02(r) => r,
+        }
+    }
+
+    /// True if this is a VHE-added alias name (`*_EL12` / `*_EL02`).
+    pub fn is_vhe_alias(self) -> bool {
+        !matches!(self, RegId::Plain(_))
+    }
+
+    /// Architectural spelling of the name.
+    pub fn name(self) -> String {
+        match self {
+            RegId::Plain(r) => r.name(),
+            RegId::El12(r) => {
+                let n = r.name();
+                n.strip_suffix("_EL1")
+                    .map(|s| format!("{s}_EL12"))
+                    .unwrap_or(n)
+            }
+            RegId::El02(r) => {
+                let n = r.name();
+                n.strip_suffix("_EL0")
+                    .map(|s| format!("{s}_EL02"))
+                    .unwrap_or(n)
+            }
+        }
+    }
+}
+
+impl fmt::Display for RegId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name())
+    }
+}
+
+impl From<SysReg> for RegId {
+    fn from(r: SysReg) -> Self {
+        RegId::Plain(r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_registers_are_unique() {
+        let all = SysReg::all();
+        let set: std::collections::HashSet<_> = all.iter().collect();
+        assert_eq!(set.len(), all.len());
+    }
+
+    #[test]
+    fn all_names_are_unique() {
+        let all = SysReg::all();
+        let names: std::collections::HashSet<_> = all.iter().map(|r| r.name()).collect();
+        assert_eq!(names.len(), all.len());
+    }
+
+    #[test]
+    fn register_population_is_substantial() {
+        // 27 VM system registers (Table 3) + 17 hypervisor control
+        // registers (Table 4) + GIC + timers + misc.
+        assert!(SysReg::all().len() > 80);
+    }
+
+    #[test]
+    fn el2_registers_report_min_el_2() {
+        assert!(SysReg::HcrEl2.is_el2());
+        assert!(SysReg::VttbrEl2.is_el2());
+        assert!(SysReg::IchLrEl2(0).is_el2());
+        assert!(!SysReg::SctlrEl1.is_el2());
+        assert!(!SysReg::TpidrEl0.is_el2());
+    }
+
+    #[test]
+    fn read_only_registers() {
+        assert!(SysReg::MidrEl1.is_read_only());
+        assert!(SysReg::IchEisrEl2.is_read_only());
+        assert!(!SysReg::IchLrEl2(0).is_read_only());
+    }
+
+    #[test]
+    fn el12_alias_spelling() {
+        assert_eq!(RegId::El12(SysReg::SctlrEl1).name(), "SCTLR_EL12");
+        assert_eq!(RegId::El12(SysReg::SpsrEl1).name(), "SPSR_EL12");
+        assert_eq!(RegId::El02(SysReg::CntvCtlEl0).name(), "CNTV_CTL_EL02");
+        assert_eq!(RegId::Plain(SysReg::HcrEl2).name(), "HCR_EL2");
+    }
+
+    #[test]
+    fn indexed_gic_names() {
+        assert_eq!(SysReg::IchLrEl2(3).name(), "ICH_LR3_EL2");
+        assert_eq!(SysReg::IchAp1rEl2(0).name(), "ICH_AP1R0_EL2");
+    }
+
+    #[test]
+    fn base_reg_strips_alias() {
+        assert_eq!(RegId::El12(SysReg::TcrEl1).base_reg(), SysReg::TcrEl1);
+        assert!(RegId::El12(SysReg::TcrEl1).is_vhe_alias());
+        assert!(!RegId::Plain(SysReg::TcrEl1).is_vhe_alias());
+    }
+}

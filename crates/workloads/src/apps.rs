@@ -1,0 +1,461 @@
+//! The application-workload model behind Figure 2.
+//!
+//! Figure 2 plots, for ten real workloads (paper Table 8), the
+//! normalized overhead (virtualized runtime / native runtime) of seven
+//! configurations. The simulator regenerates the figure from first
+//! principles:
+//!
+//! ```text
+//! overhead = (1 + B) / (1 - T)          [capped when T saturates]
+//!
+//! B = Σ events_per_unit × per_event_cost / UNIT_CYCLES
+//! T = feedback_rate × ipi_cost / UNIT_CYCLES
+//! ```
+//!
+//! where the per-event costs are the *measured microbenchmark results*
+//! of the simulated stacks (the same data as Table 6) and `UNIT_CYCLES`
+//! is the native work a profile's rates are normalized to. The
+//! denominator models *slowdown-proportional* events — periodic timer
+//! ticks, TCP retransmissions and scheduler interrupts happen per unit
+//! of wall time, so the slower a nested VM runs, the more of them each
+//! unit of useful work absorbs; every one costs a full
+//! guest-hypervisor transition. This feedback is what lets I/O-bound
+//! workloads exceed 40x on ARMv8.3 (the paper's top panel) while the
+//! same workload stays near 3x under NEVE (Section 7.2, Memcached).
+//!
+//! The **virtio notification anomaly** (Section 7.2): notification
+//! (kick) rates depend on how fast the *backend* drains the queue — a
+//! faster backend re-enables notifications sooner, so the same guest
+//! workload generates more exits on faster hosts. The paper measured
+//! "more than four times as many exits" for Memcached on x86 than on
+//! NEVE; profiles carry a per-workload x86 kick multiplier.
+//!
+//! Event rates are per [`UNIT_CYCLES`] of native work and are the
+//! model's *inputs*, chosen per workload from the paper's qualitative
+//! characterization (Section 7.2) and tuned so the NEVE bars land near
+//! the paper's; the v8.3, x86 and VM bars then *follow from the model*.
+
+use crate::platforms::{Config, MicroMatrix};
+use serde::Serialize;
+
+/// Native work one unit of event rates refers to.
+pub const UNIT_CYCLES: f64 = 10_000_000.0;
+
+/// Overhead cap (the paper's figure caps its top panel at 40x; we cap
+/// the saturated feedback regime at 100x so "more than 40 times" cases
+/// remain visible as such).
+pub const OVERHEAD_CAP: f64 = 100.0;
+
+/// One workload's virtualization-event profile.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct WorkloadProfile {
+    /// Workload name (paper Table 8).
+    pub name: &'static str,
+    /// Hypercalls per unit.
+    pub hypercalls: f64,
+    /// Emulated-device accesses per unit.
+    pub device_ios: f64,
+    /// Cross-vCPU IPIs per unit (scheduler/synchronisation, the
+    /// Hackbench signature).
+    pub ipis: f64,
+    /// Network receive interrupts per unit.
+    pub net_irqs: f64,
+    /// Virtio notifications (kicks) per unit.
+    pub virtio_kicks: f64,
+    /// x86 I/O-exit multiplier applied to interrupts and kicks (the
+    /// backend-speed anomaly of Section 7.2: the faster x86 backend
+    /// re-enables notifications sooner, so the same guest work causes
+    /// several times as many exits; 1.0 = none).
+    pub x86_exit_scale: f64,
+    /// Slowdown-proportional event rate (timer ticks, retransmissions).
+    pub feedback: f64,
+}
+
+/// One output row: overheads per configuration.
+#[derive(Debug, Clone, Serialize)]
+pub struct WorkloadRow {
+    /// Workload name.
+    pub name: &'static str,
+    /// (configuration, normalized overhead) in [`Config::all`] order.
+    pub overheads: Vec<(Config, f64)>,
+}
+
+/// The ten workloads of paper Table 8.
+pub const WORKLOADS: [WorkloadProfile; 10] = [
+    WorkloadProfile {
+        // Kernel compile: CPU-bound, page faults and a little I/O.
+        name: "Kernbench",
+        hypercalls: 3.0,
+        device_ios: 3.5,
+        ipis: 1.2,
+        net_irqs: 0.0,
+        virtio_kicks: 1.0,
+        x86_exit_scale: 1.0,
+        feedback: 0.35,
+    },
+    WorkloadProfile {
+        // "a highly parallel SMP workload in which the OS frequently
+        // sends IPIs" (Section 7.2).
+        name: "Hackbench",
+        hypercalls: 5.0,
+        device_ios: 2.0,
+        ipis: 185.0,
+        net_irqs: 0.0,
+        virtio_kicks: 0.0,
+        x86_exit_scale: 1.0,
+        feedback: 1.0,
+    },
+    WorkloadProfile {
+        // JVM benchmark suite: CPU-bound.
+        name: "SPECjvm2008",
+        hypercalls: 2.0,
+        device_ios: 1.8,
+        ipis: 1.2,
+        net_irqs: 0.0,
+        virtio_kicks: 0.5,
+        x86_exit_scale: 1.0,
+        feedback: 0.4,
+    },
+    WorkloadProfile {
+        // Request/response latency: one kick + one interrupt per
+        // transaction at high rate.
+        name: "TCP_RR",
+        hypercalls: 5.0,
+        device_ios: 2.0,
+        ipis: 2.0,
+        net_irqs: 90.0,
+        virtio_kicks: 90.0,
+        x86_exit_scale: 2.0,
+        feedback: 3.0,
+    },
+    WorkloadProfile {
+        // Bulk receive: interrupt-driven with NAPI batching.
+        name: "TCP_STREAM",
+        hypercalls: 3.0,
+        device_ios: 2.0,
+        ipis: 2.0,
+        net_irqs: 75.0,
+        virtio_kicks: 25.0,
+        x86_exit_scale: 2.0,
+        feedback: 4.0,
+    },
+    WorkloadProfile {
+        // Bulk transmit: kick-heavy (one of the paper's >40x cases).
+        name: "TCP_MAERTS",
+        hypercalls: 3.0,
+        device_ios: 2.0,
+        ipis: 2.0,
+        net_irqs: 40.0,
+        virtio_kicks: 220.0,
+        x86_exit_scale: 4.5,
+        feedback: 11.0,
+    },
+    WorkloadProfile {
+        // Web serving under ApacheBench (>40x on ARMv8.3).
+        name: "Apache",
+        hypercalls: 5.0,
+        device_ios: 5.0,
+        ipis: 10.0,
+        net_irqs: 60.0,
+        virtio_kicks: 110.0,
+        x86_exit_scale: 2.5,
+        feedback: 11.0,
+    },
+    WorkloadProfile {
+        // Web serving under Siege.
+        name: "Nginx",
+        hypercalls: 5.0,
+        device_ios: 5.0,
+        ipis: 8.0,
+        net_irqs: 50.0,
+        virtio_kicks: 100.0,
+        x86_exit_scale: 3.5,
+        feedback: 8.0,
+    },
+    WorkloadProfile {
+        // Key-value store under memtier: the paper's anomaly case —
+        // "more than four times as many exits" on x86.
+        name: "Memcached",
+        hypercalls: 5.0,
+        device_ios: 3.0,
+        ipis: 5.0,
+        net_irqs: 40.0,
+        virtio_kicks: 150.0,
+        x86_exit_scale: 7.0,
+        feedback: 12.0,
+    },
+    WorkloadProfile {
+        // OLTP under SysBench: storage-heavy; x86's faster backend
+        // costs it at the VM level too.
+        name: "MySQL",
+        hypercalls: 8.0,
+        device_ios: 30.0,
+        ipis: 10.0,
+        net_irqs: 25.0,
+        virtio_kicks: 70.0,
+        x86_exit_scale: 4.0,
+        feedback: 4.0,
+    },
+];
+
+/// Computes the normalized overhead of `p` on `cfg` from measured
+/// per-event costs.
+pub fn overhead(p: &WorkloadProfile, cfg: Config, m: &MicroMatrix) -> f64 {
+    let c = m.costs(cfg);
+    let hc = c.hypercall.cycles as f64;
+    let io = c.device_io.cycles as f64;
+    let ipi = c.virtual_ipi.cycles as f64;
+    let io_scale = if cfg.is_x86() { p.x86_exit_scale } else { 1.0 };
+    let b = (p.hypercalls * hc
+        + p.device_ios * io
+        + p.ipis * ipi
+        + p.net_irqs * io_scale * ipi
+        + p.virtio_kicks * io_scale * io)
+        / UNIT_CYCLES;
+    let t = p.feedback * ipi / UNIT_CYCLES;
+    if t >= 0.99 {
+        return OVERHEAD_CAP;
+    }
+    ((1.0 + b) / (1.0 - t)).min(OVERHEAD_CAP)
+}
+
+/// A per-event-class decomposition of one workload's overhead on one
+/// configuration (the `--explain` view: where do the cycles go?).
+#[derive(Debug, Clone, Serialize)]
+pub struct Breakdown {
+    /// Share of added overhead from hypercalls.
+    pub hypercalls: f64,
+    /// Share from device I/O.
+    pub device_ios: f64,
+    /// Share from IPIs.
+    pub ipis: f64,
+    /// Share from network interrupts.
+    pub net_irqs: f64,
+    /// Share from virtio kicks.
+    pub virtio_kicks: f64,
+    /// Share from the slowdown-proportional feedback (timer ticks,
+    /// retransmissions).
+    pub feedback: f64,
+}
+
+/// Decomposes `p`'s overhead on `cfg` into event-class shares (summing
+/// to 1 when any overhead exists).
+pub fn breakdown(p: &WorkloadProfile, cfg: Config, m: &MicroMatrix) -> Breakdown {
+    let c = m.costs(cfg);
+    let hc = c.hypercall.cycles as f64;
+    let io = c.device_io.cycles as f64;
+    let ipi = c.virtual_ipi.cycles as f64;
+    let io_scale = if cfg.is_x86() { p.x86_exit_scale } else { 1.0 };
+    let parts = [
+        p.hypercalls * hc,
+        p.device_ios * io,
+        p.ipis * ipi,
+        p.net_irqs * io_scale * ipi,
+        p.virtio_kicks * io_scale * io,
+    ];
+    let s = overhead(p, cfg, m);
+    // The feedback term contributes everything the base terms do not.
+    let base_total: f64 = parts.iter().sum();
+    let total_added = (s - 1.0) * UNIT_CYCLES;
+    let feedback = (total_added - base_total).max(0.0);
+    let denom = (base_total + feedback).max(1.0);
+    Breakdown {
+        hypercalls: parts[0] / denom,
+        device_ios: parts[1] / denom,
+        ipis: parts[2] / denom,
+        net_irqs: parts[3] / denom,
+        virtio_kicks: parts[4] / denom,
+        feedback: feedback / denom,
+    }
+}
+
+/// Regenerates Figure 2: every workload's overhead on every
+/// configuration.
+pub fn figure2(m: &MicroMatrix) -> Vec<WorkloadRow> {
+    WORKLOADS
+        .iter()
+        .map(|p| WorkloadRow {
+            name: p.name,
+            overheads: Config::all()
+                .into_iter()
+                .map(|c| (c, overhead(p, c, m)))
+                .collect(),
+        })
+        .collect()
+}
+
+/// Renders Figure 2 as an aligned text table.
+pub fn render(rows: &[WorkloadRow]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{:<12}", "Workload"));
+    for c in Config::all() {
+        out.push_str(&format!(" | {:>18}", c.label()));
+    }
+    out.push('\n');
+    out.push_str(&"-".repeat(12 + 21 * Config::all().len()));
+    out.push('\n');
+    for r in rows {
+        out.push_str(&format!("{:<12}", r.name));
+        for (_, o) in &r.overheads {
+            if *o >= 40.0 {
+                out.push_str(&format!(" | {:>17}", ">40x"));
+            } else {
+                out.push_str(&format!(" | {:>16.2}x", o));
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::OnceLock;
+
+    fn matrix() -> &'static MicroMatrix {
+        static M: OnceLock<MicroMatrix> = OnceLock::new();
+        M.get_or_init(MicroMatrix::measure)
+    }
+
+    fn row(name: &str) -> WorkloadRow {
+        figure2(matrix())
+            .into_iter()
+            .find(|r| r.name == name)
+            .expect("workload exists")
+    }
+
+    fn get(r: &WorkloadRow, c: Config) -> f64 {
+        r.overheads.iter().find(|(k, _)| *k == c).unwrap().1
+    }
+
+    #[test]
+    fn ten_workloads_and_seven_configs() {
+        let f = figure2(matrix());
+        assert_eq!(f.len(), 10);
+        for r in &f {
+            assert_eq!(r.overheads.len(), 7);
+            for (_, o) in &r.overheads {
+                assert!(*o >= 1.0, "{}: overhead {o} < 1", r.name);
+            }
+        }
+    }
+
+    #[test]
+    fn cpu_bound_workloads_have_modest_nested_overhead() {
+        // Paper Section 7.2: kernbench and SPECjvm "have a relatively
+        // modest performance slowdown in nested VMs".
+        for name in ["Kernbench", "SPECjvm2008"] {
+            let r = row(name);
+            let v83 = get(&r, Config::ArmNestedV83);
+            assert!(v83 < 2.0, "{name}: {v83}");
+            let vhe = get(&r, Config::ArmNestedV83Vhe);
+            assert!(vhe < v83, "{name}: VHE should be cheaper");
+        }
+    }
+
+    #[test]
+    fn network_workloads_exceed_40x_on_v8_3() {
+        // Paper: "The largest overhead occurs for network-related
+        // workloads, including Netperf TCP_MAERTS, Apache, and
+        // Memcached" — more than 40 times.
+        for name in ["TCP_MAERTS", "Apache", "Memcached"] {
+            let r = row(name);
+            assert!(
+                get(&r, Config::ArmNestedV83) > 40.0,
+                "{name}: {}",
+                get(&r, Config::ArmNestedV83)
+            );
+        }
+    }
+
+    #[test]
+    fn hackbench_matches_the_papers_15x_and_11x() {
+        let r = row("Hackbench");
+        let v83 = get(&r, Config::ArmNestedV83);
+        let vhe = get(&r, Config::ArmNestedV83Vhe);
+        assert!((9.0..22.0).contains(&v83), "{v83}");
+        assert!((7.0..16.0).contains(&vhe), "{vhe}");
+        assert!(vhe < v83);
+    }
+
+    #[test]
+    fn neve_brings_memcached_below_a_handful() {
+        // Paper: "Memcached performance goes from more than a 40 times
+        // slowdown using ARMv8.3 to less than a 3 times slowdown using
+        // NEVE, more than an order of magnitude improvement."
+        let r = row("Memcached");
+        let neve = get(&r, Config::ArmNestedNeve);
+        assert!(neve < 4.0, "{neve}");
+        let v83 = get(&r, Config::ArmNestedV83);
+        assert!(v83 / neve > 10.0, "improvement {}", v83 / neve);
+    }
+
+    #[test]
+    fn neve_beats_x86_on_the_papers_workloads() {
+        // Paper: "NEVE incurs significantly less overhead than both
+        // ARMv8.3 and x86 on many of the network-related workloads,
+        // including Netperf TCP MAERTS, Nginx, Memcached, and MySQL."
+        for name in ["TCP_MAERTS", "Nginx", "Memcached", "MySQL"] {
+            let r = row(name);
+            let neve = get(&r, Config::ArmNestedNeve).min(get(&r, Config::ArmNestedNeveVhe));
+            let x86 = get(&r, Config::X86Nested);
+            assert!(neve < x86, "{name}: NEVE {neve} vs x86 {x86}");
+        }
+    }
+
+    #[test]
+    fn vm_overheads_are_small_everywhere() {
+        for r in figure2(matrix()) {
+            let arm = get(&r, Config::ArmVm);
+            let x86 = get(&r, Config::X86Vm);
+            assert!(arm < 3.0, "{}: ARM VM {arm}", r.name);
+            assert!(x86 < 3.0, "{}: x86 VM {x86}", r.name);
+        }
+    }
+
+    #[test]
+    fn mysql_x86_vm_overhead_exceeds_arm_vm() {
+        // Paper: "MySQL runs better with NEVE because of the high cost
+        // of x86 non-nested virtualization compared to ARM."
+        let r = row("MySQL");
+        assert!(get(&r, Config::X86Vm) > get(&r, Config::ArmVm));
+    }
+
+    #[test]
+    fn breakdown_shares_sum_to_one_for_loaded_workloads() {
+        let m = matrix();
+        for p in &WORKLOADS {
+            let b = breakdown(p, Config::ArmNestedV83, m);
+            let sum =
+                b.hypercalls + b.device_ios + b.ipis + b.net_irqs + b.virtio_kicks + b.feedback;
+            assert!((sum - 1.0).abs() < 1e-6, "{}: {sum}", p.name);
+        }
+    }
+
+    #[test]
+    fn hackbench_overhead_is_ipi_dominated() {
+        let m = matrix();
+        let p = WORKLOADS.iter().find(|w| w.name == "Hackbench").unwrap();
+        let b = breakdown(p, Config::ArmNestedV83, m);
+        assert!(b.ipis > 0.5, "IPIs should dominate: {b:?}");
+    }
+
+    #[test]
+    fn maerts_overhead_is_kick_heavy() {
+        let m = matrix();
+        let p = WORKLOADS.iter().find(|w| w.name == "TCP_MAERTS").unwrap();
+        let b = breakdown(p, Config::ArmNestedV83, m);
+        assert!(
+            b.virtio_kicks > b.hypercalls + b.device_ios,
+            "kicks should dominate: {b:?}"
+        );
+    }
+
+    #[test]
+    fn render_caps_at_40_like_the_paper() {
+        let s = render(&figure2(matrix()));
+        assert!(s.contains(">40x"));
+        assert!(s.contains("Memcached"));
+    }
+}

@@ -1,0 +1,25 @@
+//! Workload models reproducing the NEVE paper's evaluation.
+//!
+//! - [`platforms`]: a unified view over the ARM ([`neve_kvmarm`]) and
+//!   x86 ([`neve_x86vt`]) test beds; runs every microbenchmark on every
+//!   configuration once and caches the per-operation results — the data
+//!   behind Tables 1, 6 and 7.
+//! - [`tables`]: assembles those results into the paper's table rows.
+//! - [`apps`]: the application-workload model behind Figure 2. Each of
+//!   the paper's ten workloads (Table 8) is characterized by rates of
+//!   virtualization events per unit of CPU work; the per-event costs
+//!   come from the *simulated stacks* (the same numbers as Table 6), so
+//!   the figure is regenerated, not transcribed. The virtio
+//!   notification-suppression model reproduces the paper's x86
+//!   Memcached anomaly (Section 7.2: "having faster hardware can result
+//!   in more virtualization overhead").
+
+pub mod apps;
+pub mod platforms;
+pub mod replay;
+pub mod tables;
+
+pub use apps::{figure2, WorkloadProfile, WorkloadRow, WORKLOADS};
+pub use platforms::{Config, MicroCosts, MicroMatrix};
+pub use replay::{replay_vs_model, Mix, ReplayResult};
+pub use tables::{table1, table6, table7, TableRow};

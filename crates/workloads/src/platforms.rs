@@ -1,0 +1,212 @@
+//! Unified access to both simulated platforms.
+
+use neve_cycles::counter::PerOp;
+use neve_kvmarm::{ArmConfig, MicroBench, ParaMode, TestBed};
+use neve_x86vt::testbed::{X86Bench, X86Config, X86TestBed};
+use serde::Serialize;
+use std::collections::BTreeMap;
+
+/// Every evaluation configuration of Tables 1/6/7 and Figure 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize)]
+pub enum Config {
+    /// ARM single-level VM.
+    ArmVm,
+    /// ARMv8.3 nested, non-VHE guest hypervisor.
+    ArmNestedV83,
+    /// ARMv8.3 nested, VHE guest hypervisor.
+    ArmNestedV83Vhe,
+    /// NEVE nested, non-VHE guest hypervisor.
+    ArmNestedNeve,
+    /// NEVE nested, VHE guest hypervisor.
+    ArmNestedNeveVhe,
+    /// x86 single-level VM.
+    X86Vm,
+    /// x86 nested (VMCS shadowing on, as in the paper).
+    X86Nested,
+}
+
+impl Config {
+    /// All configurations, table order.
+    pub fn all() -> [Config; 7] {
+        [
+            Config::ArmVm,
+            Config::ArmNestedV83,
+            Config::ArmNestedV83Vhe,
+            Config::ArmNestedNeve,
+            Config::ArmNestedNeveVhe,
+            Config::X86Vm,
+            Config::X86Nested,
+        ]
+    }
+
+    /// Display label (matches the paper's column headers).
+    pub fn label(self) -> &'static str {
+        match self {
+            Config::ArmVm => "ARM VM",
+            Config::ArmNestedV83 => "ARMv8.3 Nested",
+            Config::ArmNestedV83Vhe => "ARMv8.3 Nested VHE",
+            Config::ArmNestedNeve => "NEVE Nested",
+            Config::ArmNestedNeveVhe => "NEVE Nested VHE",
+            Config::X86Vm => "x86 VM",
+            Config::X86Nested => "x86 Nested",
+        }
+    }
+
+    /// True for x86 configurations.
+    pub fn is_x86(self) -> bool {
+        matches!(self, Config::X86Vm | Config::X86Nested)
+    }
+
+    /// The single-level baseline of this configuration's platform
+    /// (used for the paper's "overhead vs VM" multipliers).
+    pub fn vm_baseline(self) -> Config {
+        if self.is_x86() {
+            Config::X86Vm
+        } else {
+            Config::ArmVm
+        }
+    }
+}
+
+/// The per-operation costs of one configuration.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct MicroCosts {
+    /// Hypercall round trip.
+    pub hypercall: PerOpSer,
+    /// Emulated-device read.
+    pub device_io: PerOpSer,
+    /// Cross-vCPU virtual IPI.
+    pub virtual_ipi: PerOpSer,
+    /// Virtual EOI.
+    pub virtual_eoi: PerOpSer,
+}
+
+/// Serializable [`PerOp`].
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct PerOpSer {
+    /// Average cycles per operation.
+    pub cycles: u64,
+    /// Average traps per operation.
+    pub traps: f64,
+}
+
+impl From<PerOp> for PerOpSer {
+    fn from(p: PerOp) -> Self {
+        Self {
+            cycles: p.cycles,
+            traps: p.traps,
+        }
+    }
+}
+
+/// All microbenchmark results across all configurations, computed once.
+#[derive(Debug, Clone)]
+pub struct MicroMatrix {
+    results: BTreeMap<Config, MicroCosts>,
+}
+
+/// Measured iterations per microbenchmark (the simulator is
+/// deterministic, so small counts give exact steady-state averages).
+const ITERS: u64 = 24;
+const IPI_ITERS: u64 = 10;
+
+fn run_arm(cfg: ArmConfig, bench: MicroBench) -> PerOp {
+    let iters = if bench == MicroBench::VirtualIpi {
+        IPI_ITERS
+    } else {
+        ITERS
+    };
+    let mut tb = TestBed::new(cfg, bench, iters);
+    tb.run(iters)
+}
+
+fn run_x86(cfg: X86Config, bench: X86Bench) -> PerOp {
+    let iters = if bench == X86Bench::VirtualIpi {
+        IPI_ITERS
+    } else {
+        ITERS
+    };
+    let mut tb = X86TestBed::new(cfg, bench, iters);
+    tb.run(iters)
+}
+
+fn arm_config(c: Config) -> Option<ArmConfig> {
+    Some(match c {
+        Config::ArmVm => ArmConfig::Vm,
+        Config::ArmNestedV83 => ArmConfig::Nested {
+            guest_vhe: false,
+            neve: false,
+            para: ParaMode::None,
+        },
+        Config::ArmNestedV83Vhe => ArmConfig::Nested {
+            guest_vhe: true,
+            neve: false,
+            para: ParaMode::None,
+        },
+        Config::ArmNestedNeve => ArmConfig::Nested {
+            guest_vhe: false,
+            neve: true,
+            para: ParaMode::None,
+        },
+        Config::ArmNestedNeveVhe => ArmConfig::Nested {
+            guest_vhe: true,
+            neve: true,
+            para: ParaMode::None,
+        },
+        _ => return None,
+    })
+}
+
+impl MicroMatrix {
+    /// Runs every microbenchmark on every configuration.
+    pub fn measure() -> Self {
+        let mut results = BTreeMap::new();
+        for c in Config::all() {
+            let costs = if let Some(ac) = arm_config(c) {
+                MicroCosts {
+                    hypercall: run_arm(ac, MicroBench::Hypercall).into(),
+                    device_io: run_arm(ac, MicroBench::DeviceIo).into(),
+                    virtual_ipi: run_arm(ac, MicroBench::VirtualIpi).into(),
+                    virtual_eoi: run_arm(ac, MicroBench::VirtualEoi).into(),
+                }
+            } else {
+                let xc = match c {
+                    Config::X86Vm => X86Config::Vm,
+                    _ => X86Config::Nested { shadowing: true },
+                };
+                MicroCosts {
+                    hypercall: run_x86(xc, X86Bench::Hypercall).into(),
+                    device_io: run_x86(xc, X86Bench::DeviceIo).into(),
+                    virtual_ipi: run_x86(xc, X86Bench::VirtualIpi).into(),
+                    virtual_eoi: run_x86(xc, X86Bench::VirtualEoi).into(),
+                }
+            };
+            results.insert(c, costs);
+        }
+        Self { results }
+    }
+
+    /// The costs of one configuration.
+    pub fn costs(&self, c: Config) -> MicroCosts {
+        self.results[&c]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_unique() {
+        let labels: std::collections::HashSet<_> =
+            Config::all().iter().map(|c| c.label()).collect();
+        assert_eq!(labels.len(), Config::all().len());
+    }
+
+    #[test]
+    fn baselines_point_at_same_platform() {
+        assert_eq!(Config::ArmNestedNeve.vm_baseline(), Config::ArmVm);
+        assert_eq!(Config::X86Nested.vm_baseline(), Config::X86Vm);
+        assert_eq!(Config::ArmVm.vm_baseline(), Config::ArmVm);
+    }
+}

@@ -1,0 +1,188 @@
+//! Assembling the paper's tables from measured microbenchmark data.
+
+use crate::platforms::{Config, MicroMatrix};
+
+/// One row of Table 1/6 (cycle counts) or Table 7 (trap counts).
+#[derive(Debug, Clone)]
+pub struct TableRow {
+    /// Microbenchmark name.
+    pub bench: &'static str,
+    /// (configuration, value, multiplier-vs-VM) triples.
+    pub cells: Vec<(Config, u64, f64)>,
+}
+
+const BENCHES: [&str; 4] = ["Hypercall", "Device I/O", "Virtual IPI", "Virtual EOI"];
+
+fn value_of(m: &MicroMatrix, c: Config, bench: &str, traps: bool) -> f64 {
+    let costs = m.costs(c);
+    let p = match bench {
+        "Hypercall" => costs.hypercall,
+        "Device I/O" => costs.device_io,
+        "Virtual IPI" => costs.virtual_ipi,
+        _ => costs.virtual_eoi,
+    };
+    if traps {
+        p.traps
+    } else {
+        p.cycles as f64
+    }
+}
+
+fn build(m: &MicroMatrix, configs: &[Config], traps: bool) -> Vec<TableRow> {
+    BENCHES
+        .iter()
+        .map(|bench| {
+            let cells = configs
+                .iter()
+                .map(|&c| {
+                    let v = value_of(m, c, bench, traps);
+                    let base = value_of(m, c.vm_baseline(), bench, traps).max(1.0);
+                    (c, v.round() as u64, v / base)
+                })
+                .collect();
+            TableRow { bench, cells }
+        })
+        .collect()
+}
+
+/// Table 1: microbenchmark cycle counts for ARMv8.3 {VM, Nested,
+/// Nested VHE} and x86 {VM, Nested}.
+pub fn table1(m: &MicroMatrix) -> Vec<TableRow> {
+    build(
+        m,
+        &[
+            Config::ArmVm,
+            Config::ArmNestedV83,
+            Config::ArmNestedV83Vhe,
+            Config::X86Vm,
+            Config::X86Nested,
+        ],
+        false,
+    )
+}
+
+/// Table 6: Table 1's nested columns plus NEVE, with the
+/// overhead-vs-VM multipliers the paper prints in parentheses.
+pub fn table6(m: &MicroMatrix) -> Vec<TableRow> {
+    build(
+        m,
+        &[
+            Config::ArmNestedV83,
+            Config::ArmNestedV83Vhe,
+            Config::ArmNestedNeve,
+            Config::ArmNestedNeveVhe,
+            Config::X86Nested,
+        ],
+        false,
+    )
+}
+
+/// Table 7: average trap counts.
+pub fn table7(m: &MicroMatrix) -> Vec<TableRow> {
+    build(
+        m,
+        &[
+            Config::ArmNestedV83,
+            Config::ArmNestedV83Vhe,
+            Config::ArmNestedNeve,
+            Config::ArmNestedNeveVhe,
+            Config::X86Nested,
+        ],
+        true,
+    )
+}
+
+/// Renders rows as an aligned text table (the harness binaries print
+/// these next to the paper's numbers).
+pub fn render(rows: &[TableRow]) -> String {
+    let mut out = String::new();
+    if let Some(first) = rows.first() {
+        out.push_str(&format!("{:<12}", "Benchmark"));
+        for (c, _, _) in &first.cells {
+            out.push_str(&format!(" | {:>22}", c.label()));
+        }
+        out.push('\n');
+        out.push_str(&"-".repeat(12 + first.cells.len() * 25));
+        out.push('\n');
+    }
+    for r in rows {
+        out.push_str(&format!("{:<12}", r.bench));
+        for (_, v, mult) in &r.cells {
+            out.push_str(&format!(" | {:>12} ({:>5.1}x)", v, mult));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::OnceLock;
+
+    fn matrix() -> &'static MicroMatrix {
+        static M: OnceLock<MicroMatrix> = OnceLock::new();
+        M.get_or_init(MicroMatrix::measure)
+    }
+
+    #[test]
+    fn table1_shape_matches_paper() {
+        let t = table1(matrix());
+        assert_eq!(t.len(), 4);
+        assert_eq!(t[0].cells.len(), 5);
+        // Hypercall row: nested >> VM on ARM; more than an order of
+        // magnitude more overhead than x86 in relative terms (the
+        // paper's headline from Section 5).
+        let hc = &t[0];
+        let arm_vm = hc.cells[0].1;
+        let arm_nested = hc.cells[1].1;
+        let x86_nested_mult = hc.cells[4].2;
+        let arm_nested_mult = hc.cells[1].2;
+        assert!(arm_nested > 50 * arm_vm);
+        assert!(arm_nested_mult > 3.0 * x86_nested_mult);
+    }
+
+    #[test]
+    fn table6_neve_improves_on_v8_3() {
+        let t = table6(matrix());
+        let hc = &t[0];
+        let v83 = hc.cells[0].1;
+        let neve = hc.cells[2].1;
+        // Paper: "NEVE provides up to 5 times faster performance than
+        // ARMv8.3".
+        assert!(neve * 3 < v83, "neve {neve} v8.3 {v83}");
+        // NEVE's relative overhead is comparable to x86's (Section 7.1).
+        let neve_mult = hc.cells[2].2;
+        let x86_mult = hc.cells[4].2;
+        assert!(neve_mult < 2.0 * x86_mult);
+    }
+
+    #[test]
+    fn table7_trap_counts_match_paper_pattern() {
+        let t = table7(matrix());
+        let hc = &t[0];
+        let (v83, vhe, neve, neve_vhe, x86) = (
+            hc.cells[0].1,
+            hc.cells[1].1,
+            hc.cells[2].1,
+            hc.cells[3].1,
+            hc.cells[4].1,
+        );
+        // Paper: 126 / 82 / 15 / 15 / 5.
+        assert!(v83 > vhe, "{v83} {vhe}");
+        assert!(vhe > 4 * neve);
+        assert!((10..=20).contains(&neve));
+        assert!((10..=20).contains(&neve_vhe));
+        assert!(x86 <= 6);
+        // The EOI row is zero everywhere.
+        let eoi = &t[3];
+        assert!(eoi.cells.iter().all(|(_, v, _)| *v == 0));
+    }
+
+    #[test]
+    fn render_produces_a_line_per_bench() {
+        let s = render(&table7(matrix()));
+        assert_eq!(s.lines().count(), 2 + 4);
+        assert!(s.contains("Hypercall"));
+    }
+}

@@ -1,0 +1,10 @@
+//! Prints the regenerated Figure 2 (run with --nocapture).
+
+use neve_workloads::apps;
+use neve_workloads::platforms::MicroMatrix;
+
+#[test]
+fn report() {
+    let m = MicroMatrix::measure();
+    println!("\n{}", apps::render(&apps::figure2(&m)));
+}

@@ -1,0 +1,178 @@
+//! The L1 guest hypervisor program (a miniature KVM x86 running nested).
+//!
+//! Entered at `vmcs12.HostRip` whenever L0 reflects a nested exit.
+//! With VMCS shadowing (the paper's configuration) its `vmread`s and
+//! `vmwrite`s on `vmcs12` execute without exits; its per-switch
+//! privileged housekeeping (`invept`, MSR and interrupt-window dance,
+//! modelled by [`X86Instr::VmxPriv`]) and the final `vmresume` are the
+//! remaining exits — the handful (paper Table 7: 5 per hypercall) that
+//! makes x86 nesting tolerable where ARMv8.3's dozens are not.
+
+use crate::isa::{X86Asm, X86Instr, X86Program};
+use crate::machine::{GPR_SLOTS, IRQ_SLOT};
+use crate::vmcs::{exit_reason, VmcsField};
+
+/// Guest hypervisor image base.
+pub const GH_BASE: u64 = 0x1000;
+
+/// Number of `VmxPriv` operations per switch (calibrated to the paper's
+/// per-hypercall exit count of 5: vmcall + 3 privileged ops + vmresume).
+pub const PRIV_OPS_PER_SWITCH: usize = 3;
+
+/// Builds the guest hypervisor's exit handler for `cpu`.
+pub fn build(cpu: usize) -> X86Program {
+    let base = GH_BASE + cpu as u64 * 0x1000;
+    let mut a = X86Asm::new(base);
+    let hypercall = a.label();
+    let mmio = a.label();
+    let apic = a.label();
+    let irq = a.label();
+    let resume = a.label();
+
+    // Exit prologue: read the exit-information fields (shadowed: no
+    // exits) and the software cost of kvm's exit bookkeeping.
+    for (i, f) in VmcsField::exit_read_set().into_iter().enumerate() {
+        a.i(X86Instr::VmRead((i % 6) as u8 + 2, f));
+    }
+    a.i(X86Instr::Work(3200)); // vmx_handle_exit + nested checks
+    a.i(X86Instr::VmRead(0, VmcsField::ExitReason));
+
+    // Dispatch.
+    a.i(X86Instr::MovImm(1, exit_reason::VMCALL));
+    a.i(X86Instr::Mov(5, 0));
+    a.i(X86Instr::Sub(5, 1));
+    let not_hc = a.label();
+    a.jnz(5, not_hc);
+    a.jmp(hypercall);
+    a.bind(not_hc);
+    a.i(X86Instr::MovImm(1, exit_reason::EPT_VIOLATION));
+    a.i(X86Instr::Mov(5, 0));
+    a.i(X86Instr::Sub(5, 1));
+    let not_mmio = a.label();
+    a.jnz(5, not_mmio);
+    a.jmp(mmio);
+    a.bind(not_mmio);
+    a.i(X86Instr::MovImm(1, exit_reason::APIC_WRITE));
+    a.i(X86Instr::Mov(5, 0));
+    a.i(X86Instr::Sub(5, 1));
+    let not_apic = a.label();
+    a.jnz(5, not_apic);
+    a.jmp(apic);
+    a.bind(not_apic);
+    a.jmp(irq);
+
+    // Hypercall: set the return value in the parked L2 rax and skip the
+    // vmcall.
+    a.bind(hypercall);
+    {
+        a.i(X86Instr::Work(1400));
+        a.i(X86Instr::MovImm(3, 0));
+        a.i(X86Instr::Store(3, GPR_SLOTS + cpu as u64 * 0x100));
+        a.i(X86Instr::VmRead(3, VmcsField::GuestRip));
+        a.i(X86Instr::AddImm(3, 1));
+        a.i(X86Instr::VmWrite(VmcsField::GuestRip, 3));
+        a.jmp(resume);
+    }
+
+    // MMIO: emulate the device; the faulting register index travels in
+    // ExitQualification.
+    a.bind(mmio);
+    {
+        a.i(X86Instr::Work(1800)); // instruction decode + device model
+        a.i(X86Instr::MovImm(3, 0xd0d0));
+        // The L2 payload always loads into register 2 by convention.
+        a.i(X86Instr::Store(3, GPR_SLOTS + cpu as u64 * 0x100 + 2 * 8));
+        a.i(X86Instr::VmRead(3, VmcsField::GuestRip));
+        a.i(X86Instr::AddImm(3, 1));
+        a.i(X86Instr::VmWrite(VmcsField::GuestRip, 3));
+        a.jmp(resume);
+    }
+
+    // The nested VM wrote its APIC ICR (sent an IPI): the guest
+    // hypervisor's APIC emulation re-issues it at its own level (the
+    // L2 payload keeps the ICR value in register 0 by convention, so
+    // it sits in parked slot 0).
+    a.bind(apic);
+    {
+        a.i(X86Instr::Work(700));
+        a.i(X86Instr::Load(0, GPR_SLOTS + cpu as u64 * 0x100));
+        a.i(X86Instr::SendIpi(0));
+        a.i(X86Instr::VmRead(3, VmcsField::GuestRip));
+        a.i(X86Instr::AddImm(3, 1));
+        a.i(X86Instr::VmWrite(VmcsField::GuestRip, 3));
+        a.jmp(resume);
+    }
+
+    // External interrupt while L2 ran: if it is our IPI vector, inject
+    // it into the nested VM via the entry-interruption field.
+    a.bind(irq);
+    {
+        a.i(X86Instr::Work(900));
+        a.i(X86Instr::Load(3, IRQ_SLOT + cpu as u64 * 0x100));
+        let no_inject = a.label();
+        let inject = a.label();
+        a.jnz(3, inject);
+        a.jmp(no_inject);
+        a.bind(inject);
+        // Compose the interruption info: valid bit | vector.
+        a.i(X86Instr::Mov(7, 3));
+        a.i(X86Instr::AddImm(7, 1 << 31));
+        a.i(X86Instr::VmWrite(VmcsField::EntryIntrInfo, 7));
+        a.i(X86Instr::MovImm(3, 0));
+        a.i(X86Instr::Store(3, IRQ_SLOT + cpu as u64 * 0x100));
+        a.bind(no_inject);
+        a.jmp(resume);
+    }
+
+    // Re-entry: the per-switch privileged housekeeping, the entry
+    // writes, and vmresume.
+    a.bind(resume);
+    {
+        a.i(X86Instr::Work(2800)); // nested_vmx_run checks
+        for _ in 0..PRIV_OPS_PER_SWITCH {
+            a.i(X86Instr::VmxPriv);
+        }
+        for f in VmcsField::entry_write_set() {
+            if f != VmcsField::GuestRip && f != VmcsField::EntryIntrInfo {
+                a.i(X86Instr::VmRead(3, f));
+                a.i(X86Instr::VmWrite(f, 3));
+            }
+        }
+        a.i(X86Instr::Vmresume);
+        // vmresume does not return on success; a fall-through would be
+        // an entry failure.
+        a.i(X86Instr::Halt(0xfa11));
+    }
+
+    a.assemble()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn image_assembles_with_expected_structure() {
+        let p = build(0);
+        assert!(p.code.len() > 30);
+        let resumes = p
+            .code
+            .iter()
+            .filter(|i| matches!(i, X86Instr::Vmresume))
+            .count();
+        assert_eq!(resumes, 1);
+        let privs = p
+            .code
+            .iter()
+            .filter(|i| matches!(i, X86Instr::VmxPriv))
+            .count();
+        assert_eq!(privs, PRIV_OPS_PER_SWITCH);
+    }
+
+    #[test]
+    fn per_cpu_images_are_disjoint() {
+        let a = build(0);
+        let b = build(1);
+        assert!(a.end() <= b.base);
+    }
+}

@@ -1,0 +1,192 @@
+//! The interpreted x86-flavoured instruction set.
+//!
+//! As on the ARM side, guest software is structured instructions with
+//! architectural *exit* semantics; instructions occupy one address unit.
+
+use crate::vmcs::VmcsField;
+
+/// Number of modelled GPRs (rax..r15).
+pub const NUM_GPRS: usize = 16;
+
+/// One instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum X86Instr {
+    /// `mov r, imm`.
+    MovImm(u8, u64),
+    /// `mov rd, rs`.
+    Mov(u8, u8),
+    /// `add rd, imm`.
+    AddImm(u8, u64),
+    /// `sub rd, imm`.
+    SubImm(u8, u64),
+    /// `sub rd, rs`.
+    Sub(u8, u8),
+    /// Load from flat shared memory (no paging model; EPT is implied).
+    Load(u8, u64),
+    /// Store to flat shared memory.
+    Store(u8, u64),
+    /// Unconditional jump.
+    Jmp(u64),
+    /// Jump if register non-zero.
+    Jnz(u8, u64),
+    /// Modelled straight-line work of `n` cycles.
+    Work(u64),
+    /// `vmcall` — hypercall; always exits to the owning hypervisor.
+    Vmcall,
+    /// MMIO read (EPT violation exit; emulated device).
+    MmioRead(u8),
+    /// Send an IPI by writing the APIC ICR (exits; register holds the
+    /// target CPU in bits `[7:0]` and vector in bits `[15:8]`).
+    SendIpi(u8),
+    /// Complete the in-service interrupt at the virtual APIC — APICv
+    /// completes this without an exit (paper Table 1: 316 cycles).
+    ApicEoi,
+    /// Return from an interrupt handler.
+    Iret,
+    /// `vmread field, rd` — exits without VMCS shadowing.
+    VmRead(u8, VmcsField),
+    /// `vmwrite field, rs` — exits without VMCS shadowing.
+    VmWrite(VmcsField, u8),
+    /// `vmresume` — always exits from non-root mode.
+    Vmresume,
+    /// Another privileged VMX/MSR operation that always exits
+    /// (`invept`, interrupt-window manipulation, ...).
+    VmxPriv,
+    /// Stop the harness.
+    Halt(u16),
+}
+
+/// A program: instructions at `base + i`.
+#[derive(Debug, Clone)]
+pub struct X86Program {
+    /// Load address of the first instruction.
+    pub base: u64,
+    /// The instructions.
+    pub code: std::sync::Arc<[X86Instr]>,
+}
+
+impl X86Program {
+    /// The instruction at `addr`.
+    pub fn fetch(&self, addr: u64) -> Option<X86Instr> {
+        if addr < self.base {
+            return None;
+        }
+        self.code.get((addr - self.base) as usize).copied()
+    }
+
+    /// One past the last instruction.
+    pub fn end(&self) -> u64 {
+        self.base + self.code.len() as u64
+    }
+}
+
+/// Forward-referenceable label.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Label(usize);
+
+/// The assembler.
+#[derive(Debug)]
+pub struct X86Asm {
+    base: u64,
+    code: Vec<X86Instr>,
+    labels: Vec<Option<u64>>,
+    fixups: Vec<(usize, Label)>,
+}
+
+impl X86Asm {
+    /// Starts a program at `base`.
+    pub fn new(base: u64) -> Self {
+        Self {
+            base,
+            code: Vec::new(),
+            labels: Vec::new(),
+            fixups: Vec::new(),
+        }
+    }
+
+    /// Emits one instruction.
+    pub fn i(&mut self, instr: X86Instr) -> &mut Self {
+        self.code.push(instr);
+        self
+    }
+
+    /// Current address.
+    pub fn here(&self) -> u64 {
+        self.base + self.code.len() as u64
+    }
+
+    /// Creates a label.
+    pub fn label(&mut self) -> Label {
+        self.labels.push(None);
+        Label(self.labels.len() - 1)
+    }
+
+    /// Binds a label here.
+    pub fn bind(&mut self, l: Label) {
+        assert!(self.labels[l.0].is_none(), "label bound twice");
+        self.labels[l.0] = Some(self.here());
+    }
+
+    /// `jmp label`.
+    pub fn jmp(&mut self, l: Label) -> &mut Self {
+        self.fixups.push((self.code.len(), l));
+        self.code.push(X86Instr::Jmp(0));
+        self
+    }
+
+    /// `jnz r, label`.
+    pub fn jnz(&mut self, r: u8, l: Label) -> &mut Self {
+        self.fixups.push((self.code.len(), l));
+        self.code.push(X86Instr::Jnz(r, 0));
+        self
+    }
+
+    /// Resolves labels.
+    ///
+    /// # Panics
+    ///
+    /// Panics on unbound labels.
+    pub fn assemble(mut self) -> X86Program {
+        for (idx, l) in std::mem::take(&mut self.fixups) {
+            let addr = self.labels[l.0].expect("unbound label");
+            match &mut self.code[idx] {
+                X86Instr::Jmp(a) | X86Instr::Jnz(_, a) => *a = addr,
+                other => unreachable!("fixup on {other:?}"),
+            }
+        }
+        X86Program {
+            base: self.base,
+            code: self.code.into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assemble_and_fetch() {
+        let mut a = X86Asm::new(100);
+        let top = a.label();
+        a.i(X86Instr::MovImm(0, 5));
+        a.bind(top);
+        a.i(X86Instr::SubImm(0, 1));
+        a.jnz(0, top);
+        a.i(X86Instr::Halt(0));
+        let p = a.assemble();
+        assert_eq!(p.fetch(100), Some(X86Instr::MovImm(0, 5)));
+        assert_eq!(p.fetch(102), Some(X86Instr::Jnz(0, 101)));
+        assert_eq!(p.fetch(99), None);
+        assert_eq!(p.end(), 104);
+    }
+
+    #[test]
+    #[should_panic(expected = "unbound label")]
+    fn unbound_label_panics() {
+        let mut a = X86Asm::new(0);
+        let l = a.label();
+        a.jmp(l);
+        a.assemble();
+    }
+}

@@ -1,0 +1,34 @@
+//! Miniature Intel VT-x model — the x86 comparator of the NEVE paper.
+//!
+//! The paper's comparison (Sections 2 and 5) rests on the structural
+//! differences between ARM VE and Intel VT:
+//!
+//! - VT provides **root vs non-root modes** orthogonal to privilege
+//!   rings, with guest state saved/restored **in hardware** to the
+//!   in-memory **VMCS** on every transition — one expensive transition
+//!   instead of ARM's many cheap register accesses;
+//! - a guest hypervisor manipulates its `vmcs12` with `vmread`/`vmwrite`,
+//!   which **VMCS shadowing** (the paper's x86 hardware has it) serves
+//!   without exits;
+//! - nested virtualization (Turtles / KVM x86) merges `vmcs12` with
+//!   `vmcs01` into the hardware-consumed `vmcs02` on every nested entry,
+//!   and reflects nested exits by copying exit fields back into
+//!   `vmcs12` — software work, but only a handful of *exits*;
+//! - **APICv** completes interrupts in guest mode without exits,
+//!   mirroring the ARM GIC virtual interface.
+//!
+//! The crate mirrors `neve-kvmarm`'s shape: interpreted guest programs
+//! (including the L1 guest hypervisor), a native-Rust L0 KVM, and a test
+//! bed that runs the four microbenchmarks in VM and nested-VM
+//! configurations, with VMCS shadowing switchable for the ablation.
+
+pub mod guesthyp;
+pub mod isa;
+pub mod machine;
+pub mod testbed;
+pub mod vmcs;
+
+pub use isa::{X86Asm, X86Instr};
+pub use machine::{X86Machine, X86MachineConfig};
+pub use testbed::{X86Bench, X86Config, X86TestBed};
+pub use vmcs::{Vmcs, VmcsField};

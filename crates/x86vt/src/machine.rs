@@ -1,0 +1,565 @@
+//! The x86 machine and its built-in L0 KVM.
+//!
+//! Control flow mirrors the ARM side: non-root software is interpreted;
+//! every VM exit synchronously runs the native L0 logic, which either
+//! services the exit (single-level VMs) or performs the Turtles dance
+//! (reflect nested exits into the L1 guest hypervisor, merge `vmcs12`
+//! into `vmcs02` on nested entries).
+
+use crate::isa::{X86Instr, X86Program, NUM_GPRS};
+use crate::vmcs::{exit_reason, Vmcs, VmcsField};
+use neve_cycles::{CostModel, CycleCounter, Event, TrapKind};
+use std::collections::BTreeMap;
+
+/// Which context owns a core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum X86Ctx {
+    /// A single-level VM payload.
+    L1,
+    /// The L1 guest hypervisor (nested configurations).
+    GhL1,
+    /// The nested VM.
+    L2,
+}
+
+/// Construction parameters.
+#[derive(Debug, Clone)]
+pub struct X86MachineConfig {
+    /// Number of cores.
+    pub ncpus: usize,
+    /// VMCS shadowing available (the paper's x86 hardware has it;
+    /// switchable for the ablation of Section 8).
+    pub vmcs_shadowing: bool,
+    /// Nested configuration (guest hypervisor between L0 and payload).
+    pub nested: bool,
+    /// Cost model.
+    pub cost: CostModel,
+}
+
+impl Default for X86MachineConfig {
+    fn default() -> Self {
+        Self {
+            ncpus: 1,
+            vmcs_shadowing: true,
+            nested: false,
+            cost: CostModel::default(),
+        }
+    }
+}
+
+/// Per-core interpreter state.
+#[derive(Debug, Clone)]
+pub struct X86Core {
+    /// General-purpose registers.
+    pub gprs: [u64; NUM_GPRS],
+    /// Instruction pointer.
+    pub rip: u64,
+    /// Interrupts enabled (RFLAGS.IF).
+    pub irq_enabled: bool,
+    /// Injected virtual interrupt awaiting delivery.
+    pub pending_irq: Option<u8>,
+    /// Physical interrupt pending (forces an exit from non-root).
+    pub pending_host_irq: Option<u8>,
+    /// Interrupt handler entry (guest IDT stand-in).
+    pub handler_base: u64,
+    /// Return address for `iret`.
+    iret_rip: u64,
+    /// Halted with code.
+    pub halted: Option<u16>,
+}
+
+impl Default for X86Core {
+    fn default() -> Self {
+        Self {
+            gprs: [0; NUM_GPRS],
+            rip: 0,
+            irq_enabled: false,
+            pending_irq: None,
+            pending_host_irq: None,
+            handler_base: 0,
+            iret_rip: 0,
+            halted: None,
+        }
+    }
+}
+
+/// Step outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum X86Step {
+    /// Instruction retired (possibly via an exit round trip).
+    Executed,
+    /// Halted with code.
+    Halted(u16),
+    /// Fetch failure.
+    FetchFailure(u64),
+}
+
+/// Shared-memory slot where the guest hypervisor's copy of the nested
+/// VM's GPRs lives (per-CPU stride 0x100).
+pub const GPR_SLOTS: u64 = 0x10_0000;
+/// Slot where L0 posts the pending interrupt vector for the guest
+/// hypervisor (per-CPU stride 0x100, offset from GPR_SLOTS area).
+pub const IRQ_SLOT: u64 = 0x11_0000;
+
+/// The machine (cores + flat shared memory + the L0 hypervisor state).
+#[derive(Debug)]
+pub struct X86Machine {
+    /// Configuration.
+    pub cfg: X86MachineConfig,
+    /// Cycle accounting.
+    pub counter: CycleCounter,
+    cores: Vec<X86Core>,
+    programs: Vec<X86Program>,
+    mem: BTreeMap<u64, u64>,
+    /// Context per core.
+    pub ctx: Vec<X86Ctx>,
+    /// The guest hypervisor's VMCS for its nested VM, per core.
+    pub vmcs12: Vec<Vmcs>,
+    /// The hardware-consumed merged VMCS, per core.
+    pub vmcs02: Vec<Vmcs>,
+    /// Saved L1 GPRs while L2 runs (the guest hypervisor's own register
+    /// state, parked by its entry sequence).
+    l1_gprs: Vec<[u64; NUM_GPRS]>,
+    /// Value returned by the emulated device.
+    pub device_value: u64,
+    /// Hypercalls serviced at L0.
+    pub l0_hypercalls: u64,
+    /// IPI vector used by the benchmarks.
+    pub ipi_vector: u8,
+}
+
+impl X86Machine {
+    /// Builds a machine.
+    pub fn new(cfg: X86MachineConfig) -> Self {
+        let n = cfg.ncpus;
+        Self {
+            counter: CycleCounter::new(),
+            cores: vec![X86Core::default(); n],
+            programs: Vec::new(),
+            mem: BTreeMap::new(),
+            ctx: vec![if cfg.nested { X86Ctx::GhL1 } else { X86Ctx::L1 }; n],
+            vmcs12: (0..n).map(|_| Vmcs::new()).collect(),
+            vmcs02: (0..n).map(|_| Vmcs::new()).collect(),
+            l1_gprs: vec![[0; NUM_GPRS]; n],
+            device_value: 0xd0d0,
+            l0_hypercalls: 0,
+            ipi_vector: 0x40,
+            cfg,
+        }
+    }
+
+    /// Loads a program.
+    pub fn load(&mut self, p: X86Program) {
+        self.programs.push(p);
+    }
+
+    /// Core accessor.
+    pub fn core(&self, cpu: usize) -> &X86Core {
+        &self.cores[cpu]
+    }
+
+    /// Mutable core accessor.
+    pub fn core_mut(&mut self, cpu: usize) -> &mut X86Core {
+        &mut self.cores[cpu]
+    }
+
+    /// Reads flat shared memory.
+    pub fn mem_read(&self, a: u64) -> u64 {
+        self.mem.get(&a).copied().unwrap_or(0)
+    }
+
+    /// Writes flat shared memory.
+    pub fn mem_write(&mut self, a: u64, v: u64) {
+        self.mem.insert(a, v);
+    }
+
+    fn charge(&mut self, ev: Event) {
+        let c = self.cfg.cost.x86_cost(ev);
+        self.counter.charge(ev, c);
+    }
+
+    // ------------------------------------------------------------------
+    // VM exit / entry accounting.
+    // ------------------------------------------------------------------
+
+    /// Hardware cost of a VM exit (transition + VMCS guest-state save).
+    fn vmexit_hw(&mut self, kind: TrapKind) {
+        self.charge(Event::TrapEnter);
+        self.charge(Event::VmcsHwSave);
+        self.counter.record_trap(kind);
+    }
+
+    /// Hardware cost of a VM entry.
+    fn vmentry_hw(&mut self) {
+        self.charge(Event::TrapReturn);
+        self.charge(Event::VmcsHwLoad);
+    }
+
+    /// L0 root-mode vmread (no exit).
+    fn root_vmread(&mut self, which: RootVmcs, cpu: usize, f: VmcsField) -> u64 {
+        self.charge(Event::VmRead);
+        match which {
+            RootVmcs::Vmcs12 => self.vmcs12[cpu].read(f),
+            RootVmcs::Vmcs02 => self.vmcs02[cpu].read(f),
+        }
+    }
+
+    /// L0 root-mode vmwrite.
+    fn root_vmwrite(&mut self, which: RootVmcs, cpu: usize, f: VmcsField, v: u64) {
+        self.charge(Event::VmWrite);
+        match which {
+            RootVmcs::Vmcs12 => self.vmcs12[cpu].write(f, v),
+            RootVmcs::Vmcs02 => self.vmcs02[cpu].write(f, v),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // The L0 hypervisor.
+    // ------------------------------------------------------------------
+
+    /// A single-level exit L0 services itself.
+    fn l0_service(&mut self, cpu: usize, reason: u64, operand: u64) {
+        let sw = self.cfg.cost.sw.clone();
+        self.counter.charge_software(sw.kvm_x86_exit_common);
+        match reason {
+            exit_reason::VMCALL => {
+                self.counter.charge_software(sw.kvm_x86_handler_simple);
+                self.l0_hypercalls += 1;
+                self.cores[cpu].gprs[0] = 0;
+            }
+            exit_reason::EPT_VIOLATION => {
+                self.counter.charge_software(sw.kvm_x86_mmio_emul);
+                let reg = operand as usize % NUM_GPRS;
+                self.cores[cpu].gprs[reg] = self.device_value;
+            }
+            exit_reason::APIC_WRITE => {
+                // IPI: operand = target | vector<<8. Post a physical
+                // interrupt at the target; its exit path injects.
+                self.counter.charge_software(sw.kvm_x86_virq_inject);
+                let target = (operand & 0xff) as usize;
+                let vector = ((operand >> 8) & 0xff) as u8;
+                if target < self.cores.len() {
+                    self.cores[target].pending_host_irq = Some(vector);
+                }
+            }
+            exit_reason::EXTERNAL_INTERRUPT => {
+                // Acknowledge and inject into the interrupted VM.
+                self.counter.charge_software(sw.kvm_x86_virq_inject);
+                if let Some(v) = self.cores[cpu].pending_host_irq.take() {
+                    self.cores[cpu].pending_irq = Some(v);
+                }
+            }
+            _ => {
+                self.counter.charge_software(sw.kvm_x86_handler_simple);
+            }
+        }
+        self.counter.charge_software(sw.kvm_x86_enter_common);
+    }
+
+    /// Reflects an L2 exit into the L1 guest hypervisor (Turtles).
+    fn l0_reflect_to_l1(&mut self, cpu: usize, reason: u64, qual: u64) {
+        let sw = self.cfg.cost.sw.clone();
+        self.counter.charge_software(sw.kvm_x86_exit_common);
+        self.counter.charge_software(sw.kvm_x86_exit_reflect);
+        // Latch the exit information into vmcs02, then copy the exit
+        // set into vmcs12 where the guest hypervisor will read it.
+        let rip = self.cores[cpu].rip;
+        self.vmcs02[cpu].write(VmcsField::ExitReason, reason);
+        self.vmcs02[cpu].write(VmcsField::ExitQualification, qual);
+        self.vmcs02[cpu].write(VmcsField::GuestRip, rip);
+        self.vmcs02[cpu].write(VmcsField::ExitInstrLen, 1);
+        for f in VmcsField::reflect_set() {
+            let v = self.root_vmread(RootVmcs::Vmcs02, cpu, f);
+            self.root_vmwrite(RootVmcs::Vmcs12, cpu, f, v);
+        }
+        // Spill the nested VM's GPRs into the guest hypervisor's vcpu
+        // array (its software would do this in its exit path).
+        for (i, g) in self.cores[cpu].gprs.into_iter().enumerate() {
+            self.mem
+                .insert(GPR_SLOTS + cpu as u64 * 0x100 + i as u64 * 8, g);
+            self.charge(Event::MemStore);
+        }
+        // Post any pending interrupt vector where the L1 IRQ path reads
+        // it.
+        if reason == exit_reason::EXTERNAL_INTERRUPT {
+            if let Some(v) = self.cores[cpu].pending_host_irq.take() {
+                self.mem.insert(IRQ_SLOT + cpu as u64 * 0x100, v as u64);
+            }
+        }
+        // Restore the guest hypervisor's registers and send it to its
+        // exit handler.
+        self.cores[cpu].gprs = self.l1_gprs[cpu];
+        let host_rip = self.root_vmread(RootVmcs::Vmcs12, cpu, VmcsField::HostRip);
+        self.cores[cpu].rip = host_rip;
+        self.ctx[cpu] = X86Ctx::GhL1;
+        self.counter.charge_software(sw.kvm_x86_enter_common);
+    }
+
+    /// Emulates the guest hypervisor's `vmresume`: merge and run L2.
+    fn l0_nested_entry(&mut self, cpu: usize) {
+        let sw = self.cfg.cost.sw.clone();
+        self.counter.charge_software(sw.kvm_x86_exit_common);
+        self.counter.charge_software(sw.kvm_x86_vmcs_merge);
+        for f in VmcsField::merge_set() {
+            let v = self.root_vmread(RootVmcs::Vmcs12, cpu, f);
+            self.root_vmwrite(RootVmcs::Vmcs02, cpu, f, v);
+        }
+        // Park the guest hypervisor's registers; load the nested VM's.
+        self.l1_gprs[cpu] = self.cores[cpu].gprs;
+        for i in 0..NUM_GPRS {
+            let v = self.mem_read(GPR_SLOTS + cpu as u64 * 0x100 + i as u64 * 8);
+            self.charge(Event::MemLoad);
+            self.cores[cpu].gprs[i] = v;
+        }
+        // Event injection from the merged VMCS.
+        let intr = self.vmcs02[cpu].read(VmcsField::EntryIntrInfo);
+        if intr & (1 << 31) != 0 {
+            self.cores[cpu].pending_irq = Some((intr & 0xff) as u8);
+            self.vmcs02[cpu].write(VmcsField::EntryIntrInfo, 0);
+            self.vmcs12[cpu].write(VmcsField::EntryIntrInfo, 0);
+        }
+        self.cores[cpu].rip = self.vmcs02[cpu].read(VmcsField::GuestRip);
+        self.ctx[cpu] = X86Ctx::L2;
+        self.counter.charge_software(sw.kvm_x86_enter_common);
+    }
+
+    /// Full exit dispatch from non-root mode.
+    fn vmexit(&mut self, cpu: usize, kind: TrapKind, reason: u64, qual: u64) {
+        self.vmexit_hw(kind);
+        match self.ctx[cpu] {
+            X86Ctx::L1 => {
+                self.l0_service(cpu, reason, qual);
+            }
+            X86Ctx::GhL1 => {
+                // Exits of the guest hypervisor itself: vmresume starts
+                // a nested entry; privileged VMX ops and unshadowed
+                // vmread/vmwrite are emulated in place.
+                match reason {
+                    exit_reason::VMRESUME => {
+                        self.l0_nested_entry(cpu);
+                    }
+                    exit_reason::VMREAD => {
+                        // Unshadowed access: L0 performs it on vmcs12.
+                        let sw_cost = self.cfg.cost.sw.kvm_x86_handler_simple;
+                        self.counter.charge_software(sw_cost);
+                        // The access itself was already performed by the
+                        // interpreter against vmcs12 (qual unused).
+                        let _ = qual;
+                    }
+                    exit_reason::APIC_WRITE => {
+                        self.l0_service(cpu, reason, qual);
+                    }
+                    exit_reason::VMX_OTHER => {
+                        let sw_cost = self.cfg.cost.sw.kvm_x86_vmx_op_emul;
+                        self.counter.charge_software(sw_cost);
+                    }
+                    _ => {
+                        let sw_cost = self.cfg.cost.sw.kvm_x86_handler_simple;
+                        self.counter.charge_software(sw_cost);
+                    }
+                }
+            }
+            X86Ctx::L2 => {
+                // Everything from the nested VM reflects to L1 except
+                // L0-owned physical interrupts, which also reflect here
+                // because they belong to the L1 VM in these workloads.
+                self.l0_reflect_to_l1(cpu, reason, qual);
+            }
+        }
+        self.vmentry_hw();
+    }
+
+    // ------------------------------------------------------------------
+    // The interpreter.
+    // ------------------------------------------------------------------
+
+    fn fetch(&self, rip: u64) -> Option<X86Instr> {
+        self.programs.iter().find_map(|p| p.fetch(rip))
+    }
+
+    /// Executes one instruction on `cpu`.
+    pub fn step(&mut self, cpu: usize) -> X86Step {
+        if let Some(code) = self.cores[cpu].halted {
+            return X86Step::Halted(code);
+        }
+
+        // Physical interrupts force an exit from non-root mode.
+        if self.cores[cpu].pending_host_irq.is_some() {
+            let qual = 0;
+            self.vmexit(cpu, TrapKind::ExtInt, exit_reason::EXTERNAL_INTERRUPT, qual);
+            return X86Step::Executed;
+        }
+        // Injected virtual interrupts deliver without an exit (APICv).
+        if self.cores[cpu].irq_enabled {
+            if let Some(_v) = self.cores[cpu].pending_irq.take() {
+                self.charge(Event::DirectIrqOp);
+                let rip = self.cores[cpu].rip;
+                self.cores[cpu].iret_rip = rip;
+                self.cores[cpu].rip = self.cores[cpu].handler_base;
+                self.cores[cpu].irq_enabled = false;
+                return X86Step::Executed;
+            }
+        }
+
+        let rip = self.cores[cpu].rip;
+        let Some(instr) = self.fetch(rip) else {
+            return X86Step::FetchFailure(rip);
+        };
+        let mut next = rip + 1;
+        let instr_c = self.cfg.cost.x86_cost(Event::Instr);
+
+        match instr {
+            X86Instr::MovImm(r, v) => {
+                self.counter.charge(Event::Instr, instr_c);
+                self.cores[cpu].gprs[r as usize % NUM_GPRS] = v;
+            }
+            X86Instr::Mov(rd, rs) => {
+                self.counter.charge(Event::Instr, instr_c);
+                self.cores[cpu].gprs[rd as usize % NUM_GPRS] =
+                    self.cores[cpu].gprs[rs as usize % NUM_GPRS];
+            }
+            X86Instr::AddImm(r, v) => {
+                self.counter.charge(Event::Instr, instr_c);
+                let r = r as usize % NUM_GPRS;
+                self.cores[cpu].gprs[r] = self.cores[cpu].gprs[r].wrapping_add(v);
+            }
+            X86Instr::SubImm(r, v) => {
+                self.counter.charge(Event::Instr, instr_c);
+                let r = r as usize % NUM_GPRS;
+                self.cores[cpu].gprs[r] = self.cores[cpu].gprs[r].wrapping_sub(v);
+            }
+            X86Instr::Sub(rd, rs) => {
+                self.counter.charge(Event::Instr, instr_c);
+                let v = self.cores[cpu].gprs[rs as usize % NUM_GPRS];
+                let rd = rd as usize % NUM_GPRS;
+                self.cores[cpu].gprs[rd] = self.cores[cpu].gprs[rd].wrapping_sub(v);
+            }
+            X86Instr::Load(r, a) => {
+                self.charge(Event::MemLoad);
+                self.cores[cpu].gprs[r as usize % NUM_GPRS] = self.mem_read(a);
+            }
+            X86Instr::Store(r, a) => {
+                self.charge(Event::MemStore);
+                let v = self.cores[cpu].gprs[r as usize % NUM_GPRS];
+                self.mem_write(a, v);
+            }
+            X86Instr::Jmp(a) => {
+                self.counter.charge(Event::Instr, instr_c);
+                next = a;
+            }
+            X86Instr::Jnz(r, a) => {
+                self.counter.charge(Event::Instr, instr_c);
+                if self.cores[cpu].gprs[r as usize % NUM_GPRS] != 0 {
+                    next = a;
+                }
+            }
+            X86Instr::Work(n) => {
+                self.counter.charge(Event::Instr, instr_c * n.max(1));
+            }
+            X86Instr::Halt(code) => {
+                self.cores[cpu].halted = Some(code);
+                return X86Step::Halted(code);
+            }
+            X86Instr::Vmcall => {
+                // The exit's preferred return is past the instruction
+                // for hypercalls; L1 advances via ExitInstrLen when
+                // reflecting, L0 advances directly when servicing.
+                self.cores[cpu].rip = rip;
+                if self.ctx[cpu] != X86Ctx::L2 {
+                    self.cores[cpu].rip = next;
+                    self.vmexit(cpu, TrapKind::VmCall, exit_reason::VMCALL, 0);
+                } else {
+                    self.vmexit(cpu, TrapKind::VmCall, exit_reason::VMCALL, 0);
+                }
+                return X86Step::Executed;
+            }
+            X86Instr::MmioRead(r) => {
+                self.cores[cpu].rip = if self.ctx[cpu] == X86Ctx::L2 {
+                    rip
+                } else {
+                    next
+                };
+                self.vmexit(
+                    cpu,
+                    TrapKind::IoAccess,
+                    exit_reason::EPT_VIOLATION,
+                    r as u64,
+                );
+                return X86Step::Executed;
+            }
+            X86Instr::SendIpi(r) => {
+                let v = self.cores[cpu].gprs[r as usize % NUM_GPRS];
+                self.cores[cpu].rip = if self.ctx[cpu] == X86Ctx::L2 {
+                    rip
+                } else {
+                    next
+                };
+                self.vmexit(cpu, TrapKind::ApicAccess, exit_reason::APIC_WRITE, v);
+                return X86Step::Executed;
+            }
+            X86Instr::ApicEoi => {
+                // APICv virtual EOI: no exit (paper Table 1: 316 cycles).
+                self.charge(Event::DirectIrqOp);
+            }
+            X86Instr::Iret => {
+                self.counter.charge(Event::Instr, instr_c);
+                next = self.cores[cpu].iret_rip;
+                self.cores[cpu].irq_enabled = true;
+            }
+            X86Instr::VmRead(r, f) => {
+                if self.cfg.vmcs_shadowing {
+                    self.charge(Event::VmRead);
+                    self.cores[cpu].gprs[r as usize % NUM_GPRS] = self.vmcs12[cpu].read(f);
+                } else {
+                    self.cores[cpu].gprs[r as usize % NUM_GPRS] = self.vmcs12[cpu].read(f);
+                    self.cores[cpu].rip = next;
+                    self.vmexit(cpu, TrapKind::VmcsAccess, exit_reason::VMREAD, 0);
+                    return X86Step::Executed;
+                }
+            }
+            X86Instr::VmWrite(f, r) => {
+                let v = self.cores[cpu].gprs[r as usize % NUM_GPRS];
+                if self.cfg.vmcs_shadowing {
+                    self.charge(Event::VmWrite);
+                    self.vmcs12[cpu].write(f, v);
+                } else {
+                    self.vmcs12[cpu].write(f, v);
+                    self.cores[cpu].rip = next;
+                    self.vmexit(cpu, TrapKind::VmcsAccess, exit_reason::VMREAD, 0);
+                    return X86Step::Executed;
+                }
+            }
+            X86Instr::Vmresume => {
+                self.cores[cpu].rip = next;
+                self.vmexit(cpu, TrapKind::VmEntryInstr, exit_reason::VMRESUME, 0);
+                return X86Step::Executed;
+            }
+            X86Instr::VmxPriv => {
+                self.cores[cpu].rip = next;
+                self.vmexit(cpu, TrapKind::VmxOther, exit_reason::VMX_OTHER, 0);
+                return X86Step::Executed;
+            }
+        }
+        self.cores[cpu].rip = next;
+        X86Step::Executed
+    }
+
+    /// Runs one core until halt or `max` instructions.
+    pub fn run(&mut self, cpu: usize, max: u64) -> X86Step {
+        let mut last = X86Step::Executed;
+        for _ in 0..max {
+            last = self.step(cpu);
+            if last != X86Step::Executed {
+                break;
+            }
+        }
+        last
+    }
+}
+
+/// Which root-mode VMCS an L0 access targets.
+#[derive(Debug, Clone, Copy)]
+enum RootVmcs {
+    Vmcs12,
+    Vmcs02,
+}

@@ -1,0 +1,278 @@
+//! x86 test bed: VM and nested-VM microbenchmark configurations.
+
+use crate::guesthyp;
+use crate::isa::{X86Asm, X86Instr, X86Program};
+use crate::machine::{X86Ctx, X86Machine, X86MachineConfig, X86Step, GPR_SLOTS};
+use crate::vmcs::VmcsField;
+use neve_cycles::counter::PerOp;
+
+/// Payload image base (single-level VM or nested VM).
+pub const PAYLOAD_BASE: u64 = 0x10_000;
+/// Shared flag address for the IPI pair.
+pub const IPI_FLAG: u64 = 0x20_0000;
+/// Payload halt code.
+pub const DONE: u16 = 0xd07e;
+
+/// x86 configuration (the Table 1/6 x86 columns).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum X86Config {
+    /// Single-level VM on KVM x86.
+    Vm,
+    /// Nested VM on KVM-on-KVM (Turtles), with or without VMCS
+    /// shadowing (the Section 8 ablation; the paper's numbers have it
+    /// on).
+    Nested {
+        /// VMCS shadowing enabled.
+        shadowing: bool,
+    },
+}
+
+/// Microbenchmark (same four as the ARM side).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum X86Bench {
+    /// `vmcall` round trip.
+    Hypercall,
+    /// Emulated-device read.
+    DeviceIo,
+    /// Cross-vCPU IPI.
+    VirtualIpi,
+    /// APICv virtual EOI (no exit).
+    VirtualEoi,
+}
+
+impl X86Bench {
+    fn ncpus(self) -> usize {
+        match self {
+            X86Bench::VirtualIpi => 2,
+            _ => 1,
+        }
+    }
+}
+
+/// Warm-up iterations excluded from measurement.
+const WARMUP: u64 = 8;
+
+/// The assembled x86 stack.
+pub struct X86TestBed {
+    /// The machine (the L0 hypervisor is built in).
+    pub m: X86Machine,
+    bench: X86Bench,
+}
+
+fn payload(bench: X86Bench, base: u64, iters: u64, cpu: usize) -> X86Program {
+    let mut a = X86Asm::new(base);
+    match (bench, cpu) {
+        (X86Bench::Hypercall, _) => {
+            a.i(X86Instr::MovImm(10, iters));
+            let top = a.label();
+            a.bind(top);
+            a.i(X86Instr::Vmcall);
+            a.i(X86Instr::SubImm(10, 1));
+            a.jnz(10, top);
+            a.i(X86Instr::Halt(DONE));
+        }
+        (X86Bench::DeviceIo, _) => {
+            a.i(X86Instr::MovImm(10, iters));
+            let top = a.label();
+            a.bind(top);
+            a.i(X86Instr::MmioRead(2));
+            a.i(X86Instr::SubImm(10, 1));
+            a.jnz(10, top);
+            a.i(X86Instr::Halt(DONE));
+        }
+        (X86Bench::VirtualIpi, 0) => {
+            // Sender: IPI to CPU 1, spin on the shared counter.
+            a.i(X86Instr::MovImm(10, iters));
+            a.i(X86Instr::MovImm(11, 0));
+            let top = a.label();
+            let wait = a.label();
+            a.bind(top);
+            a.i(X86Instr::AddImm(11, 1));
+            a.i(X86Instr::MovImm(0, 1 | (0x40 << 8)));
+            a.i(X86Instr::SendIpi(0));
+            a.bind(wait);
+            a.i(X86Instr::Load(2, IPI_FLAG));
+            a.i(X86Instr::Sub(2, 11));
+            a.jnz(2, wait);
+            a.i(X86Instr::SubImm(10, 1));
+            a.jnz(10, top);
+            a.i(X86Instr::Halt(DONE));
+        }
+        (X86Bench::VirtualIpi, _) => {
+            // Receiver body: spin; the handler lives at base + 0x100.
+            let spin = a.label();
+            a.bind(spin);
+            a.i(X86Instr::Jmp(base));
+        }
+        (X86Bench::VirtualEoi, _) => {
+            a.i(X86Instr::MovImm(10, iters));
+            let top = a.label();
+            a.bind(top);
+            a.i(X86Instr::ApicEoi);
+            a.i(X86Instr::SubImm(10, 1));
+            a.jnz(10, top);
+            a.i(X86Instr::Halt(DONE));
+        }
+    }
+    a.assemble()
+}
+
+/// The IPI receiver's interrupt handler.
+fn ipi_handler(base: u64) -> X86Program {
+    let mut a = X86Asm::new(base);
+    a.i(X86Instr::Load(4, IPI_FLAG));
+    a.i(X86Instr::AddImm(4, 1));
+    a.i(X86Instr::Store(4, IPI_FLAG));
+    a.i(X86Instr::ApicEoi);
+    a.i(X86Instr::Iret);
+    a.assemble()
+}
+
+impl X86TestBed {
+    /// Builds the stack for `cfg` running `bench`.
+    pub fn new(cfg: X86Config, bench: X86Bench, iters: u64) -> Self {
+        let ncpus = bench.ncpus();
+        let (nested, shadowing) = match cfg {
+            X86Config::Vm => (false, true),
+            X86Config::Nested { shadowing } => (true, shadowing),
+        };
+        let mut m = X86Machine::new(X86MachineConfig {
+            ncpus,
+            vmcs_shadowing: shadowing,
+            nested,
+            cost: Default::default(),
+        });
+        let total = iters + WARMUP;
+        for cpu in 0..ncpus {
+            let base = PAYLOAD_BASE + cpu as u64 * 0x1000;
+            m.load(payload(bench, base, total, cpu));
+            if bench == X86Bench::VirtualIpi && cpu == 1 {
+                m.load(ipi_handler(base + 0x100));
+                m.core_mut(cpu).handler_base = base + 0x100;
+                m.core_mut(cpu).irq_enabled = true;
+            }
+            if nested {
+                let gh = guesthyp::build(cpu);
+                let gh_entry = gh.base;
+                m.load(gh);
+                // The guest hypervisor "booted": its vmcs12 knows its
+                // exit-handler entry and the nested VM's state; the
+                // parked L2 GPRs start zeroed.
+                m.vmcs12[cpu].write(VmcsField::HostRip, gh_entry);
+                m.vmcs12[cpu].write(VmcsField::GuestRip, base);
+                m.vmcs12[cpu].write(VmcsField::ProcCtls, 1);
+                for i in 0..crate::isa::NUM_GPRS {
+                    m.mem_write(GPR_SLOTS + cpu as u64 * 0x100 + i as u64 * 8, 0);
+                }
+                // Start inside the guest hypervisor's resume path by
+                // entering L2 through a real nested entry: point the
+                // guest hypervisor at its handler with a synthetic
+                // hypercall exit... simpler: start in L2 directly with
+                // vmcs02 merged once.
+                m.vmcs02[cpu].write(VmcsField::GuestRip, base);
+                m.ctx[cpu] = X86Ctx::L2;
+                m.core_mut(cpu).rip = base;
+                if bench == X86Bench::VirtualIpi && cpu == 1 {
+                    m.core_mut(cpu).irq_enabled = true;
+                }
+            } else {
+                m.ctx[cpu] = X86Ctx::L1;
+                m.core_mut(cpu).rip = base;
+            }
+        }
+        Self { m, bench }
+    }
+
+    /// Runs to completion, measuring after warm-up. Returns
+    /// per-operation averages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a payload crashes or stalls.
+    pub fn run(&mut self, iters: u64) -> PerOp {
+        if self.bench == X86Bench::VirtualEoi {
+            return self.run_eoi(iters);
+        }
+        let multi = self.bench == X86Bench::VirtualIpi;
+        let mut snap = None;
+        let mut steps = 0u64;
+        loop {
+            let out = self.m.step(0);
+            if multi {
+                for _ in 0..4 {
+                    let r = self.m.step(1);
+                    assert!(matches!(r, X86Step::Executed), "receiver stopped: {r:?}");
+                }
+            }
+            steps += 1;
+            assert!(steps < 50_000_000, "x86 benchmark stalled");
+            match out {
+                X86Step::Executed => {}
+                X86Step::Halted(c) => {
+                    assert_eq!(c, DONE, "payload crashed: {c:#x}");
+                    break;
+                }
+                X86Step::FetchFailure(rip) => panic!("fetch failure at {rip:#x}"),
+            }
+            if snap.is_none() && self.payload_counter() == iters {
+                snap = Some(self.m.counter.snapshot());
+            }
+        }
+        let snap = snap.expect("warm-up longer than run");
+        self.m.counter.delta_since(&snap).per_op(iters)
+    }
+
+    /// The payload's iteration counter (register 10), live or parked.
+    fn payload_counter(&self) -> u64 {
+        match self.m.ctx[0] {
+            X86Ctx::GhL1 => self.m.mem_read(GPR_SLOTS + 10 * 8),
+            _ => self.m.core(0).gprs[10],
+        }
+    }
+
+    /// EOI: measure only the `ApicEoi` instruction.
+    fn run_eoi(&mut self, _iters: u64) -> PerOp {
+        let mut measured = neve_cycles::counter::Delta::default();
+        let mut done = 0u64;
+        let mut steps = 0u64;
+        loop {
+            let rip = self.m.core(0).rip;
+            let at_eoi = matches!(self.peek(rip), Some(X86Instr::ApicEoi));
+            let snapped = at_eoi.then(|| self.m.counter.snapshot());
+            let out = self.m.step(0);
+            steps += 1;
+            assert!(steps < 50_000_000, "x86 EOI stalled");
+            if let Some(s) = snapped {
+                let d = self.m.counter.delta_since(&s);
+                done += 1;
+                if done > WARMUP {
+                    measured.cycles += d.cycles;
+                    measured.traps += d.traps;
+                }
+            }
+            match out {
+                X86Step::Executed => {}
+                X86Step::Halted(c) => {
+                    assert_eq!(c, DONE);
+                    break;
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        measured.per_op(done - WARMUP)
+    }
+
+    fn peek(&self, _rip: u64) -> Option<X86Instr> {
+        // The EOI payload's shape: [MovImm, (ApicEoi, SubImm, Jnz)*].
+        let base = PAYLOAD_BASE;
+        if _rip <= base {
+            return None;
+        }
+        let idx = _rip - base;
+        if (idx - 1) % 3 == 0 {
+            Some(X86Instr::ApicEoi)
+        } else {
+            None
+        }
+    }
+}

@@ -1,0 +1,229 @@
+//! The Virtual Machine Control Structure.
+
+use std::collections::BTreeMap;
+
+/// VMCS fields the simulator models (a representative subset of the
+/// several hundred architectural fields; enough for the world-switch
+/// sequences the paper's workloads exercise).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum VmcsField {
+    /// Guest instruction pointer.
+    GuestRip,
+    /// Guest stack pointer.
+    GuestRsp,
+    /// Guest flags.
+    GuestRflags,
+    /// Guest CR3 (address space root).
+    GuestCr3,
+    /// Guest CR0.
+    GuestCr0,
+    /// Guest CR4.
+    GuestCr4,
+    /// Guest GDTR base.
+    GuestGdtrBase,
+    /// Guest IDTR base.
+    GuestIdtrBase,
+    /// Guest CS selector/base blob.
+    GuestCs,
+    /// Guest SS blob.
+    GuestSs,
+    /// Guest TR blob.
+    GuestTr,
+    /// Guest IA32_EFER.
+    GuestEfer,
+    /// Host instruction pointer (where exits land).
+    HostRip,
+    /// Host CR3.
+    HostCr3,
+    /// Pin-based execution controls.
+    PinCtls,
+    /// Processor-based execution controls.
+    ProcCtls,
+    /// Secondary processor-based controls.
+    ProcCtls2,
+    /// VM-entry controls.
+    EntryCtls,
+    /// VM-exit controls.
+    ExitCtls,
+    /// Exception bitmap.
+    ExceptionBitmap,
+    /// EPT pointer.
+    EptPointer,
+    /// Exit reason (read-only for the guest hypervisor).
+    ExitReason,
+    /// Exit qualification.
+    ExitQualification,
+    /// Guest physical address of an EPT violation.
+    GuestPhysAddr,
+    /// VM-entry interruption info (event injection).
+    EntryIntrInfo,
+    /// VM-exit interruption info.
+    ExitIntrInfo,
+    /// Instruction length of the exiting instruction.
+    ExitInstrLen,
+}
+
+impl VmcsField {
+    /// Fields a hypervisor reads on every exit (KVM x86's
+    /// `vmx_vcpu_run` tail + `vmx_handle_exit` prologue).
+    pub fn exit_read_set() -> Vec<VmcsField> {
+        use VmcsField::*;
+        vec![
+            ExitReason,
+            ExitQualification,
+            GuestRip,
+            GuestRsp,
+            GuestRflags,
+            ExitIntrInfo,
+            ExitInstrLen,
+            GuestPhysAddr,
+        ]
+    }
+
+    /// Fields a hypervisor writes on every entry.
+    pub fn entry_write_set() -> Vec<VmcsField> {
+        use VmcsField::*;
+        vec![GuestRip, GuestRflags, EntryIntrInfo, ProcCtls]
+    }
+
+    /// The guest-state fields hardware saves/restores on transitions
+    /// (what makes an x86 exit monolithic and expensive, paper
+    /// Section 2).
+    pub fn hw_guest_state() -> Vec<VmcsField> {
+        use VmcsField::*;
+        vec![
+            GuestRip,
+            GuestRsp,
+            GuestRflags,
+            GuestCr0,
+            GuestCr3,
+            GuestCr4,
+            GuestGdtrBase,
+            GuestIdtrBase,
+            GuestCs,
+            GuestSs,
+            GuestTr,
+            GuestEfer,
+        ]
+    }
+
+    /// Fields copied from `vmcs12` into `vmcs02` on a nested entry
+    /// (the Turtles merge).
+    pub fn merge_set() -> Vec<VmcsField> {
+        let mut v = Self::hw_guest_state();
+        v.extend([
+            VmcsField::PinCtls,
+            VmcsField::ProcCtls,
+            VmcsField::ProcCtls2,
+            VmcsField::EntryCtls,
+            VmcsField::ExitCtls,
+            VmcsField::ExceptionBitmap,
+            VmcsField::EptPointer,
+            VmcsField::EntryIntrInfo,
+        ]);
+        v
+    }
+
+    /// Fields copied back from `vmcs02` into `vmcs12` when reflecting a
+    /// nested exit.
+    pub fn reflect_set() -> Vec<VmcsField> {
+        let mut v = Self::hw_guest_state();
+        v.extend([
+            VmcsField::ExitReason,
+            VmcsField::ExitQualification,
+            VmcsField::ExitIntrInfo,
+            VmcsField::ExitInstrLen,
+            VmcsField::GuestPhysAddr,
+        ]);
+        v
+    }
+}
+
+/// Exit reasons (architectural numbering where it matters).
+pub mod exit_reason {
+    /// `vmcall`.
+    pub const VMCALL: u64 = 18;
+    /// External interrupt.
+    pub const EXTERNAL_INTERRUPT: u64 = 1;
+    /// EPT violation (MMIO emulation path).
+    pub const EPT_VIOLATION: u64 = 48;
+    /// `vmread`/`vmwrite` without shadowing.
+    pub const VMREAD: u64 = 23;
+    /// `vmresume`.
+    pub const VMRESUME: u64 = 24;
+    /// Other privileged VMX operation (`invept`, MSR access, ...).
+    pub const VMX_OTHER: u64 = 31;
+    /// APIC write (unvirtualized ICR access: IPI sending).
+    pub const APIC_WRITE: u64 = 56;
+}
+
+/// One VMCS instance.
+#[derive(Debug, Clone, Default)]
+pub struct Vmcs {
+    fields: BTreeMap<VmcsField, u64>,
+}
+
+impl Vmcs {
+    /// Creates a zeroed VMCS.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Reads a field (unwritten fields read 0).
+    pub fn read(&self, f: VmcsField) -> u64 {
+        self.fields.get(&f).copied().unwrap_or(0)
+    }
+
+    /// Writes a field.
+    pub fn write(&mut self, f: VmcsField, v: u64) {
+        self.fields.insert(f, v);
+    }
+
+    /// Copies `set` from `src` into `self`, returning how many fields
+    /// moved (for cost accounting).
+    pub fn copy_from(&mut self, src: &Vmcs, set: &[VmcsField]) -> usize {
+        for f in set {
+            self.write(*f, src.read(*f));
+        }
+        set.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unwritten_fields_read_zero() {
+        let v = Vmcs::new();
+        assert_eq!(v.read(VmcsField::GuestRip), 0);
+    }
+
+    #[test]
+    fn write_read_round_trip() {
+        let mut v = Vmcs::new();
+        v.write(VmcsField::GuestRip, 0x1234);
+        assert_eq!(v.read(VmcsField::GuestRip), 0x1234);
+    }
+
+    #[test]
+    fn merge_copies_selected_fields_only() {
+        let mut a = Vmcs::new();
+        let mut b = Vmcs::new();
+        a.write(VmcsField::GuestRip, 7);
+        a.write(VmcsField::ExitReason, 99);
+        let n = b.copy_from(&a, &VmcsField::merge_set());
+        assert_eq!(n, VmcsField::merge_set().len());
+        assert_eq!(b.read(VmcsField::GuestRip), 7);
+        // ExitReason is not in the merge set.
+        assert_eq!(b.read(VmcsField::ExitReason), 0);
+    }
+
+    #[test]
+    fn field_sets_are_nonempty_and_distinct() {
+        assert!(VmcsField::hw_guest_state().len() >= 10);
+        assert!(VmcsField::merge_set().len() > VmcsField::hw_guest_state().len());
+        assert!(VmcsField::reflect_set().contains(&VmcsField::ExitReason));
+        assert!(!VmcsField::merge_set().contains(&VmcsField::ExitReason));
+    }
+}

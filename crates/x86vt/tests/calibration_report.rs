@@ -1,0 +1,24 @@
+use neve_x86vt::testbed::{X86Bench, X86Config, X86TestBed};
+fn run(cfg: X86Config, bench: X86Bench, iters: u64) -> neve_cycles::counter::PerOp {
+    let mut tb = X86TestBed::new(cfg, bench, iters);
+    tb.run(iters)
+}
+#[test]
+fn report() {
+    println!("\npaper: HC VM=1188 nested=36345(5t); IO 2307/39108; IPI 2751/45360(9t); EOI 316");
+    for b in [
+        X86Bench::Hypercall,
+        X86Bench::DeviceIo,
+        X86Bench::VirtualIpi,
+        X86Bench::VirtualEoi,
+    ] {
+        let it = if b == X86Bench::VirtualIpi { 12 } else { 40 };
+        let vm = run(X86Config::Vm, b, it);
+        let n = run(X86Config::Nested { shadowing: true }, b, it);
+        let noshadow = run(X86Config::Nested { shadowing: false }, b, it);
+        println!(
+            "{b:?}: VM={} ({:.1}t) nested={} ({:.1}t) no-shadow={} ({:.1}t)",
+            vm.cycles, vm.traps, n.cycles, n.traps, noshadow.cycles, noshadow.traps
+        );
+    }
+}

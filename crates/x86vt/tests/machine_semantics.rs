@@ -1,0 +1,192 @@
+//! Semantic tests for the x86 machine: exit routing, Turtles
+//! reflection/merge, interrupt injection.
+
+use neve_cycles::TrapKind;
+use neve_x86vt::isa::{X86Asm, X86Instr};
+use neve_x86vt::machine::{X86Ctx, X86Machine, X86MachineConfig, X86Step, GPR_SLOTS};
+use neve_x86vt::vmcs::VmcsField;
+
+fn machine(nested: bool, shadowing: bool) -> X86Machine {
+    X86Machine::new(X86MachineConfig {
+        ncpus: 1,
+        vmcs_shadowing: shadowing,
+        nested,
+        cost: Default::default(),
+    })
+}
+
+#[test]
+fn l1_vmcall_is_serviced_by_l0() {
+    let mut m = machine(false, true);
+    let mut a = X86Asm::new(100);
+    a.i(X86Instr::MovImm(0, 77));
+    a.i(X86Instr::Vmcall);
+    a.i(X86Instr::Halt(1));
+    m.load(a.assemble());
+    m.core_mut(0).rip = 100;
+    assert_eq!(m.run(0, 10), X86Step::Halted(1));
+    assert_eq!(m.l0_hypercalls, 1);
+    assert_eq!(m.core(0).gprs[0], 0, "hypercall return value");
+    assert_eq!(m.counter.traps_of(TrapKind::VmCall), 1);
+}
+
+#[test]
+fn mmio_read_returns_device_value() {
+    let mut m = machine(false, true);
+    let mut a = X86Asm::new(100);
+    a.i(X86Instr::MmioRead(2));
+    a.i(X86Instr::Halt(1));
+    m.load(a.assemble());
+    m.core_mut(0).rip = 100;
+    m.device_value = 0xabcd;
+    assert_eq!(m.run(0, 10), X86Step::Halted(1));
+    assert_eq!(m.core(0).gprs[2], 0xabcd);
+}
+
+#[test]
+fn l2_exit_reflects_into_the_guest_hypervisor() {
+    let mut m = machine(true, true);
+    // L2 program: a single vmcall.
+    let mut a = X86Asm::new(100);
+    a.i(X86Instr::Vmcall);
+    a.i(X86Instr::Halt(2));
+    m.load(a.assemble());
+    // Guest hypervisor "handler": just halt so we can observe arrival.
+    let mut g = X86Asm::new(500);
+    g.i(X86Instr::Halt(9));
+    m.load(g.assemble());
+    m.vmcs12[0].write(VmcsField::HostRip, 500);
+    m.ctx[0] = X86Ctx::L2;
+    m.core_mut(0).rip = 100;
+    m.core_mut(0).gprs[5] = 1234; // L2 register content
+    assert_eq!(m.run(0, 10), X86Step::Halted(9));
+    assert_eq!(m.ctx[0], X86Ctx::GhL1, "reflected into L1");
+    // Exit information was copied into vmcs12.
+    assert_eq!(
+        m.vmcs12[0].read(VmcsField::ExitReason),
+        neve_x86vt::vmcs::exit_reason::VMCALL
+    );
+    assert_eq!(m.vmcs12[0].read(VmcsField::GuestRip), 100);
+    // L2's registers were spilled to the guest hypervisor's vcpu array.
+    assert_eq!(m.mem_read(GPR_SLOTS + 5 * 8), 1234);
+}
+
+#[test]
+fn vmresume_merges_and_enters_l2() {
+    let mut m = machine(true, true);
+    // Guest hypervisor: set up vmcs12 and vmresume.
+    let mut g = X86Asm::new(500);
+    g.i(X86Instr::MovImm(3, 100));
+    g.i(X86Instr::VmWrite(VmcsField::GuestRip, 3));
+    g.i(X86Instr::Vmresume);
+    m.load(g.assemble());
+    // L2 target.
+    let mut a = X86Asm::new(100);
+    a.i(X86Instr::Halt(3));
+    m.load(a.assemble());
+    m.ctx[0] = X86Ctx::GhL1;
+    m.core_mut(0).rip = 500;
+    assert_eq!(m.run(0, 10), X86Step::Halted(3));
+    assert_eq!(m.ctx[0], X86Ctx::L2);
+    assert_eq!(m.counter.traps_of(TrapKind::VmEntryInstr), 1);
+}
+
+#[test]
+fn unshadowed_vmread_exits_shadowed_does_not() {
+    for (shadowing, expect_exits) in [(true, 0u64), (false, 1)] {
+        let mut m = machine(true, shadowing);
+        let mut g = X86Asm::new(500);
+        g.i(X86Instr::VmRead(3, VmcsField::GuestRip));
+        g.i(X86Instr::Halt(4));
+        m.load(g.assemble());
+        m.ctx[0] = X86Ctx::GhL1;
+        m.core_mut(0).rip = 500;
+        m.vmcs12[0].write(VmcsField::GuestRip, 0x77);
+        assert_eq!(m.run(0, 10), X86Step::Halted(4));
+        assert_eq!(m.core(0).gprs[3], 0x77, "value correct either way");
+        assert_eq!(
+            m.counter.traps_of(TrapKind::VmcsAccess),
+            expect_exits,
+            "shadowing={shadowing}"
+        );
+    }
+}
+
+#[test]
+fn injected_interrupt_delivers_without_exit() {
+    let mut m = machine(false, true);
+    let mut a = X86Asm::new(100);
+    a.i(X86Instr::MovImm(7, 1));
+    a.i(X86Instr::Halt(5));
+    m.load(a.assemble());
+    // Handler at 300.
+    let mut h = X86Asm::new(300);
+    h.i(X86Instr::MovImm(8, 42));
+    h.i(X86Instr::ApicEoi);
+    h.i(X86Instr::Iret);
+    m.load(h.assemble());
+    m.core_mut(0).rip = 100;
+    m.core_mut(0).handler_base = 300;
+    m.core_mut(0).irq_enabled = true;
+    m.core_mut(0).pending_irq = Some(0x40);
+    let traps_before = m.counter.traps_total();
+    assert_eq!(m.run(0, 20), X86Step::Halted(5));
+    assert_eq!(m.core(0).gprs[8], 42, "handler ran");
+    assert_eq!(m.core(0).gprs[7], 1, "main flow resumed after iret");
+    assert_eq!(m.counter.traps_total(), traps_before, "APICv: no exit");
+}
+
+#[test]
+fn physical_interrupt_forces_an_exit() {
+    let mut m = machine(false, true);
+    let mut a = X86Asm::new(100);
+    a.i(X86Instr::MovImm(7, 1));
+    a.i(X86Instr::Halt(5));
+    m.load(a.assemble());
+    let mut h = X86Asm::new(300);
+    h.i(X86Instr::ApicEoi);
+    h.i(X86Instr::Iret);
+    m.load(h.assemble());
+    m.core_mut(0).rip = 100;
+    m.core_mut(0).handler_base = 300;
+    m.core_mut(0).irq_enabled = true;
+    m.core_mut(0).pending_host_irq = Some(0x40);
+    assert_eq!(m.run(0, 20), X86Step::Halted(5));
+    assert_eq!(m.counter.traps_of(TrapKind::ExtInt), 1);
+}
+
+#[test]
+fn ipi_between_cores_round_trips() {
+    let mut m = X86Machine::new(X86MachineConfig {
+        ncpus: 2,
+        vmcs_shadowing: true,
+        nested: false,
+        cost: Default::default(),
+    });
+    // Sender on core 0.
+    let mut a = X86Asm::new(100);
+    a.i(X86Instr::MovImm(0, 1 | (0x40 << 8)));
+    a.i(X86Instr::SendIpi(0));
+    a.i(X86Instr::Halt(6));
+    m.load(a.assemble());
+    // Receiver on core 1: spin + handler.
+    let mut r = X86Asm::new(200);
+    r.i(X86Instr::Jmp(200));
+    m.load(r.assemble());
+    let mut h = X86Asm::new(300);
+    h.i(X86Instr::Load(4, 0x9000));
+    h.i(X86Instr::AddImm(4, 1));
+    h.i(X86Instr::Store(4, 0x9000));
+    h.i(X86Instr::ApicEoi);
+    h.i(X86Instr::Iret);
+    m.load(h.assemble());
+    m.core_mut(0).rip = 100;
+    m.core_mut(1).rip = 200;
+    m.core_mut(1).handler_base = 300;
+    m.core_mut(1).irq_enabled = true;
+    assert_eq!(m.run(0, 20), X86Step::Halted(6));
+    for _ in 0..20 {
+        let _ = m.step(1);
+    }
+    assert_eq!(m.mem_read(0x9000), 1, "receiver handled the IPI");
+}

@@ -1,0 +1,86 @@
+//! The paper's methodology, demonstrated: measuring future hardware on
+//! current hardware via paravirtualization (Section 3).
+//!
+//! In 2017, no ARMv8.3 silicon existed. The paper's trick: replace every
+//! guest-hypervisor instruction that *would* trap on ARMv8.3 with an
+//! `hvc` that traps identically on ARMv8.0, and measure the full stack
+//! at native speed. This example runs both sides of that equivalence in
+//! the simulator — the unmodified hypervisor on simulated v8.3/v8.4
+//! hardware vs the paravirtualized images on simulated v8.0 — and shows
+//! the trap-for-trap match that justified the approach.
+//!
+//! ```sh
+//! cargo run --example future_hardware
+//! ```
+
+use neve_sim::prelude::*;
+
+fn run(cfg: ArmConfig) -> neve_sim::cycles::counter::PerOp {
+    let mut tb = TestBed::new(cfg, MicroBench::Hypercall, 20);
+    tb.run(20)
+}
+
+fn main() {
+    println!("Evaluating unreleased hardware with paravirtualization (paper Section 3)");
+    println!("========================================================================\n");
+
+    println!("Goal hardware: ARMv8.3 nested virtualization (unavailable in 2017).");
+    let native = run(ArmConfig::Nested {
+        guest_vhe: false,
+        neve: false,
+        para: ParaMode::None,
+    });
+    println!(
+        "  unmodified guest hypervisor on real ARMv8.3 : {:>7} cycles, {:>5.1} traps",
+        native.cycles, native.traps
+    );
+    let para = run(ArmConfig::Nested {
+        guest_vhe: false,
+        neve: false,
+        para: ParaMode::HvcV83,
+    });
+    println!(
+        "  hvc-paravirtualized hypervisor on ARMv8.0   : {:>7} cycles, {:>5.1} traps",
+        para.cycles, para.traps
+    );
+    println!(
+        "  fidelity: traps {:.3}x, cycles {:.3}x\n",
+        para.traps / native.traps,
+        para.cycles as f64 / native.cycles as f64
+    );
+
+    println!("Goal hardware: NEVE / ARMv8.4-NV2 (proposed by the paper).");
+    let native = run(ArmConfig::Nested {
+        guest_vhe: false,
+        neve: true,
+        para: ParaMode::None,
+    });
+    println!(
+        "  unmodified guest hypervisor on real NEVE    : {:>7} cycles, {:>5.1} traps",
+        native.cycles, native.traps
+    );
+    let para = run(ArmConfig::Nested {
+        guest_vhe: false,
+        neve: true,
+        para: ParaMode::NeveLs,
+    });
+    println!(
+        "  load/store-paravirtualized hyp. on ARMv8.0  : {:>7} cycles, {:>5.1} traps",
+        para.cycles, para.traps
+    );
+    println!(
+        "  fidelity: traps {:.3}x, cycles {:.3}x\n",
+        para.traps / native.traps,
+        para.cycles as f64 / native.cycles as f64
+    );
+
+    println!("Why it works (Section 5): on ARM, the trap cost is dominated by the");
+    println!("exception machinery, not by *which* instruction trapped — the paper");
+    println!("measured <10% variation across trapping instructions, and so does the");
+    println!("cost model here (run `cargo run -p neve-bench --bin trapcost`).");
+    println!();
+    println!("This is how the paper could claim, pre-silicon, that ARMv8.3 nesting");
+    println!("would be an order of magnitude slower than x86 — and how NEVE could be");
+    println!("designed, evaluated, and adopted into ARMv8.4 before any NV hardware");
+    println!("existed.");
+}

@@ -1,0 +1,63 @@
+//! An IaaS operator's view: which workloads survive nesting?
+//!
+//! The paper's motivating scenario (Section 1) is deploying hypervisors
+//! *inside* cloud VMs. This example regenerates the Figure 2 workload
+//! overheads and answers the operator's question for each workload and
+//! architecture: is the nested overhead within a 2x budget?
+//!
+//! ```sh
+//! cargo run --example nested_cloud
+//! ```
+
+use neve_sim::prelude::*;
+use neve_sim::workloads::apps;
+
+fn main() {
+    println!("Running every microbenchmark on every configuration (a minute)...\n");
+    let matrix = MicroMatrix::measure();
+    let rows = apps::figure2(&matrix);
+
+    let budget = 2.0;
+    println!("Workload placement report (overhead budget: {budget:.1}x native)");
+    println!("==============================================================\n");
+    println!(
+        "{:<12} {:>16} {:>16} {:>16}",
+        "Workload", "ARMv8.3 nested", "NEVE nested", "x86 nested"
+    );
+    let pick =
+        |r: &apps::WorkloadRow, c: Config| r.overheads.iter().find(|(k, _)| *k == c).unwrap().1;
+    let verdict = |o: f64| {
+        if o <= budget {
+            format!("{o:>6.2}x  OK   ")
+        } else if o >= 40.0 {
+            "  >40x  FAIL ".to_string()
+        } else {
+            format!("{o:>6.2}x  over ")
+        }
+    };
+    let mut neve_ok = 0;
+    let mut v83_ok = 0;
+    for r in &rows {
+        let v83 = pick(r, Config::ArmNestedV83);
+        let neve = pick(r, Config::ArmNestedNeve);
+        let x86 = pick(r, Config::X86Nested);
+        if v83 <= budget {
+            v83_ok += 1;
+        }
+        if neve <= budget {
+            neve_ok += 1;
+        }
+        println!(
+            "{:<12} {:>16} {:>16} {:>16}",
+            r.name,
+            verdict(v83),
+            verdict(neve),
+            verdict(x86)
+        );
+    }
+    println!();
+    println!("Within budget: {v83_ok}/10 workloads on ARMv8.3, {neve_ok}/10 with NEVE.");
+    println!("The paper's conclusion, operationally: trap-and-emulate nesting is not");
+    println!("deployable for I/O workloads on ARMv8.3; NEVE makes nesting a viable");
+    println!("product feature, at overheads comparable to (and sometimes below) x86.");
+}

@@ -1,0 +1,72 @@
+//! Quickstart: boot the simulated stack and watch the exit
+//! multiplication problem appear and disappear.
+//!
+//! Runs the hypercall microbenchmark (a nested VM calling its
+//! hypervisor and returning) under three architectures and prints what
+//! the paper's Tables 6 and 7 print: cycles and traps per operation.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use neve_sim::prelude::*;
+
+fn main() {
+    println!("NEVE quickstart: one hypercall, three architectures");
+    println!("===================================================\n");
+
+    // A single-level VM first: the baseline every overhead is measured
+    // against (paper Table 1, "VM" column).
+    let mut vm = TestBed::new(ArmConfig::Vm, MicroBench::Hypercall, 20);
+    let vm_cost = vm.run(20);
+    println!(
+        "VM           : {:>7} cycles, {:>5.1} traps per hypercall  (paper:   2,729 / 1)",
+        vm_cost.cycles, vm_cost.traps
+    );
+
+    // ARMv8.3 trap-and-emulate nested virtualization: every hypervisor
+    // instruction of the guest hypervisor's world switch traps.
+    let v83 = ArmConfig::Nested {
+        guest_vhe: false,
+        neve: false,
+        para: ParaMode::None,
+    };
+    let mut tb = TestBed::new(v83, MicroBench::Hypercall, 20);
+    let v83_cost = tb.run(20);
+    println!(
+        "ARMv8.3      : {:>7} cycles, {:>5.1} traps per hypercall  (paper: 422,720 / 126)",
+        v83_cost.cycles, v83_cost.traps
+    );
+
+    // NEVE: the same unmodified guest hypervisor, but VM-register
+    // accesses are deferred to the access page, control registers are
+    // redirected to EL1 counterparts, and reads come from cached copies.
+    let neve = ArmConfig::Nested {
+        guest_vhe: false,
+        neve: true,
+        para: ParaMode::None,
+    };
+    let mut tb = TestBed::new(neve, MicroBench::Hypercall, 20);
+    let neve_cost = tb.run(20);
+    println!(
+        "NEVE (v8.4)  : {:>7} cycles, {:>5.1} traps per hypercall  (paper:  92,385 / 15)",
+        neve_cost.cycles, neve_cost.traps
+    );
+
+    println!();
+    println!(
+        "Exit multiplication: {:.0} traps on ARMv8.3 vs {:.0} with NEVE ({:.1}x fewer)",
+        v83_cost.traps,
+        neve_cost.traps,
+        v83_cost.traps / neve_cost.traps
+    );
+    println!(
+        "Cycle cost         : {:.1}x faster with NEVE (paper: \"up to 5 times\")",
+        v83_cost.cycles as f64 / neve_cost.cycles as f64
+    );
+    println!(
+        "Nested vs VM       : {:.0}x (v8.3) -> {:.0}x (NEVE); paper: 155x -> 34x",
+        v83_cost.cycles as f64 / vm_cost.cycles as f64,
+        neve_cost.cycles as f64 / vm_cost.cycles as f64
+    );
+}

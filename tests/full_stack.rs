@@ -1,0 +1,91 @@
+//! Cross-crate integration tests over the umbrella facade: the whole
+//! stack, driven the way the examples and benches drive it.
+
+use neve_sim::prelude::*;
+use neve_sim::workloads::{apps, tables};
+
+#[test]
+fn quickstart_flow_works_through_the_facade() {
+    let cfg = ArmConfig::Nested {
+        guest_vhe: false,
+        neve: true,
+        para: ParaMode::None,
+    };
+    let mut tb = TestBed::new(cfg, MicroBench::Hypercall, 10);
+    let p = tb.run(10);
+    assert!(p.traps > 0.0 && p.traps < 25.0);
+    assert!(p.cycles > 10_000);
+}
+
+#[test]
+fn x86_flow_works_through_the_facade() {
+    let mut tb = X86TestBed::new(
+        X86Config::Nested { shadowing: true },
+        X86Bench::Hypercall,
+        10,
+    );
+    let p = tb.run(10);
+    assert!((4.0..7.0).contains(&p.traps));
+}
+
+#[test]
+fn tables_and_figure_generate_consistently() {
+    let m = MicroMatrix::measure();
+    let t1 = tables::table1(&m);
+    let t6 = tables::table6(&m);
+    let t7 = tables::table7(&m);
+    // The shared columns of Table 1 and Table 6 are the same data.
+    let v83_in_t1 = t1[0]
+        .cells
+        .iter()
+        .find(|(c, _, _)| *c == Config::ArmNestedV83)
+        .unwrap()
+        .1;
+    let v83_in_t6 = t6[0]
+        .cells
+        .iter()
+        .find(|(c, _, _)| *c == Config::ArmNestedV83)
+        .unwrap()
+        .1;
+    assert_eq!(v83_in_t1, v83_in_t6);
+    // Table 7 trap counts are integers within sane bounds.
+    for row in &t7 {
+        for (_, traps, _) in &row.cells {
+            assert!(*traps < 400);
+        }
+    }
+    // Figure 2 uses the same matrix.
+    let fig = apps::figure2(&m);
+    assert_eq!(fig.len(), 10);
+}
+
+#[test]
+fn machine_is_reusable_after_a_run() {
+    // Running one benchmark must not poison the machine for direct use.
+    let mut tb = TestBed::new(ArmConfig::Vm, MicroBench::Hypercall, 5);
+    let _ = tb.run(5);
+    // The payload halted; hardware state is still inspectable.
+    assert_eq!(tb.m.core(0).pstate.el, 1);
+    assert!(tb.m.counter.cycles() > 0);
+    assert!(tb.hyp.l0_hypercalls >= 5);
+}
+
+#[test]
+fn deterministic_across_identical_runs() {
+    // The simulator is deterministic: identical configurations produce
+    // identical cycle and trap counts (what makes small iteration
+    // counts exact).
+    let run = || {
+        let cfg = ArmConfig::Nested {
+            guest_vhe: true,
+            neve: true,
+            para: ParaMode::None,
+        };
+        let mut tb = TestBed::new(cfg, MicroBench::DeviceIo, 12);
+        tb.run(12)
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.cycles, b.cycles);
+    assert_eq!(a.traps, b.traps);
+}
