@@ -1,0 +1,17 @@
+#!/bin/sh
+# Repository CI gate: formatting, lints, and the full test suite.
+# Everything runs offline; the workspace has no network dependencies.
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (deny warnings)"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "==> cargo test"
+cargo test --workspace -q --offline
+
+echo "CI green."

@@ -111,7 +111,7 @@ pub struct Program {
 impl Program {
     /// The instruction at virtual address `addr`, if inside the program.
     pub fn fetch(&self, addr: u64) -> Option<Instr> {
-        if addr < self.base || (addr - self.base) % 4 != 0 {
+        if addr < self.base || !(addr - self.base).is_multiple_of(4) {
             return None;
         }
         self.code.get(((addr - self.base) / 4) as usize).copied()

@@ -34,10 +34,8 @@ pub use machine::{ExitInfo, Hypervisor, Machine, MachineConfig, MmioRequest, Ste
 pub use pstate::Pstate;
 pub use trace::{Trace, TraceEvent};
 
-use serde::{Deserialize, Serialize};
-
 /// The architecture revision the simulated hardware implements.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum ArchLevel {
     /// ARMv8.0: VE only. Hypervisor instructions executed at EL1 are
     /// UNDEFINED (exception *to EL1*), the behaviour the paper's

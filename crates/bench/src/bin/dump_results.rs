@@ -3,7 +3,7 @@
 //! data is flat numbers/strings; no extra dependency warranted).
 
 use neve_workloads::apps;
-use neve_workloads::platforms::{Config, MicroMatrix};
+use neve_workloads::platforms::Config;
 use std::fmt::Write as _;
 use std::fs;
 
@@ -13,8 +13,7 @@ fn json_escape(s: &str) -> String {
 
 fn main() {
     fs::create_dir_all("results").expect("create results/");
-    println!("Measuring every configuration (about a minute)...");
-    let m = MicroMatrix::measure();
+    let m = neve_bench::shared_matrix();
 
     // Microbenchmark matrix.
     let mut out = String::from("{\n  \"micro\": {\n");
@@ -34,6 +33,12 @@ fn main() {
                 p.cycles, p.traps
             );
         }
+        let kinds: Vec<String> = m
+            .trap_kinds(c)
+            .iter()
+            .map(|(k, n)| format!("\"{}\": {n}", json_escape(k)))
+            .collect();
+        let _ = writeln!(s, "      \"trap_kinds\": {{ {} }},", kinds.join(", "));
         s.truncate(s.trim_end_matches(",\n").len());
         s.push_str("\n    }");
         cfg_parts.push(s);

@@ -2,14 +2,13 @@
 //! overheads for all seven configurations.
 
 use neve_workloads::apps;
-use neve_workloads::platforms::MicroMatrix;
 
 fn main() {
     println!("Figure 2: Application Benchmark Performance (normalized overhead; lower is better)");
     println!("==================================================================================");
     println!("Per-event costs are the measured Table 6 values; see DESIGN.md for the model.");
     println!();
-    let m = MicroMatrix::measure();
+    let m = neve_bench::shared_matrix();
     let rows = apps::figure2(&m);
     println!("{}", apps::render(&rows));
     println!("Paper landmarks: Memcached >40x on ARMv8.3 vs <3x NEVE vs 8x x86;");

@@ -2,13 +2,13 @@
 //! and x86, VM and nested VM.
 
 use neve_bench::paper;
-use neve_workloads::platforms::{Config, MicroMatrix};
+use neve_workloads::platforms::Config;
 use neve_workloads::tables;
 
 fn main() {
     println!("Table 1: Microbenchmark Cycle Counts (measured | paper)");
     println!("=======================================================");
-    let m = MicroMatrix::measure();
+    let m = neve_bench::shared_matrix();
     let rows = tables::table1(&m);
     println!("{}", tables::render(&rows));
     println!("Paper reference:");

@@ -2,13 +2,12 @@
 //! NEVE, with the overhead-vs-VM multipliers.
 
 use neve_bench::paper;
-use neve_workloads::platforms::MicroMatrix;
 use neve_workloads::tables;
 
 fn main() {
     println!("Table 6: Microbenchmark Cycle Counts with NEVE (measured | paper)");
     println!("=================================================================");
-    let m = MicroMatrix::measure();
+    let m = neve_bench::shared_matrix();
     let rows = tables::table6(&m);
     println!("{}", tables::render(&rows));
     println!("Paper reference:");

@@ -1,15 +1,27 @@
 //! Regenerates paper Table 7: average trap counts per microbenchmark.
 
 use neve_bench::paper;
-use neve_workloads::platforms::MicroMatrix;
+use neve_workloads::platforms::Config;
 use neve_workloads::tables;
 
 fn main() {
     println!("Table 7: Microbenchmark Average Trap Counts (measured | paper)");
     println!("==============================================================");
-    let m = MicroMatrix::measure();
+    let m = neve_bench::shared_matrix();
     let rows = tables::table7(&m);
     println!("{}", tables::render(&rows));
+    println!("Trap-kind breakdown (total traps across the four benchmarks):");
+    for c in Config::all() {
+        let kinds = m.trap_kinds(c);
+        let parts: Vec<String> = kinds.iter().map(|(k, n)| format!("{k}={n}")).collect();
+        let line = if parts.is_empty() {
+            "none".to_string()
+        } else {
+            parts.join(" ")
+        };
+        println!("  {:<22} {line}", c.label());
+    }
+    println!();
     println!("Paper reference:");
     for (name, a, b, c, d, e) in paper::TABLE7 {
         println!(

@@ -61,7 +61,7 @@ fn main() {
         paper::TRAP_RETURN
     );
     println!();
-    let mut costs = vec![
+    let mut costs = [
         measure("hvc (explicit trap)", Instr::Hvc(0), 0, ArchLevel::V8_0),
         measure(
             "msr VBAR_EL2 (EL2 sysreg, NV)",

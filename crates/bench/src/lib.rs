@@ -16,6 +16,50 @@
 //! - `ablation_vmcs` — VMCS shadowing on/off (Section 8).
 
 use neve_cycles::counter::PerOp;
+use neve_workloads::cache::{self, MatrixSource};
+use neve_workloads::platforms::MicroMatrix;
+
+/// Resolves the shared evaluation matrix for the table/figure binaries:
+/// a cache hit against `results/micro_matrix.json` when it matches the
+/// current cost model, a parallel re-measurement otherwise. Honors
+/// `--jobs N` and `--no-cache` on the binary's command line so every
+/// bin shares the `neve` CLI's surface.
+pub fn shared_matrix() -> MicroMatrix {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut jobs = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let mut use_cache = true;
+    let mut it = argv.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--no-cache" => use_cache = false,
+            "--jobs" => {
+                let v = it.next().and_then(|v| v.parse().ok());
+                jobs = v.unwrap_or_else(|| {
+                    eprintln!("--jobs needs a positive number");
+                    std::process::exit(2);
+                });
+            }
+            other => {
+                eprintln!("unknown argument `{other}` (accepted: --jobs N, --no-cache)");
+                std::process::exit(2);
+            }
+        }
+    }
+    let (m, source) = cache::load_or_measure(jobs.max(1), use_cache);
+    match source {
+        MatrixSource::Cache => println!(
+            "Loaded measurements from {} (--no-cache to refresh).\n",
+            cache::CACHE_PATH
+        ),
+        MatrixSource::Measured => println!(
+            "Measured every configuration ({jobs} worker threads); cached at {}.\n",
+            cache::CACHE_PATH
+        ),
+    }
+    m
+}
 
 /// The paper's published values for side-by-side printing.
 pub mod paper {

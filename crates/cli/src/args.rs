@@ -12,11 +12,16 @@ pub struct Parsed {
     pub options: BTreeMap<String, String>,
 }
 
+/// Flags that take no value (presence is the value). Everything else
+/// follows the `--key value` grammar.
+const BOOLEAN_FLAGS: &[&str] = &["no-cache"];
+
 /// Parses `argv` (without the program name).
 ///
 /// # Errors
 ///
-/// Rejects dangling `--key` without a value and unexpected bare words.
+/// Rejects dangling `--key` without a value (boolean flags excepted)
+/// and unexpected bare words.
 pub fn parse(argv: &[String]) -> Result<Parsed, String> {
     let mut p = Parsed::default();
     let mut it = argv.iter();
@@ -29,6 +34,10 @@ pub fn parse(argv: &[String]) -> Result<Parsed, String> {
         let Some(key) = a.strip_prefix("--") else {
             return Err(format!("unexpected argument: {a}"));
         };
+        if BOOLEAN_FLAGS.contains(&key) {
+            p.options.insert(key.to_string(), "true".to_string());
+            continue;
+        }
         let Some(value) = it.next() else {
             return Err(format!("--{key} needs a value"));
         };
@@ -55,6 +64,11 @@ impl Parsed {
                 .parse()
                 .map_err(|_| format!("--{key}: `{v}` is not a number")),
         }
+    }
+
+    /// True when a boolean flag was given.
+    pub fn has(&self, key: &str) -> bool {
+        self.options.contains_key(key)
     }
 }
 
@@ -85,6 +99,16 @@ mod tests {
         assert!(parse(&sv(&["micro", "--bench"])).is_err());
         assert!(parse(&sv(&["--bench", "x"])).is_err());
         assert!(parse(&sv(&["micro", "stray"])).is_err());
+    }
+
+    #[test]
+    fn boolean_flags_take_no_value() {
+        let p = parse(&sv(&["tables", "--no-cache", "--jobs", "4"])).unwrap();
+        assert!(p.has("no-cache"));
+        assert_eq!(p.get_u64("jobs", 1).unwrap(), 4);
+        assert!(!parse(&sv(&["tables"])).unwrap().has("no-cache"));
+        // Trailing boolean flag is fine; trailing value flag is not.
+        assert!(parse(&sv(&["tables", "--jobs", "2", "--no-cache"])).is_ok());
     }
 
     #[test]

@@ -3,6 +3,7 @@
 use crate::args;
 use neve_armv8::trace::{Trace, TraceEvent};
 use neve_kvmarm::{ArmConfig, MicroBench, ParaMode, TestBed};
+use neve_workloads::cache::{self, MatrixSource};
 use neve_workloads::platforms::MicroMatrix;
 use neve_workloads::{apps, tables};
 use neve_x86vt::testbed::{X86Bench, X86Config, X86TestBed};
@@ -80,7 +81,7 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
     let p = args::parse(argv)?;
     match p.command.as_str() {
         "micro" => micro(&p),
-        "tables" => tables_cmd(),
+        "tables" => tables_cmd(&p),
         "figure2" => figure2_cmd(&p),
         "trace" => trace_cmd(&p),
         "help" | "-h" | "--help" => {
@@ -96,14 +97,20 @@ neve - the NEVE nested-virtualization simulator
 
 USAGE:
     neve micro   [--bench B] [--config C] [--iters N]   run one microbenchmark
-    neve tables                                         regenerate Tables 1/6/7
-    neve figure2 [--explain WORKLOAD]                   regenerate Figure 2
+    neve tables  [--jobs N] [--no-cache]                regenerate Tables 1/6/7
+    neve figure2 [--explain WORKLOAD] [--jobs N] [--no-cache]
+                                                        regenerate Figure 2
     neve trace   [--config C] [--limit N]               world-switch anatomy
     neve help                                           this text
 
 CONFIGS:    vm v83 v83-vhe neve neve-vhe v83-xen neve-xen
             x86-vm x86-nested x86-noshadow
 BENCHMARKS: hypercall devio ipi eoi
+
+Table and figure commands measure the 28-cell evaluation matrix in
+parallel (--jobs N workers, default: available cores) and cache the
+results keyed by the cost-model fingerprint; pass --no-cache to force
+a fresh measurement.
 ";
 
 fn micro(p: &args::Parsed) -> Result<(), String> {
@@ -133,9 +140,35 @@ fn micro(p: &args::Parsed) -> Result<(), String> {
     Ok(())
 }
 
-fn tables_cmd() -> Result<(), String> {
-    println!("Measuring every configuration (about a minute)...\n");
-    let m = MicroMatrix::measure();
+/// Resolves the shared evaluation matrix for the table/figure commands:
+/// cache hit when `results/micro_matrix.json` matches the current cost
+/// model, a parallel re-measurement otherwise.
+fn matrix(p: &args::Parsed) -> Result<MicroMatrix, String> {
+    let default_jobs = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1) as u64;
+    let jobs = p.get_u64("jobs", default_jobs)?.max(1) as usize;
+    let use_cache = !p.has("no-cache");
+    let (m, source) = cache::load_or_measure(jobs, use_cache);
+    match source {
+        MatrixSource::Cache => {
+            println!(
+                "Loaded measurements from {} (--no-cache to refresh).\n",
+                cache::CACHE_PATH
+            );
+        }
+        MatrixSource::Measured => {
+            println!(
+                "Measured every configuration ({jobs} worker threads); cached at {}.\n",
+                cache::CACHE_PATH
+            );
+        }
+    }
+    Ok(m)
+}
+
+fn tables_cmd(p: &args::Parsed) -> Result<(), String> {
+    let m = matrix(p)?;
     println!("Table 1 (cycle counts):");
     println!("{}", tables::render(&tables::table1(&m)));
     println!("Table 6 (cycle counts with NEVE):");
@@ -146,8 +179,7 @@ fn tables_cmd() -> Result<(), String> {
 }
 
 fn figure2_cmd(p: &args::Parsed) -> Result<(), String> {
-    println!("Measuring every configuration (about a minute)...\n");
-    let m = MicroMatrix::measure();
+    let m = matrix(p)?;
     println!("{}", apps::render(&apps::figure2(&m)));
     if let Some(workload) = p.options.get("explain") {
         let Some(w) = apps::WORKLOADS

@@ -8,10 +8,9 @@
 //! `CALIBRATED`; they are inputs to the model, not results.
 
 use crate::Event;
-use serde::{Deserialize, Serialize};
 
 /// Cycle costs of ARM hardware primitives.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ArmCosts {
     /// Taking a trap from EL1 (or EL0) into EL2.
     ///
@@ -79,7 +78,7 @@ impl Default for ArmCosts {
 /// is that a VM exit/entry on x86 saves and restores guest state to the
 /// in-memory VMCS *in hardware* as part of one expensive transition, where
 /// ARM leaves state transfer to software as many cheap instructions.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct X86Costs {
     /// The non-root -> root transition, *excluding* the VMCS hardware
     /// save (charged separately so ablations can vary it).
@@ -132,7 +131,7 @@ impl Default for X86Costs {
 /// as lump sums. These are all CALIBRATED against the single-level VM rows
 /// of Table 1, then held fixed while the nested configurations are measured
 /// - mirroring how the paper holds hardware fixed across configurations.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SoftwareCosts {
     /// KVM/ARM exit path boilerplate: vector entry, GPR save, exit-reason
     /// decode (`handle_exit`), before any specific handler runs.
@@ -208,7 +207,7 @@ impl Default for SoftwareCosts {
 }
 
 /// The complete cost model used by a simulated machine.
-#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct CostModel {
     /// ARM hardware primitive costs.
     pub arm: ArmCosts,
@@ -219,6 +218,68 @@ pub struct CostModel {
 }
 
 impl CostModel {
+    /// A stable fingerprint over every cost constant (FNV-1a).
+    ///
+    /// Persistent result caches are keyed by this value: any change to
+    /// any calibrated constant changes the fingerprint and invalidates
+    /// cached measurements, so stale numbers can never be mistaken for
+    /// fresh ones.
+    pub fn fingerprint(&self) -> u64 {
+        let a = &self.arm;
+        let x = &self.x86;
+        let s = &self.sw;
+        let fields = [
+            a.trap_el1_to_el2,
+            a.trap_return,
+            a.el1_exception_entry,
+            a.eret_native,
+            a.sysreg_read,
+            a.sysreg_write,
+            a.instr,
+            a.mem_load,
+            a.mem_store,
+            a.barrier,
+            a.page_walk_level,
+            a.tlb_flush,
+            a.direct_irq_op,
+            x.vmexit_transition,
+            x.vmentry_transition,
+            x.vmcs_hw_save,
+            x.vmcs_hw_load,
+            x.vmread,
+            x.vmwrite,
+            x.instr,
+            x.mem_load,
+            x.mem_store,
+            x.direct_irq_op,
+            s.kvm_arm_exit_common,
+            s.kvm_arm_enter_common,
+            s.kvm_arm_handler_simple,
+            s.kvm_arm_sysreg_emul,
+            s.kvm_arm_vel2_inject,
+            s.kvm_arm_shadow_s2_switch,
+            s.kvm_arm_eret_emul,
+            s.kvm_arm_mmio_emul,
+            s.kvm_arm_virq_inject,
+            s.kvm_x86_exit_common,
+            s.kvm_x86_enter_common,
+            s.kvm_x86_handler_simple,
+            s.kvm_x86_vmcs_merge,
+            s.kvm_x86_exit_reflect,
+            s.kvm_x86_mmio_emul,
+            s.kvm_x86_vmx_op_emul,
+            s.kvm_x86_virq_inject,
+        ];
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for f in fields {
+            for byte in f.to_le_bytes() {
+                h ^= byte as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        }
+        h
+    }
+
     /// Returns the ARM-side cost of `event`.
     ///
     /// [`Event::SoftwareWork`] has no intrinsic cost; callers charge
@@ -312,5 +373,29 @@ mod tests {
         let m = CostModel::default();
         let m2 = m.clone();
         assert_eq!(m, m2);
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_sensitive() {
+        let a = CostModel::default();
+        let b = CostModel::default();
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        let mut c = CostModel::default();
+        c.arm.trap_el1_to_el2 += 1;
+        assert_ne!(a.fingerprint(), c.fingerprint());
+        let mut d = CostModel::default();
+        d.sw.kvm_x86_virq_inject += 1;
+        assert_ne!(a.fingerprint(), d.fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_field_positions() {
+        // Swapping two equal-looking perturbations across different
+        // fields must not collide (position matters in the hash).
+        let mut a = CostModel::default();
+        a.arm.mem_load += 1;
+        let mut b = CostModel::default();
+        b.arm.mem_store += 1;
+        assert_ne!(a.fingerprint(), b.fingerprint());
     }
 }

@@ -5,9 +5,11 @@ use std::collections::BTreeMap;
 
 /// Accumulates cycles and event statistics for one simulated machine.
 ///
-/// Components hold an `Rc<RefCell<CycleCounter>>` (the simulator is
-/// single-threaded per machine); benchmarks snapshot the counter around a
-/// measured region and report the [`Delta`].
+/// The machine owns its counter directly and components receive it by
+/// `&mut` (one machine is single-threaded, so no sharing is needed, and
+/// the owned design keeps whole machines `Send` — evaluation harnesses
+/// move complete testbeds across worker threads). Benchmarks snapshot
+/// the counter around a measured region and report the [`Delta`].
 #[derive(Debug, Default, Clone)]
 pub struct CycleCounter {
     cycles: u64,
@@ -153,6 +155,38 @@ impl Delta {
             traps: self.traps as f64 / n as f64,
         }
     }
+
+    /// Folds another measured region into this one (used by benchmarks
+    /// that bracket many small regions, e.g. the EOI pair).
+    pub fn accumulate(&mut self, other: &Delta) {
+        self.cycles += other.cycles;
+        self.traps += other.traps;
+        for (k, v) in &other.traps_by_kind {
+            *self.traps_by_kind.entry(*k).or_insert(0) += v;
+        }
+        for (k, v) in &other.events {
+            *self.events.entry(*k).or_insert(0) += v;
+        }
+    }
+
+    /// Per-operation averages plus the absolute trap breakdown of the
+    /// region (the Table 7 observability data).
+    pub fn measured(&self, n: u64) -> Measured {
+        Measured {
+            per_op: self.per_op(n),
+            traps_by_kind: self.traps_by_kind.clone(),
+        }
+    }
+}
+
+/// A benchmark region's per-operation averages together with its trap
+/// breakdown by reason (absolute counts over the measured iterations).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Measured {
+    /// Per-operation averages.
+    pub per_op: PerOp,
+    /// Traps by reason over the whole measured region.
+    pub traps_by_kind: BTreeMap<TrapKind, u64>,
 }
 
 /// Per-operation averages over a measured region.
@@ -239,6 +273,41 @@ mod tests {
     #[should_panic(expected = "at least one iteration")]
     fn per_op_zero_iterations_panics() {
         Delta::default().per_op(0);
+    }
+
+    #[test]
+    fn accumulate_merges_all_fields() {
+        let mut a = Delta {
+            cycles: 10,
+            traps: 1,
+            traps_by_kind: BTreeMap::from([(TrapKind::Hvc, 1)]),
+            events: BTreeMap::from([(Event::Instr, 5)]),
+        };
+        let b = Delta {
+            cycles: 7,
+            traps: 2,
+            traps_by_kind: BTreeMap::from([(TrapKind::Hvc, 1), (TrapKind::SysReg, 1)]),
+            events: BTreeMap::from([(Event::Instr, 2), (Event::MemLoad, 1)]),
+        };
+        a.accumulate(&b);
+        assert_eq!(a.cycles, 17);
+        assert_eq!(a.traps, 3);
+        assert_eq!(a.traps_by_kind[&TrapKind::Hvc], 2);
+        assert_eq!(a.traps_by_kind[&TrapKind::SysReg], 1);
+        assert_eq!(a.events[&Event::Instr], 7);
+    }
+
+    #[test]
+    fn measured_carries_the_breakdown() {
+        let d = Delta {
+            cycles: 100,
+            traps: 4,
+            traps_by_kind: BTreeMap::from([(TrapKind::SysReg, 4)]),
+            events: BTreeMap::new(),
+        };
+        let m = d.measured(4);
+        assert_eq!(m.per_op.cycles, 25);
+        assert_eq!(m.traps_by_kind[&TrapKind::SysReg], 4);
     }
 
     #[test]

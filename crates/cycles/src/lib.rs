@@ -22,16 +22,14 @@ pub mod cost;
 pub mod counter;
 
 pub use cost::{ArmCosts, CostModel, SoftwareCosts, X86Costs};
-pub use counter::{CounterSnapshot, CycleCounter, Delta};
-
-use serde::{Deserialize, Serialize};
+pub use counter::{CounterSnapshot, CycleCounter, Delta, Measured};
 
 /// Classification of a trap (exception taken to a hypervisor).
 ///
 /// Trap counts per microbenchmark iteration are the core quantity behind the
 /// paper's Table 7; keeping the reason lets the harness explain *where* the
 /// exit multiplication comes from.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum TrapKind {
     /// `hvc` issued by software at EL1 (a hypercall, or a paravirtualized
     /// hypervisor instruction on ARMv8.0 per Section 3 of the paper).
@@ -73,7 +71,7 @@ pub enum TrapKind {
 }
 
 /// A cost-bearing event, charged against a [`CycleCounter`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Event {
     /// A generic interpreted instruction (ALU, branch, move).
     Instr,

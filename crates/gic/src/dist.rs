@@ -84,7 +84,7 @@ impl Distributor {
 
     /// Routes an SPI to a CPU (GICD_ITARGETSR / IROUTER).
     pub fn set_spi_target(&mut self, intid: IntId, cpu: usize) {
-        assert!(intid >= SPI_BASE && intid < INTID_LIMIT);
+        assert!((SPI_BASE..INTID_LIMIT).contains(&intid));
         assert!(cpu < self.ncpus);
         self.spi_target[(intid - SPI_BASE) as usize] = cpu;
     }

@@ -23,7 +23,7 @@ use neve_armv8::machine::{Machine, MachineConfig, StepOutcome};
 use neve_armv8::pstate::Pstate;
 use neve_armv8::ArchLevel;
 use neve_core::VncrEl2;
-use neve_cycles::counter::PerOp;
+use neve_cycles::counter::{Delta, Measured, PerOp};
 use neve_gic::vgic::ICH_HCR_EN;
 use neve_memsim::{FrameAlloc, PageTable, Perms};
 use neve_sysreg::bits::{spsr, vttbr};
@@ -380,16 +380,28 @@ impl TestBed {
     ///
     /// Panics if the payload crashes or stalls.
     pub fn run(&mut self, iters: u64) -> PerOp {
-        match self.bench {
+        self.run_measured(iters).per_op
+    }
+
+    /// Like [`TestBed::run`] but also reports the trap breakdown of the
+    /// measured region by reason — the Table 7 observability data the
+    /// session layer persists alongside cycle counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the payload crashes or stalls.
+    pub fn run_measured(&mut self, iters: u64) -> Measured {
+        let (delta, n) = match self.bench {
             MicroBench::VirtualEoi => self.run_eoi(iters),
             MicroBench::VirtualIpi => self.run_ipi(iters),
             _ => self.run_simple(iters),
-        }
+        };
+        delta.measured(n)
     }
 
     /// Single-CPU benchmarks: run until the payload halts, snapshotting
     /// after the warm-up iterations.
-    fn run_simple(&mut self, iters: u64) -> PerOp {
+    fn run_simple(&mut self, iters: u64) -> (Delta, u64) {
         // Warm-up: run until the iteration counter (x10 at L1/L2)
         // drops to `iters`.
         let mut snap = None;
@@ -412,7 +424,7 @@ impl TestBed {
             }
         }
         let snap = snap.expect("warm-up longer than the run");
-        self.m.counter.delta_since(&snap).per_op(iters)
+        (self.m.counter.delta_since(&snap), iters)
     }
 
     /// The payload's remaining-iterations counter (x10), regardless of
@@ -432,7 +444,7 @@ impl TestBed {
     }
 
     /// The IPI benchmark: interleave both CPUs.
-    fn run_ipi(&mut self, iters: u64) -> PerOp {
+    fn run_ipi(&mut self, iters: u64) -> (Delta, u64) {
         let mut snap = None;
         let mut steps: u64 = 0;
         loop {
@@ -461,15 +473,15 @@ impl TestBed {
             }
         }
         let snap = snap.expect("warm-up longer than the run");
-        self.m.counter.delta_since(&snap).per_op(iters)
+        (self.m.counter.delta_since(&snap), iters)
     }
 
     /// The EOI benchmark measures only the acknowledge + complete pair;
     /// the re-arm hypercall between iterations is excluded, as in
     /// kvm-unit-tests where the interrupt is raised outside the timed
     /// region.
-    fn run_eoi(&mut self, iters: u64) -> PerOp {
-        let mut measured = neve_cycles::counter::Delta::default();
+    fn run_eoi(&mut self, iters: u64) -> (Delta, u64) {
+        let mut measured = Delta::default();
         let mut done = 0u64;
         let mut steps: u64 = 0;
         let mut measuring_snap = None;
@@ -494,8 +506,7 @@ impl TestBed {
                 let d = self.m.counter.delta_since(&snapped);
                 done += 1;
                 if done > WARMUP {
-                    measured.cycles += d.cycles;
-                    measured.traps += d.traps;
+                    measured.accumulate(&d);
                 }
             }
             match out {
@@ -508,7 +519,7 @@ impl TestBed {
             }
         }
         assert!(done >= iters, "expected {iters} EOI pairs, saw {done}");
-        measured.per_op(done - WARMUP)
+        (measured, done - WARMUP)
     }
 
     fn fetch_at(&self, pc: u64) -> Option<Instr> {

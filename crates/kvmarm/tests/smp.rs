@@ -48,8 +48,8 @@ fn four_vcpus_run_hypercalls_independently() {
     let mut done = [false; 4];
     for _round in 0..2_000_000u64 {
         let mut all = true;
-        for cpu in 0..4 {
-            if done[cpu] {
+        for (cpu, cpu_done) in done.iter_mut().enumerate() {
+            if *cpu_done {
                 continue;
             }
             all = false;
@@ -57,7 +57,7 @@ fn four_vcpus_run_hypercalls_independently() {
                 StepOutcome::Executed => {}
                 StepOutcome::Halted(code) => {
                     assert_eq!(code, guests::DONE, "cpu {cpu} crashed");
-                    done[cpu] = true;
+                    *cpu_done = true;
                 }
                 other => panic!("cpu {cpu}: {other:?}"),
             }

@@ -11,10 +11,9 @@
 use crate::vncr::VncrEl2;
 use neve_sysreg::classify::{el1_counterpart, neve_class_of_name, vncr_offset, NeveClass};
 use neve_sysreg::{RegId, SysReg};
-use serde::{Deserialize, Serialize};
 
 /// What the hardware does with a virtual-EL2 system register access.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Disposition {
     /// Rewrite the access into a load/store of the 8-byte slot at
     /// `VNCR_EL2.BADDR + offset` (mechanism 1, VM system registers and
@@ -41,7 +40,7 @@ pub enum Disposition {
 /// A full NEVE implementation enables all three mechanisms; the paper's
 /// order-of-magnitude win (Section 7) is their combination. Disabling one
 /// makes the affected accesses trap as on ARMv8.3.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct NeveFeatures {
     /// Mechanism 1: defer VM system registers to memory.
     pub defer_vm_regs: bool,
@@ -65,7 +64,7 @@ impl Default for NeveFeatures {
 ///
 /// Holds the `VNCR_EL2` value and the feature toggles; stateless
 /// otherwise, so one engine per CPU suffices.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct NeveEngine {
     /// Current `VNCR_EL2` contents (host-hypervisor managed).
     pub vncr: VncrEl2,

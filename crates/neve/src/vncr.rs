@@ -1,6 +1,5 @@
 //! `VNCR_EL2` — the Virtual Nested Control Register (paper Table 2).
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Mask of the BADDR field: bits `[52:12]` hold a page-aligned physical
@@ -36,7 +35,7 @@ impl std::error::Error for VncrError {}
 ///
 /// Managed exclusively by the host hypervisor: it enables/disables NEVE
 /// and points at the deferred access page (paper Section 6.1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct VncrEl2(u64);
 
 impl VncrEl2 {

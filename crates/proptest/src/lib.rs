@@ -1,0 +1,216 @@
+//! A self-contained, dependency-free drop-in for the subset of the
+//! `proptest` API this workspace uses.
+//!
+//! The workspace builds in hermetic environments with no access to
+//! crates.io, so the real `proptest` cannot be vendored. This shim keeps
+//! every existing property test compiling and running unchanged:
+//!
+//! - [`proptest!`] with `name in strategy` and `name: Type` parameters,
+//!   attributes/doc comments, and `#![proptest_config(..)]`;
+//! - range and inclusive-range strategies over the integer types,
+//!   [`any`], [`strategy::Just`], tuple strategies, `prop_map`,
+//!   `prop_flat_map`, [`prop_oneof!`] and [`collection::vec`];
+//! - [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assert_ne!`].
+//!
+//! Unlike upstream proptest there is **no shrinking** and the PRNG is
+//! **deterministic**: each test function derives its seed from its own
+//! name, so failures reproduce exactly across runs and machines —
+//! which is also what this repository's determinism guarantees want
+//! from a test harness.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// Strategies over `bool` (mirrors `proptest::bool`).
+pub mod bool {
+    /// Generates `true` or `false` uniformly.
+    pub const ANY: crate::arbitrary::Any<::core::primitive::bool> = crate::arbitrary::Any::NEW;
+}
+
+/// The glob-importable prelude, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Asserts a condition inside a property (no early-return semantics:
+/// failures panic like `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Equality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Inequality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Picks one of several strategies (all with the same `Value` type)
+/// uniformly per generated case.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(::std::boxed::Box::new($s)
+                as ::std::boxed::Box<dyn $crate::strategy::Strategy<Value = _>>),+
+        ])
+    };
+}
+
+/// Declares property tests. Each function body runs once per generated
+/// case; parameters are either `name in strategy` or `name: Type`
+/// (shorthand for `name in any::<Type>()`).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$attr:meta])*
+     fn $name:ident($($params:tt)*) $body:block
+     $($rest:tt)*) => {
+        $crate::__proptest_fn! { ($cfg) $(#[$attr])* fn $name($($params)*) $body }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fn {
+    (($cfg:expr)
+     $(#[$attr:meta])*
+     fn $name:ident($($params:tt)*) $body:block) => {
+        $(#[$attr])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $cfg;
+            for __case in 0..__config.cases {
+                let mut __rng = $crate::test_runner::TestRng::deterministic(
+                    stringify!($name),
+                    __case as u64,
+                );
+                $crate::__proptest_bind! { __rng, $($params)* }
+                $body
+            }
+        }
+    };
+}
+
+// Binds one parameter per step. The `in strategy` form is matched with
+// a `pat` fragment (whose follow set permits `in`); the `name: Type`
+// shorthand needs a plain ident. Rules are tried in order, so the
+// `pat`-rule failing on `:` falls through to the typed rule.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind {
+    ($rng:ident $(,)?) => {};
+    ($rng:ident, $pname:pat in $strat:expr) => {
+        let $pname = $crate::strategy::Strategy::generate(&($strat), &mut $rng);
+    };
+    ($rng:ident, $pname:pat in $strat:expr, $($rest:tt)*) => {
+        let $pname = $crate::strategy::Strategy::generate(&($strat), &mut $rng);
+        $crate::__proptest_bind! { $rng, $($rest)* }
+    };
+    ($rng:ident, $pname:ident : $ty:ty) => {
+        let $pname: $ty =
+            $crate::strategy::Strategy::generate(&$crate::arbitrary::any::<$ty>(), &mut $rng);
+    };
+    ($rng:ident, $pname:ident : $ty:ty, $($rest:tt)*) => {
+        let $pname: $ty =
+            $crate::strategy::Strategy::generate(&$crate::arbitrary::any::<$ty>(), &mut $rng);
+        $crate::__proptest_bind! { $rng, $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        /// Mixed parameter forms generate in-range values.
+        #[test]
+        fn mixed_params(a in 3u32..10, b: bool, c in 0u8..=4, d: u64) {
+            prop_assert!((3..10).contains(&a));
+            let _: bool = b;
+            prop_assert!(c <= 4);
+            let _ = d;
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(7))]
+
+        #[test]
+        fn config_is_respected(x in 0u64..5) {
+            prop_assert!(x < 5);
+        }
+    }
+
+    #[test]
+    fn oneof_map_and_vec_compose() {
+        #[derive(Debug, Clone, PartialEq)]
+        enum E {
+            A(u8),
+            B,
+        }
+        let strat =
+            crate::collection::vec(prop_oneof![(0u8..10).prop_map(E::A), Just(E::B)], 1..20);
+        let mut rng = TestRng::deterministic("oneof", 1);
+        let mut saw_a = false;
+        let mut saw_b = false;
+        for case in 0..64 {
+            let mut rng2 = TestRng::deterministic("oneof", case);
+            let v = strat.generate(&mut rng2);
+            assert!(!v.is_empty() && v.len() < 20);
+            saw_a |= v.iter().any(|e| matches!(e, E::A(_)));
+            saw_b |= v.iter().any(|e| matches!(e, E::B));
+        }
+        assert!(saw_a && saw_b, "both branches must be exercised");
+        // Determinism: the same seed yields the same value.
+        let mut rng_b = TestRng::deterministic("oneof", 1);
+        assert_eq!(strat.generate(&mut rng), strat.generate(&mut rng_b));
+    }
+
+    #[test]
+    fn signed_ranges_cover_negatives() {
+        let strat = -64i64..64;
+        let mut any_negative = false;
+        for case in 0..64 {
+            let mut rng = TestRng::deterministic("signed", case);
+            let v = strat.generate(&mut rng);
+            assert!((-64..64).contains(&v));
+            any_negative |= v < 0;
+        }
+        assert!(any_negative);
+    }
+
+    #[test]
+    fn flat_map_threads_the_outer_value() {
+        let strat = (1u64..5).prop_flat_map(|n| (Just(n), 0u64..100));
+        for case in 0..32 {
+            let mut rng = TestRng::deterministic("flat", case);
+            let (n, x) = strat.generate(&mut rng);
+            assert!((1..5).contains(&n));
+            assert!(x < 100);
+        }
+    }
+}

@@ -11,10 +11,9 @@
 //! Table 5).
 
 use crate::regs::{RegId, SysReg};
-use serde::{Deserialize, Serialize};
 
 /// How NEVE treats an access to a register name from virtual EL2.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum NeveClass {
     /// Table 3, "VM Trap Control": EL2 registers that configure traps and
     /// Stage-2 for the *nested* VM; deferred to the access page.

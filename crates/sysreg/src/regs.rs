@@ -1,6 +1,5 @@
 //! The register set and instruction-level register names.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Number of GIC list registers modelled per CPU.
@@ -19,7 +18,7 @@ pub const NUM_APRS: u8 = 1;
 /// Every variant is one 64-bit register. Banked registers (same name,
 /// different exception level) are distinct variants. Parameterised GIC
 /// registers carry their index.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 #[allow(clippy::upper_case_acronyms)]
 pub enum SysReg {
     // --- EL1 execution state (the "VM Execution Control" group of the
@@ -469,7 +468,7 @@ impl fmt::Display for SysReg {
 /// `CNTV_CTL_EL02`-style names for EL0-accessible timer registers. The
 /// paper's Section 4 paravirtualizes exactly these VHE-added names because
 /// they are undefined on ARMv8.0.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum RegId {
     /// The plain architectural name.
     Plain(SysReg),

@@ -36,7 +36,6 @@
 //! the paper's; the v8.3, x86 and VM bars then *follow from the model*.
 
 use crate::platforms::{Config, MicroMatrix};
-use serde::Serialize;
 
 /// Native work one unit of event rates refers to.
 pub const UNIT_CYCLES: f64 = 10_000_000.0;
@@ -47,7 +46,7 @@ pub const UNIT_CYCLES: f64 = 10_000_000.0;
 pub const OVERHEAD_CAP: f64 = 100.0;
 
 /// One workload's virtualization-event profile.
-#[derive(Debug, Clone, Copy, Serialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct WorkloadProfile {
     /// Workload name (paper Table 8).
     pub name: &'static str,
@@ -72,7 +71,7 @@ pub struct WorkloadProfile {
 }
 
 /// One output row: overheads per configuration.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct WorkloadRow {
     /// Workload name.
     pub name: &'static str,
@@ -198,8 +197,19 @@ pub const WORKLOADS: [WorkloadProfile; 10] = [
     },
 ];
 
+/// The feedback fraction at which the model is treated as saturated:
+/// above this, `1 / (1 - T)` is in its asymptote and the reported
+/// overhead pins to [`OVERHEAD_CAP`] (the paper's ">40x" regime).
+pub const FEEDBACK_SATURATION: f64 = 0.99;
+
 /// Computes the normalized overhead of `p` on `cfg` from measured
 /// per-event costs.
+///
+/// Total for every input: the result is always finite and in
+/// `[1.0, OVERHEAD_CAP]`. In particular the saturated feedback regime
+/// (`T >= FEEDBACK_SATURATION`, including `T == 1` where the naive
+/// formula divides by zero and `T > 1` where it goes negative) clamps
+/// to the cap rather than producing inf/NaN/negative overheads.
 pub fn overhead(p: &WorkloadProfile, cfg: Config, m: &MicroMatrix) -> f64 {
     let c = m.costs(cfg);
     let hc = c.hypercall.cycles as f64;
@@ -213,15 +223,19 @@ pub fn overhead(p: &WorkloadProfile, cfg: Config, m: &MicroMatrix) -> f64 {
         + p.virtio_kicks * io_scale * io)
         / UNIT_CYCLES;
     let t = p.feedback * ipi / UNIT_CYCLES;
-    if t >= 0.99 {
+    if !t.is_finite() || t >= FEEDBACK_SATURATION {
         return OVERHEAD_CAP;
     }
-    ((1.0 + b) / (1.0 - t)).min(OVERHEAD_CAP)
+    let raw = (1.0 + b) / (1.0 - t);
+    if !raw.is_finite() {
+        return OVERHEAD_CAP;
+    }
+    raw.clamp(1.0, OVERHEAD_CAP)
 }
 
 /// A per-event-class decomposition of one workload's overhead on one
 /// configuration (the `--explain` view: where do the cycles go?).
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Breakdown {
     /// Share of added overhead from hypercalls.
     pub hypercalls: f64,
@@ -457,5 +471,80 @@ mod tests {
         let s = render(&figure2(matrix()));
         assert!(s.contains(">40x"));
         assert!(s.contains("Memcached"));
+    }
+
+    /// A synthetic matrix whose IPI cost is exactly `ipi_cycles` on
+    /// every configuration, for driving the feedback term to chosen
+    /// saturation points the real stacks never reach.
+    fn synthetic_matrix(ipi_cycles: u64) -> MicroMatrix {
+        use crate::platforms::{MicroCosts, PerOpSer};
+        let p = |cycles| PerOpSer { cycles, traps: 1.0 };
+        let costs = MicroCosts {
+            hypercall: p(1_000),
+            device_io: p(2_000),
+            virtual_ipi: p(ipi_cycles),
+            virtual_eoi: p(70),
+        };
+        MicroMatrix::from_results(Config::all().into_iter().map(|c| (c, costs)).collect())
+    }
+
+    fn profile_with_feedback(feedback: f64) -> WorkloadProfile {
+        WorkloadProfile {
+            name: "synthetic",
+            hypercalls: 1.0,
+            device_ios: 1.0,
+            ipis: 1.0,
+            net_irqs: 0.0,
+            virtio_kicks: 0.0,
+            x86_exit_scale: 1.0,
+            feedback,
+        }
+    }
+
+    #[test]
+    fn overhead_clamps_at_the_saturation_threshold() {
+        // ipi = 1e6 cycles, feedback = 9.9 => T = 0.99 exactly.
+        let m = synthetic_matrix(1_000_000);
+        let p = profile_with_feedback(9.9);
+        let o = overhead(&p, Config::ArmNestedV83, &m);
+        assert_eq!(o, OVERHEAD_CAP);
+    }
+
+    #[test]
+    fn overhead_survives_exact_division_by_zero() {
+        // feedback = 10 => T = 1.0: the naive formula divides by zero.
+        let m = synthetic_matrix(1_000_000);
+        let p = profile_with_feedback(10.0);
+        let o = overhead(&p, Config::ArmNestedV83, &m);
+        assert!(o.is_finite());
+        assert_eq!(o, OVERHEAD_CAP);
+    }
+
+    #[test]
+    fn overhead_survives_negative_denominator() {
+        // feedback = 15 => T = 1.5: the naive formula goes negative.
+        let m = synthetic_matrix(1_000_000);
+        let p = profile_with_feedback(15.0);
+        let o = overhead(&p, Config::ArmNestedV83, &m);
+        assert!(o.is_finite());
+        assert!(o >= 1.0, "never below native: {o}");
+        assert_eq!(o, OVERHEAD_CAP);
+    }
+
+    #[test]
+    fn overhead_is_total_across_a_saturation_sweep() {
+        // Never NaN, inf, or below 1.0 anywhere around the singularity.
+        let m = synthetic_matrix(1_000_000);
+        for feedback in [0.0, 5.0, 9.89, 9.9, 9.99, 10.0, 10.01, 12.0, 100.0] {
+            let p = profile_with_feedback(feedback);
+            for c in Config::all() {
+                let o = overhead(&p, c, &m);
+                assert!(o.is_finite(), "feedback {feedback} on {c:?}: {o}");
+                assert!(
+                    (1.0..=OVERHEAD_CAP).contains(&o),
+                    "feedback {feedback} on {c:?}: {o}"
+                );
+            }
+        }
     }
 }

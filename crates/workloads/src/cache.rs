@@ -1,0 +1,207 @@
+//! Persistent results cache for the evaluation matrix.
+//!
+//! Measuring the full matrix means simulating 28 testbeds; the report
+//! binaries (`table1`, `table6`, `table7`, `figure2`, `dump_results`)
+//! and the `neve tables`/`neve figure2` subcommands all need the same
+//! data. The cache lets them measure once and share: the matrix is
+//! written to `results/micro_matrix.json`, keyed by the
+//! [`CostModel`](neve_cycles::CostModel) fingerprint, and later runs
+//! load it instead of re-measuring.
+//!
+//! Staleness safety: a cache whose fingerprint does not match the
+//! *current* cost model is ignored and overwritten — edit any
+//! calibrated constant and every number is re-measured. A corrupt or
+//! truncated file is likewise ignored, never trusted.
+
+use crate::platforms::{Config, MicroCosts, MicroMatrix, PerOpSer};
+use neve_cycles::CostModel;
+use neve_json::JsonValue;
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// Default cache location, relative to the working directory (next to
+/// `dump_results`' outputs).
+pub const CACHE_PATH: &str = "results/micro_matrix.json";
+
+/// Where a matrix came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MatrixSource {
+    /// Loaded from a valid cache file.
+    Cache,
+    /// Freshly measured (no cache, stale fingerprint, or `--no-cache`).
+    Measured,
+}
+
+/// Loads the matrix from `CACHE_PATH` if it is valid for the current
+/// cost model; otherwise measures across `jobs` threads and writes the
+/// cache back. With `use_cache` false, always re-measures (still
+/// refreshing the file, so later cached runs agree with this one).
+pub fn load_or_measure(jobs: usize, use_cache: bool) -> (MicroMatrix, MatrixSource) {
+    load_or_measure_at(Path::new(CACHE_PATH), jobs, use_cache)
+}
+
+/// [`load_or_measure`] against an explicit path (tests use a temp dir).
+pub fn load_or_measure_at(
+    path: &Path,
+    jobs: usize,
+    use_cache: bool,
+) -> (MicroMatrix, MatrixSource) {
+    let fingerprint = CostModel::default().fingerprint();
+    if use_cache {
+        if let Some(m) = std::fs::read_to_string(path)
+            .ok()
+            .and_then(|text| from_json(&text, fingerprint))
+        {
+            return (m, MatrixSource::Cache);
+        }
+    }
+    let m = MicroMatrix::measure_parallel(jobs);
+    // Failing to persist is not fatal (read-only checkout, missing
+    // permissions): the caller still gets fresh numbers.
+    if let Some(dir) = path.parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    let _ = std::fs::write(path, to_json(&m, fingerprint));
+    (m, MatrixSource::Measured)
+}
+
+/// Serializes `m` (with the cost-model `fingerprint` it was measured
+/// under) to the cache's JSON schema.
+pub fn to_json(m: &MicroMatrix, fingerprint: u64) -> String {
+    let per_op = |p: PerOpSer| {
+        JsonValue::Object(vec![
+            ("cycles".into(), JsonValue::from(p.cycles)),
+            ("traps".into(), JsonValue::from(p.traps)),
+        ])
+    };
+    let configs = m
+        .configs()
+        .map(|c| {
+            let costs = m.costs(c);
+            let kinds = m
+                .trap_kinds(c)
+                .into_iter()
+                .map(|(k, v)| (k, JsonValue::from(v)))
+                .collect();
+            let body = JsonValue::Object(vec![
+                ("hypercall".into(), per_op(costs.hypercall)),
+                ("device_io".into(), per_op(costs.device_io)),
+                ("virtual_ipi".into(), per_op(costs.virtual_ipi)),
+                ("virtual_eoi".into(), per_op(costs.virtual_eoi)),
+                ("trap_kinds".into(), JsonValue::Object(kinds)),
+            ]);
+            (c.label().to_string(), body)
+        })
+        .collect();
+    JsonValue::Object(vec![
+        // Hex string, not a JSON number: the fingerprint uses all 64
+        // bits and would lose precision through an f64 number.
+        (
+            "fingerprint".into(),
+            JsonValue::String(format!("{fingerprint:#018x}")),
+        ),
+        ("configs".into(), JsonValue::Object(configs)),
+    ])
+    .pretty()
+}
+
+/// Parses a cache document; `None` if it is malformed, incomplete, or
+/// was measured under a different cost model than `expect_fingerprint`.
+pub fn from_json(text: &str, expect_fingerprint: u64) -> Option<MicroMatrix> {
+    let doc = neve_json::parse(text).ok()?;
+    let fp = doc.get("fingerprint")?.as_str()?;
+    let fp = u64::from_str_radix(fp.strip_prefix("0x")?, 16).ok()?;
+    if fp != expect_fingerprint {
+        return None;
+    }
+    let per_op = |v: &JsonValue| -> Option<PerOpSer> {
+        Some(PerOpSer {
+            cycles: v.get("cycles")?.as_u64()?,
+            traps: v.get("traps")?.as_f64()?,
+        })
+    };
+    let mut results = BTreeMap::new();
+    let mut trap_kinds = BTreeMap::new();
+    for (label, body) in doc.get("configs")?.as_object()? {
+        let c = Config::from_label(label)?;
+        results.insert(
+            c,
+            MicroCosts {
+                hypercall: per_op(body.get("hypercall")?)?,
+                device_io: per_op(body.get("device_io")?)?,
+                virtual_ipi: per_op(body.get("virtual_ipi")?)?,
+                virtual_eoi: per_op(body.get("virtual_eoi")?)?,
+            },
+        );
+        let mut kinds = BTreeMap::new();
+        for (k, v) in body.get("trap_kinds")?.as_object()? {
+            kinds.insert(k.clone(), v.as_u64()?);
+        }
+        trap_kinds.insert(c, kinds);
+    }
+    // A cache missing any configuration is unusable: consumers index
+    // the matrix by every `Config`.
+    if Config::all().iter().any(|c| !results.contains_key(c)) {
+        return None;
+    }
+    Some(MicroMatrix::from_parts(results, trap_kinds))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn synthetic() -> MicroMatrix {
+        let p = |cycles, traps| PerOpSer { cycles, traps };
+        let costs = |k: u64| MicroCosts {
+            hypercall: p(100 * k, 1.0),
+            device_io: p(200 * k, 2.0),
+            virtual_ipi: p(300 * k, 2.5),
+            virtual_eoi: p(70, 0.0),
+        };
+        let results = Config::all()
+            .into_iter()
+            .enumerate()
+            .map(|(i, c)| (c, costs(i as u64 + 1)))
+            .collect();
+        let trap_kinds = Config::all()
+            .into_iter()
+            .map(|c| (c, BTreeMap::from([("Hvc".to_string(), 24u64)])))
+            .collect();
+        MicroMatrix::from_parts(results, trap_kinds)
+    }
+
+    #[test]
+    fn json_round_trip_is_lossless() {
+        let m = synthetic();
+        let text = to_json(&m, 42);
+        let back = from_json(&text, 42).expect("round trip");
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn fingerprint_mismatch_rejects_the_cache() {
+        let text = to_json(&synthetic(), 42);
+        assert!(from_json(&text, 43).is_none());
+    }
+
+    #[test]
+    fn garbage_and_truncation_are_rejected() {
+        assert!(from_json("", 42).is_none());
+        assert!(from_json("{\"fingerprint\": 42}", 42).is_none());
+        let text = to_json(&synthetic(), 42);
+        assert!(from_json(&text[..text.len() / 2], 42).is_none());
+    }
+
+    #[test]
+    fn missing_config_rejects_the_cache() {
+        let mut m = synthetic();
+        // Rebuild without the last config.
+        let mut results: BTreeMap<_, _> =
+            Config::all().into_iter().map(|c| (c, m.costs(c))).collect();
+        results.remove(&Config::X86Nested);
+        m = MicroMatrix::from_results(results);
+        let text = to_json(&m, 42);
+        assert!(from_json(&text, 42).is_none());
+    }
+}

@@ -1,9 +1,17 @@
 //! Workload models reproducing the NEVE paper's evaluation.
 //!
+//! - [`session`]: [`SimSession`], the unit of evaluation — one
+//!   (configuration, benchmark) cell owning its testbed from build to
+//!   measured result. Sessions are `Send`, so the matrix fans out
+//!   across worker threads.
 //! - [`platforms`]: a unified view over the ARM ([`neve_kvmarm`]) and
-//!   x86 ([`neve_x86vt`]) test beds; runs every microbenchmark on every
-//!   configuration once and caches the per-operation results — the data
-//!   behind Tables 1, 6 and 7.
+//!   x86 ([`neve_x86vt`]) test beds; [`MicroMatrix`] runs every
+//!   microbenchmark on every configuration (serially or in parallel,
+//!   bit-identically) — the data behind Tables 1, 6 and 7, including
+//!   the per-kind trap breakdown.
+//! - [`cache`]: the persistent results cache
+//!   (`results/micro_matrix.json`), keyed by the cost-model
+//!   fingerprint, so every report binary measures once and reuses.
 //! - [`tables`]: assembles those results into the paper's table rows.
 //! - [`apps`]: the application-workload model behind Figure 2. Each of
 //!   the paper's ten workloads (Table 8) is characterized by rates of
@@ -15,11 +23,15 @@
 //!   in more virtualization overhead").
 
 pub mod apps;
+pub mod cache;
 pub mod platforms;
 pub mod replay;
+pub mod session;
 pub mod tables;
 
 pub use apps::{figure2, WorkloadProfile, WorkloadRow, WORKLOADS};
+pub use cache::{load_or_measure, MatrixSource, CACHE_PATH};
 pub use platforms::{Config, MicroCosts, MicroMatrix};
 pub use replay::{replay_vs_model, Mix, ReplayResult};
+pub use session::{Bench, CellResult, SimSession};
 pub use tables::{table1, table6, table7, TableRow};

@@ -1,13 +1,12 @@
 //! Unified access to both simulated platforms.
 
+use crate::session::{Bench, CellResult, SimSession};
 use neve_cycles::counter::PerOp;
-use neve_kvmarm::{ArmConfig, MicroBench, ParaMode, TestBed};
-use neve_x86vt::testbed::{X86Bench, X86Config, X86TestBed};
-use serde::Serialize;
+use neve_kvmarm::{ArmConfig, ParaMode};
 use std::collections::BTreeMap;
 
 /// Every evaluation configuration of Tables 1/6/7 and Figure 2.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Config {
     /// ARM single-level VM.
     ArmVm,
@@ -66,10 +65,16 @@ impl Config {
             Config::ArmVm
         }
     }
+
+    /// The inverse of [`Config::label`] (used to read cached results
+    /// back; labels are the cache's config keys).
+    pub fn from_label(label: &str) -> Option<Config> {
+        Config::all().into_iter().find(|c| c.label() == label)
+    }
 }
 
 /// The per-operation costs of one configuration.
-#[derive(Debug, Clone, Copy, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MicroCosts {
     /// Hypercall round trip.
     pub hypercall: PerOpSer,
@@ -82,7 +87,7 @@ pub struct MicroCosts {
 }
 
 /// Serializable [`PerOp`].
-#[derive(Debug, Clone, Copy, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PerOpSer {
     /// Average cycles per operation.
     pub cycles: u64,
@@ -99,38 +104,18 @@ impl From<PerOp> for PerOpSer {
     }
 }
 
-/// All microbenchmark results across all configurations, computed once.
-#[derive(Debug, Clone)]
+/// All microbenchmark results across all configurations, computed once
+/// (or loaded from the persistent cache; see [`crate::cache`]).
+#[derive(Debug, Clone, PartialEq)]
 pub struct MicroMatrix {
     results: BTreeMap<Config, MicroCosts>,
+    /// Per-configuration trap breakdown by reason, summed over the four
+    /// measured benchmarks (absolute counts; the Table 7 observability
+    /// data). Empty for synthetic matrices.
+    trap_kinds: BTreeMap<Config, BTreeMap<String, u64>>,
 }
 
-/// Measured iterations per microbenchmark (the simulator is
-/// deterministic, so small counts give exact steady-state averages).
-const ITERS: u64 = 24;
-const IPI_ITERS: u64 = 10;
-
-fn run_arm(cfg: ArmConfig, bench: MicroBench) -> PerOp {
-    let iters = if bench == MicroBench::VirtualIpi {
-        IPI_ITERS
-    } else {
-        ITERS
-    };
-    let mut tb = TestBed::new(cfg, bench, iters);
-    tb.run(iters)
-}
-
-fn run_x86(cfg: X86Config, bench: X86Bench) -> PerOp {
-    let iters = if bench == X86Bench::VirtualIpi {
-        IPI_ITERS
-    } else {
-        ITERS
-    };
-    let mut tb = X86TestBed::new(cfg, bench, iters);
-    tb.run(iters)
-}
-
-fn arm_config(c: Config) -> Option<ArmConfig> {
+pub(crate) fn arm_config(c: Config) -> Option<ArmConfig> {
     Some(match c {
         Config::ArmVm => ArmConfig::Vm,
         Config::ArmNestedV83 => ArmConfig::Nested {
@@ -157,38 +142,149 @@ fn arm_config(c: Config) -> Option<ArmConfig> {
     })
 }
 
-impl MicroMatrix {
-    /// Runs every microbenchmark on every configuration.
-    pub fn measure() -> Self {
-        let mut results = BTreeMap::new();
-        for c in Config::all() {
-            let costs = if let Some(ac) = arm_config(c) {
-                MicroCosts {
-                    hypercall: run_arm(ac, MicroBench::Hypercall).into(),
-                    device_io: run_arm(ac, MicroBench::DeviceIo).into(),
-                    virtual_ipi: run_arm(ac, MicroBench::VirtualIpi).into(),
-                    virtual_eoi: run_arm(ac, MicroBench::VirtualEoi).into(),
-                }
-            } else {
-                let xc = match c {
-                    Config::X86Vm => X86Config::Vm,
-                    _ => X86Config::Nested { shadowing: true },
-                };
-                MicroCosts {
-                    hypercall: run_x86(xc, X86Bench::Hypercall).into(),
-                    device_io: run_x86(xc, X86Bench::DeviceIo).into(),
-                    virtual_ipi: run_x86(xc, X86Bench::VirtualIpi).into(),
-                    virtual_eoi: run_x86(xc, X86Bench::VirtualEoi).into(),
-                }
-            };
-            results.insert(c, costs);
+/// Every (configuration, benchmark) cell of the evaluation matrix, in
+/// deterministic (table) order.
+fn all_cells() -> Vec<(Config, Bench)> {
+    let mut cells = Vec::with_capacity(Config::all().len() * Bench::all().len());
+    for c in Config::all() {
+        for b in Bench::all() {
+            cells.push((c, b));
         }
-        Self { results }
+    }
+    cells
+}
+
+impl MicroMatrix {
+    /// Runs every microbenchmark on every configuration, serially (the
+    /// reference order). [`MicroMatrix::measure_parallel`] produces
+    /// bit-identical results faster.
+    pub fn measure() -> Self {
+        Self::assemble(
+            all_cells()
+                .into_iter()
+                .map(|(c, b)| SimSession::new(c, b).run())
+                .collect(),
+        )
+    }
+
+    /// Runs every cell of the matrix across `jobs` worker threads.
+    ///
+    /// Sessions are built on the calling thread and *moved* into scoped
+    /// workers (each whole testbed crosses a thread boundary — the
+    /// design reason the simulator's types are `Send`). Every cell is
+    /// an independent deterministic simulation, so the result is
+    /// bit-identical to [`MicroMatrix::measure`] regardless of `jobs`
+    /// or scheduling.
+    pub fn measure_parallel(jobs: usize) -> Self {
+        let jobs = jobs.max(1);
+        let sessions: Vec<SimSession> = all_cells()
+            .into_iter()
+            .map(|(c, b)| SimSession::new(c, b))
+            .collect();
+
+        // Round-robin the cells over the workers. Cells of one config
+        // land on different workers on purpose: the nested-ARM configs
+        // are far slower than the x86 ones, and striping spreads them.
+        let mut buckets: Vec<Vec<SimSession>> = (0..jobs).map(|_| Vec::new()).collect();
+        for (i, s) in sessions.into_iter().enumerate() {
+            buckets[i % jobs].push(s);
+        }
+
+        let mut cells: Vec<CellResult> = Vec::new();
+        std::thread::scope(|scope| {
+            let workers: Vec<_> = buckets
+                .into_iter()
+                .map(|bucket| {
+                    scope.spawn(move || {
+                        bucket
+                            .into_iter()
+                            .map(SimSession::run)
+                            .collect::<Vec<CellResult>>()
+                    })
+                })
+                .collect();
+            for w in workers {
+                cells.extend(w.join().expect("evaluation worker panicked"));
+            }
+        });
+        Self::assemble(cells)
+    }
+
+    /// Keys cell results into the matrix; the `BTreeMap` makes the
+    /// result independent of arrival order.
+    fn assemble(cells: Vec<CellResult>) -> Self {
+        let mut per_config: BTreeMap<Config, BTreeMap<Bench, PerOpSer>> = BTreeMap::new();
+        let mut trap_kinds: BTreeMap<Config, BTreeMap<String, u64>> = BTreeMap::new();
+        for cell in cells {
+            per_config
+                .entry(cell.config)
+                .or_default()
+                .insert(cell.bench, cell.per_op);
+            let kinds = trap_kinds.entry(cell.config).or_default();
+            for (k, v) in cell.traps_by_kind {
+                *kinds.entry(k).or_insert(0) += v;
+            }
+        }
+        let results = per_config
+            .into_iter()
+            .map(|(c, benches)| {
+                let get = |b: Bench| {
+                    *benches
+                        .get(&b)
+                        .unwrap_or_else(|| panic!("missing cell {c:?}/{b:?}"))
+                };
+                (
+                    c,
+                    MicroCosts {
+                        hypercall: get(Bench::Hypercall),
+                        device_io: get(Bench::DeviceIo),
+                        virtual_ipi: get(Bench::VirtualIpi),
+                        virtual_eoi: get(Bench::VirtualEoi),
+                    },
+                )
+            })
+            .collect();
+        Self {
+            results,
+            trap_kinds,
+        }
+    }
+
+    /// Builds a matrix from externally supplied per-config costs (no
+    /// trap breakdowns). Used by the cache loader and by tests that
+    /// need synthetic cost points the real stacks never produce.
+    pub fn from_results(results: BTreeMap<Config, MicroCosts>) -> Self {
+        Self {
+            results,
+            trap_kinds: BTreeMap::new(),
+        }
+    }
+
+    /// Restores a matrix including trap breakdowns (the cache loader).
+    pub fn from_parts(
+        results: BTreeMap<Config, MicroCosts>,
+        trap_kinds: BTreeMap<Config, BTreeMap<String, u64>>,
+    ) -> Self {
+        Self {
+            results,
+            trap_kinds,
+        }
     }
 
     /// The costs of one configuration.
     pub fn costs(&self, c: Config) -> MicroCosts {
         self.results[&c]
+    }
+
+    /// The configurations this matrix holds results for.
+    pub fn configs(&self) -> impl Iterator<Item = Config> + '_ {
+        self.results.keys().copied()
+    }
+
+    /// The trap breakdown of one configuration, by reason, summed over
+    /// the four microbenchmarks. Empty for synthetic matrices.
+    pub fn trap_kinds(&self, c: Config) -> BTreeMap<String, u64> {
+        self.trap_kinds.get(&c).cloned().unwrap_or_default()
     }
 }
 

@@ -1,0 +1,214 @@
+//! The session layer: one [`SimSession`] owns the full lifecycle of a
+//! single (configuration, microbenchmark) evaluation cell — build the
+//! testbed, run warm-up plus measured iterations, and report per-op
+//! costs together with the trap breakdown (Table 7's observability
+//! data).
+//!
+//! Sessions are self-contained owned values: every simulated machine
+//! owns its memory, cores and cycle counter outright, so a session is
+//! `Send` and the evaluation matrix can build sessions on one thread
+//! and move them into scoped worker threads. Each cell's result depends
+//! only on its own deterministic simulation, so a parallel evaluation
+//! is bit-identical to a serial one.
+
+use crate::platforms::{Config, PerOpSer};
+use neve_cycles::counter::Measured;
+use neve_kvmarm::{MicroBench, TestBed};
+use neve_x86vt::testbed::{X86Bench, X86Config, X86TestBed};
+use std::collections::BTreeMap;
+
+/// A microbenchmark, platform-neutral (one row of Tables 1/6/7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Bench {
+    /// VM -> hypervisor -> VM round trip.
+    Hypercall,
+    /// Emulated-device read.
+    DeviceIo,
+    /// Cross-vCPU virtual IPI.
+    VirtualIpi,
+    /// Trap-free virtual interrupt completion.
+    VirtualEoi,
+}
+
+impl Bench {
+    /// All benchmarks, table row order.
+    pub fn all() -> [Bench; 4] {
+        [
+            Bench::Hypercall,
+            Bench::DeviceIo,
+            Bench::VirtualIpi,
+            Bench::VirtualEoi,
+        ]
+    }
+
+    /// Measured iterations (the simulator is deterministic, so small
+    /// counts give exact steady-state averages; the IPI pair is the
+    /// slowest cell and gets fewer).
+    fn iters(self) -> u64 {
+        match self {
+            Bench::VirtualIpi => IPI_ITERS,
+            _ => ITERS,
+        }
+    }
+
+    fn arm(self) -> MicroBench {
+        match self {
+            Bench::Hypercall => MicroBench::Hypercall,
+            Bench::DeviceIo => MicroBench::DeviceIo,
+            Bench::VirtualIpi => MicroBench::VirtualIpi,
+            Bench::VirtualEoi => MicroBench::VirtualEoi,
+        }
+    }
+
+    fn x86(self) -> X86Bench {
+        match self {
+            Bench::Hypercall => X86Bench::Hypercall,
+            Bench::DeviceIo => X86Bench::DeviceIo,
+            Bench::VirtualIpi => X86Bench::VirtualIpi,
+            Bench::VirtualEoi => X86Bench::VirtualEoi,
+        }
+    }
+}
+
+const ITERS: u64 = 24;
+const IPI_ITERS: u64 = 10;
+
+/// The platform-specific half of a session.
+enum Bed {
+    Arm(Box<TestBed>),
+    X86(Box<X86TestBed>),
+}
+
+/// One evaluation cell's full lifecycle: testbed construction through
+/// trap-stats report. Owned and `Send`; built on any thread, runnable
+/// on any other.
+pub struct SimSession {
+    config: Config,
+    bench: Bench,
+    iters: u64,
+    bed: Bed,
+}
+
+/// What one session measured.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellResult {
+    /// The configuration the cell ran on.
+    pub config: Config,
+    /// The microbenchmark it ran.
+    pub bench: Bench,
+    /// Per-operation averages.
+    pub per_op: PerOpSer,
+    /// Traps by reason over the measured region (keys are the stable
+    /// `TrapKind` debug names; absolute counts, not per-op).
+    pub traps_by_kind: BTreeMap<String, u64>,
+}
+
+impl SimSession {
+    /// Builds the full stack for one (configuration, benchmark) cell.
+    /// Construction is cheap relative to measurement; the warm-up runs
+    /// as part of [`SimSession::run`].
+    pub fn new(config: Config, bench: Bench) -> Self {
+        let iters = bench.iters();
+        let bed = match crate::platforms::arm_config(config) {
+            Some(ac) => Bed::Arm(Box::new(TestBed::new(ac, bench.arm(), iters))),
+            None => {
+                let xc = match config {
+                    Config::X86Vm => X86Config::Vm,
+                    _ => X86Config::Nested { shadowing: true },
+                };
+                Bed::X86(Box::new(X86TestBed::new(xc, bench.x86(), iters)))
+            }
+        };
+        Self {
+            config,
+            bench,
+            iters,
+            bed,
+        }
+    }
+
+    /// The cell's configuration.
+    pub fn config(&self) -> Config {
+        self.config
+    }
+
+    /// The cell's benchmark.
+    pub fn bench(&self) -> Bench {
+        self.bench
+    }
+
+    /// Runs warm-up plus measured iterations and reports the result.
+    /// Consumes the session: the testbed's end state is not reusable
+    /// for another measurement.
+    pub fn run(mut self) -> CellResult {
+        let measured = match &mut self.bed {
+            Bed::Arm(tb) => tb.run_measured(self.iters),
+            Bed::X86(tb) => tb.run_measured(self.iters),
+        };
+        let Measured {
+            per_op,
+            traps_by_kind,
+        } = measured;
+        CellResult {
+            config: self.config,
+            bench: self.bench,
+            per_op: per_op.into(),
+            traps_by_kind: traps_by_kind
+                .into_iter()
+                .map(|(k, v)| (format!("{k:?}"), v))
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The tentpole's static guarantee: whole machines and testbeds can
+    /// move across threads. These are compile-time assertions — if any
+    /// component regresses to a non-`Send` sharing scheme (`Rc`,
+    /// raw pointers), this test stops compiling.
+    #[test]
+    fn simulation_types_are_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<neve_armv8::machine::Machine>();
+        assert_send::<neve_kvmarm::TestBed>();
+        assert_send::<neve_x86vt::testbed::X86TestBed>();
+        assert_send::<SimSession>();
+        assert_send::<CellResult>();
+        assert_send::<crate::platforms::MicroMatrix>();
+    }
+
+    #[test]
+    fn a_session_runs_one_cell() {
+        let r = SimSession::new(Config::ArmVm, Bench::Hypercall).run();
+        assert_eq!(r.config, Config::ArmVm);
+        assert_eq!(r.bench, Bench::Hypercall);
+        assert!(r.per_op.cycles > 0);
+        // A single-level hypercall traps exactly once per iteration.
+        assert!((r.per_op.traps - 1.0).abs() < 1e-9);
+        let total: u64 = r.traps_by_kind.values().sum();
+        assert!(total >= ITERS, "breakdown covers the measured region");
+        assert!(r.traps_by_kind.contains_key("Hvc"), "{:?}", r.traps_by_kind);
+    }
+
+    #[test]
+    fn sessions_move_across_threads() {
+        // Build on the main thread, run on a worker — the pattern
+        // measure_parallel relies on, exercised directly.
+        let s = SimSession::new(Config::X86Vm, Bench::DeviceIo);
+        let r = std::thread::scope(|scope| scope.spawn(move || s.run()).join().unwrap());
+        assert!(r.per_op.cycles > 0);
+    }
+
+    #[test]
+    fn eoi_cells_report_zero_traps() {
+        // Virtual EOI is the trap-free row of Table 7 on both platforms.
+        for config in [Config::ArmVm, Config::X86Vm] {
+            let r = SimSession::new(config, Bench::VirtualEoi).run();
+            assert_eq!(r.per_op.traps, 0.0, "{config:?}");
+            assert!(r.traps_by_kind.is_empty(), "{config:?}");
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! The parallel-evaluation determinism guarantee: fanning the matrix
+//! out across worker threads changes wall-clock time and nothing else.
+
+use neve_workloads::platforms::{Config, MicroMatrix};
+use std::sync::OnceLock;
+
+/// One serial reference measurement, shared across the tests here (a
+/// full matrix is 28 simulations; measure it once).
+fn serial() -> &'static MicroMatrix {
+    static M: OnceLock<MicroMatrix> = OnceLock::new();
+    M.get_or_init(MicroMatrix::measure)
+}
+
+#[test]
+fn parallel_matrix_is_bit_identical_to_serial() {
+    let parallel = MicroMatrix::measure_parallel(4);
+    assert_eq!(&parallel, serial());
+    // Equality must include the trap-stat observability data, not just
+    // the headline numbers (spell it out in case PartialEq drifts).
+    for c in Config::all() {
+        assert_eq!(parallel.costs(c), serial().costs(c), "{c:?}");
+        assert_eq!(parallel.trap_kinds(c), serial().trap_kinds(c), "{c:?}");
+    }
+}
+
+#[test]
+fn worker_count_does_not_leak_into_results() {
+    // One worker (degenerate case) and more workers than cells both
+    // reproduce the reference exactly.
+    assert_eq!(&MicroMatrix::measure_parallel(1), serial());
+    assert_eq!(&MicroMatrix::measure_parallel(64), serial());
+}
+
+#[test]
+fn consecutive_runs_agree() {
+    let a = MicroMatrix::measure_parallel(3);
+    let b = MicroMatrix::measure_parallel(3);
+    assert_eq!(a, b);
+}

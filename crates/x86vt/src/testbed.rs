@@ -4,7 +4,7 @@ use crate::guesthyp;
 use crate::isa::{X86Asm, X86Instr, X86Program};
 use crate::machine::{X86Ctx, X86Machine, X86MachineConfig, X86Step, GPR_SLOTS};
 use crate::vmcs::VmcsField;
-use neve_cycles::counter::PerOp;
+use neve_cycles::counter::{Delta, Measured, PerOp};
 
 /// Payload image base (single-level VM or nested VM).
 pub const PAYLOAD_BASE: u64 = 0x10_000;
@@ -190,9 +190,25 @@ impl X86TestBed {
     ///
     /// Panics if a payload crashes or stalls.
     pub fn run(&mut self, iters: u64) -> PerOp {
-        if self.bench == X86Bench::VirtualEoi {
-            return self.run_eoi(iters);
-        }
+        self.run_measured(iters).per_op
+    }
+
+    /// Like [`X86TestBed::run`] but also reports the measured region's
+    /// trap breakdown by exit reason (Table 7 observability).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a payload crashes or stalls.
+    pub fn run_measured(&mut self, iters: u64) -> Measured {
+        let (delta, n) = if self.bench == X86Bench::VirtualEoi {
+            self.run_eoi(iters)
+        } else {
+            self.run_main(iters)
+        };
+        delta.measured(n)
+    }
+
+    fn run_main(&mut self, iters: u64) -> (Delta, u64) {
         let multi = self.bench == X86Bench::VirtualIpi;
         let mut snap = None;
         let mut steps = 0u64;
@@ -219,7 +235,7 @@ impl X86TestBed {
             }
         }
         let snap = snap.expect("warm-up longer than run");
-        self.m.counter.delta_since(&snap).per_op(iters)
+        (self.m.counter.delta_since(&snap), iters)
     }
 
     /// The payload's iteration counter (register 10), live or parked.
@@ -231,8 +247,8 @@ impl X86TestBed {
     }
 
     /// EOI: measure only the `ApicEoi` instruction.
-    fn run_eoi(&mut self, _iters: u64) -> PerOp {
-        let mut measured = neve_cycles::counter::Delta::default();
+    fn run_eoi(&mut self, _iters: u64) -> (Delta, u64) {
+        let mut measured = Delta::default();
         let mut done = 0u64;
         let mut steps = 0u64;
         loop {
@@ -246,8 +262,7 @@ impl X86TestBed {
                 let d = self.m.counter.delta_since(&s);
                 done += 1;
                 if done > WARMUP {
-                    measured.cycles += d.cycles;
-                    measured.traps += d.traps;
+                    measured.accumulate(&d);
                 }
             }
             match out {
@@ -259,7 +274,7 @@ impl X86TestBed {
                 other => panic!("unexpected {other:?}"),
             }
         }
-        measured.per_op(done - WARMUP)
+        (measured, done - WARMUP)
     }
 
     fn peek(&self, _rip: u64) -> Option<X86Instr> {
@@ -269,7 +284,7 @@ impl X86TestBed {
             return None;
         }
         let idx = _rip - base;
-        if (idx - 1) % 3 == 0 {
+        if (idx - 1).is_multiple_of(3) {
             Some(X86Instr::ApicEoi)
         } else {
             None
