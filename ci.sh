@@ -11,6 +11,9 @@ cargo fmt --all -- --check
 echo "==> cargo clippy (deny warnings)"
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
+echo "==> cargo build --examples"
+cargo build --workspace --examples --offline
+
 echo "==> cargo test"
 cargo test --workspace -q --offline
 

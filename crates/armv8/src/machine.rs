@@ -20,7 +20,7 @@ use crate::pstate::Pstate;
 use crate::trace::{Trace, TraceEvent};
 use crate::ArchLevel;
 use neve_core::Disposition;
-use neve_cycles::{CostModel, CycleCounter, Event, TrapKind};
+use neve_cycles::{CostModel, CycleCounter, Event, Phase, TrapKind};
 use neve_gic::Gic;
 use neve_memsim::{walk, Access, PageTable, PhysMem, Tlb, TlbKey};
 use neve_sysreg::bits::{esr, hcr, vttbr};
@@ -303,6 +303,12 @@ impl Machine {
 
     /// Latches syndrome state and raises the EL to 2. The caller then
     /// invokes the hypervisor and afterwards [`Machine::eret_from_el2`].
+    ///
+    /// Provenance: the trap itself is attributed to the phase it
+    /// interrupted (almost always [`Phase::Guest`]), the hardware entry
+    /// cycles to [`Phase::TrapEntry`], and the counter is left in
+    /// [`Phase::HostSw`] — the baseline for the native handler, which
+    /// marks finer phases itself via [`Machine::phase`].
     fn enter_el2(
         &mut self,
         cpu: usize,
@@ -312,16 +318,30 @@ impl Machine {
         hpfar: u64,
         ret: u64,
     ) -> ExitInfo {
+        let from_phase = self.counter.phase();
+        self.counter.record_trap(kind);
+        self.counter.set_phase(Phase::TrapEntry);
         let c = self.cfg.cost.arm_cost(Event::TrapEnter);
         self.counter.charge(Event::TrapEnter, c);
-        self.counter.record_trap(kind);
-        if let Some(t) = &mut self.trace {
-            t.push(TraceEvent::TrapToEl2 {
-                cpu,
-                kind,
-                esr: esr_val,
-                pc: ret,
-            });
+        if self.trace.is_some() {
+            // Which register access pulled us in: system-register traps
+            // carry the register code in the ISS (the TLB-maintenance
+            // marker `iss == 1` intentionally decodes to none).
+            let iss = esr::iss(esr_val);
+            let sysreg = (kind == TrapKind::SysReg && iss != 1)
+                .then(|| neve_sysreg::regcode::parse_sysreg_iss(iss))
+                .flatten()
+                .map(|(id, _, _)| id);
+            if let Some(t) = &mut self.trace {
+                t.push(TraceEvent::TrapToEl2 {
+                    cpu,
+                    kind,
+                    esr: esr_val,
+                    pc: ret,
+                    phase: from_phase,
+                    sysreg,
+                });
+            }
         }
         let spsr = self.cores[cpu].pstate.to_spsr();
         let regs = &mut self.cores[cpu].regs;
@@ -335,6 +355,7 @@ impl Machine {
             irq_masked: true,
             fiq_masked: true,
         };
+        self.counter.set_phase(Phase::HostSw);
         ExitInfo {
             esr: esr_val,
             elr: ret,
@@ -344,14 +365,33 @@ impl Machine {
     }
 
     /// Returns from EL2 using `ELR_EL2`/`SPSR_EL2` (the hardware `eret`
-    /// the machine performs after a native handler finishes).
+    /// the machine performs after a native handler finishes). Leaves the
+    /// counter back in [`Phase::Guest`].
     fn eret_from_el2(&mut self, cpu: usize) {
+        self.counter.set_phase(Phase::TrapReturn);
         let c = self.cfg.cost.arm_cost(Event::TrapReturn);
         self.counter.charge(Event::TrapReturn, c);
         let elr = self.cores[cpu].regs.read(SysReg::ElrEl2);
         let spsr = self.cores[cpu].regs.read(SysReg::SpsrEl2);
         self.cores[cpu].pstate = Pstate::from_spsr(spsr);
         self.cores[cpu].pc = elr;
+        self.counter.set_phase(Phase::Guest);
+    }
+
+    /// Host hypervisor: marks the world-switch phase now executing, for
+    /// per-phase cycle/trap attribution and trace provenance. Returns
+    /// the previous phase so callers can scope a region and restore it.
+    /// Pure accounting — charges no cycles — so marking phases can never
+    /// perturb measured numbers; a trace marker is pushed only when the
+    /// phase actually changes.
+    pub fn phase(&mut self, cpu: usize, phase: Phase) -> Phase {
+        let prev = self.counter.set_phase(phase);
+        if prev != phase {
+            if let Some(t) = &mut self.trace {
+                t.push(TraceEvent::PhaseChange { cpu, phase });
+            }
+        }
+        prev
     }
 
     /// Delivers an exception to EL1 (state mutation only).
@@ -466,7 +506,9 @@ impl Machine {
                 let vhe_guest = true; // only VHE guests emit these names
                 match self.cores[cpu].neve.disposition(id, write, vhe_guest) {
                     Disposition::Memory { offset } => {
-                        return RouteOutcome::Done(self.vncr_slot_access(cpu, offset, write, val));
+                        return RouteOutcome::Done(
+                            self.vncr_slot_access(cpu, id, offset, write, val),
+                        );
                     }
                     Disposition::RedirectEl1(t) => {
                         return RouteOutcome::Done(self.perform(cpu, t, write, val));
@@ -490,7 +532,9 @@ impl Machine {
                 let vhe_guest = !nv1;
                 match self.cores[cpu].neve.disposition(id, write, vhe_guest) {
                     Disposition::Memory { offset } => {
-                        return RouteOutcome::Done(self.vncr_slot_access(cpu, offset, write, val));
+                        return RouteOutcome::Done(
+                            self.vncr_slot_access(cpu, id, offset, write, val),
+                        );
                     }
                     Disposition::RedirectEl1(t) => {
                         return RouteOutcome::Done(self.perform(cpu, t, write, val));
@@ -517,7 +561,7 @@ impl Machine {
                 if let Disposition::Memory { offset } =
                     self.cores[cpu].neve.disposition(id, write, false)
                 {
-                    return RouteOutcome::Done(self.vncr_slot_access(cpu, offset, write, val));
+                    return RouteOutcome::Done(self.vncr_slot_access(cpu, id, offset, write, val));
                 }
             }
             return RouteOutcome::TrapEl2(TrapKind::SysReg, sysreg_esr);
@@ -592,8 +636,25 @@ impl Machine {
     }
 
     /// NEVE: a register access rewritten into a deferred-access-page slot
-    /// access (charged as memory, paper Section 6.1).
-    fn vncr_slot_access(&mut self, cpu: usize, offset: u16, write: bool, val: u64) -> u64 {
+    /// access (charged as memory, paper Section 6.1). Records the
+    /// suppressed trap — which register, which direction, which slot —
+    /// in the trace, so deferrals are as attributable as real traps.
+    fn vncr_slot_access(
+        &mut self,
+        cpu: usize,
+        id: RegId,
+        offset: u16,
+        write: bool,
+        val: u64,
+    ) -> u64 {
+        if let Some(t) = &mut self.trace {
+            t.push(TraceEvent::VncrDeferred {
+                cpu,
+                reg: id,
+                write,
+                offset,
+            });
+        }
         let addr = self.cores[cpu].neve.slot_address(offset);
         if write {
             let c = self.cfg.cost.arm_cost(Event::MemStore);

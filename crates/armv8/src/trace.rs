@@ -1,14 +1,24 @@
-//! Execution tracing.
+//! Execution tracing with trap provenance.
 //!
 //! An optional ring buffer of architectural events, cheap enough to
 //! leave compiled in: the machine records nothing unless a trace is
-//! attached. The `neve-cli trace` command uses this to show the
+//! attached, and attaching one never charges cycles — the hard
+//! invariant is that a traced run measures bit-identically to an
+//! untraced one. The `neve trace` command uses this to show the
 //! instruction-level anatomy of a nested world switch — the literal
-//! sequence Section 5 of the paper describes in prose.
+//! sequence Section 5 of the paper describes in prose — with every
+//! trap annotated with *why* it was taken (which system register or
+//! instruction) and *which world-switch phase* the machine was in.
 
 use crate::isa::Instr;
-use neve_cycles::TrapKind;
+use neve_cycles::{Phase, TrapKind};
+use neve_sysreg::RegId;
 use std::collections::VecDeque;
+
+/// Hard cap on retained events; [`Trace::new`] clamps to this. Bounds
+/// both the ring allocation and its retention so a huge requested
+/// capacity cannot grow memory without limit.
+pub const MAX_CAPACITY: usize = 1 << 16;
 
 /// One traced event.
 #[derive(Debug, Clone, PartialEq)]
@@ -34,6 +44,12 @@ pub enum TraceEvent {
         esr: u64,
         /// Faulting/preferred-return address.
         pc: u64,
+        /// World-switch phase active when the trap was taken
+        /// (provenance: almost always [`Phase::Guest`]).
+        phase: Phase,
+        /// For system-register traps: the register access that caused
+        /// the trap, decoded from the syndrome.
+        sysreg: Option<RegId>,
     },
     /// An exception was delivered to EL1 (vectored entry).
     ExceptionToEl1 {
@@ -43,6 +59,26 @@ pub enum TraceEvent {
         esr: u64,
         /// Vector target.
         vector: u64,
+    },
+    /// The world-switch phase changed (host hypervisor provenance
+    /// marker; carries no cost).
+    PhaseChange {
+        /// CPU index.
+        cpu: usize,
+        /// The phase now active.
+        phase: Phase,
+    },
+    /// NEVE rewrote a would-be trap into a deferred access-page slot
+    /// access (the engine's `Memory` disposition in action).
+    VncrDeferred {
+        /// CPU index.
+        cpu: usize,
+        /// The access that would have trapped on ARMv8.3.
+        reg: RegId,
+        /// True for a write.
+        write: bool,
+        /// Byte offset of the slot within the deferred access page.
+        offset: u16,
     },
 }
 
@@ -56,13 +92,21 @@ pub struct Trace {
 }
 
 impl Trace {
-    /// Creates a trace keeping the most recent `capacity` events.
+    /// Creates a trace keeping the most recent `capacity` events,
+    /// clamped to `1..=`[`MAX_CAPACITY`]. The same clamped value bounds
+    /// both the ring allocation and its retention.
     pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.clamp(1, MAX_CAPACITY);
         Self {
-            ring: VecDeque::with_capacity(capacity.min(1 << 16)),
-            capacity: capacity.max(1),
+            ring: VecDeque::with_capacity(capacity),
+            capacity,
             total: 0,
         }
+    }
+
+    /// The retention bound the constructor settled on.
+    pub fn capacity(&self) -> usize {
+        self.capacity
     }
 
     /// Records one event.
@@ -100,11 +144,37 @@ impl Trace {
             TraceEvent::Retired { cpu, pc, el, instr } => {
                 format!("cpu{cpu} EL{el} {pc:#010x}  {instr:?}")
             }
-            TraceEvent::TrapToEl2 { cpu, kind, esr, pc } => {
-                format!("cpu{cpu} ---- TRAP to EL2: {kind:?} (esr={esr:#x}) from {pc:#010x}")
+            TraceEvent::TrapToEl2 {
+                cpu,
+                kind,
+                esr,
+                pc,
+                phase,
+                sysreg,
+            } => {
+                let cause = match sysreg {
+                    Some(id) => format!("{kind:?} {id:?}"),
+                    None => format!("{kind:?}"),
+                };
+                format!(
+                    "cpu{cpu} ---- TRAP to EL2: {cause} (esr={esr:#x}, in {}) from {pc:#010x}",
+                    phase.label()
+                )
             }
             TraceEvent::ExceptionToEl1 { cpu, esr, vector } => {
                 format!("cpu{cpu} ---- exception to EL1 (esr={esr:#x}) -> {vector:#010x}")
+            }
+            TraceEvent::PhaseChange { cpu, phase } => {
+                format!("cpu{cpu} .... phase: {}", phase.label())
+            }
+            TraceEvent::VncrDeferred {
+                cpu,
+                reg,
+                write,
+                offset,
+            } => {
+                let dir = if *write { "write" } else { "read" };
+                format!("cpu{cpu} ++++ NEVE deferred {dir} of {reg:?} to page slot {offset:#x}")
             }
         }
     }
@@ -138,15 +208,67 @@ mod tests {
     }
 
     #[test]
+    fn capacity_is_clamped_once_and_enforced() {
+        // Regression: `Trace::new(0)` used to clamp `capacity` but not
+        // the allocation, and a huge capacity capped the allocation but
+        // not retention (unbounded growth).
+        let mut t = Trace::new(0);
+        assert_eq!(t.capacity(), 1);
+        for pc in 0..3u64 {
+            t.push(TraceEvent::Retired {
+                cpu: 0,
+                pc,
+                el: 1,
+                instr: Instr::Nop,
+            });
+        }
+        assert_eq!(t.len(), 1, "retention respects the clamp");
+        assert_eq!(t.total, 3);
+
+        let t = Trace::new(usize::MAX);
+        assert_eq!(t.capacity(), MAX_CAPACITY, "upper clamp bounds retention");
+    }
+
+    #[test]
     fn render_mentions_the_essentials() {
         let s = Trace::render(&TraceEvent::TrapToEl2 {
             cpu: 1,
             kind: TrapKind::Hvc,
             esr: 0x5800_0000,
             pc: 0x1000,
+            phase: Phase::Guest,
+            sysreg: None,
         });
         assert!(s.contains("TRAP"));
         assert!(s.contains("Hvc"));
         assert!(s.contains("cpu1"));
+        assert!(s.contains("guest"));
+    }
+
+    #[test]
+    fn render_shows_sysreg_provenance_and_phase() {
+        use neve_sysreg::SysReg;
+        let s = Trace::render(&TraceEvent::TrapToEl2 {
+            cpu: 0,
+            kind: TrapKind::SysReg,
+            esr: 0,
+            pc: 0x2000,
+            phase: Phase::Guest,
+            sysreg: Some(RegId::Plain(SysReg::HcrEl2)),
+        });
+        assert!(s.contains("HcrEl2"), "{s}");
+        let s = Trace::render(&TraceEvent::VncrDeferred {
+            cpu: 0,
+            reg: RegId::Plain(SysReg::VttbrEl2),
+            write: true,
+            offset: 0x20,
+        });
+        assert!(s.contains("deferred write"), "{s}");
+        assert!(s.contains("VttbrEl2"), "{s}");
+        let s = Trace::render(&TraceEvent::PhaseChange {
+            cpu: 0,
+            phase: Phase::EretEmul,
+        });
+        assert!(s.contains("eret_emul"), "{s}");
     }
 }

@@ -1,67 +1,63 @@
 //! Dumps every regenerated result (Tables 1/6/7 and Figure 2) as JSON to
-//! `results/` for downstream plotting. The writer is hand-rolled (the
-//! data is flat numbers/strings; no extra dependency warranted).
+//! `results/` for downstream plotting. The per-config provenance block
+//! (`trap_kinds` + `phases`) is rendered by the same
+//! [`neve_workloads::provenance`] helper the results cache and `neve
+//! trace --json` use, so the three exports share one schema.
 
-use neve_workloads::apps;
-use neve_workloads::platforms::Config;
+use neve_json::JsonValue;
+use neve_workloads::platforms::{Config, PerOpSer};
+use neve_workloads::{apps, provenance};
 use std::fmt::Write as _;
 use std::fs;
-
-fn json_escape(s: &str) -> String {
-    s.replace('\\', "\\\\").replace('"', "\\\"")
-}
 
 fn main() {
     fs::create_dir_all("results").expect("create results/");
     let m = neve_bench::shared_matrix();
 
     // Microbenchmark matrix.
-    let mut out = String::from("{\n  \"micro\": {\n");
-    let mut cfg_parts = Vec::new();
-    for c in Config::all() {
-        let costs = m.costs(c);
-        let mut s = format!("    \"{}\": {{\n", json_escape(c.label()));
-        for (name, p) in [
-            ("hypercall", costs.hypercall),
-            ("device_io", costs.device_io),
-            ("virtual_ipi", costs.virtual_ipi),
-            ("virtual_eoi", costs.virtual_eoi),
-        ] {
-            let _ = writeln!(
-                s,
-                "      \"{name}\": {{ \"cycles\": {}, \"traps\": {} }},",
-                p.cycles, p.traps
-            );
-        }
-        let kinds: Vec<String> = m
-            .trap_kinds(c)
-            .iter()
-            .map(|(k, n)| format!("\"{}\": {n}", json_escape(k)))
-            .collect();
-        let _ = writeln!(s, "      \"trap_kinds\": {{ {} }},", kinds.join(", "));
-        s.truncate(s.trim_end_matches(",\n").len());
-        s.push_str("\n    }");
-        cfg_parts.push(s);
-    }
-    out.push_str(&cfg_parts.join(",\n"));
-    out.push_str("\n  },\n  \"figure2\": {\n");
+    let per_op = |p: PerOpSer| {
+        JsonValue::Object(vec![
+            ("cycles".into(), JsonValue::from(p.cycles)),
+            ("traps".into(), JsonValue::from(p.traps)),
+        ])
+    };
+    let micro = Config::all()
+        .into_iter()
+        .map(|c| {
+            let costs = m.costs(c);
+            let mut body = vec![
+                ("hypercall".into(), per_op(costs.hypercall)),
+                ("device_io".into(), per_op(costs.device_io)),
+                ("virtual_ipi".into(), per_op(costs.virtual_ipi)),
+                ("virtual_eoi".into(), per_op(costs.virtual_eoi)),
+            ];
+            body.extend(provenance::json_fields(&m.trap_kinds(c), &m.phases(c)));
+            (c.label().to_string(), JsonValue::Object(body))
+        })
+        .collect();
 
     let rows = apps::figure2(&m);
-    let mut row_parts = Vec::new();
-    for r in &rows {
-        let mut s = format!("    \"{}\": {{ ", json_escape(r.name));
-        let cells: Vec<String> = r
-            .overheads
-            .iter()
-            .map(|(c, o)| format!("\"{}\": {:.4}", json_escape(c.label()), o))
-            .collect();
-        s.push_str(&cells.join(", "));
-        s.push_str(" }");
-        row_parts.push(s);
-    }
-    out.push_str(&row_parts.join(",\n"));
-    out.push_str("\n  }\n}\n");
+    let figure2 = rows
+        .iter()
+        .map(|r| {
+            let cells = r
+                .overheads
+                .iter()
+                // Round to four decimals so the export diffs cleanly.
+                .map(|(c, o)| {
+                    let rounded = (o * 10_000.0).round() / 10_000.0;
+                    (c.label().to_string(), JsonValue::from(rounded))
+                })
+                .collect();
+            (r.name.to_string(), JsonValue::Object(cells))
+        })
+        .collect();
 
+    let doc = JsonValue::Object(vec![
+        ("micro".into(), JsonValue::Object(micro)),
+        ("figure2".into(), JsonValue::Object(figure2)),
+    ]);
+    let out = doc.pretty();
     fs::write("results/neve_results.json", &out).expect("write results");
     println!("Wrote results/neve_results.json ({} bytes).", out.len());
 

@@ -2,7 +2,7 @@
 
 use neve_bench::paper;
 use neve_workloads::platforms::Config;
-use neve_workloads::tables;
+use neve_workloads::{provenance, tables};
 
 fn main() {
     println!("Table 7: Microbenchmark Average Trap Counts (measured | paper)");
@@ -20,6 +20,15 @@ fn main() {
             parts.join(" ")
         };
         println!("  {:<22} {line}", c.label());
+    }
+    println!();
+    println!("World-switch phase attribution (the provenance behind the counts;");
+    println!("same breakdown as `neve trace <config> <bench>`):");
+    for c in [Config::ArmNestedV83, Config::ArmNestedNeve] {
+        println!("  {}:", c.label());
+        for line in provenance::render_phases(&m.phases(c)).lines() {
+            println!("    {line}");
+        }
     }
     println!();
     println!("Paper reference:");

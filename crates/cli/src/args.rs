@@ -3,25 +3,30 @@
 
 use std::collections::BTreeMap;
 
-/// Parsed invocation: a subcommand plus `--key value` options.
+/// Parsed invocation: a subcommand, positional operands, and
+/// `--key value` options.
 #[derive(Debug, Default)]
 pub struct Parsed {
     /// The subcommand (first bare argument).
     pub command: String,
+    /// Bare words after the subcommand, in order (`neve trace
+    /// v8.3-nested hypercall` carries two).
+    pub positionals: Vec<String>,
     /// `--key value` pairs.
     pub options: BTreeMap<String, String>,
 }
 
 /// Flags that take no value (presence is the value). Everything else
 /// follows the `--key value` grammar.
-const BOOLEAN_FLAGS: &[&str] = &["no-cache"];
+const BOOLEAN_FLAGS: &[&str] = &["no-cache", "json"];
 
 /// Parses `argv` (without the program name).
 ///
 /// # Errors
 ///
-/// Rejects dangling `--key` without a value (boolean flags excepted)
-/// and unexpected bare words.
+/// Rejects dangling `--key` without a value (boolean flags excepted).
+/// Bare words after the subcommand are collected as positionals; each
+/// command decides how many it accepts.
 pub fn parse(argv: &[String]) -> Result<Parsed, String> {
     let mut p = Parsed::default();
     let mut it = argv.iter();
@@ -32,7 +37,8 @@ pub fn parse(argv: &[String]) -> Result<Parsed, String> {
     }
     while let Some(a) = it.next() {
         let Some(key) = a.strip_prefix("--") else {
-            return Err(format!("unexpected argument: {a}"));
+            p.positionals.push(a.clone());
+            continue;
         };
         if BOOLEAN_FLAGS.contains(&key) {
             p.options.insert(key.to_string(), "true".to_string());
@@ -98,7 +104,15 @@ mod tests {
     fn rejects_dangling_flag() {
         assert!(parse(&sv(&["micro", "--bench"])).is_err());
         assert!(parse(&sv(&["--bench", "x"])).is_err());
-        assert!(parse(&sv(&["micro", "stray"])).is_err());
+    }
+
+    #[test]
+    fn collects_positionals_in_order() {
+        let p = parse(&sv(&["trace", "v8.3-nested", "hypercall", "--limit", "50"])).unwrap();
+        assert_eq!(p.command, "trace");
+        assert_eq!(p.positionals, vec!["v8.3-nested", "hypercall"]);
+        assert_eq!(p.get_u64("limit", 0).unwrap(), 50);
+        assert!(parse(&sv(&["micro"])).unwrap().positionals.is_empty());
     }
 
     #[test]

@@ -1,12 +1,15 @@
 //! Subcommand implementations.
 
 use crate::args;
-use neve_armv8::trace::{Trace, TraceEvent};
+use neve_armv8::trace::{Trace, TraceEvent, MAX_CAPACITY};
+use neve_cycles::counter::Measured;
+use neve_json::JsonValue;
 use neve_kvmarm::{ArmConfig, MicroBench, ParaMode, TestBed};
 use neve_workloads::cache::{self, MatrixSource};
-use neve_workloads::platforms::MicroMatrix;
-use neve_workloads::{apps, tables};
+use neve_workloads::platforms::{MicroMatrix, PhaseStat};
+use neve_workloads::{apps, provenance, tables};
 use neve_x86vt::testbed::{X86Bench, X86Config, X86TestBed};
+use std::collections::BTreeMap;
 
 /// A resolved platform configuration.
 enum Target {
@@ -25,19 +28,19 @@ fn target(name: &str) -> Result<Target, String> {
             cfg: ArmConfig::Vm,
             xen: false,
         },
-        "v83" => Target::Arm {
+        "v83" | "v8.3" | "v8.3-nested" => Target::Arm {
             cfg: nested(false, false),
             xen: false,
         },
-        "v83-vhe" => Target::Arm {
+        "v83-vhe" | "v8.3-nested-vhe" => Target::Arm {
             cfg: nested(true, false),
             xen: false,
         },
-        "neve" => Target::Arm {
+        "neve" | "neve-nested" => Target::Arm {
             cfg: nested(false, true),
             xen: false,
         },
-        "neve-vhe" => Target::Arm {
+        "neve-vhe" | "neve-nested-vhe" => Target::Arm {
             cfg: nested(true, true),
             xen: false,
         },
@@ -59,9 +62,9 @@ fn target(name: &str) -> Result<Target, String> {
 fn arm_bench(name: &str) -> Result<MicroBench, String> {
     Ok(match name {
         "hypercall" => MicroBench::Hypercall,
-        "devio" => MicroBench::DeviceIo,
-        "ipi" => MicroBench::VirtualIpi,
-        "eoi" => MicroBench::VirtualEoi,
+        "devio" | "device_io" => MicroBench::DeviceIo,
+        "ipi" | "virtual_ipi" => MicroBench::VirtualIpi,
+        "eoi" | "virtual_eoi" => MicroBench::VirtualEoi,
         other => return Err(format!("unknown benchmark `{other}`")),
     })
 }
@@ -69,9 +72,9 @@ fn arm_bench(name: &str) -> Result<MicroBench, String> {
 fn x86_bench(name: &str) -> Result<X86Bench, String> {
     Ok(match name {
         "hypercall" => X86Bench::Hypercall,
-        "devio" => X86Bench::DeviceIo,
-        "ipi" => X86Bench::VirtualIpi,
-        "eoi" => X86Bench::VirtualEoi,
+        "devio" | "device_io" => X86Bench::DeviceIo,
+        "ipi" | "virtual_ipi" => X86Bench::VirtualIpi,
+        "eoi" | "virtual_eoi" => X86Bench::VirtualEoi,
         other => return Err(format!("unknown benchmark `{other}`")),
     })
 }
@@ -100,12 +103,22 @@ USAGE:
     neve tables  [--jobs N] [--no-cache]                regenerate Tables 1/6/7
     neve figure2 [--explain WORKLOAD] [--jobs N] [--no-cache]
                                                         regenerate Figure 2
-    neve trace   [--config C] [--limit N]               world-switch anatomy
+    neve trace   <config> <bench> [--json] [--limit N]  world-switch anatomy
+                                                        with trap provenance
     neve help                                           this text
 
 CONFIGS:    vm v83 v83-vhe neve neve-vhe v83-xen neve-xen
             x86-vm x86-nested x86-noshadow
+            (aliases: v8.3-nested v8.3-nested-vhe neve-nested ...)
 BENCHMARKS: hypercall devio ipi eoi
+            (aliases: device_io virtual_ipi virtual_eoi)
+
+`neve trace` replays one ARM cell with the execution trace attached and
+prints every architectural event of the last round trip (each trap
+annotated with the system register that caused it and the world-switch
+phase it interrupted), then the per-phase cycle/trap attribution and the
+per-kind trap totals behind Table 7. --json emits the same data in the
+results-cache schema.
 
 Table and figure commands measure the 28-cell evaluation matrix in
 parallel (--jobs N workers, default: available cores) and cache the
@@ -210,47 +223,110 @@ fn figure2_cmd(p: &args::Parsed) -> Result<(), String> {
     Ok(())
 }
 
-/// Traces one nested hypercall round trip and prints every architectural
-/// event — the paper's Section 5 prose as an event log.
+/// Traces one microbenchmark's measured region and prints the anatomy
+/// of the nested world switch — the paper's Section 5 prose as an event
+/// log with trap provenance — plus the per-phase and per-kind summary.
+/// `--json` emits the same data in the results-cache schema instead.
 fn trace_cmd(p: &args::Parsed) -> Result<(), String> {
-    let cfg_name = p.get("config", "v83");
-    let limit = p.get_u64("limit", 2000)? as usize;
+    if p.positionals.len() > 2 {
+        return Err(format!(
+            "trace takes `<config> <bench>`, got {:?}",
+            p.positionals
+        ));
+    }
+    let cfg_name = match p.positionals.first() {
+        Some(s) => s.as_str(),
+        None => p.get("config", "v83"),
+    };
+    let bench_name = match p.positionals.get(1) {
+        Some(s) => s.as_str(),
+        None => p.get("bench", "hypercall"),
+    };
+    let limit = p.get_u64("limit", 400)? as usize;
     let Target::Arm { cfg, xen } = target(cfg_name)? else {
         return Err("trace supports the ARM configurations".into());
     };
-    let bench = MicroBench::Hypercall;
-    let iters = 12;
-    let mut tb = if xen {
-        TestBed::new_xen(cfg, bench, iters)
-    } else {
-        TestBed::new(cfg, bench, iters)
-    };
-    // Warm up past the lazy faults so the trace shows steady state, then
-    // attach the trace and capture one full round trip.
-    let warm = tb.run(iters);
-    println!(
-        "steady state on {cfg_name}: {} cycles/op, {:.1} traps/op",
-        warm.cycles, warm.traps
-    );
-    println!("re-running with tracing for one round trip:\n");
+    let bench = arm_bench(bench_name)?;
 
+    // The ring must retain the whole measured region (the testbed clears
+    // it at the measurement snapshot) so the per-kind totals below are
+    // exact, not a suffix — MAX_CAPACITY holds it with room to spare.
+    let iters = 8;
     let mut tb = if xen {
         TestBed::new_xen(cfg, bench, iters)
     } else {
         TestBed::new(cfg, bench, iters)
     };
-    tb.m.attach_trace(limit);
-    let _ = tb.run(iters);
+    tb.m.attach_trace(MAX_CAPACITY);
+    let (delta, n) = tb.run_region(iters);
     let trace = tb.m.trace.take().expect("trace attached");
-    print_one_round_trip(&trace);
+    let Measured {
+        per_op,
+        traps_by_kind,
+        cycles_by_phase,
+        traps_by_phase,
+    } = delta.measured(n);
+
+    // The same string-keyed shape the session layer persists.
+    let kinds: BTreeMap<String, u64> = traps_by_kind
+        .into_iter()
+        .map(|(k, v)| (format!("{k:?}"), v))
+        .collect();
+    let mut phases: BTreeMap<String, PhaseStat> = BTreeMap::new();
+    for (ph, v) in cycles_by_phase {
+        phases.entry(ph.label().to_string()).or_default().cycles = v;
+    }
+    for (ph, v) in traps_by_phase {
+        phases.entry(ph.label().to_string()).or_default().traps = v;
+    }
+
+    if p.has("json") {
+        let mut body = vec![
+            ("config".into(), JsonValue::from(cfg_name)),
+            ("bench".into(), JsonValue::from(bench_name)),
+            ("iterations".into(), JsonValue::from(n)),
+            (
+                "per_op".into(),
+                JsonValue::Object(vec![
+                    ("cycles".into(), JsonValue::from(per_op.cycles)),
+                    ("traps".into(), JsonValue::from(per_op.traps)),
+                ]),
+            ),
+        ];
+        body.extend(provenance::json_fields(&kinds, &phases));
+        print!("{}", JsonValue::Object(body).pretty());
+        return Ok(());
+    }
+
+    println!(
+        "{bench_name} on {cfg_name}: {} cycles/op, {:.1} traps/op ({n} measured iterations)\n",
+        per_op.cycles, per_op.traps
+    );
+    print_anatomy(&trace, limit);
+    println!("\nPer-phase attribution of the measured region:");
+    print!("{}", provenance::render_phases(&phases));
+    if kinds.is_empty() {
+        println!("\nNo traps in the measured region (the trap-free fast path).");
+    } else {
+        println!("\nTraps by kind (Table 7's counts, event by event):");
+        let mut total = 0u64;
+        for (k, v) in &kinds {
+            total += v;
+            println!("  {k:<10} {v:>6} total  {:>4}/op", (v + n / 2) / n);
+        }
+        println!(
+            "  {:<10} {total:>6} total  {:>4}/op",
+            "all",
+            (total + n / 2) / n
+        );
+    }
     Ok(())
 }
 
-/// Prints the retained events of the last captured hypercall round trip:
-/// from the final `Hvc` the payload executed back to the payload.
-fn print_one_round_trip(trace: &Trace) {
-    // Find the last payload-level Hvc (EL1 at the payload's address
-    // range) and print from there.
+/// Prints the tail of the retained event log: from the last payload
+/// round-trip entry (the final `Hvc` the payload executed, when there
+/// is one) to the end, capped at `limit` lines.
+fn print_anatomy(trace: &Trace, limit: usize) {
     let events: Vec<&TraceEvent> = trace.events().collect();
     let mut start = 0;
     for (i, ev) in events.iter().enumerate() {
@@ -271,8 +347,8 @@ fn print_one_round_trip(trace: &Trace) {
     for ev in &events[start..] {
         println!("{}", Trace::render(ev));
         shown += 1;
-        if shown > 400 {
-            println!("... (truncated)");
+        if shown >= limit {
+            println!("... (truncated; raise --limit to see more)");
             break;
         }
     }
@@ -326,5 +402,16 @@ mod tests {
     #[test]
     fn trace_rejects_x86() {
         assert!(dispatch(&sv(&["trace", "--config", "x86-vm"])).is_err());
+        assert!(dispatch(&sv(&["trace", "x86-nested", "hypercall"])).is_err());
+    }
+
+    #[test]
+    fn trace_accepts_the_positional_form_and_aliases() {
+        // The acceptance syntax: `neve trace v8.3-nested hypercall`.
+        dispatch(&sv(&["trace", "v8.3-nested", "hypercall", "--limit", "5"]))
+            .expect("positional trace");
+        dispatch(&sv(&["trace", "neve", "device_io", "--json"])).expect("json trace");
+        assert!(dispatch(&sv(&["trace", "v8.3-nested", "hypercall", "extra"])).is_err());
+        assert!(dispatch(&sv(&["trace", "v8.3-nested", "quantum"])).is_err());
     }
 }

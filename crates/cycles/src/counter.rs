@@ -1,6 +1,6 @@
 //! The cycle counter shared by all components of a simulated machine.
 
-use crate::{Event, TrapKind};
+use crate::{Event, Phase, TrapKind};
 use std::collections::BTreeMap;
 
 /// Accumulates cycles and event statistics for one simulated machine.
@@ -17,6 +17,12 @@ pub struct CycleCounter {
     traps: BTreeMap<TrapKind, u64>,
     /// Cycles attributed to hypervisor software paths (subset of `cycles`).
     software_cycles: u64,
+    /// The world-switch phase currently charged (provenance layer).
+    phase: Phase,
+    /// Cycles by phase (every charged cycle lands in exactly one phase).
+    phase_cycles: BTreeMap<Phase, u64>,
+    /// Traps by the phase that was active when they were taken.
+    phase_traps: BTreeMap<Phase, u64>,
 }
 
 /// A point-in-time copy of the counters, used to compute per-region deltas.
@@ -26,6 +32,8 @@ pub struct CounterSnapshot {
     traps_total: u64,
     traps: BTreeMap<TrapKind, u64>,
     events: BTreeMap<Event, u64>,
+    phase_cycles: BTreeMap<Phase, u64>,
+    phase_traps: BTreeMap<Phase, u64>,
 }
 
 /// The difference between two snapshots: what one measured region cost.
@@ -39,6 +47,10 @@ pub struct Delta {
     pub traps_by_kind: BTreeMap<TrapKind, u64>,
     /// Event breakdown.
     pub events: BTreeMap<Event, u64>,
+    /// Cycle breakdown by world-switch phase.
+    pub cycles_by_phase: BTreeMap<Phase, u64>,
+    /// Trap breakdown by the phase active when each was taken.
+    pub traps_by_phase: BTreeMap<Phase, u64>,
 }
 
 impl CycleCounter {
@@ -58,23 +70,53 @@ impl CycleCounter {
         self.software_cycles
     }
 
+    /// The world-switch phase subsequent charges are attributed to.
+    pub fn phase(&self) -> Phase {
+        self.phase
+    }
+
+    /// Sets the active phase, returning the previous one so callers can
+    /// scope an attribution region and restore the outer phase after.
+    pub fn set_phase(&mut self, phase: Phase) -> Phase {
+        std::mem::replace(&mut self.phase, phase)
+    }
+
+    /// Cycles attributed to `phase` so far.
+    pub fn cycles_in(&self, phase: Phase) -> u64 {
+        self.phase_cycles.get(&phase).copied().unwrap_or(0)
+    }
+
+    /// Traps taken while `phase` was active.
+    pub fn traps_in(&self, phase: Phase) -> u64 {
+        self.phase_traps.get(&phase).copied().unwrap_or(0)
+    }
+
+    fn add_cycles(&mut self, cycles: u64) {
+        self.cycles = self.cycles.saturating_add(cycles);
+        let slot = self.phase_cycles.entry(self.phase).or_insert(0);
+        *slot = slot.saturating_add(cycles);
+    }
+
     /// Charges `cycles` for `event` (the caller computed the cost from the
     /// [`crate::CostModel`]; the counter stays model-agnostic).
     pub fn charge(&mut self, event: Event, cycles: u64) {
-        self.cycles += cycles;
+        self.add_cycles(cycles);
         *self.events.entry(event).or_insert(0) += 1;
     }
 
-    /// Charges `n` occurrences of `event` at `cycles_each`.
+    /// Charges `n` occurrences of `event` at `cycles_each`. Saturates
+    /// rather than overflowing: adversarial cost/iteration combinations
+    /// (proptest streams) must never panic the counter.
     pub fn charge_n(&mut self, event: Event, cycles_each: u64, n: u64) {
-        self.cycles += cycles_each * n;
-        *self.events.entry(event).or_insert(0) += n;
+        self.add_cycles(cycles_each.saturating_mul(n));
+        let slot = self.events.entry(event).or_insert(0);
+        *slot = slot.saturating_add(n);
     }
 
     /// Charges lump-sum software work (a modelled C-code path).
     pub fn charge_software(&mut self, cycles: u64) {
-        self.cycles += cycles;
-        self.software_cycles += cycles;
+        self.add_cycles(cycles);
+        self.software_cycles = self.software_cycles.saturating_add(cycles);
         *self.events.entry(Event::SoftwareWork).or_insert(0) += 1;
     }
 
@@ -82,12 +124,13 @@ impl CycleCounter {
     /// [`CycleCounter::charge`] with [`Event::TrapEnter`].
     pub fn record_trap(&mut self, kind: TrapKind) {
         *self.traps.entry(kind).or_insert(0) += 1;
+        *self.phase_traps.entry(self.phase).or_insert(0) += 1;
     }
 
     /// Advances the clock without attributing cost to an event (used for
     /// idle time / modelled waiting).
     pub fn advance(&mut self, cycles: u64) {
-        self.cycles += cycles;
+        self.add_cycles(cycles);
     }
 
     /// Total number of traps recorded.
@@ -112,30 +155,35 @@ impl CycleCounter {
             traps_total: self.traps_total(),
             traps: self.traps.clone(),
             events: self.events.clone(),
+            phase_cycles: self.phase_cycles.clone(),
+            phase_traps: self.phase_traps.clone(),
         }
     }
 
-    /// Computes what happened since `snap`.
+    /// Computes what happened since `snap`. Saturating: if the counter
+    /// was [`CycleCounter::reset`] after the snapshot was taken, every
+    /// component clamps to zero instead of underflowing.
     pub fn delta_since(&self, snap: &CounterSnapshot) -> Delta {
-        let mut traps_by_kind = BTreeMap::new();
-        for (k, v) in &self.traps {
-            let before = snap.traps.get(k).copied().unwrap_or(0);
-            if *v > before {
-                traps_by_kind.insert(*k, *v - before);
+        fn diff<K: Ord + Copy>(
+            now: &BTreeMap<K, u64>,
+            before: &BTreeMap<K, u64>,
+        ) -> BTreeMap<K, u64> {
+            let mut out = BTreeMap::new();
+            for (k, v) in now {
+                let b = before.get(k).copied().unwrap_or(0);
+                if *v > b {
+                    out.insert(*k, *v - b);
+                }
             }
-        }
-        let mut events = BTreeMap::new();
-        for (k, v) in &self.events {
-            let before = snap.events.get(k).copied().unwrap_or(0);
-            if *v > before {
-                events.insert(*k, *v - before);
-            }
+            out
         }
         Delta {
-            cycles: self.cycles - snap.cycles,
-            traps: self.traps_total() - snap.traps_total,
-            traps_by_kind,
-            events,
+            cycles: self.cycles.saturating_sub(snap.cycles),
+            traps: self.traps_total().saturating_sub(snap.traps_total),
+            traps_by_kind: diff(&self.traps, &snap.traps),
+            events: diff(&self.events, &snap.events),
+            cycles_by_phase: diff(&self.phase_cycles, &snap.phase_cycles),
+            traps_by_phase: diff(&self.phase_traps, &snap.phase_traps),
         }
     }
 
@@ -151,7 +199,9 @@ impl Delta {
     pub fn per_op(&self, n: u64) -> PerOp {
         assert!(n > 0, "per_op requires at least one iteration");
         PerOp {
-            cycles: (self.cycles + n / 2) / n,
+            // Saturating: a region that already clamped at u64::MAX must
+            // not panic on the round-to-nearest add.
+            cycles: self.cycles.saturating_add(n / 2) / n,
             traps: self.traps as f64 / n as f64,
         }
     }
@@ -167,14 +217,23 @@ impl Delta {
         for (k, v) in &other.events {
             *self.events.entry(*k).or_insert(0) += v;
         }
+        for (k, v) in &other.cycles_by_phase {
+            *self.cycles_by_phase.entry(*k).or_insert(0) += v;
+        }
+        for (k, v) in &other.traps_by_phase {
+            *self.traps_by_phase.entry(*k).or_insert(0) += v;
+        }
     }
 
-    /// Per-operation averages plus the absolute trap breakdown of the
-    /// region (the Table 7 observability data).
+    /// Per-operation averages plus the absolute trap and phase
+    /// breakdowns of the region (the Table 7 observability data and the
+    /// Section 5 world-switch anatomy).
     pub fn measured(&self, n: u64) -> Measured {
         Measured {
             per_op: self.per_op(n),
             traps_by_kind: self.traps_by_kind.clone(),
+            cycles_by_phase: self.cycles_by_phase.clone(),
+            traps_by_phase: self.traps_by_phase.clone(),
         }
     }
 }
@@ -187,6 +246,10 @@ pub struct Measured {
     pub per_op: PerOp,
     /// Traps by reason over the whole measured region.
     pub traps_by_kind: BTreeMap<TrapKind, u64>,
+    /// Cycles by world-switch phase over the whole measured region.
+    pub cycles_by_phase: BTreeMap<Phase, u64>,
+    /// Traps by the phase active when they were taken.
+    pub traps_by_phase: BTreeMap<Phase, u64>,
 }
 
 /// Per-operation averages over a measured region.
@@ -261,8 +324,7 @@ mod tests {
         let d = Delta {
             cycles: 10,
             traps: 3,
-            traps_by_kind: BTreeMap::new(),
-            events: BTreeMap::new(),
+            ..Delta::default()
         };
         let p = d.per_op(4);
         assert_eq!(p.cycles, 3); // 2.5 rounds to 3 (banker's not needed)
@@ -282,12 +344,16 @@ mod tests {
             traps: 1,
             traps_by_kind: BTreeMap::from([(TrapKind::Hvc, 1)]),
             events: BTreeMap::from([(Event::Instr, 5)]),
+            cycles_by_phase: BTreeMap::from([(Phase::Guest, 10)]),
+            traps_by_phase: BTreeMap::from([(Phase::Guest, 1)]),
         };
         let b = Delta {
             cycles: 7,
             traps: 2,
             traps_by_kind: BTreeMap::from([(TrapKind::Hvc, 1), (TrapKind::SysReg, 1)]),
             events: BTreeMap::from([(Event::Instr, 2), (Event::MemLoad, 1)]),
+            cycles_by_phase: BTreeMap::from([(Phase::Guest, 3), (Phase::HostSw, 4)]),
+            traps_by_phase: BTreeMap::from([(Phase::Guest, 2)]),
         };
         a.accumulate(&b);
         assert_eq!(a.cycles, 17);
@@ -295,6 +361,9 @@ mod tests {
         assert_eq!(a.traps_by_kind[&TrapKind::Hvc], 2);
         assert_eq!(a.traps_by_kind[&TrapKind::SysReg], 1);
         assert_eq!(a.events[&Event::Instr], 7);
+        assert_eq!(a.cycles_by_phase[&Phase::Guest], 13);
+        assert_eq!(a.cycles_by_phase[&Phase::HostSw], 4);
+        assert_eq!(a.traps_by_phase[&Phase::Guest], 3);
     }
 
     #[test]
@@ -303,11 +372,15 @@ mod tests {
             cycles: 100,
             traps: 4,
             traps_by_kind: BTreeMap::from([(TrapKind::SysReg, 4)]),
-            events: BTreeMap::new(),
+            cycles_by_phase: BTreeMap::from([(Phase::SysRegEmul, 60)]),
+            traps_by_phase: BTreeMap::from([(Phase::Guest, 4)]),
+            ..Delta::default()
         };
         let m = d.measured(4);
         assert_eq!(m.per_op.cycles, 25);
         assert_eq!(m.traps_by_kind[&TrapKind::SysReg], 4);
+        assert_eq!(m.cycles_by_phase[&Phase::SysRegEmul], 60);
+        assert_eq!(m.traps_by_phase[&Phase::Guest], 4);
     }
 
     #[test]
@@ -327,5 +400,75 @@ mod tests {
         c.reset();
         assert_eq!(c.cycles(), 0);
         assert_eq!(c.traps_total(), 0);
+        assert_eq!(c.cycles_in(Phase::Guest), 0);
+    }
+
+    #[test]
+    fn delta_after_reset_saturates_instead_of_panicking() {
+        // Regression: `reset()` between snapshot and delta used to
+        // underflow (debug-mode panic) on `cycles` and `traps`.
+        let mut c = CycleCounter::new();
+        c.charge(Event::Instr, 100);
+        c.record_trap(TrapKind::Hvc);
+        let snap = c.snapshot();
+        c.reset();
+        let d = c.delta_since(&snap);
+        assert_eq!(d.cycles, 0);
+        assert_eq!(d.traps, 0);
+        assert!(d.traps_by_kind.is_empty());
+        assert!(d.cycles_by_phase.is_empty());
+        // A partially refilled counter reports only the surplus.
+        c.charge(Event::Instr, 7);
+        let d = c.delta_since(&snap);
+        assert_eq!(d.cycles, 0, "7 < 100: still clamped");
+    }
+
+    #[test]
+    fn charge_n_saturates_instead_of_overflowing() {
+        // Regression: `cycles_each * n` used to overflow (debug-mode
+        // panic) under adversarial proptest streams.
+        let mut c = CycleCounter::new();
+        c.charge_n(Event::Instr, u64::MAX / 2, 3);
+        assert_eq!(c.cycles(), u64::MAX);
+        c.charge(Event::Instr, 1); // already saturated: stays put
+        assert_eq!(c.cycles(), u64::MAX);
+        let d = c.delta_since(&CounterSnapshot::default());
+        // The rounding add in per_op must not overflow either.
+        assert_eq!(d.per_op(2).cycles, u64::MAX / 2);
+    }
+
+    #[test]
+    fn phases_partition_the_cycle_total() {
+        let mut c = CycleCounter::new();
+        c.charge(Event::Instr, 5);
+        let prev = c.set_phase(Phase::El1Save);
+        assert_eq!(prev, Phase::Guest);
+        c.charge(Event::SysRegRead, 9);
+        c.charge_software(11);
+        c.set_phase(prev);
+        c.record_trap(TrapKind::Hvc);
+        assert_eq!(c.cycles_in(Phase::Guest), 5);
+        assert_eq!(c.cycles_in(Phase::El1Save), 20);
+        assert_eq!(c.traps_in(Phase::Guest), 1);
+        assert_eq!(c.traps_in(Phase::El1Save), 0);
+        let total: u64 = Phase::all().iter().map(|p| c.cycles_in(*p)).sum();
+        assert_eq!(total, c.cycles(), "phases partition the total");
+    }
+
+    #[test]
+    fn delta_scopes_phase_attribution() {
+        let mut c = CycleCounter::new();
+        c.charge(Event::Instr, 5);
+        let snap = c.snapshot();
+        c.set_phase(Phase::GicSwitch);
+        c.charge(Event::SysRegWrite, 4);
+        c.record_trap(TrapKind::SysReg);
+        c.set_phase(Phase::Guest);
+        let d = c.delta_since(&snap);
+        assert_eq!(d.cycles_by_phase.get(&Phase::GicSwitch), Some(&4));
+        assert_eq!(d.cycles_by_phase.get(&Phase::Guest), None);
+        assert_eq!(d.traps_by_phase.get(&Phase::GicSwitch), Some(&1));
+        let total: u64 = d.cycles_by_phase.values().sum();
+        assert_eq!(total, d.cycles);
     }
 }

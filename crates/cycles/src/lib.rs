@@ -70,6 +70,87 @@ pub enum TrapKind {
     ApicAccess,
 }
 
+/// A world-switch phase: which part of the virtualization stack the
+/// machine is currently executing on behalf of.
+///
+/// The counter attributes every charged cycle and every recorded trap to
+/// the phase active at the time, giving the per-phase anatomy of a
+/// nested world switch that Section 5 of the paper narrates in prose.
+/// Phase bookkeeping is always on (it is pure accounting and never
+/// feeds back into costs), so attaching a trace cannot perturb the
+/// measured numbers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub enum Phase {
+    /// Guest/payload instructions (any interpreted EL0/EL1 code,
+    /// including deprivileged guest hypervisors). The default.
+    #[default]
+    Guest,
+    /// Hardware exception entry into EL2.
+    TrapEntry,
+    /// Host-hypervisor software outside any finer-grained phase
+    /// (exit decode, handler dispatch, the host-kernel round trip).
+    HostSw,
+    /// EL1 context save (hardware EL1 leaves for the stage or the
+    /// virtual-EL2 image).
+    El1Save,
+    /// EL1 context restore (staged or virtual-EL2 state enters
+    /// hardware EL1).
+    El1Restore,
+    /// GIC hypervisor-interface save/restore (list registers, VMCR).
+    GicSwitch,
+    /// Timer context save/restore.
+    TimerSwitch,
+    /// Trapped system-register emulation for the guest hypervisor.
+    SysRegEmul,
+    /// Trapped-`eret` emulation: the nested world switch proper.
+    EretEmul,
+    /// NEVE deferred-access-page maintenance (populate/harvest).
+    VncrRefresh,
+    /// Hardware `eret` from EL2 back to the guest.
+    TrapReturn,
+}
+
+impl Phase {
+    /// Every phase, in world-switch order.
+    pub fn all() -> [Phase; 11] {
+        [
+            Phase::Guest,
+            Phase::TrapEntry,
+            Phase::HostSw,
+            Phase::El1Save,
+            Phase::El1Restore,
+            Phase::GicSwitch,
+            Phase::TimerSwitch,
+            Phase::SysRegEmul,
+            Phase::EretEmul,
+            Phase::VncrRefresh,
+            Phase::TrapReturn,
+        ]
+    }
+
+    /// Stable machine-readable label (JSON keys, cache schema).
+    pub fn label(self) -> &'static str {
+        match self {
+            Phase::Guest => "guest",
+            Phase::TrapEntry => "trap_entry",
+            Phase::HostSw => "host_sw",
+            Phase::El1Save => "el1_save",
+            Phase::El1Restore => "el1_restore",
+            Phase::GicSwitch => "gic_switch",
+            Phase::TimerSwitch => "timer_switch",
+            Phase::SysRegEmul => "sysreg_emul",
+            Phase::EretEmul => "eret_emul",
+            Phase::VncrRefresh => "vncr_refresh",
+            Phase::TrapReturn => "trap_return",
+        }
+    }
+
+    /// The inverse of [`Phase::label`].
+    pub fn from_label(label: &str) -> Option<Phase> {
+        Phase::all().into_iter().find(|p| p.label() == label)
+    }
+}
+
 /// A cost-bearing event, charged against a [`CycleCounter`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Event {
@@ -120,6 +201,17 @@ pub enum Event {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn phase_labels_round_trip_and_are_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for p in Phase::all() {
+            assert!(seen.insert(p.label()), "duplicate label {}", p.label());
+            assert_eq!(Phase::from_label(p.label()), Some(p));
+        }
+        assert_eq!(Phase::from_label("warp_drive"), None);
+        assert_eq!(Phase::default(), Phase::Guest);
+    }
 
     #[test]
     fn trap_kinds_are_ordered_and_hashable() {

@@ -25,6 +25,7 @@ use crate::vcpu::{Ctx, VCpu};
 use neve_armv8::machine::{ExitInfo, Hypervisor, Machine};
 use neve_armv8::pstate::Pstate;
 use neve_core::VncrEl2;
+use neve_cycles::Phase;
 use neve_gic::lr::ListRegister;
 use neve_gic::vgic::ICH_HCR_EN;
 use neve_memsim::{FrameAlloc, PageTable, ShadowS2};
@@ -155,30 +156,36 @@ impl HostHyp {
         if !self.vhe_host {
             // Non-VHE: the handler lives in the EL1 host kernel, so the
             // full EL1/GIC/timer context swaps out and back per exit.
+            let prev = m.phase(cpu, Phase::El1Save);
             for reg in rosters::el1_context() {
                 let v = m.hyp_read(cpu, reg);
                 m.hyp_mem_write(0, 0); // spill to the host context frame
                 m.hyp_write(cpu, reg, v);
             }
+            m.phase(cpu, Phase::GicSwitch);
             for reg in rosters::gic_save() {
                 let v = m.hyp_read(cpu, reg);
                 if !reg.is_read_only() {
                     m.hyp_write(cpu, reg, v);
                 }
             }
+            m.phase(cpu, Phase::TimerSwitch);
             for reg in rosters::timer_el1() {
                 let v = m.hyp_read(cpu, reg);
                 m.hyp_write(cpu, reg, v);
             }
+            m.phase(cpu, prev);
         } else {
             // VHE: the kernel is already in EL2; only the GIC state is
             // synced per exit.
+            let prev = m.phase(cpu, Phase::GicSwitch);
             for reg in rosters::gic_save() {
                 let v = m.hyp_read(cpu, reg);
                 if !reg.is_read_only() {
                     m.hyp_write(cpu, reg, v);
                 }
             }
+            m.phase(cpu, prev);
         }
         m.hyp_work(m.cfg.cost.sw.kvm_arm_enter_common);
     }
@@ -234,6 +241,7 @@ impl HostHyp {
         if !self.neve_on(cpu) {
             return;
         }
+        let prev = m.phase(cpu, Phase::VncrRefresh);
         let page = layout::vncr_page(cpu);
         for reg in [
             SysReg::IchVmcrEl2,
@@ -259,6 +267,7 @@ impl HostHyp {
             let v = self.vcpus[cpu].vel2.read(reg);
             m.hyp_mem_write(page + vncr_offset(reg).expect("ctl slot") as u64, v);
         }
+        m.phase(cpu, prev);
     }
 
     // ------------------------------------------------------------------
@@ -267,39 +276,48 @@ impl HostHyp {
 
     /// Saves hardware EL1 (the departing context) into the stage.
     fn hw_to_stage(&mut self, m: &mut Machine, cpu: usize) {
+        let prev = m.phase(cpu, Phase::El1Save);
         for reg in rosters::el1_context() {
             let v = m.hyp_read(cpu, reg);
             self.stage_write(m, cpu, reg, v);
         }
+        m.phase(cpu, prev);
     }
 
     /// Materialises the staged context into hardware EL1.
     fn stage_to_hw(&mut self, m: &mut Machine, cpu: usize) {
+        let prev = m.phase(cpu, Phase::El1Restore);
         for reg in rosters::el1_context() {
             let v = self.stage_read(m, cpu, reg);
             m.hyp_write(cpu, reg, v);
         }
+        m.phase(cpu, prev);
     }
 
     /// Saves hardware EL1 into the virtual-EL2 hardware image.
     fn hw_to_vel2_image(&mut self, m: &mut Machine, cpu: usize) {
+        let prev = m.phase(cpu, Phase::El1Save);
         for reg in rosters::el1_context() {
             let v = m.hyp_read(cpu, reg);
             self.vcpus[cpu].vel2_hw.write(reg, v);
         }
+        m.phase(cpu, prev);
     }
 
     /// Loads the virtual-EL2 hardware image into hardware EL1.
     fn vel2_image_to_hw(&mut self, m: &mut Machine, cpu: usize) {
+        let prev = m.phase(cpu, Phase::El1Restore);
         for reg in rosters::el1_context() {
             let v = self.vcpus[cpu].vel2_hw.read(reg);
             m.hyp_write(cpu, reg, v);
         }
+        m.phase(cpu, prev);
     }
 
     /// Saves the hardware GIC interface into `vgic_l2` (harvest after L2
     /// ran) and restores the L1 interface.
     fn gic_l2_to_l1(&mut self, m: &mut Machine, cpu: usize) {
+        let prev = m.phase(cpu, Phase::GicSwitch);
         for n in 0..NUM_LIST_REGS {
             let r = SysReg::IchLrEl2(n);
             let v = m.hyp_read(cpu, r);
@@ -323,11 +341,13 @@ impl HostHyp {
         let v = self.vcpus[cpu].vgic_l1.read(SysReg::IchVmcrEl2);
         m.hyp_write(cpu, SysReg::IchVmcrEl2, v);
         m.hyp_write(cpu, SysReg::IchHcrEl2, ICH_HCR_EN);
+        m.phase(cpu, prev);
     }
 
     /// Saves the hardware GIC interface into `vgic_l1` and loads the
     /// guest hypervisor's (sanitized) interface for the nested VM.
     fn gic_l1_to_l2(&mut self, m: &mut Machine, cpu: usize) {
+        let prev = m.phase(cpu, Phase::GicSwitch);
         for n in 0..NUM_LIST_REGS {
             let r = SysReg::IchLrEl2(n);
             let v = m.hyp_read(cpu, r);
@@ -349,6 +369,7 @@ impl HostHyp {
         m.hyp_write(cpu, SysReg::IchVmcrEl2, vmcr);
         let hcr_v = self.vcpus[cpu].vgic_l2.read(SysReg::IchHcrEl2);
         m.hyp_write(cpu, SysReg::IchHcrEl2, hcr_v | ICH_HCR_EN);
+        m.phase(cpu, prev);
     }
 
     // ------------------------------------------------------------------
@@ -442,6 +463,7 @@ impl HostHyp {
     /// (Section 4: "entering the nested VM is only possible once the
     /// host hypervisor loads the emulated nested VM state").
     fn emulate_eret(&mut self, m: &mut Machine, cpu: usize) {
+        let prev = m.phase(cpu, Phase::EretEmul);
         m.hyp_work(m.cfg.cost.sw.kvm_arm_eret_emul);
         // Capture the virtual return state before touching hardware EL1.
         // Both paths keep it in hardware `ELR_EL1`/`SPSR_EL1` while
@@ -486,6 +508,7 @@ impl HostHyp {
             m.hyp_write(cpu, SysReg::SpsrEl2, spsr::mode_h(1) | spsr::I | spsr::F);
             self.vcpus[cpu].ctx = Ctx::GhVel1;
         }
+        m.phase(cpu, prev);
     }
 
     /// The kernel half calls back into the hypervisor half: reflect an
@@ -512,6 +535,20 @@ impl HostHyp {
     /// Emulates one trapped (or `hvc`-paravirtualized) system-register
     /// access from virtual EL2.
     fn emulate_gh_sysreg(
+        &mut self,
+        m: &mut Machine,
+        cpu: usize,
+        id: RegId,
+        write: bool,
+        value: u64,
+    ) -> u64 {
+        let prev = m.phase(cpu, Phase::SysRegEmul);
+        let v = self.emulate_gh_sysreg_inner(m, cpu, id, write, value);
+        m.phase(cpu, prev);
+        v
+    }
+
+    fn emulate_gh_sysreg_inner(
         &mut self,
         m: &mut Machine,
         cpu: usize,

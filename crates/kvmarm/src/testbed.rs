@@ -391,12 +391,26 @@ impl TestBed {
     ///
     /// Panics if the payload crashes or stalls.
     pub fn run_measured(&mut self, iters: u64) -> Measured {
-        let (delta, n) = match self.bench {
+        let (delta, n) = self.run_region(iters);
+        delta.measured(n)
+    }
+
+    /// Like [`TestBed::run_measured`] but returns the raw
+    /// measured-region [`Delta`] and iteration count — the trace
+    /// command reads the delta's per-phase maps next to the machine's
+    /// retained trace ring. When a trace is attached, it is cleared at
+    /// the measurement snapshot so the ring covers exactly the measured
+    /// region (the bracket-measured EOI benchmark keeps the whole run).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the payload crashes or stalls.
+    pub fn run_region(&mut self, iters: u64) -> (Delta, u64) {
+        match self.bench {
             MicroBench::VirtualEoi => self.run_eoi(iters),
             MicroBench::VirtualIpi => self.run_ipi(iters),
             _ => self.run_simple(iters),
-        };
-        delta.measured(n)
+        }
     }
 
     /// Single-CPU benchmarks: run until the payload halts, snapshotting
@@ -421,6 +435,9 @@ impl TestBed {
             }
             if snap.is_none() && self.payload_counter() == iters {
                 snap = Some(self.m.counter.snapshot());
+                if let Some(t) = &mut self.m.trace {
+                    t.clear();
+                }
             }
         }
         let snap = snap.expect("warm-up longer than the run");
@@ -470,6 +487,9 @@ impl TestBed {
             }
             if snap.is_none() && self.payload_counter() == iters {
                 snap = Some(self.m.counter.snapshot());
+                if let Some(t) = &mut self.m.trace {
+                    t.clear();
+                }
             }
         }
         let snap = snap.expect("warm-up longer than the run");

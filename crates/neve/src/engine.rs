@@ -35,6 +35,19 @@ pub enum Disposition {
     Passthrough,
 }
 
+impl Disposition {
+    /// Stable machine-readable label of the mechanism that handled the
+    /// access (trace/provenance output; JSON-friendly).
+    pub fn label(self) -> &'static str {
+        match self {
+            Disposition::Memory { .. } => "deferred",
+            Disposition::RedirectEl1(_) => "redirected",
+            Disposition::Trap => "trap",
+            Disposition::Passthrough => "passthrough",
+        }
+    }
+}
+
 /// Feature toggles for ablation studies (DESIGN.md Ablation B).
 ///
 /// A full NEVE implementation enables all three mechanisms; the paper's
@@ -166,6 +179,18 @@ mod tests {
             vncr: VncrEl2::enabled_at(0x9000_0000).unwrap(),
             features: NeveFeatures::default(),
         }
+    }
+
+    #[test]
+    fn disposition_labels_are_distinct() {
+        let labels = [
+            Disposition::Memory { offset: 0 }.label(),
+            Disposition::RedirectEl1(SysReg::SctlrEl1).label(),
+            Disposition::Trap.label(),
+            Disposition::Passthrough.label(),
+        ];
+        let set: std::collections::HashSet<_> = labels.iter().collect();
+        assert_eq!(set.len(), labels.len());
     }
 
     #[test]

@@ -13,7 +13,7 @@
 //! calibrated constant and every number is re-measured. A corrupt or
 //! truncated file is likewise ignored, never trusted.
 
-use crate::platforms::{Config, MicroCosts, MicroMatrix, PerOpSer};
+use crate::platforms::{Config, MicroCosts, MicroMatrix, PerOpSer, PhaseStat};
 use neve_cycles::CostModel;
 use neve_json::JsonValue;
 use std::collections::BTreeMap;
@@ -61,8 +61,22 @@ pub fn load_or_measure_at(
     if let Some(dir) = path.parent() {
         let _ = std::fs::create_dir_all(dir);
     }
-    let _ = std::fs::write(path, to_json(&m, fingerprint));
+    // Atomic replace: two report binaries racing must never leave a
+    // torn file for a third to read. Write a process-unique temp file
+    // in the same directory (rename is only atomic within one
+    // filesystem), then rename into place.
+    let _ = write_atomically(path, &to_json(&m, fingerprint));
     (m, MatrixSource::Measured)
+}
+
+fn write_atomically(path: &Path, contents: &str) -> std::io::Result<()> {
+    let mut tmp = path.to_path_buf();
+    let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("cache");
+    tmp.set_file_name(format!(".{name}.{}.tmp", std::process::id()));
+    std::fs::write(&tmp, contents)?;
+    std::fs::rename(&tmp, path).inspect_err(|_| {
+        let _ = std::fs::remove_file(&tmp);
+    })
 }
 
 /// Serializes `m` (with the cost-model `fingerprint` it was measured
@@ -78,19 +92,17 @@ pub fn to_json(m: &MicroMatrix, fingerprint: u64) -> String {
         .configs()
         .map(|c| {
             let costs = m.costs(c);
-            let kinds = m
-                .trap_kinds(c)
-                .into_iter()
-                .map(|(k, v)| (k, JsonValue::from(v)))
-                .collect();
-            let body = JsonValue::Object(vec![
+            let mut body = vec![
                 ("hypercall".into(), per_op(costs.hypercall)),
                 ("device_io".into(), per_op(costs.device_io)),
                 ("virtual_ipi".into(), per_op(costs.virtual_ipi)),
                 ("virtual_eoi".into(), per_op(costs.virtual_eoi)),
-                ("trap_kinds".into(), JsonValue::Object(kinds)),
-            ]);
-            (c.label().to_string(), body)
+            ];
+            body.extend(crate::provenance::json_fields(
+                &m.trap_kinds(c),
+                &m.phases(c),
+            ));
+            (c.label().to_string(), JsonValue::Object(body))
         })
         .collect();
     JsonValue::Object(vec![
@@ -122,6 +134,7 @@ pub fn from_json(text: &str, expect_fingerprint: u64) -> Option<MicroMatrix> {
     };
     let mut results = BTreeMap::new();
     let mut trap_kinds = BTreeMap::new();
+    let mut phases = BTreeMap::new();
     for (label, body) in doc.get("configs")?.as_object()? {
         let c = Config::from_label(label)?;
         results.insert(
@@ -138,13 +151,27 @@ pub fn from_json(text: &str, expect_fingerprint: u64) -> Option<MicroMatrix> {
             kinds.insert(k.clone(), v.as_u64()?);
         }
         trap_kinds.insert(c, kinds);
+        // The per-phase breakdown is a required schema element: a cache
+        // from before the provenance layer fails here and is re-measured
+        // (the usual staleness rule, not an error).
+        let mut stats = BTreeMap::new();
+        for (p, v) in body.get("phases")?.as_object()? {
+            stats.insert(
+                p.clone(),
+                PhaseStat {
+                    cycles: v.get("cycles")?.as_u64()?,
+                    traps: v.get("traps")?.as_u64()?,
+                },
+            );
+        }
+        phases.insert(c, stats);
     }
     // A cache missing any configuration is unusable: consumers index
     // the matrix by every `Config`.
     if Config::all().iter().any(|c| !results.contains_key(c)) {
         return None;
     }
-    Some(MicroMatrix::from_parts(results, trap_kinds))
+    Some(MicroMatrix::from_parts(results, trap_kinds, phases))
 }
 
 #[cfg(test)]
@@ -168,7 +195,31 @@ mod tests {
             .into_iter()
             .map(|c| (c, BTreeMap::from([("Hvc".to_string(), 24u64)])))
             .collect();
-        MicroMatrix::from_parts(results, trap_kinds)
+        let phases = Config::all()
+            .into_iter()
+            .map(|c| {
+                (
+                    c,
+                    BTreeMap::from([
+                        (
+                            "guest".to_string(),
+                            PhaseStat {
+                                cycles: 9000,
+                                traps: 0,
+                            },
+                        ),
+                        (
+                            "eret_emul".to_string(),
+                            PhaseStat {
+                                cycles: 1200,
+                                traps: 24,
+                            },
+                        ),
+                    ]),
+                )
+            })
+            .collect();
+        MicroMatrix::from_parts(results, trap_kinds, phases)
     }
 
     #[test]
@@ -183,6 +234,42 @@ mod tests {
     fn fingerprint_mismatch_rejects_the_cache() {
         let text = to_json(&synthetic(), 42);
         assert!(from_json(&text, 43).is_none());
+    }
+
+    #[test]
+    fn pre_provenance_schema_is_rejected() {
+        // A cache written before the per-phase breakdown existed must
+        // fail the load and trigger a clean re-measure.
+        let text = to_json(&synthetic(), 42);
+        let doc = neve_json::parse(&text).unwrap();
+        let stripped = match doc {
+            JsonValue::Object(top) => JsonValue::Object(
+                top.into_iter()
+                    .map(|(k, v)| {
+                        if k != "configs" {
+                            return (k, v);
+                        }
+                        let JsonValue::Object(cfgs) = v else {
+                            unreachable!()
+                        };
+                        let cfgs = cfgs
+                            .into_iter()
+                            .map(|(label, body)| {
+                                let JsonValue::Object(fields) = body else {
+                                    unreachable!()
+                                };
+                                let fields =
+                                    fields.into_iter().filter(|(f, _)| f != "phases").collect();
+                                (label, JsonValue::Object(fields))
+                            })
+                            .collect();
+                        (k, JsonValue::Object(cfgs))
+                    })
+                    .collect(),
+            ),
+            _ => unreachable!(),
+        };
+        assert!(from_json(&stripped.pretty(), 42).is_none());
     }
 
     #[test]

@@ -25,13 +25,14 @@
 pub mod apps;
 pub mod cache;
 pub mod platforms;
+pub mod provenance;
 pub mod replay;
 pub mod session;
 pub mod tables;
 
 pub use apps::{figure2, WorkloadProfile, WorkloadRow, WORKLOADS};
 pub use cache::{load_or_measure, MatrixSource, CACHE_PATH};
-pub use platforms::{Config, MicroCosts, MicroMatrix};
+pub use platforms::{Config, MicroCosts, MicroMatrix, PhaseStat};
 pub use replay::{replay_vs_model, Mix, ReplayResult};
 pub use session::{Bench, CellResult, SimSession};
 pub use tables::{table1, table6, table7, TableRow};

@@ -104,6 +104,16 @@ impl From<PerOp> for PerOpSer {
     }
 }
 
+/// One world-switch phase's share of a configuration's measured work
+/// (absolute over the measured regions, summed across benchmarks).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PhaseStat {
+    /// Cycles attributed to the phase.
+    pub cycles: u64,
+    /// Traps taken while the phase was active.
+    pub traps: u64,
+}
+
 /// All microbenchmark results across all configurations, computed once
 /// (or loaded from the persistent cache; see [`crate::cache`]).
 #[derive(Debug, Clone, PartialEq)]
@@ -113,6 +123,10 @@ pub struct MicroMatrix {
     /// measured benchmarks (absolute counts; the Table 7 observability
     /// data). Empty for synthetic matrices.
     trap_kinds: BTreeMap<Config, BTreeMap<String, u64>>,
+    /// Per-configuration world-switch phase breakdown (keys are
+    /// [`Phase::label`](neve_cycles::Phase::label) names), summed over
+    /// the four measured benchmarks. Empty for synthetic matrices.
+    phases: BTreeMap<Config, BTreeMap<String, PhaseStat>>,
 }
 
 pub(crate) fn arm_config(c: Config) -> Option<ArmConfig> {
@@ -210,11 +224,29 @@ impl MicroMatrix {
         Self::assemble(cells)
     }
 
+    /// Measures every cell serially with an execution trace attached to
+    /// each session. Exists for the determinism suite: the result must
+    /// be bit-identical to [`MicroMatrix::measure`], proving that
+    /// tracing never perturbs measured cycles or trap counts.
+    pub fn measure_traced(capacity: usize) -> Self {
+        Self::assemble(
+            all_cells()
+                .into_iter()
+                .map(|(c, b)| {
+                    let mut s = SimSession::new(c, b);
+                    s.attach_trace(capacity);
+                    s.run()
+                })
+                .collect(),
+        )
+    }
+
     /// Keys cell results into the matrix; the `BTreeMap` makes the
     /// result independent of arrival order.
     fn assemble(cells: Vec<CellResult>) -> Self {
         let mut per_config: BTreeMap<Config, BTreeMap<Bench, PerOpSer>> = BTreeMap::new();
         let mut trap_kinds: BTreeMap<Config, BTreeMap<String, u64>> = BTreeMap::new();
+        let mut phases: BTreeMap<Config, BTreeMap<String, PhaseStat>> = BTreeMap::new();
         for cell in cells {
             per_config
                 .entry(cell.config)
@@ -223,6 +255,13 @@ impl MicroMatrix {
             let kinds = trap_kinds.entry(cell.config).or_default();
             for (k, v) in cell.traps_by_kind {
                 *kinds.entry(k).or_insert(0) += v;
+            }
+            let stats = phases.entry(cell.config).or_default();
+            for (p, v) in cell.cycles_by_phase {
+                stats.entry(p).or_default().cycles += v;
+            }
+            for (p, v) in cell.traps_by_phase {
+                stats.entry(p).or_default().traps += v;
             }
         }
         let results = per_config
@@ -247,27 +286,32 @@ impl MicroMatrix {
         Self {
             results,
             trap_kinds,
+            phases,
         }
     }
 
     /// Builds a matrix from externally supplied per-config costs (no
-    /// trap breakdowns). Used by the cache loader and by tests that
-    /// need synthetic cost points the real stacks never produce.
+    /// trap or phase breakdowns). Used by tests that need synthetic
+    /// cost points the real stacks never produce.
     pub fn from_results(results: BTreeMap<Config, MicroCosts>) -> Self {
         Self {
             results,
             trap_kinds: BTreeMap::new(),
+            phases: BTreeMap::new(),
         }
     }
 
-    /// Restores a matrix including trap breakdowns (the cache loader).
+    /// Restores a matrix including trap and phase breakdowns (the cache
+    /// loader).
     pub fn from_parts(
         results: BTreeMap<Config, MicroCosts>,
         trap_kinds: BTreeMap<Config, BTreeMap<String, u64>>,
+        phases: BTreeMap<Config, BTreeMap<String, PhaseStat>>,
     ) -> Self {
         Self {
             results,
             trap_kinds,
+            phases,
         }
     }
 
@@ -285,6 +329,12 @@ impl MicroMatrix {
     /// the four microbenchmarks. Empty for synthetic matrices.
     pub fn trap_kinds(&self, c: Config) -> BTreeMap<String, u64> {
         self.trap_kinds.get(&c).cloned().unwrap_or_default()
+    }
+
+    /// The world-switch phase breakdown of one configuration, summed
+    /// over the four microbenchmarks. Empty for synthetic matrices.
+    pub fn phases(&self, c: Config) -> BTreeMap<String, PhaseStat> {
+        self.phases.get(&c).cloned().unwrap_or_default()
     }
 }
 

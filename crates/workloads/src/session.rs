@@ -44,11 +44,26 @@ impl Bench {
     /// Measured iterations (the simulator is deterministic, so small
     /// counts give exact steady-state averages; the IPI pair is the
     /// slowest cell and gets fewer).
-    fn iters(self) -> u64 {
+    pub fn iters(self) -> u64 {
         match self {
             Bench::VirtualIpi => IPI_ITERS,
             _ => ITERS,
         }
+    }
+
+    /// Stable machine-readable label (CLI operands, JSON keys).
+    pub fn label(self) -> &'static str {
+        match self {
+            Bench::Hypercall => "hypercall",
+            Bench::DeviceIo => "device_io",
+            Bench::VirtualIpi => "virtual_ipi",
+            Bench::VirtualEoi => "virtual_eoi",
+        }
+    }
+
+    /// The inverse of [`Bench::label`].
+    pub fn from_label(label: &str) -> Option<Bench> {
+        Bench::all().into_iter().find(|b| b.label() == label)
     }
 
     fn arm(self) -> MicroBench {
@@ -101,6 +116,12 @@ pub struct CellResult {
     /// Traps by reason over the measured region (keys are the stable
     /// `TrapKind` debug names; absolute counts, not per-op).
     pub traps_by_kind: BTreeMap<String, u64>,
+    /// Cycles by world-switch phase over the measured region (keys are
+    /// [`Phase::label`](neve_cycles::Phase::label) names; absolute).
+    pub cycles_by_phase: BTreeMap<String, u64>,
+    /// Traps by the phase they interrupted (absolute counts; together
+    /// with `traps_by_kind` this is the cell's full provenance).
+    pub traps_by_phase: BTreeMap<String, u64>,
 }
 
 impl SimSession {
@@ -137,6 +158,16 @@ impl SimSession {
         self.bench
     }
 
+    /// Attaches an execution trace to the simulated machine (ARM beds
+    /// only; a no-op on x86, which has no trace ring). Pure
+    /// observability: a traced session measures bit-identically to an
+    /// untraced one — the determinism suite asserts this.
+    pub fn attach_trace(&mut self, capacity: usize) {
+        if let Bed::Arm(tb) = &mut self.bed {
+            tb.m.attach_trace(capacity);
+        }
+    }
+
     /// Runs warm-up plus measured iterations and reports the result.
     /// Consumes the session: the testbed's end state is not reusable
     /// for another measurement.
@@ -148,6 +179,8 @@ impl SimSession {
         let Measured {
             per_op,
             traps_by_kind,
+            cycles_by_phase,
+            traps_by_phase,
         } = measured;
         CellResult {
             config: self.config,
@@ -156,6 +189,14 @@ impl SimSession {
             traps_by_kind: traps_by_kind
                 .into_iter()
                 .map(|(k, v)| (format!("{k:?}"), v))
+                .collect(),
+            cycles_by_phase: cycles_by_phase
+                .into_iter()
+                .map(|(p, v)| (p.label().to_string(), v))
+                .collect(),
+            traps_by_phase: traps_by_phase
+                .into_iter()
+                .map(|(p, v)| (p.label().to_string(), v))
                 .collect(),
         }
     }
@@ -200,6 +241,34 @@ mod tests {
         let s = SimSession::new(Config::X86Vm, Bench::DeviceIo);
         let r = std::thread::scope(|scope| scope.spawn(move || s.run()).join().unwrap());
         assert!(r.per_op.cycles > 0);
+    }
+
+    #[test]
+    fn nested_cells_attribute_cycles_and_traps_to_phases() {
+        let r = SimSession::new(Config::ArmNestedV83, Bench::Hypercall).run();
+        // The nested hypercall round trip exercises the world switch:
+        // the eret emulation and EL1 context moves must show up.
+        for phase in ["eret_emul", "el1_save", "el1_restore", "gic_switch"] {
+            assert!(
+                r.cycles_by_phase.get(phase).copied().unwrap_or(0) > 0,
+                "no cycles in {phase}: {:?}",
+                r.cycles_by_phase
+            );
+        }
+        // Phase attribution partitions the same trap population the
+        // per-kind map counts.
+        let by_kind: u64 = r.traps_by_kind.values().sum();
+        let by_phase: u64 = r.traps_by_phase.values().sum();
+        assert_eq!(by_kind, by_phase);
+    }
+
+    #[test]
+    fn tracing_does_not_change_a_cell() {
+        // The tentpole's hard invariant at session granularity.
+        let plain = SimSession::new(Config::ArmNestedNeve, Bench::Hypercall).run();
+        let mut traced = SimSession::new(Config::ArmNestedNeve, Bench::Hypercall);
+        traced.attach_trace(128);
+        assert_eq!(traced.run(), plain);
     }
 
     #[test]

@@ -20,6 +20,19 @@ fn parallel_matrix_is_bit_identical_to_serial() {
     for c in Config::all() {
         assert_eq!(parallel.costs(c), serial().costs(c), "{c:?}");
         assert_eq!(parallel.trap_kinds(c), serial().trap_kinds(c), "{c:?}");
+        assert_eq!(parallel.phases(c), serial().phases(c), "{c:?}");
+    }
+}
+
+#[test]
+fn tracing_attached_is_bit_identical_to_detached() {
+    // The provenance layer's hard invariant: attaching an execution
+    // trace to every session (even a tiny ring that evicts constantly)
+    // changes nothing about measured cycles, trap counts, or phase
+    // attribution.
+    for capacity in [8, 1 << 12] {
+        let traced = MicroMatrix::measure_traced(capacity);
+        assert_eq!(&traced, serial(), "capacity {capacity}");
     }
 }
 
