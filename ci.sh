@@ -17,4 +17,7 @@ cargo build --workspace --examples --offline
 echo "==> cargo test"
 cargo test --workspace -q --offline
 
+echo "==> fault-campaign smoke (deterministic)"
+cargo run -q -p neve-cli --offline --bin neve -- faults --smoke
+
 echo "CI green."

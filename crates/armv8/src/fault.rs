@@ -1,0 +1,280 @@
+//! Deterministic fault injection.
+//!
+//! A [`FaultPlan`] is a seeded, replayable schedule of architectural
+//! faults applied at chosen machine step counts: corrupt a Stage-2
+//! page-table entry the hardware is walking, drop or double a VNCR
+//! deferred-page write, deliver a spurious trap, or reset the cycle
+//! counter. There is no wall-clock randomness anywhere — the schedule
+//! is fixed at construction from an explicit seed, so a campaign
+//! replays bit-identically and a failure report names the exact step
+//! at which each fault fired.
+//!
+//! With no plan attached the machine's step path does nothing beyond
+//! incrementing its step counter: the injection machinery being *off*
+//! perturbs no measurement (the determinism suite holds this line).
+//!
+//! Architecturally, each fault models a real failure class in a nested
+//! virtualization stack (see DESIGN.md §"Fault model"): a corrupted
+//! shadow PTE is a shadow-paging coherence bug, a lost VNCR write is a
+//! missing cached-copy synchronization (paper §6), a spurious trap is a
+//! phantom interrupt mid world switch, and a counter reset is a
+//! wrapping/reset cycle-counter source.
+
+/// One injectable architectural fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum InjectedFault {
+    /// Overwrite one descriptor in the Stage-2 table the hardware
+    /// VTTBR currently points at (the shadow table while a nested
+    /// guest runs) with a garbage value chosen by the parameter, then
+    /// invalidate the TLB for that VMID so the corruption is observed.
+    CorruptShadowPte,
+    /// Silently discard the next VNCR deferred-page write (the store
+    /// is charged but the slot keeps its stale value).
+    DropVncrWrite,
+    /// Apply the next VNCR deferred-page write twice, charging both
+    /// stores (a duplicated synchronization).
+    DoubleVncrWrite,
+    /// Take a spurious IRQ trap to EL2 with nothing pending.
+    SpuriousTrap,
+    /// Zero the cycle counter mid-run (a wrap/reset of the cycle
+    /// source under a measurement interval).
+    ResetCycleCounter,
+}
+
+impl InjectedFault {
+    /// Every fault kind, in a stable order.
+    pub fn all() -> [InjectedFault; 5] {
+        [
+            InjectedFault::CorruptShadowPte,
+            InjectedFault::DropVncrWrite,
+            InjectedFault::DoubleVncrWrite,
+            InjectedFault::SpuriousTrap,
+            InjectedFault::ResetCycleCounter,
+        ]
+    }
+
+    /// Stable machine-readable label (reports, trace rendering).
+    pub fn label(self) -> &'static str {
+        match self {
+            InjectedFault::CorruptShadowPte => "corrupt-shadow-pte",
+            InjectedFault::DropVncrWrite => "drop-vncr-write",
+            InjectedFault::DoubleVncrWrite => "double-vncr-write",
+            InjectedFault::SpuriousTrap => "spurious-trap",
+            InjectedFault::ResetCycleCounter => "reset-cycle-counter",
+        }
+    }
+}
+
+/// A single scheduled injection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Injection {
+    /// Machine step count (across all CPUs) at which to fire.
+    pub step: u64,
+    /// What to inject.
+    pub fault: InjectedFault,
+    /// Fault-specific parameter (e.g. which PTE slot, what garbage).
+    pub param: u64,
+}
+
+/// Pending tamper on the next VNCR deferred-page write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VncrTamper {
+    /// Discard the write.
+    Drop,
+    /// Perform (and charge) it twice.
+    Double,
+}
+
+/// A deterministic, replayable injection schedule.
+///
+/// Cloning a plan before attaching it lets a campaign reuse one
+/// schedule across many cells; the clone carries no consumed state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    injections: Vec<Injection>,
+    next: usize,
+    armed_vncr: Option<VncrTamper>,
+    applied: u64,
+}
+
+/// splitmix64: the only randomness source, seeded explicitly.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Built-in plan names accepted by [`FaultPlan::builtin`], in campaign
+/// order.
+pub const BUILTIN_PLANS: [&str; 6] = [
+    "pte-corruption",
+    "vncr-drop",
+    "vncr-double",
+    "spurious-trap",
+    "counter-reset",
+    "chaos",
+];
+
+impl FaultPlan {
+    /// A plan firing exactly the given injections (sorted by step; ties
+    /// fire in the given order).
+    pub fn new(mut injections: Vec<Injection>) -> Self {
+        injections.sort_by_key(|i| i.step);
+        Self {
+            injections,
+            next: 0,
+            armed_vncr: None,
+            applied: 0,
+        }
+    }
+
+    /// A seeded random plan: `count` injections of arbitrary kinds at
+    /// steps in `[16, max_step)`. Same seed, same plan, bit-identical
+    /// replay.
+    pub fn seeded(seed: u64, count: usize, max_step: u64) -> Self {
+        let mut s = seed;
+        let span = max_step.max(17) - 16;
+        let kinds = InjectedFault::all();
+        let injections = (0..count)
+            .map(|_| Injection {
+                step: 16 + splitmix64(&mut s) % span,
+                fault: kinds[(splitmix64(&mut s) % kinds.len() as u64) as usize],
+                param: splitmix64(&mut s),
+            })
+            .collect();
+        Self::new(injections)
+    }
+
+    /// A named built-in plan, parameterized by `seed` so a campaign's
+    /// `--seed` reshuffles every schedule deterministically.
+    pub fn builtin(name: &str, seed: u64) -> Option<Self> {
+        // Fold the name into the seed so distinct plans never share a
+        // step schedule even for the same campaign seed.
+        let mut s = seed
+            ^ name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+                (h ^ b as u64).wrapping_mul(0x100_0000_01b3)
+            });
+        let mut sched = |count: usize, fault: InjectedFault, lo: u64, hi: u64| -> Vec<Injection> {
+            (0..count)
+                .map(|_| Injection {
+                    step: lo + splitmix64(&mut s) % (hi - lo),
+                    fault,
+                    param: splitmix64(&mut s),
+                })
+                .collect()
+        };
+        let injections = match name {
+            "pte-corruption" => sched(3, InjectedFault::CorruptShadowPte, 64, 8192),
+            "vncr-drop" => sched(2, InjectedFault::DropVncrWrite, 32, 4096),
+            "vncr-double" => sched(2, InjectedFault::DoubleVncrWrite, 32, 4096),
+            "spurious-trap" => sched(3, InjectedFault::SpuriousTrap, 32, 8192),
+            "counter-reset" => sched(1, InjectedFault::ResetCycleCounter, 256, 4096),
+            "chaos" => {
+                let mut v = Vec::new();
+                for fault in InjectedFault::all() {
+                    v.extend(sched(2, fault, 16, 16384));
+                }
+                v
+            }
+            _ => return None,
+        };
+        Some(Self::new(injections))
+    }
+
+    /// The full schedule, sorted by step.
+    pub fn injections(&self) -> &[Injection] {
+        &self.injections
+    }
+
+    /// How many injections have fired so far.
+    pub fn applied(&self) -> u64 {
+        self.applied
+    }
+
+    /// Pops the next injection due at or before `step`, if any.
+    pub(crate) fn take_due(&mut self, step: u64) -> Option<Injection> {
+        let inj = *self.injections.get(self.next)?;
+        if inj.step > step {
+            return None;
+        }
+        self.next += 1;
+        self.applied += 1;
+        Some(inj)
+    }
+
+    /// Arms a tamper on the next VNCR deferred write.
+    pub(crate) fn arm_vncr(&mut self, t: VncrTamper) {
+        self.armed_vncr = Some(t);
+    }
+
+    /// Consumes the armed VNCR tamper, if any.
+    pub(crate) fn take_armed_vncr(&mut self) -> Option<VncrTamper> {
+        self.armed_vncr.take()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_plans_replay_bit_identically() {
+        let a = FaultPlan::seeded(42, 8, 10_000);
+        let b = FaultPlan::seeded(42, 8, 10_000);
+        assert_eq!(a, b);
+        let c = FaultPlan::seeded(43, 8, 10_000);
+        assert_ne!(a.injections(), c.injections());
+    }
+
+    #[test]
+    fn injections_are_sorted_and_consumed_in_order() {
+        let mut p = FaultPlan::new(vec![
+            Injection {
+                step: 30,
+                fault: InjectedFault::SpuriousTrap,
+                param: 0,
+            },
+            Injection {
+                step: 10,
+                fault: InjectedFault::DropVncrWrite,
+                param: 0,
+            },
+        ]);
+        assert!(p.take_due(5).is_none());
+        assert_eq!(p.take_due(10).unwrap().fault, InjectedFault::DropVncrWrite);
+        assert!(p.take_due(29).is_none());
+        assert_eq!(p.take_due(100).unwrap().fault, InjectedFault::SpuriousTrap);
+        assert!(p.take_due(u64::MAX).is_none());
+        assert_eq!(p.applied(), 2);
+    }
+
+    #[test]
+    fn every_builtin_resolves_and_unknown_names_do_not() {
+        for name in BUILTIN_PLANS {
+            let p = FaultPlan::builtin(name, 7).expect(name);
+            assert!(!p.injections().is_empty(), "{name} schedules nothing");
+            assert_eq!(
+                Some(&p),
+                FaultPlan::builtin(name, 7).as_ref(),
+                "{name} not deterministic"
+            );
+            assert_ne!(
+                FaultPlan::builtin(name, 8),
+                Some(p),
+                "{name} ignores the seed"
+            );
+        }
+        assert!(FaultPlan::builtin("meteor-strike", 7).is_none());
+    }
+
+    #[test]
+    fn vncr_tamper_is_one_shot() {
+        let mut p = FaultPlan::new(Vec::new());
+        assert!(p.take_armed_vncr().is_none());
+        p.arm_vncr(VncrTamper::Double);
+        assert_eq!(p.take_armed_vncr(), Some(VncrTamper::Double));
+        assert!(p.take_armed_vncr().is_none());
+    }
+}

@@ -23,12 +23,14 @@
 //! virtualization: trapping, `CurrentEL` disguise), v8.4 (NEVE).
 
 pub mod cpu;
+pub mod fault;
 pub mod isa;
 pub mod machine;
 pub mod pstate;
 pub mod trace;
 
 pub use cpu::CoreState;
+pub use fault::{FaultPlan, InjectedFault, Injection, BUILTIN_PLANS};
 pub use isa::{Asm, Instr, Label, Program, Special};
 pub use machine::{ExitInfo, Hypervisor, Machine, MachineConfig, MmioRequest, StepOutcome};
 pub use pstate::Pstate;

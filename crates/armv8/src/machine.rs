@@ -15,6 +15,7 @@
 //! guest hypervisor's vector code.
 
 use crate::cpu::CoreState;
+use crate::fault::{FaultPlan, InjectedFault, Injection, VncrTamper};
 use crate::isa::{Instr, Program, Special};
 use crate::pstate::Pstate;
 use crate::trace::{Trace, TraceEvent};
@@ -125,6 +126,12 @@ pub struct Machine {
     pending_mmio: Vec<Option<MmioRequest>>,
     /// Optional execution trace (attach with [`Machine::attach_trace`]).
     pub trace: Option<Trace>,
+    /// Machine steps retired (across all CPUs); the clock fault
+    /// injections are scheduled against.
+    steps: u64,
+    /// Optional deterministic injection schedule. `None` (the default)
+    /// leaves every execution path untouched.
+    fault_plan: Option<FaultPlan>,
 }
 
 /// Internal: what a system-register access decision resolved to.
@@ -149,6 +156,8 @@ impl Machine {
             programs: Vec::new(),
             pending_mmio: vec![None; ncpus],
             trace: None,
+            steps: 0,
+            fault_plan: None,
             cfg,
         }
     }
@@ -156,6 +165,23 @@ impl Machine {
     /// Attaches an execution trace keeping the last `capacity` events.
     pub fn attach_trace(&mut self, capacity: usize) {
         self.trace = Some(Trace::new(capacity));
+    }
+
+    /// Attaches a deterministic fault-injection schedule. Injections
+    /// fire from the *next* step onward; attach before running.
+    pub fn attach_fault_plan(&mut self, plan: FaultPlan) {
+        self.fault_plan = Some(plan);
+    }
+
+    /// The attached fault plan, if any (inspect `applied()` after a
+    /// run to see how many injections actually fired).
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.fault_plan.as_ref()
+    }
+
+    /// Machine steps retired so far, the clock injections fire against.
+    pub fn steps_retired(&self) -> u64 {
+        self.steps
     }
 
     /// Loads a program into the flat interpreter address space.
@@ -659,13 +685,111 @@ impl Machine {
         if write {
             let c = self.cfg.cost.arm_cost(Event::MemStore);
             self.counter.charge(Event::MemStore, c);
-            self.mem.write_u64(addr, val);
+            // An armed injection tampers with this one deferred write:
+            // Drop models a lost cached-copy synchronization (the store
+            // is charged but the slot keeps its stale value), Double a
+            // duplicated one (the second store is charged too).
+            let tamper = self.fault_plan.as_mut().and_then(|p| p.take_armed_vncr());
+            match tamper {
+                Some(VncrTamper::Drop) => {}
+                Some(VncrTamper::Double) => {
+                    self.counter.charge(Event::MemStore, c);
+                    self.mem.write_u64(addr, val);
+                    self.mem.write_u64(addr, val);
+                }
+                None => self.mem.write_u64(addr, val),
+            }
             0
         } else {
             let c = self.cfg.cost.arm_cost(Event::MemLoad);
             self.counter.charge(Event::MemLoad, c);
             self.mem.read_u64(addr)
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Deterministic fault injection.
+    // ------------------------------------------------------------------
+
+    /// Fires every injection due at the current step count.
+    fn inject_due_faults(&mut self, hyp: &mut dyn Hypervisor, cpu: usize) {
+        loop {
+            let due = match &mut self.fault_plan {
+                Some(plan) => plan.take_due(self.steps),
+                None => None,
+            };
+            let Some(inj) = due else { return };
+            self.inject_fault(hyp, cpu, inj);
+        }
+    }
+
+    /// Applies one scheduled injection.
+    fn inject_fault(&mut self, hyp: &mut dyn Hypervisor, cpu: usize, inj: Injection) {
+        if let Some(t) = &mut self.trace {
+            t.push(TraceEvent::FaultInjected {
+                cpu,
+                fault: inj.fault,
+                step: self.steps,
+            });
+        }
+        match inj.fault {
+            InjectedFault::CorruptShadowPte => self.corrupt_stage2_pte(cpu, inj.param),
+            InjectedFault::DropVncrWrite => {
+                if let Some(p) = &mut self.fault_plan {
+                    p.arm_vncr(VncrTamper::Drop);
+                }
+            }
+            InjectedFault::DoubleVncrWrite => {
+                if let Some(p) = &mut self.fault_plan {
+                    p.arm_vncr(VncrTamper::Double);
+                }
+            }
+            InjectedFault::SpuriousTrap => self.inject_spurious_trap(hyp, cpu),
+            InjectedFault::ResetCycleCounter => self.counter.reset(),
+        }
+    }
+
+    /// Overwrites one root-level descriptor of the Stage-2 table the
+    /// hardware VTTBR points at (the shadow table while a nested guest
+    /// runs), then invalidates the TLB for that VMID so the next walk
+    /// observes the corruption. The garbage flavour cycles through the
+    /// interesting failure shapes: a vanished entry, a malformed
+    /// (block-where-table-expected) descriptor, and a table pointer
+    /// into the weeds.
+    fn corrupt_stage2_pte(&mut self, cpu: usize, param: u64) {
+        let vttbr_v = self.cores[cpu].regs.read(SysReg::VttbrEl2);
+        let root = vttbr::baddr(vttbr_v);
+        if root == 0 {
+            // No Stage-2 table installed (bare-metal context): nothing
+            // to corrupt.
+            return;
+        }
+        let slot = root + (param % 512) * 8;
+        if slot + 8 > self.mem.limit() {
+            return;
+        }
+        use neve_memsim::{DESC_ADDR, DESC_TABLE, DESC_VALID};
+        let garbage = match param % 3 {
+            0 => 0,
+            1 => DESC_VALID | (param & DESC_ADDR),
+            _ => DESC_VALID | DESC_TABLE | (param.rotate_left(17) & DESC_ADDR),
+        };
+        self.mem.write_u64(slot, garbage);
+        self.tlb.flush_vmid(vttbr::vmid(vttbr_v));
+    }
+
+    /// Delivers an IRQ trap to EL2 with nothing pending: the host
+    /// hypervisor's interrupt path runs, finds no interrupt, and
+    /// returns — a phantom interrupt mid world switch.
+    fn inject_spurious_trap(&mut self, hyp: &mut dyn Hypervisor, cpu: usize) {
+        if self.cores[cpu].pstate.el > 1 {
+            return;
+        }
+        let pc = self.cores[cpu].pc;
+        let info = self.enter_el2(cpu, TrapKind::Irq, 0, 0, 0, pc);
+        let _ = info;
+        hyp.handle_irq(self, cpu);
+        self.eret_from_el2(cpu);
     }
 
     // ------------------------------------------------------------------
@@ -887,6 +1011,17 @@ impl Machine {
     pub fn step(&mut self, hyp: &mut dyn Hypervisor, cpu: usize) -> StepOutcome {
         if let Some(code) = self.cores[cpu].halted {
             return StepOutcome::Halted(code);
+        }
+        // The step counter advances unconditionally; everything else in
+        // the injection path is gated on a plan being attached, so with
+        // injection off the measured run is bit-identical to a build
+        // without this machinery.
+        self.steps += 1;
+        if self.fault_plan.is_some() {
+            self.inject_due_faults(hyp, cpu);
+            if let Some(code) = self.cores[cpu].halted {
+                return StepOutcome::Halted(code);
+            }
         }
         if self.poll_interrupts(cpu, hyp) {
             return StepOutcome::Executed;

@@ -80,6 +80,16 @@ pub enum TraceEvent {
         /// Byte offset of the slot within the deferred access page.
         offset: u16,
     },
+    /// The attached [`FaultPlan`](crate::FaultPlan) fired an injection
+    /// (diagnostic marker; the fault itself is applied separately).
+    FaultInjected {
+        /// CPU index the injection targeted.
+        cpu: usize,
+        /// What was injected.
+        fault: crate::fault::InjectedFault,
+        /// Machine step count at which it fired.
+        step: u64,
+    },
 }
 
 /// A bounded event trace.
@@ -175,6 +185,12 @@ impl Trace {
             } => {
                 let dir = if *write { "write" } else { "read" };
                 format!("cpu{cpu} ++++ NEVE deferred {dir} of {reg:?} to page slot {offset:#x}")
+            }
+            TraceEvent::FaultInjected { cpu, fault, step } => {
+                format!(
+                    "cpu{cpu} !!!! FAULT injected: {} at step {step}",
+                    fault.label()
+                )
             }
         }
     }

@@ -11,7 +11,17 @@ use std::fmt::Write as _;
 use std::fs;
 
 fn main() {
-    fs::create_dir_all("results").expect("create results/");
+    // Filesystem problems (read-only checkout, missing permissions,
+    // `results` existing as a file) are environment errors, not bugs:
+    // one line on stderr and a non-zero exit, no panic backtrace.
+    if let Err(e) = run() {
+        eprintln!("dump_results: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn run() -> Result<(), String> {
+    fs::create_dir_all("results").map_err(|e| format!("cannot create results/: {e}"))?;
     let m = neve_bench::shared_matrix();
 
     // Microbenchmark matrix.
@@ -58,7 +68,8 @@ fn main() {
         ("figure2".into(), JsonValue::Object(figure2)),
     ]);
     let out = doc.pretty();
-    fs::write("results/neve_results.json", &out).expect("write results");
+    fs::write("results/neve_results.json", &out)
+        .map_err(|e| format!("cannot write results/neve_results.json: {e}"))?;
     println!("Wrote results/neve_results.json ({} bytes).", out.len());
 
     // A CSV of Figure 2 for spreadsheet users.
@@ -74,6 +85,14 @@ fn main() {
         }
         csv.push('\n');
     }
-    fs::write("results/figure2.csv", &csv).expect("write csv");
+    fs::write("results/figure2.csv", &csv)
+        .map_err(|e| format!("cannot write results/figure2.csv: {e}"))?;
     println!("Wrote results/figure2.csv.");
+    if m.has_failures() {
+        return Err(format!(
+            "{} matrix cell(s) failed to measure; the export contains zero placeholders",
+            m.failed_cells()
+        ));
+    }
+    Ok(())
 }

@@ -43,4 +43,17 @@ fn main() {
         "NEVE reduces hypercall traps {:.1}x vs ARMv8.3 (paper: \"more than six times\", 126 -> 15)",
         hc.cells[0].1 as f64 / hc.cells[2].1.max(1) as f64
     );
+    if m.has_failures() {
+        println!();
+        for c in Config::all() {
+            for (bench, why) in m.failures(c) {
+                println!("FAILED {} / {bench}: {why}", c.label());
+            }
+        }
+        eprintln!(
+            "table7: {} cell(s) failed to measure (rows show 0 for them)",
+            m.failed_cells()
+        );
+        std::process::exit(1);
+    }
 }

@@ -57,6 +57,18 @@ pub fn shared_matrix() -> MicroMatrix {
             "Measured every configuration ({jobs} worker threads); cached at {}.\n",
             cache::CACHE_PATH
         ),
+        MatrixSource::Quarantined => println!(
+            "Cache was corrupt; quarantined to {}.corrupt and re-measured \
+             every configuration ({jobs} worker threads).\n",
+            cache::CACHE_PATH
+        ),
+    }
+    if m.has_failures() {
+        println!(
+            "WARNING: {} cell(s) failed to measure; failed rows print as 0 \
+             and are marked below.\n",
+            m.failed_cells()
+        );
     }
     m
 }

@@ -87,6 +87,7 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         "tables" => tables_cmd(&p),
         "figure2" => figure2_cmd(&p),
         "trace" => trace_cmd(&p),
+        "faults" => faults_cmd(&p),
         "help" | "-h" | "--help" => {
             print!("{}", HELP);
             Ok(())
@@ -105,6 +106,8 @@ USAGE:
                                                         regenerate Figure 2
     neve trace   <config> <bench> [--json] [--limit N]  world-switch anatomy
                                                         with trap provenance
+    neve faults  [--seed N] [--jobs N] [--budget N] [--smoke] [--fail-fast]
+                                                        fault-injection campaign
     neve help                                           this text
 
 CONFIGS:    vm v83 v83-vhe neve neve-vhe v83-xen neve-xen
@@ -123,7 +126,18 @@ results-cache schema.
 Table and figure commands measure the 28-cell evaluation matrix in
 parallel (--jobs N workers, default: available cores) and cache the
 results keyed by the cost-model fingerprint; pass --no-cache to force
-a fresh measurement.
+a fresh measurement. If any cell fails to measure, the partial results
+still print (failed rows as 0) and the command exits non-zero.
+
+`neve faults` runs a seeded fault-injection campaign over the nested
+ARM cells: each built-in plan (corrupted shadow Stage-2 PTE, dropped or
+doubled VNCR write, spurious trap, cycle-counter reset, chaos) is
+injected at deterministic step counts and the outcome is classified as
+detected (structured fault), recovered (bit-identical to the fault-free
+baseline), or mis-measured (completed with silently wrong numbers).
+--smoke runs a small grid twice and verifies the reports are
+byte-identical; --fail-fast stops at the first detected fault and
+exits non-zero.
 ";
 
 fn micro(p: &args::Parsed) -> Result<(), String> {
@@ -176,8 +190,32 @@ fn matrix(p: &args::Parsed) -> Result<MicroMatrix, String> {
                 cache::CACHE_PATH
             );
         }
+        MatrixSource::Quarantined => {
+            println!(
+                "Cache was corrupt; quarantined to {}.corrupt and re-measured \
+                 every configuration ({jobs} worker threads).\n",
+                cache::CACHE_PATH
+            );
+        }
     }
     Ok(m)
+}
+
+/// Renders the failed cells of a partial matrix and produces the
+/// non-zero-exit error the table/figure commands end with. Partial
+/// results are still printed (and cached) before this runs — a faulted
+/// cell degrades the report, it does not discard it.
+fn failure_report(m: &MicroMatrix) -> String {
+    let mut lines = vec![format!(
+        "{} cell(s) failed to measure (rows above show 0 for them):",
+        m.failed_cells()
+    )];
+    for c in m.configs() {
+        for (bench, why) in m.failures(c) {
+            lines.push(format!("  FAILED {} / {bench}: {why}", c.label()));
+        }
+    }
+    lines.join("\n")
 }
 
 fn tables_cmd(p: &args::Parsed) -> Result<(), String> {
@@ -188,6 +226,9 @@ fn tables_cmd(p: &args::Parsed) -> Result<(), String> {
     println!("{}", tables::render(&tables::table6(&m)));
     println!("Table 7 (trap counts):");
     println!("{}", tables::render(&tables::table7(&m)));
+    if m.has_failures() {
+        return Err(failure_report(&m));
+    }
     Ok(())
 }
 
@@ -219,6 +260,50 @@ fn figure2_cmd(p: &args::Parsed) -> Result<(), String> {
                 b.feedback * 100.0
             );
         }
+    }
+    if m.has_failures() {
+        return Err(failure_report(&m));
+    }
+    Ok(())
+}
+
+/// Runs the deterministic fault-injection campaign (`neve faults`).
+///
+/// With `--smoke` the (small) campaign is run twice with the same seed
+/// and the two reports are compared byte-for-byte — the CI determinism
+/// gate. `--fail-fast` stops at the first detected fault and exits
+/// non-zero so scripts can bisect. Mis-measured entries are findings
+/// the report exists to surface, not harness failures, so a completed
+/// campaign exits zero.
+fn faults_cmd(p: &args::Parsed) -> Result<(), String> {
+    let default_jobs = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1) as u64;
+    let spec = neve_workloads::CampaignSpec {
+        seed: p.get_u64("seed", 2017)?,
+        smoke: p.has("smoke"),
+        jobs: p.get_u64("jobs", default_jobs)?.max(1) as usize,
+        fail_fast: p.has("fail-fast"),
+        step_budget: match p.get_u64("budget", 0)? {
+            0 => None,
+            b => Some(b),
+        },
+    };
+    let report = neve_workloads::run_campaign(&spec);
+    print!("{}", report.render());
+    if spec.smoke {
+        let again = neve_workloads::run_campaign(&spec);
+        if again.render() != report.render() {
+            return Err(
+                "fault campaign is not deterministic: two runs with the same \
+                        seed produced different reports"
+                    .into(),
+            );
+        }
+        println!("determinism check: second run is byte-identical");
+    }
+    if report.truncated {
+        return Err("campaign stopped at the first detected fault (--fail-fast)".into());
     }
     Ok(())
 }

@@ -20,9 +20,11 @@
 
 pub mod cost;
 pub mod counter;
+pub mod fault;
 
 pub use cost::{ArmCosts, CostModel, SoftwareCosts, X86Costs};
 pub use counter::{CounterSnapshot, CycleCounter, Delta, Measured};
+pub use fault::{FaultCause, SimFault};
 
 /// Classification of a trap (exception taken to a hypervisor).
 ///

@@ -676,13 +676,22 @@ impl HostHyp {
             self.inject_guest_abort(m, cpu, ipa);
             return;
         }
-        self.host_s2.map(
-            &mut m.mem,
-            &mut self.host_frames,
-            ipa,
-            ipa,
-            neve_memsim::Perms::RWX,
-        );
+        // A corrupted host Stage-2 (fault injection, or a guest finding
+        // a host bug) degrades into a guest-visible abort, never a host
+        // panic.
+        if self
+            .host_s2
+            .try_map(
+                &mut m.mem,
+                &mut self.host_frames,
+                ipa,
+                ipa,
+                neve_memsim::Perms::RWX,
+            )
+            .is_err()
+        {
+            self.inject_guest_abort(m, cpu, ipa);
+        }
     }
 
     /// Injects a synchronous external abort into the guest's EL1 (the
@@ -721,24 +730,69 @@ impl HostHyp {
             self.guest_s2_root
         };
         let guest_s2 = PageTable { root };
+        use neve_memsim::shadow::ShadowFault;
         match self.shadows[cpu].fill(&mut m.mem, guest_s2, self.host_s2, ipa) {
             Ok(()) => {}
-            Err(neve_memsim::shadow::ShadowFault::HostStage2(_)) => {
-                // Host has not faulted this L1 page in yet: do both.
-                let g = neve_memsim::walk(&m.mem, guest_s2, ipa, neve_memsim::Access::Read)
-                    .expect("guest mapping existed a moment ago");
-                self.map_l1_ram(m, cpu, g.pa);
-                self.shadows[cpu]
-                    .fill(&mut m.mem, guest_s2, self.host_s2, ipa)
-                    .expect("fill after host map");
+            Err(ShadowFault::HostStage2(_)) => {
+                // Host has not faulted this L1 page in yet: do both. The
+                // guest walk can fail even though the fill walked it a
+                // moment ago (a corrupted table under fault injection):
+                // that is the guest hypervisor's abort, not a host panic.
+                match neve_memsim::walk(&m.mem, guest_s2, ipa, neve_memsim::Access::Read) {
+                    Ok(g) => {
+                        self.map_l1_ram(m, cpu, g.pa);
+                        if self.shadows[cpu]
+                            .fill(&mut m.mem, guest_s2, self.host_s2, ipa)
+                            .is_err()
+                        {
+                            self.rebuild_shadow_or_reflect(m, cpu, info, guest_s2, ipa);
+                        }
+                    }
+                    Err(_) => self.reflect_l2_abort(m, cpu, info, ipa),
+                }
             }
-            Err(neve_memsim::shadow::ShadowFault::GuestStage2(_)) => {
+            Err(ShadowFault::GuestStage2(_)) => {
                 // The guest hypervisor did not map this IPA: its abort.
-                let vesr = esr::build(esr::EC_DABT_LOW, esr::iss(info.esr));
-                self.switch_l2_to_vel2(m, cpu, vesr, info.far, ipa, 0x400);
+                self.reflect_l2_abort(m, cpu, info, ipa);
+            }
+            Err(ShadowFault::ShadowCorrupt(_)) => {
+                // The shadow table itself is damaged: throw it away and
+                // rebuild from the source tables (the simple-and-correct
+                // wholesale invalidation the paper's prototype uses).
+                self.rebuild_shadow_or_reflect(m, cpu, info, guest_s2, ipa);
             }
         }
         // Retry the faulting access (ELR_EL2 still points at it).
+    }
+
+    /// Forwards a nested Stage-2 abort to the guest hypervisor's
+    /// virtual EL2 (its table, its abort).
+    fn reflect_l2_abort(&mut self, m: &mut Machine, cpu: usize, info: ExitInfo, ipa: u64) {
+        let vesr = esr::build(esr::EC_DABT_LOW, esr::iss(info.esr));
+        self.switch_l2_to_vel2(m, cpu, vesr, info.far, ipa, 0x400);
+    }
+
+    /// Last-resort recovery for a damaged shadow table: wholesale
+    /// invalidation (with the matching TLB flush) and one refill
+    /// attempt; if the sources are still unwalkable the abort is
+    /// reflected to the guest hypervisor.
+    fn rebuild_shadow_or_reflect(
+        &mut self,
+        m: &mut Machine,
+        cpu: usize,
+        info: ExitInfo,
+        guest_s2: PageTable,
+        ipa: u64,
+    ) {
+        self.shadows[cpu].invalidate_all(&mut m.mem);
+        let hw_vttbr = m.hyp_read(cpu, SysReg::VttbrEl2);
+        m.hyp_tlbi_vmid(vttbr::vmid(hw_vttbr));
+        if self.shadows[cpu]
+            .fill(&mut m.mem, guest_s2, self.host_s2, ipa)
+            .is_err()
+        {
+            self.reflect_l2_abort(m, cpu, info, ipa);
+        }
     }
 
     /// Advances the trapped instruction (KVM's `kvm_skip_instr`).

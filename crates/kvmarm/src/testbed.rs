@@ -21,9 +21,11 @@ use crate::vcpu::Ctx;
 use neve_armv8::isa::Instr;
 use neve_armv8::machine::{Machine, MachineConfig, StepOutcome};
 use neve_armv8::pstate::Pstate;
-use neve_armv8::ArchLevel;
+use neve_armv8::trace::Trace;
+use neve_armv8::{ArchLevel, FaultPlan};
 use neve_core::VncrEl2;
 use neve_cycles::counter::{Delta, Measured, PerOp};
+use neve_cycles::{FaultCause, SimFault};
 use neve_gic::vgic::ICH_HCR_EN;
 use neve_memsim::{FrameAlloc, PageTable, Perms};
 use neve_sysreg::bits::{spsr, vttbr};
@@ -109,10 +111,18 @@ pub struct TestBed {
     /// The configuration.
     pub cfg: ArmConfig,
     bench: MicroBench,
+    step_budget: u64,
 }
 
 /// Iterations dropped as warm-up (lazy Stage-2 faults, shadow fills).
 const WARMUP: u64 = 8;
+
+/// Default run-loop watchdog: generous for every configuration in the
+/// matrix (the slowest cell retires well under a million steps).
+pub const DEFAULT_STEP_BUDGET: u64 = 80_000_000;
+
+/// Provenance-ring lines carried in a [`SimFault`] diagnostic snapshot.
+const FAULT_TRACE_LINES: usize = 16;
 
 impl TestBed {
     /// Builds the full stack for `cfg` running `bench` with `iters`
@@ -148,31 +158,32 @@ impl TestBed {
             cost: Default::default(),
         });
         let total = iters + WARMUP;
-        match cfg {
-            ArmConfig::Vm => {
-                let hyp = Self::setup_vm(&mut m, bench, total, ncpus);
-                Self { m, hyp, cfg, bench }
-            }
+        let hyp = match cfg {
+            ArmConfig::Vm => Self::setup_vm(&mut m, bench, total, ncpus),
             ArmConfig::Nested {
                 guest_vhe,
                 neve,
                 para,
-            } => {
-                let hyp = Self::setup_nested(
-                    &mut m,
-                    bench,
-                    total,
-                    ncpus,
-                    NestedMode {
-                        guest_vhe,
-                        neve,
-                        para,
-                        gic_mmio,
-                        xen,
-                    },
-                );
-                Self { m, hyp, cfg, bench }
-            }
+            } => Self::setup_nested(
+                &mut m,
+                bench,
+                total,
+                ncpus,
+                NestedMode {
+                    guest_vhe,
+                    neve,
+                    para,
+                    gic_mmio,
+                    xen,
+                },
+            ),
+        };
+        Self {
+            m,
+            hyp,
+            cfg,
+            bench,
+            step_budget: DEFAULT_STEP_BUDGET,
         }
     }
 
@@ -373,12 +384,25 @@ impl TestBed {
         self
     }
 
+    /// Overrides the run-loop watchdog (clamped to at least 1 step).
+    pub fn set_step_budget(&mut self, budget: u64) -> &mut Self {
+        self.step_budget = budget.max(1);
+        self
+    }
+
+    /// Attaches a deterministic fault-injection schedule to the machine.
+    pub fn attach_fault_plan(&mut self, plan: FaultPlan) -> &mut Self {
+        self.m.attach_fault_plan(plan);
+        self
+    }
+
     /// Runs the benchmark to completion and returns per-operation
     /// averages over the measured iterations (warm-up excluded).
     ///
     /// # Panics
     ///
-    /// Panics if the payload crashes or stalls.
+    /// Panics if the payload crashes or stalls (use
+    /// [`TestBed::try_run_measured`] for a structured error instead).
     pub fn run(&mut self, iters: u64) -> PerOp {
         self.run_measured(iters).per_op
     }
@@ -389,10 +413,24 @@ impl TestBed {
     ///
     /// # Panics
     ///
-    /// Panics if the payload crashes or stalls.
+    /// Panics if the payload crashes or stalls (use
+    /// [`TestBed::try_run_measured`] for a structured error instead).
     pub fn run_measured(&mut self, iters: u64) -> Measured {
-        let (delta, n) = self.run_region(iters);
-        delta.measured(n)
+        self.try_run_measured(iters)
+            .unwrap_or_else(|f| panic!("{f}"))
+    }
+
+    /// Fallible [`TestBed::run_measured`]: a crash, stall (step-budget
+    /// exhaustion), or broken measurement protocol comes back as a
+    /// [`SimFault`] with a diagnostic snapshot instead of a panic.
+    ///
+    /// # Errors
+    ///
+    /// The [`SimFault`] carries pc/EL/phase/steps and the tail of the
+    /// provenance ring when a trace is attached.
+    pub fn try_run_measured(&mut self, iters: u64) -> Result<Measured, SimFault> {
+        let (delta, n) = self.try_run_region(iters)?;
+        Ok(delta.measured(n))
     }
 
     /// Like [`TestBed::run_measured`] but returns the raw
@@ -404,8 +442,19 @@ impl TestBed {
     ///
     /// # Panics
     ///
-    /// Panics if the payload crashes or stalls.
+    /// Panics if the payload crashes or stalls (use
+    /// [`TestBed::try_run_region`] for a structured error instead).
     pub fn run_region(&mut self, iters: u64) -> (Delta, u64) {
+        self.try_run_region(iters).unwrap_or_else(|f| panic!("{f}"))
+    }
+
+    /// Fallible [`TestBed::run_region`] under the step-budget watchdog.
+    ///
+    /// # Errors
+    ///
+    /// A [`SimFault`] describing the crash, stall, or measurement
+    /// shortfall.
+    pub fn try_run_region(&mut self, iters: u64) -> Result<(Delta, u64), SimFault> {
         match self.bench {
             MicroBench::VirtualEoi => self.run_eoi(iters),
             MicroBench::VirtualIpi => self.run_ipi(iters),
@@ -413,25 +462,64 @@ impl TestBed {
         }
     }
 
+    /// Builds a [`SimFault`] with the cpu0 diagnostic snapshot.
+    fn fault(&self, cause: FaultCause, steps: u64) -> SimFault {
+        let core = self.m.core(0);
+        let recent_events = self
+            .m
+            .trace
+            .as_ref()
+            .map(|t| {
+                let skip = t.len().saturating_sub(FAULT_TRACE_LINES);
+                t.events().skip(skip).map(Trace::render).collect()
+            })
+            .unwrap_or_default();
+        SimFault {
+            cause,
+            pc: core.pc,
+            el: core.pstate.el,
+            phase: self.m.counter.phase(),
+            steps,
+            recent_events,
+        }
+    }
+
     /// Single-CPU benchmarks: run until the payload halts, snapshotting
     /// after the warm-up iterations.
-    fn run_simple(&mut self, iters: u64) -> (Delta, u64) {
+    fn run_simple(&mut self, iters: u64) -> Result<(Delta, u64), SimFault> {
         // Warm-up: run until the iteration counter (x10 at L1/L2)
         // drops to `iters`.
+        let budget = self.step_budget;
         let mut snap = None;
         let mut steps: u64 = 0;
         loop {
             let out = self.m.step(&mut self.hyp, 0);
             steps += 1;
-            assert!(steps < 80_000_000, "benchmark stalled");
+            if steps >= budget {
+                return Err(self.fault(FaultCause::StepBudgetExhausted { budget }, steps));
+            }
             match out {
                 StepOutcome::Executed => {}
+                StepOutcome::Halted(code) if code == guests::DONE => break,
                 StepOutcome::Halted(code) => {
-                    assert_eq!(code, guests::DONE, "payload crashed: {code:#x}");
-                    break;
+                    return Err(self.fault(FaultCause::PayloadCrash { code }, steps));
                 }
-                StepOutcome::Wfi => panic!("unexpected wfi"),
-                StepOutcome::FetchFailure(pc) => panic!("fetch failure at {pc:#x}"),
+                StepOutcome::Wfi => {
+                    return Err(self.fault(
+                        FaultCause::UnexpectedStop {
+                            detail: "unexpected wfi".into(),
+                        },
+                        steps,
+                    ));
+                }
+                StepOutcome::FetchFailure(pc) => {
+                    return Err(self.fault(
+                        FaultCause::UnexpectedStop {
+                            detail: format!("fetch failure at {pc:#x}"),
+                        },
+                        steps,
+                    ));
+                }
             }
             if snap.is_none() && self.payload_counter() == iters {
                 snap = Some(self.m.counter.snapshot());
@@ -440,8 +528,10 @@ impl TestBed {
                 }
             }
         }
-        let snap = snap.expect("warm-up longer than the run");
-        (self.m.counter.delta_since(&snap), iters)
+        let Some(snap) = snap else {
+            return Err(self.fault(FaultCause::MissedSnapshot, steps));
+        };
+        Ok((self.m.counter.delta_since(&snap), iters))
     }
 
     /// The payload's remaining-iterations counter (x10), regardless of
@@ -461,7 +551,8 @@ impl TestBed {
     }
 
     /// The IPI benchmark: interleave both CPUs.
-    fn run_ipi(&mut self, iters: u64) -> (Delta, u64) {
+    fn run_ipi(&mut self, iters: u64) -> Result<(Delta, u64), SimFault> {
+        let budget = self.step_budget;
         let mut snap = None;
         let mut steps: u64 = 0;
         loop {
@@ -470,20 +561,33 @@ impl TestBed {
             // not dominated by the interleave ratio.
             for _ in 0..4 {
                 let r = self.m.step(&mut self.hyp, 1);
-                assert!(
-                    matches!(r, StepOutcome::Executed | StepOutcome::Wfi),
-                    "receiver stopped: {r:?}"
-                );
+                if !matches!(r, StepOutcome::Executed | StepOutcome::Wfi) {
+                    return Err(self.fault(
+                        FaultCause::UnexpectedStop {
+                            detail: format!("receiver stopped: {r:?}"),
+                        },
+                        steps,
+                    ));
+                }
             }
             steps += 1;
-            assert!(steps < 80_000_000, "IPI benchmark stalled");
+            if steps >= budget {
+                return Err(self.fault(FaultCause::StepBudgetExhausted { budget }, steps));
+            }
             match out0 {
                 StepOutcome::Executed | StepOutcome::Wfi => {}
+                StepOutcome::Halted(code) if code == guests::DONE => break,
                 StepOutcome::Halted(code) => {
-                    assert_eq!(code, guests::DONE, "sender crashed: {code:#x}");
-                    break;
+                    return Err(self.fault(FaultCause::PayloadCrash { code }, steps));
                 }
-                StepOutcome::FetchFailure(pc) => panic!("fetch failure at {pc:#x}"),
+                StepOutcome::FetchFailure(pc) => {
+                    return Err(self.fault(
+                        FaultCause::UnexpectedStop {
+                            detail: format!("fetch failure at {pc:#x}"),
+                        },
+                        steps,
+                    ));
+                }
             }
             if snap.is_none() && self.payload_counter() == iters {
                 snap = Some(self.m.counter.snapshot());
@@ -492,15 +596,18 @@ impl TestBed {
                 }
             }
         }
-        let snap = snap.expect("warm-up longer than the run");
-        (self.m.counter.delta_since(&snap), iters)
+        let Some(snap) = snap else {
+            return Err(self.fault(FaultCause::MissedSnapshot, steps));
+        };
+        Ok((self.m.counter.delta_since(&snap), iters))
     }
 
     /// The EOI benchmark measures only the acknowledge + complete pair;
     /// the re-arm hypercall between iterations is excluded, as in
     /// kvm-unit-tests where the interrupt is raised outside the timed
     /// region.
-    fn run_eoi(&mut self, iters: u64) -> (Delta, u64) {
+    fn run_eoi(&mut self, iters: u64) -> Result<(Delta, u64), SimFault> {
+        let budget = self.step_budget;
         let mut measured = Delta::default();
         let mut done = 0u64;
         let mut steps: u64 = 0;
@@ -521,7 +628,9 @@ impl TestBed {
             }
             let out = self.m.step(&mut self.hyp, 0);
             steps += 1;
-            assert!(steps < 80_000_000, "EOI benchmark stalled");
+            if steps >= budget {
+                return Err(self.fault(FaultCause::StepBudgetExhausted { budget }, steps));
+            }
             if let Some(snapped) = measuring_snap.take() {
                 let d = self.m.counter.delta_since(&snapped);
                 done += 1;
@@ -531,15 +640,34 @@ impl TestBed {
             }
             match out {
                 StepOutcome::Executed => {}
+                StepOutcome::Halted(code) if code == guests::DONE => break,
                 StepOutcome::Halted(code) => {
-                    assert_eq!(code, guests::DONE);
-                    break;
+                    return Err(self.fault(FaultCause::PayloadCrash { code }, steps));
                 }
-                other => panic!("unexpected {other:?}"),
+                other => {
+                    return Err(self.fault(
+                        FaultCause::UnexpectedStop {
+                            detail: format!("unexpected {other:?}"),
+                        },
+                        steps,
+                    ));
+                }
             }
         }
-        assert!(done >= iters, "expected {iters} EOI pairs, saw {done}");
-        (measured, done - WARMUP)
+        // Both guards matter under fault injection: enough pairs for
+        // the requested per-op figure, and at least one pair past the
+        // warm-up so the division below is meaningful (`done - WARMUP`
+        // must not underflow).
+        if done < iters || done <= WARMUP {
+            return Err(self.fault(
+                FaultCause::EoiShortfall {
+                    expected: iters,
+                    seen: done,
+                },
+                steps,
+            ));
+        }
+        Ok((measured, done - WARMUP))
     }
 
     fn fetch_at(&self, pc: u64) -> Option<Instr> {

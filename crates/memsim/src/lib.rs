@@ -27,5 +27,8 @@ pub mod tlb;
 pub use alloc::FrameAlloc;
 pub use phys::{PhysMem, PAGE_SIZE};
 pub use shadow::ShadowS2;
-pub use table::{walk, Access, Fault, FaultKind, PageTable, Perms, Translation};
+pub use table::{
+    walk, Access, Fault, FaultKind, MapError, PageTable, Perms, Translation, DESC_ADDR, DESC_TABLE,
+    DESC_VALID,
+};
 pub use tlb::{Tlb, TlbEntry, TlbKey};

@@ -18,7 +18,7 @@
 
 use crate::alloc::FrameAlloc;
 use crate::phys::PhysMem;
-use crate::table::{walk, Access, Fault, PageTable, Perms};
+use crate::table::{walk, Access, Fault, MapError, PageTable, Perms};
 
 /// A shadow Stage-2 table and its construction state.
 #[derive(Debug)]
@@ -42,6 +42,9 @@ pub enum ShadowFault {
     GuestStage2(Fault),
     /// The host's Stage-2 has no mapping: host-level bug or host MMIO.
     HostStage2(Fault),
+    /// The shadow table itself could not be traversed (corrupted
+    /// descriptors): the owner should invalidate and rebuild it.
+    ShadowCorrupt(MapError),
 }
 
 impl ShadowS2 {
@@ -64,8 +67,10 @@ impl ShadowS2 {
     /// # Errors
     ///
     /// [`ShadowFault::GuestStage2`] when the guest mapping is absent (to
-    /// be reflected into the guest hypervisor) and
-    /// [`ShadowFault::HostStage2`] when the host mapping is absent.
+    /// be reflected into the guest hypervisor),
+    /// [`ShadowFault::HostStage2`] when the host mapping is absent, and
+    /// [`ShadowFault::ShadowCorrupt`] when the shadow table itself is
+    /// damaged and must be invalidated and rebuilt.
     pub fn fill(
         &mut self,
         mem: &mut PhysMem,
@@ -82,7 +87,9 @@ impl ShadowS2 {
             w: g.perms.w && h.perms.w,
             x: g.perms.x && h.perms.x,
         };
-        self.table.map(mem, &mut self.frames, l2_pa, h.pa, perms);
+        self.table
+            .try_map(mem, &mut self.frames, l2_pa, h.pa, perms)
+            .map_err(ShadowFault::ShadowCorrupt)?;
         self.installed += 1;
         Ok(())
     }
@@ -213,6 +220,44 @@ mod tests {
             .fill(&mut e.mem, e.guest_s2, e.host_s2, 0x1000)
             .unwrap_err();
         assert!(matches!(err, ShadowFault::HostStage2(_)));
+    }
+
+    #[test]
+    fn corrupted_shadow_table_reports_and_rebuilds() {
+        use crate::table::DESC_VALID;
+        let mut e = setup();
+        e.guest_s2.map(
+            &mut e.mem,
+            &mut e.guest_frames,
+            0x1000,
+            0x4_2000,
+            Perms::RWX,
+        );
+        e.host_s2.map(
+            &mut e.mem,
+            &mut e.host_frames,
+            0x4_2000,
+            0x8_3000,
+            Perms::RWX,
+        );
+        e.shadow
+            .fill(&mut e.mem, e.guest_s2, e.host_s2, 0x1000)
+            .unwrap();
+        // Corrupt the shadow root (valid non-table descriptor): the next
+        // fill reports corruption instead of panicking, and a wholesale
+        // invalidation rebuilds cleanly.
+        e.mem.write_u64(e.shadow.table.root, DESC_VALID);
+        let err = e
+            .shadow
+            .fill(&mut e.mem, e.guest_s2, e.host_s2, 0x1000)
+            .unwrap_err();
+        assert!(matches!(err, ShadowFault::ShadowCorrupt(_)));
+        e.shadow.invalidate_all(&mut e.mem);
+        e.shadow
+            .fill(&mut e.mem, e.guest_s2, e.host_s2, 0x1000)
+            .unwrap();
+        let t = walk(&e.mem, e.shadow.table, 0x1000, Access::Read).unwrap();
+        assert_eq!(t.pa, 0x8_3000);
     }
 
     #[test]

@@ -11,9 +11,9 @@ use crate::alloc::FrameAlloc;
 use crate::phys::{PhysMem, PAGE_SIZE};
 
 /// Descriptor bit: entry is valid.
-const DESC_VALID: u64 = 1 << 0;
+pub const DESC_VALID: u64 = 1 << 0;
 /// Descriptor bit: entry points to a next-level table (levels 1-2).
-const DESC_TABLE: u64 = 1 << 1;
+pub const DESC_TABLE: u64 = 1 << 1;
 /// Descriptor bit: readable.
 const DESC_R: u64 = 1 << 6;
 /// Descriptor bit: writable.
@@ -21,7 +21,7 @@ const DESC_W: u64 = 1 << 7;
 /// Descriptor bit: executable.
 const DESC_X: u64 = 1 << 53;
 /// Output-address field mask (bits 47:12).
-const DESC_ADDR: u64 = 0x0000_ffff_ffff_f000;
+pub const DESC_ADDR: u64 = 0x0000_ffff_ffff_f000;
 
 /// Access permissions of a mapping.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -106,6 +106,11 @@ pub enum FaultKind {
     Permission,
     /// Input address outside the 39-bit supported range.
     AddressSize,
+    /// Descriptor valid but structurally impossible: a block where this
+    /// format requires a table, or a next-table pointer outside
+    /// physical memory. Corrupted tables produce this walk fault
+    /// instead of panicking the simulated machine.
+    Malformed,
 }
 
 /// A translation fault.
@@ -119,6 +124,28 @@ pub struct Fault {
     pub kind: FaultKind,
     /// Levels actually visited (for cost accounting).
     pub levels_walked: u8,
+}
+
+/// Why a mapping could not be installed: the walk to the leaf ran into
+/// a descriptor that is valid but structurally impossible (a block
+/// where a table is required, or a pointer outside physical memory).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MapError {
+    /// The input address being mapped.
+    pub input: u64,
+    /// Table level whose descriptor could not be traversed (0 for an
+    /// out-of-range input address).
+    pub level: u8,
+}
+
+impl std::fmt::Display for MapError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "malformed level-{} descriptor mapping {:#x}",
+            self.level, self.input
+        )
+    }
 }
 
 /// A successful translation.
@@ -173,7 +200,9 @@ impl PageTable {
     ///
     /// # Panics
     ///
-    /// Panics on frame exhaustion or out-of-range input address.
+    /// Panics on frame exhaustion, out-of-range input address, or a
+    /// malformed intermediate descriptor (use [`PageTable::try_map`]
+    /// where the table may be corrupt).
     pub fn map(
         &self,
         mem: &mut PhysMem,
@@ -183,11 +212,43 @@ impl PageTable {
         perms: Perms,
     ) {
         assert!(input < MAX_INPUT_ADDR, "input {input:#x} out of range");
+        self.try_map(mem, frames, input, output, perms)
+            .unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// [`PageTable::map`], but malformed intermediate descriptors (a
+    /// block where a table is required, or a next-table pointer outside
+    /// physical memory) come back as an error instead of a panic — the
+    /// shadow-paging refill path uses this so a corrupted shadow table
+    /// degrades into an invalidate-and-rebuild rather than an abort.
+    ///
+    /// # Errors
+    ///
+    /// A [`MapError`] naming the level that could not be traversed.
+    ///
+    /// # Panics
+    ///
+    /// Still panics on frame exhaustion (an infrastructure limit, not a
+    /// guest-reachable state).
+    pub fn try_map(
+        &self,
+        mem: &mut PhysMem,
+        frames: &mut FrameAlloc,
+        input: u64,
+        output: u64,
+        perms: Perms,
+    ) -> Result<(), MapError> {
+        if input >= MAX_INPUT_ADDR {
+            return Err(MapError { input, level: 0 });
+        }
         let input = input & !(PAGE_SIZE - 1);
         let output = output & !(PAGE_SIZE - 1);
         let mut table = self.root;
         for level in 1..=2u8 {
             let slot = table + index(input, level) * 8;
+            if slot + 8 > mem.limit() {
+                return Err(MapError { input, level });
+            }
             let desc = mem.read_u64(slot);
             if desc & DESC_VALID == 0 {
                 let next = frames.alloc().expect("page-table frames exhausted");
@@ -195,12 +256,19 @@ impl PageTable {
                 mem.write_u64(slot, next | DESC_VALID | DESC_TABLE);
                 table = next;
             } else {
-                assert!(desc & DESC_TABLE != 0, "block entries unsupported");
-                table = desc & DESC_ADDR;
+                if desc & DESC_TABLE == 0 {
+                    return Err(MapError { input, level });
+                }
+                let next = desc & DESC_ADDR;
+                if next + PAGE_SIZE > mem.limit() {
+                    return Err(MapError { input, level });
+                }
+                table = next;
             }
         }
         let slot = table + index(input, 3) * 8;
         mem.write_u64(slot, output | perms.to_bits() | DESC_VALID);
+        Ok(())
     }
 
     /// Maps a 2 MiB block at level 2 (the hypervisor's THP-style huge
@@ -242,17 +310,24 @@ impl PageTable {
     }
 
     /// Removes the mapping of the page containing `input` (no-op if the
-    /// walk hits an invalid entry first).
+    /// walk hits an invalid or malformed entry first).
     pub fn unmap(&self, mem: &mut PhysMem, input: u64) {
         let mut table = self.root;
         for level in 1..=2u8 {
-            let desc = mem.read_u64(table + index(input, level) * 8);
-            if desc & DESC_VALID == 0 {
+            let slot = table + index(input, level) * 8;
+            if slot + 8 > mem.limit() {
+                return;
+            }
+            let desc = mem.read_u64(slot);
+            if desc & DESC_VALID == 0 || desc & DESC_TABLE == 0 {
                 return;
             }
             table = desc & DESC_ADDR;
         }
-        mem.write_u64(table + index(input, 3) * 8, 0);
+        let slot = table + index(input, 3) * 8;
+        if slot + 8 <= mem.limit() {
+            mem.write_u64(slot, 0);
+        }
     }
 
     /// Zeroes the root frame, detaching every mapping at once (used with
@@ -287,7 +362,18 @@ pub fn walk(
     }
     let mut frame = table.root;
     for level in 1..=2u8 {
-        let desc = mem.read_u64(frame + index(input, level) * 8);
+        let slot = frame + index(input, level) * 8;
+        if slot + 8 > mem.limit() {
+            // A corrupted descriptor pointed this walk outside physical
+            // memory: report a clean walk fault, never panic.
+            return Err(Fault {
+                addr: input,
+                level,
+                kind: FaultKind::Malformed,
+                levels_walked: level,
+            });
+        }
+        let desc = mem.read_u64(slot);
         if desc & DESC_VALID == 0 {
             return Err(Fault {
                 addr: input,
@@ -313,9 +399,28 @@ pub fn walk(
                 levels_walked: 2,
             });
         }
+        if level == 1 && desc & DESC_TABLE == 0 {
+            // This format has no level-1 blocks: a valid non-table
+            // level-1 descriptor is corruption, not a mapping.
+            return Err(Fault {
+                addr: input,
+                level: 1,
+                kind: FaultKind::Malformed,
+                levels_walked: 1,
+            });
+        }
         frame = desc & DESC_ADDR;
     }
-    let desc = mem.read_u64(frame + index(input, 3) * 8);
+    let slot = frame + index(input, 3) * 8;
+    if slot + 8 > mem.limit() {
+        return Err(Fault {
+            addr: input,
+            level: 3,
+            kind: FaultKind::Malformed,
+            levels_walked: 3,
+        });
+    }
+    let desc = mem.read_u64(slot);
     if desc & DESC_VALID == 0 {
         return Err(Fault {
             addr: input,
@@ -465,6 +570,49 @@ mod tests {
         let (mut mem, mut fr) = setup();
         let t = PageTable::new(&mut mem, &mut fr);
         t.map_block(&mut mem, &mut fr, 0x1000, 0, Perms::RW);
+    }
+
+    #[test]
+    fn malformed_descriptors_fault_instead_of_panicking() {
+        let (mut mem, mut fr) = setup();
+        let t = PageTable::new(&mut mem, &mut fr);
+        t.map(&mut mem, &mut fr, 0x5000, 0x6000, Perms::RW);
+        // Corrupt the root entry into a table pointer beyond the end of
+        // physical memory: the walk must fault cleanly.
+        let slot = t.root + index(0x5000, 1) * 8;
+        mem.write_u64(slot, (mem.limit() & DESC_ADDR) | DESC_VALID | DESC_TABLE);
+        let f = walk(&mem, t, 0x5000, Access::Read).unwrap_err();
+        assert_eq!(f.kind, FaultKind::Malformed);
+        assert_eq!(f.level, 2);
+        // A valid non-table level-1 descriptor is equally malformed.
+        mem.write_u64(slot, DESC_VALID);
+        let f = walk(&mem, t, 0x5000, Access::Read).unwrap_err();
+        assert_eq!(f.kind, FaultKind::Malformed);
+        assert_eq!(f.level, 1);
+        // unmap over the same corruption is a no-op, not a panic.
+        t.unmap(&mut mem, 0x5000);
+    }
+
+    #[test]
+    fn try_map_reports_corruption_and_map_round_trips() {
+        let (mut mem, mut fr) = setup();
+        let t = PageTable::new(&mut mem, &mut fr);
+        t.try_map(&mut mem, &mut fr, 0x5000, 0x6000, Perms::RW)
+            .unwrap();
+        assert_eq!(walk(&mem, t, 0x5000, Access::Read).unwrap().pa, 0x6000);
+        // Block-where-table-expected: an error, not a panic.
+        let slot = t.root + index(0x5000, 1) * 8;
+        mem.write_u64(slot, DESC_VALID);
+        let e = t
+            .try_map(&mut mem, &mut fr, 0x5000, 0x7000, Perms::RW)
+            .unwrap_err();
+        assert_eq!(e.level, 1);
+        assert!(e.to_string().contains("malformed"));
+        // Out-of-range input.
+        let e = t
+            .try_map(&mut mem, &mut fr, MAX_INPUT_ADDR, 0, Perms::RW)
+            .unwrap_err();
+        assert_eq!(e.level, 0);
     }
 
     #[test]

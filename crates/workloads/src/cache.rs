@@ -30,6 +30,49 @@ pub enum MatrixSource {
     Cache,
     /// Freshly measured (no cache, stale fingerprint, or `--no-cache`).
     Measured,
+    /// Freshly measured after quarantining a corrupt cache file to
+    /// `<path>.corrupt` (truncated write, bit rot, or hand editing).
+    Quarantined,
+}
+
+/// What a read of the cache file found.
+enum CacheRead {
+    /// Valid for the current cost model.
+    Valid(MicroMatrix),
+    /// Missing or unreadable: nothing to distrust, just measure.
+    Absent,
+    /// Readable and parseable, but for a different cost model or an
+    /// older schema: the normal staleness rule, overwrite in place.
+    Stale,
+    /// Not even parseable JSON (or the fingerprint itself is mangled):
+    /// quarantine the file before overwriting so the evidence survives.
+    Corrupt,
+}
+
+fn read_cache(path: &Path, fingerprint: u64) -> CacheRead {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return CacheRead::Absent;
+    };
+    let Ok(doc) = neve_json::parse(&text) else {
+        return CacheRead::Corrupt;
+    };
+    // A document whose fingerprint is absent or malformed was not
+    // written by this code: corrupt, not merely stale.
+    let fp = doc
+        .get("fingerprint")
+        .and_then(|v| v.as_str())
+        .and_then(|s| s.strip_prefix("0x"))
+        .and_then(|s| u64::from_str_radix(s, 16).ok());
+    let Some(fp) = fp else {
+        return CacheRead::Corrupt;
+    };
+    if fp != fingerprint {
+        return CacheRead::Stale;
+    }
+    match from_json(&text, fingerprint) {
+        Some(m) => CacheRead::Valid(m),
+        None => CacheRead::Stale,
+    }
 }
 
 /// Loads the matrix from `CACHE_PATH` if it is valid for the current
@@ -47,12 +90,20 @@ pub fn load_or_measure_at(
     use_cache: bool,
 ) -> (MicroMatrix, MatrixSource) {
     let fingerprint = CostModel::default().fingerprint();
+    let mut source = MatrixSource::Measured;
     if use_cache {
-        if let Some(m) = std::fs::read_to_string(path)
-            .ok()
-            .and_then(|text| from_json(&text, fingerprint))
-        {
-            return (m, MatrixSource::Cache);
+        match read_cache(path, fingerprint) {
+            CacheRead::Valid(m) => return (m, MatrixSource::Cache),
+            CacheRead::Corrupt => {
+                // Keep the damaged bytes for post-mortem instead of
+                // silently overwriting them; a failed rename (exotic
+                // permissions) still falls through to a re-measure.
+                let mut quarantine = path.as_os_str().to_owned();
+                quarantine.push(".corrupt");
+                let _ = std::fs::rename(path, &quarantine);
+                source = MatrixSource::Quarantined;
+            }
+            CacheRead::Absent | CacheRead::Stale => {}
         }
     }
     let m = MicroMatrix::measure_parallel(jobs);
@@ -66,7 +117,7 @@ pub fn load_or_measure_at(
     // in the same directory (rename is only atomic within one
     // filesystem), then rename into place.
     let _ = write_atomically(path, &to_json(&m, fingerprint));
-    (m, MatrixSource::Measured)
+    (m, source)
 }
 
 fn write_atomically(path: &Path, contents: &str) -> std::io::Result<()> {
@@ -105,7 +156,7 @@ pub fn to_json(m: &MicroMatrix, fingerprint: u64) -> String {
             (c.label().to_string(), JsonValue::Object(body))
         })
         .collect();
-    JsonValue::Object(vec![
+    let mut top = vec![
         // Hex string, not a JSON number: the fingerprint uses all 64
         // bits and would lose precision through an f64 number.
         (
@@ -113,8 +164,29 @@ pub fn to_json(m: &MicroMatrix, fingerprint: u64) -> String {
             JsonValue::String(format!("{fingerprint:#018x}")),
         ),
         ("configs".into(), JsonValue::Object(configs)),
-    ])
-    .pretty()
+    ];
+    // Failures are an optional schema element: a clean matrix writes no
+    // key at all, so pre-fault-harness readers and byte-for-byte cache
+    // comparisons are unaffected.
+    if m.has_failures() {
+        let failures = m
+            .all_failures()
+            .iter()
+            .map(|(c, cells)| {
+                (
+                    c.label().to_string(),
+                    JsonValue::Object(
+                        cells
+                            .iter()
+                            .map(|(b, why)| (b.clone(), JsonValue::String(why.clone())))
+                            .collect(),
+                    ),
+                )
+            })
+            .collect();
+        top.push(("failures".into(), JsonValue::Object(failures)));
+    }
+    JsonValue::Object(top).pretty()
 }
 
 /// Parses a cache document; `None` if it is malformed, incomplete, or
@@ -171,7 +243,22 @@ pub fn from_json(text: &str, expect_fingerprint: u64) -> Option<MicroMatrix> {
     if Config::all().iter().any(|c| !results.contains_key(c)) {
         return None;
     }
-    Some(MicroMatrix::from_parts(results, trap_kinds, phases))
+    // Failures are optional (absent for clean matrices, so a measured
+    // matrix compares equal to its own cache round trip).
+    let mut failures = BTreeMap::new();
+    if let Some(f) = doc.get("failures") {
+        for (label, cells) in f.as_object()? {
+            let c = Config::from_label(label)?;
+            let mut per_bench = BTreeMap::new();
+            for (b, why) in cells.as_object()? {
+                per_bench.insert(b.clone(), why.as_str()?.to_string());
+            }
+            failures.insert(c, per_bench);
+        }
+    }
+    Some(MicroMatrix::from_parts(
+        results, trap_kinds, phases, failures,
+    ))
 }
 
 #[cfg(test)]
@@ -219,7 +306,7 @@ mod tests {
                 )
             })
             .collect();
-        MicroMatrix::from_parts(results, trap_kinds, phases)
+        MicroMatrix::from_parts(results, trap_kinds, phases, BTreeMap::new())
     }
 
     #[test]
@@ -228,6 +315,68 @@ mod tests {
         let text = to_json(&m, 42);
         let back = from_json(&text, 42).expect("round trip");
         assert_eq!(back, m);
+    }
+
+    #[test]
+    fn failures_survive_the_round_trip_only_when_present() {
+        let clean = synthetic();
+        assert!(!to_json(&clean, 42).contains("failures"));
+
+        let mut failures = BTreeMap::new();
+        failures.insert(
+            Config::ArmNestedV83,
+            BTreeMap::from([(
+                "hypercall".to_string(),
+                "step budget of 100 exhausted (pc=0x0 EL2 phase=guest steps=100)".to_string(),
+            )]),
+        );
+        let results = Config::all()
+            .into_iter()
+            .map(|c| (c, clean.costs(c)))
+            .collect();
+        // The serializer emits (possibly empty) provenance maps per
+        // config; mirror that so the round trip compares equal.
+        let empty_kinds = Config::all()
+            .into_iter()
+            .map(|c| (c, BTreeMap::new()))
+            .collect();
+        let empty_phases = Config::all()
+            .into_iter()
+            .map(|c| (c, BTreeMap::new()))
+            .collect();
+        let failed = MicroMatrix::from_parts(results, empty_kinds, empty_phases, failures);
+        assert!(failed.has_failures());
+        assert_eq!(failed.failed_cells(), 1);
+        let text = to_json(&failed, 42);
+        assert!(text.contains("failures"));
+        let back = from_json(&text, 42).expect("round trip");
+        assert_eq!(back, failed);
+    }
+
+    #[test]
+    fn corrupt_cache_is_quarantined_and_remeasured() {
+        // A garbage cache file must be moved aside as `*.corrupt`, a
+        // fresh measurement written in its place, and the rewritten
+        // cache must then load cleanly under the same fingerprint.
+        let dir = std::env::temp_dir().join(format!("neve-cache-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("micro_matrix.json");
+        std::fs::write(&path, "{ not json at all").unwrap();
+
+        let (m, source) = load_or_measure_at(&path, 4, true);
+        assert_eq!(source, MatrixSource::Quarantined);
+        let quarantined = dir.join("micro_matrix.json.corrupt");
+        assert_eq!(
+            std::fs::read_to_string(&quarantined).unwrap(),
+            "{ not json at all",
+            "the damaged bytes must survive for post-mortem"
+        );
+
+        let (again, source2) = load_or_measure_at(&path, 4, true);
+        assert_eq!(source2, MatrixSource::Cache);
+        assert_eq!(again, m, "re-measured cache must load back identically");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -12,6 +12,10 @@
 //! - [`cache`]: the persistent results cache
 //!   (`results/micro_matrix.json`), keyed by the cost-model
 //!   fingerprint, so every report binary measures once and reuses.
+//! - [`faults`]: the fault-injection campaign — every built-in
+//!   [`FaultPlan`](neve_armv8::FaultPlan) against every nested ARM
+//!   cell, classifying each outcome as detected, recovered, or
+//!   mis-measured (the `neve faults` subcommand).
 //! - [`tables`]: assembles those results into the paper's table rows.
 //! - [`apps`]: the application-workload model behind Figure 2. Each of
 //!   the paper's ten workloads (Table 8) is characterized by rates of
@@ -24,6 +28,7 @@
 
 pub mod apps;
 pub mod cache;
+pub mod faults;
 pub mod platforms;
 pub mod provenance;
 pub mod replay;
@@ -32,7 +37,8 @@ pub mod tables;
 
 pub use apps::{figure2, WorkloadProfile, WorkloadRow, WORKLOADS};
 pub use cache::{load_or_measure, MatrixSource, CACHE_PATH};
-pub use platforms::{Config, MicroCosts, MicroMatrix, PhaseStat};
+pub use faults::{run_campaign, CampaignReport, CampaignSpec, Verdict};
+pub use platforms::{Config, MeasureOpts, MicroCosts, MicroMatrix, PhaseStat};
 pub use replay::{replay_vs_model, Mix, ReplayResult};
-pub use session::{Bench, CellResult, SimSession};
+pub use session::{Bench, CellMeasurement, CellResult, SimSession};
 pub use tables::{table1, table6, table7, TableRow};

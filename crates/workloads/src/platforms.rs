@@ -1,6 +1,7 @@
 //! Unified access to both simulated platforms.
 
 use crate::session::{Bench, CellResult, SimSession};
+use neve_armv8::FaultPlan;
 use neve_cycles::counter::PerOp;
 use neve_kvmarm::{ArmConfig, ParaMode};
 use std::collections::BTreeMap;
@@ -127,6 +128,23 @@ pub struct MicroMatrix {
     /// [`Phase::label`](neve_cycles::Phase::label) names), summed over
     /// the four measured benchmarks. Empty for synthetic matrices.
     phases: BTreeMap<Config, BTreeMap<String, PhaseStat>>,
+    /// Cells that faulted instead of measuring: configuration ->
+    /// benchmark label -> fault description. A faulted cell's per-op
+    /// entry is a zero placeholder; renderers mark it as failed. Empty
+    /// for clean (and synthetic) matrices.
+    failures: BTreeMap<Config, BTreeMap<String, String>>,
+}
+
+/// Options for a matrix measurement run (fault-campaign entry point;
+/// the plain table paths use [`MicroMatrix::measure_parallel`]).
+#[derive(Debug, Clone, Default)]
+pub struct MeasureOpts {
+    /// Worker threads (0 and 1 both mean serial).
+    pub jobs: usize,
+    /// Deterministic fault-injection plan, cloned into every ARM cell.
+    pub fault_plan: Option<FaultPlan>,
+    /// Step-budget override for every cell's run-loop watchdog.
+    pub step_budget: Option<u64>,
 }
 
 pub(crate) fn arm_config(c: Config) -> Option<ArmConfig> {
@@ -190,10 +208,32 @@ impl MicroMatrix {
     /// bit-identical to [`MicroMatrix::measure`] regardless of `jobs`
     /// or scheduling.
     pub fn measure_parallel(jobs: usize) -> Self {
-        let jobs = jobs.max(1);
+        Self::measure_with(&MeasureOpts {
+            jobs,
+            ..MeasureOpts::default()
+        })
+    }
+
+    /// Runs every cell with explicit options: worker count, an optional
+    /// fault-injection plan, and an optional step-budget override.
+    /// Faulted cells degrade to [`CellResult::Failed`] and surface via
+    /// [`MicroMatrix::has_failures`]; clean cells measure exactly as
+    /// they would without options (injection off means zero measurement
+    /// perturbation).
+    pub fn measure_with(opts: &MeasureOpts) -> Self {
+        let jobs = opts.jobs.max(1);
         let sessions: Vec<SimSession> = all_cells()
             .into_iter()
-            .map(|(c, b)| SimSession::new(c, b))
+            .map(|(c, b)| {
+                let mut s = SimSession::new(c, b);
+                if let Some(plan) = &opts.fault_plan {
+                    s.attach_fault_plan(plan);
+                }
+                if let Some(budget) = opts.step_budget {
+                    s.set_step_budget(budget);
+                }
+                s
+            })
             .collect();
 
         // Round-robin the cells over the workers. Cells of one config
@@ -242,12 +282,36 @@ impl MicroMatrix {
     }
 
     /// Keys cell results into the matrix; the `BTreeMap` makes the
-    /// result independent of arrival order.
+    /// result independent of arrival order. Failed cells contribute a
+    /// zero per-op placeholder plus a failure record — one bad cell
+    /// never drops the rest of the matrix.
     fn assemble(cells: Vec<CellResult>) -> Self {
         let mut per_config: BTreeMap<Config, BTreeMap<Bench, PerOpSer>> = BTreeMap::new();
         let mut trap_kinds: BTreeMap<Config, BTreeMap<String, u64>> = BTreeMap::new();
         let mut phases: BTreeMap<Config, BTreeMap<String, PhaseStat>> = BTreeMap::new();
-        for cell in cells {
+        let mut failures: BTreeMap<Config, BTreeMap<String, String>> = BTreeMap::new();
+        for result in cells {
+            let cell = match result {
+                CellResult::Ok(m) => m,
+                CellResult::Failed {
+                    config,
+                    bench,
+                    fault,
+                } => {
+                    per_config.entry(config).or_default().insert(
+                        bench,
+                        PerOpSer {
+                            cycles: 0,
+                            traps: 0.0,
+                        },
+                    );
+                    failures
+                        .entry(config)
+                        .or_default()
+                        .insert(bench.label().to_string(), fault.describe());
+                    continue;
+                }
+            };
             per_config
                 .entry(cell.config)
                 .or_default()
@@ -287,6 +351,7 @@ impl MicroMatrix {
             results,
             trap_kinds,
             phases,
+            failures,
         }
     }
 
@@ -298,20 +363,23 @@ impl MicroMatrix {
             results,
             trap_kinds: BTreeMap::new(),
             phases: BTreeMap::new(),
+            failures: BTreeMap::new(),
         }
     }
 
-    /// Restores a matrix including trap and phase breakdowns (the cache
-    /// loader).
+    /// Restores a matrix including trap and phase breakdowns and any
+    /// recorded cell failures (the cache loader).
     pub fn from_parts(
         results: BTreeMap<Config, MicroCosts>,
         trap_kinds: BTreeMap<Config, BTreeMap<String, u64>>,
         phases: BTreeMap<Config, BTreeMap<String, PhaseStat>>,
+        failures: BTreeMap<Config, BTreeMap<String, String>>,
     ) -> Self {
         Self {
             results,
             trap_kinds,
             phases,
+            failures,
         }
     }
 
@@ -335,6 +403,27 @@ impl MicroMatrix {
     /// over the four microbenchmarks. Empty for synthetic matrices.
     pub fn phases(&self, c: Config) -> BTreeMap<String, PhaseStat> {
         self.phases.get(&c).cloned().unwrap_or_default()
+    }
+
+    /// True when any cell faulted instead of measuring.
+    pub fn has_failures(&self) -> bool {
+        !self.failures.is_empty()
+    }
+
+    /// Total faulted cells across the matrix.
+    pub fn failed_cells(&self) -> usize {
+        self.failures.values().map(BTreeMap::len).sum()
+    }
+
+    /// The failures of one configuration: benchmark label -> fault
+    /// description. Empty when the configuration measured cleanly.
+    pub fn failures(&self, c: Config) -> BTreeMap<String, String> {
+        self.failures.get(&c).cloned().unwrap_or_default()
+    }
+
+    /// All recorded failures (cache serialization).
+    pub fn all_failures(&self) -> &BTreeMap<Config, BTreeMap<String, String>> {
+        &self.failures
     }
 }
 

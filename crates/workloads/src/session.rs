@@ -12,10 +12,13 @@
 //! is bit-identical to a serial one.
 
 use crate::platforms::{Config, PerOpSer};
+use neve_armv8::FaultPlan;
 use neve_cycles::counter::Measured;
+use neve_cycles::SimFault;
 use neve_kvmarm::{MicroBench, TestBed};
 use neve_x86vt::testbed::{X86Bench, X86Config, X86TestBed};
 use std::collections::BTreeMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// A microbenchmark, platform-neutral (one row of Tables 1/6/7).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -106,7 +109,7 @@ pub struct SimSession {
 
 /// What one session measured.
 #[derive(Debug, Clone, PartialEq)]
-pub struct CellResult {
+pub struct CellMeasurement {
     /// The configuration the cell ran on.
     pub config: Config,
     /// The microbenchmark it ran.
@@ -122,6 +125,72 @@ pub struct CellResult {
     /// Traps by the phase they interrupted (absolute counts; together
     /// with `traps_by_kind` this is the cell's full provenance).
     pub traps_by_phase: BTreeMap<String, u64>,
+}
+
+/// One evaluation cell's outcome: a clean measurement, or a contained
+/// fault. A faulted cell never poisons its matrix — the other cells
+/// measure normally and the failure is carried alongside the partial
+/// results.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CellResult {
+    /// The cell ran to completion and measured cleanly.
+    Ok(CellMeasurement),
+    /// The cell crashed, stalled past its step budget, or panicked; the
+    /// fault carries the diagnostic snapshot.
+    Failed {
+        /// The configuration the cell ran on.
+        config: Config,
+        /// The microbenchmark it ran.
+        bench: Bench,
+        /// What went wrong, with pc/EL/phase/trace context.
+        fault: SimFault,
+    },
+}
+
+impl CellResult {
+    /// The cell's configuration, measured or not.
+    pub fn config(&self) -> Config {
+        match self {
+            CellResult::Ok(m) => m.config,
+            CellResult::Failed { config, .. } => *config,
+        }
+    }
+
+    /// The cell's benchmark, measured or not.
+    pub fn bench(&self) -> Bench {
+        match self {
+            CellResult::Ok(m) => m.bench,
+            CellResult::Failed { bench, .. } => *bench,
+        }
+    }
+
+    /// The measurement, if the cell completed cleanly.
+    pub fn measurement(&self) -> Option<&CellMeasurement> {
+        match self {
+            CellResult::Ok(m) => Some(m),
+            CellResult::Failed { .. } => None,
+        }
+    }
+
+    /// The fault, if the cell failed.
+    pub fn fault(&self) -> Option<&SimFault> {
+        match self {
+            CellResult::Ok(_) => None,
+            CellResult::Failed { fault, .. } => Some(fault),
+        }
+    }
+
+    /// Unwraps the measurement.
+    ///
+    /// # Panics
+    ///
+    /// Panics (with the fault's description) if the cell failed.
+    pub fn expect_measured(self) -> CellMeasurement {
+        match self {
+            CellResult::Ok(m) => m,
+            CellResult::Failed { fault, .. } => panic!("cell failed: {fault}"),
+        }
+    }
 }
 
 impl SimSession {
@@ -168,13 +237,65 @@ impl SimSession {
         }
     }
 
-    /// Runs warm-up plus measured iterations and reports the result.
+    /// Attaches a deterministic fault-injection plan (ARM beds only;
+    /// the x86 side has no injection points and ignores the plan).
+    pub fn attach_fault_plan(&mut self, plan: &FaultPlan) {
+        if let Bed::Arm(tb) = &mut self.bed {
+            tb.attach_fault_plan(plan.clone());
+        }
+    }
+
+    /// Overrides the run-loop step budget on either platform.
+    pub fn set_step_budget(&mut self, budget: u64) {
+        match &mut self.bed {
+            Bed::Arm(tb) => {
+                tb.set_step_budget(budget);
+            }
+            Bed::X86(tb) => {
+                tb.set_step_budget(budget);
+            }
+        }
+    }
+
+    /// Runs warm-up plus measured iterations and reports the outcome.
     /// Consumes the session: the testbed's end state is not reusable
     /// for another measurement.
+    ///
+    /// Never panics and never hangs (the run loops are under a step
+    /// budget): a crash, stall, or stray panic in the simulation stack
+    /// becomes [`CellResult::Failed`] so a single bad cell cannot
+    /// poison a parallel matrix measure.
     pub fn run(mut self) -> CellResult {
-        let measured = match &mut self.bed {
-            Bed::Arm(tb) => tb.run_measured(self.iters),
-            Bed::X86(tb) => tb.run_measured(self.iters),
+        let config = self.config;
+        let bench = self.bench;
+        let iters = self.iters;
+        let outcome = catch_unwind(AssertUnwindSafe(move || match &mut self.bed {
+            Bed::Arm(tb) => tb.try_run_measured(iters),
+            Bed::X86(tb) => tb.try_run_measured(iters),
+        }));
+        let measured = match outcome {
+            Ok(Ok(m)) => m,
+            Ok(Err(fault)) => {
+                return CellResult::Failed {
+                    config,
+                    bench,
+                    fault,
+                }
+            }
+            Err(payload) => {
+                let message = if let Some(s) = payload.downcast_ref::<&str>() {
+                    (*s).to_string()
+                } else if let Some(s) = payload.downcast_ref::<String>() {
+                    s.clone()
+                } else {
+                    "opaque panic payload".to_string()
+                };
+                return CellResult::Failed {
+                    config,
+                    bench,
+                    fault: SimFault::from_panic(message),
+                };
+            }
         };
         let Measured {
             per_op,
@@ -182,9 +303,9 @@ impl SimSession {
             cycles_by_phase,
             traps_by_phase,
         } = measured;
-        CellResult {
-            config: self.config,
-            bench: self.bench,
+        CellResult::Ok(CellMeasurement {
+            config,
+            bench,
             per_op: per_op.into(),
             traps_by_kind: traps_by_kind
                 .into_iter()
@@ -198,7 +319,7 @@ impl SimSession {
                 .into_iter()
                 .map(|(p, v)| (p.label().to_string(), v))
                 .collect(),
-        }
+        })
     }
 }
 
@@ -217,13 +338,16 @@ mod tests {
         assert_send::<neve_kvmarm::TestBed>();
         assert_send::<neve_x86vt::testbed::X86TestBed>();
         assert_send::<SimSession>();
+        assert_send::<CellMeasurement>();
         assert_send::<CellResult>();
         assert_send::<crate::platforms::MicroMatrix>();
     }
 
     #[test]
     fn a_session_runs_one_cell() {
-        let r = SimSession::new(Config::ArmVm, Bench::Hypercall).run();
+        let r = SimSession::new(Config::ArmVm, Bench::Hypercall)
+            .run()
+            .expect_measured();
         assert_eq!(r.config, Config::ArmVm);
         assert_eq!(r.bench, Bench::Hypercall);
         assert!(r.per_op.cycles > 0);
@@ -240,12 +364,14 @@ mod tests {
         // measure_parallel relies on, exercised directly.
         let s = SimSession::new(Config::X86Vm, Bench::DeviceIo);
         let r = std::thread::scope(|scope| scope.spawn(move || s.run()).join().unwrap());
-        assert!(r.per_op.cycles > 0);
+        assert!(r.expect_measured().per_op.cycles > 0);
     }
 
     #[test]
     fn nested_cells_attribute_cycles_and_traps_to_phases() {
-        let r = SimSession::new(Config::ArmNestedV83, Bench::Hypercall).run();
+        let r = SimSession::new(Config::ArmNestedV83, Bench::Hypercall)
+            .run()
+            .expect_measured();
         // The nested hypercall round trip exercises the world switch:
         // the eret emulation and EL1 context moves must show up.
         for phase in ["eret_emul", "el1_save", "el1_restore", "gic_switch"] {
@@ -265,19 +391,58 @@ mod tests {
     #[test]
     fn tracing_does_not_change_a_cell() {
         // The tentpole's hard invariant at session granularity.
-        let plain = SimSession::new(Config::ArmNestedNeve, Bench::Hypercall).run();
+        let plain = SimSession::new(Config::ArmNestedNeve, Bench::Hypercall)
+            .run()
+            .expect_measured();
         let mut traced = SimSession::new(Config::ArmNestedNeve, Bench::Hypercall);
         traced.attach_trace(128);
-        assert_eq!(traced.run(), plain);
+        assert_eq!(traced.run().expect_measured(), plain);
     }
 
     #[test]
     fn eoi_cells_report_zero_traps() {
         // Virtual EOI is the trap-free row of Table 7 on both platforms.
         for config in [Config::ArmVm, Config::X86Vm] {
-            let r = SimSession::new(config, Bench::VirtualEoi).run();
+            let r = SimSession::new(config, Bench::VirtualEoi)
+                .run()
+                .expect_measured();
             assert_eq!(r.per_op.traps, 0.0, "{config:?}");
             assert!(r.traps_by_kind.is_empty(), "{config:?}");
         }
+    }
+
+    #[test]
+    fn a_tiny_step_budget_fails_the_cell_instead_of_hanging() {
+        let mut s = SimSession::new(Config::ArmNestedV83, Bench::Hypercall);
+        s.set_step_budget(100);
+        match s.run() {
+            CellResult::Failed { config, fault, .. } => {
+                assert_eq!(config, Config::ArmNestedV83);
+                assert!(
+                    matches!(
+                        fault.cause,
+                        neve_cycles::FaultCause::StepBudgetExhausted { budget: 100 }
+                    ),
+                    "{fault}"
+                );
+            }
+            CellResult::Ok(_) => panic!("100 steps cannot complete a nested hypercall cell"),
+        }
+    }
+
+    #[test]
+    fn an_injected_fault_is_contained_in_the_cell_result() {
+        // The chaos plan fires every fault kind early in the run; the
+        // cell must end in a structured result either way — and the
+        // same seed must reproduce the same outcome bit-for-bit.
+        let run_once = || {
+            let mut s = SimSession::new(Config::ArmNestedV83, Bench::Hypercall);
+            s.attach_fault_plan(&FaultPlan::builtin("chaos", 7).unwrap());
+            s.set_step_budget(2_000_000);
+            s.run()
+        };
+        let a = run_once();
+        let b = run_once();
+        assert_eq!(a, b, "fault injection must replay bit-identically");
     }
 }

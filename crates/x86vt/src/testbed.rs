@@ -5,6 +5,7 @@ use crate::isa::{X86Asm, X86Instr, X86Program};
 use crate::machine::{X86Ctx, X86Machine, X86MachineConfig, X86Step, GPR_SLOTS};
 use crate::vmcs::VmcsField;
 use neve_cycles::counter::{Delta, Measured, PerOp};
+use neve_cycles::{FaultCause, Phase, SimFault};
 
 /// Payload image base (single-level VM or nested VM).
 pub const PAYLOAD_BASE: u64 = 0x10_000;
@@ -52,11 +53,15 @@ impl X86Bench {
 /// Warm-up iterations excluded from measurement.
 const WARMUP: u64 = 8;
 
+/// Default run-loop watchdog for the x86 side.
+pub const DEFAULT_STEP_BUDGET: u64 = 50_000_000;
+
 /// The assembled x86 stack.
 pub struct X86TestBed {
     /// The machine (the L0 hypervisor is built in).
     pub m: X86Machine,
     bench: X86Bench,
+    step_budget: u64,
 }
 
 fn payload(bench: X86Bench, base: u64, iters: u64, cpu: usize) -> X86Program {
@@ -180,7 +185,35 @@ impl X86TestBed {
                 m.core_mut(cpu).rip = base;
             }
         }
-        Self { m, bench }
+        Self {
+            m,
+            bench,
+            step_budget: DEFAULT_STEP_BUDGET,
+        }
+    }
+
+    /// Overrides the run-loop watchdog (clamped to at least 1 step).
+    pub fn set_step_budget(&mut self, budget: u64) -> &mut Self {
+        self.step_budget = budget.max(1);
+        self
+    }
+
+    /// Builds a [`SimFault`] with the cpu0 diagnostic snapshot. The x86
+    /// machine has no EL or trace ring; context is encoded in `el` as
+    /// the virtualization depth (0 = L0 root, 1 = L1, 2 = L2).
+    fn fault(&self, cause: FaultCause, steps: u64) -> SimFault {
+        let depth = match self.m.ctx[0] {
+            X86Ctx::L1 | X86Ctx::GhL1 => 1,
+            X86Ctx::L2 => 2,
+        };
+        SimFault {
+            cause,
+            pc: self.m.core(0).rip,
+            el: depth,
+            phase: Phase::Guest,
+            steps,
+            recent_events: Vec::new(),
+        }
     }
 
     /// Runs to completion, measuring after warm-up. Returns
@@ -198,17 +231,31 @@ impl X86TestBed {
     ///
     /// # Panics
     ///
-    /// Panics if a payload crashes or stalls.
+    /// Panics if a payload crashes or stalls (use
+    /// [`X86TestBed::try_run_measured`] for a structured error).
     pub fn run_measured(&mut self, iters: u64) -> Measured {
-        let (delta, n) = if self.bench == X86Bench::VirtualEoi {
-            self.run_eoi(iters)
-        } else {
-            self.run_main(iters)
-        };
-        delta.measured(n)
+        self.try_run_measured(iters)
+            .unwrap_or_else(|f| panic!("{f}"))
     }
 
-    fn run_main(&mut self, iters: u64) -> (Delta, u64) {
+    /// Fallible [`X86TestBed::run_measured`] under the step-budget
+    /// watchdog.
+    ///
+    /// # Errors
+    ///
+    /// A [`SimFault`] describing the crash, stall, or measurement
+    /// shortfall.
+    pub fn try_run_measured(&mut self, iters: u64) -> Result<Measured, SimFault> {
+        let (delta, n) = if self.bench == X86Bench::VirtualEoi {
+            self.run_eoi(iters)?
+        } else {
+            self.run_main(iters)?
+        };
+        Ok(delta.measured(n))
+    }
+
+    fn run_main(&mut self, iters: u64) -> Result<(Delta, u64), SimFault> {
+        let budget = self.step_budget;
         let multi = self.bench == X86Bench::VirtualIpi;
         let mut snap = None;
         let mut steps = 0u64;
@@ -217,25 +264,43 @@ impl X86TestBed {
             if multi {
                 for _ in 0..4 {
                     let r = self.m.step(1);
-                    assert!(matches!(r, X86Step::Executed), "receiver stopped: {r:?}");
+                    if !matches!(r, X86Step::Executed) {
+                        return Err(self.fault(
+                            FaultCause::UnexpectedStop {
+                                detail: format!("receiver stopped: {r:?}"),
+                            },
+                            steps,
+                        ));
+                    }
                 }
             }
             steps += 1;
-            assert!(steps < 50_000_000, "x86 benchmark stalled");
+            if steps >= budget {
+                return Err(self.fault(FaultCause::StepBudgetExhausted { budget }, steps));
+            }
             match out {
                 X86Step::Executed => {}
+                X86Step::Halted(c) if c == DONE => break,
                 X86Step::Halted(c) => {
-                    assert_eq!(c, DONE, "payload crashed: {c:#x}");
-                    break;
+                    return Err(self.fault(FaultCause::PayloadCrash { code: c }, steps));
                 }
-                X86Step::FetchFailure(rip) => panic!("fetch failure at {rip:#x}"),
+                X86Step::FetchFailure(rip) => {
+                    return Err(self.fault(
+                        FaultCause::UnexpectedStop {
+                            detail: format!("fetch failure at {rip:#x}"),
+                        },
+                        steps,
+                    ));
+                }
             }
             if snap.is_none() && self.payload_counter() == iters {
                 snap = Some(self.m.counter.snapshot());
             }
         }
-        let snap = snap.expect("warm-up longer than run");
-        (self.m.counter.delta_since(&snap), iters)
+        let Some(snap) = snap else {
+            return Err(self.fault(FaultCause::MissedSnapshot, steps));
+        };
+        Ok((self.m.counter.delta_since(&snap), iters))
     }
 
     /// The payload's iteration counter (register 10), live or parked.
@@ -247,7 +312,8 @@ impl X86TestBed {
     }
 
     /// EOI: measure only the `ApicEoi` instruction.
-    fn run_eoi(&mut self, _iters: u64) -> (Delta, u64) {
+    fn run_eoi(&mut self, iters: u64) -> Result<(Delta, u64), SimFault> {
+        let budget = self.step_budget;
         let mut measured = Delta::default();
         let mut done = 0u64;
         let mut steps = 0u64;
@@ -257,7 +323,9 @@ impl X86TestBed {
             let snapped = at_eoi.then(|| self.m.counter.snapshot());
             let out = self.m.step(0);
             steps += 1;
-            assert!(steps < 50_000_000, "x86 EOI stalled");
+            if steps >= budget {
+                return Err(self.fault(FaultCause::StepBudgetExhausted { budget }, steps));
+            }
             if let Some(s) = snapped {
                 let d = self.m.counter.delta_since(&s);
                 done += 1;
@@ -267,14 +335,30 @@ impl X86TestBed {
             }
             match out {
                 X86Step::Executed => {}
+                X86Step::Halted(c) if c == DONE => break,
                 X86Step::Halted(c) => {
-                    assert_eq!(c, DONE);
-                    break;
+                    return Err(self.fault(FaultCause::PayloadCrash { code: c }, steps));
                 }
-                other => panic!("unexpected {other:?}"),
+                other => {
+                    return Err(self.fault(
+                        FaultCause::UnexpectedStop {
+                            detail: format!("unexpected {other:?}"),
+                        },
+                        steps,
+                    ));
+                }
             }
         }
-        (measured, done - WARMUP)
+        if done < iters || done <= WARMUP {
+            return Err(self.fault(
+                FaultCause::EoiShortfall {
+                    expected: iters,
+                    seen: done,
+                },
+                steps,
+            ));
+        }
+        Ok((measured, done - WARMUP))
     }
 
     fn peek(&self, _rip: u64) -> Option<X86Instr> {
