@@ -20,4 +20,7 @@ cargo test --workspace -q --offline
 echo "==> fault-campaign smoke (deterministic)"
 cargo run -q -p neve-cli --offline --bin neve -- faults --smoke
 
+echo "==> throughput smoke (matrix byte-identity + steps/sec)"
+cargo run -q -p neve-bench --offline --release --bin sim_throughput -- --smoke
+
 echo "CI green."

@@ -21,13 +21,14 @@ use crate::pstate::Pstate;
 use crate::trace::{Trace, TraceEvent};
 use crate::ArchLevel;
 use neve_core::Disposition;
-use neve_cycles::{CostModel, CycleCounter, Event, Phase, TrapKind};
+use neve_cycles::{CostModel, CostTable, CycleCounter, Event, Phase, TrapKind};
 use neve_gic::Gic;
 use neve_memsim::{walk, Access, PageTable, PhysMem, Tlb, TlbKey};
 use neve_sysreg::bits::{esr, hcr, vttbr};
 use neve_sysreg::classify::{neve_class, NeveClass};
 use neve_sysreg::{RegId, SysReg};
 use neve_vtimer::Timers;
+use std::cell::Cell;
 
 /// Machine construction parameters.
 #[derive(Debug, Clone)]
@@ -122,7 +123,20 @@ pub struct Machine {
     /// Cycle and trap accounting.
     pub counter: CycleCounter,
     cores: Vec<CoreState>,
+    /// Loaded programs, kept sorted by base address (the ranges are
+    /// disjoint — [`Machine::load`] asserts it — so instruction fetch
+    /// binary-searches this instead of scanning).
     programs: Vec<Program>,
+    /// Per-core index of the program the core last fetched from.
+    /// Straight-line code hits this without the binary search. Interior
+    /// mutability keeps [`Machine::peek`] (and fetch inside `step`)
+    /// `&self`; a `Cell` is `Send`, so machines still cross threads.
+    /// Pure performance state: it never changes *what* a fetch returns.
+    fetch_hints: Vec<Cell<usize>>,
+    /// The ARM half of `cfg.cost` resolved to a flat per-event array;
+    /// rebuilt whenever the model's fingerprint changes (see
+    /// [`Machine::refresh_cost_table`]).
+    cost_table: CostTable,
     pending_mmio: Vec<Option<MmioRequest>>,
     /// Optional execution trace (attach with [`Machine::attach_trace`]).
     pub trace: Option<Trace>,
@@ -154,11 +168,25 @@ impl Machine {
             counter: CycleCounter::new(),
             cores: (0..ncpus).map(|_| CoreState::new()).collect(),
             programs: Vec::new(),
+            fetch_hints: (0..ncpus).map(|_| Cell::new(0)).collect(),
+            cost_table: CostTable::arm(&cfg.cost),
             pending_mmio: vec![None; ncpus],
             trace: None,
             steps: 0,
             fault_plan: None,
             cfg,
+        }
+    }
+
+    /// Re-resolves the precomputed cost table if `cfg.cost` changed
+    /// since it was built ([`CostModel::fingerprint`] comparison).
+    /// Harnesses call this at run boundaries, so per-step charges can
+    /// index the flat table instead of re-matching the model — with
+    /// identical results, since the table is built by evaluating
+    /// [`CostModel::arm_cost`] over every event.
+    pub fn refresh_cost_table(&mut self) {
+        if !self.cost_table.matches(&self.cfg.cost) {
+            self.cost_table = CostTable::arm(&self.cfg.cost);
         }
     }
 
@@ -202,7 +230,15 @@ impl Machine {
                 p.end()
             );
         }
-        self.programs.push(prog);
+        // Keep the list sorted by base: the ranges are disjoint, so
+        // fetch can binary-search for the unique candidate program.
+        let at = self.programs.partition_point(|p| p.base < prog.base);
+        self.programs.insert(at, prog);
+        // Indices shifted; stale hints are only a wasted probe, but
+        // start the next fetch clean.
+        for h in &self.fetch_hints {
+            h.set(0);
+        }
     }
 
     /// Immutable core access.
@@ -228,28 +264,28 @@ impl Machine {
 
     /// Host hypervisor system-register read (EL2 privilege, no traps).
     pub fn hyp_read(&mut self, cpu: usize, reg: SysReg) -> u64 {
-        let c = self.cfg.cost.arm_cost(Event::SysRegRead);
+        let c = self.cost_table.cost(Event::SysRegRead);
         self.counter.charge(Event::SysRegRead, c);
         self.read_storage(cpu, reg)
     }
 
     /// Host hypervisor system-register write.
     pub fn hyp_write(&mut self, cpu: usize, reg: SysReg, value: u64) {
-        let c = self.cfg.cost.arm_cost(Event::SysRegWrite);
+        let c = self.cost_table.cost(Event::SysRegWrite);
         self.counter.charge(Event::SysRegWrite, c);
         self.write_storage(cpu, reg, value);
     }
 
     /// Host physical-memory read (one 64-bit word).
     pub fn hyp_mem_read(&mut self, pa: u64) -> u64 {
-        let c = self.cfg.cost.arm_cost(Event::MemLoad);
+        let c = self.cost_table.cost(Event::MemLoad);
         self.counter.charge(Event::MemLoad, c);
         self.mem.read_u64(pa)
     }
 
     /// Host physical-memory write.
     pub fn hyp_mem_write(&mut self, pa: u64, v: u64) {
-        let c = self.cfg.cost.arm_cost(Event::MemStore);
+        let c = self.cost_table.cost(Event::MemStore);
         self.counter.charge(Event::MemStore, c);
         self.mem.write_u64(pa, v);
     }
@@ -261,7 +297,7 @@ impl Machine {
 
     /// Host TLB maintenance for one VMID.
     pub fn hyp_tlbi_vmid(&mut self, vmid: u16) {
-        let c = self.cfg.cost.arm_cost(Event::TlbFlush);
+        let c = self.cost_table.cost(Event::TlbFlush);
         self.counter.charge(Event::TlbFlush, c);
         self.tlb.flush_vmid(vmid);
     }
@@ -347,7 +383,7 @@ impl Machine {
         let from_phase = self.counter.phase();
         self.counter.record_trap(kind);
         self.counter.set_phase(Phase::TrapEntry);
-        let c = self.cfg.cost.arm_cost(Event::TrapEnter);
+        let c = self.cost_table.cost(Event::TrapEnter);
         self.counter.charge(Event::TrapEnter, c);
         if self.trace.is_some() {
             // Which register access pulled us in: system-register traps
@@ -395,7 +431,7 @@ impl Machine {
     /// counter back in [`Phase::Guest`].
     fn eret_from_el2(&mut self, cpu: usize) {
         self.counter.set_phase(Phase::TrapReturn);
-        let c = self.cfg.cost.arm_cost(Event::TrapReturn);
+        let c = self.cost_table.cost(Event::TrapReturn);
         self.counter.charge(Event::TrapReturn, c);
         let elr = self.cores[cpu].regs.read(SysReg::ElrEl2);
         let spsr = self.cores[cpu].regs.read(SysReg::SpsrEl2);
@@ -426,7 +462,7 @@ impl Machine {
     /// 0x280 IRQ from the current EL with SP_ELx, 0x400 / 0x480 from a
     /// lower EL.
     fn enter_el1(&mut self, cpu: usize, esr_val: u64, far: u64, ret: u64, is_irq: bool) {
-        let c = self.cfg.cost.arm_cost(Event::El1ExceptionEntry);
+        let c = self.cost_table.cost(Event::El1ExceptionEntry);
         self.counter.charge(Event::El1ExceptionEntry, c);
         let from_el = self.cores[cpu].pstate.el;
         let base = if from_el == 1 { 0x200 } else { 0x400 };
@@ -683,7 +719,7 @@ impl Machine {
         }
         let addr = self.cores[cpu].neve.slot_address(offset);
         if write {
-            let c = self.cfg.cost.arm_cost(Event::MemStore);
+            let c = self.cost_table.cost(Event::MemStore);
             self.counter.charge(Event::MemStore, c);
             // An armed injection tampers with this one deferred write:
             // Drop models a lost cached-copy synchronization (the store
@@ -701,7 +737,7 @@ impl Machine {
             }
             0
         } else {
-            let c = self.cfg.cost.arm_cost(Event::MemLoad);
+            let c = self.cost_table.cost(Event::MemLoad);
             self.counter.charge(Event::MemLoad, c);
             self.mem.read_u64(addr)
         }
@@ -825,7 +861,7 @@ impl Machine {
             stage2: s2_on,
             page: va & !0xfff,
         };
-        let pa = if let Some(e) = self.tlb.lookup(key) {
+        let pa = if let Some(e) = self.tlb.lookup_cpu(cpu, key) {
             if !e.perms.allows(access) {
                 // Conservative: permission misses re-walk below.
                 None
@@ -839,18 +875,22 @@ impl Machine {
         let pa = match pa {
             Some(pa) => pa,
             None => {
+                // The permissions to cache are what every enabled stage
+                // grants; identity (disabled) stages grant everything.
+                let mut walked_perms = neve_memsim::Perms::RWX;
                 // Walk stage 1.
                 let ipa = if s1_on {
                     let root = self.cores[cpu].regs.read(SysReg::Ttbr0El1) & !0xfff;
                     match walk(&self.mem, PageTable { root }, va, access) {
                         Ok(t) => {
-                            let c = self.cfg.cost.arm_cost(Event::PageWalkLevel);
+                            let c = self.cost_table.cost(Event::PageWalkLevel);
                             self.counter
                                 .charge_n(Event::PageWalkLevel, c, t.levels_walked as u64);
+                            walked_perms = walked_perms.intersect(t.perms);
                             t.pa
                         }
                         Err(f) => {
-                            let c = self.cfg.cost.arm_cost(Event::PageWalkLevel);
+                            let c = self.cost_table.cost(Event::PageWalkLevel);
                             self.counter
                                 .charge_n(Event::PageWalkLevel, c, f.levels_walked as u64);
                             // Stage-1 abort: to EL1 (or EL2 under TGE).
@@ -874,13 +914,14 @@ impl Machine {
                     let root = vttbr::baddr(self.cores[cpu].regs.read(SysReg::VttbrEl2));
                     match walk(&self.mem, PageTable { root }, ipa, access) {
                         Ok(t) => {
-                            let c = self.cfg.cost.arm_cost(Event::PageWalkLevel);
+                            let c = self.cost_table.cost(Event::PageWalkLevel);
                             self.counter
                                 .charge_n(Event::PageWalkLevel, c, t.levels_walked as u64);
+                            walked_perms = walked_perms.intersect(t.perms);
                             t.pa
                         }
                         Err(f) => {
-                            let c = self.cfg.cost.arm_cost(Event::PageWalkLevel);
+                            let c = self.cost_table.cost(Event::PageWalkLevel);
                             self.counter
                                 .charge_n(Event::PageWalkLevel, c, f.levels_walked as u64);
                             // Stage-2 abort: to EL2 with the IPA latched;
@@ -912,7 +953,7 @@ impl Machine {
                     key,
                     neve_memsim::tlb::TlbEntry {
                         out_page: pa & !0xfff,
-                        perms: neve_memsim::Perms::RWX,
+                        perms: walked_perms,
                     },
                 );
                 pa
@@ -928,13 +969,13 @@ impl Machine {
         }
 
         if write {
-            let c = self.cfg.cost.arm_cost(Event::MemStore);
+            let c = self.cost_table.cost(Event::MemStore);
             self.counter.charge(Event::MemStore, c);
             let v = self.cores[cpu].gpr(reg);
             self.mem.write_u64(pa, v);
             Some(0)
         } else {
-            let c = self.cfg.cost.arm_cost(Event::MemLoad);
+            let c = self.cost_table.cost(Event::MemLoad);
             self.counter.charge(Event::MemLoad, c);
             Some(self.mem.read_u64(pa))
         }
@@ -996,14 +1037,36 @@ impl Machine {
     // The interpreter.
     // ------------------------------------------------------------------
 
-    fn fetch(&self, pc: u64) -> Option<Instr> {
-        self.programs.iter().find_map(|p| p.fetch(pc))
+    /// Fetches through `cpu`'s last-program-hit hint. Straight-line
+    /// code stays within one program for thousands of steps, so the
+    /// common case is a single range check; the binary search over the
+    /// sorted, disjoint program list only runs on a program change.
+    /// Equivalent to the old linear scan for every pc (the ranges are
+    /// disjoint, so at most one program can serve a pc — the
+    /// `indexed_fetch_agrees_with_linear_scan` proptest holds this).
+    fn fetch(&self, cpu: usize, pc: u64) -> Option<Instr> {
+        let hint = &self.fetch_hints[cpu];
+        if let Some(p) = self.programs.get(hint.get()) {
+            if let Some(i) = p.fetch(pc) {
+                return Some(i);
+            }
+        }
+        // Unique candidate: the last program whose base is <= pc.
+        let idx = self
+            .programs
+            .partition_point(|p| p.base <= pc)
+            .checked_sub(1)?;
+        let i = self.programs[idx].fetch(pc)?;
+        hint.set(idx);
+        Some(i)
     }
 
     /// Looks up the instruction at `pc` without executing (harness use:
-    /// bracketing fine-grained measurements).
+    /// bracketing fine-grained measurements). Shares cpu 0's fetch
+    /// hint: the bracketing harnesses peek at the pc cpu 0 is about to
+    /// execute.
     pub fn peek(&self, pc: u64) -> Option<Instr> {
-        self.fetch(pc)
+        self.fetch(0, pc)
     }
 
     /// Executes one instruction on `cpu` (delivering pending interrupts
@@ -1034,7 +1097,7 @@ impl Machine {
         }
 
         let pc = self.cores[cpu].pc;
-        let Some(instr) = self.fetch(pc) else {
+        let Some(instr) = self.fetch(cpu, pc) else {
             return StepOutcome::FetchFailure(pc);
         };
         if let Some(t) = &mut self.trace {
@@ -1046,13 +1109,13 @@ impl Machine {
             });
         }
         let mut next_pc = pc + 4;
-        let instr_c = self.cfg.cost.arm_cost(Event::Instr);
-        let barrier_c = self.cfg.cost.arm_cost(Event::Barrier);
-        let tlb_c = self.cfg.cost.arm_cost(Event::TlbFlush);
-        let eret_c = self.cfg.cost.arm_cost(Event::EretNative);
-        let sread_c = self.cfg.cost.arm_cost(Event::SysRegRead);
-        let swrite_c = self.cfg.cost.arm_cost(Event::SysRegWrite);
-        let dirq_c = self.cfg.cost.arm_cost(Event::DirectIrqOp);
+        let instr_c = self.cost_table.cost(Event::Instr);
+        let barrier_c = self.cost_table.cost(Event::Barrier);
+        let tlb_c = self.cost_table.cost(Event::TlbFlush);
+        let eret_c = self.cost_table.cost(Event::EretNative);
+        let sread_c = self.cost_table.cost(Event::SysRegRead);
+        let swrite_c = self.cost_table.cost(Event::SysRegWrite);
+        let dirq_c = self.cost_table.cost(Event::DirectIrqOp);
 
         match instr {
             Instr::Nop => self.counter.charge(Event::Instr, instr_c),
@@ -1107,12 +1170,14 @@ impl Machine {
             }
             Instr::LslImm(rd, rn, sh) => {
                 self.counter.charge(Event::Instr, instr_c);
-                let v = self.cores[cpu].gpr(rn) << sh;
+                // AArch64 shifts take the amount modulo the register
+                // width; a plain `<<` would panic in debug for sh >= 64.
+                let v = self.cores[cpu].gpr(rn).wrapping_shl(u32::from(sh));
                 self.cores[cpu].set_gpr(rd, v);
             }
             Instr::LsrImm(rd, rn, sh) => {
                 self.counter.charge(Event::Instr, instr_c);
-                let v = self.cores[cpu].gpr(rn) >> sh;
+                let v = self.cores[cpu].gpr(rn).wrapping_shr(u32::from(sh));
                 self.cores[cpu].set_gpr(rd, v);
             }
             Instr::B(a) => {

@@ -6,7 +6,7 @@ use crate::machine::{ExitInfo, Hypervisor, Machine, MachineConfig, StepOutcome};
 use crate::pstate::Pstate;
 use crate::ArchLevel;
 use neve_core::VncrEl2;
-use neve_cycles::TrapKind;
+use neve_cycles::{Event, TrapKind};
 use neve_gic::vgic::ICH_HCR_EN;
 use neve_memsim::{FrameAlloc, PageTable, Perms};
 use neve_sysreg::bits::{esr, hcr, spsr};
@@ -642,4 +642,83 @@ fn out_of_range_physical_access_aborts_instead_of_panicking() {
     m.core_mut(0).regs.write(SysReg::VbarEl1, 0x8000);
     let mut hyp = skipping_hyp();
     assert_eq!(m.run(&mut hyp, 0, 10), StepOutcome::Halted(0xab));
+}
+
+#[test]
+fn tlb_caches_walked_perms_and_permission_miss_rewalks_like_cold_miss() {
+    // The TLB must cache the permissions the walk actually returned
+    // (not a blanket RWX), so a later access the page does not permit
+    // re-walks and faults instead of silently succeeding from the
+    // cache. The re-walk reaches the leaf before the permission check,
+    // so it charges PageWalkLevel exactly like the cold miss did.
+    let mut m = machine(ArchLevel::V8_3);
+    let mut frames = FrameAlloc::new(0x0100_0000, 0x40_0000);
+    let s1 = PageTable::new(&mut m.mem, &mut frames);
+    let ro = Perms {
+        r: true,
+        w: false,
+        x: false,
+    };
+    s1.map(&mut m.mem, &mut frames, 0x20_0000, 0x30_0000, ro);
+    m.core_mut(0).regs.write(SysReg::SctlrEl1, 1);
+    m.core_mut(0).regs.write(SysReg::Ttbr0El1, s1.root);
+    let mut a = Asm::new(0x1000);
+    a.i(Instr::MovImm(1, 0x20_0000));
+    a.i(Instr::Ldr(2, 1, 0)); // cold miss: full walk
+    a.i(Instr::Ldr(3, 1, 0)); // TLB hit, read permitted
+    a.i(Instr::Str(1, 1, 0)); // hit, but write not cached as allowed
+    a.i(Instr::Halt(9));
+    m.load(a.assemble());
+    let mut v = Asm::new(0x8000);
+    v.org(0x200);
+    v.i(Instr::Halt(0xab));
+    m.load(v.assemble());
+    enter_guest(&mut m, 0, 0, 0x1000);
+    m.core_mut(0).regs.write(SysReg::VbarEl1, 0x8000);
+    let mut hyp = skipping_hyp();
+
+    assert_eq!(m.step(&mut hyp, 0), StepOutcome::Executed); // MovImm
+    assert_eq!(m.step(&mut hyp, 0), StepOutcome::Executed); // cold Ldr
+    let cold_walk = m.counter.events_of(Event::PageWalkLevel);
+    assert!(cold_walk > 0, "cold miss must walk");
+    assert_eq!(m.step(&mut hyp, 0), StepOutcome::Executed); // warm Ldr
+    assert_eq!(
+        m.counter.events_of(Event::PageWalkLevel),
+        cold_walk,
+        "TLB hit must not walk"
+    );
+    assert_eq!(m.step(&mut hyp, 0), StepOutcome::Executed); // Str
+    assert_eq!(
+        m.counter.events_of(Event::PageWalkLevel),
+        2 * cold_walk,
+        "permission-mismatched hit re-walks exactly like a cold miss"
+    );
+    // The write permission-faulted into the guest's own EL1 vector —
+    // no hypervisor trap, and the cached RO entry never honored it.
+    assert_eq!(m.run(&mut hyp, 0, 10), StepOutcome::Halted(0xab));
+    assert_eq!(m.counter.traps_total(), 0);
+    let (hits, misses, _) = m.tlb.stats();
+    assert_eq!(misses, 1, "only the first access misses");
+    assert_eq!(hits, 2, "warm read and the mismatched write both hit");
+}
+
+#[test]
+fn oversized_shift_immediates_wrap_instead_of_panicking() {
+    // `lsl/lsr` with a shift >= 64 used to panic the interpreter in
+    // debug builds; AArch64 semantics take the amount modulo the
+    // register width.
+    let mut m = machine(ArchLevel::V8_0);
+    let mut a = Asm::new(0x1000);
+    a.i(Instr::MovImm(1, 0xabcd));
+    a.i(Instr::LslImm(2, 1, 64)); // == shift by 0
+    a.i(Instr::LsrImm(3, 1, 68)); // == shift by 4
+    a.i(Instr::LslImm(4, 1, 63));
+    a.i(Instr::Halt(0));
+    m.load(a.assemble());
+    enter_guest(&mut m, 0, 0, 0x1000);
+    let mut hyp = skipping_hyp();
+    assert_eq!(m.run(&mut hyp, 0, 10), StepOutcome::Halted(0));
+    assert_eq!(m.core(0).gpr(2), 0xabcd);
+    assert_eq!(m.core(0).gpr(3), 0xabcd >> 4);
+    assert_eq!(m.core(0).gpr(4), 0xabcd_u64.wrapping_shl(63));
 }

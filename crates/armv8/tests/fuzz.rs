@@ -185,3 +185,78 @@ proptest! {
         prop_assert_eq!(m.core(0).regs.read(SysReg::HcrEl2), before);
     }
 }
+
+/// Strategy: a set of disjoint program layouts (gap before each
+/// program in bytes, instruction count), plus a rotation for the load
+/// order so the sorted insert in `Machine::load` sees every ordering.
+fn disjoint_layouts() -> impl Strategy<Value = (Vec<(u64, usize)>, usize)> {
+    (
+        proptest::collection::vec((0u64..0x2000, 1usize..24), 1..6),
+        0usize..6,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The hinted binary-search fetch must agree with the naive linear
+    /// scan for every probe address, on any overlap-free layout and
+    /// any load order (the fast path is pure mechanism: it can never
+    /// change *what* a fetch returns).
+    #[test]
+    fn indexed_fetch_agrees_with_linear_scan(
+        (layouts, rot) in disjoint_layouts(),
+    ) {
+        use std::sync::Arc;
+
+        // Materialize disjoint programs; instruction i of program p
+        // carries a unique immediate so any mix-up is visible.
+        let mut programs = Vec::new();
+        let mut base = 0x1000u64;
+        for (p, (gap, len)) in layouts.into_iter().enumerate() {
+            base += gap & !3; // keep the 4-byte stride alignment
+            let code: Vec<Instr> = (0..len)
+                .map(|i| Instr::MovImm(0, (p as u64) << 32 | i as u64))
+                .collect();
+            let prog = Program { base, code: Arc::from(code.as_slice()) };
+            base = prog.end();
+            programs.push(prog);
+        }
+
+        let mut m = Machine::new(MachineConfig {
+            arch: ArchLevel::V8_3,
+            ncpus: 1,
+            mem_size: 1 << 20,
+            cost: Default::default(),
+        });
+        let n = programs.len();
+        for i in 0..n {
+            m.load(programs[(i + rot) % n].clone());
+        }
+
+        // Probe boundaries, interiors, gaps, and misaligned addresses,
+        // in an interleaved order that defeats the per-core hint.
+        let mut probes = Vec::new();
+        for p in &programs {
+            probes.extend([
+                p.base.wrapping_sub(4),
+                p.base,
+                p.base + 4 * ((p.code.len() as u64) / 2),
+                p.end() - 4,
+                p.end(),
+                p.base + 1, // misaligned
+            ]);
+        }
+        probes.push(0);
+        probes.push(!3u64); // u64::MAX aligned down to 4
+        for round in 0..2 {
+            for (k, &pc) in probes.iter().enumerate() {
+                // Odd passes walk the probes backwards so consecutive
+                // fetches cross program boundaries.
+                let pc = if round == 1 { probes[probes.len() - 1 - k] } else { pc };
+                let reference = programs.iter().find_map(|p| p.fetch(pc));
+                prop_assert_eq!(m.peek(pc), reference, "pc {:#x}", pc);
+            }
+        }
+    }
+}

@@ -1,0 +1,154 @@
+//! `sim_throughput` — host-side simulator throughput (steps/sec and
+//! ns/step per platform configuration).
+//!
+//! Modes:
+//!
+//! - default: measure every configuration and write
+//!   `results/bench_throughput.json`, preserving (and reporting
+//!   speedups against) a previously recorded baseline section.
+//! - `--record-baseline`: measure and write the results as the
+//!   *baseline* section only — run this at the commit you want later
+//!   runs compared against.
+//! - `--smoke`: the CI gate. Re-measures the evaluation matrix and
+//!   asserts it is byte-identical to the cached file for the current
+//!   cost-model fingerprint (the determinism invariant), then prints
+//!   steps/sec for a quick configuration pair. Exits non-zero on any
+//!   mismatch; never writes `results/`.
+//!
+//! `--samples N` overrides the timed sample count (default 5).
+
+use neve_cycles::CostModel;
+use neve_workloads::cache::{self, CACHE_PATH};
+use neve_workloads::platforms::{Config, MicroMatrix};
+use neve_workloads::throughput::{self, measure_config, ConfigThroughput, BENCH_PATH};
+use std::path::Path;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: sim_throughput [--samples N] [--record-baseline | --smoke]\n\
+         \n\
+         Measures host-side simulated steps/sec per configuration and\n\
+         writes {BENCH_PATH}.\n\
+         --record-baseline  store this run as the comparison baseline\n\
+         --smoke            CI mode: matrix byte-identity + quick steps/sec\n\
+         --samples N        timed samples per configuration (default 5)"
+    );
+    std::process::exit(2);
+}
+
+fn print_stats(stats: &[ConfigThroughput]) {
+    println!(
+        "\n{:<20} {:>14} {:>14} {:>10}",
+        "config", "steps/sec", "ns/step", "steps"
+    );
+    for s in stats {
+        println!(
+            "{:<20} {:>14.0} {:>14.1} {:>10}",
+            s.config.label(),
+            s.steps_per_sec(),
+            s.ns_per_step(),
+            s.steps
+        );
+    }
+}
+
+/// The CI determinism gate: the freshly measured matrix must
+/// serialize byte-identically to the cached file (same fingerprint).
+fn smoke(samples: usize) {
+    let fingerprint = CostModel::default().fingerprint();
+    let cached = std::fs::read_to_string(CACHE_PATH).ok();
+    let matches_fingerprint = cached
+        .as_deref()
+        .map(|text| cache::from_json(text, fingerprint).is_some())
+        .unwrap_or(false);
+    if matches_fingerprint {
+        let fresh = cache::to_json(&MicroMatrix::measure_parallel(jobs()), fingerprint);
+        if Some(fresh.as_str()) != cached.as_deref() {
+            eprintln!(
+                "FAIL: freshly measured matrix differs from {CACHE_PATH} \
+                 for fingerprint {fingerprint:#018x} — the simulation is \
+                 no longer bit-identical to the cached measurement"
+            );
+            std::process::exit(1);
+        }
+        println!("matrix byte-identical to {CACHE_PATH} (fingerprint {fingerprint:#018x})");
+    } else {
+        // No comparable cache: fall back to self-consistency, which
+        // still catches nondeterminism introduced by a change.
+        let a = cache::to_json(&MicroMatrix::measure_parallel(jobs()), fingerprint);
+        let b = cache::to_json(&MicroMatrix::measure_parallel(jobs()), fingerprint);
+        if a != b {
+            eprintln!("FAIL: two matrix measurements disagree — nondeterministic simulation");
+            std::process::exit(1);
+        }
+        println!(
+            "no cache for fingerprint {fingerprint:#018x}; \
+             two fresh measurements are byte-identical"
+        );
+    }
+    let mut c = criterion::Criterion::default();
+    let stats: Vec<ConfigThroughput> = [Config::ArmVm, Config::ArmNestedV83]
+        .into_iter()
+        .map(|config| measure_config(&mut c, config, samples.min(3)))
+        .collect();
+    print_stats(&stats);
+}
+
+fn jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut samples = 5usize;
+    let mut record_baseline = false;
+    let mut smoke_mode = false;
+    let mut it = argv.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--record-baseline" => record_baseline = true,
+            "--smoke" => smoke_mode = true,
+            "--samples" => {
+                samples = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| usage());
+            }
+            _ => usage(),
+        }
+    }
+    if record_baseline && smoke_mode {
+        usage();
+    }
+    if smoke_mode {
+        smoke(samples);
+        return;
+    }
+
+    let stats = throughput::measure_all(samples);
+    print_stats(&stats);
+
+    let existing = std::fs::read_to_string(BENCH_PATH).ok();
+    let text = if record_baseline {
+        // A baseline-only report: `current` mirrors the baseline until
+        // a later default run replaces it.
+        throughput::report_json(&stats, Some(&stats))
+    } else {
+        let baseline = existing
+            .as_deref()
+            .and_then(|t| throughput::section_from_report(t, "baseline"));
+        throughput::report_json(&stats, baseline.as_deref())
+    };
+    let path = Path::new(BENCH_PATH);
+    if let Some(dir) = path.parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    if let Err(e) = cache::write_atomically(path, &text) {
+        eprintln!("failed to write {BENCH_PATH}: {e}");
+        std::process::exit(1);
+    }
+    println!("\nwrote {BENCH_PATH}");
+}

@@ -18,7 +18,7 @@ pub struct Parsed {
 
 /// Flags that take no value (presence is the value). Everything else
 /// follows the `--key value` grammar.
-const BOOLEAN_FLAGS: &[&str] = &["no-cache", "json", "smoke", "fail-fast"];
+const BOOLEAN_FLAGS: &[&str] = &["no-cache", "json", "smoke", "fail-fast", "record-baseline"];
 
 /// Parses `argv` (without the program name).
 ///

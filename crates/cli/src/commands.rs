@@ -88,6 +88,7 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         "figure2" => figure2_cmd(&p),
         "trace" => trace_cmd(&p),
         "faults" => faults_cmd(&p),
+        "bench-sim" => bench_sim_cmd(&p),
         "help" | "-h" | "--help" => {
             print!("{}", HELP);
             Ok(())
@@ -108,6 +109,8 @@ USAGE:
                                                         with trap provenance
     neve faults  [--seed N] [--jobs N] [--budget N] [--smoke] [--fail-fast]
                                                         fault-injection campaign
+    neve bench-sim [--samples N] [--record-baseline]    host-side simulator
+                                                        throughput (steps/sec)
     neve help                                           this text
 
 CONFIGS:    vm v83 v83-vhe neve neve-vhe v83-xen neve-xen
@@ -138,6 +141,13 @@ baseline), or mis-measured (completed with silently wrong numbers).
 --smoke runs a small grid twice and verifies the reports are
 byte-identical; --fail-fast stops at the first detected fault and
 exits non-zero.
+
+`neve bench-sim` measures how fast the *host* simulates each
+configuration (steps/sec and ns/step — wall-clock performance of the
+interpreter, not simulated cycles) and writes
+results/bench_throughput.json, reporting speedups against the recorded
+baseline section. --record-baseline stores this run as the baseline
+later runs are compared against.
 ";
 
 fn micro(p: &args::Parsed) -> Result<(), String> {
@@ -264,6 +274,47 @@ fn figure2_cmd(p: &args::Parsed) -> Result<(), String> {
     if m.has_failures() {
         return Err(failure_report(&m));
     }
+    Ok(())
+}
+
+/// Measures host-side simulator throughput (`neve bench-sim`): wall
+/// clock per simulated step for every configuration, written to
+/// `results/bench_throughput.json` with speedups against the recorded
+/// baseline section (the same report `sim_throughput` produces).
+fn bench_sim_cmd(p: &args::Parsed) -> Result<(), String> {
+    use neve_workloads::throughput::{self, BENCH_PATH};
+
+    let samples = p.get_u64("samples", 5)?.max(1) as usize;
+    let stats = throughput::measure_all(samples);
+    println!(
+        "{:<20} {:>14} {:>14} {:>10}",
+        "config", "steps/sec", "ns/step", "steps"
+    );
+    for s in &stats {
+        println!(
+            "{:<20} {:>14.0} {:>14.1} {:>10}",
+            s.config.label(),
+            s.steps_per_sec(),
+            s.ns_per_step(),
+            s.steps
+        );
+    }
+    let existing = std::fs::read_to_string(BENCH_PATH).ok();
+    let text = if p.has("record-baseline") {
+        throughput::report_json(&stats, Some(&stats))
+    } else {
+        let baseline = existing
+            .as_deref()
+            .and_then(|t| throughput::section_from_report(t, "baseline"));
+        throughput::report_json(&stats, baseline.as_deref())
+    };
+    let path = std::path::Path::new(BENCH_PATH);
+    if let Some(dir) = path.parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    cache::write_atomically(path, &text)
+        .map_err(|e| format!("failed to write {BENCH_PATH}: {e}"))?;
+    println!("\nwrote {BENCH_PATH}");
     Ok(())
 }
 

@@ -45,6 +45,25 @@ impl Bencher {
     }
 }
 
+fn summarize(samples: &[Duration]) -> Summary {
+    if samples.is_empty() {
+        return Summary {
+            median: Duration::ZERO,
+            min: Duration::ZERO,
+            max: Duration::ZERO,
+            samples: 0,
+        };
+    }
+    let mut sorted: Vec<Duration> = samples.to_vec();
+    sorted.sort();
+    Summary {
+        median: sorted[sorted.len() / 2],
+        min: sorted[0],
+        max: sorted[sorted.len() - 1],
+        samples: sorted.len(),
+    }
+}
+
 fn report(label: &str, samples: &mut [Duration]) {
     if samples.is_empty() {
         println!("{label:<40} no samples");
@@ -63,16 +82,46 @@ fn report(label: &str, samples: &mut [Duration]) {
     );
 }
 
+/// Summary statistics for one benchmark, for programmatic consumers
+/// (the `sim_throughput` harness writes these to JSON). The real
+/// criterion exposes estimates through its output files; this shim
+/// returns them directly from [`Criterion::measure`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Summary {
+    /// Median wall-clock time per sample.
+    pub median: Duration,
+    /// Fastest sample.
+    pub min: Duration,
+    /// Slowest sample.
+    pub max: Duration,
+    /// Number of timed samples (warm-up excluded).
+    pub samples: usize,
+}
+
 impl Criterion {
+    /// Overrides the number of timed samples per benchmark (mirrors
+    /// `criterion::Criterion::sample_size`).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
     /// Runs a single named benchmark.
-    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        self.measure(name, f);
+        self
+    }
+
+    /// Like [`Criterion::bench_function`] but also returns the sample
+    /// [`Summary`] so harnesses can persist machine-readable results.
+    pub fn measure<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> Summary {
         let mut b = Bencher {
             samples: Vec::new(),
             sample_size: self.sample_size,
         };
         f(&mut b);
         report(name, &mut b.samples);
-        self
+        summarize(&b.samples)
     }
 
     /// Opens a named group of related benchmarks.
@@ -158,6 +207,15 @@ mod tests {
         g.bench_function("noop", |b| b.iter(|| runs += 1));
         g.finish();
         assert_eq!(runs, 4);
+    }
+
+    #[test]
+    fn measure_returns_a_summary() {
+        let mut c = Criterion::default();
+        c.sample_size(5);
+        let s = c.measure("noop", |b| b.iter(|| black_box(2 + 2)));
+        assert_eq!(s.samples, 5);
+        assert!(s.min <= s.median && s.median <= s.max);
     }
 
     criterion_group!(demo_group, demo_bench);

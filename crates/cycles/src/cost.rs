@@ -333,9 +333,92 @@ impl CostModel {
     }
 }
 
+/// A [`CostModel`] resolved into a flat per-[`Event`] array for one
+/// platform: the interpreter's per-step fast path indexes this table
+/// instead of re-running the `arm_cost`/`x86_cost` match seven times
+/// per instruction.
+///
+/// The table is *definitionally* equivalent to the match functions —
+/// it is built by evaluating them over [`Event::all`] — so a charge
+/// through the table is the same `u64` a direct call would produce,
+/// and cycle accounting stays bit-identical. The builder records the
+/// source model's [`CostModel::fingerprint`]; machines re-check it at
+/// run boundaries and rebuild on any cost change.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CostTable {
+    costs: [u64; Event::COUNT],
+    fingerprint: u64,
+}
+
+impl CostTable {
+    /// Resolves the ARM-side costs of `model`.
+    pub fn arm(model: &CostModel) -> Self {
+        Self::build(model, |m, e| m.arm_cost(e))
+    }
+
+    /// Resolves the x86-side costs of `model`.
+    pub fn x86(model: &CostModel) -> Self {
+        Self::build(model, |m, e| m.x86_cost(e))
+    }
+
+    fn build(model: &CostModel, f: impl Fn(&CostModel, Event) -> u64) -> Self {
+        let mut costs = [0u64; Event::COUNT];
+        for e in Event::all() {
+            costs[e.index()] = f(model, e);
+        }
+        Self {
+            costs,
+            fingerprint: model.fingerprint(),
+        }
+    }
+
+    /// The cost of `event` (a single array load).
+    #[inline]
+    pub fn cost(&self, event: Event) -> u64 {
+        self.costs[event.index()]
+    }
+
+    /// The fingerprint of the model this table was built from; stale
+    /// when it differs from the live model's.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// True when this table still reflects `model`.
+    pub fn matches(&self, model: &CostModel) -> bool {
+        self.fingerprint == model.fingerprint()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn cost_table_agrees_with_the_match_functions_for_every_event() {
+        // The fast path's correctness argument in one assertion: the
+        // table is the match function, memoized.
+        let mut model = CostModel::default();
+        model.arm.page_walk_level += 3; // not just the default model
+        let arm = CostTable::arm(&model);
+        let x86 = CostTable::x86(&model);
+        for e in Event::all() {
+            assert_eq!(arm.cost(e), model.arm_cost(e), "{e:?}");
+            assert_eq!(x86.cost(e), model.x86_cost(e), "{e:?}");
+        }
+    }
+
+    #[test]
+    fn cost_table_staleness_follows_the_fingerprint() {
+        let model = CostModel::default();
+        let table = CostTable::arm(&model);
+        assert!(table.matches(&model));
+        assert_eq!(table.fingerprint(), model.fingerprint());
+        let mut changed = model.clone();
+        changed.arm.instr += 1;
+        assert!(!table.matches(&changed));
+        assert!(CostTable::arm(&changed).matches(&changed));
+    }
 
     #[test]
     fn default_trap_cost_is_in_papers_measured_band() {

@@ -10,30 +10,40 @@ use std::collections::BTreeMap;
 /// the owned design keeps whole machines `Send` — evaluation harnesses
 /// move complete testbeds across worker threads). Benchmarks snapshot
 /// the counter around a measured region and report the [`Delta`].
+///
+/// Internally every breakdown is a flat array indexed by the enums'
+/// dense `index()` — a charge is two array adds, not a `BTreeMap`
+/// entry walk (the counter sits on the interpreter's per-instruction
+/// path). The reporting API still hands out `BTreeMap`s with only the
+/// non-zero keys, exactly as the map-backed counter did, so snapshots,
+/// deltas and every serialized artifact are bit-identical.
 #[derive(Debug, Default, Clone)]
 pub struct CycleCounter {
     cycles: u64,
-    events: BTreeMap<Event, u64>,
-    traps: BTreeMap<TrapKind, u64>,
+    events: [u64; Event::COUNT],
+    traps: [u64; TrapKind::COUNT],
+    traps_total: u64,
     /// Cycles attributed to hypervisor software paths (subset of `cycles`).
     software_cycles: u64,
     /// The world-switch phase currently charged (provenance layer).
     phase: Phase,
     /// Cycles by phase (every charged cycle lands in exactly one phase).
-    phase_cycles: BTreeMap<Phase, u64>,
+    phase_cycles: [u64; Phase::COUNT],
     /// Traps by the phase that was active when they were taken.
-    phase_traps: BTreeMap<Phase, u64>,
+    phase_traps: [u64; Phase::COUNT],
 }
 
-/// A point-in-time copy of the counters, used to compute per-region deltas.
+/// A point-in-time copy of the counters, used to compute per-region
+/// deltas. Plain-old-data arrays: snapshotting is a memcpy, so the
+/// benchmarks that snapshot per iteration (the EOI bracket) stay cheap.
 #[derive(Debug, Clone, Default)]
 pub struct CounterSnapshot {
     cycles: u64,
     traps_total: u64,
-    traps: BTreeMap<TrapKind, u64>,
-    events: BTreeMap<Event, u64>,
-    phase_cycles: BTreeMap<Phase, u64>,
-    phase_traps: BTreeMap<Phase, u64>,
+    traps: [u64; TrapKind::COUNT],
+    events: [u64; Event::COUNT],
+    phase_cycles: [u64; Phase::COUNT],
+    phase_traps: [u64; Phase::COUNT],
 }
 
 /// The difference between two snapshots: what one measured region cost.
@@ -83,25 +93,27 @@ impl CycleCounter {
 
     /// Cycles attributed to `phase` so far.
     pub fn cycles_in(&self, phase: Phase) -> u64 {
-        self.phase_cycles.get(&phase).copied().unwrap_or(0)
+        self.phase_cycles[phase.index()]
     }
 
     /// Traps taken while `phase` was active.
     pub fn traps_in(&self, phase: Phase) -> u64 {
-        self.phase_traps.get(&phase).copied().unwrap_or(0)
+        self.phase_traps[phase.index()]
     }
 
+    #[inline]
     fn add_cycles(&mut self, cycles: u64) {
         self.cycles = self.cycles.saturating_add(cycles);
-        let slot = self.phase_cycles.entry(self.phase).or_insert(0);
+        let slot = &mut self.phase_cycles[self.phase.index()];
         *slot = slot.saturating_add(cycles);
     }
 
     /// Charges `cycles` for `event` (the caller computed the cost from the
     /// [`crate::CostModel`]; the counter stays model-agnostic).
+    #[inline]
     pub fn charge(&mut self, event: Event, cycles: u64) {
         self.add_cycles(cycles);
-        *self.events.entry(event).or_insert(0) += 1;
+        self.events[event.index()] += 1;
     }
 
     /// Charges `n` occurrences of `event` at `cycles_each`. Saturates
@@ -109,81 +121,89 @@ impl CycleCounter {
     /// (proptest streams) must never panic the counter.
     pub fn charge_n(&mut self, event: Event, cycles_each: u64, n: u64) {
         self.add_cycles(cycles_each.saturating_mul(n));
-        let slot = self.events.entry(event).or_insert(0);
+        let slot = &mut self.events[event.index()];
         *slot = slot.saturating_add(n);
     }
 
     /// Charges lump-sum software work (a modelled C-code path).
+    #[inline]
     pub fn charge_software(&mut self, cycles: u64) {
         self.add_cycles(cycles);
         self.software_cycles = self.software_cycles.saturating_add(cycles);
-        *self.events.entry(Event::SoftwareWork).or_insert(0) += 1;
+        self.events[Event::SoftwareWork.index()] += 1;
     }
 
     /// Records a trap of `kind`. Cost is charged separately via
     /// [`CycleCounter::charge`] with [`Event::TrapEnter`].
+    #[inline]
     pub fn record_trap(&mut self, kind: TrapKind) {
-        *self.traps.entry(kind).or_insert(0) += 1;
-        *self.phase_traps.entry(self.phase).or_insert(0) += 1;
+        self.traps[kind.index()] += 1;
+        self.traps_total += 1;
+        self.phase_traps[self.phase.index()] += 1;
     }
 
     /// Advances the clock without attributing cost to an event (used for
     /// idle time / modelled waiting).
+    #[inline]
     pub fn advance(&mut self, cycles: u64) {
         self.add_cycles(cycles);
     }
 
     /// Total number of traps recorded.
     pub fn traps_total(&self) -> u64 {
-        self.traps.values().sum()
+        self.traps_total
     }
 
     /// Number of traps of a given kind.
     pub fn traps_of(&self, kind: TrapKind) -> u64 {
-        self.traps.get(&kind).copied().unwrap_or(0)
+        self.traps[kind.index()]
     }
 
     /// Number of occurrences of an event.
     pub fn events_of(&self, event: Event) -> u64 {
-        self.events.get(&event).copied().unwrap_or(0)
+        self.events[event.index()]
     }
 
     /// Takes a snapshot for later delta computation.
     pub fn snapshot(&self) -> CounterSnapshot {
         CounterSnapshot {
             cycles: self.cycles,
-            traps_total: self.traps_total(),
-            traps: self.traps.clone(),
-            events: self.events.clone(),
-            phase_cycles: self.phase_cycles.clone(),
-            phase_traps: self.phase_traps.clone(),
+            traps_total: self.traps_total,
+            traps: self.traps,
+            events: self.events,
+            phase_cycles: self.phase_cycles,
+            phase_traps: self.phase_traps,
         }
     }
 
     /// Computes what happened since `snap`. Saturating: if the counter
     /// was [`CycleCounter::reset`] after the snapshot was taken, every
     /// component clamps to zero instead of underflowing.
+    ///
+    /// The reported maps carry only keys whose count grew — the same
+    /// sparse shape the map-backed counter produced, so downstream
+    /// serialization is unchanged.
     pub fn delta_since(&self, snap: &CounterSnapshot) -> Delta {
-        fn diff<K: Ord + Copy>(
-            now: &BTreeMap<K, u64>,
-            before: &BTreeMap<K, u64>,
+        fn diff<K: Ord + Copy, const N: usize>(
+            keys: [K; N],
+            now: &[u64; N],
+            before: &[u64; N],
         ) -> BTreeMap<K, u64> {
             let mut out = BTreeMap::new();
-            for (k, v) in now {
-                let b = before.get(k).copied().unwrap_or(0);
-                if *v > b {
-                    out.insert(*k, *v - b);
+            for (i, k) in keys.into_iter().enumerate() {
+                if now[i] > before[i] {
+                    out.insert(k, now[i] - before[i]);
                 }
             }
             out
         }
         Delta {
             cycles: self.cycles.saturating_sub(snap.cycles),
-            traps: self.traps_total().saturating_sub(snap.traps_total),
-            traps_by_kind: diff(&self.traps, &snap.traps),
-            events: diff(&self.events, &snap.events),
-            cycles_by_phase: diff(&self.phase_cycles, &snap.phase_cycles),
-            traps_by_phase: diff(&self.phase_traps, &snap.phase_traps),
+            traps: self.traps_total.saturating_sub(snap.traps_total),
+            traps_by_kind: diff(TrapKind::all(), &self.traps, &snap.traps),
+            events: diff(Event::all(), &self.events, &snap.events),
+            cycles_by_phase: diff(Phase::all(), &self.phase_cycles, &snap.phase_cycles),
+            traps_by_phase: diff(Phase::all(), &self.phase_traps, &snap.phase_traps),
         }
     }
 

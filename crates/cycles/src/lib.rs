@@ -22,7 +22,7 @@ pub mod cost;
 pub mod counter;
 pub mod fault;
 
-pub use cost::{ArmCosts, CostModel, SoftwareCosts, X86Costs};
+pub use cost::{ArmCosts, CostModel, CostTable, SoftwareCosts, X86Costs};
 pub use counter::{CounterSnapshot, CycleCounter, Delta, Measured};
 pub use fault::{FaultCause, SimFault};
 
@@ -72,6 +72,40 @@ pub enum TrapKind {
     ApicAccess,
 }
 
+impl TrapKind {
+    /// Number of trap kinds (flat-array sizing).
+    pub const COUNT: usize = 16;
+
+    /// Every kind, declaration (= `Ord`) order.
+    pub fn all() -> [TrapKind; Self::COUNT] {
+        [
+            TrapKind::Hvc,
+            TrapKind::Smc,
+            TrapKind::SysReg,
+            TrapKind::Eret,
+            TrapKind::Stage2Abort,
+            TrapKind::Stage1Abort,
+            TrapKind::Irq,
+            TrapKind::Wfx,
+            TrapKind::Svc,
+            TrapKind::VmCall,
+            TrapKind::VmcsAccess,
+            TrapKind::VmEntryInstr,
+            TrapKind::VmxOther,
+            TrapKind::ExtInt,
+            TrapKind::IoAccess,
+            TrapKind::ApicAccess,
+        ]
+    }
+
+    /// Dense index in `0..COUNT` (declaration order; the counter's
+    /// flat arrays are indexed by this).
+    #[inline]
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+}
+
 /// A world-switch phase: which part of the virtualization stack the
 /// machine is currently executing on behalf of.
 ///
@@ -113,6 +147,16 @@ pub enum Phase {
 }
 
 impl Phase {
+    /// Number of phases (flat-array sizing).
+    pub const COUNT: usize = 11;
+
+    /// Dense index in `0..COUNT` (declaration order, which matches
+    /// [`Phase::all`]'s world-switch order).
+    #[inline]
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+
     /// Every phase, in world-switch order.
     pub fn all() -> [Phase; 11] {
         [
@@ -200,6 +244,42 @@ pub enum Event {
     DirectIrqOp,
 }
 
+impl Event {
+    /// Number of events (sizes the precomputed cost table and the
+    /// counter's flat per-event array).
+    pub const COUNT: usize = 18;
+
+    /// Every event, declaration (= `Ord`) order.
+    pub fn all() -> [Event; Self::COUNT] {
+        [
+            Event::Instr,
+            Event::SysRegRead,
+            Event::SysRegWrite,
+            Event::MemLoad,
+            Event::MemStore,
+            Event::TrapEnter,
+            Event::TrapReturn,
+            Event::El1ExceptionEntry,
+            Event::EretNative,
+            Event::Barrier,
+            Event::PageWalkLevel,
+            Event::TlbFlush,
+            Event::SoftwareWork,
+            Event::VmcsHwSave,
+            Event::VmcsHwLoad,
+            Event::VmRead,
+            Event::VmWrite,
+            Event::DirectIrqOp,
+        ]
+    }
+
+    /// Dense index in `0..COUNT` (declaration order).
+    #[inline]
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -213,6 +293,21 @@ mod tests {
         }
         assert_eq!(Phase::from_label("warp_drive"), None);
         assert_eq!(Phase::default(), Phase::Guest);
+    }
+
+    #[test]
+    fn dense_indices_are_bijective() {
+        // The flat-array fast paths depend on `index()` enumerating
+        // 0..COUNT exactly once, in `all()` order.
+        for (i, e) in Event::all().into_iter().enumerate() {
+            assert_eq!(e.index(), i);
+        }
+        for (i, k) in TrapKind::all().into_iter().enumerate() {
+            assert_eq!(k.index(), i);
+        }
+        for (i, p) in Phase::all().into_iter().enumerate() {
+            assert_eq!(p.index(), i);
+        }
     }
 
     #[test]

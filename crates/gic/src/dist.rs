@@ -34,6 +34,14 @@ pub struct Distributor {
     spi_target: Vec<usize>,
     /// Group enable (GICD_CTLR).
     pub enabled: bool,
+    /// Count of banked interrupts currently in the *pending* state,
+    /// per CPU. [`Distributor::pending_for`] runs before every
+    /// interpreter step; these exact counts let it skip the scan in
+    /// the (overwhelmingly common) nothing-pending case without ever
+    /// changing what it returns.
+    pending_banked: Vec<u32>,
+    /// Count of SPIs currently pending (shared across CPUs).
+    pending_spis: u32,
 }
 
 impl Distributor {
@@ -46,6 +54,8 @@ impl Distributor {
             spis: vec![IrqState::default(); (INTID_LIMIT - SPI_BASE) as usize],
             spi_target: vec![0; (INTID_LIMIT - SPI_BASE) as usize],
             enabled: true,
+            pending_banked: vec![0; ncpus],
+            pending_spis: 0,
         }
     }
 
@@ -92,13 +102,21 @@ impl Distributor {
     /// Marks an SPI pending (a device raised its line).
     pub fn raise_spi(&mut self, intid: IntId) {
         assert!(intid >= SPI_BASE);
-        self.state(0, intid).pending = true;
+        let s = self.state(0, intid);
+        if !s.pending {
+            s.pending = true;
+            self.pending_spis += 1;
+        }
     }
 
     /// Marks a banked interrupt (SGI/PPI) pending on `cpu`.
     pub fn raise_banked(&mut self, cpu: usize, intid: IntId) {
         assert!(intid < SPI_BASE);
-        self.state(cpu, intid).pending = true;
+        let s = self.state(cpu, intid);
+        if !s.pending {
+            s.pending = true;
+            self.pending_banked[cpu] += 1;
+        }
     }
 
     /// Sends an SGI from `_from` to every CPU in `targets` (a bitmask).
@@ -106,7 +124,11 @@ impl Distributor {
         assert!(intid < 16, "SGIs are INTIDs 0-15");
         for cpu in 0..self.ncpus {
             if targets & (1 << cpu) != 0 {
-                self.banked[cpu][intid as usize].pending = true;
+                let s = &mut self.banked[cpu][intid as usize];
+                if !s.pending {
+                    s.pending = true;
+                    self.pending_banked[cpu] += 1;
+                }
             }
         }
     }
@@ -118,19 +140,27 @@ impl Distributor {
         if !self.enabled {
             return None;
         }
-        for intid in 0..SPI_BASE {
-            let s = self.state_ref(cpu, intid);
-            if s.pending && s.enabled && !s.active {
-                return Some(intid);
+        // Scans only ever return interrupts in the pending state, so
+        // an exact zero pending-count lets each loop be skipped
+        // without changing the result. This runs before every
+        // interpreter step and almost always finds nothing.
+        if self.pending_banked[cpu] > 0 {
+            for intid in 0..SPI_BASE {
+                let s = &self.banked[cpu][intid as usize];
+                if s.pending && s.enabled && !s.active {
+                    return Some(intid);
+                }
             }
         }
-        for intid in SPI_BASE..INTID_LIMIT {
-            if self.spi_target[(intid - SPI_BASE) as usize] != cpu {
-                continue;
-            }
-            let s = self.state_ref(cpu, intid);
-            if s.pending && s.enabled && !s.active {
-                return Some(intid);
+        if self.pending_spis > 0 {
+            for intid in SPI_BASE..INTID_LIMIT {
+                if self.spi_target[(intid - SPI_BASE) as usize] != cpu {
+                    continue;
+                }
+                let s = self.state_ref(cpu, intid);
+                if s.pending && s.enabled && !s.active {
+                    return Some(intid);
+                }
             }
         }
         None
@@ -143,6 +173,11 @@ impl Distributor {
         let s = self.state(cpu, intid);
         s.pending = false;
         s.active = true;
+        if intid < SPI_BASE {
+            self.pending_banked[cpu] -= 1;
+        } else {
+            self.pending_spis -= 1;
+        }
         Some(intid)
     }
 

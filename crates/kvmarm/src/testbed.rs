@@ -455,6 +455,10 @@ impl TestBed {
     /// A [`SimFault`] describing the crash, stall, or measurement
     /// shortfall.
     pub fn try_run_region(&mut self, iters: u64) -> Result<(Delta, u64), SimFault> {
+        // Run boundaries are the only place the cost model may have
+        // been reconfigured; revalidate the flat table once here so
+        // the per-step fast path never has to.
+        self.m.refresh_cost_table();
         match self.bench {
             MicroBench::VirtualEoi => self.run_eoi(iters),
             MicroBench::VirtualIpi => self.run_ipi(iters),

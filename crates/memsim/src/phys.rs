@@ -1,9 +1,40 @@
 //! Sparse simulated physical memory.
 
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
 
 /// Page size (4 KiB granule throughout the simulator).
 pub const PAGE_SIZE: u64 = 4096;
+
+/// Multiply-shift hasher for page indices.
+///
+/// Page numbers are small, dense integers; SipHash (the `HashMap`
+/// default) costs more than the lookup it protects, and its DoS
+/// resistance buys nothing here. Map iteration order is never observed
+/// (`resident_pages` only counts), so the hasher cannot affect any
+/// simulated result.
+#[derive(Debug, Default)]
+pub struct PageHasher(u64);
+
+impl Hasher for PageHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.write_u64(u64::from(b));
+        }
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        // Fibonacci hashing: odd constant ≈ 2^64 / φ spreads
+        // consecutive page numbers across the high bits.
+        self.0 = (self.0 ^ v).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    }
+}
+
+type PageMap = HashMap<u64, Box<[u8; PAGE_SIZE as usize]>, BuildHasherDefault<PageHasher>>;
 
 /// Sparse physical memory: pages materialise on first write.
 ///
@@ -12,7 +43,7 @@ pub const PAGE_SIZE: u64 = 4096;
 /// early (a store at 2^60 is a simulator bug, not a feature).
 #[derive(Debug, Default)]
 pub struct PhysMem {
-    pages: HashMap<u64, Box<[u8; PAGE_SIZE as usize]>>,
+    pages: PageMap,
     limit: u64,
 }
 
@@ -20,7 +51,7 @@ impl PhysMem {
     /// Creates memory addressable up to `limit` bytes.
     pub fn new(limit: u64) -> Self {
         Self {
-            pages: HashMap::new(),
+            pages: PageMap::default(),
             limit,
         }
     }
@@ -64,6 +95,16 @@ impl PhysMem {
 
     /// Reads a little-endian u64 (may straddle pages).
     pub fn read_u64(&self, pa: u64) -> u64 {
+        self.check(pa, 8);
+        let off = (pa % PAGE_SIZE) as usize;
+        if off <= PAGE_SIZE as usize - 8 {
+            // Within one page (every aligned access): a single lookup
+            // instead of eight.
+            return match self.pages.get(&(pa / PAGE_SIZE)) {
+                Some(p) => u64::from_le_bytes(p[off..off + 8].try_into().unwrap()),
+                None => 0,
+            };
+        }
         let mut b = [0u8; 8];
         for (i, slot) in b.iter_mut().enumerate() {
             *slot = self.read_u8(pa + i as u64);
@@ -73,6 +114,16 @@ impl PhysMem {
 
     /// Writes a little-endian u64.
     pub fn write_u64(&mut self, pa: u64, v: u64) {
+        self.check(pa, 8);
+        let off = (pa % PAGE_SIZE) as usize;
+        if off <= PAGE_SIZE as usize - 8 {
+            let page = self
+                .pages
+                .entry(pa / PAGE_SIZE)
+                .or_insert_with(|| Box::new([0; PAGE_SIZE as usize]));
+            page[off..off + 8].copy_from_slice(&v.to_le_bytes());
+            return;
+        }
         for (i, byte) in v.to_le_bytes().into_iter().enumerate() {
             self.write_u8(pa + i as u64, byte);
         }

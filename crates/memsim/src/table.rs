@@ -54,6 +54,16 @@ impl Perms {
         x: false,
     };
 
+    /// Component-wise intersection: the effective grant of a
+    /// multi-stage translation is what *every* stage allows.
+    pub fn intersect(self, other: Perms) -> Perms {
+        Perms {
+            r: self.r && other.r,
+            w: self.w && other.w,
+            x: self.x && other.x,
+        }
+    }
+
     fn to_bits(self) -> u64 {
         let mut d = 0;
         if self.r {

@@ -5,9 +5,26 @@
 //! the hypervisor can invalidate one VM's translations without flushing
 //! the world — and so the simulator charges realistic walk costs after
 //! `tlbi vmalls12e1` operations during world switches.
+//!
+//! Storage is a direct-mapped, set-indexed array: a lookup is one
+//! multiplicative hash and one array probe (no SipHash, no heap walk),
+//! and a conflicting insert deterministically replaces the occupant of
+//! its set. That replaces the old `HashMap`'s hash-order eviction,
+//! which depended on `RandomState` and therefore differed from run to
+//! run; every eviction decision here is a pure function of the access
+//! stream, so TLB stats replay identically from a seed.
+//!
+//! In front of the sets sits a per-CPU one-entry *micro-TLB* holding
+//! the last translation each CPU used ([`Tlb::lookup_cpu`]).
+//! Straight-line code re-translates the same page almost every access;
+//! the micro-TLB turns that into a single compare. It is pure cache:
+//! a micro hit counts in the same `hits` statistic, and every
+//! invalidation path ([`Tlb::flush_vmid`], [`Tlb::flush_all`], a
+//! conflicting [`Tlb::insert`]) drops matching micro entries, so an
+//! access stream observes exactly the hit/miss/flush sequence the
+//! map-backed TLB produced.
 
 use crate::table::Perms;
-use std::collections::HashMap;
 
 /// TLB tag: translation regime + VMID + input page.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -20,22 +37,44 @@ pub struct TlbKey {
     pub page: u64,
 }
 
+impl TlbKey {
+    /// Deterministic set index: a multiplicative mix of the page
+    /// number and regime tag, reduced modulo `sets`. The constants are
+    /// the usual splitmix64/golden-ratio multipliers; all that matters
+    /// is that distinct hot pages spread across sets and that the
+    /// function is a pure function of the key.
+    #[inline]
+    fn set(self, sets: usize) -> usize {
+        let regime = ((self.vmid as u64) << 1) | self.stage2 as u64;
+        let h = (self.page >> 12)
+            .wrapping_add(regime.wrapping_mul(0xd1b5_4a32_d192_ed03))
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        ((h >> 32) as usize) % sets
+    }
+}
+
 /// A cached translation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TlbEntry {
     /// Output page base.
     pub out_page: u64,
-    /// Cached permissions.
+    /// Cached permissions (the *walked* permissions — the intersection
+    /// of every stage's grants, so a cached entry can deny an access
+    /// and force the re-walk path).
     pub perms: Perms,
 }
 
-/// The TLB. Capacity-bounded with random-ish (hash-order) eviction;
-/// capacity pressure is not a phenomenon the NEVE experiments depend on,
-/// but the bound keeps long simulations in check.
+/// The TLB: `capacity` direct-mapped sets plus a per-CPU micro-TLB.
+/// A conflicting insert deterministically evicts its set's occupant;
+/// capacity pressure is not a phenomenon the NEVE experiments depend
+/// on, but the bound keeps long simulations in check.
 #[derive(Debug)]
 pub struct Tlb {
-    entries: HashMap<TlbKey, TlbEntry>,
-    capacity: usize,
+    sets: Vec<Option<(TlbKey, TlbEntry)>>,
+    /// Occupied sets (kept so [`Tlb::len`] stays O(1)).
+    len: usize,
+    /// Last translation per CPU, grown on first use of each CPU index.
+    micro: Vec<Option<(TlbKey, TlbEntry)>>,
     hits: u64,
     misses: u64,
     flushes: u64,
@@ -48,11 +87,12 @@ impl Default for Tlb {
 }
 
 impl Tlb {
-    /// Creates a TLB holding at most `capacity` entries.
+    /// Creates a TLB holding at most `capacity` entries (one per set).
     pub fn new(capacity: usize) -> Self {
         Self {
-            entries: HashMap::new(),
-            capacity,
+            sets: vec![None; capacity.max(1)],
+            len: 0,
+            micro: Vec::new(),
             hits: 0,
             misses: 0,
             flushes: 0,
@@ -61,37 +101,87 @@ impl Tlb {
 
     /// Looks up a translation, updating hit/miss statistics.
     pub fn lookup(&mut self, key: TlbKey) -> Option<TlbEntry> {
-        match self.entries.get(&key) {
-            Some(e) => {
+        match self.sets[key.set(self.sets.len())] {
+            Some((k, e)) if k == key => {
                 self.hits += 1;
-                Some(*e)
+                Some(e)
             }
-            None => {
+            _ => {
                 self.misses += 1;
                 None
             }
         }
     }
 
-    /// Installs a translation (evicting an arbitrary entry at capacity).
-    pub fn insert(&mut self, key: TlbKey, entry: TlbEntry) {
-        if self.entries.len() >= self.capacity && !self.entries.contains_key(&key) {
-            if let Some(k) = self.entries.keys().next().copied() {
-                self.entries.remove(&k);
+    /// Looks up a translation through `cpu`'s micro-TLB: a hit on the
+    /// CPU's last translation never touches the sets. Statistics are
+    /// identical to [`Tlb::lookup`] — the micro-TLB only caches
+    /// entries the sets already hold, so it converts set hits into
+    /// cheaper hits, never a miss into a hit.
+    #[inline]
+    pub fn lookup_cpu(&mut self, cpu: usize, key: TlbKey) -> Option<TlbEntry> {
+        if let Some(Some((k, e))) = self.micro.get(cpu) {
+            if *k == key {
+                self.hits += 1;
+                return Some(*e);
             }
         }
-        self.entries.insert(key, entry);
+        let found = self.lookup(key);
+        if let Some(e) = found {
+            self.micro_slot(cpu).replace((key, e));
+        }
+        found
+    }
+
+    #[inline]
+    fn micro_slot(&mut self, cpu: usize) -> &mut Option<(TlbKey, TlbEntry)> {
+        if cpu >= self.micro.len() {
+            self.micro.resize(cpu + 1, None);
+        }
+        &mut self.micro[cpu]
+    }
+
+    /// Installs a translation, deterministically replacing the current
+    /// occupant of the key's set on conflict. Stale micro-TLB copies
+    /// of the replaced (or re-inserted) key are dropped.
+    pub fn insert(&mut self, key: TlbKey, entry: TlbEntry) {
+        let set = key.set(self.sets.len());
+        if let Some((old, _)) = self.sets[set] {
+            // Replacing a set occupant (same key or a conflict): any
+            // CPU still holding the displaced translation must not
+            // keep serving it.
+            for m in &mut self.micro {
+                if matches!(m, Some((k, _)) if *k == old) {
+                    *m = None;
+                }
+            }
+        } else {
+            self.len += 1;
+        }
+        self.sets[set] = Some((key, entry));
     }
 
     /// Invalidates every entry of one VMID (`tlbi vmalls12e1`).
     pub fn flush_vmid(&mut self, vmid: u16) {
-        self.entries.retain(|k, _| k.vmid != vmid);
+        for s in &mut self.sets {
+            if matches!(s, Some((k, _)) if k.vmid == vmid) {
+                *s = None;
+                self.len -= 1;
+            }
+        }
+        for m in &mut self.micro {
+            if matches!(m, Some((k, _)) if k.vmid == vmid) {
+                *m = None;
+            }
+        }
         self.flushes += 1;
     }
 
     /// Invalidates everything (`tlbi alle1`).
     pub fn flush_all(&mut self) {
-        self.entries.clear();
+        self.sets.fill(None);
+        self.micro.fill(None);
+        self.len = 0;
         self.flushes += 1;
     }
 
@@ -102,12 +192,12 @@ impl Tlb {
 
     /// Resident entries.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.len
     }
 
     /// True when no entries are cached.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.len == 0
     }
 }
 
@@ -188,5 +278,91 @@ mod tests {
             entry(0xa000),
         );
         assert!(t.lookup(key(0, 0x1000)).is_none());
+    }
+
+    #[test]
+    fn conflict_eviction_is_deterministic() {
+        // Two runs of the same access stream must evict identically
+        // (the old HashMap's hash-order eviction did not).
+        let run = || {
+            let mut t = Tlb::new(4);
+            for i in 0..32u64 {
+                t.insert(key(0, i * 0x1000), entry(i));
+            }
+            let mut survivors = Vec::new();
+            for i in 0..32u64 {
+                if t.lookup(key(0, i * 0x1000)).is_some() {
+                    survivors.push(i);
+                }
+            }
+            (survivors, t.len(), t.stats())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn micro_tlb_hit_counts_as_a_hit() {
+        let mut t = Tlb::new(16);
+        t.insert(key(1, 0x1000), entry(0x8000));
+        // First cpu lookup fills the micro entry from the sets.
+        assert_eq!(t.lookup_cpu(0, key(1, 0x1000)).unwrap().out_page, 0x8000);
+        // Second is served by the micro entry; stats are identical.
+        assert_eq!(t.lookup_cpu(0, key(1, 0x1000)).unwrap().out_page, 0x8000);
+        assert_eq!(t.stats(), (2, 0, 0));
+    }
+
+    #[test]
+    fn micro_tlb_never_survives_a_flush() {
+        let mut t = Tlb::new(16);
+        t.insert(key(3, 0x1000), entry(0x8000));
+        assert!(t.lookup_cpu(0, key(3, 0x1000)).is_some());
+        t.flush_vmid(3);
+        assert!(
+            t.lookup_cpu(0, key(3, 0x1000)).is_none(),
+            "micro-TLB must not serve a flushed VMID's translation"
+        );
+        t.insert(key(4, 0x2000), entry(0x9000));
+        assert!(t.lookup_cpu(1, key(4, 0x2000)).is_some());
+        t.flush_all();
+        assert!(t.lookup_cpu(1, key(4, 0x2000)).is_none());
+    }
+
+    #[test]
+    fn micro_tlb_never_survives_a_conflicting_insert() {
+        let mut t = Tlb::new(1); // every key conflicts
+        t.insert(key(0, 0x1000), entry(0xa000));
+        assert!(t.lookup_cpu(0, key(0, 0x1000)).is_some());
+        t.insert(key(0, 0x2000), entry(0xb000));
+        assert!(
+            t.lookup_cpu(0, key(0, 0x1000)).is_none(),
+            "displaced translation must not linger in the micro-TLB"
+        );
+    }
+
+    #[test]
+    fn micro_tlb_reinsert_updates_the_cached_entry() {
+        // Re-inserting the same key (the permission-upgrade path)
+        // must not leave a CPU serving the old entry.
+        let mut t = Tlb::new(16);
+        t.insert(key(0, 0x1000), entry(0xa000));
+        assert!(t.lookup_cpu(0, key(0, 0x1000)).is_some());
+        t.insert(key(0, 0x1000), entry(0xbeef_f000));
+        assert_eq!(
+            t.lookup_cpu(0, key(0, 0x1000)).unwrap().out_page,
+            0xbeef_f000
+        );
+    }
+
+    #[test]
+    fn cpus_have_independent_micro_entries() {
+        let mut t = Tlb::new(16);
+        t.insert(key(0, 0x1000), entry(0xa000));
+        t.insert(key(0, 0x2000), entry(0xb000));
+        assert!(t.lookup_cpu(0, key(0, 0x1000)).is_some());
+        assert!(t.lookup_cpu(1, key(0, 0x2000)).is_some());
+        // Each CPU still hits its own last translation.
+        assert!(t.lookup_cpu(0, key(0, 0x1000)).is_some());
+        assert!(t.lookup_cpu(1, key(0, 0x2000)).is_some());
+        assert_eq!(t.stats(), (4, 0, 0));
     }
 }

@@ -1,7 +1,120 @@
 //! Backing storage for a CPU's system registers.
 
-use crate::regs::SysReg;
+use crate::regs::{SysReg, NUM_LIST_REGS};
 use std::collections::BTreeMap;
+
+/// Number of dense storage slots: one per plain register, plus
+/// `NUM_LIST_REGS` per indexed family (`ICH_AP0R`/`ICH_AP1R`/`ICH_LR`),
+/// laid out in declaration order so slot order equals `SysReg`'s `Ord`.
+const SLOTS: usize = 96;
+
+/// The dense slot for `reg`, or `None` for indexed registers beyond the
+/// family capacity (those fall back to the overflow map).
+///
+/// The arm order mirrors the `SysReg` declaration exactly; the
+/// `slots_are_bijective_and_ordered` test fails on any drift.
+fn slot(reg: SysReg) -> Option<usize> {
+    Some(match reg {
+        SysReg::SctlrEl1 => 0,
+        SysReg::Ttbr0El1 => 1,
+        SysReg::Ttbr1El1 => 2,
+        SysReg::TcrEl1 => 3,
+        SysReg::EsrEl1 => 4,
+        SysReg::FarEl1 => 5,
+        SysReg::Afsr0El1 => 6,
+        SysReg::Afsr1El1 => 7,
+        SysReg::MairEl1 => 8,
+        SysReg::AmairEl1 => 9,
+        SysReg::ContextidrEl1 => 10,
+        SysReg::CpacrEl1 => 11,
+        SysReg::ElrEl1 => 12,
+        SysReg::SpsrEl1 => 13,
+        SysReg::SpEl1 => 14,
+        SysReg::VbarEl1 => 15,
+        SysReg::ParEl1 => 16,
+        SysReg::CntkctlEl1 => 17,
+        SysReg::CsselrEl1 => 18,
+        SysReg::SpEl0 => 19,
+        SysReg::TpidrEl0 => 20,
+        SysReg::TpidrroEl0 => 21,
+        SysReg::TpidrEl1 => 22,
+        SysReg::HcrEl2 => 23,
+        SysReg::HacrEl2 => 24,
+        SysReg::HpfarEl2 => 25,
+        SysReg::HstrEl2 => 26,
+        SysReg::TpidrEl2 => 27,
+        SysReg::VmpidrEl2 => 28,
+        SysReg::VpidrEl2 => 29,
+        SysReg::VtcrEl2 => 30,
+        SysReg::VttbrEl2 => 31,
+        SysReg::VncrEl2 => 32,
+        SysReg::SctlrEl2 => 33,
+        SysReg::Ttbr0El2 => 34,
+        SysReg::Ttbr1El2 => 35,
+        SysReg::TcrEl2 => 36,
+        SysReg::EsrEl2 => 37,
+        SysReg::FarEl2 => 38,
+        SysReg::Afsr0El2 => 39,
+        SysReg::Afsr1El2 => 40,
+        SysReg::MairEl2 => 41,
+        SysReg::AmairEl2 => 42,
+        SysReg::ContextidrEl2 => 43,
+        SysReg::ElrEl2 => 44,
+        SysReg::SpsrEl2 => 45,
+        SysReg::SpEl2 => 46,
+        SysReg::VbarEl2 => 47,
+        SysReg::CptrEl2 => 48,
+        SysReg::MdcrEl2 => 49,
+        SysReg::MidrEl1 => 50,
+        SysReg::MpidrEl1 => 51,
+        SysReg::CntfrqEl0 => 52,
+        SysReg::CnthctlEl2 => 53,
+        SysReg::CntvoffEl2 => 54,
+        SysReg::CntvCtlEl0 => 55,
+        SysReg::CntvCvalEl0 => 56,
+        SysReg::CntpCtlEl0 => 57,
+        SysReg::CntpCvalEl0 => 58,
+        SysReg::CnthpCtlEl2 => 59,
+        SysReg::CnthpCvalEl2 => 60,
+        SysReg::CnthvCtlEl2 => 61,
+        SysReg::CnthvCvalEl2 => 62,
+        SysReg::IccIar1El1 => 63,
+        SysReg::IccEoir1El1 => 64,
+        SysReg::IccDirEl1 => 65,
+        SysReg::IccPmrEl1 => 66,
+        SysReg::IccBpr1El1 => 67,
+        SysReg::IccIgrpen1El1 => 68,
+        SysReg::IccSgi1rEl1 => 69,
+        SysReg::IccRprEl1 => 70,
+        SysReg::IccCtlrEl1 => 71,
+        SysReg::IccSreEl1 => 72,
+        SysReg::IccSreEl2 => 73,
+        SysReg::IccHppir1El1 => 74,
+        SysReg::IchHcrEl2 => 75,
+        SysReg::IchVtrEl2 => 76,
+        SysReg::IchVmcrEl2 => 77,
+        SysReg::IchMisrEl2 => 78,
+        SysReg::IchEisrEl2 => 79,
+        SysReg::IchElrsrEl2 => 80,
+        SysReg::IchAp0rEl2(n) if n < NUM_LIST_REGS => 81 + n as usize,
+        SysReg::IchAp1rEl2(n) if n < NUM_LIST_REGS => 85 + n as usize,
+        SysReg::IchLrEl2(n) if n < NUM_LIST_REGS => 89 + n as usize,
+        SysReg::MdscrEl1 => 93,
+        SysReg::PmuserenrEl0 => 94,
+        SysReg::PmselrEl0 => 95,
+        SysReg::IchAp0rEl2(_) | SysReg::IchAp1rEl2(_) | SysReg::IchLrEl2(_) => return None,
+    })
+}
+
+/// The reset value of `reg` (what an unwritten register reads as).
+fn reset_value(reg: SysReg) -> u64 {
+    match reg {
+        SysReg::MidrEl1 => RESET_MIDR,
+        SysReg::IchVtrEl2 => reset_ich_vtr(),
+        SysReg::CntfrqEl0 => 100_000_000, // 100 MHz system counter
+        _ => 0,
+    }
+}
 
 /// A register file: the values of every modelled system register.
 ///
@@ -10,9 +123,21 @@ use std::collections::BTreeMap;
 /// enforce access permissions — that is the CPU model's trap-routing job;
 /// it only enforces hardware read-only semantics via
 /// [`RegFile::write_checked`].
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+///
+/// Storage is a dense array indexed by declaration order, pre-filled
+/// with reset values, so the interpreter's per-step register reads are a
+/// single load. The `written` bitset preserves the sparse-map
+/// observables: equality, [`RegFile::population`] and [`RegFile::iter`]
+/// distinguish a register explicitly written with its reset value from
+/// one never touched, exactly as the previous `BTreeMap` representation
+/// did.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RegFile {
-    values: BTreeMap<SysReg, u64>,
+    values: Box<[u64; SLOTS]>,
+    written: u128,
+    /// Indexed registers beyond the dense family capacity. Nothing the
+    /// modelled hardware exposes lands here; it keeps the API total.
+    overflow: BTreeMap<SysReg, u64>,
 }
 
 /// `MIDR_EL1` value the simulator reports (an ARMv8 implementer code).
@@ -20,25 +145,34 @@ pub const RESET_MIDR: u64 = 0x410f_d070;
 
 /// `ICH_VTR_EL2`: ListRegs field = number of list registers minus one.
 fn reset_ich_vtr() -> u64 {
-    (crate::regs::NUM_LIST_REGS as u64) - 1
+    (NUM_LIST_REGS as u64) - 1
+}
+
+impl Default for RegFile {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl RegFile {
     /// Creates a register file with architectural reset values.
     pub fn new() -> Self {
-        Self::default()
+        let mut values = Box::new([0u64; SLOTS]);
+        for reg in [SysReg::MidrEl1, SysReg::IchVtrEl2, SysReg::CntfrqEl0] {
+            values[slot(reg).unwrap()] = reset_value(reg);
+        }
+        Self {
+            values,
+            written: 0,
+            overflow: BTreeMap::new(),
+        }
     }
 
     /// Reads a register (reset value if never written).
     pub fn read(&self, reg: SysReg) -> u64 {
-        if let Some(v) = self.values.get(&reg) {
-            return *v;
-        }
-        match reg {
-            SysReg::MidrEl1 => RESET_MIDR,
-            SysReg::IchVtrEl2 => reset_ich_vtr(),
-            SysReg::CntfrqEl0 => 100_000_000, // 100 MHz system counter
-            _ => 0,
+        match slot(reg) {
+            Some(i) => self.values[i],
+            None => self.overflow.get(&reg).copied().unwrap_or(0),
         }
     }
 
@@ -46,7 +180,15 @@ impl RegFile {
     /// the CPU latching `ESR_EL2` on an exception, may write registers
     /// software cannot).
     pub fn write(&mut self, reg: SysReg, value: u64) {
-        self.values.insert(reg, value);
+        match slot(reg) {
+            Some(i) => {
+                self.values[i] = value;
+                self.written |= 1 << i;
+            }
+            None => {
+                self.overflow.insert(reg, value);
+            }
+        }
     }
 
     /// Writes a register as a software `msr` would; writes to read-only
@@ -69,12 +211,21 @@ impl RegFile {
 
     /// Number of registers explicitly written so far.
     pub fn population(&self) -> usize {
-        self.values.len()
+        self.written.count_ones() as usize + self.overflow.len()
     }
 
-    /// Iterates over explicitly-written registers.
-    pub fn iter(&self) -> impl Iterator<Item = (&SysReg, &u64)> {
-        self.values.iter()
+    /// Iterates over explicitly-written registers in `SysReg` order.
+    pub fn iter(&self) -> impl Iterator<Item = (SysReg, u64)> + '_ {
+        let mut pairs: Vec<(SysReg, u64)> = SysReg::all()
+            .into_iter()
+            .filter_map(|reg| {
+                let i = slot(reg)?;
+                (self.written & (1 << i) != 0).then(|| (reg, self.values[i]))
+            })
+            .chain(self.overflow.iter().map(|(&r, &v)| (r, v)))
+            .collect();
+        pairs.sort_unstable_by_key(|&(r, _)| r);
+        pairs.into_iter()
     }
 }
 
@@ -87,10 +238,7 @@ mod tests {
         let f = RegFile::new();
         assert_eq!(f.read(SysReg::SctlrEl1), 0);
         assert_eq!(f.read(SysReg::MidrEl1), RESET_MIDR);
-        assert_eq!(
-            f.read(SysReg::IchVtrEl2) + 1,
-            crate::regs::NUM_LIST_REGS as u64
-        );
+        assert_eq!(f.read(SysReg::IchVtrEl2) + 1, NUM_LIST_REGS as u64);
     }
 
     #[test]
@@ -126,5 +274,40 @@ mod tests {
         assert_eq!(f.read(SysReg::IchLrEl2(0)), 1);
         assert_eq!(f.read(SysReg::IchLrEl2(1)), 2);
         assert_eq!(f.read(SysReg::IchLrEl2(2)), 0);
+    }
+
+    /// The dense layout is a bijection onto `0..SLOTS` and follows
+    /// `SysReg`'s `Ord` (declaration) order, so `iter` and equality
+    /// behave exactly like the sparse-map representation they replaced.
+    #[test]
+    fn slots_are_bijective_and_ordered() {
+        let mut regs = SysReg::all();
+        for n in 0..NUM_LIST_REGS {
+            for fam in [SysReg::IchAp0rEl2, SysReg::IchAp1rEl2, SysReg::IchLrEl2] {
+                if !regs.contains(&fam(n)) {
+                    regs.push(fam(n));
+                }
+            }
+        }
+        regs.sort_unstable();
+        let slots: Vec<usize> = regs.iter().map(|&r| slot(r).unwrap()).collect();
+        // Strictly increasing ⇒ unique and in declaration order.
+        assert!(slots.windows(2).all(|w| w[0] < w[1]), "{slots:?}");
+        assert_eq!(*slots.first().unwrap(), 0);
+        assert_eq!(*slots.last().unwrap(), SLOTS - 1);
+        assert_eq!(slots.len(), SLOTS);
+        // Beyond-capacity indexed registers fall back to the overflow map.
+        assert_eq!(slot(SysReg::IchLrEl2(NUM_LIST_REGS)), None);
+    }
+
+    #[test]
+    fn equality_distinguishes_written_reset_values() {
+        let a = RegFile::new();
+        let mut b = RegFile::new();
+        assert_eq!(a, b);
+        b.write(SysReg::SctlrEl1, 0); // explicit write of the reset value
+        assert_ne!(a, b);
+        assert_eq!(b.population(), 1);
+        assert_eq!(b.iter().collect::<Vec<_>>(), vec![(SysReg::SctlrEl1, 0)]);
     }
 }

@@ -120,7 +120,15 @@ pub fn load_or_measure_at(
     (m, source)
 }
 
-fn write_atomically(path: &Path, contents: &str) -> std::io::Result<()> {
+/// Atomically replaces `path` with `contents` (same-directory temp
+/// file + rename); shared by the matrix cache and the throughput
+/// report writer.
+///
+/// # Errors
+///
+/// Any I/O error from the write or the rename (the temp file is
+/// cleaned up on a failed rename).
+pub fn write_atomically(path: &Path, contents: &str) -> std::io::Result<()> {
     let mut tmp = path.to_path_buf();
     let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("cache");
     tmp.set_file_name(format!(".{name}.{}.tmp", std::process::id()));

@@ -34,6 +34,7 @@ pub mod provenance;
 pub mod replay;
 pub mod session;
 pub mod tables;
+pub mod throughput;
 
 pub use apps::{figure2, WorkloadProfile, WorkloadRow, WORKLOADS};
 pub use cache::{load_or_measure, MatrixSource, CACHE_PATH};
@@ -42,3 +43,4 @@ pub use platforms::{Config, MeasureOpts, MicroCosts, MicroMatrix, PhaseStat};
 pub use replay::{replay_vs_model, Mix, ReplayResult};
 pub use session::{Bench, CellMeasurement, CellResult, SimSession};
 pub use tables::{table1, table6, table7, TableRow};
+pub use throughput::{measure_all, ConfigThroughput, BENCH_PATH};

@@ -69,7 +69,7 @@ impl Bench {
         Bench::all().into_iter().find(|b| b.label() == label)
     }
 
-    fn arm(self) -> MicroBench {
+    pub(crate) fn arm(self) -> MicroBench {
         match self {
             Bench::Hypercall => MicroBench::Hypercall,
             Bench::DeviceIo => MicroBench::DeviceIo,
@@ -78,7 +78,7 @@ impl Bench {
         }
     }
 
-    fn x86(self) -> X86Bench {
+    pub(crate) fn x86(self) -> X86Bench {
         match self {
             Bench::Hypercall => X86Bench::Hypercall,
             Bench::DeviceIo => X86Bench::DeviceIo,

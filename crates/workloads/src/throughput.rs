@@ -1,0 +1,318 @@
+//! Host-side simulator throughput: steps/sec and ns/step per platform
+//! configuration.
+//!
+//! Every paper artifact is bottlenecked by `Machine::step`, so this
+//! module measures how fast the *host* retires simulated steps — the
+//! evidence that the interpreter fast path pays. One sample runs all
+//! four microbenchmarks of a configuration start-to-finish on fresh
+//! testbeds (the same cells the evaluation matrix measures) and
+//! divides retired machine steps by wall-clock time. Sampling and the
+//! median/min/max summary come from the in-tree criterion shim.
+//!
+//! Unlike the cycle-accounting caches, wall-clock results are host
+//! dependent and *not* deterministic; `results/bench_throughput.json`
+//! is a report artifact (like `figure2.csv`), not a replay gate. The
+//! simulated step counts, however, are deterministic and are asserted
+//! identical across samples.
+
+use crate::platforms::{arm_config, Config};
+use crate::session::Bench;
+use criterion::Criterion;
+use neve_json::JsonValue;
+use neve_kvmarm::TestBed;
+use neve_x86vt::testbed::{X86Config, X86TestBed};
+use std::collections::BTreeMap;
+
+/// Where the throughput report lives.
+pub const BENCH_PATH: &str = "results/bench_throughput.json";
+
+/// How the numbers in [`BENCH_PATH`] were obtained (recorded in the
+/// JSON so the artifact is self-describing).
+pub const METHODOLOGY: &str = "One sample = run all four microbenchmarks (hypercall, device_io, \
+     virtual_ipi, virtual_eoi) of a configuration on freshly built \
+     testbeds, warm-up plus measured iterations, exactly as the \
+     evaluation matrix does; steps = machine steps retired across all \
+     CPUs summed over the four cells (bit-identical across samples by \
+     determinism), time = wall-clock per sample via the in-tree \
+     criterion shim (one untimed warm-up sample, then `samples` timed \
+     runs; median reported). steps_per_sec = steps * 1e9 / median_ns. \
+     The baseline section was measured with the same harness at the \
+     commit before the interpreter fast path (indexed fetch, \
+     precomputed cost tables, micro-TLB, flat-array counters); the \
+     current section is the working tree. speedup = current \
+     steps_per_sec / baseline steps_per_sec.";
+
+/// One configuration's measured throughput.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConfigThroughput {
+    /// The configuration measured.
+    pub config: Config,
+    /// Simulated machine steps retired per sample (all four cells;
+    /// deterministic, asserted identical across samples).
+    pub steps: u64,
+    /// Median wall-clock nanoseconds per sample.
+    pub median_ns: u64,
+    /// Fastest sample.
+    pub min_ns: u64,
+    /// Slowest sample.
+    pub max_ns: u64,
+    /// Timed samples (warm-up excluded).
+    pub samples: usize,
+}
+
+impl ConfigThroughput {
+    /// Host-side simulated steps per second (median sample).
+    pub fn steps_per_sec(&self) -> f64 {
+        if self.median_ns == 0 {
+            return 0.0;
+        }
+        self.steps as f64 * 1e9 / self.median_ns as f64
+    }
+
+    /// Host nanoseconds per simulated step (median sample).
+    pub fn ns_per_step(&self) -> f64 {
+        if self.steps == 0 {
+            return 0.0;
+        }
+        self.median_ns as f64 / self.steps as f64
+    }
+}
+
+/// Runs every benchmark of `config` once on fresh testbeds and returns
+/// the total machine steps retired.
+///
+/// # Panics
+///
+/// Panics if any cell faults — throughput is only meaningful on a
+/// healthy tree, and the regular test suite gates cell health.
+pub fn run_all_benches(config: Config) -> u64 {
+    let mut steps = 0u64;
+    for bench in Bench::all() {
+        let iters = bench.iters();
+        match arm_config(config) {
+            Some(ac) => {
+                let mut tb = TestBed::new(ac, bench.arm(), iters);
+                tb.try_run_measured(iters)
+                    .unwrap_or_else(|f| panic!("{:?}/{}: {f}", config, bench.label()));
+                steps += tb.m.steps_retired();
+            }
+            None => {
+                let xc = match config {
+                    Config::X86Vm => X86Config::Vm,
+                    _ => X86Config::Nested { shadowing: true },
+                };
+                let mut tb = X86TestBed::new(xc, bench.x86(), iters);
+                tb.try_run_measured(iters)
+                    .unwrap_or_else(|f| panic!("{:?}/{}: {f}", config, bench.label()));
+                steps += tb.m.steps_retired();
+            }
+        }
+    }
+    steps
+}
+
+/// Measures one configuration's throughput with `samples` timed runs
+/// (plus one untimed warm-up run).
+///
+/// # Panics
+///
+/// Panics if a cell faults or if the retired-step count varies across
+/// samples (a determinism violation).
+pub fn measure_config(c: &mut Criterion, config: Config, samples: usize) -> ConfigThroughput {
+    c.sample_size(samples);
+    let mut step_counts: Vec<u64> = Vec::new();
+    let summary = c.measure(config.label(), |b| {
+        b.iter(|| step_counts.push(run_all_benches(config)));
+    });
+    let steps = step_counts[0];
+    assert!(
+        step_counts.iter().all(|&s| s == steps),
+        "retired steps varied across samples for {config:?}: {step_counts:?}"
+    );
+    ConfigThroughput {
+        config,
+        steps,
+        median_ns: summary.median.as_nanos() as u64,
+        min_ns: summary.min.as_nanos() as u64,
+        max_ns: summary.max.as_nanos() as u64,
+        samples: summary.samples,
+    }
+}
+
+/// Measures every configuration (table order).
+pub fn measure_all(samples: usize) -> Vec<ConfigThroughput> {
+    let mut c = Criterion::default();
+    Config::all()
+        .into_iter()
+        .map(|config| measure_config(&mut c, config, samples))
+        .collect()
+}
+
+fn stats_to_json(stats: &[ConfigThroughput]) -> JsonValue {
+    JsonValue::Object(
+        stats
+            .iter()
+            .map(|s| {
+                (
+                    s.config.label().to_string(),
+                    JsonValue::Object(vec![
+                        ("steps".to_string(), JsonValue::Number(s.steps as f64)),
+                        (
+                            "median_ns".to_string(),
+                            JsonValue::Number(s.median_ns as f64),
+                        ),
+                        ("min_ns".to_string(), JsonValue::Number(s.min_ns as f64)),
+                        ("max_ns".to_string(), JsonValue::Number(s.max_ns as f64)),
+                        ("samples".to_string(), JsonValue::Number(s.samples as f64)),
+                        (
+                            "steps_per_sec".to_string(),
+                            JsonValue::Number(s.steps_per_sec()),
+                        ),
+                        (
+                            "ns_per_step".to_string(),
+                            JsonValue::Number(s.ns_per_step()),
+                        ),
+                    ]),
+                )
+            })
+            .collect(),
+    )
+}
+
+fn stats_from_json(v: &JsonValue) -> Option<Vec<ConfigThroughput>> {
+    let JsonValue::Object(entries) = v else {
+        return None;
+    };
+    let mut out = Vec::new();
+    for (label, stat) in entries {
+        let config = Config::from_label(label)?;
+        let num = |key: &str| -> Option<f64> {
+            match stat.get(key)? {
+                JsonValue::Number(n) => Some(*n),
+                _ => None,
+            }
+        };
+        out.push(ConfigThroughput {
+            config,
+            steps: num("steps")? as u64,
+            median_ns: num("median_ns")? as u64,
+            min_ns: num("min_ns")? as u64,
+            max_ns: num("max_ns")? as u64,
+            samples: num("samples")? as usize,
+        });
+    }
+    Some(out)
+}
+
+/// Renders the report JSON. `baseline` is the pre-fast-path
+/// measurement (recorded with `sim_throughput --record-baseline`);
+/// when present, per-configuration speedups are included.
+pub fn report_json(current: &[ConfigThroughput], baseline: Option<&[ConfigThroughput]>) -> String {
+    let mut root: Vec<(String, JsonValue)> = vec![
+        (
+            "schema".to_string(),
+            JsonValue::String("neve-bench-throughput-v1".to_string()),
+        ),
+        (
+            "methodology".to_string(),
+            JsonValue::String(METHODOLOGY.to_string()),
+        ),
+        (
+            "fingerprint".to_string(),
+            JsonValue::String(format!(
+                "{:#018x}",
+                neve_cycles::CostModel::default().fingerprint()
+            )),
+        ),
+        ("current".to_string(), stats_to_json(current)),
+    ];
+    if let Some(base) = baseline {
+        root.push(("baseline".to_string(), stats_to_json(base)));
+        let by_config: BTreeMap<Config, &ConfigThroughput> =
+            base.iter().map(|s| (s.config, s)).collect();
+        let speedups: Vec<(String, JsonValue)> = current
+            .iter()
+            .filter_map(|cur| {
+                let b = by_config.get(&cur.config)?;
+                let b_sps = b.steps_per_sec();
+                if b_sps == 0.0 {
+                    return None;
+                }
+                Some((
+                    cur.config.label().to_string(),
+                    JsonValue::Number(cur.steps_per_sec() / b_sps),
+                ))
+            })
+            .collect();
+        root.push(("speedup".to_string(), JsonValue::Object(speedups)));
+    }
+    JsonValue::Object(root).pretty()
+}
+
+/// Reads a section (`"current"` or `"baseline"`) back from a report
+/// file's text. Returns `None` if the text does not parse, the schema
+/// is unknown, or the section is absent.
+pub fn section_from_report(text: &str, section: &str) -> Option<Vec<ConfigThroughput>> {
+    let root = neve_json::parse(text).ok()?;
+    match root.get("schema")? {
+        JsonValue::String(s) if s == "neve-bench-throughput-v1" => {}
+        _ => return None,
+    }
+    stats_from_json(root.get(section)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_roundtrips_both_sections() {
+        let cur = vec![ConfigThroughput {
+            config: Config::ArmNestedV83,
+            steps: 1_000_000,
+            median_ns: 50_000_000,
+            min_ns: 49_000_000,
+            max_ns: 52_000_000,
+            samples: 5,
+        }];
+        let base = vec![ConfigThroughput {
+            config: Config::ArmNestedV83,
+            steps: 1_000_000,
+            median_ns: 150_000_000,
+            min_ns: 149_000_000,
+            max_ns: 152_000_000,
+            samples: 5,
+        }];
+        let text = report_json(&cur, Some(&base));
+        assert_eq!(section_from_report(&text, "current").unwrap(), cur);
+        assert_eq!(section_from_report(&text, "baseline").unwrap(), base);
+        // The speedup is the steps/sec ratio: 3x here.
+        let root = neve_json::parse(&text).unwrap();
+        match root.get("speedup").unwrap().get("ARMv8.3 Nested").unwrap() {
+            JsonValue::Number(n) => assert!((n - 3.0).abs() < 1e-9),
+            other => panic!("unexpected speedup value {other:?}"),
+        }
+    }
+
+    #[test]
+    fn steps_per_sec_is_consistent_with_ns_per_step() {
+        let s = ConfigThroughput {
+            config: Config::ArmVm,
+            steps: 2_000,
+            median_ns: 1_000_000,
+            min_ns: 1,
+            max_ns: 1,
+            samples: 1,
+        };
+        assert!((s.steps_per_sec() - 2_000_000.0).abs() < 1e-6);
+        assert!((s.ns_per_step() - 500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn a_cell_run_retires_steps_deterministically() {
+        let a = run_all_benches(Config::ArmVm);
+        let b = run_all_benches(Config::ArmVm);
+        assert!(a > 0);
+        assert_eq!(a, b);
+    }
+}

@@ -8,7 +8,8 @@
 
 use crate::isa::{X86Instr, X86Program, NUM_GPRS};
 use crate::vmcs::{exit_reason, Vmcs, VmcsField};
-use neve_cycles::{CostModel, CycleCounter, Event, TrapKind};
+use neve_cycles::{CostModel, CostTable, CycleCounter, Event, TrapKind};
+use std::cell::Cell;
 use std::collections::BTreeMap;
 
 /// Which context owns a core.
@@ -109,7 +110,18 @@ pub struct X86Machine {
     /// Cycle accounting.
     pub counter: CycleCounter,
     cores: Vec<X86Core>,
+    /// Loaded programs, kept sorted by base address over disjoint
+    /// ranges ([`X86Machine::load`] asserts it), so fetch can
+    /// binary-search instead of scanning.
     programs: Vec<X86Program>,
+    /// Per-core index of the program the core last fetched from
+    /// (interior mutability mirrors the ARM machine; pure performance
+    /// state that never changes *what* a fetch returns).
+    fetch_hints: Vec<Cell<usize>>,
+    /// The x86 half of `cfg.cost` resolved to a flat per-event array;
+    /// rebuilt whenever the model's fingerprint changes (see
+    /// [`X86Machine::refresh_cost_table`]).
+    cost_table: CostTable,
     mem: BTreeMap<u64, u64>,
     /// Context per core.
     pub ctx: Vec<X86Ctx>,
@@ -126,6 +138,9 @@ pub struct X86Machine {
     pub l0_hypercalls: u64,
     /// IPI vector used by the benchmarks.
     pub ipi_vector: u8,
+    /// Machine steps retired across all CPUs (the throughput harness's
+    /// simulated-work denominator, mirroring the ARM machine).
+    steps: u64,
 }
 
 impl X86Machine {
@@ -136,6 +151,8 @@ impl X86Machine {
             counter: CycleCounter::new(),
             cores: vec![X86Core::default(); n],
             programs: Vec::new(),
+            fetch_hints: (0..n).map(|_| Cell::new(0)).collect(),
+            cost_table: CostTable::x86(&cfg.cost),
             mem: BTreeMap::new(),
             ctx: vec![if cfg.nested { X86Ctx::GhL1 } else { X86Ctx::L1 }; n],
             vmcs12: (0..n).map(|_| Vmcs::new()).collect(),
@@ -144,13 +161,51 @@ impl X86Machine {
             device_value: 0xd0d0,
             l0_hypercalls: 0,
             ipi_vector: 0x40,
+            steps: 0,
             cfg,
         }
     }
 
+    /// Machine steps retired so far (across all CPUs).
+    pub fn steps_retired(&self) -> u64 {
+        self.steps
+    }
+
+    /// Re-resolves the precomputed cost table if `cfg.cost` changed
+    /// since it was built ([`CostModel::fingerprint`] comparison).
+    /// Harnesses call this at run boundaries, so per-step charges can
+    /// index the flat table instead of re-matching the model — with
+    /// identical results, since the table is built by evaluating
+    /// [`CostModel::x86_cost`] over every event.
+    pub fn refresh_cost_table(&mut self) {
+        if !self.cost_table.matches(&self.cfg.cost) {
+            self.cost_table = CostTable::x86(&self.cfg.cost);
+        }
+    }
+
     /// Loads a program.
+    ///
+    /// # Panics
+    ///
+    /// Panics if it overlaps an already-loaded program (disjoint
+    /// ranges are what let fetch binary-search; see DESIGN.md).
     pub fn load(&mut self, p: X86Program) {
-        self.programs.push(p);
+        for q in &self.programs {
+            let disjoint = p.end() <= q.base || p.base >= q.end();
+            assert!(
+                disjoint,
+                "program [{:#x},{:#x}) overlaps [{:#x},{:#x})",
+                p.base,
+                p.end(),
+                q.base,
+                q.end()
+            );
+        }
+        let at = self.programs.partition_point(|q| q.base < p.base);
+        self.programs.insert(at, p);
+        for h in &self.fetch_hints {
+            h.set(0);
+        }
     }
 
     /// Core accessor.
@@ -174,7 +229,7 @@ impl X86Machine {
     }
 
     fn charge(&mut self, ev: Event) {
-        let c = self.cfg.cost.x86_cost(ev);
+        let c = self.cost_table.cost(ev);
         self.counter.charge(ev, c);
     }
 
@@ -373,8 +428,23 @@ impl X86Machine {
     // The interpreter.
     // ------------------------------------------------------------------
 
-    fn fetch(&self, rip: u64) -> Option<X86Instr> {
-        self.programs.iter().find_map(|p| p.fetch(rip))
+    /// Fetches through `cpu`'s last-program-hit hint, falling back to
+    /// a binary search over the sorted, disjoint program list (same
+    /// design as the ARM machine's fetch).
+    fn fetch(&self, cpu: usize, rip: u64) -> Option<X86Instr> {
+        let hint = &self.fetch_hints[cpu];
+        if let Some(p) = self.programs.get(hint.get()) {
+            if let Some(i) = p.fetch(rip) {
+                return Some(i);
+            }
+        }
+        let idx = self
+            .programs
+            .partition_point(|p| p.base <= rip)
+            .checked_sub(1)?;
+        let i = self.programs[idx].fetch(rip)?;
+        hint.set(idx);
+        Some(i)
     }
 
     /// Executes one instruction on `cpu`.
@@ -382,6 +452,7 @@ impl X86Machine {
         if let Some(code) = self.cores[cpu].halted {
             return X86Step::Halted(code);
         }
+        self.steps += 1;
 
         // Physical interrupts force an exit from non-root mode.
         if self.cores[cpu].pending_host_irq.is_some() {
@@ -402,11 +473,11 @@ impl X86Machine {
         }
 
         let rip = self.cores[cpu].rip;
-        let Some(instr) = self.fetch(rip) else {
+        let Some(instr) = self.fetch(cpu, rip) else {
             return X86Step::FetchFailure(rip);
         };
         let mut next = rip + 1;
-        let instr_c = self.cfg.cost.x86_cost(Event::Instr);
+        let instr_c = self.cost_table.cost(Event::Instr);
 
         match instr {
             X86Instr::MovImm(r, v) => {

@@ -246,6 +246,9 @@ impl X86TestBed {
     /// A [`SimFault`] describing the crash, stall, or measurement
     /// shortfall.
     pub fn try_run_measured(&mut self, iters: u64) -> Result<Measured, SimFault> {
+        // Revalidate the flat cost table once per run so the per-step
+        // fast path never re-matches the model (see the ARM testbed).
+        self.m.refresh_cost_table();
         let (delta, n) = if self.bench == X86Bench::VirtualEoi {
             self.run_eoi(iters)?
         } else {
