@@ -20,6 +20,9 @@ cargo test --workspace -q --offline
 echo "==> fault-campaign smoke (deterministic)"
 cargo run -q -p neve-cli --offline --bin neve -- faults --smoke
 
+echo "==> correctness oracles (differential lockstep + trap algebra + golden tables)"
+cargo run -q -p neve-cli --offline --bin neve -- check --smoke
+
 echo "==> throughput smoke (matrix byte-identity + steps/sec)"
 cargo run -q -p neve-bench --offline --release --bin sim_throughput -- --smoke
 

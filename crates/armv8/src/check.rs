@@ -1,0 +1,174 @@
+//! Opt-in checked mode: architectural invariant validation.
+//!
+//! A [`Checker`] attached to a machine (see `Machine::attach_checker`)
+//! validates step invariants the rest of the simulator *assumes*:
+//!
+//! - **EL transition legality** — traps to EL2 only come from EL0/EL1
+//!   (the host hypervisor is native, so EL2 never traps into itself),
+//!   exceptions to EL1 only from EL0/EL1, and the host's `eret` only
+//!   lowers the level back into guest context.
+//! - **`VNCR_EL2` write discipline** — the register is host-managed
+//!   (paper Section 6.1): rewrites are only legal from EL2, i.e. inside
+//!   a trap window; and raw writes carrying reserved/out-of-range BADDR
+//!   bits are flagged even though the hardware RES0s them.
+//! - **Stage-2 structural integrity** — every root descriptor of the
+//!   live `VTTBR_EL2` table that covers populated RAM is either invalid
+//!   or a well-formed next-table pointer. Checked *every step*, which
+//!   is what lets the fault-injection oracle pin a corrupted shadow
+//!   table to the exact step the corruption appeared.
+//! - **TLB coherence** — at trap sync points, cached translations of
+//!   the live Stage-2 regime still agree with a fresh table walk.
+//!
+//! Like the trace and fault layers, the checker is pure observability:
+//! it charges no cycles and, when detached (the default), every hook is
+//! a single `Option` test — measured runs are bit-identical with and
+//! without the module compiled in.
+
+/// What kind of invariant a violation breached.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ViolationKind {
+    /// An exception-level transition the machine model forbids.
+    IllegalElTransition,
+    /// `VNCR_EL2` was rewritten from a non-EL2 context.
+    VncrWriteOutsideEl2,
+    /// A raw `VNCR_EL2` write carried reserved or out-of-range BADDR
+    /// bits (the hardware RES0s them; the write was almost certainly a
+    /// host bug).
+    VncrReservedBits,
+    /// The live Stage-2 table has a structurally impossible descriptor.
+    MalformedStage2,
+    /// A cached TLB translation disagrees with a fresh walk of the
+    /// live tables.
+    TlbIncoherent,
+}
+
+impl ViolationKind {
+    /// Stable machine-readable label (report/JSON output).
+    pub fn label(self) -> &'static str {
+        match self {
+            ViolationKind::IllegalElTransition => "illegal-el-transition",
+            ViolationKind::VncrWriteOutsideEl2 => "vncr-write-outside-el2",
+            ViolationKind::VncrReservedBits => "vncr-reserved-bits",
+            ViolationKind::MalformedStage2 => "malformed-stage2",
+            ViolationKind::TlbIncoherent => "tlb-incoherent",
+        }
+    }
+}
+
+/// One recorded invariant violation.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Machine step count when the violation was observed.
+    pub step: u64,
+    /// CPU the check ran on.
+    pub cpu: usize,
+    /// Invariant breached.
+    pub kind: ViolationKind,
+    /// Human-readable specifics (addresses, descriptors, levels).
+    pub detail: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "step {} cpu{}: {}: {}",
+            self.step,
+            self.cpu,
+            self.kind.label(),
+            self.detail
+        )
+    }
+}
+
+/// Bounded violation log. A persistent corruption re-fires every step,
+/// so the log caps retention; the *first* entry carries the step the
+/// oracle asserts on.
+#[derive(Debug, Default)]
+pub struct Checker {
+    violations: Vec<Violation>,
+    /// Total violations observed, including ones dropped by the cap.
+    pub total: u64,
+}
+
+/// Retained violations (the first is the one that matters; the rest
+/// are context).
+pub const MAX_VIOLATIONS: usize = 64;
+
+impl Checker {
+    /// Creates an empty checker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a violation (dropped beyond [`MAX_VIOLATIONS`]; the
+    /// total keeps counting).
+    pub fn record(&mut self, v: Violation) {
+        self.total += 1;
+        if self.violations.len() < MAX_VIOLATIONS {
+            self.violations.push(v);
+        }
+    }
+
+    /// The retained violations, oldest first.
+    pub fn violations(&self) -> &[Violation] {
+        &self.violations
+    }
+
+    /// True when no invariant has been breached.
+    pub fn is_clean(&self) -> bool {
+        self.total == 0
+    }
+
+    /// The first violation observed, if any.
+    pub fn first(&self) -> Option<&Violation> {
+        self.violations.first()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(step: u64, kind: ViolationKind) -> Violation {
+        Violation {
+            step,
+            cpu: 0,
+            kind,
+            detail: "x".into(),
+        }
+    }
+
+    #[test]
+    fn cap_keeps_first_violations_and_counts_all() {
+        let mut c = Checker::new();
+        assert!(c.is_clean());
+        for i in 0..(MAX_VIOLATIONS as u64 + 10) {
+            c.record(v(i, ViolationKind::MalformedStage2));
+        }
+        assert!(!c.is_clean());
+        assert_eq!(c.violations().len(), MAX_VIOLATIONS);
+        assert_eq!(c.total, MAX_VIOLATIONS as u64 + 10);
+        assert_eq!(c.first().unwrap().step, 0, "first violation is retained");
+    }
+
+    #[test]
+    fn display_carries_step_and_kind() {
+        let s = v(42, ViolationKind::TlbIncoherent).to_string();
+        assert!(s.contains("42"), "{s}");
+        assert!(s.contains("tlb-incoherent"), "{s}");
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let all = [
+            ViolationKind::IllegalElTransition,
+            ViolationKind::VncrWriteOutsideEl2,
+            ViolationKind::VncrReservedBits,
+            ViolationKind::MalformedStage2,
+            ViolationKind::TlbIncoherent,
+        ];
+        let set: std::collections::HashSet<_> = all.iter().map(|k| k.label()).collect();
+        assert_eq!(set.len(), all.len());
+    }
+}

@@ -22,6 +22,7 @@
 //! instructions at EL1 are UNDEFINED), v8.1 (VHE), v8.3 (nested
 //! virtualization: trapping, `CurrentEL` disguise), v8.4 (NEVE).
 
+pub mod check;
 pub mod cpu;
 pub mod fault;
 pub mod isa;
@@ -29,6 +30,7 @@ pub mod machine;
 pub mod pstate;
 pub mod trace;
 
+pub use check::{Checker, Violation, ViolationKind};
 pub use cpu::CoreState;
 pub use fault::{FaultPlan, InjectedFault, Injection, BUILTIN_PLANS};
 pub use isa::{Asm, Instr, Label, Program, Special};

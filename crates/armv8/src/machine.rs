@@ -14,13 +14,14 @@
 //! adjusting EL1 state, and the interpreter finds itself running the
 //! guest hypervisor's vector code.
 
+use crate::check::{Checker, Violation, ViolationKind};
 use crate::cpu::CoreState;
 use crate::fault::{FaultPlan, InjectedFault, Injection, VncrTamper};
 use crate::isa::{Instr, Program, Special};
 use crate::pstate::Pstate;
 use crate::trace::{Trace, TraceEvent};
 use crate::ArchLevel;
-use neve_core::Disposition;
+use neve_core::{Disposition, NeveEngine};
 use neve_cycles::{CostModel, CostTable, CycleCounter, Event, Phase, TrapKind};
 use neve_gic::Gic;
 use neve_memsim::{walk, Access, PageTable, PhysMem, Tlb, TlbKey};
@@ -146,6 +147,19 @@ pub struct Machine {
     /// Optional deterministic injection schedule. `None` (the default)
     /// leaves every execution path untouched.
     fault_plan: Option<FaultPlan>,
+    /// Optional invariant checker (attach with
+    /// [`Machine::attach_checker`]). Like the trace, pure observability:
+    /// never charges cycles, and when detached every hook is one test.
+    checker: Option<Checker>,
+    /// NEVE deferred accesses performed (would-be traps rewritten into
+    /// access-page memory operations). Pure count, for the oracle's
+    /// trap-count algebra.
+    vncr_deferrals: u64,
+    /// System-register traps taken to EL2 whose access *full* NEVE
+    /// hardware would have deferred to the access page. On an ARMv8.3
+    /// machine this counts exactly the traps NEVE eliminates (paper
+    /// Table 7's reduction); the oracle asserts the algebra.
+    deferrable_sysreg_traps: u64,
 }
 
 /// Internal: what a system-register access decision resolved to.
@@ -174,6 +188,9 @@ impl Machine {
             trace: None,
             steps: 0,
             fault_plan: None,
+            checker: None,
+            vncr_deferrals: 0,
+            deferrable_sysreg_traps: 0,
             cfg,
         }
     }
@@ -210,6 +227,47 @@ impl Machine {
     /// Machine steps retired so far, the clock injections fire against.
     pub fn steps_retired(&self) -> u64 {
         self.steps
+    }
+
+    /// Attaches an invariant checker (checked mode). From now on every
+    /// step validates the structural invariants and every EL transition
+    /// is checked for legality; violations accumulate in the checker.
+    pub fn attach_checker(&mut self) {
+        self.checker = Some(Checker::new());
+    }
+
+    /// The attached checker, if any.
+    pub fn checker(&self) -> Option<&Checker> {
+        self.checker.as_ref()
+    }
+
+    /// Detaches and returns the checker with its findings.
+    pub fn take_checker(&mut self) -> Option<Checker> {
+        self.checker.take()
+    }
+
+    /// NEVE deferred accesses performed so far (oracle counter).
+    pub fn vncr_deferrals(&self) -> u64 {
+        self.vncr_deferrals
+    }
+
+    /// Sysreg traps taken whose access full NEVE hardware would defer
+    /// (oracle counter; counts NEVE's eliminated traps on ARMv8.3).
+    pub fn deferrable_sysreg_traps(&self) -> u64 {
+        self.deferrable_sysreg_traps
+    }
+
+    /// Records a checker violation at the current step (no-op when no
+    /// checker is attached).
+    fn check_violation(&mut self, cpu: usize, kind: ViolationKind, detail: String) {
+        if let Some(c) = &mut self.checker {
+            c.record(Violation {
+                step: self.steps,
+                cpu,
+                kind,
+                detail,
+            });
+        }
     }
 
     /// Loads a program into the flat interpreter address space.
@@ -337,8 +395,38 @@ impl Machine {
             | IchAp0rEl2(_) | IchAp1rEl2(_) | IchLrEl2(_) => self.gic.ich_write(cpu, reg, value),
             r if Timers::owns(r) => self.timers.write(cpu, r, value),
             VncrEl2 => {
-                self.cores[cpu].regs.write(reg, value);
-                self.cores[cpu].neve.vncr = neve_core::VncrEl2::from_raw(value);
+                // The architected layout (paper Section 6.1): bits [11:1]
+                // and [63:53] are RES0. A raw value carrying them is a
+                // host bug — the hardware silently RES0s, but we surface
+                // the discrepancy in the trace and to the checker
+                // instead of masking it invisibly.
+                let vncr = match neve_core::VncrEl2::try_from_raw(value) {
+                    Ok(v) => v,
+                    Err(e) => {
+                        if let Some(t) = &mut self.trace {
+                            t.push(TraceEvent::VncrRawSanitized { cpu, raw: value });
+                        }
+                        if self.checker.is_some() {
+                            self.check_violation(
+                                cpu,
+                                ViolationKind::VncrReservedBits,
+                                format!("raw write {value:#x}: {e}"),
+                            );
+                        }
+                        neve_core::VncrEl2::from_raw(value)
+                    }
+                };
+                if self.checker.is_some() && self.cores[cpu].pstate.el < 2 {
+                    self.check_violation(
+                        cpu,
+                        ViolationKind::VncrWriteOutsideEl2,
+                        format!("EL{} wrote VNCR_EL2", self.cores[cpu].pstate.el),
+                    );
+                }
+                // The register file holds the sanitized value: reserved
+                // bits read back as zero.
+                self.cores[cpu].regs.write(reg, vncr.raw());
+                self.cores[cpu].neve.vncr = vncr;
             }
             r => self.cores[cpu].regs.write_checked(r, value),
         }
@@ -380,6 +468,20 @@ impl Machine {
         hpfar: u64,
         ret: u64,
     ) -> ExitInfo {
+        if self.checker.is_some() {
+            let from_el = self.cores[cpu].pstate.el;
+            if from_el > 1 {
+                self.check_violation(
+                    cpu,
+                    ViolationKind::IllegalElTransition,
+                    format!("trap to EL2 from EL{from_el} (EL2 is native, it cannot trap)"),
+                );
+            }
+            // Trap entry is a synchronization point: everything the TLB
+            // cached about the live Stage-2 regime must still agree
+            // with a fresh walk of the tables.
+            self.check_tlb_coherence(cpu);
+        }
         let from_phase = self.counter.phase();
         self.counter.record_trap(kind);
         self.counter.set_phase(Phase::TrapEntry);
@@ -436,6 +538,14 @@ impl Machine {
         let elr = self.cores[cpu].regs.read(SysReg::ElrEl2);
         let spsr = self.cores[cpu].regs.read(SysReg::SpsrEl2);
         self.cores[cpu].pstate = Pstate::from_spsr(spsr);
+        if self.checker.is_some() && self.cores[cpu].pstate.el > 1 {
+            let el = self.cores[cpu].pstate.el;
+            self.check_violation(
+                cpu,
+                ViolationKind::IllegalElTransition,
+                format!("host eret targets EL{el} (must lower into guest context)"),
+            );
+        }
         self.cores[cpu].pc = elr;
         self.counter.set_phase(Phase::Guest);
     }
@@ -465,6 +575,13 @@ impl Machine {
         let c = self.cost_table.cost(Event::El1ExceptionEntry);
         self.counter.charge(Event::El1ExceptionEntry, c);
         let from_el = self.cores[cpu].pstate.el;
+        if self.checker.is_some() && from_el > 1 {
+            self.check_violation(
+                cpu,
+                ViolationKind::IllegalElTransition,
+                format!("exception to EL1 from EL{from_el}"),
+            );
+        }
         let base = if from_el == 1 { 0x200 } else { 0x400 };
         let off = base + if is_irq { 0x80 } else { 0 };
         let spsr = self.cores[cpu].pstate.to_spsr();
@@ -578,6 +695,7 @@ impl Machine {
                     Disposition::Trap | Disposition::Passthrough => {}
                 }
             }
+            self.note_deferrable_trap(id, write, true);
             return RouteOutcome::TrapEl2(TrapKind::SysReg, sysreg_esr);
         }
 
@@ -604,6 +722,7 @@ impl Machine {
                     Disposition::Trap | Disposition::Passthrough => {}
                 }
             }
+            self.note_deferrable_trap(id, write, !nv1);
             return RouteOutcome::TrapEl2(TrapKind::SysReg, sysreg_esr);
         }
 
@@ -626,6 +745,7 @@ impl Machine {
                     return RouteOutcome::Done(self.vncr_slot_access(cpu, id, offset, write, val));
                 }
             }
+            self.note_deferrable_trap(id, write, false);
             return RouteOutcome::TrapEl2(TrapKind::SysReg, sysreg_esr);
         }
 
@@ -697,6 +817,24 @@ impl Machine {
         }
     }
 
+    /// Oracle counter: a system-register trap is about to be taken that
+    /// *full* NEVE hardware would have rewritten into an access-page
+    /// memory operation. The architectural disposition deliberately
+    /// ignores this machine's VNCR enable state and feature knobs — the
+    /// same access is counted identically on ARMv8.3 (where every such
+    /// access traps) and on NEVE hardware with deferral partially
+    /// disabled, which is what makes the trap-count algebra
+    /// `v8.3 deferrable = NEVE deferrals + NEVE residual deferrable`
+    /// well-defined across configurations.
+    fn note_deferrable_trap(&mut self, id: RegId, write: bool, vhe_guest: bool) {
+        if matches!(
+            NeveEngine::architectural_disposition(id, write, vhe_guest),
+            Disposition::Memory { .. }
+        ) {
+            self.deferrable_sysreg_traps += 1;
+        }
+    }
+
     /// NEVE: a register access rewritten into a deferred-access-page slot
     /// access (charged as memory, paper Section 6.1). Records the
     /// suppressed trap — which register, which direction, which slot —
@@ -709,6 +847,7 @@ impl Machine {
         write: bool,
         val: u64,
     ) -> u64 {
+        self.vncr_deferrals += 1;
         if let Some(t) = &mut self.trace {
             t.push(TraceEvent::VncrDeferred {
                 cpu,
@@ -740,6 +879,115 @@ impl Machine {
             let c = self.cost_table.cost(Event::MemLoad);
             self.counter.charge(Event::MemLoad, c);
             self.mem.read_u64(addr)
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Checked-mode invariants (only run with a checker attached; raw
+    // memory reads, so never a cycle charged).
+    // ------------------------------------------------------------------
+
+    /// Per-step structural scan of the live Stage-2 table: every root
+    /// descriptor covering populated RAM must be invalid or a
+    /// well-formed next-table pointer (this format has no level-1
+    /// blocks, and a pointer outside RAM can never be walked). Running
+    /// this *every step* is what pins a corrupted shadow table to the
+    /// exact step the corruption appeared — the host transparently
+    /// repairs such corruption within the same step on the next guest
+    /// access, so any later sync point may already see a healthy table.
+    fn checked_step_invariants(&mut self, cpu: usize) {
+        use neve_memsim::{DESC_ADDR, DESC_TABLE, DESC_VALID};
+        let vttbr_v = self.cores[cpu].regs.read(SysReg::VttbrEl2);
+        let root = vttbr::baddr(vttbr_v);
+        if root == 0 || root + 4096 > self.mem.limit() {
+            return;
+        }
+        // One root slot covers 1 GiB; only slots that can translate a
+        // populated physical address are live (the rest never walk).
+        let covered = (self.mem.limit().div_ceil(1 << 30)).min(512);
+        for i in 0..covered {
+            let desc = self.mem.read_u64(root + i * 8);
+            if desc & DESC_VALID == 0 {
+                continue;
+            }
+            if desc & DESC_TABLE == 0 {
+                self.check_violation(
+                    cpu,
+                    ViolationKind::MalformedStage2,
+                    format!("root slot {i} descriptor {desc:#x}: valid but not a table"),
+                );
+                continue;
+            }
+            let next = desc & DESC_ADDR;
+            if next + 4096 > self.mem.limit() {
+                self.check_violation(
+                    cpu,
+                    ViolationKind::MalformedStage2,
+                    format!("root slot {i} table pointer {next:#x} outside populated RAM"),
+                );
+            }
+        }
+    }
+
+    /// Trap-sync-point check: every TLB entry cached for the live
+    /// Stage-2 regime must agree with a fresh walk of the current
+    /// tables. Combined S1+S2 entries cannot be decomposed after the
+    /// fact, so the check only runs while Stage 1 is off for this cpu
+    /// (exactly the regime the nested configurations use).
+    fn check_tlb_coherence(&mut self, cpu: usize) {
+        let vttbr_v = self.cores[cpu].regs.read(SysReg::VttbrEl2);
+        let root = vttbr::baddr(vttbr_v);
+        if root == 0 {
+            return;
+        }
+        if self.cores[cpu].regs.read(SysReg::SctlrEl1) & 1 != 0 {
+            return;
+        }
+        let vmid = vttbr::vmid(vttbr_v);
+        let mut bad = Vec::new();
+        for (key, entry) in self.tlb.entries() {
+            if !key.stage2 || key.vmid != vmid {
+                continue;
+            }
+            // Walk with an access the cached entry claims to permit, so
+            // a permission fault genuinely means the grant changed.
+            let access = if entry.perms.r {
+                Access::Read
+            } else if entry.perms.w {
+                Access::Write
+            } else {
+                Access::Fetch
+            };
+            match walk(&self.mem, PageTable { root }, key.page, access) {
+                Ok(t) => {
+                    if t.pa & !0xfff != entry.out_page || t.perms != entry.perms {
+                        bad.push(format!(
+                            "page {:#x}: cached {:#x} {:?}, tables say {:#x} {:?}",
+                            key.page,
+                            entry.out_page,
+                            entry.perms,
+                            t.pa & !0xfff,
+                            t.perms,
+                        ));
+                    }
+                }
+                // A translation hole is not a violation: the simulator
+                // shares one TLB across cores while shadow tables are
+                // per-core under a common VMID, so an entry may have
+                // been filled from a sibling core's (lazily populated)
+                // shadow — and wholesale shadow invalidation always
+                // flushes the VMID, so a genuine unmap cannot leave a
+                // stale entry behind. Structural damage and permission
+                // regressions, by contrast, are always violations.
+                Err(f) if f.kind == neve_memsim::FaultKind::Translation => {}
+                Err(f) => bad.push(format!(
+                    "page {:#x}: cached {:#x}, fresh walk faults ({:?} at level {})",
+                    key.page, entry.out_page, f.kind, f.level,
+                )),
+            }
+        }
+        for detail in bad {
+            self.check_violation(cpu, ViolationKind::TlbIncoherent, detail);
         }
     }
 
@@ -1085,6 +1333,12 @@ impl Machine {
             if let Some(code) = self.cores[cpu].halted {
                 return StepOutcome::Halted(code);
             }
+        }
+        // Checked mode validates *after* injections fire, so a fault
+        // planted this step is observed at exactly this step count —
+        // before the host gets any chance to repair it in-line.
+        if self.checker.is_some() {
+            self.checked_step_invariants(cpu);
         }
         if self.poll_interrupts(cpu, hyp) {
             return StepOutcome::Executed;

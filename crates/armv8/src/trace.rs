@@ -80,6 +80,15 @@ pub enum TraceEvent {
         /// Byte offset of the slot within the deferred access page.
         offset: u16,
     },
+    /// A raw `VNCR_EL2` write carried reserved or out-of-range BADDR
+    /// bits; the hardware treated them as RES0 (paper Section 6.1's
+    /// register layout). Almost always a host bug worth seeing.
+    VncrRawSanitized {
+        /// CPU index.
+        cpu: usize,
+        /// The raw value as written, before sanitization.
+        raw: u64,
+    },
     /// The attached [`FaultPlan`](crate::FaultPlan) fired an injection
     /// (diagnostic marker; the fault itself is applied separately).
     FaultInjected {
@@ -185,6 +194,9 @@ impl Trace {
             } => {
                 let dir = if *write { "write" } else { "read" };
                 format!("cpu{cpu} ++++ NEVE deferred {dir} of {reg:?} to page slot {offset:#x}")
+            }
+            TraceEvent::VncrRawSanitized { cpu, raw } => {
+                format!("cpu{cpu} !!!! VNCR_EL2 write {raw:#x} carried reserved bits (RES0)")
             }
             TraceEvent::FaultInjected { cpu, fault, step } => {
                 format!(

@@ -20,8 +20,8 @@ fn main() {
     // The headline: ARM nested overhead is an order of magnitude worse
     // than x86 in relative terms (Section 5).
     let hc = &rows[0];
-    let arm_rel = hc.cells[1].2;
-    let x86_rel = hc.cells[4].2;
+    let arm_rel = hc.cells[1].mult;
+    let x86_rel = hc.cells[4].mult;
     println!();
     println!(
         "ARM v8.3 nested/VM = {arm_rel:.0}x vs x86 nested/VM = {x86_rel:.0}x (paper: 155x vs 31x)"

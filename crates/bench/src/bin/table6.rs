@@ -20,6 +20,6 @@ fn main() {
     println!();
     println!(
         "NEVE speedup over ARMv8.3 (hypercall): {:.1}x (paper: ~4.6x, \"up to 5 times\")",
-        hc.cells[0].1 as f64 / hc.cells[2].1 as f64
+        hc.cells[0].value as f64 / hc.cells[2].value.max(1) as f64
     );
 }

@@ -41,7 +41,7 @@ fn main() {
     println!();
     println!(
         "NEVE reduces hypercall traps {:.1}x vs ARMv8.3 (paper: \"more than six times\", 126 -> 15)",
-        hc.cells[0].1 as f64 / hc.cells[2].1.max(1) as f64
+        hc.cells[0].value as f64 / hc.cells[2].value.max(1) as f64
     );
     if m.has_failures() {
         println!();
@@ -51,7 +51,7 @@ fn main() {
             }
         }
         eprintln!(
-            "table7: {} cell(s) failed to measure (rows show 0 for them)",
+            "table7: {} cell(s) failed to measure (rows mark them FAILED)",
             m.failed_cells()
         );
         std::process::exit(1);

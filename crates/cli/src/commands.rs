@@ -88,6 +88,7 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         "figure2" => figure2_cmd(&p),
         "trace" => trace_cmd(&p),
         "faults" => faults_cmd(&p),
+        "check" => check_cmd(&p),
         "bench-sim" => bench_sim_cmd(&p),
         "help" | "-h" | "--help" => {
             print!("{}", HELP);
@@ -109,6 +110,10 @@ USAGE:
                                                         with trap provenance
     neve faults  [--seed N] [--jobs N] [--budget N] [--smoke] [--fail-fast]
                                                         fault-injection campaign
+    neve check   [--smoke] [--jobs N] [--no-cache]      correctness oracles:
+                                                        differential v8.3-vs-NEVE
+                                                        lockstep, trap algebra,
+                                                        golden-table diff
     neve bench-sim [--samples N] [--record-baseline]    host-side simulator
                                                         throughput (steps/sec)
     neve help                                           this text
@@ -141,6 +146,17 @@ baseline), or mis-measured (completed with silently wrong numbers).
 --smoke runs a small grid twice and verifies the reports are
 byte-identical; --fail-fast stops at the first detected fault and
 exits non-zero.
+
+`neve check` runs the correctness oracles: ARMv8.3-NV and NEVE stacks
+executed in lockstep with bit-identical architectural state demanded at
+every step (the paper's semantics-preservation claim as a bug detector,
+with the architectural invariant checker attached to both machines),
+the trap-count algebra (NEVE never traps more than v8.3; Virtual EOI is
+trap-free; every deferrable v8.3 trap is accounted as a NEVE deferral
+or residual trap), and a diff of the regenerated Tables 6/7 against the
+EXPERIMENTS.md golden values (cycles within 2%, trap counts exact).
+--smoke restricts the differential grid to one pair for CI. Any
+violation exits non-zero with a structured first-divergence report.
 
 `neve bench-sim` measures how fast the *host* simulates each
 configuration (steps/sec and ns/step — wall-clock performance of the
@@ -356,6 +372,28 @@ fn faults_cmd(p: &args::Parsed) -> Result<(), String> {
     if report.truncated {
         return Err("campaign stopped at the first detected fault (--fail-fast)".into());
     }
+    Ok(())
+}
+
+/// Runs the correctness oracles (`neve check`): the lockstep
+/// differential state oracle, the trap-count algebra, and the
+/// golden-table diff, over the cached (or freshly measured) matrix.
+/// Exits non-zero on any violation.
+fn check_cmd(p: &args::Parsed) -> Result<(), String> {
+    let smoke = p.has("smoke");
+    let m = matrix(p)?;
+    let report = neve_workloads::run_checks(&m, smoke);
+    print!("{}", report.render());
+    if !report.is_clean() {
+        return Err(format!(
+            "{} oracle violation(s); the paper's semantic identities do not hold",
+            report.violation_count()
+        ));
+    }
+    println!(
+        "oracle: every check passed{}",
+        if smoke { " (smoke grid)" } else { "" }
+    );
     Ok(())
 }
 

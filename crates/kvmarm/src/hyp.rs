@@ -800,6 +800,45 @@ impl HostHyp {
         m.hyp_write(cpu, SysReg::ElrEl2, info.elr + 4);
     }
 
+    /// Checked-mode oracle hook: verifies every per-CPU shadow Stage-2
+    /// equals the composition of the guest hypervisor's virtual Stage-2
+    /// with the host's Stage-2 — the defining property of shadow paging
+    /// (paper Section 4). Read-only and charge-free (raw memory reads),
+    /// so the `neve check` command can run it between iterations without
+    /// perturbing measurements. Returns one description per discrepancy,
+    /// empty when every shadow is consistent.
+    pub fn verify_shadow_composition(&self, m: &Machine) -> Vec<String> {
+        let mut bad = Vec::new();
+        if self.nested.is_none() {
+            return bad;
+        }
+        for (cpu, shadow) in self.shadows.iter().enumerate() {
+            // The guest's virtual VTTBR, read the way the fill path
+            // reads it (NEVE: the deferred access page; v8.3: the
+            // trapped-write store), falling back to the harness-built
+            // root exactly like `handle_l2_abort`.
+            let vvttbr = if self.vcpus[cpu].neve && vncr_offset(SysReg::VttbrEl2).is_some() {
+                let off = vncr_offset(SysReg::VttbrEl2).expect("checked") as u64;
+                m.mem.read_u64(layout::vncr_page(cpu) + off)
+            } else {
+                self.vcpus[cpu].vel2.read(SysReg::VttbrEl2)
+            };
+            let root = if vttbr::baddr(vvttbr) != 0 {
+                vttbr::baddr(vvttbr)
+            } else {
+                self.guest_s2_root
+            };
+            if root == 0 {
+                continue;
+            }
+            let guest_s2 = PageTable { root };
+            for d in shadow.verify_composition(&m.mem, guest_s2, self.host_s2) {
+                bad.push(format!("cpu{cpu}: {d}"));
+            }
+        }
+        bad
+    }
+
     // ------------------------------------------------------------------
     // Exit handlers per context.
     // ------------------------------------------------------------------

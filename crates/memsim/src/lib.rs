@@ -28,7 +28,7 @@ pub use alloc::FrameAlloc;
 pub use phys::{PhysMem, PAGE_SIZE};
 pub use shadow::ShadowS2;
 pub use table::{
-    walk, Access, Fault, FaultKind, MapError, PageTable, Perms, Translation, DESC_ADDR, DESC_TABLE,
-    DESC_VALID,
+    leaves, walk, Access, Fault, FaultKind, Leaf, MapError, PageTable, Perms, Translation,
+    DESC_ADDR, DESC_TABLE, DESC_VALID,
 };
 pub use tlb::{Tlb, TlbEntry, TlbKey};

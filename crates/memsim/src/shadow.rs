@@ -18,7 +18,7 @@
 
 use crate::alloc::FrameAlloc;
 use crate::phys::PhysMem;
-use crate::table::{walk, Access, Fault, MapError, PageTable, Perms};
+use crate::table::{leaves, walk, Access, Fault, MapError, PageTable, Perms};
 
 /// A shadow Stage-2 table and its construction state.
 #[derive(Debug)]
@@ -105,6 +105,69 @@ impl ShadowS2 {
         mem.zero_page(root);
         self.installed = 0;
         self.invalidations += 1;
+    }
+
+    /// Checked-mode oracle: verifies every mapping currently installed
+    /// in the shadow equals the composition `host_s2 ∘ guest_s2` of the
+    /// tables it was collapsed from — same output page and no
+    /// permission wider than the intersection of the two stages
+    /// (paper Section 4: the shadow is *definitionally* that
+    /// composition; any other entry is a hypervisor bug).
+    ///
+    /// Returns the discrepancies found, one line per bad entry, empty
+    /// when the shadow is consistent. A structurally corrupt shadow is
+    /// itself reported (rather than an `Err`): the caller is asking
+    /// "is this table trustworthy", and a malformed descriptor is the
+    /// strongest possible "no".
+    pub fn verify_composition(
+        &self,
+        mem: &PhysMem,
+        guest_s2: PageTable,
+        host_s2: PageTable,
+    ) -> Vec<String> {
+        let mut bad = Vec::new();
+        let shadow_leaves = match leaves(mem, self.table) {
+            Ok(ls) => ls,
+            Err(e) => return vec![format!("shadow table is corrupt: {e}")],
+        };
+        for l in shadow_leaves {
+            let g = match walk(mem, guest_s2, l.input, Access::Read) {
+                Ok(g) => g,
+                Err(f) => {
+                    bad.push(format!(
+                        "shadow maps {:#x} but guest Stage-2 has no mapping ({:?} at level {})",
+                        l.input, f.kind, f.level
+                    ));
+                    continue;
+                }
+            };
+            let h = match walk(mem, host_s2, g.pa, Access::Read) {
+                Ok(h) => h,
+                Err(f) => {
+                    bad.push(format!(
+                        "shadow maps {:#x} but host Stage-2 has no mapping of {:#x} ({:?} at level {})",
+                        l.input, g.pa, f.kind, f.level
+                    ));
+                    continue;
+                }
+            };
+            if l.output != h.pa & !(l.span() - 1) {
+                bad.push(format!(
+                    "shadow maps {:#x} -> {:#x}, composition says {:#x}",
+                    l.input,
+                    l.output,
+                    h.pa & !(l.span() - 1)
+                ));
+            }
+            let allowed = g.perms.intersect(h.perms);
+            if (l.perms.r && !allowed.r) || (l.perms.w && !allowed.w) || (l.perms.x && !allowed.x) {
+                bad.push(format!(
+                    "shadow grants {:?} at {:#x}, composition allows only {:?}",
+                    l.perms, l.input, allowed
+                ));
+            }
+        }
+        bad
     }
 
     /// Collapsed entries currently installed.
@@ -258,6 +321,78 @@ mod tests {
             .unwrap();
         let t = walk(&e.mem, e.shadow.table, 0x1000, Access::Read).unwrap();
         assert_eq!(t.pa, 0x8_3000);
+    }
+
+    #[test]
+    fn verify_composition_accepts_honest_fills_and_catches_tampering() {
+        let mut e = setup();
+        for i in 0..4u64 {
+            e.guest_s2.map(
+                &mut e.mem,
+                &mut e.guest_frames,
+                i * PAGE_SIZE,
+                0x4_0000 + i * PAGE_SIZE,
+                Perms::RW,
+            );
+            e.host_s2.map(
+                &mut e.mem,
+                &mut e.host_frames,
+                0x4_0000 + i * PAGE_SIZE,
+                0x8_0000 + i * PAGE_SIZE,
+                Perms::RWX,
+            );
+            e.shadow
+                .fill(&mut e.mem, e.guest_s2, e.host_s2, i * PAGE_SIZE)
+                .unwrap();
+        }
+        assert!(e
+            .shadow
+            .verify_composition(&e.mem, e.guest_s2, e.host_s2)
+            .is_empty());
+
+        // Tamper: point one shadow leaf at the wrong output frame.
+        let mut shadow_frames = FrameAlloc::new(0x300_0000, 0x10_0000);
+        e.shadow
+            .table
+            .try_map(&mut e.mem, &mut shadow_frames, 0, 0x0dea_d000, Perms::RW)
+            .ok();
+        let bad = e.shadow.verify_composition(&e.mem, e.guest_s2, e.host_s2);
+        assert_eq!(bad.len(), 1, "{bad:?}");
+        assert!(bad[0].contains("composition says"), "{bad:?}");
+
+        // Widen a permission beyond the intersection: also caught.
+        e.shadow
+            .table
+            .try_map(&mut e.mem, &mut shadow_frames, 0, 0x8_0000, Perms::RWX)
+            .ok();
+        let bad = e.shadow.verify_composition(&e.mem, e.guest_s2, e.host_s2);
+        assert_eq!(bad.len(), 1, "{bad:?}");
+        assert!(bad[0].contains("allows only"), "{bad:?}");
+
+        // A mapping the guest never had: caught.
+        e.shadow
+            .table
+            .try_map(
+                &mut e.mem,
+                &mut shadow_frames,
+                64 * PAGE_SIZE,
+                0x8_0000,
+                Perms::RW,
+            )
+            .ok();
+        let bad = e.shadow.verify_composition(&e.mem, e.guest_s2, e.host_s2);
+        assert!(
+            bad.iter()
+                .any(|b| b.contains("guest Stage-2 has no mapping")),
+            "{bad:?}"
+        );
+
+        // Structural corruption reports as untrustworthy.
+        e.mem
+            .write_u64(e.shadow.table.root, crate::table::DESC_VALID);
+        let bad = e.shadow.verify_composition(&e.mem, e.guest_s2, e.host_s2);
+        assert_eq!(bad.len(), 1);
+        assert!(bad[0].contains("corrupt"), "{bad:?}");
     }
 
     #[test]

@@ -455,6 +455,103 @@ pub fn walk(
     })
 }
 
+/// One leaf mapping enumerated from a table by [`leaves`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Leaf {
+    /// First input address the mapping translates.
+    pub input: u64,
+    /// Output address it translates to.
+    pub output: u64,
+    /// Granted permissions.
+    pub perms: Perms,
+    /// Level of the leaf descriptor (2 for a block, 3 for a page).
+    pub level: u8,
+}
+
+impl Leaf {
+    /// Bytes the mapping covers.
+    pub fn span(&self) -> u64 {
+        if self.level == 2 {
+            BLOCK_SIZE
+        } else {
+            PAGE_SIZE
+        }
+    }
+}
+
+/// Enumerates every leaf mapping reachable from `table`, in input-address
+/// order. The checker layer uses this to compare a shadow Stage-2 table
+/// against the composition of the tables it was built from.
+///
+/// # Errors
+///
+/// The first structurally impossible descriptor found — a valid
+/// non-table level-1 entry, or a next-table pointer outside physical
+/// memory — as a [`MapError`] naming the level, exactly mirroring what
+/// [`walk`] reports as [`FaultKind::Malformed`].
+pub fn leaves(mem: &PhysMem, table: PageTable) -> Result<Vec<Leaf>, MapError> {
+    let mut out = Vec::new();
+    if table.root + PAGE_SIZE > mem.limit() {
+        return Err(MapError { input: 0, level: 1 });
+    }
+    for i1 in 0..512u64 {
+        let input1 = i1 << 30;
+        let desc1 = mem.read_u64(table.root + i1 * 8);
+        if desc1 & DESC_VALID == 0 {
+            continue;
+        }
+        if desc1 & DESC_TABLE == 0 {
+            return Err(MapError {
+                input: input1,
+                level: 1,
+            });
+        }
+        let l2 = desc1 & DESC_ADDR;
+        if l2 + PAGE_SIZE > mem.limit() {
+            return Err(MapError {
+                input: input1,
+                level: 1,
+            });
+        }
+        for i2 in 0..512u64 {
+            let input2 = input1 | (i2 << 21);
+            let desc2 = mem.read_u64(l2 + i2 * 8);
+            if desc2 & DESC_VALID == 0 {
+                continue;
+            }
+            if desc2 & DESC_TABLE == 0 {
+                out.push(Leaf {
+                    input: input2,
+                    output: desc2 & DESC_ADDR & !(BLOCK_SIZE - 1),
+                    perms: Perms::from_bits(desc2),
+                    level: 2,
+                });
+                continue;
+            }
+            let l3 = desc2 & DESC_ADDR;
+            if l3 + PAGE_SIZE > mem.limit() {
+                return Err(MapError {
+                    input: input2,
+                    level: 2,
+                });
+            }
+            for i3 in 0..512u64 {
+                let desc3 = mem.read_u64(l3 + i3 * 8);
+                if desc3 & DESC_VALID == 0 {
+                    continue;
+                }
+                out.push(Leaf {
+                    input: input2 | (i3 << 12),
+                    output: desc3 & DESC_ADDR,
+                    perms: Perms::from_bits(desc3),
+                    level: 3,
+                });
+            }
+        }
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -623,6 +720,50 @@ mod tests {
             .try_map(&mut mem, &mut fr, MAX_INPUT_ADDR, 0, Perms::RW)
             .unwrap_err();
         assert_eq!(e.level, 0);
+    }
+
+    #[test]
+    fn leaves_enumerates_pages_and_blocks_in_order() {
+        let (mut mem, mut fr) = setup();
+        let t = PageTable::new(&mut mem, &mut fr);
+        t.map(&mut mem, &mut fr, 1 << 30, 0x9000, Perms::RO);
+        t.map_block(&mut mem, &mut fr, 0, 4 * BLOCK_SIZE, Perms::RWX);
+        t.map(&mut mem, &mut fr, BLOCK_SIZE + 0x5000, 0x6000, Perms::RW);
+        let ls = leaves(&mem, t).unwrap();
+        assert_eq!(ls.len(), 3);
+        assert_eq!(ls[0].input, 0);
+        assert_eq!(ls[0].level, 2);
+        assert_eq!(ls[0].span(), BLOCK_SIZE);
+        assert_eq!(ls[0].output, 4 * BLOCK_SIZE);
+        assert_eq!(ls[1].input, BLOCK_SIZE + 0x5000);
+        assert_eq!(ls[1].output, 0x6000);
+        assert!(ls[1].perms.w && !ls[1].perms.x);
+        assert_eq!(ls[2].input, 1 << 30);
+        // Each enumerated leaf agrees with the hardware walker.
+        for l in &ls {
+            let access = if l.perms.r {
+                Access::Read
+            } else {
+                Access::Write
+            };
+            let tr = walk(&mem, t, l.input, access).unwrap();
+            assert_eq!(tr.pa, l.output);
+            assert_eq!(tr.perms, l.perms);
+        }
+    }
+
+    #[test]
+    fn leaves_reports_corruption_like_the_walker() {
+        let (mut mem, mut fr) = setup();
+        let t = PageTable::new(&mut mem, &mut fr);
+        t.map(&mut mem, &mut fr, 0x5000, 0x6000, Perms::RW);
+        let slot = t.root + index(0x5000, 1) * 8;
+        mem.write_u64(slot, DESC_VALID); // valid non-table at level 1
+        let e = leaves(&mem, t).unwrap_err();
+        assert_eq!(e.level, 1);
+        mem.write_u64(slot, (mem.limit() & DESC_ADDR) | DESC_VALID | DESC_TABLE);
+        let e = leaves(&mem, t).unwrap_err();
+        assert_eq!(e.level, 1);
     }
 
     #[test]

@@ -190,6 +190,13 @@ impl Tlb {
         (self.hits, self.misses, self.flushes)
     }
 
+    /// The resident translations, in set order. Checked-mode validators
+    /// re-walk each cached entry against the live page tables at trap
+    /// sync points; ordinary lookups never need this.
+    pub fn entries(&self) -> impl Iterator<Item = (TlbKey, TlbEntry)> + '_ {
+        self.sets.iter().filter_map(|s| *s)
+    }
+
     /// Resident entries.
     pub fn len(&self) -> usize {
         self.len

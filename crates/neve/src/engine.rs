@@ -126,6 +126,23 @@ impl NeveEngine {
         }
     }
 
+    /// The disposition *full* NEVE hardware would give this access:
+    /// independent of this engine's `VNCR_EL2.Enable` bit and of any
+    /// ablation feature toggles. The trap-count oracle uses this on
+    /// ARMv8.3 machines — where the engine is never enabled — to
+    /// classify each system-register trap as NEVE-deferrable or
+    /// residual, and on NEVE machines to cross-check that deferrals
+    /// plus residual traps add up to the ARMv8.3 trap count.
+    pub fn architectural_disposition(id: RegId, is_write: bool, vhe_guest: bool) -> Disposition {
+        // Reuse the real decision tree (so the oracle can never drift
+        // from the engine) on a throwaway fully-enabled engine.
+        let full = NeveEngine {
+            vncr: VncrEl2::default().with_enabled(true),
+            features: NeveFeatures::default(),
+        };
+        full.disposition(id, is_write, vhe_guest)
+    }
+
     /// Absolute physical address of the slot an access was deferred to.
     pub fn slot_address(&self, offset: u16) -> u64 {
         self.vncr.baddr() + offset as u64
@@ -322,6 +339,38 @@ mod tests {
             e.disposition(RegId::El12(SysReg::SctlrEl1), true, true),
             Disposition::Memory { .. }
         ));
+    }
+
+    #[test]
+    fn architectural_disposition_ignores_enable_and_features() {
+        // On a disabled engine everything passes through, but the
+        // architectural classification must still see what full NEVE
+        // hardware would do with the access.
+        let disabled = NeveEngine::new();
+        assert!(!disabled.enabled());
+        for r in [SysReg::HcrEl2, SysReg::VttbrEl2] {
+            assert_eq!(
+                disabled.disposition(RegId::Plain(r), true, false),
+                Disposition::Passthrough
+            );
+            assert!(matches!(
+                NeveEngine::architectural_disposition(RegId::Plain(r), true, false),
+                Disposition::Memory { .. }
+            ));
+        }
+        // And it agrees with a fully-enabled engine on every register.
+        let e = engine();
+        for r in SysReg::all() {
+            for w in [false, true] {
+                for vhe in [false, true] {
+                    assert_eq!(
+                        NeveEngine::architectural_disposition(RegId::Plain(r), w, vhe),
+                        e.disposition(RegId::Plain(r), w, vhe),
+                        "{r} write={w} vhe={vhe}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -45,6 +45,28 @@ impl VncrEl2 {
         Self(raw & (BADDR_MASK | ENABLE))
     }
 
+    /// Like [`VncrEl2::from_raw`], but surfaces the same errors
+    /// [`VncrEl2::enabled_at`] would: a raw value carrying bits in the
+    /// reserved `[11:1]` range describes a non-page-aligned base, and
+    /// bits at or above 53 fall outside the BADDR field. Callers that
+    /// model the architectural RES0 behaviour can fall back to
+    /// [`VncrEl2::from_raw`] after reporting the discarded bits.
+    ///
+    /// # Errors
+    ///
+    /// [`VncrError::Unaligned`] or [`VncrError::OutOfRange`], carrying
+    /// the offending base-address bits.
+    pub fn try_from_raw(raw: u64) -> Result<Self, VncrError> {
+        let baddr_bits = raw & !ENABLE;
+        if baddr_bits & 0xffe != 0 {
+            return Err(VncrError::Unaligned(baddr_bits));
+        }
+        if baddr_bits & !BADDR_MASK != 0 {
+            return Err(VncrError::OutOfRange(baddr_bits));
+        }
+        Ok(Self(raw & (BADDR_MASK | ENABLE)))
+    }
+
     /// Builds an enabled VNCR_EL2 pointing at `baddr`.
     ///
     /// # Errors
@@ -142,6 +164,36 @@ mod tests {
     fn disabled_is_zero() {
         assert_eq!(VncrEl2::disabled().raw(), 0);
         assert!(!VncrEl2::disabled().enabled());
+    }
+
+    #[test]
+    fn from_raw_round_trips_enabled_at() {
+        // The silent-masking path and the checked constructor must agree
+        // on every value `enabled_at` accepts.
+        for baddr in [0u64, 0x1000, 0x8000_0000, BADDR_MASK] {
+            let v = VncrEl2::enabled_at(baddr).unwrap();
+            assert_eq!(VncrEl2::from_raw(v.raw()), v);
+            assert_eq!(VncrEl2::try_from_raw(v.raw()), Ok(v));
+            let off = v.with_enabled(false);
+            assert_eq!(VncrEl2::try_from_raw(off.raw()), Ok(off));
+        }
+    }
+
+    #[test]
+    fn try_from_raw_rejects_what_enabled_at_rejects() {
+        // An unaligned base shows up as reserved bits [11:1] in the raw
+        // encoding; surface the same error instead of masking it.
+        assert_eq!(
+            VncrEl2::try_from_raw(0x8000_0800 | 1),
+            Err(VncrError::Unaligned(0x8000_0800))
+        );
+        let too_big = 1u64 << 53;
+        assert_eq!(
+            VncrEl2::try_from_raw(too_big | 1),
+            Err(VncrError::OutOfRange(too_big))
+        );
+        // The all-clear raw value still parses.
+        assert_eq!(VncrEl2::try_from_raw(0), Ok(VncrEl2::disabled()));
     }
 
     #[test]

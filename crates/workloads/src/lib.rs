@@ -29,6 +29,7 @@
 pub mod apps;
 pub mod cache;
 pub mod faults;
+pub mod oracle;
 pub mod platforms;
 pub mod provenance;
 pub mod replay;
@@ -39,8 +40,9 @@ pub mod throughput;
 pub use apps::{figure2, WorkloadProfile, WorkloadRow, WORKLOADS};
 pub use cache::{load_or_measure, MatrixSource, CACHE_PATH};
 pub use faults::{run_campaign, CampaignReport, CampaignSpec, Verdict};
+pub use oracle::{diff_pair, golden_diff, run_checks, trap_algebra, OracleReport, PairReport};
 pub use platforms::{Config, MeasureOpts, MicroCosts, MicroMatrix, PhaseStat};
 pub use replay::{replay_vs_model, Mix, ReplayResult};
 pub use session::{Bench, CellMeasurement, CellResult, SimSession};
-pub use tables::{table1, table6, table7, TableRow};
+pub use tables::{table1, table6, table7, Cell, TableRow};
 pub use throughput::{measure_all, ConfigThroughput, BENCH_PATH};

@@ -2,18 +2,47 @@
 
 use crate::platforms::{Config, MicroMatrix};
 
+/// One cell of a rendered table.
+#[derive(Debug, Clone, Copy)]
+pub struct Cell {
+    /// Configuration the column measures.
+    pub config: Config,
+    /// Rounded value (cycles or traps). Zero placeholder when `failed`.
+    pub value: u64,
+    /// Multiplier versus the config's VM baseline. Zero when `failed`.
+    pub mult: f64,
+    /// True when the cell faulted instead of measuring; `value`/`mult`
+    /// are placeholders and renderers must print a marker, never the
+    /// placeholder numbers.
+    pub failed: bool,
+}
+
 /// One row of Table 1/6 (cycle counts) or Table 7 (trap counts).
 #[derive(Debug, Clone)]
 pub struct TableRow {
     /// Microbenchmark name.
     pub bench: &'static str,
-    /// (configuration, value, multiplier-vs-VM) triples.
-    pub cells: Vec<(Config, u64, f64)>,
+    /// One cell per configuration column.
+    pub cells: Vec<Cell>,
 }
 
 const BENCHES: [&str; 4] = ["Hypercall", "Device I/O", "Virtual IPI", "Virtual EOI"];
 
-fn value_of(m: &MicroMatrix, c: Config, bench: &str, traps: bool) -> f64 {
+/// The failure-record key ([`crate::session::Bench::label`]) for a
+/// table-row display name.
+fn failure_key(bench: &str) -> &'static str {
+    match bench {
+        "Hypercall" => "hypercall",
+        "Device I/O" => "device_io",
+        "Virtual IPI" => "virtual_ipi",
+        _ => "virtual_eoi",
+    }
+}
+
+fn value_of(m: &MicroMatrix, c: Config, bench: &str, traps: bool) -> Option<f64> {
+    if m.failures(c).contains_key(failure_key(bench)) {
+        return None;
+    }
     let costs = m.costs(c);
     let p = match bench {
         "Hypercall" => costs.hypercall,
@@ -21,11 +50,7 @@ fn value_of(m: &MicroMatrix, c: Config, bench: &str, traps: bool) -> f64 {
         "Virtual IPI" => costs.virtual_ipi,
         _ => costs.virtual_eoi,
     };
-    if traps {
-        p.traps
-    } else {
-        p.cycles as f64
-    }
+    Some(if traps { p.traps } else { p.cycles as f64 })
 }
 
 fn build(m: &MicroMatrix, configs: &[Config], traps: bool) -> Vec<TableRow> {
@@ -35,9 +60,25 @@ fn build(m: &MicroMatrix, configs: &[Config], traps: bool) -> Vec<TableRow> {
             let cells = configs
                 .iter()
                 .map(|&c| {
+                    // A faulted cell (or a faulted baseline, which would
+                    // make the multiplier meaningless) renders as FAILED
+                    // rather than as a spurious zero.
                     let v = value_of(m, c, bench, traps);
-                    let base = value_of(m, c.vm_baseline(), bench, traps).max(1.0);
-                    (c, v.round() as u64, v / base)
+                    let base = value_of(m, c.vm_baseline(), bench, traps);
+                    match (v, base) {
+                        (Some(v), Some(base)) => Cell {
+                            config: c,
+                            value: v.round() as u64,
+                            mult: v / base.max(1.0),
+                            failed: false,
+                        },
+                        _ => Cell {
+                            config: c,
+                            value: 0,
+                            mult: 0.0,
+                            failed: true,
+                        },
+                    }
                 })
                 .collect();
             TableRow { bench, cells }
@@ -98,8 +139,8 @@ pub fn render(rows: &[TableRow]) -> String {
     let mut out = String::new();
     if let Some(first) = rows.first() {
         out.push_str(&format!("{:<12}", "Benchmark"));
-        for (c, _, _) in &first.cells {
-            out.push_str(&format!(" | {:>22}", c.label()));
+        for cell in &first.cells {
+            out.push_str(&format!(" | {:>22}", cell.config.label()));
         }
         out.push('\n');
         out.push_str(&"-".repeat(12 + first.cells.len() * 25));
@@ -107,8 +148,12 @@ pub fn render(rows: &[TableRow]) -> String {
     }
     for r in rows {
         out.push_str(&format!("{:<12}", r.bench));
-        for (_, v, mult) in &r.cells {
-            out.push_str(&format!(" | {:>12} ({:>5.1}x)", v, mult));
+        for cell in &r.cells {
+            if cell.failed {
+                out.push_str(&format!(" | {:>12} (FAILED)", "--"));
+            } else {
+                out.push_str(&format!(" | {:>12} ({:>5.1}x)", cell.value, cell.mult));
+            }
         }
         out.push('\n');
     }
@@ -134,10 +179,10 @@ mod tests {
         // magnitude more overhead than x86 in relative terms (the
         // paper's headline from Section 5).
         let hc = &t[0];
-        let arm_vm = hc.cells[0].1;
-        let arm_nested = hc.cells[1].1;
-        let x86_nested_mult = hc.cells[4].2;
-        let arm_nested_mult = hc.cells[1].2;
+        let arm_vm = hc.cells[0].value;
+        let arm_nested = hc.cells[1].value;
+        let x86_nested_mult = hc.cells[4].mult;
+        let arm_nested_mult = hc.cells[1].mult;
         assert!(arm_nested > 50 * arm_vm);
         assert!(arm_nested_mult > 3.0 * x86_nested_mult);
     }
@@ -146,14 +191,14 @@ mod tests {
     fn table6_neve_improves_on_v8_3() {
         let t = table6(matrix());
         let hc = &t[0];
-        let v83 = hc.cells[0].1;
-        let neve = hc.cells[2].1;
+        let v83 = hc.cells[0].value;
+        let neve = hc.cells[2].value;
         // Paper: "NEVE provides up to 5 times faster performance than
         // ARMv8.3".
         assert!(neve * 3 < v83, "neve {neve} v8.3 {v83}");
         // NEVE's relative overhead is comparable to x86's (Section 7.1).
-        let neve_mult = hc.cells[2].2;
-        let x86_mult = hc.cells[4].2;
+        let neve_mult = hc.cells[2].mult;
+        let x86_mult = hc.cells[4].mult;
         assert!(neve_mult < 2.0 * x86_mult);
     }
 
@@ -162,11 +207,11 @@ mod tests {
         let t = table7(matrix());
         let hc = &t[0];
         let (v83, vhe, neve, neve_vhe, x86) = (
-            hc.cells[0].1,
-            hc.cells[1].1,
-            hc.cells[2].1,
-            hc.cells[3].1,
-            hc.cells[4].1,
+            hc.cells[0].value,
+            hc.cells[1].value,
+            hc.cells[2].value,
+            hc.cells[3].value,
+            hc.cells[4].value,
         );
         // Paper: 126 / 82 / 15 / 15 / 5.
         assert!(v83 > vhe, "{v83} {vhe}");
@@ -174,9 +219,10 @@ mod tests {
         assert!((10..=20).contains(&neve));
         assert!((10..=20).contains(&neve_vhe));
         assert!(x86 <= 6);
-        // The EOI row is zero everywhere.
+        // The EOI row is zero everywhere — a *measured* zero, not a
+        // failure placeholder.
         let eoi = &t[3];
-        assert!(eoi.cells.iter().all(|(_, v, _)| *v == 0));
+        assert!(eoi.cells.iter().all(|c| c.value == 0 && !c.failed));
     }
 
     #[test]
@@ -184,5 +230,46 @@ mod tests {
         let s = render(&table7(matrix()));
         assert_eq!(s.lines().count(), 2 + 4);
         assert!(s.contains("Hypercall"));
+        // Clean matrix: no cell renders the failure marker.
+        assert!(!s.contains("FAILED"));
+    }
+
+    #[test]
+    fn failed_cell_renders_marker_not_zero() {
+        use std::collections::BTreeMap;
+
+        let clean = matrix();
+        let mut results = BTreeMap::new();
+        for c in Config::all() {
+            results.insert(c, clean.costs(c));
+        }
+        // Fabricate a NEVE hypercall cell that faulted: zero placeholder
+        // costs plus a failure record, exactly as `assemble` produces.
+        let mut costs = results[&Config::ArmNestedNeve];
+        costs.hypercall.cycles = 0;
+        costs.hypercall.traps = 0.0;
+        results.insert(Config::ArmNestedNeve, costs);
+        let mut failures: BTreeMap<Config, BTreeMap<String, String>> = BTreeMap::new();
+        failures
+            .entry(Config::ArmNestedNeve)
+            .or_default()
+            .insert("hypercall".into(), "step budget exhausted".into());
+        let m = MicroMatrix::from_parts(results, BTreeMap::new(), BTreeMap::new(), failures);
+
+        let t = table6(&m);
+        let hc = &t[0];
+        assert!(hc.cells[2].failed, "NEVE hypercall cell must flag failure");
+        assert!(!hc.cells[0].failed, "v8.3 cell measured fine");
+        // Other rows of the failed config are untouched.
+        assert!(!t[1].cells[2].failed);
+
+        let s = render(&t);
+        let hc_line = s.lines().find(|l| l.starts_with("Hypercall")).unwrap();
+        assert!(hc_line.contains("FAILED"), "marker missing: {hc_line}");
+        assert!(
+            !hc_line.contains(" 0 ("),
+            "failed cell leaked a zero: {hc_line}"
+        );
+        assert!(!s.contains("NaN"), "no NaN may ever render");
     }
 }
