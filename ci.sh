@@ -20,10 +20,13 @@ cargo test --workspace -q --offline
 echo "==> fault-campaign smoke (deterministic)"
 cargo run -q -p neve-cli --offline --bin neve -- faults --smoke
 
-echo "==> correctness oracles (differential lockstep + trap algebra + golden tables)"
+echo "==> correctness oracles (differential + engine lockstep + trap algebra + golden tables)"
 cargo run -q -p neve-cli --offline --bin neve -- check --smoke
 
 echo "==> throughput smoke (matrix byte-identity + steps/sec)"
 cargo run -q -p neve-bench --offline --release --bin sim_throughput -- --smoke
+
+echo "==> throughput regression guard (fresh vs recorded, >20% fails)"
+cargo run -q -p neve-bench --offline --release --bin sim_throughput -- --guard --samples 5
 
 echo "CI green."

@@ -29,6 +29,7 @@ pub mod isa;
 pub mod machine;
 pub mod pstate;
 pub mod trace;
+pub mod uop;
 
 pub use check::{Checker, Violation, ViolationKind};
 pub use cpu::CoreState;
@@ -37,6 +38,7 @@ pub use isa::{Asm, Instr, Label, Program, Special};
 pub use machine::{ExitInfo, Hypervisor, Machine, MachineConfig, MmioRequest, StepOutcome};
 pub use pstate::Pstate;
 pub use trace::{Trace, TraceEvent};
+pub use uop::{CompiledProgram, Engine, Uop};
 
 /// The architecture revision the simulated hardware implements.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]

@@ -20,6 +20,7 @@ use crate::fault::{FaultPlan, InjectedFault, Injection, VncrTamper};
 use crate::isa::{Instr, Program, Special};
 use crate::pstate::Pstate;
 use crate::trace::{Trace, TraceEvent};
+use crate::uop::{self, CompiledProgram, Engine, Uop};
 use crate::ArchLevel;
 use neve_core::{Disposition, NeveEngine};
 use neve_cycles::{CostModel, CostTable, CycleCounter, Event, Phase, TrapKind};
@@ -160,6 +161,35 @@ pub struct Machine {
     /// machine this counts exactly the traps NEVE eliminates (paper
     /// Table 7's reduction); the oracle asserts the algebra.
     deferrable_sysreg_traps: u64,
+    /// Which engine [`Machine::step`] dispatches through.
+    engine: Engine,
+    /// Pre-decoded micro-op programs, index-parallel to `programs`
+    /// (same sorted order, so `fetch_hints` serve both).
+    compiled: Vec<CompiledProgram>,
+    /// Per-core cached "no interrupt deliverable" verdicts for the
+    /// micro-op engine's poll elision (see [`Machine::quiet_valid`]).
+    quiet: Vec<PollQuiet>,
+}
+
+/// A cached "the interrupt poll would find nothing" verdict, valid
+/// while every input the poll reads is provably unchanged: the timer
+/// and GIC mutation epochs, the polled core's exception level,
+/// interrupt mask and `HCR_EL2`, and the cycle counter staying inside
+/// `[since, until)` — `until` being the earliest armed timer deadline
+/// ([`Timers::next_fire_at`]). `since` additionally catches a counter
+/// reset between runs, which would re-open wrapped virtual-timer
+/// windows.
+#[derive(Debug, Clone, Copy, Default)]
+struct PollQuiet {
+    valid: bool,
+    since: u64,
+    until: u64,
+    timers_epoch: u64,
+    gic_epoch: u64,
+    el: u8,
+    irq_masked: bool,
+    dist_enabled: bool,
+    hcr: u64,
 }
 
 /// Internal: what a system-register access decision resolved to.
@@ -191,8 +221,27 @@ impl Machine {
             checker: None,
             vncr_deferrals: 0,
             deferrable_sysreg_traps: 0,
+            engine: Engine::default(),
+            compiled: Vec::new(),
+            quiet: vec![PollQuiet::default(); ncpus],
             cfg,
         }
+    }
+
+    /// Selects the execution engine for subsequent steps.
+    pub fn set_engine(&mut self, engine: Engine) {
+        self.engine = engine;
+    }
+
+    /// The selected execution engine.
+    pub fn engine(&self) -> Engine {
+        self.engine
+    }
+
+    /// The pre-decoded micro-op programs (index-parallel to the loaded
+    /// programs; test/bench introspection).
+    pub fn compiled_programs(&self) -> &[CompiledProgram] {
+        &self.compiled
     }
 
     /// Re-resolves the precomputed cost table if `cfg.cost` changed
@@ -204,6 +253,11 @@ impl Machine {
     pub fn refresh_cost_table(&mut self) {
         if !self.cost_table.matches(&self.cfg.cost) {
             self.cost_table = CostTable::arm(&self.cfg.cost);
+            // The micro-op programs bake cost-table values in at decode
+            // time; a model change invalidates every compiled program.
+            for (i, p) in self.programs.iter().enumerate() {
+                self.compiled[i] = uop::compile(p, &self.cost_table);
+            }
         }
     }
 
@@ -291,12 +345,41 @@ impl Machine {
         // Keep the list sorted by base: the ranges are disjoint, so
         // fetch can binary-search for the unique candidate program.
         let at = self.programs.partition_point(|p| p.base < prog.base);
+        self.compiled
+            .insert(at, uop::compile(&prog, &self.cost_table));
         self.programs.insert(at, prog);
-        // Indices shifted; stale hints are only a wasted probe, but
-        // start the next fetch clean.
+        // Indices shifted; a stale hint could now point fetch at the
+        // wrong program, so every hint is reset whenever the program
+        // list mutates (here and in [`Machine::replace_program`]).
         for h in &self.fetch_hints {
             h.set(0);
         }
+    }
+
+    /// Replaces whatever is loaded in `prog`'s address range: any
+    /// program overlapping it is unloaded, then `prog` is loaded.
+    /// Returns the number of programs removed.
+    ///
+    /// Like [`Machine::load`], this resets every fetch hint — a hint
+    /// left pointing at a removed or shifted entry must never serve a
+    /// fetch from the wrong program (the pre-decoded micro-op image is
+    /// dropped and rebuilt with it).
+    pub fn replace_program(&mut self, prog: Program) -> usize {
+        let mut removed = 0;
+        let mut i = 0;
+        while i < self.programs.len() {
+            let p = &self.programs[i];
+            let overlaps = prog.end() > p.base && prog.base < p.end();
+            if overlaps {
+                self.programs.remove(i);
+                self.compiled.remove(i);
+                removed += 1;
+            } else {
+                i += 1;
+            }
+        }
+        self.load(prog);
+        removed
     }
 
     /// Immutable core access.
@@ -1319,7 +1402,42 @@ impl Machine {
 
     /// Executes one instruction on `cpu` (delivering pending interrupts
     /// first). Traps to EL2 synchronously invoke `hyp`.
+    ///
+    /// Dispatches through the selected [`Engine`]: the pre-decoded
+    /// micro-op IR by default, or the reference interpreter
+    /// ([`Machine::step_interp`]) — which also takes over automatically
+    /// whenever an observer is attached (trace, fault plan, checker),
+    /// so every instrumented run exercises the oracle semantics.
     pub fn step(&mut self, hyp: &mut dyn Hypervisor, cpu: usize) -> StepOutcome {
+        match self.active_engine() {
+            Engine::Uop => self.step_uop(hyp, cpu),
+            Engine::Interp => self.step_interp(hyp, cpu),
+        }
+    }
+
+    /// The engine [`Machine::step`] will actually dispatch to: the
+    /// configured engine, downgraded to the reference interpreter
+    /// whenever a trace, fault plan, or checker is attached — those
+    /// layers observe or perturb per-step state the micro-op fast path
+    /// deliberately does not model, so instrumented runs always get
+    /// oracle semantics.
+    pub fn active_engine(&self) -> Engine {
+        if self.engine == Engine::Uop
+            && self.trace.is_none()
+            && self.fault_plan.is_none()
+            && self.checker.is_none()
+        {
+            Engine::Uop
+        } else {
+            Engine::Interp
+        }
+    }
+
+    /// The reference interpreter: fetches, decodes and executes one
+    /// instruction from the loaded [`Program`]s. This is the oracle the
+    /// micro-op engine is checked against; it never reads the
+    /// pre-decoded IR.
+    pub fn step_interp(&mut self, hyp: &mut dyn Hypervisor, cpu: usize) -> StepOutcome {
         if let Some(code) = self.cores[cpu].halted {
             return StepOutcome::Halted(code);
         }
@@ -1362,6 +1480,20 @@ impl Machine {
                 instr,
             });
         }
+        self.exec_instr(hyp, cpu, pc, instr)
+    }
+
+    /// Executes one fetched instruction: the shared decode-and-execute
+    /// arm behind both engines (the interpreter for every instruction,
+    /// the micro-op engine for [`Uop::Slow`] ones), so their semantics
+    /// and cycle charges cannot drift apart.
+    fn exec_instr(
+        &mut self,
+        hyp: &mut dyn Hypervisor,
+        cpu: usize,
+        pc: u64,
+        instr: Instr,
+    ) -> StepOutcome {
         let mut next_pc = pc + 4;
         let instr_c = self.cost_table.cost(Event::Instr);
         let barrier_c = self.cost_table.cost(Event::Barrier);
@@ -1667,6 +1799,192 @@ impl Machine {
                     None => next_pc = self.cores[cpu].pc,
                 }
             }
+        }
+
+        self.cores[cpu].pc = next_pc;
+        StepOutcome::Executed
+    }
+
+    // ------------------------------------------------------------------
+    // The micro-op engine.
+    // ------------------------------------------------------------------
+
+    /// Fetches the micro-op at `pc` through `cpu`'s fetch hint. The
+    /// compiled list is index-parallel to `programs`, so the hints are
+    /// shared with the interpreter's [`Machine::fetch`].
+    #[inline]
+    fn fetch_uop(&self, cpu: usize, pc: u64) -> Option<Uop> {
+        let hint = &self.fetch_hints[cpu];
+        if let Some(p) = self.compiled.get(hint.get()) {
+            if let Some(u) = p.fetch(pc) {
+                return Some(u);
+            }
+        }
+        let idx = self
+            .compiled
+            .partition_point(|p| p.base <= pc)
+            .checked_sub(1)?;
+        let u = self.compiled[idx].fetch(pc)?;
+        hint.set(idx);
+        Some(u)
+    }
+
+    /// True while `cpu`'s cached quiet-window verdict still proves the
+    /// interrupt poll would find nothing: every input
+    /// [`Machine::poll_interrupts`] reads is either compared directly
+    /// (EL, interrupt mask, `HCR_EL2`, distributor enable) or covered
+    /// by a mutation epoch (timers, GIC), and the cycle counter is
+    /// still short of the earliest armed timer deadline.
+    #[inline]
+    fn quiet_valid(&self, cpu: usize) -> bool {
+        let q = &self.quiet[cpu];
+        let cycles = self.counter.cycles();
+        q.valid
+            && cycles >= q.since
+            && cycles < q.until
+            && self.timers.epoch() == q.timers_epoch
+            && self.gic.epoch() == q.gic_epoch
+            && self.cores[cpu].pstate.el == q.el
+            && self.cores[cpu].pstate.irq_masked == q.irq_masked
+            && self.gic.dist.enabled == q.dist_enabled
+            && self.hw_hcr(cpu) == q.hcr
+    }
+
+    /// Caches a quiet-window verdict for `cpu`; call only immediately
+    /// after a full poll returned false (so "nothing deliverable now"
+    /// is known to hold at the current state).
+    fn establish_quiet(&mut self, cpu: usize) {
+        let now = self.counter.cycles();
+        self.quiet[cpu] = PollQuiet {
+            valid: true,
+            since: now,
+            until: self.timers.next_fire_at(cpu, now),
+            timers_epoch: self.timers.epoch(),
+            gic_epoch: self.gic.epoch(),
+            el: self.cores[cpu].pstate.el,
+            irq_masked: self.cores[cpu].pstate.irq_masked,
+            dist_enabled: self.gic.dist.enabled,
+            hcr: self.hw_hcr(cpu),
+        };
+    }
+
+    /// One step through the pre-decoded micro-op IR. Semantically
+    /// identical to [`Machine::step_interp`] with no observers
+    /// attached: same instruction stream, same cycle charges, same
+    /// interrupt delivery points — the engine-lockstep proptests and
+    /// the oracle harness hold it to that.
+    fn step_uop(&mut self, hyp: &mut dyn Hypervisor, cpu: usize) -> StepOutcome {
+        if let Some(code) = self.cores[cpu].halted {
+            return StepOutcome::Halted(code);
+        }
+        self.steps += 1;
+        if !self.quiet_valid(cpu) {
+            if self.poll_interrupts(cpu, hyp) {
+                return StepOutcome::Executed;
+            }
+            self.establish_quiet(cpu);
+        }
+        if self.cores[cpu].wfi {
+            self.counter.advance(0);
+            return StepOutcome::Wfi;
+        }
+
+        let pc = self.cores[cpu].pc;
+        let Some(u) = self.fetch_uop(cpu, pc) else {
+            return StepOutcome::FetchFailure(pc);
+        };
+        let mut next_pc = pc + 4;
+        match u {
+            Uop::Nop { c } | Uop::Work { c } => self.counter.charge(Event::Instr, c),
+            Uop::MovImm { rd, imm, c } => {
+                self.counter.charge(Event::Instr, c);
+                self.cores[cpu].set_gpr(rd, imm);
+            }
+            Uop::Mov { rd, rn, c } => {
+                self.counter.charge(Event::Instr, c);
+                let v = self.cores[cpu].gpr(rn);
+                self.cores[cpu].set_gpr(rd, v);
+            }
+            Uop::Add { rd, rn, rm, c } => {
+                self.counter.charge(Event::Instr, c);
+                let v = self.cores[cpu]
+                    .gpr(rn)
+                    .wrapping_add(self.cores[cpu].gpr(rm));
+                self.cores[cpu].set_gpr(rd, v);
+            }
+            Uop::AddImm { rd, rn, imm, c } => {
+                self.counter.charge(Event::Instr, c);
+                let v = self.cores[cpu].gpr(rn).wrapping_add(imm);
+                self.cores[cpu].set_gpr(rd, v);
+            }
+            Uop::Sub { rd, rn, rm, c } => {
+                self.counter.charge(Event::Instr, c);
+                let v = self.cores[cpu]
+                    .gpr(rn)
+                    .wrapping_sub(self.cores[cpu].gpr(rm));
+                self.cores[cpu].set_gpr(rd, v);
+            }
+            Uop::SubImm { rd, rn, imm, c } => {
+                self.counter.charge(Event::Instr, c);
+                let v = self.cores[cpu].gpr(rn).wrapping_sub(imm);
+                self.cores[cpu].set_gpr(rd, v);
+            }
+            Uop::And { rd, rn, rm, c } => {
+                self.counter.charge(Event::Instr, c);
+                let v = self.cores[cpu].gpr(rn) & self.cores[cpu].gpr(rm);
+                self.cores[cpu].set_gpr(rd, v);
+            }
+            Uop::Orr { rd, rn, rm, c } => {
+                self.counter.charge(Event::Instr, c);
+                let v = self.cores[cpu].gpr(rn) | self.cores[cpu].gpr(rm);
+                self.cores[cpu].set_gpr(rd, v);
+            }
+            Uop::OrrImm { rd, rn, imm, c } => {
+                self.counter.charge(Event::Instr, c);
+                let v = self.cores[cpu].gpr(rn) | imm;
+                self.cores[cpu].set_gpr(rd, v);
+            }
+            Uop::LslImm { rd, rn, sh, c } => {
+                self.counter.charge(Event::Instr, c);
+                let v = self.cores[cpu].gpr(rn).wrapping_shl(u32::from(sh));
+                self.cores[cpu].set_gpr(rd, v);
+            }
+            Uop::LsrImm { rd, rn, sh, c } => {
+                self.counter.charge(Event::Instr, c);
+                let v = self.cores[cpu].gpr(rn).wrapping_shr(u32::from(sh));
+                self.cores[cpu].set_gpr(rd, v);
+            }
+            Uop::B { target, c, .. } => {
+                self.counter.charge(Event::Instr, c);
+                next_pc = target;
+            }
+            Uop::Bl { target, c, .. } => {
+                self.counter.charge(Event::Instr, c);
+                self.cores[cpu].set_gpr(crate::isa::LR, next_pc);
+                next_pc = target;
+            }
+            Uop::Ret { c } => {
+                self.counter.charge(Event::Instr, c);
+                next_pc = self.cores[cpu].gpr(crate::isa::LR);
+            }
+            Uop::Cbz { rn, target, c, .. } => {
+                self.counter.charge(Event::Instr, c);
+                if self.cores[cpu].gpr(rn) == 0 {
+                    next_pc = target;
+                }
+            }
+            Uop::Cbnz { rn, target, c, .. } => {
+                self.counter.charge(Event::Instr, c);
+                if self.cores[cpu].gpr(rn) != 0 {
+                    next_pc = target;
+                }
+            }
+            Uop::Barrier { c } => self.counter.charge(Event::Barrier, c),
+            Uop::Halt { code } => {
+                self.cores[cpu].halted = Some(code);
+                return StepOutcome::Halted(code);
+            }
+            Uop::Slow(instr) => return self.exec_instr(hyp, cpu, pc, instr),
         }
 
         self.cores[cpu].pc = next_pc;

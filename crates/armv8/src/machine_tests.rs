@@ -722,3 +722,106 @@ fn oversized_shift_immediates_wrap_instead_of_panicking() {
     assert_eq!(m.core(0).gpr(3), 0xabcd >> 4);
     assert_eq!(m.core(0).gpr(4), 0xabcd_u64.wrapping_shl(63));
 }
+
+#[test]
+fn observers_force_the_reference_interpreter() {
+    use crate::fault::FaultPlan;
+    use crate::uop::Engine;
+    let mut m = machine(ArchLevel::V8_3);
+    assert_eq!(m.active_engine(), Engine::Uop, "uop engine is the default");
+    m.attach_checker();
+    assert_eq!(
+        m.active_engine(),
+        Engine::Interp,
+        "a checker must force the oracle interpreter"
+    );
+    assert!(m.take_checker().is_some());
+    assert_eq!(
+        m.active_engine(),
+        Engine::Uop,
+        "detaching restores the fast path"
+    );
+    m.attach_trace(16);
+    assert_eq!(
+        m.active_engine(),
+        Engine::Interp,
+        "a trace must force the oracle interpreter"
+    );
+    let mut m2 = machine(ArchLevel::V8_3);
+    m2.attach_fault_plan(FaultPlan::new(vec![]));
+    assert_eq!(
+        m2.active_engine(),
+        Engine::Interp,
+        "a fault plan must force the oracle interpreter"
+    );
+    let mut m3 = machine(ArchLevel::V8_3);
+    m3.set_engine(Engine::Interp);
+    assert_eq!(m3.active_engine(), Engine::Interp);
+    m3.set_engine(Engine::Uop);
+    assert_eq!(m3.active_engine(), Engine::Uop);
+}
+
+#[test]
+fn replace_program_invalidates_stale_fetch_hints() {
+    use crate::uop::Engine;
+    for engine in [Engine::Uop, Engine::Interp] {
+        let mut m = machine(ArchLevel::V8_3);
+        m.set_engine(engine);
+        // Two disjoint programs; execute inside the second so cpu 0's
+        // fetch hint points at its entry.
+        let mut a = Asm::new(0x10_0000);
+        a.i(Instr::MovImm(0, 1));
+        a.i(Instr::Halt(1));
+        m.load(a.assemble());
+        let mut b = Asm::new(0x20_0000);
+        b.i(Instr::MovImm(1, 7));
+        b.i(Instr::MovImm(2, 8));
+        b.i(Instr::Halt(2));
+        m.load(b.assemble());
+        enter_guest(&mut m, 0, 0, 0x20_0000);
+        let mut hyp = skipping_hyp();
+        assert_eq!(m.step(&mut hyp, 0), StepOutcome::Executed);
+        assert_eq!(m.core(0).gpr(1), 7);
+        // Replace the program under the warm hint: same range,
+        // different code. The stale hint must never serve the old
+        // image, and the pre-decoded micro-ops must be rebuilt too.
+        let mut nb = Asm::new(0x20_0000);
+        nb.i(Instr::MovImm(3, 99));
+        nb.i(Instr::Halt(3));
+        assert_eq!(m.replace_program(nb.assemble()), 1);
+        assert_eq!(m.peek(0x20_0000), Some(Instr::MovImm(3, 99)));
+        assert_eq!(
+            m.compiled_programs()
+                .iter()
+                .map(|c| c.base)
+                .collect::<Vec<_>>(),
+            vec![0x10_0000, 0x20_0000],
+            "compiled images track the program list"
+        );
+        m.core_mut(0).pc = 0x20_0000;
+        assert_eq!(m.step(&mut hyp, 0), StepOutcome::Executed);
+        assert_eq!(m.core(0).gpr(3), 99, "engine {engine:?} fetched stale code");
+        assert_eq!(m.step(&mut hyp, 0), StepOutcome::Halted(3));
+    }
+}
+
+#[test]
+fn replace_program_unloads_every_overlapping_image() {
+    let prog = |base: u64, n: usize| {
+        let mut a = Asm::new(base);
+        for _ in 0..n {
+            a.i(Instr::Nop);
+        }
+        a.assemble()
+    };
+    let mut m = machine(ArchLevel::V8_3);
+    m.load(prog(0x1000, 2)); // [0x1000, 0x1008)
+    m.load(prog(0x1010, 2)); // [0x1010, 0x1018)
+                             // [0x1004, 0x1014) straddles both.
+    assert_eq!(m.replace_program(prog(0x1004, 4)), 2);
+    assert_eq!(m.compiled_programs().len(), 1);
+    assert_eq!(m.peek(0x1000), None, "unloaded range must not fetch");
+    assert_eq!(m.peek(0x1004), Some(Instr::Nop));
+    // Replacing a vacant range removes nothing.
+    assert_eq!(m.replace_program(prog(0x8000, 1)), 0);
+}

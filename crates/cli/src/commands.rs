@@ -115,7 +115,7 @@ USAGE:
                                                         lockstep, trap algebra,
                                                         golden-table diff
     neve bench-sim [--samples N] [--record-baseline]    host-side simulator
-                                                        throughput (steps/sec)
+                   [--engine uop|interp]                throughput (steps/sec)
     neve help                                           this text
 
 CONFIGS:    vm v83 v83-vhe neve neve-vhe v83-xen neve-xen
@@ -160,10 +160,14 @@ violation exits non-zero with a structured first-divergence report.
 
 `neve bench-sim` measures how fast the *host* simulates each
 configuration (steps/sec and ns/step — wall-clock performance of the
-interpreter, not simulated cycles) and writes
+step engine, not simulated cycles) and writes
 results/bench_throughput.json, reporting speedups against the recorded
 baseline section. --record-baseline stores this run as the baseline
-later runs are compared against.
+later runs are compared against. --engine selects the ARM step engine:
+uop (the pre-decoded micro-op IR, the default) or interp (the
+reference interpreter); a non-default engine prints the table without
+writing the report, so the recorded numbers always describe the
+default engine.
 ";
 
 fn micro(p: &args::Parsed) -> Result<(), String> {
@@ -298,10 +302,16 @@ fn figure2_cmd(p: &args::Parsed) -> Result<(), String> {
 /// `results/bench_throughput.json` with speedups against the recorded
 /// baseline section (the same report `sim_throughput` produces).
 fn bench_sim_cmd(p: &args::Parsed) -> Result<(), String> {
+    use neve_armv8::Engine;
     use neve_workloads::throughput::{self, BENCH_PATH};
 
     let samples = p.get_u64("samples", 5)?.max(1) as usize;
-    let stats = throughput::measure_all(samples);
+    let engine = match p.get("engine", "uop") {
+        "uop" => Engine::Uop,
+        "interp" => Engine::Interp,
+        other => return Err(format!("unknown engine `{other}` (expected uop or interp)")),
+    };
+    let stats = throughput::measure_all_with(samples, engine);
     println!(
         "{:<20} {:>14} {:>14} {:>10}",
         "config", "steps/sec", "ns/step", "steps"
@@ -314,6 +324,12 @@ fn bench_sim_cmd(p: &args::Parsed) -> Result<(), String> {
             s.ns_per_step(),
             s.steps
         );
+    }
+    if engine != Engine::default() {
+        // Manual experiment: the recorded report must keep describing
+        // the default engine.
+        println!("\n--engine {engine:?}: report not written");
+        return Ok(());
     }
     let existing = std::fs::read_to_string(BENCH_PATH).ok();
     let text = if p.has("record-baseline") {

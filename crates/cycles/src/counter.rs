@@ -71,6 +71,7 @@ impl CycleCounter {
 
     /// Total cycles accumulated so far. Also serves as the machine's
     /// monotonic clock (the timer crate derives counter values from it).
+    #[inline]
     pub fn cycles(&self) -> u64 {
         self.cycles
     }
@@ -227,22 +228,23 @@ impl Delta {
     }
 
     /// Folds another measured region into this one (used by benchmarks
-    /// that bracket many small regions, e.g. the EOI pair).
+    /// that bracket many small regions, e.g. the EOI pair). Saturating,
+    /// like every other counter path: a region already clamped at
+    /// `u64::MAX` must fold without overflowing (debug builds panic on
+    /// wrapping `+=`).
     pub fn accumulate(&mut self, other: &Delta) {
-        self.cycles += other.cycles;
-        self.traps += other.traps;
-        for (k, v) in &other.traps_by_kind {
-            *self.traps_by_kind.entry(*k).or_insert(0) += v;
+        fn fold<K: Ord + Copy>(into: &mut BTreeMap<K, u64>, from: &BTreeMap<K, u64>) {
+            for (k, v) in from {
+                let slot = into.entry(*k).or_insert(0);
+                *slot = slot.saturating_add(*v);
+            }
         }
-        for (k, v) in &other.events {
-            *self.events.entry(*k).or_insert(0) += v;
-        }
-        for (k, v) in &other.cycles_by_phase {
-            *self.cycles_by_phase.entry(*k).or_insert(0) += v;
-        }
-        for (k, v) in &other.traps_by_phase {
-            *self.traps_by_phase.entry(*k).or_insert(0) += v;
-        }
+        self.cycles = self.cycles.saturating_add(other.cycles);
+        self.traps = self.traps.saturating_add(other.traps);
+        fold(&mut self.traps_by_kind, &other.traps_by_kind);
+        fold(&mut self.events, &other.events);
+        fold(&mut self.cycles_by_phase, &other.cycles_by_phase);
+        fold(&mut self.traps_by_phase, &other.traps_by_phase);
     }
 
     /// Per-operation averages plus the absolute trap and phase
@@ -384,6 +386,29 @@ mod tests {
         assert_eq!(a.cycles_by_phase[&Phase::Guest], 13);
         assert_eq!(a.cycles_by_phase[&Phase::HostSw], 4);
         assert_eq!(a.traps_by_phase[&Phase::Guest], 3);
+    }
+
+    #[test]
+    fn accumulate_saturates_clamped_regions() {
+        // Regression: a region clamped at `u64::MAX` (adversarial cost
+        // models saturate `charge_n`) used to overflow-panic when folded
+        // via `accumulate` in debug builds.
+        let mut a = Delta {
+            cycles: u64::MAX,
+            traps: u64::MAX,
+            traps_by_kind: BTreeMap::from([(TrapKind::Hvc, u64::MAX)]),
+            events: BTreeMap::from([(Event::Instr, u64::MAX)]),
+            cycles_by_phase: BTreeMap::from([(Phase::Guest, u64::MAX)]),
+            traps_by_phase: BTreeMap::from([(Phase::Guest, u64::MAX)]),
+        };
+        let b = a.clone();
+        a.accumulate(&b);
+        assert_eq!(a.cycles, u64::MAX);
+        assert_eq!(a.traps, u64::MAX);
+        assert_eq!(a.traps_by_kind[&TrapKind::Hvc], u64::MAX);
+        assert_eq!(a.events[&Event::Instr], u64::MAX);
+        assert_eq!(a.cycles_by_phase[&Phase::Guest], u64::MAX);
+        assert_eq!(a.traps_by_phase[&Phase::Guest], u64::MAX);
     }
 
     #[test]

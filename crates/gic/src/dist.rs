@@ -42,6 +42,11 @@ pub struct Distributor {
     pending_banked: Vec<u32>,
     /// Count of SPIs currently pending (shared across CPUs).
     pending_spis: u32,
+    /// Mutation epoch: bumped whenever distributor state that feeds
+    /// [`Distributor::pending_for`] may have changed. Lets callers
+    /// cache "nothing pending" verdicts and revalidate with a single
+    /// load instead of re-scanning.
+    epoch: u64,
 }
 
 impl Distributor {
@@ -56,7 +61,17 @@ impl Distributor {
             enabled: true,
             pending_banked: vec![0; ncpus],
             pending_spis: 0,
+            epoch: 0,
         }
+    }
+
+    /// The mutation epoch. Strictly increases across any state change
+    /// that could alter a future [`Distributor::pending_for`] answer.
+    /// A raise of an *already-pending* line does not bump it — such a
+    /// raise is a no-op on distributor state.
+    #[inline]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// CPUs attached.
@@ -84,11 +99,13 @@ impl Distributor {
 
     /// Enables an interrupt for `cpu` (banked) or globally (SPI).
     pub fn enable(&mut self, cpu: usize, intid: IntId) {
+        self.epoch += 1;
         self.state(cpu, intid).enabled = true;
     }
 
     /// Disables an interrupt.
     pub fn disable(&mut self, cpu: usize, intid: IntId) {
+        self.epoch += 1;
         self.state(cpu, intid).enabled = false;
     }
 
@@ -96,6 +113,7 @@ impl Distributor {
     pub fn set_spi_target(&mut self, intid: IntId, cpu: usize) {
         assert!((SPI_BASE..INTID_LIMIT).contains(&intid));
         assert!(cpu < self.ncpus);
+        self.epoch += 1;
         self.spi_target[(intid - SPI_BASE) as usize] = cpu;
     }
 
@@ -106,6 +124,7 @@ impl Distributor {
         if !s.pending {
             s.pending = true;
             self.pending_spis += 1;
+            self.epoch += 1;
         }
     }
 
@@ -116,6 +135,7 @@ impl Distributor {
         if !s.pending {
             s.pending = true;
             self.pending_banked[cpu] += 1;
+            self.epoch += 1;
         }
     }
 
@@ -128,6 +148,7 @@ impl Distributor {
                 if !s.pending {
                     s.pending = true;
                     self.pending_banked[cpu] += 1;
+                    self.epoch += 1;
                 }
             }
         }
@@ -136,6 +157,7 @@ impl Distributor {
     /// The highest-priority pending, enabled, not-active interrupt for
     /// `cpu` (priorities are not modelled; lowest INTID wins, which is
     /// deterministic and sufficient for the workloads).
+    #[inline]
     pub fn pending_for(&self, cpu: usize) -> Option<IntId> {
         if !self.enabled {
             return None;
@@ -170,6 +192,7 @@ impl Distributor {
     /// `ICC_IAR1_EL1` read): pending -> active.
     pub fn ack(&mut self, cpu: usize) -> Option<IntId> {
         let intid = self.pending_for(cpu)?;
+        self.epoch += 1;
         let s = self.state(cpu, intid);
         s.pending = false;
         s.active = true;
@@ -183,6 +206,7 @@ impl Distributor {
 
     /// Completes an interrupt (physical `ICC_EOIR1_EL1` write).
     pub fn eoi(&mut self, cpu: usize, intid: IntId) {
+        self.epoch += 1;
         self.state(cpu, intid).active = false;
     }
 
@@ -268,6 +292,30 @@ mod tests {
         d.raise_banked(0, 27);
         assert!(d.is_pending(0, 27));
         assert!(!d.is_pending(1, 27));
+    }
+
+    #[test]
+    fn epoch_tracks_state_changes_only() {
+        let mut d = Distributor::new(2);
+        let e0 = d.epoch();
+        d.enable(0, 3);
+        assert!(d.epoch() > e0);
+        let e1 = d.epoch();
+        d.raise_banked(0, 3);
+        assert!(d.epoch() > e1, "first raise changes state");
+        let e2 = d.epoch();
+        d.raise_banked(0, 3);
+        assert_eq!(d.epoch(), e2, "re-raising a pending line is a no-op");
+        d.raise_spi(40);
+        assert!(d.epoch() > e2);
+        let e3 = d.epoch();
+        d.raise_spi(40);
+        assert_eq!(d.epoch(), e3);
+        d.ack(0);
+        assert!(d.epoch() > e3, "ack transitions pending to active");
+        let e4 = d.epoch();
+        d.eoi(0, 3);
+        assert!(d.epoch() > e4);
     }
 
     #[test]

@@ -64,6 +64,9 @@ pub struct Gic {
     /// The distributor (physical interrupt state).
     pub dist: Distributor,
     vifs: Vec<VirtIf>,
+    /// Virtual-interface mutation count (list registers, `ICH_HCR`),
+    /// folded into [`Gic::epoch`].
+    vif_epoch: u64,
 }
 
 impl Gic {
@@ -72,7 +75,17 @@ impl Gic {
         Self {
             dist: Distributor::new(ncpus),
             vifs: vec![VirtIf::default(); ncpus],
+            vif_epoch: 0,
         }
+    }
+
+    /// Combined mutation epoch over the distributor and every virtual
+    /// interface. Strictly increases across any state change that could
+    /// alter interrupt delivery — callers may cache a "no interrupt
+    /// deliverable" verdict and revalidate it with one comparison.
+    #[inline]
+    pub fn epoch(&self) -> u64 {
+        self.vif_epoch + self.dist.epoch()
     }
 
     // --- Hypervisor control interface (ICH_*) ---
@@ -126,6 +139,7 @@ impl Gic {
     /// Writes an `ICH_*` register for `cpu`. Writes to the read-only
     /// status registers are ignored, as in hardware.
     pub fn ich_write(&mut self, cpu: usize, reg: SysReg, value: u64) {
+        self.vif_epoch += 1;
         let v = &mut self.vifs[cpu];
         match reg {
             SysReg::IchHcrEl2 => v.hcr = value,
@@ -145,6 +159,7 @@ impl Gic {
 
     /// True when the virtual interface would assert the virtual IRQ line
     /// for `cpu` (a pending list register with the interface enabled).
+    #[inline]
     pub fn virq_line(&self, cpu: usize) -> bool {
         let v = &self.vifs[cpu];
         v.hcr & ICH_HCR_EN != 0
@@ -157,6 +172,7 @@ impl Gic {
     /// highest-priority pending list register goes active. Hardware does
     /// this without hypervisor involvement.
     pub fn virq_ack(&mut self, cpu: usize) -> Option<IntId> {
+        self.vif_epoch += 1;
         let v = &mut self.vifs[cpu];
         if v.hcr & ICH_HCR_EN == 0 {
             return None;
@@ -188,6 +204,7 @@ impl Gic {
     /// hardware interrupt is deactivated in the distributor. Returns true
     /// if a matching active LR was found.
     pub fn virq_eoi(&mut self, cpu: usize, vintid: IntId) -> bool {
+        self.vif_epoch += 1;
         // Find the matching LR without holding a mutable borrow across
         // the distributor deactivation below.
         let idx = {
@@ -232,6 +249,7 @@ impl Gic {
     /// all list registers are occupied (the hypervisor must then queue in
     /// software and enable the underflow maintenance interrupt).
     pub fn inject_virq(&mut self, cpu: usize, vintid: IntId, priority: u8) -> Option<u8> {
+        self.vif_epoch += 1;
         let v = &mut self.vifs[cpu];
         for (i, lr) in v.lrs.iter_mut().enumerate() {
             if lr.is_empty() {
@@ -368,6 +386,29 @@ mod tests {
         g.inject_virq(0, 32, 0);
         assert!(g.virq_line(0));
         assert!(!g.virq_line(1));
+    }
+
+    #[test]
+    fn epoch_covers_vif_and_distributor_mutations() {
+        let mut g = gic_on(0);
+        let e0 = g.epoch();
+        g.inject_virq(0, 32, 0);
+        assert!(g.epoch() > e0, "LR injection bumps the epoch");
+        let e1 = g.epoch();
+        g.virq_ack(0);
+        assert!(g.epoch() > e1);
+        let e2 = g.epoch();
+        g.virq_eoi(0, 32);
+        assert!(g.epoch() > e2);
+        let e3 = g.epoch();
+        g.ich_write(0, SysReg::IchHcrEl2, 0);
+        assert!(g.epoch() > e3, "ICH writes bump the epoch");
+        let e4 = g.epoch();
+        g.dist.enable(0, 27);
+        g.dist.raise_banked(0, 27);
+        assert!(g.epoch() > e4, "distributor mutations show through");
+        let e5 = g.epoch();
+        assert_eq!(g.epoch(), e5, "reads leave the epoch alone");
     }
 
     #[test]

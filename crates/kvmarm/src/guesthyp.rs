@@ -481,7 +481,7 @@ fn build_hyp(flavor: GuestHypFlavor, save: u64, cpu: usize) -> Program {
 
         // Save the VM's EL1 context (paper Table 3's execution-control
         // group; each access traps on ARMv8.3, none trap with NEVE).
-        for (i, reg) in rosters::el1_context().into_iter().enumerate() {
+        for (i, reg) in rosters::el1_context().iter().copied().enumerate() {
             e.read_vm_el1(1, reg);
             e.a.i(Instr::Str(
                 1,
@@ -543,7 +543,7 @@ fn build_hyp(flavor: GuestHypFlavor, save: u64, cpu: usize) -> Program {
         // the kernel half (every write traps on ARMv8.3, none with
         // NEVE — the host materialises the context on the eret).
         let mut e = Emit { a: &mut a, flavor };
-        for (i, reg) in rosters::el1_context().into_iter().enumerate() {
+        for (i, reg) in rosters::el1_context().iter().copied().enumerate() {
             e.a.i(Instr::Ldr(
                 1,
                 SAVE_BASE,
@@ -580,7 +580,7 @@ fn build_hyp(flavor: GuestHypFlavor, save: u64, cpu: usize) -> Program {
             // A non-VHE hypervisor first saves its host kernel's EL1
             // context, which the VM state is about to replace
             // (`__sysreg_save_host_state`).
-            for (i, reg) in rosters::el1_context().into_iter().enumerate() {
+            for (i, reg) in rosters::el1_context().iter().copied().enumerate() {
                 e.read_vm_el1(1, reg);
                 e.a.i(Instr::Str(
                     1,
@@ -590,7 +590,7 @@ fn build_hyp(flavor: GuestHypFlavor, save: u64, cpu: usize) -> Program {
             }
         }
         // Restore the VM's EL1 context.
-        for (i, reg) in rosters::el1_context().into_iter().enumerate() {
+        for (i, reg) in rosters::el1_context().iter().copied().enumerate() {
             e.a.i(Instr::Ldr(
                 1,
                 SAVE_BASE,

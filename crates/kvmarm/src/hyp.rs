@@ -157,20 +157,20 @@ impl HostHyp {
             // Non-VHE: the handler lives in the EL1 host kernel, so the
             // full EL1/GIC/timer context swaps out and back per exit.
             let prev = m.phase(cpu, Phase::El1Save);
-            for reg in rosters::el1_context() {
+            for &reg in rosters::el1_context() {
                 let v = m.hyp_read(cpu, reg);
                 m.hyp_mem_write(0, 0); // spill to the host context frame
                 m.hyp_write(cpu, reg, v);
             }
             m.phase(cpu, Phase::GicSwitch);
-            for reg in rosters::gic_save() {
+            for &reg in rosters::gic_save() {
                 let v = m.hyp_read(cpu, reg);
                 if !reg.is_read_only() {
                     m.hyp_write(cpu, reg, v);
                 }
             }
             m.phase(cpu, Phase::TimerSwitch);
-            for reg in rosters::timer_el1() {
+            for &reg in rosters::timer_el1() {
                 let v = m.hyp_read(cpu, reg);
                 m.hyp_write(cpu, reg, v);
             }
@@ -179,7 +179,7 @@ impl HostHyp {
             // VHE: the kernel is already in EL2; only the GIC state is
             // synced per exit.
             let prev = m.phase(cpu, Phase::GicSwitch);
-            for reg in rosters::gic_save() {
+            for &reg in rosters::gic_save() {
                 let v = m.hyp_read(cpu, reg);
                 if !reg.is_read_only() {
                     m.hyp_write(cpu, reg, v);
@@ -277,7 +277,7 @@ impl HostHyp {
     /// Saves hardware EL1 (the departing context) into the stage.
     fn hw_to_stage(&mut self, m: &mut Machine, cpu: usize) {
         let prev = m.phase(cpu, Phase::El1Save);
-        for reg in rosters::el1_context() {
+        for &reg in rosters::el1_context() {
             let v = m.hyp_read(cpu, reg);
             self.stage_write(m, cpu, reg, v);
         }
@@ -287,7 +287,7 @@ impl HostHyp {
     /// Materialises the staged context into hardware EL1.
     fn stage_to_hw(&mut self, m: &mut Machine, cpu: usize) {
         let prev = m.phase(cpu, Phase::El1Restore);
-        for reg in rosters::el1_context() {
+        for &reg in rosters::el1_context() {
             let v = self.stage_read(m, cpu, reg);
             m.hyp_write(cpu, reg, v);
         }
@@ -297,7 +297,7 @@ impl HostHyp {
     /// Saves hardware EL1 into the virtual-EL2 hardware image.
     fn hw_to_vel2_image(&mut self, m: &mut Machine, cpu: usize) {
         let prev = m.phase(cpu, Phase::El1Save);
-        for reg in rosters::el1_context() {
+        for &reg in rosters::el1_context() {
             let v = m.hyp_read(cpu, reg);
             self.vcpus[cpu].vel2_hw.write(reg, v);
         }
@@ -307,7 +307,7 @@ impl HostHyp {
     /// Loads the virtual-EL2 hardware image into hardware EL1.
     fn vel2_image_to_hw(&mut self, m: &mut Machine, cpu: usize) {
         let prev = m.phase(cpu, Phase::El1Restore);
-        for reg in rosters::el1_context() {
+        for &reg in rosters::el1_context() {
             let v = self.vcpus[cpu].vel2_hw.read(reg);
             m.hyp_write(cpu, reg, v);
         }

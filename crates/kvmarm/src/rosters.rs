@@ -10,14 +10,19 @@
 //! hypervisor program builder so both levels move the same state.
 
 use neve_sysreg::regs::{SysReg, NUM_LIST_REGS};
+use std::sync::OnceLock;
 
 /// EL1 context a hypervisor saves/restores when switching the EL1
 /// hardware state between execution contexts (VM vs host kernel, or
 /// nested VM vs guest hypervisor). These are the paper's Table 3 "VM
 /// Execution Control" registers.
-pub fn el1_context() -> Vec<SysReg> {
+///
+/// The rosters are walked on every simulated exit (the non-VHE host
+/// swaps the full EL1 context per trap), so they are static slices
+/// rather than freshly-allocated `Vec`s.
+pub fn el1_context() -> &'static [SysReg] {
     use SysReg::*;
-    vec![
+    &[
         SctlrEl1,
         Ttbr0El1,
         Ttbr1El1,
@@ -40,47 +45,53 @@ pub fn el1_context() -> Vec<SysReg> {
 /// VM trap-control registers a hypervisor programs when entering a VM
 /// and clears when returning to host context (Table 3's first group,
 /// minus `VNCR_EL2` which only the host touches).
-pub fn vm_trap_control() -> Vec<SysReg> {
+pub fn vm_trap_control() -> &'static [SysReg] {
     use SysReg::*;
-    vec![HcrEl2, VttbrEl2, VtcrEl2, HstrEl2, VpidrEl2, VmpidrEl2]
+    &[HcrEl2, VttbrEl2, VtcrEl2, HstrEl2, VpidrEl2, VmpidrEl2]
 }
 
 /// Hypervisor configuration registers written on every switch
 /// (trap-on-write under NEVE; paper Table 4).
-pub fn switch_control() -> Vec<SysReg> {
+pub fn switch_control() -> &'static [SysReg] {
     use SysReg::*;
-    vec![CptrEl2, MdcrEl2]
+    &[CptrEl2, MdcrEl2]
 }
 
 /// GIC hypervisor-interface registers saved when leaving a VM.
-pub fn gic_save() -> Vec<SysReg> {
-    let mut v = vec![SysReg::IchVmcrEl2, SysReg::IchMisrEl2, SysReg::IchElrsrEl2];
-    for n in 0..NUM_LIST_REGS {
-        v.push(SysReg::IchLrEl2(n));
-    }
-    v
+pub fn gic_save() -> &'static [SysReg] {
+    static V: OnceLock<Vec<SysReg>> = OnceLock::new();
+    V.get_or_init(|| {
+        let mut v = vec![SysReg::IchVmcrEl2, SysReg::IchMisrEl2, SysReg::IchElrsrEl2];
+        for n in 0..NUM_LIST_REGS {
+            v.push(SysReg::IchLrEl2(n));
+        }
+        v
+    })
 }
 
 /// GIC hypervisor-interface registers restored when entering a VM.
-pub fn gic_restore() -> Vec<SysReg> {
-    let mut v = vec![SysReg::IchVmcrEl2, SysReg::IchHcrEl2];
-    for n in 0..NUM_LIST_REGS {
-        v.push(SysReg::IchLrEl2(n));
-    }
-    v
+pub fn gic_restore() -> &'static [SysReg] {
+    static V: OnceLock<Vec<SysReg>> = OnceLock::new();
+    V.get_or_init(|| {
+        let mut v = vec![SysReg::IchVmcrEl2, SysReg::IchHcrEl2];
+        for n in 0..NUM_LIST_REGS {
+            v.push(SysReg::IchLrEl2(n));
+        }
+        v
+    })
 }
 
 /// EL1 virtual-timer registers saved/restored around a VM switch; these
 /// are EL1/EL0-reachable and do not trap. The EL2 timer-control pair
 /// (`CNTHCTL_EL2`, `CNTVOFF_EL2`) is listed separately because it always
 /// needs hypervisor privilege.
-pub fn timer_el1() -> Vec<SysReg> {
-    vec![SysReg::CntvCtlEl0, SysReg::CntvCvalEl0]
+pub fn timer_el1() -> &'static [SysReg] {
+    &[SysReg::CntvCtlEl0, SysReg::CntvCvalEl0]
 }
 
 /// EL2 timer control written around a VM switch.
-pub fn timer_el2() -> Vec<SysReg> {
-    vec![SysReg::CnthctlEl2, SysReg::CntvoffEl2]
+pub fn timer_el2() -> &'static [SysReg] {
+    &[SysReg::CnthctlEl2, SysReg::CntvoffEl2]
 }
 
 #[cfg(test)]
@@ -92,7 +103,7 @@ mod tests {
     fn el1_context_is_exactly_the_vm_execution_control_group() {
         let roster = el1_context();
         assert_eq!(roster.len(), 16);
-        for r in &roster {
+        for r in roster {
             assert_eq!(
                 neve_class(*r),
                 NeveClass::VmExecutionControl,
@@ -103,21 +114,21 @@ mod tests {
 
     #[test]
     fn vm_trap_control_registers_are_table3_group1() {
-        for r in vm_trap_control() {
+        for &r in vm_trap_control() {
             assert_eq!(neve_class(r), NeveClass::VmTrapControl, "{r}");
         }
     }
 
     #[test]
     fn switch_control_registers_trap_on_write_under_neve() {
-        for r in switch_control() {
+        for &r in switch_control() {
             assert_eq!(neve_class(r), NeveClass::HypTrapOnWrite, "{r}");
         }
     }
 
     #[test]
     fn gic_rosters_are_table5_registers() {
-        for r in gic_save().into_iter().chain(gic_restore()) {
+        for &r in gic_save().iter().chain(gic_restore()) {
             assert_eq!(neve_class(r), NeveClass::GicTrapOnWrite, "{r}");
         }
     }

@@ -323,7 +323,7 @@ impl TestBed {
             // (the Xen flavour) load it on first entry.
             m.mem.write_u64(save + slots::REASON, 1);
             // The nested VM's initial EL1 context (roster order).
-            for (i, reg) in rosters::el1_context().into_iter().enumerate() {
+            for (i, reg) in rosters::el1_context().iter().copied().enumerate() {
                 let v = if reg == SysReg::VbarEl1 {
                     Self::payload_vbar(bench, l2, cpu)
                 } else {

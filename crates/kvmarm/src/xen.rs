@@ -184,7 +184,7 @@ fn build_hyp(flavor: GuestHypFlavor, cpu: usize) -> Program {
     {
         let mut e = Emit { a: &mut a, flavor };
         // Park the interrupted VM's full EL1 context.
-        for (i, reg) in rosters::el1_context().into_iter().enumerate() {
+        for (i, reg) in rosters::el1_context().iter().copied().enumerate() {
             e.read_vm_el1(1, reg);
             e.a.i(Instr::Str(
                 1,
@@ -206,7 +206,7 @@ fn build_hyp(flavor: GuestHypFlavor, cpu: usize) -> Program {
             ));
         }
         // Load Dom0's EL1 context and run it.
-        for (i, reg) in rosters::el1_context().into_iter().enumerate() {
+        for (i, reg) in rosters::el1_context().iter().copied().enumerate() {
             e.a.i(Instr::Ldr(
                 1,
                 SAVE_BASE,
@@ -247,7 +247,7 @@ fn build_hyp(flavor: GuestHypFlavor, cpu: usize) -> Program {
         let skip_restore = e.a.label();
         e.a.cbz(1, skip_restore);
         {
-            for (i, reg) in rosters::el1_context().into_iter().enumerate() {
+            for (i, reg) in rosters::el1_context().iter().copied().enumerate() {
                 e.a.i(Instr::Ldr(
                     1,
                     SAVE_BASE,

@@ -361,6 +361,42 @@ mod tests {
     }
 
     #[test]
+    fn flush_then_lazy_grow_cannot_resurrect_a_translation() {
+        // The micro vec grows lazily on first use of each CPU index
+        // (`micro_slot`), so a flush can run while the vec is shorter
+        // than the machine's CPU count. The growth that happens
+        // *after* the flush must come up empty — a pre-flush
+        // translation must be unreachable from every slot, old or new.
+        let mut t = Tlb::new(16);
+        t.insert(key(7, 0x1000), entry(0x8000));
+        assert!(t.lookup_cpu(0, key(7, 0x1000)).is_some());
+        t.flush_vmid(7);
+        assert!(
+            t.lookup_cpu(3, key(7, 0x1000)).is_none(),
+            "a lazily grown slot served a pre-flush translation"
+        );
+        assert!(t.lookup_cpu(0, key(7, 0x1000)).is_none());
+
+        // Same discipline for the full flush, with the growth sitting
+        // between the insert and the flush.
+        let mut t = Tlb::new(16);
+        t.insert(key(1, 0x5000), entry(0xc000));
+        assert!(t.lookup_cpu(2, key(1, 0x5000)).is_some());
+        t.flush_all();
+        for cpu in 0..4 {
+            assert!(
+                t.lookup_cpu(cpu, key(1, 0x5000)).is_none(),
+                "cpu{cpu} resurrected a flushed translation"
+            );
+        }
+        // A translation re-walked and re-inserted after the flush is
+        // served fresh everywhere.
+        t.insert(key(1, 0x5000), entry(0xd000));
+        assert_eq!(t.lookup_cpu(2, key(1, 0x5000)).unwrap().out_page, 0xd000);
+        assert_eq!(t.lookup_cpu(5, key(1, 0x5000)).unwrap().out_page, 0xd000);
+    }
+
+    #[test]
     fn cpus_have_independent_micro_entries() {
         let mut t = Tlb::new(16);
         t.insert(key(0, 0x1000), entry(0xa000));

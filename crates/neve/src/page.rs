@@ -71,7 +71,7 @@ impl DeferredAccessPage {
     /// entering the guest hypervisor — the "typical workflow" of
     /// Section 6.1).
     pub fn populate_from(&mut self, mut read: impl FnMut(SysReg) -> u64) {
-        for reg in deferrable_registers() {
+        for &reg in deferrable_registers() {
             self.write(reg, read(reg));
         }
     }
@@ -79,7 +79,7 @@ impl DeferredAccessPage {
     /// Drains every deferrable slot into a register-writing closure (the
     /// host hypervisor harvesting the page on nested VM entry).
     pub fn drain_into(&self, mut write: impl FnMut(SysReg, u64)) {
-        for reg in deferrable_registers() {
+        for &reg in deferrable_registers() {
             if let Some(v) = self.read(reg) {
                 write(reg, v);
             }
@@ -110,7 +110,7 @@ mod tests {
     #[test]
     fn new_page_reads_zero_for_every_deferrable_register() {
         let p = DeferredAccessPage::new();
-        for r in deferrable_registers() {
+        for &r in deferrable_registers() {
             assert_eq!(p.read(r), Some(0), "{r}");
         }
     }
@@ -132,10 +132,10 @@ mod tests {
     #[test]
     fn slots_do_not_alias() {
         let mut p = DeferredAccessPage::new();
-        for (i, r) in deferrable_registers().into_iter().enumerate() {
+        for (i, &r) in deferrable_registers().iter().enumerate() {
             p.write(r, i as u64 + 1);
         }
-        for (i, r) in deferrable_registers().into_iter().enumerate() {
+        for (i, &r) in deferrable_registers().iter().enumerate() {
             assert_eq!(p.read(r), Some(i as u64 + 1), "{r}");
         }
     }
@@ -148,7 +148,7 @@ mod tests {
         p.drain_into(|r, v| {
             seen.insert(r, v);
         });
-        for r in deferrable_registers() {
+        for &r in deferrable_registers() {
             assert_eq!(seen[&r], vncr_offset(r).unwrap() as u64 * 3 + 1);
         }
     }
@@ -171,9 +171,9 @@ mod tests {
             let mut p = DeferredAccessPage::new();
             prop_assert!(p.write(reg, value));
             prop_assert_eq!(p.read(reg), Some(value));
-            for other in &regs {
-                if *other != reg {
-                    prop_assert_eq!(p.read(*other), Some(0));
+            for &other in regs {
+                if other != reg {
+                    prop_assert_eq!(p.read(other), Some(0));
                 }
             }
         }

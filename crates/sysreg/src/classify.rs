@@ -11,6 +11,7 @@
 //! Table 5).
 
 use crate::regs::{RegId, SysReg};
+use std::sync::OnceLock;
 
 /// How NEVE treats an access to a register name from virtual EL2.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -123,9 +124,20 @@ pub fn el1_counterpart(reg: SysReg) -> Option<SysReg> {
 /// [`el1_counterpart`]); used for VHE's E2H redirection of EL1-named
 /// accesses performed *at EL2*.
 pub fn el1_counterpart_inverse(reg: SysReg) -> Option<SysReg> {
-    SysReg::all()
-        .into_iter()
-        .find(|&el2| el1_counterpart(el2) == Some(reg))
+    // This sits on the interpreter's EL2 mrs/msr path under VHE, so the
+    // (register-set-derived) pairs are computed once; the table never
+    // changes after that — both classifications are pure functions.
+    static PAIRS: OnceLock<Vec<(SysReg, SysReg)>> = OnceLock::new();
+    let pairs = PAIRS.get_or_init(|| {
+        SysReg::all()
+            .into_iter()
+            .filter_map(|el2| Some((el1_counterpart(el2)?, el2)))
+            .collect()
+    });
+    pairs
+        .iter()
+        .find(|&&(el1, _)| el1 == reg)
+        .map(|&(_, el2)| el2)
 }
 
 /// Offset (bytes) of a register's slot in the deferred access page.
@@ -136,33 +148,42 @@ pub fn el1_counterpart_inverse(reg: SysReg) -> Option<SysReg> {
 /// `SysReg::all()` order over the deferrable registers. Returns `None` for
 /// registers NEVE never defers.
 pub fn vncr_offset(reg: SysReg) -> Option<u16> {
-    let idx = deferrable_registers().iter().position(|&r| r == reg)?;
+    // The deferrable set is sorted, so the slot lookup is a binary
+    // search of the memoized table. This function runs on every NEVE
+    // disposition decision — once per guest mrs/msr and once per trap
+    // for the oracle's deferrable-trap classification — so it must not
+    // rebuild the table.
+    let idx = deferrable_registers().binary_search(&reg).ok()?;
     Some((idx as u16) * 8)
 }
 
 /// Every register that has a slot in the deferred access page: the
 /// Table 3 VM registers, the cached-copy registers of Tables 4 and 5
 /// (reads are served from the page), and the deferrable debug/PMU
-/// registers.
-pub fn deferrable_registers() -> Vec<SysReg> {
-    let mut v: Vec<SysReg> = SysReg::all()
-        .into_iter()
-        .filter(|&r| {
-            matches!(
-                neve_class(r),
-                NeveClass::VmTrapControl
-                    | NeveClass::VmExecutionControl
-                    | NeveClass::VmThreadId
-                    | NeveClass::HypTrapOnWrite
-                    | NeveClass::HypRedirectOrTrap
-                    | NeveClass::GicTrapOnWrite
-                    | NeveClass::DebugTrapOnWrite
-                    | NeveClass::PmuDefer
-            )
-        })
-        .collect();
-    v.sort();
-    v
+/// registers. Sorted in `SysReg` order; computed once (the
+/// classification is a pure function of the register set).
+pub fn deferrable_registers() -> &'static [SysReg] {
+    static TABLE: OnceLock<Vec<SysReg>> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut v: Vec<SysReg> = SysReg::all()
+            .into_iter()
+            .filter(|&r| {
+                matches!(
+                    neve_class(r),
+                    NeveClass::VmTrapControl
+                        | NeveClass::VmExecutionControl
+                        | NeveClass::VmThreadId
+                        | NeveClass::HypTrapOnWrite
+                        | NeveClass::HypRedirectOrTrap
+                        | NeveClass::GicTrapOnWrite
+                        | NeveClass::DebugTrapOnWrite
+                        | NeveClass::PmuDefer
+                )
+            })
+            .collect();
+        v.sort();
+        v
+    })
 }
 
 /// The 27 VM system registers of Table 3.
@@ -311,7 +332,7 @@ mod tests {
     #[test]
     fn vncr_offsets_fit_one_page() {
         let mut seen = HashSet::new();
-        for r in deferrable_registers() {
+        for &r in deferrable_registers() {
             let off = vncr_offset(r).expect("deferrable register has offset");
             assert_eq!(off % 8, 0);
             assert!(off < 4096, "{r} offset {off}");
@@ -362,7 +383,7 @@ mod tests {
 
     #[test]
     fn offsets_are_stable_across_calls() {
-        for r in deferrable_registers() {
+        for &r in deferrable_registers() {
             assert_eq!(vncr_offset(r), vncr_offset(r));
         }
     }

@@ -28,18 +28,32 @@ pub fn encode(id: RegId) -> u16 {
         RegId::El12(r) => (1, r),
         RegId::El02(r) => (2, r),
     };
-    let idx = SysReg::all()
-        .iter()
-        .position(|&x| x == reg)
-        .unwrap_or_else(|| panic!("{reg} not in modelled register set"));
-    (kind << KIND_SHIFT) | (idx as u16 & INDEX_MASK)
+    // Memoized reverse index: encoding happens on every trapped
+    // system-register access, so the linear scan of `SysReg::all()`
+    // is replaced by a binary search of a sorted (register, index)
+    // table built once.
+    static INDEX: std::sync::OnceLock<Vec<(SysReg, u16)>> = std::sync::OnceLock::new();
+    let table = INDEX.get_or_init(|| {
+        let mut v: Vec<(SysReg, u16)> = SysReg::all()
+            .into_iter()
+            .enumerate()
+            .map(|(i, r)| (r, i as u16))
+            .collect();
+        v.sort_unstable();
+        v
+    });
+    let idx = match table.binary_search_by_key(&reg, |&(r, _)| r) {
+        Ok(pos) => table[pos].1,
+        Err(_) => panic!("{reg} not in modelled register set"),
+    };
+    (kind << KIND_SHIFT) | (idx & INDEX_MASK)
 }
 
 /// Decodes a 16-bit code back into a register name.
 ///
 /// Returns `None` for out-of-range codes.
 pub fn decode(code: u16) -> Option<RegId> {
-    let all = SysReg::all();
+    let all = SysReg::all_cached();
     let reg = *all.get((code & INDEX_MASK) as usize)?;
     Some(match code >> KIND_SHIFT {
         0 => RegId::Plain(reg),

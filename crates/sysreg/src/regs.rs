@@ -453,6 +453,15 @@ impl SysReg {
         }
         v
     }
+
+    /// Memoized [`Self::all`] in the same order. The modelled set never
+    /// changes at runtime, and the trap path consults it on every
+    /// trapped access (ISS encode/decode), so hot callers borrow one
+    /// shared copy instead of rebuilding the `Vec`.
+    pub fn all_cached() -> &'static [SysReg] {
+        static ALL: std::sync::OnceLock<Vec<SysReg>> = std::sync::OnceLock::new();
+        ALL.get_or_init(SysReg::all)
+    }
 }
 
 impl fmt::Display for SysReg {

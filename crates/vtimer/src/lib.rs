@@ -117,6 +117,8 @@ struct CpuTimers {
 #[derive(Debug)]
 pub struct Timers {
     cpus: Vec<CpuTimers>,
+    /// Bumped on every mutation; see [`Timers::epoch`].
+    epoch: u64,
 }
 
 impl Timers {
@@ -124,7 +126,16 @@ impl Timers {
     pub fn new(ncpus: usize) -> Self {
         Self {
             cpus: vec![CpuTimers::default(); ncpus],
+            epoch: 0,
         }
+    }
+
+    /// Mutation epoch: increases on every [`Timers::write`]. Callers
+    /// that cache a fact derived from timer state (e.g. "no timer can
+    /// fire before count X") must revalidate when the epoch moves.
+    #[inline]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// Reads a timer system register on `cpu` with the physical counter
@@ -152,6 +163,7 @@ impl Timers {
 
     /// Writes a timer system register.
     pub fn write(&mut self, cpu: usize, reg: SysReg, value: u64) {
+        self.epoch += 1;
         let t = &mut self.cpus[cpu];
         match reg {
             SysReg::CntvoffEl2 => t.cntvoff = value,
@@ -177,6 +189,7 @@ impl Timers {
     /// order (virtual, physical, hyp-physical, hyp-virtual). Runs before
     /// every interpreter step, so the result is a small by-value
     /// iterator rather than a heap allocation.
+    #[inline]
     pub fn firing(&self, cpu: usize, now: u64) -> Firing {
         let t = &self.cpus[cpu];
         let vcount = now.wrapping_sub(t.cntvoff);
@@ -194,6 +207,50 @@ impl Timers {
             out.push(PPI_HVTIMER);
         }
         out
+    }
+
+    /// Earliest physical-counter value at which any enabled, unmasked
+    /// timer line of `cpu` is — or may be — asserted, given the counter
+    /// currently reads `now`.
+    ///
+    /// Guarantee: for any count `c` with `now <= c <
+    /// next_fire_at(cpu, now)`, and provided no [`Timers::write`]
+    /// happens in between (watch [`Timers::epoch`]), `firing(cpu, c)`
+    /// is empty. The bound is conservative: a line asserted at `now`,
+    /// or any wrap/overflow ambiguity in the virtual-offset domain,
+    /// yields `now` (callers then cannot skip anything). With no
+    /// deliverable timer armed the bound is `u64::MAX`.
+    #[inline]
+    pub fn next_fire_at(&self, cpu: usize, now: u64) -> u64 {
+        let t = &self.cpus[cpu];
+        let mut until = u64::MAX;
+        for (timer, virt) in [
+            (t.vtimer, true),
+            (t.ptimer, false),
+            (t.hptimer, false),
+            (t.hvtimer, true),
+        ] {
+            if timer.ctl & CTL_ENABLE == 0 || timer.ctl & CTL_IMASK != 0 {
+                continue;
+            }
+            let deadline = if virt {
+                // The virtual count is `now - cntvoff` mod 2^64; the
+                // line asserts when it reaches `cval`, i.e. at physical
+                // `cval + cntvoff` — unless that sum wraps or the
+                // (possibly wrapped) virtual count already passed cval,
+                // in which case be conservative.
+                let vcount = now.wrapping_sub(t.cntvoff);
+                if vcount >= timer.cval {
+                    now
+                } else {
+                    timer.cval.checked_add(t.cntvoff).unwrap_or(now)
+                }
+            } else {
+                timer.cval
+            };
+            until = until.min(deadline);
+        }
+        until
     }
 
     /// True if `reg` belongs to this crate.
@@ -318,5 +375,62 @@ mod tests {
     #[should_panic(expected = "not a timer register")]
     fn reading_non_timer_register_panics() {
         Timers::new(1).read(0, SysReg::HcrEl2, 0);
+    }
+
+    #[test]
+    fn epoch_moves_on_every_write() {
+        let mut t = Timers::new(1);
+        let e0 = t.epoch();
+        t.write(0, SysReg::CntvCvalEl0, 100);
+        assert!(t.epoch() > e0);
+        let e1 = t.epoch();
+        t.write(0, SysReg::CntvCvalEl0, 100); // same value still counts
+        assert!(t.epoch() > e1);
+    }
+
+    #[test]
+    fn next_fire_at_bounds_the_quiet_window() {
+        let mut t = Timers::new(1);
+        assert_eq!(t.next_fire_at(0, 0), u64::MAX, "nothing armed");
+        t.write(0, SysReg::CntpCvalEl0, 2_000);
+        t.write(0, SysReg::CntpCtlEl0, CTL_ENABLE);
+        assert_eq!(t.next_fire_at(0, 100), 2_000);
+        // The guarantee: no count below the bound fires.
+        for c in [100, 1_000, 1_999] {
+            assert!(t.firing(0, c).is_empty(), "count {c}");
+        }
+        assert!(!t.firing(0, 2_000).is_empty());
+        // Already asserted: the bound collapses to `now`.
+        assert_eq!(t.next_fire_at(0, 2_500), 2_000);
+        assert!(t.next_fire_at(0, 2_500) <= 2_500);
+    }
+
+    #[test]
+    fn next_fire_at_masked_and_disabled_timers_never_bound() {
+        let mut t = Timers::new(1);
+        t.write(0, SysReg::CntpCvalEl0, 50);
+        t.write(0, SysReg::CntpCtlEl0, CTL_ENABLE | CTL_IMASK);
+        assert_eq!(t.next_fire_at(0, 100), u64::MAX);
+    }
+
+    #[test]
+    fn next_fire_at_virtual_offset_domain() {
+        let mut t = Timers::new(1);
+        t.write(0, SysReg::CntvoffEl2, 10_000);
+        t.write(0, SysReg::CntvCvalEl0, 500);
+        t.write(0, SysReg::CntvCtlEl0, CTL_ENABLE);
+        // Fires at physical 10_500 (virtual 500).
+        assert_eq!(t.next_fire_at(0, 10_100), 10_500);
+        assert!(t.firing(0, 10_499).is_empty());
+        assert!(!t.firing(0, 10_500).is_empty());
+        // Physical counter below the offset: the wrapped virtual count
+        // is huge, so the timer is asserted and the bound is `now`.
+        assert_eq!(t.next_fire_at(0, 100), 100);
+        // Overflowing cval+cntvoff degrades to `now`, never to a bogus
+        // future bound.
+        t.write(0, SysReg::CntvoffEl2, u64::MAX - 10);
+        t.write(0, SysReg::CntvCvalEl0, u64::MAX - 5);
+        let now = 20u64; // vcount = 20 - (2^64-11) = 31 < cval
+        assert_eq!(t.next_fire_at(0, now), now);
     }
 }

@@ -40,9 +40,13 @@ pub mod throughput;
 pub use apps::{figure2, WorkloadProfile, WorkloadRow, WORKLOADS};
 pub use cache::{load_or_measure, MatrixSource, CACHE_PATH};
 pub use faults::{run_campaign, CampaignReport, CampaignSpec, Verdict};
-pub use oracle::{diff_pair, golden_diff, run_checks, trap_algebra, OracleReport, PairReport};
+pub use oracle::{
+    diff_pair, engine_lockstep, golden_diff, run_checks, trap_algebra, OracleReport, PairReport,
+};
 pub use platforms::{Config, MeasureOpts, MicroCosts, MicroMatrix, PhaseStat};
 pub use replay::{replay_vs_model, Mix, ReplayResult};
 pub use session::{Bench, CellMeasurement, CellResult, SimSession};
 pub use tables::{table1, table6, table7, Cell, TableRow};
-pub use throughput::{measure_all, ConfigThroughput, BENCH_PATH};
+pub use throughput::{
+    guard_regressions, measure_all, measure_all_with, ConfigThroughput, BENCH_PATH,
+};

@@ -24,6 +24,11 @@
 //! 3. **Golden-table diff** ([`golden_diff`]): the regenerated Tables
 //!    6/7 must match EXPERIMENTS.md's recorded values within the
 //!    declared tolerance bands (cycles ±2%, trap counts exact).
+//! 4. **Cross-engine lockstep** ([`engine_lockstep`]): the pre-decoded
+//!    micro-op engine and the reference interpreter, stepped on
+//!    identical stacks, must agree on every step outcome, every
+//!    retired core state, the final machine, and the cycle counters —
+//!    the decode-once IR is an optimization, never a semantic change.
 //!
 //! Both lockstep machines also run with the [`neve_armv8::Checker`]
 //! attached, so the architectural step invariants (EL-transition
@@ -33,6 +38,7 @@
 
 use crate::platforms::{Config, MicroMatrix};
 use crate::tables;
+use neve_armv8::Engine;
 use neve_kvmarm::{layout, rosters, ArmConfig, MicroBench, ParaMode, TestBed};
 use std::fmt;
 
@@ -116,9 +122,14 @@ fn bench_name(b: MicroBench) -> &'static str {
     }
 }
 
+/// Human labels for the two sides of a lockstep comparison:
+/// `("v8.3", "NEVE")` for the cross-configuration oracle,
+/// `("uop", "interp")` for the cross-engine one.
+type Sides = (&'static str, &'static str);
+
 /// Compares per-step architectural core state. Cheap on purpose: it
 /// runs after every lockstep round.
-fn compare_cores(a: &TestBed, b: &TestBed, ncpus: usize) -> Option<Divergence> {
+fn compare_cores(a: &TestBed, b: &TestBed, ncpus: usize, (la, lb): Sides) -> Option<Divergence> {
     let step = a.m.steps_retired();
     let phase = a.m.counter.phase().label();
     for cpu in 0..ncpus {
@@ -128,7 +139,7 @@ fn compare_cores(a: &TestBed, b: &TestBed, ncpus: usize) -> Option<Divergence> {
                 step,
                 phase,
                 cpu,
-                what: format!("pc {:#x} (v8.3) vs {:#x} (NEVE)", ca.pc, cb.pc),
+                what: format!("pc {:#x} ({la}) vs {:#x} ({lb})", ca.pc, cb.pc),
             });
         }
         if ca.pstate.el != cb.pstate.el {
@@ -136,7 +147,7 @@ fn compare_cores(a: &TestBed, b: &TestBed, ncpus: usize) -> Option<Divergence> {
                 step,
                 phase,
                 cpu,
-                what: format!("EL {} (v8.3) vs {} (NEVE)", ca.pstate.el, cb.pstate.el),
+                what: format!("EL {} ({la}) vs {} ({lb})", ca.pstate.el, cb.pstate.el),
             });
         }
         for r in 0..31u8 {
@@ -146,7 +157,7 @@ fn compare_cores(a: &TestBed, b: &TestBed, ncpus: usize) -> Option<Divergence> {
                     step,
                     phase,
                     cpu,
-                    what: format!("x{r} {va:#x} (v8.3) vs {vb:#x} (NEVE)"),
+                    what: format!("x{r} {va:#x} ({la}) vs {vb:#x} ({lb})"),
                 });
             }
         }
@@ -156,18 +167,18 @@ fn compare_cores(a: &TestBed, b: &TestBed, ncpus: usize) -> Option<Divergence> {
 
 /// Compares final guest-visible machine state: EL1 system registers,
 /// guest memory, and pending/active GIC state.
-fn compare_final(a: &TestBed, b: &TestBed, ncpus: usize) -> Option<Divergence> {
+fn compare_final(a: &TestBed, b: &TestBed, ncpus: usize, (la, lb): Sides) -> Option<Divergence> {
     let step = a.m.steps_retired();
     let phase = a.m.counter.phase().label();
     for cpu in 0..ncpus {
-        for reg in rosters::el1_context() {
+        for &reg in rosters::el1_context() {
             let (va, vb) = (a.m.core(cpu).regs.read(reg), b.m.core(cpu).regs.read(reg));
             if va != vb {
                 return Some(Divergence {
                     step,
                     phase,
                     cpu,
-                    what: format!("{reg:?} {va:#x} (v8.3) vs {vb:#x} (NEVE)"),
+                    what: format!("{reg:?} {va:#x} ({la}) vs {vb:#x} ({lb})"),
                 });
             }
         }
@@ -181,7 +192,7 @@ fn compare_final(a: &TestBed, b: &TestBed, ncpus: usize) -> Option<Divergence> {
                     step,
                     phase,
                     cpu,
-                    what: format!("intid {intid} pending {pa} (v8.3) vs {pb} (NEVE)"),
+                    what: format!("intid {intid} pending {pa} ({la}) vs {pb} ({lb})"),
                 });
             }
             let (aa, ab) = (
@@ -193,7 +204,7 @@ fn compare_final(a: &TestBed, b: &TestBed, ncpus: usize) -> Option<Divergence> {
                     step,
                     phase,
                     cpu,
-                    what: format!("intid {intid} active {aa} (v8.3) vs {ab} (NEVE)"),
+                    what: format!("intid {intid} active {aa} ({la}) vs {ab} ({lb})"),
                 });
             }
         }
@@ -206,7 +217,7 @@ fn compare_final(a: &TestBed, b: &TestBed, ncpus: usize) -> Option<Divergence> {
                 step,
                 phase,
                 cpu: 0,
-                what: format!("guest memory at {addr:#x}: {wa:#x} (v8.3) vs {wb:#x} (NEVE)"),
+                what: format!("guest memory at {addr:#x}: {wa:#x} ({la}) vs {wb:#x} ({lb})"),
             });
         }
         addr += 8;
@@ -255,7 +266,7 @@ pub fn diff_pair(guest_vhe: bool, bench: MicroBench, iters: u64) -> PairReport {
                 "diverged at step {steps}: outcome {oa:?} (v8.3) vs {ob:?} (NEVE)"
             ));
         }
-        if let Some(d) = compare_cores(&v83, &neve, ncpus) {
+        if let Some(d) = compare_cores(&v83, &neve, ncpus, ("v8.3", "NEVE")) {
             violations.push(d.to_string());
         }
         if !violations.is_empty() {
@@ -274,7 +285,7 @@ pub fn diff_pair(guest_vhe: bool, bench: MicroBench, iters: u64) -> PairReport {
     }
 
     if violations.is_empty() {
-        if let Some(d) = compare_final(&v83, &neve, ncpus) {
+        if let Some(d) = compare_final(&v83, &neve, ncpus, ("v8.3", "NEVE")) {
             violations.push(d.to_string());
         }
         for d in v83.hyp.verify_shadow_composition(&v83.m) {
@@ -313,6 +324,93 @@ pub fn diff_pair(guest_vhe: bool, bench: MicroBench, iters: u64) -> PairReport {
         neve_residual_traps: residual,
         violations,
     }
+}
+
+/// Runs `bench` on two identical stacks, one stepping through the
+/// pre-decoded micro-op engine and one through the reference
+/// interpreter, in lockstep, and demands bit-identical behaviour:
+/// every step outcome, the per-step core state, the final
+/// guest-visible machine state, and the retired-step and cycle
+/// counters. This is the executable form of the decode-once IR's
+/// correctness claim — compilation to micro-ops changes how fast the
+/// host retires steps, never what a step does.
+///
+/// Neither machine gets a checker attached: attaching one would force
+/// the interpreter on both sides (see
+/// [`neve_armv8::Machine::active_engine`]) and the comparison would be
+/// vacuous. [`diff_pair`] covers the checker-instrumented runs.
+pub fn engine_lockstep(guest_vhe: bool, neve: bool, bench: MicroBench, iters: u64) -> Vec<String> {
+    let cfg = ArmConfig::Nested {
+        guest_vhe,
+        neve,
+        para: ParaMode::None,
+    };
+    let mut fast = TestBed::new(cfg, bench, iters);
+    let mut oracle = TestBed::new(cfg, bench, iters);
+    fast.m.set_engine(Engine::Uop);
+    oracle.m.set_engine(Engine::Interp);
+    assert_eq!(fast.m.active_engine(), Engine::Uop);
+    assert_eq!(oracle.m.active_engine(), Engine::Interp);
+    let ncpus = bench.ncpus();
+
+    let mut violations = Vec::new();
+    let mut steps = 0u64;
+    loop {
+        use neve_armv8::machine::StepOutcome as O;
+        let oa = fast.m.step(&mut fast.hyp, 0);
+        let ob = oracle.m.step(&mut oracle.hyp, 0);
+        if ncpus > 1 {
+            for _ in 0..4 {
+                let ra = fast.m.step(&mut fast.hyp, 1);
+                let rb = oracle.m.step(&mut oracle.hyp, 1);
+                if ra != rb {
+                    violations.push(format!(
+                        "diverged at step {steps}: receiver outcome {ra:?} (uop) vs {rb:?} (interp)"
+                    ));
+                }
+            }
+        }
+        steps += 1;
+        if oa != ob {
+            violations.push(format!(
+                "diverged at step {steps}: outcome {oa:?} (uop) vs {ob:?} (interp)"
+            ));
+        }
+        if let Some(d) = compare_cores(&fast, &oracle, ncpus, ("uop", "interp")) {
+            violations.push(d.to_string());
+        }
+        if !violations.is_empty() {
+            break;
+        }
+        match oa {
+            O::Executed | O::Wfi => {}
+            O::Halted(_) | O::FetchFailure(_) => break,
+        }
+        if steps >= LOCKSTEP_BUDGET {
+            violations.push(format!("lockstep budget exhausted after {steps} steps"));
+            break;
+        }
+    }
+
+    if violations.is_empty() {
+        if let Some(d) = compare_final(&fast, &oracle, ncpus, ("uop", "interp")) {
+            violations.push(d.to_string());
+        }
+        let (sa, sb) = (fast.m.steps_retired(), oracle.m.steps_retired());
+        if sa != sb {
+            violations.push(format!(
+                "retired steps diverged: {sa} (uop) vs {sb} (interp)"
+            ));
+        }
+        let (ca, cb) = (fast.m.counter.cycles(), oracle.m.counter.cycles());
+        if ca != cb {
+            violations.push(format!(
+                "cycle counters diverged: {ca} (uop) vs {cb} (interp) — \
+                 a baked micro-op cost disagrees with the cost table"
+            ));
+        }
+    }
+    violations
 }
 
 /// Matrix-level trap-count identities from the paper: NEVE never traps
@@ -518,6 +616,35 @@ pub fn run_checks(m: &MicroMatrix, smoke: bool) -> OracleReport {
             violations: pair.violations.clone(),
         });
     }
+    // Cross-engine lockstep: micro-op IR vs reference interpreter on
+    // the same configuration. (vhe, neve, bench, iters) tuples.
+    let engine_grid: Vec<(bool, bool, MicroBench, u64)> = if smoke {
+        vec![
+            (false, false, MicroBench::Hypercall, 4),
+            (false, true, MicroBench::Hypercall, 4),
+        ]
+    } else {
+        let mut g = Vec::new();
+        for vhe in [false, true] {
+            for neve in [false, true] {
+                g.push((vhe, neve, MicroBench::Hypercall, 6));
+            }
+        }
+        g.push((false, false, MicroBench::VirtualIpi, 3));
+        g.push((false, true, MicroBench::VirtualEoi, 6));
+        g
+    };
+    for (vhe, neve, bench, iters) in engine_grid {
+        checks.push(CheckResult {
+            name: format!(
+                "engine-lockstep {} ({}, {})",
+                bench_name(bench),
+                if neve { "NEVE" } else { "v8.3" },
+                if vhe { "VHE" } else { "non-VHE" }
+            ),
+            violations: engine_lockstep(vhe, neve, bench, iters),
+        });
+    }
     OracleReport { checks }
 }
 
@@ -564,6 +691,20 @@ mod tests {
     fn ipi_pair_runs_both_cpus_in_lockstep() {
         let r = diff_pair(false, MicroBench::VirtualIpi, 3);
         assert!(r.violations.is_empty(), "{:#?}", r.violations);
+    }
+
+    #[test]
+    fn engine_lockstep_is_clean_on_v83_and_neve() {
+        for neve in [false, true] {
+            let v = engine_lockstep(false, neve, MicroBench::Hypercall, 4);
+            assert!(v.is_empty(), "neve={neve}: {v:#?}");
+        }
+    }
+
+    #[test]
+    fn engine_lockstep_covers_multi_cpu_benches() {
+        let v = engine_lockstep(false, true, MicroBench::VirtualIpi, 3);
+        assert!(v.is_empty(), "{v:#?}");
     }
 
     #[test]

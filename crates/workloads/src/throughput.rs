@@ -18,6 +18,7 @@
 use crate::platforms::{arm_config, Config};
 use crate::session::Bench;
 use criterion::Criterion;
+use neve_armv8::Engine;
 use neve_json::JsonValue;
 use neve_kvmarm::TestBed;
 use neve_x86vt::testbed::{X86Config, X86TestBed};
@@ -86,12 +87,20 @@ impl ConfigThroughput {
 /// Panics if any cell faults — throughput is only meaningful on a
 /// healthy tree, and the regular test suite gates cell health.
 pub fn run_all_benches(config: Config) -> u64 {
+    run_all_benches_with(config, Engine::default())
+}
+
+/// [`run_all_benches`] with an explicit step engine for the ARM cells
+/// (`--engine` on the benchmark binaries). x86 configurations have no
+/// micro-op engine and ignore the choice.
+pub fn run_all_benches_with(config: Config, engine: Engine) -> u64 {
     let mut steps = 0u64;
     for bench in Bench::all() {
         let iters = bench.iters();
         match arm_config(config) {
             Some(ac) => {
                 let mut tb = TestBed::new(ac, bench.arm(), iters);
+                tb.m.set_engine(engine);
                 tb.try_run_measured(iters)
                     .unwrap_or_else(|f| panic!("{:?}/{}: {f}", config, bench.label()));
                 steps += tb.m.steps_retired();
@@ -119,10 +128,20 @@ pub fn run_all_benches(config: Config) -> u64 {
 /// Panics if a cell faults or if the retired-step count varies across
 /// samples (a determinism violation).
 pub fn measure_config(c: &mut Criterion, config: Config, samples: usize) -> ConfigThroughput {
+    measure_config_with(c, config, samples, Engine::default())
+}
+
+/// [`measure_config`] with an explicit step engine for the ARM cells.
+pub fn measure_config_with(
+    c: &mut Criterion,
+    config: Config,
+    samples: usize,
+    engine: Engine,
+) -> ConfigThroughput {
     c.sample_size(samples);
     let mut step_counts: Vec<u64> = Vec::new();
     let summary = c.measure(config.label(), |b| {
-        b.iter(|| step_counts.push(run_all_benches(config)));
+        b.iter(|| step_counts.push(run_all_benches_with(config, engine)));
     });
     let steps = step_counts[0];
     assert!(
@@ -141,10 +160,15 @@ pub fn measure_config(c: &mut Criterion, config: Config, samples: usize) -> Conf
 
 /// Measures every configuration (table order).
 pub fn measure_all(samples: usize) -> Vec<ConfigThroughput> {
+    measure_all_with(samples, Engine::default())
+}
+
+/// [`measure_all`] with an explicit step engine for the ARM cells.
+pub fn measure_all_with(samples: usize, engine: Engine) -> Vec<ConfigThroughput> {
     let mut c = Criterion::default();
     Config::all()
         .into_iter()
-        .map(|config| measure_config(&mut c, config, samples))
+        .map(|config| measure_config_with(&mut c, config, samples, engine))
         .collect()
 }
 
@@ -249,6 +273,49 @@ pub fn report_json(current: &[ConfigThroughput], baseline: Option<&[ConfigThroug
     JsonValue::Object(root).pretty()
 }
 
+/// Maximum tolerated steps/sec regression for the CI guard, as a
+/// fraction of the recorded value: the gate fails when throughput
+/// drops below `1 - GUARD_TOLERANCE` of the recorded number.
+pub const GUARD_TOLERANCE: f64 = 0.20;
+
+/// The throughput-regression gate: compares a fresh measurement
+/// against a recorded one and returns one line per configuration whose
+/// fresh throughput fell more than [`GUARD_TOLERANCE`] below the
+/// recorded median steps/sec. Configurations absent from the recorded
+/// set are skipped (they have nothing to regress against).
+///
+/// The *fastest* fresh sample is compared, not the median: wall-clock
+/// numbers are host dependent and a loaded CI machine produces slow
+/// samples routinely. A best-case sample that is still 20% under the
+/// recorded median means the tree itself got slower.
+pub fn guard_regressions(fresh: &[ConfigThroughput], recorded: &[ConfigThroughput]) -> Vec<String> {
+    let by_config: BTreeMap<Config, &ConfigThroughput> =
+        recorded.iter().map(|s| (s.config, s)).collect();
+    let mut bad = Vec::new();
+    for f in fresh {
+        let Some(r) = by_config.get(&f.config) else {
+            continue;
+        };
+        let floor = r.steps_per_sec() * (1.0 - GUARD_TOLERANCE);
+        let best = if f.min_ns == 0 {
+            0.0
+        } else {
+            f.steps as f64 * 1e9 / f.min_ns as f64
+        };
+        if best < floor {
+            bad.push(format!(
+                "{}: best fresh sample {:.0} steps/s is more than {:.0}% below \
+                 the recorded {:.0} steps/s",
+                f.config.label(),
+                best,
+                GUARD_TOLERANCE * 100.0,
+                r.steps_per_sec()
+            ));
+        }
+    }
+    bad
+}
+
 /// Reads a section (`"current"` or `"baseline"`) back from a report
 /// file's text. Returns `None` if the text does not parse, the schema
 /// is unknown, or the section is absent.
@@ -314,5 +381,46 @@ mod tests {
         let b = run_all_benches(Config::ArmVm);
         assert!(a > 0);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn both_engines_retire_identical_step_counts() {
+        let uop = run_all_benches_with(Config::ArmNestedV83, Engine::Uop);
+        let interp = run_all_benches_with(Config::ArmNestedV83, Engine::Interp);
+        assert_eq!(uop, interp, "engine choice changed simulated behaviour");
+    }
+
+    #[test]
+    fn guard_passes_within_band_and_fails_beyond_it() {
+        let rec = ConfigThroughput {
+            config: Config::ArmNestedV83,
+            steps: 1_000_000,
+            median_ns: 100_000_000, // 10M steps/s recorded
+            min_ns: 100_000_000,
+            max_ns: 100_000_000,
+            samples: 3,
+        };
+        // Best sample 9M steps/s: a 10% dip, inside the 20% band.
+        let ok = ConfigThroughput {
+            median_ns: 130_000_000,
+            min_ns: 111_111_111,
+            ..rec
+        };
+        assert_eq!(guard_regressions(&[ok], &[rec]), Vec::<String>::new());
+        // Best sample 5M steps/s: a 50% regression, out of band.
+        let slow = ConfigThroughput {
+            median_ns: 220_000_000,
+            min_ns: 200_000_000,
+            ..rec
+        };
+        let bad = guard_regressions(&[slow], &[rec]);
+        assert_eq!(bad.len(), 1);
+        assert!(bad[0].contains("ARMv8.3 Nested"), "{bad:?}");
+        // A config with no recorded counterpart is skipped.
+        let other = ConfigThroughput {
+            config: Config::ArmVm,
+            ..slow
+        };
+        assert_eq!(guard_regressions(&[other], &[rec]), Vec::<String>::new());
     }
 }
