@@ -20,6 +20,15 @@ cargo test --workspace -q --offline
 echo "==> fault-campaign smoke (deterministic)"
 cargo run -q -p neve-cli --offline --bin neve -- faults --smoke
 
+echo "==> fuzz-campaign smoke (snapshot/restore + oracle stack, double-run byte-identity)"
+cargo run -q -p neve-cli --offline --bin neve -- fuzz --smoke
+
+echo "==> fuzz corpus hygiene (every persisted reproducer must be minimized)"
+if grep -rl '"minimized": false' results/fuzz_corpus/ 2>/dev/null; then
+    echo "unminimized reproducer(s) left in results/fuzz_corpus/ (listed above)" >&2
+    exit 1
+fi
+
 echo "==> correctness oracles (differential + engine lockstep + trap algebra + golden tables)"
 cargo run -q -p neve-cli --offline --bin neve -- check --smoke
 

@@ -11,7 +11,7 @@ use neve_sysreg::RegFile;
 /// are owned by their device models and reached through the machine's
 /// access routing, mirroring how a real core's system-register transport
 /// targets the external interrupt controller and counter blocks.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Default)]
 pub struct CoreState {
     /// General-purpose registers x0-x30.
     pub gprs: [u64; NUM_GPRS],
@@ -27,6 +27,32 @@ pub struct CoreState {
     pub wfi: bool,
     /// Core executed [`crate::isa::Instr::Halt`]; holds the code.
     pub halted: Option<u16>,
+}
+
+impl Clone for CoreState {
+    fn clone(&self) -> Self {
+        Self {
+            gprs: self.gprs,
+            pc: self.pc,
+            pstate: self.pstate,
+            regs: self.regs.clone(),
+            neve: self.neve,
+            wfi: self.wfi,
+            halted: self.halted,
+        }
+    }
+
+    /// Allocation-free (delegates to [`RegFile::clone_from`]); snapshot
+    /// restores run this per core on every fuzz case.
+    fn clone_from(&mut self, source: &Self) {
+        self.gprs = source.gprs;
+        self.pc = source.pc;
+        self.pstate = source.pstate;
+        self.regs.clone_from(&source.regs);
+        self.neve.clone_from(&source.neve);
+        self.wfi = source.wfi;
+        self.halted = source.halted;
+    }
 }
 
 impl CoreState {

@@ -1,0 +1,360 @@
+//! Seeded guest-hypervisor program synthesis for the fuzzing campaign.
+//!
+//! Programs are generated from an explicit seed through splitmix64 —
+//! the same (and only) randomness discipline as [`crate::fault`] — so a
+//! case is fully described by `(seed, length)` and a mutated case by its
+//! final instruction list. There is no wall-clock entropy anywhere: the
+//! campaign replays bit-identically.
+//!
+//! The synthesis is weighted toward *guest-hypervisor shapes*: EL2
+//! system-register reads and writes (including every VNCR-deferrable
+//! register), VHE alias names, TLB invalidations, SGI generation (IPIs),
+//! and store+invalidate sequences that look like Stage-2 map/unmap, all
+//! mixed with plain ALU traffic and in-program control flow. Everything
+//! emitted is assemblable and in-bounds: branch targets land inside the
+//! program (or exactly one slot past the end, a fetch failure both
+//! engines must report identically).
+
+use crate::host::{PROGRAM_BASE, SCRATCH_BASE};
+use crate::isa::{Instr, Special};
+use neve_sysreg::{RegId, SysReg};
+
+/// splitmix64: the campaign's only randomness source, seeded explicitly.
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// The register names generated accesses draw from: a cross-section of
+/// every NEVE class (deferred, redirected, trap-on-write, timer-trap)
+/// plus plain EL1 state and the SGI generation register.
+fn sysreg_pool() -> &'static [RegId] {
+    use SysReg::*;
+    const POOL: &[RegId] = &[
+        // VM system registers: VNCR-deferred under NEVE.
+        RegId::Plain(HcrEl2),
+        RegId::Plain(VttbrEl2),
+        RegId::Plain(VmpidrEl2),
+        RegId::Plain(VpidrEl2),
+        RegId::Plain(TpidrEl2),
+        // Hypervisor control registers: redirected to EL1 counterparts.
+        RegId::Plain(VbarEl2),
+        RegId::Plain(EsrEl2),
+        RegId::Plain(ElrEl2),
+        RegId::Plain(FarEl2),
+        RegId::Plain(SpsrEl2),
+        // Redirect-or-trap (VHE-dependent treatment).
+        RegId::Plain(TcrEl2),
+        RegId::Plain(Ttbr0El2),
+        // Cached-copy (trap-on-write) registers.
+        RegId::Plain(CnthctlEl2),
+        RegId::Plain(CntvoffEl2),
+        RegId::Plain(CptrEl2),
+        RegId::Plain(MdcrEl2),
+        // Timer EL2 registers: always trap.
+        RegId::Plain(CnthpCtlEl2),
+        RegId::Plain(CnthpCvalEl2),
+        // VHE alias names (defer under NEVE, trap under v8.3-NV).
+        RegId::El12(SctlrEl1),
+        RegId::El12(Ttbr0El1),
+        RegId::El12(TcrEl1),
+        RegId::El12(VbarEl1),
+        // Plain EL1 state (passthrough or NV1-trapped).
+        RegId::Plain(SctlrEl1),
+        RegId::Plain(Ttbr0El1),
+        RegId::Plain(MairEl1),
+        RegId::Plain(TpidrEl1),
+        // SGI generation: virtual IPIs.
+        RegId::Plain(IccSgi1rEl1),
+    ];
+    POOL
+}
+
+/// Emits one seeded instruction. `len` is the program's instruction
+/// count (branch targets stay inside `[0, len]` slots).
+fn gen_instr(s: &mut u64, len: usize) -> Instr {
+    let reg = |s: &mut u64| (splitmix64(s) % 31) as u8;
+    let target = |s: &mut u64| PROGRAM_BASE + 4 * (splitmix64(s) % (len as u64 + 1));
+    let sysreg = |s: &mut u64| {
+        let pool = sysreg_pool();
+        pool[(splitmix64(s) % pool.len() as u64) as usize]
+    };
+    match splitmix64(s) % 24 {
+        // ALU traffic.
+        0 => Instr::MovImm(reg(s), splitmix64(s) % 0x1_0000),
+        1 => Instr::Mov(reg(s), reg(s)),
+        2 => Instr::Add(reg(s), reg(s), reg(s)),
+        3 => Instr::AddImm(reg(s), reg(s), splitmix64(s) % 0x1000),
+        4 => Instr::SubImm(reg(s), reg(s), splitmix64(s) % 0x1000),
+        5 => Instr::Orr(reg(s), reg(s), reg(s)),
+        6 => Instr::LslImm(reg(s), reg(s), (splitmix64(s) % 64) as u8),
+        // Control flow (in-program).
+        7 => Instr::B(target(s)),
+        8 => Instr::Cbz(reg(s), target(s)),
+        9 => Instr::Cbnz(reg(s), target(s)),
+        // EL2 system-register traffic: the heart of the campaign.
+        10..=12 => Instr::Msr(sysreg(s), reg(s)),
+        13..=15 => Instr::Mrs(reg(s), sysreg(s)),
+        // Scratch-region loads/stores (S2-translated data traffic).
+        16 => {
+            let r = reg(s);
+            Instr::MovImm(r, SCRATCH_BASE + ((splitmix64(s) % 0x4000) & !7))
+        }
+        17 => Instr::Str(reg(s), reg(s), (splitmix64(s) % 64) as i64 * 8),
+        18 => Instr::Ldr(reg(s), reg(s), (splitmix64(s) % 64) as i64 * 8),
+        // TLB maintenance (the "unmap" half of map/unmap sequences).
+        19 => Instr::TlbiVmall,
+        // Hypervisor calls and returns.
+        20 => Instr::Hvc((splitmix64(s) % 0x100) as u16),
+        21 => Instr::Eret,
+        // Environment queries and barriers.
+        22 => Instr::MrsSpecial(reg(s), Special::CurrentEl),
+        _ => {
+            if splitmix64(s).is_multiple_of(2) {
+                Instr::Isb
+            } else {
+                Instr::Work(1 + splitmix64(s) % 20)
+            }
+        }
+    }
+}
+
+/// Generates a `len`-instruction guest-hypervisor program body from
+/// `seed` (the trailing `Halt` is the harness's to add). Deterministic:
+/// same inputs, same program, bit for bit.
+pub fn generate(seed: u64, len: usize) -> Vec<Instr> {
+    let mut s = seed;
+    (0..len).map(|_| gen_instr(&mut s, len)).collect()
+}
+
+/// Mutates `parent` under `seed`: 1-4 seeded edits, each replacing,
+/// inserting, or deleting one instruction (the program never shrinks
+/// below one instruction). Deterministic like [`generate`].
+pub fn mutate(parent: &[Instr], seed: u64) -> Vec<Instr> {
+    let mut s = seed;
+    let mut code: Vec<Instr> = parent.to_vec();
+    if code.is_empty() {
+        return generate(seed, 8);
+    }
+    let edits = 1 + splitmix64(&mut s) % 4;
+    for _ in 0..edits {
+        let pos = (splitmix64(&mut s) % code.len() as u64) as usize;
+        match splitmix64(&mut s) % 3 {
+            0 => code[pos] = gen_instr(&mut s, code.len()),
+            1 => {
+                let i = gen_instr(&mut s, code.len() + 1);
+                code.insert(pos, i);
+            }
+            _ => {
+                if code.len() > 1 {
+                    code.remove(pos);
+                }
+            }
+        }
+    }
+    code
+}
+
+// ----------------------------------------------------------------------
+// Reproducer serialization: one instruction per line-less token string,
+// so a failing case can be persisted as JSON and replayed exactly.
+// ----------------------------------------------------------------------
+
+fn regid_name(id: RegId) -> String {
+    id.to_string()
+}
+
+fn regid_parse(name: &str) -> Option<RegId> {
+    for r in SysReg::all_cached() {
+        for id in [RegId::Plain(*r), RegId::El12(*r), RegId::El02(*r)] {
+            if id.to_string() == name {
+                return Some(id);
+            }
+        }
+    }
+    None
+}
+
+/// Renders one instruction as a stable, human-readable token string
+/// (`"Msr HCR_EL2 5"`, `"B 1048592"`, ...). [`instr_from_string`]
+/// inverts it exactly.
+pub fn instr_to_string(i: Instr) -> String {
+    match i {
+        Instr::MovImm(r, v) => format!("MovImm {r} {v}"),
+        Instr::Mov(a, b) => format!("Mov {a} {b}"),
+        Instr::Add(a, b, c) => format!("Add {a} {b} {c}"),
+        Instr::AddImm(a, b, v) => format!("AddImm {a} {b} {v}"),
+        Instr::Sub(a, b, c) => format!("Sub {a} {b} {c}"),
+        Instr::SubImm(a, b, v) => format!("SubImm {a} {b} {v}"),
+        Instr::And(a, b, c) => format!("And {a} {b} {c}"),
+        Instr::Orr(a, b, c) => format!("Orr {a} {b} {c}"),
+        Instr::OrrImm(a, b, v) => format!("OrrImm {a} {b} {v}"),
+        Instr::LslImm(a, b, v) => format!("LslImm {a} {b} {v}"),
+        Instr::LsrImm(a, b, v) => format!("LsrImm {a} {b} {v}"),
+        Instr::Ldr(a, b, o) => format!("Ldr {a} {b} {o}"),
+        Instr::Str(a, b, o) => format!("Str {a} {b} {o}"),
+        Instr::Mrs(r, id) => format!("Mrs {r} {}", regid_name(id)),
+        Instr::Msr(id, r) => format!("Msr {} {r}", regid_name(id)),
+        Instr::MrsSpecial(r, sp) => {
+            let name = match sp {
+                Special::CurrentEl => "CurrentEl",
+                Special::CntVct => "CntVct",
+                Special::CntPct => "CntPct",
+            };
+            format!("MrsSpecial {r} {name}")
+        }
+        Instr::Hvc(v) => format!("Hvc {v}"),
+        Instr::Svc(v) => format!("Svc {v}"),
+        Instr::Smc(v) => format!("Smc {v}"),
+        Instr::Eret => "Eret".into(),
+        Instr::Isb => "Isb".into(),
+        Instr::Dsb => "Dsb".into(),
+        Instr::TlbiVmall => "TlbiVmall".into(),
+        Instr::Wfi => "Wfi".into(),
+        Instr::Nop => "Nop".into(),
+        Instr::B(a) => format!("B {a}"),
+        Instr::Bl(a) => format!("Bl {a}"),
+        Instr::Ret => "Ret".into(),
+        Instr::Cbz(r, a) => format!("Cbz {r} {a}"),
+        Instr::Cbnz(r, a) => format!("Cbnz {r} {a}"),
+        Instr::Work(n) => format!("Work {n}"),
+        Instr::Halt(c) => format!("Halt {c}"),
+    }
+}
+
+/// Parses the [`instr_to_string`] rendering back into an instruction.
+pub fn instr_from_string(s: &str) -> Option<Instr> {
+    let mut t = s.split_whitespace();
+    let op = t.next()?;
+    let mut u8s = || -> Option<u8> { t.next()?.parse().ok() };
+    macro_rules! n {
+        () => {
+            t.next()?.parse().ok()?
+        };
+    }
+    Some(match op {
+        "MovImm" => Instr::MovImm(u8s()?, n!()),
+        "Mov" => Instr::Mov(u8s()?, u8s()?),
+        "Add" => Instr::Add(u8s()?, u8s()?, u8s()?),
+        "AddImm" => Instr::AddImm(u8s()?, u8s()?, n!()),
+        "Sub" => Instr::Sub(u8s()?, u8s()?, u8s()?),
+        "SubImm" => Instr::SubImm(u8s()?, u8s()?, n!()),
+        "And" => Instr::And(u8s()?, u8s()?, u8s()?),
+        "Orr" => Instr::Orr(u8s()?, u8s()?, u8s()?),
+        "OrrImm" => Instr::OrrImm(u8s()?, u8s()?, n!()),
+        "LslImm" => Instr::LslImm(u8s()?, u8s()?, u8s()?),
+        "LsrImm" => Instr::LsrImm(u8s()?, u8s()?, u8s()?),
+        "Ldr" => Instr::Ldr(u8s()?, u8s()?, n!()),
+        "Str" => Instr::Str(u8s()?, u8s()?, n!()),
+        "Mrs" => {
+            let r = u8s()?;
+            Instr::Mrs(r, regid_parse(t.next()?)?)
+        }
+        "Msr" => {
+            let id = regid_parse(t.next()?)?;
+            Instr::Msr(id, t.next()?.parse().ok()?)
+        }
+        "MrsSpecial" => {
+            let r = u8s()?;
+            let sp = match t.next()? {
+                "CurrentEl" => Special::CurrentEl,
+                "CntVct" => Special::CntVct,
+                "CntPct" => Special::CntPct,
+                _ => return None,
+            };
+            Instr::MrsSpecial(r, sp)
+        }
+        "Hvc" => Instr::Hvc(n!()),
+        "Svc" => Instr::Svc(n!()),
+        "Smc" => Instr::Smc(n!()),
+        "Eret" => Instr::Eret,
+        "Isb" => Instr::Isb,
+        "Dsb" => Instr::Dsb,
+        "TlbiVmall" => Instr::TlbiVmall,
+        "Wfi" => Instr::Wfi,
+        "Nop" => Instr::Nop,
+        "B" => Instr::B(n!()),
+        "Bl" => Instr::Bl(n!()),
+        "Ret" => Instr::Ret,
+        "Cbz" => Instr::Cbz(u8s()?, n!()),
+        "Cbnz" => Instr::Cbnz(u8s()?, n!()),
+        "Work" => Instr::Work(n!()),
+        "Halt" => Instr::Halt(n!()),
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        assert_eq!(generate(42, 40), generate(42, 40));
+        assert_ne!(generate(42, 40), generate(43, 40));
+    }
+
+    #[test]
+    fn mutation_is_deterministic_and_bounded() {
+        let parent = generate(7, 30);
+        let a = mutate(&parent, 99);
+        assert_eq!(a, mutate(&parent, 99));
+        assert_ne!(a, parent);
+        assert!(!a.is_empty());
+        assert!(a.len() <= parent.len() + 4);
+    }
+
+    #[test]
+    fn generated_branches_stay_in_bounds() {
+        for seed in 0..32u64 {
+            let len = 25;
+            for i in generate(seed, len) {
+                if let Instr::B(t) | Instr::Bl(t) | Instr::Cbz(_, t) | Instr::Cbnz(_, t) = i {
+                    assert!(t >= PROGRAM_BASE);
+                    assert!(t <= PROGRAM_BASE + 4 * len as u64);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_generated_instr_round_trips_through_strings() {
+        for seed in 0..64u64 {
+            for i in generate(seed, 20) {
+                let s = instr_to_string(i);
+                assert_eq!(instr_from_string(&s), Some(i), "{s}");
+            }
+        }
+        // Plus the shapes the generator doesn't emit.
+        for i in [
+            Instr::Ret,
+            Instr::Wfi,
+            Instr::Dsb,
+            Instr::Halt(3),
+            Instr::Svc(9),
+            Instr::Smc(2),
+            Instr::Bl(PROGRAM_BASE),
+            Instr::Sub(1, 2, 3),
+            Instr::And(1, 2, 3),
+            Instr::OrrImm(1, 2, 3),
+            Instr::LsrImm(1, 2, 3),
+            Instr::Mov(4, 5),
+            Instr::MrsSpecial(1, Special::CntVct),
+            Instr::MrsSpecial(1, Special::CntPct),
+            Instr::Mrs(1, RegId::El02(SysReg::CntvCtlEl0)),
+        ] {
+            let s = instr_to_string(i);
+            assert_eq!(instr_from_string(&s), Some(i), "{s}");
+        }
+    }
+
+    #[test]
+    fn pool_names_all_parse_back() {
+        for id in sysreg_pool() {
+            assert_eq!(regid_parse(&regid_name(*id)), Some(*id));
+        }
+    }
+}

@@ -1,0 +1,437 @@
+//! Shared trap-servicing hosts and machine harnesses.
+//!
+//! The proptest suites, the differential oracles and the fuzzing
+//! campaign all need a host hypervisor that services arbitrary guest
+//! traps without rejecting anything. Historically each test file carried
+//! its own copy; this module is the one shared implementation.
+//!
+//! Two hosts are provided:
+//!
+//! - [`SkipHyp`]: the most permissive host — every trap is serviced by
+//!   skipping the trapping instruction. Good for "nothing a guest does
+//!   may crash the simulator" properties.
+//! - [`EmulHyp`]: a KVM-shaped host that *emulates* trapped accesses the
+//!   way NEVE hardware would have handled them (deferred accesses hit
+//!   the same access-page memory, redirected accesses hit the EL1
+//!   counterpart, everything else lands in an in-memory virtual-EL2
+//!   context). Because the emulation follows
+//!   [`NeveEngine::architectural_disposition`], the *guest-visible*
+//!   semantics of a program are identical whether it runs on ARMv8.3
+//!   (every access traps into `EmulHyp`) or on NEVE hardware (most
+//!   accesses are rewritten without trapping) — which is exactly what
+//!   makes cross-configuration lockstep a sound fuzzing oracle.
+
+use crate::isa::{Asm, Instr, Program};
+use crate::machine::{ExitInfo, Hypervisor, Machine, MachineConfig};
+use crate::pstate::Pstate;
+use crate::ArchLevel;
+use neve_core::{Disposition, NeveEngine};
+use neve_memsim::{FrameAlloc, PageTable, Perms};
+use neve_sysreg::bits::{esr, hcr, vttbr};
+use neve_sysreg::{RegId, SysReg};
+use std::collections::HashMap;
+
+/// Virtual address of the catch-all EL1 vector stub every harness loads.
+pub const VECTOR_BASE: u64 = 0x0F00_0000;
+
+/// Virtual address harness programs are loaded at.
+pub const PROGRAM_BASE: u64 = 0x10_0000;
+
+/// Physical address of the NEVE deferred-access page the harnesses use.
+pub const VNCR_PAGE: u64 = 0x0E00_0000;
+
+/// Base of the frame pool Stage-2 tables are allocated from.
+pub const STAGE2_POOL: u64 = 0x0C00_0000;
+
+/// Guest-visible scratch region (identity-mapped under Stage 2) that
+/// generated load/store traffic targets.
+pub const SCRATCH_BASE: u64 = 0x20_0000;
+
+/// A hypervisor that services every trap by skipping the instruction —
+/// the most adversarial-friendly host (never rejects anything).
+#[derive(Debug, Default)]
+pub struct SkipHyp;
+
+impl Hypervisor for SkipHyp {
+    fn handle_sync(&mut self, m: &mut Machine, cpu: usize, info: ExitInfo) {
+        if esr::ec(info.esr) != esr::EC_HVC64 {
+            m.core_mut(cpu)
+                .regs
+                .write(SysReg::ElrEl2, info.elr.wrapping_add(4));
+        }
+    }
+    fn handle_irq(&mut self, _m: &mut Machine, _cpu: usize) {}
+}
+
+/// A KVM-shaped emulating host: trapped system-register accesses are
+/// emulated per the NEVE architectural disposition, trapped MMIO loads
+/// complete with a fixed pattern, and interrupts are acknowledged and
+/// completed. See the module docs for why this makes ARMv8.3 and NEVE
+/// runs of the same program guest-visibly identical.
+#[derive(Debug, Default)]
+pub struct EmulHyp {
+    /// The in-memory virtual-EL2 register context (the moral equivalent
+    /// of KVM's in-memory vcpu sysreg array): every access whose NEVE
+    /// disposition is `Trap`/`Passthrough` lands here on read and write.
+    vregs: HashMap<RegId, u64>,
+    /// Synchronous traps serviced.
+    pub sync_traps: u64,
+    /// IRQ traps serviced.
+    pub irq_traps: u64,
+}
+
+/// The value trapped MMIO loads complete with (any fixed pattern works;
+/// it only has to be the *same* pattern on every machine under compare).
+const MMIO_READ_PATTERN: u64 = 0x5151_5151_5151_5151;
+
+impl EmulHyp {
+    /// A fresh host with an empty virtual-EL2 context.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Reads the virtual-EL2 context (unwritten registers read as 0).
+    pub fn vreg(&self, id: RegId) -> u64 {
+        self.vregs.get(&id).copied().unwrap_or(0)
+    }
+
+    /// Emulates one trapped system-register access the way NEVE hardware
+    /// would have *handled* it (deferred to the access page, redirected
+    /// to the EL1 counterpart, or kept in the virtual-EL2 context).
+    fn emulate_sysreg(&mut self, m: &mut Machine, cpu: usize, iss: u64) {
+        let Some((id, write, rt)) = neve_sysreg::regcode::parse_sysreg_iss(iss) else {
+            return;
+        };
+        // The guest hypervisor's (virtual) VHE-ness selects the
+        // TCR_EL2/TTBR0_EL2 treatment, exactly as the in-machine NEVE
+        // engine decides it (NV1 clear = the host runs a VHE guest).
+        let vhe_guest = id.is_vhe_alias() || m.core(cpu).regs.read(SysReg::HcrEl2) & hcr::NV1 == 0;
+        match NeveEngine::architectural_disposition(id, write, vhe_guest) {
+            Disposition::Memory { offset } => {
+                // Same slot NEVE hardware would have used, so a
+                // write-then-read round-trips identically on both
+                // architectures — and so does final memory.
+                let addr = VNCR_PAGE + u64::from(offset);
+                if write {
+                    let v = m.core(cpu).gpr(rt);
+                    m.hyp_mem_write(addr, v);
+                } else {
+                    let v = m.hyp_mem_read(addr);
+                    m.core_mut(cpu).set_gpr(rt, v);
+                }
+            }
+            Disposition::RedirectEl1(t) => {
+                if write {
+                    let v = m.core(cpu).gpr(rt);
+                    m.hyp_write(cpu, t, v);
+                } else {
+                    let v = m.hyp_read(cpu, t);
+                    m.core_mut(cpu).set_gpr(rt, v);
+                }
+            }
+            Disposition::Trap | Disposition::Passthrough => {
+                // Virtual-EL2 context — except SGI generation, which is
+                // a real side effect (virtual IPIs) the host performs.
+                if id.base_reg() == SysReg::IccSgi1rEl1 && write {
+                    let v = m.core(cpu).gpr(rt);
+                    let intid = (v >> 24) & 0xf;
+                    let targets = (v & 0xffff) as u16;
+                    m.gic.dist.send_sgi(cpu, targets, intid as u32);
+                } else if write {
+                    let v = m.core(cpu).gpr(rt);
+                    self.vregs.insert(id, v);
+                } else {
+                    let v = self.vreg(id);
+                    m.core_mut(cpu).set_gpr(rt, v);
+                }
+            }
+        }
+    }
+}
+
+impl Hypervisor for EmulHyp {
+    fn handle_sync(&mut self, m: &mut Machine, cpu: usize, info: ExitInfo) {
+        self.sync_traps += 1;
+        match esr::ec(info.esr) {
+            esr::EC_SYSREG => {
+                let iss = esr::iss(info.esr);
+                if iss == 1 {
+                    // The TLB-maintenance marker: perform the flush the
+                    // guest hypervisor asked for.
+                    let vmid = vttbr::vmid(m.core(cpu).regs.read(SysReg::VttbrEl2));
+                    m.hyp_tlbi_vmid(vmid);
+                } else {
+                    self.emulate_sysreg(m, cpu, iss);
+                }
+                m.core_mut(cpu)
+                    .regs
+                    .write(SysReg::ElrEl2, info.elr.wrapping_add(4));
+            }
+            esr::EC_DABT_LOW => {
+                // Stage-2 abort (the MMIO emulation path): complete
+                // loads with the fixed pattern, discard stores, skip.
+                if let Some(req) = m.take_mmio(cpu) {
+                    if !req.write {
+                        m.complete_mmio_read(cpu, req, MMIO_READ_PATTERN);
+                    }
+                }
+                m.core_mut(cpu)
+                    .regs
+                    .write(SysReg::ElrEl2, info.elr.wrapping_add(4));
+            }
+            esr::EC_HVC64 => {
+                // Preferred return is already the next instruction.
+            }
+            _ => {
+                // eret-from-virtual-EL2, wfx, smc, svc-with-TGE...: skip.
+                m.core_mut(cpu)
+                    .regs
+                    .write(SysReg::ElrEl2, info.elr.wrapping_add(4));
+            }
+        }
+    }
+
+    fn handle_irq(&mut self, m: &mut Machine, cpu: usize) {
+        self.irq_traps += 1;
+        // Acknowledge and complete every deliverable interrupt so a
+        // burst of generated IPIs drains instead of storming.
+        for _ in 0..64 {
+            match m.gic.dist.ack(cpu) {
+                Some(id) => m.gic.dist.eoi(cpu, id),
+                None => break,
+            }
+        }
+    }
+}
+
+/// Builds the standard single-core harness machine: `program` loaded at
+/// its own base, a catch-all EL1 vector stub at [`VECTOR_BASE`], the
+/// core parked at [`PROGRAM_BASE`] in `el` with `hcr_bits` installed.
+pub fn harness_machine(program: Program, arch: ArchLevel, hcr_bits: u64, el: u8) -> Machine {
+    let mut m = Machine::new(MachineConfig {
+        arch,
+        ncpus: 1,
+        mem_size: 1 << 28,
+        cost: Default::default(),
+    });
+    // A catch-all vector so EL1 exceptions land somewhere executable.
+    let mut v = Asm::new(VECTOR_BASE);
+    for _ in 0..0x200 {
+        v.i(Instr::Nop);
+    }
+    v.i(Instr::Halt(0xe));
+    m.load(v.assemble());
+    m.load(program);
+    m.core_mut(0).pstate = Pstate {
+        el,
+        irq_masked: true,
+        fiq_masked: true,
+    };
+    m.core_mut(0).pc = PROGRAM_BASE;
+    m.core_mut(0).regs.write(SysReg::VbarEl1, VECTOR_BASE);
+    m.core_mut(0).regs.write(SysReg::HcrEl2, hcr_bits);
+    m
+}
+
+/// Installs an identity-mapped Stage-2 regime for `cpu`: tables built
+/// from the [`STAGE2_POOL`] frame pool, 2 MiB block mappings over all of
+/// RAM *except* the table pool and the deferred-access page (a guest
+/// store must never be able to corrupt host-owned structures — reaching
+/// them Stage-2 aborts instead), and `VTTBR_EL2` pointing at the root
+/// with `vmid`. Returns the root physical address.
+pub fn install_stage2(m: &mut Machine, cpu: usize, vmid: u16) -> u64 {
+    const BLOCK: u64 = 2 << 20;
+    let mut frames = FrameAlloc::new(STAGE2_POOL, 64 * 4096);
+    let root = frames.alloc().expect("stage-2 frame pool exhausted");
+    m.mem.zero_page(root);
+    let table = PageTable { root };
+    let limit = m.mem.limit().min(1 << 30);
+    let mut ipa = 0;
+    while ipa < limit {
+        let host_owned = (STAGE2_POOL..STAGE2_POOL + BLOCK).contains(&ipa)
+            || (VNCR_PAGE..VNCR_PAGE + BLOCK).contains(&ipa);
+        if !host_owned {
+            table.map_block(&mut m.mem, &mut frames, ipa, ipa, Perms::RWX);
+        }
+        ipa += BLOCK;
+    }
+    m.core_mut(cpu)
+        .regs
+        .write(SysReg::VttbrEl2, vttbr::build(vmid, root));
+    root
+}
+
+/// Virtual address the guest hypervisor's boot image is loaded at.
+pub const BOOT_BASE: u64 = 0x8_0000;
+
+/// Boots the guest hypervisor on `cpu`: runs a canonical init sequence
+/// (configure the virtual-EL2 view — thread pointer, vector base, timer
+/// control —, warm the Stage-2 scratch mappings, invalidate stale
+/// translations, settle) under an emulating host, then parks the core
+/// at [`PROGRAM_BASE`] ready to execute the loaded program.
+///
+/// Fuzzing campaigns snapshot *after* this call: restoring a snapshot
+/// replaces machine construction, Stage-2 installation *and* this boot,
+/// which is exactly why a restore-per-case loop beats rebuilding.
+///
+/// # Panics
+///
+/// Panics if the boot image does not run to its halt (which would mean
+/// the harness is misconfigured, not that a guest found a bug).
+pub fn boot_harness(m: &mut Machine, cpu: usize) {
+    let mut b = Asm::new(BOOT_BASE);
+    // The virtual-EL2 view a guest hypervisor's init path sets up.
+    b.i(Instr::MovImm(0, 0x1000));
+    b.i(Instr::Msr(RegId::Plain(SysReg::TpidrEl2), 0));
+    b.i(Instr::MovImm(0, VECTOR_BASE));
+    b.i(Instr::Msr(RegId::Plain(SysReg::VbarEl2), 0));
+    b.i(Instr::MovImm(0, 3));
+    b.i(Instr::Msr(RegId::Plain(SysReg::CnthctlEl2), 0));
+    // Warm the scratch region (faults in the Stage-2 walks now, not
+    // during the first fuzz case).
+    b.i(Instr::MovImm(1, SCRATCH_BASE));
+    for k in 0..8 {
+        b.i(Instr::MovImm(2, k));
+        b.i(Instr::Str(2, 1, (k * 8) as i64));
+    }
+    // Drop translations staled by init, then settle (the boot-time
+    // busy work — page-table writes, device probing — every real init
+    // path performs before entering its main loop).
+    b.i(Instr::TlbiVmall);
+    for _ in 0..480 {
+        b.i(Instr::Work(3));
+    }
+    b.i(Instr::Halt(0));
+    m.load(b.assemble());
+
+    let entry_pc = m.core(cpu).pc;
+    m.core_mut(cpu).pc = BOOT_BASE;
+    let mut h = EmulHyp::new();
+    let out = m.run(&mut h, cpu, 4_096);
+    assert_eq!(
+        out,
+        crate::machine::StepOutcome::Halted(0),
+        "boot image did not run to completion: {out:?}"
+    );
+    m.core_mut(cpu).halted = None;
+    m.core_mut(cpu).pc = entry_pc;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::StepOutcome;
+    use neve_sysreg::bits::hcr;
+
+    fn nv_hcr(neve: bool) -> u64 {
+        hcr::VM | hcr::IMO | hcr::NV | hcr::NV1 | if neve { hcr::NV2 } else { 0 }
+    }
+
+    fn program(instrs: &[Instr]) -> Program {
+        let mut a = Asm::new(PROGRAM_BASE);
+        for &i in instrs {
+            a.i(i);
+        }
+        a.i(Instr::Halt(1));
+        a.assemble()
+    }
+
+    /// The module's whole reason to exist: the same guest-hypervisor
+    /// program, run on ARMv8.3 under `EmulHyp` and on NEVE hardware,
+    /// ends in the same guest-visible state.
+    #[test]
+    fn emul_hyp_keeps_v83_and_neve_guest_visibly_identical() {
+        let prog = program(&[
+            Instr::MovImm(1, 0xabcd),
+            Instr::Msr(RegId::Plain(SysReg::TpidrEl2), 1),
+            Instr::Mrs(2, RegId::Plain(SysReg::TpidrEl2)),
+            Instr::MovImm(3, 0x40),
+            Instr::Msr(RegId::Plain(SysReg::VbarEl2), 3),
+            Instr::Mrs(4, RegId::Plain(SysReg::VbarEl2)),
+            Instr::TlbiVmall,
+            Instr::Mrs(5, RegId::Plain(SysReg::CnthctlEl2)),
+        ]);
+        let mut v83 = harness_machine(prog.clone(), ArchLevel::V8_3, nv_hcr(false), 1);
+        let mut neve = harness_machine(prog, ArchLevel::V8_4, nv_hcr(true), 1);
+        let raw = neve_core::VncrEl2::enabled_at(VNCR_PAGE).unwrap().raw();
+        neve.hyp_write(0, SysReg::VncrEl2, raw);
+
+        let mut h83 = EmulHyp::new();
+        let mut hnv = EmulHyp::new();
+        for _ in 0..200 {
+            if v83.step(&mut h83, 0) != StepOutcome::Executed {
+                break;
+            }
+        }
+        for _ in 0..200 {
+            if neve.step(&mut hnv, 0) != StepOutcome::Executed {
+                break;
+            }
+        }
+        for r in 0..31u8 {
+            assert_eq!(v83.core(0).gpr(r), neve.core(0).gpr(r), "x{r} diverged");
+        }
+        assert_eq!(v83.core(0).pc, neve.core(0).pc);
+        // NEVE eliminated the deferrable traps the v8.3 run took.
+        assert!(h83.sync_traps > hnv.sync_traps);
+        assert_eq!(
+            v83.deferrable_sysreg_traps(),
+            neve.vncr_deferrals() + neve.deferrable_sysreg_traps()
+        );
+    }
+
+    #[test]
+    fn boot_parks_the_core_at_the_program_with_el2_state_configured() {
+        let prog = program(&[Instr::Mrs(9, RegId::Plain(SysReg::TpidrEl2))]);
+        let mut m = harness_machine(prog, ArchLevel::V8_4, nv_hcr(true), 1);
+        install_stage2(&mut m, 0, 5);
+        let raw = neve_core::VncrEl2::enabled_at(VNCR_PAGE).unwrap().raw();
+        m.hyp_write(0, SysReg::VncrEl2, raw);
+        boot_harness(&mut m, 0);
+        assert_eq!(m.core(0).pc, PROGRAM_BASE);
+        assert_eq!(m.core(0).pstate.el, 1);
+        // Boot's scratch warms landed through Stage-2.
+        assert_eq!(m.mem.read_u64(SCRATCH_BASE + 8), 1);
+        // The program still runs (and sees the boot-time TPIDR_EL2,
+        // deferred to the access page by NEVE).
+        let mut h = EmulHyp::new();
+        assert_eq!(m.run(&mut h, 0, 100), StepOutcome::Halted(1));
+        assert_eq!(m.core(0).gpr(9), 0x1000);
+    }
+
+    #[test]
+    fn stage2_identity_mapping_translates_guest_stores() {
+        let prog = program(&[
+            Instr::MovImm(1, SCRATCH_BASE),
+            Instr::MovImm(2, 77),
+            Instr::Str(2, 1, 0),
+            Instr::Ldr(3, 1, 0),
+        ]);
+        let mut m = harness_machine(prog, ArchLevel::V8_4, nv_hcr(true), 1);
+        install_stage2(&mut m, 0, 5);
+        let mut h = EmulHyp::new();
+        let out = m.run(&mut h, 0, 100);
+        assert_eq!(out, StepOutcome::Halted(1));
+        assert_eq!(m.core(0).gpr(3), 77);
+        assert_eq!(m.mem.read_u64(SCRATCH_BASE), 77);
+    }
+
+    #[test]
+    fn stage2_refuses_to_map_host_owned_frames() {
+        let prog = program(&[
+            Instr::MovImm(1, STAGE2_POOL),
+            Instr::MovImm(2, 0xdead),
+            Instr::Str(2, 1, 0), // aborts: the table pool is unmapped
+        ]);
+        let mut m = harness_machine(prog, ArchLevel::V8_4, nv_hcr(true), 1);
+        let root = install_stage2(&mut m, 0, 5);
+        let before = m.mem.read_u64(root);
+        let mut h = EmulHyp::new();
+        let out = m.run(&mut h, 0, 100);
+        assert_eq!(out, StepOutcome::Halted(1));
+        // The store targeted STAGE2_POOL, which is also the root frame:
+        // had it landed, the first descriptor would now read 0xdead.
+        assert_eq!(m.mem.read_u64(root), before, "guest reached the tables");
+        assert_ne!(m.mem.read_u64(root), 0xdead);
+    }
+}

@@ -25,6 +25,8 @@
 pub mod check;
 pub mod cpu;
 pub mod fault;
+pub mod fuzzgen;
+pub mod host;
 pub mod isa;
 pub mod machine;
 pub mod pstate;
@@ -34,8 +36,11 @@ pub mod uop;
 pub use check::{Checker, Violation, ViolationKind};
 pub use cpu::CoreState;
 pub use fault::{FaultPlan, InjectedFault, Injection, BUILTIN_PLANS};
+pub use host::{boot_harness, harness_machine, install_stage2, EmulHyp, SkipHyp};
 pub use isa::{Asm, Instr, Label, Program, Special};
-pub use machine::{ExitInfo, Hypervisor, Machine, MachineConfig, MmioRequest, StepOutcome};
+pub use machine::{
+    ExitInfo, Hypervisor, Machine, MachineConfig, MachineSnapshot, MmioRequest, StepOutcome,
+};
 pub use pstate::Pstate;
 pub use trace::{Trace, TraceEvent};
 pub use uop::{CompiledProgram, Engine, Uop};

@@ -25,12 +25,13 @@ use crate::ArchLevel;
 use neve_core::{Disposition, NeveEngine};
 use neve_cycles::{CostModel, CostTable, CycleCounter, Event, Phase, TrapKind};
 use neve_gic::Gic;
-use neve_memsim::{walk, Access, PageTable, PhysMem, Tlb, TlbKey};
+use neve_memsim::{walk, Access, PageTable, PhysMem, Tlb, TlbKey, TlbSnapshot};
 use neve_sysreg::bits::{esr, hcr, vttbr};
 use neve_sysreg::classify::{neve_class, NeveClass};
 use neve_sysreg::{RegId, SysReg};
 use neve_vtimer::Timers;
 use std::cell::Cell;
+use std::sync::Arc;
 
 /// Machine construction parameters.
 #[derive(Debug, Clone)]
@@ -169,6 +170,32 @@ pub struct Machine {
     /// Per-core cached "no interrupt deliverable" verdicts for the
     /// micro-op engine's poll elision (see [`Machine::quiet_valid`]).
     quiet: Vec<PollQuiet>,
+    /// Monotonic snapshot stamp: [`Machine::snapshot`] bumps it, and
+    /// [`Machine::restore`] refuses a snapshot from a different stamp —
+    /// memory keeps only one copy-on-write window, so only the *latest*
+    /// snapshot is restorable.
+    snap_epoch: u64,
+}
+
+/// Everything [`Machine::restore`] needs to rewind the machine to the
+/// moment [`Machine::snapshot`] was called: architectural core state,
+/// devices, cycle accounting and the loaded programs. Guest memory is
+/// *not* copied here — it rewinds through the copy-on-write undo log in
+/// [`PhysMem`], so taking a snapshot is O(1) in memory size and restoring
+/// is proportional to the pages dirtied since.
+#[derive(Debug, Clone)]
+pub struct MachineSnapshot {
+    epoch: u64,
+    cores: Vec<CoreState>,
+    counter: CycleCounter,
+    tlb: TlbSnapshot,
+    gic: Gic,
+    timers: Timers,
+    steps: u64,
+    vncr_deferrals: u64,
+    deferrable_sysreg_traps: u64,
+    pending_mmio: Vec<Option<MmioRequest>>,
+    programs: Vec<Program>,
 }
 
 /// A cached "the interrupt poll would find nothing" verdict, valid
@@ -224,7 +251,109 @@ impl Machine {
             engine: Engine::default(),
             compiled: Vec::new(),
             quiet: vec![PollQuiet::default(); ncpus],
+            snap_epoch: 0,
             cfg,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Snapshot / restore.
+    // ------------------------------------------------------------------
+
+    /// Captures the machine's architectural state and opens the
+    /// copy-on-write window in guest memory.
+    ///
+    /// The snapshot owns clones of the core register files, PSTATE,
+    /// system registers, GIC, timers, TLB contents, cycle/trap
+    /// accounting, oracle counters, pending MMIO and the loaded program
+    /// list (cheap `Arc` clones). Memory itself is not copied: writes
+    /// after this call log their pre-image pages, so
+    /// [`Machine::restore`] costs time proportional to the dirty set.
+    ///
+    /// Only the most recent snapshot is restorable (memory keeps a
+    /// single undo window); taking a new snapshot invalidates older
+    /// handles, which [`Machine::restore`] enforces.
+    pub fn snapshot(&mut self) -> MachineSnapshot {
+        self.snap_epoch += 1;
+        self.mem.begin_snapshot();
+        let tlb = self.tlb.begin_snapshot();
+        MachineSnapshot {
+            epoch: self.snap_epoch,
+            cores: self.cores.clone(),
+            counter: self.counter.clone(),
+            tlb,
+            gic: self.gic.clone(),
+            timers: self.timers.clone(),
+            steps: self.steps,
+            vncr_deferrals: self.vncr_deferrals,
+            deferrable_sysreg_traps: self.deferrable_sysreg_traps,
+            pending_mmio: self.pending_mmio.clone(),
+            programs: self.programs.clone(),
+        }
+    }
+
+    /// Rewinds the machine to `snap`'s capture point. The copy-on-write
+    /// window stays open, so the same snapshot can be restored again —
+    /// the shape of a fuzzing loop (snapshot once, restore per case).
+    ///
+    /// A restored machine is bit-identical to the captured one for every
+    /// architectural observer: registers, PSTATE, memory, devices, TLB
+    /// contents (restored, not flushed, so post-restore walk charges
+    /// replay exactly), cycle accounting and step counts. Pure
+    /// performance state — fetch hints and the micro-op engine's cached
+    /// quiet verdicts — is invalidated instead, which an engine can
+    /// never observe architecturally. Observers (trace, fault plan,
+    /// checker) are *detached*: they record history, and the history
+    /// just rewound — a restore after a fault-corrupted run yields a
+    /// clean machine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `snap` is not the machine's most recent snapshot.
+    pub fn restore(&mut self, snap: &MachineSnapshot) {
+        assert_eq!(
+            snap.epoch, self.snap_epoch,
+            "restore of a stale snapshot (memory keeps one undo window)"
+        );
+        self.mem.restore_snapshot();
+        self.tlb.restore_snapshot(&snap.tlb);
+        self.cores.clone_from(&snap.cores);
+        self.counter.clone_from(&snap.counter);
+        self.gic.clone_from(&snap.gic);
+        self.timers.clone_from(&snap.timers);
+        self.steps = snap.steps;
+        self.vncr_deferrals = snap.vncr_deferrals;
+        self.deferrable_sysreg_traps = snap.deferrable_sysreg_traps;
+        self.pending_mmio.clone_from(&snap.pending_mmio);
+        // Observers are history, and the history just rewound.
+        self.trace = None;
+        self.fault_plan = None;
+        self.checker = None;
+        // Pure performance state: never architecturally observable, so
+        // invalidating is always safe (and cheaper than reasoning about
+        // whether the cached facts survived the rewind).
+        for h in &self.fetch_hints {
+            h.set(0);
+        }
+        for q in &mut self.quiet {
+            *q = PollQuiet::default();
+        }
+        // Programs changed since the snapshot (a fuzz case swapped one
+        // in): put the captured list back and rebuild the micro-op
+        // images. The common restore (same programs) skips the rebuild.
+        let same = self.programs.len() == snap.programs.len()
+            && self
+                .programs
+                .iter()
+                .zip(&snap.programs)
+                .all(|(a, b)| a.base == b.base && Arc::ptr_eq(&a.code, &b.code));
+        if !same {
+            self.programs = snap.programs.clone();
+            self.compiled = self
+                .programs
+                .iter()
+                .map(|p| uop::compile(p, &self.cost_table))
+                .collect();
         }
     }
 

@@ -6,28 +6,12 @@
 //! needs: everything a guest can do is either performed, trapped, or
 //! faulted — never undefined behaviour in the *simulator*.
 
+use neve_armv8::host::{harness_machine, SkipHyp};
 use neve_armv8::isa::{Asm, Instr, Program, Special};
-use neve_armv8::machine::{ExitInfo, Hypervisor, Machine, MachineConfig, StepOutcome};
-use neve_armv8::pstate::Pstate;
+use neve_armv8::machine::{Machine, MachineConfig, StepOutcome};
 use neve_armv8::ArchLevel;
-use neve_sysreg::bits::esr;
 use neve_sysreg::{RegId, SysReg};
 use proptest::prelude::*;
-
-/// A hypervisor that services every trap by skipping the instruction —
-/// the most adversarial-friendly host (never rejects anything).
-struct SkipHyp;
-
-impl Hypervisor for SkipHyp {
-    fn handle_sync(&mut self, m: &mut Machine, cpu: usize, info: ExitInfo) {
-        if esr::ec(info.esr) != esr::EC_HVC64 {
-            m.core_mut(cpu)
-                .regs
-                .write(SysReg::ElrEl2, info.elr.wrapping_add(4));
-        }
-    }
-    fn handle_irq(&mut self, _m: &mut Machine, _cpu: usize) {}
-}
 
 /// Strategy: one arbitrary (but assemblable) instruction.
 fn any_instr() -> impl Strategy<Value = Instr> {
@@ -82,30 +66,9 @@ fn any_sysreg() -> impl Strategy<Value = RegId> {
     })
 }
 
+/// The shared harness from `neve_armv8::host` (promoted from this file).
 fn machine_with(program: Program, arch: ArchLevel, hcr_bits: u64, el: u8) -> Machine {
-    let mut m = Machine::new(MachineConfig {
-        arch,
-        ncpus: 1,
-        mem_size: 1 << 28,
-        cost: Default::default(),
-    });
-    // A catch-all vector so EL1 exceptions land somewhere executable.
-    let mut v = Asm::new(0x0F00_0000);
-    for _ in 0..0x200 {
-        v.i(Instr::Nop);
-    }
-    v.i(Instr::Halt(0xe));
-    m.load(v.assemble());
-    m.load(program);
-    m.core_mut(0).pstate = Pstate {
-        el,
-        irq_masked: true,
-        fiq_masked: true,
-    };
-    m.core_mut(0).pc = 0x10_0000;
-    m.core_mut(0).regs.write(SysReg::VbarEl1, 0x0F00_0000);
-    m.core_mut(0).regs.write(SysReg::HcrEl2, hcr_bits);
-    m
+    harness_machine(program, arch, hcr_bits, el)
 }
 
 proptest! {

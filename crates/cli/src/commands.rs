@@ -88,6 +88,7 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         "figure2" => figure2_cmd(&p),
         "trace" => trace_cmd(&p),
         "faults" => faults_cmd(&p),
+        "fuzz" => fuzz_cmd(&p),
         "check" => check_cmd(&p),
         "bench-sim" => bench_sim_cmd(&p),
         "help" | "-h" | "--help" => {
@@ -110,6 +111,9 @@ USAGE:
                                                         with trap provenance
     neve faults  [--seed N] [--jobs N] [--budget N] [--smoke] [--fail-fast]
                                                         fault-injection campaign
+    neve fuzz    [--seed N] [--cases N] [--jobs N] [--smoke]
+                 [--corpus-dir D] [--replay FILE]       coverage-guided fuzzing
+                                                        with snapshot/restore
     neve check   [--smoke] [--jobs N] [--no-cache]      correctness oracles:
                                                         differential v8.3-vs-NEVE
                                                         lockstep, trap algebra,
@@ -146,6 +150,20 @@ baseline), or mis-measured (completed with silently wrong numbers).
 --smoke runs a small grid twice and verifies the reports are
 byte-identical; --fail-fast stops at the first detected fault and
 exits non-zero.
+
+`neve fuzz` runs the coverage-guided nested-virt fuzzing campaign:
+seeded guest-hypervisor-shaped programs execute from an O(dirty-pages)
+machine snapshot on three lockstep testbeds (reference interpreter and
+micro-op engine on NEVE hardware, reference interpreter on ARMv8.3)
+with the architectural invariant checker attached; coverage is the set
+of (trap-kind x phase x EL) provenance tuples and new-coverage cases
+seed a mutation round. Findings are delta-minimized and persisted as
+replayable JSON reproducers under results/fuzz_corpus/;
+`--replay FILE` re-runs one reproducer through the same oracle stack
+and exits non-zero if it no longer re-triggers. --smoke runs a small
+fixed-seed campaign twice and verifies the reports are byte-identical
+(the CI gate). A completed campaign exits zero; the findings *are* the
+product.
 
 `neve check` runs the correctness oracles: ARMv8.3-NV and NEVE stacks
 executed in lockstep with bit-identical architectural state demanded at
@@ -372,10 +390,10 @@ fn faults_cmd(p: &args::Parsed) -> Result<(), String> {
             b => Some(b),
         },
     };
-    let report = neve_workloads::run_campaign(&spec);
+    let report = neve_workloads::run_campaign(&spec)?;
     print!("{}", report.render());
     if spec.smoke {
-        let again = neve_workloads::run_campaign(&spec);
+        let again = neve_workloads::run_campaign(&spec)?;
         if again.render() != report.render() {
             return Err(
                 "fault campaign is not deterministic: two runs with the same \
@@ -387,6 +405,65 @@ fn faults_cmd(p: &args::Parsed) -> Result<(), String> {
     }
     if report.truncated {
         return Err("campaign stopped at the first detected fault (--fail-fast)".into());
+    }
+    Ok(())
+}
+
+/// Runs the coverage-guided fuzzing campaign (`neve fuzz`), or replays
+/// one persisted reproducer with `--replay FILE`.
+///
+/// Mirrors `neve faults`' CI contract: `--smoke` double-runs the
+/// campaign and demands byte-identical reports. A completed campaign
+/// exits zero — findings are the report's product, not harness
+/// failures; a `--replay` that no longer re-triggers exits non-zero
+/// (the reproducer went stale, which CI must notice).
+fn fuzz_cmd(p: &args::Parsed) -> Result<(), String> {
+    use neve_workloads::fuzz;
+
+    if let Some(path) = p.options.get("replay") {
+        let out = fuzz::replay(path)?;
+        return match &out.observed {
+            Some(f) if out.reproduced() => {
+                println!("reproduced {}: {}", f.kind.label(), f.detail);
+                Ok(())
+            }
+            Some(f) => Err(format!(
+                "--replay: {path} recorded `{}` but this run observed `{}`: {}",
+                out.expected.label(),
+                f.kind.label(),
+                f.detail
+            )),
+            None => Err(format!(
+                "--replay: {path} recorded `{}` but this run observed no finding",
+                out.expected.label()
+            )),
+        };
+    }
+
+    let smoke = p.has("smoke");
+    let default_jobs = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1) as u64;
+    let spec = fuzz::FuzzSpec {
+        seed: p.get_u64("seed", 0x7e1)?,
+        cases: p
+            .get_u64("cases", if smoke { 24 } else { 96 })?
+            .clamp(1, 100_000) as usize,
+        jobs: p.get_u64("jobs", default_jobs)?.max(1) as usize,
+        corpus_dir: Some(p.get("corpus-dir", fuzz::CORPUS_DIR).to_string()),
+    };
+    let report = fuzz::run_fuzz(&spec)?;
+    print!("{}", report.render());
+    if smoke {
+        let again = fuzz::run_fuzz(&spec)?;
+        if again.render() != report.render() {
+            return Err(
+                "fuzz campaign is not deterministic: two runs with the same seed \
+                 produced different reports"
+                    .into(),
+            );
+        }
+        println!("determinism check: second run is byte-identical");
     }
     Ok(())
 }
@@ -449,7 +526,10 @@ fn trace_cmd(p: &args::Parsed) -> Result<(), String> {
     };
     tb.m.attach_trace(MAX_CAPACITY);
     let (delta, n) = tb.run_region(iters);
-    let trace = tb.m.trace.take().expect("trace attached");
+    let trace =
+        tb.m.trace
+            .take()
+            .ok_or("internal: the trace detached during the measured run")?;
     let Measured {
         per_op,
         traps_by_kind,
@@ -593,6 +673,31 @@ mod tests {
     fn trace_rejects_x86() {
         assert!(dispatch(&sv(&["trace", "--config", "x86-vm"])).is_err());
         assert!(dispatch(&sv(&["trace", "x86-nested", "hypercall"])).is_err());
+    }
+
+    #[test]
+    fn fuzz_runs_a_tiny_campaign_and_replays_errors_structurally() {
+        let dir = std::env::temp_dir().join(format!("neve-fuzz-cli-{}", std::process::id()));
+        let dir_s = dir.display().to_string();
+        dispatch(&sv(&[
+            "fuzz",
+            "--cases",
+            "4",
+            "--seed",
+            "9",
+            "--jobs",
+            "2",
+            "--corpus-dir",
+            &dir_s,
+        ]))
+        .expect("tiny fuzz campaign");
+        std::fs::remove_dir_all(&dir).ok();
+        // --replay of a missing file names the file and fails.
+        let err = dispatch(&sv(&["fuzz", "--replay", "/no/such/repro.json"])).unwrap_err();
+        assert!(err.contains("/no/such/repro.json"), "unstructured: {err}");
+        // Bad numbers name the flag.
+        let err = dispatch(&sv(&["fuzz", "--cases", "lots"])).unwrap_err();
+        assert!(err.contains("--cases"), "flag not named: {err}");
     }
 
     #[test]

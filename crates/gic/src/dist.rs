@@ -49,6 +49,45 @@ pub struct Distributor {
     epoch: u64,
 }
 
+impl Clone for Distributor {
+    fn clone(&self) -> Self {
+        Self {
+            ncpus: self.ncpus,
+            banked: self.banked.clone(),
+            spis: self.spis.clone(),
+            spi_target: self.spi_target.clone(),
+            enabled: self.enabled,
+            pending_banked: self.pending_banked.clone(),
+            pending_spis: self.pending_spis,
+            epoch: self.epoch,
+        }
+    }
+
+    /// Allocation-free when shapes match (they always do between a
+    /// machine and its own snapshot): straight `memcpy` of the
+    /// interrupt state. Machine restore runs this per fuzz case.
+    fn clone_from(&mut self, source: &Self) {
+        self.ncpus = source.ncpus;
+        copy_vec(&mut self.banked, &source.banked);
+        copy_vec(&mut self.spis, &source.spis);
+        copy_vec(&mut self.spi_target, &source.spi_target);
+        self.enabled = source.enabled;
+        copy_vec(&mut self.pending_banked, &source.pending_banked);
+        self.pending_spis = source.pending_spis;
+        self.epoch = source.epoch;
+    }
+}
+
+/// `Vec` copy that reuses the destination buffer when lengths match.
+fn copy_vec<T: Copy>(dst: &mut Vec<T>, src: &[T]) {
+    if dst.len() == src.len() {
+        dst.copy_from_slice(src);
+    } else {
+        dst.clear();
+        dst.extend_from_slice(src);
+    }
+}
+
 impl Distributor {
     /// Creates a distributor for `ncpus` CPUs.
     pub fn new(ncpus: usize) -> Self {

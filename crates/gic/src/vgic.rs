@@ -33,7 +33,7 @@ pub const ICH_HCR_UIE: u64 = 1 << 1;
 pub const ICH_HCR_EOI: u64 = 1 << 2;
 
 /// Per physical CPU virtual-interface state.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 struct VirtIf {
     lrs: [ListRegister; NUM_LIST_REGS as usize],
     /// LRs whose interrupt the VM completed since the hypervisor last
@@ -67,6 +67,29 @@ pub struct Gic {
     /// Virtual-interface mutation count (list registers, `ICH_HCR`),
     /// folded into [`Gic::epoch`].
     vif_epoch: u64,
+}
+
+impl Clone for Gic {
+    fn clone(&self) -> Self {
+        Self {
+            dist: self.dist.clone(),
+            vifs: self.vifs.clone(),
+            vif_epoch: self.vif_epoch,
+        }
+    }
+
+    /// Allocation-free when shapes match (delegates to the
+    /// distributor's buffer-reusing `clone_from`); machine restore
+    /// runs this per fuzz case.
+    fn clone_from(&mut self, source: &Self) {
+        self.dist.clone_from(&source.dist);
+        if self.vifs.len() == source.vifs.len() {
+            self.vifs.copy_from_slice(&source.vifs);
+        } else {
+            self.vifs.clone_from(&source.vifs);
+        }
+        self.vif_epoch = source.vif_epoch;
+    }
 }
 
 impl Gic {

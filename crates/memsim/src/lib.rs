@@ -31,4 +31,4 @@ pub use table::{
     leaves, walk, Access, Fault, FaultKind, Leaf, MapError, PageTable, Perms, Translation,
     DESC_ADDR, DESC_TABLE, DESC_VALID,
 };
-pub use tlb::{Tlb, TlbEntry, TlbKey};
+pub use tlb::{Tlb, TlbEntry, TlbKey, TlbSnapshot};

@@ -34,17 +34,36 @@ impl Hasher for PageHasher {
     }
 }
 
-type PageMap = HashMap<u64, Box<[u8; PAGE_SIZE as usize]>, BuildHasherDefault<PageHasher>>;
+type Page = Box<[u8; PAGE_SIZE as usize]>;
+type PageMap = HashMap<u64, Page, BuildHasherDefault<PageHasher>>;
+
+/// Copy-on-write undo log for one outstanding snapshot window.
+///
+/// Maps page index to the page's content when the snapshot was taken
+/// (`None` when the page was not resident). Only first-touch writes pay
+/// the clone; restore replays the log, so its cost is proportional to the
+/// pages dirtied since the snapshot, not to total memory size.
+#[derive(Debug, Default)]
+struct UndoLog {
+    saved: HashMap<u64, Option<Page>, BuildHasherDefault<PageHasher>>,
+}
 
 /// Sparse physical memory: pages materialise on first write.
 ///
 /// Reads of never-written memory return zeroes, like fresh DRAM behind a
 /// zeroing allocator. A configurable size bound catches wild addresses
 /// early (a store at 2^60 is a simulator bug, not a feature).
+///
+/// An optional snapshot window ([`PhysMem::begin_snapshot`]) records the
+/// pre-image of every page touched after it opens; [`PhysMem::restore_snapshot`]
+/// rewinds memory to the snapshot point in time proportional to the dirty
+/// set. With no window open every write path skips the log behind a single
+/// `Option` check, so measurement runs are unaffected.
 #[derive(Debug, Default)]
 pub struct PhysMem {
     pages: PageMap,
     limit: u64,
+    undo: Option<UndoLog>,
 }
 
 impl PhysMem {
@@ -53,6 +72,78 @@ impl PhysMem {
         Self {
             pages: PageMap::default(),
             limit,
+            undo: None,
+        }
+    }
+
+    /// Opens a copy-on-write snapshot window at the current contents.
+    ///
+    /// O(1): no pages are copied until they are written. Re-opening while
+    /// a window is active discards the old window and re-baselines here.
+    pub fn begin_snapshot(&mut self) {
+        self.undo = Some(UndoLog::default());
+    }
+
+    /// True when a snapshot window is open.
+    pub fn snapshot_active(&self) -> bool {
+        self.undo.is_some()
+    }
+
+    /// Pages dirtied since the snapshot was taken.
+    pub fn dirty_pages(&self) -> usize {
+        self.undo.as_ref().map_or(0, |u| u.saved.len())
+    }
+
+    /// Rewinds memory to the state captured by [`Self::begin_snapshot`].
+    ///
+    /// Cost is proportional to the pages dirtied since the snapshot. The
+    /// window stays open (with an empty dirty set), so the same snapshot
+    /// can be restored repeatedly — the shape of a fuzzing loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no snapshot window is open.
+    pub fn restore_snapshot(&mut self) {
+        let undo = self
+            .undo
+            .as_mut()
+            .expect("restore_snapshot without begin_snapshot");
+        for (idx, saved) in undo.saved.drain() {
+            match saved {
+                Some(page) => {
+                    self.pages.insert(idx, page);
+                }
+                None => {
+                    self.pages.remove(&idx);
+                }
+            }
+        }
+    }
+
+    /// Closes the snapshot window without restoring; subsequent writes
+    /// stop paying the copy-on-write check.
+    pub fn end_snapshot(&mut self) {
+        self.undo = None;
+    }
+
+    /// Records the pre-image of page `idx` on its first write inside the
+    /// snapshot window. The common (no-window) case is one branch; the
+    /// logging itself stays out of line so the write hot paths do not
+    /// carry it.
+    #[inline(always)]
+    fn note_write(&mut self, idx: u64) {
+        if self.undo.is_some() {
+            self.note_write_slow(idx);
+        }
+    }
+
+    #[cold]
+    #[inline(never)]
+    fn note_write_slow(&mut self, idx: u64) {
+        if let Some(undo) = self.undo.as_mut() {
+            if let std::collections::hash_map::Entry::Vacant(e) = undo.saved.entry(idx) {
+                e.insert(self.pages.get(&idx).cloned());
+            }
         }
     }
 
@@ -86,6 +177,7 @@ impl PhysMem {
     /// Writes one byte.
     pub fn write_u8(&mut self, pa: u64, v: u8) {
         self.check(pa, 1);
+        self.note_write(pa / PAGE_SIZE);
         let page = self
             .pages
             .entry(pa / PAGE_SIZE)
@@ -117,6 +209,7 @@ impl PhysMem {
         self.check(pa, 8);
         let off = (pa % PAGE_SIZE) as usize;
         if off <= PAGE_SIZE as usize - 8 {
+            self.note_write(pa / PAGE_SIZE);
             let page = self
                 .pages
                 .entry(pa / PAGE_SIZE)
@@ -147,6 +240,7 @@ impl PhysMem {
     pub fn zero_page(&mut self, pa: u64) {
         assert_eq!(pa % PAGE_SIZE, 0, "zero_page needs page alignment");
         self.check(pa, PAGE_SIZE);
+        self.note_write(pa / PAGE_SIZE);
         self.pages.remove(&(pa / PAGE_SIZE));
     }
 }
@@ -202,5 +296,65 @@ mod tests {
     fn out_of_range_write_panics() {
         let mut m = PhysMem::new(0x1000);
         m.write_u8(0x1000, 1);
+    }
+
+    #[test]
+    fn snapshot_restore_rewinds_writes() {
+        let mut m = PhysMem::new(1 << 30);
+        m.write_u64(0x1000, 0xAAAA);
+        m.begin_snapshot();
+        m.write_u64(0x1000, 0xBBBB); // dirty an existing page
+        m.write_u64(0x5000, 0xCCCC); // materialise a fresh page
+        m.write_u8(0x5FFF, 7);
+        assert_eq!(m.dirty_pages(), 2);
+        m.restore_snapshot();
+        assert_eq!(m.read_u64(0x1000), 0xAAAA);
+        assert_eq!(m.read_u64(0x5000), 0);
+        assert_eq!(m.resident_pages(), 1, "fresh page evaporates on restore");
+    }
+
+    #[test]
+    fn snapshot_restores_repeatedly_from_same_baseline() {
+        let mut m = PhysMem::new(1 << 30);
+        m.write_u64(0x2000, 1);
+        m.begin_snapshot();
+        for round in 0..3u64 {
+            m.write_u64(0x2000, 100 + round);
+            m.write_u64(0x8000 + round * PAGE_SIZE, round);
+            m.restore_snapshot();
+            assert_eq!(m.read_u64(0x2000), 1, "round {round}");
+            assert_eq!(m.dirty_pages(), 0);
+        }
+    }
+
+    #[test]
+    fn snapshot_tracks_zero_page_and_straddling_writes() {
+        let mut m = PhysMem::new(1 << 30);
+        m.write_u64(0x3000, 42);
+        m.begin_snapshot();
+        m.zero_page(0x3000);
+        m.write_u64(2 * PAGE_SIZE - 4, u64::MAX); // straddles two pages
+        assert_eq!(m.dirty_pages(), 3);
+        m.restore_snapshot();
+        assert_eq!(m.read_u64(0x3000), 42);
+        assert_eq!(m.read_u64(2 * PAGE_SIZE - 4), 0);
+    }
+
+    #[test]
+    fn end_snapshot_stops_tracking() {
+        let mut m = PhysMem::new(1 << 30);
+        m.begin_snapshot();
+        assert!(m.snapshot_active());
+        m.end_snapshot();
+        assert!(!m.snapshot_active());
+        m.write_u64(0x4000, 9);
+        assert_eq!(m.dirty_pages(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "without begin_snapshot")]
+    fn restore_without_snapshot_panics() {
+        let mut m = PhysMem::new(1 << 30);
+        m.restore_snapshot();
     }
 }

@@ -25,6 +25,7 @@
 //! map-backed TLB produced.
 
 use crate::table::Perms;
+use std::collections::HashMap;
 
 /// TLB tag: translation regime + VMID + input page.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -68,12 +69,29 @@ pub struct TlbEntry {
 /// A conflicting insert deterministically evicts its set's occupant;
 /// capacity pressure is not a phenomenon the NEVE experiments depend
 /// on, but the bound keeps long simulations in check.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Tlb {
     sets: Vec<Option<(TlbKey, TlbEntry)>>,
     /// Occupied sets (kept so [`Tlb::len`] stays O(1)).
     len: usize,
     /// Last translation per CPU, grown on first use of each CPU index.
+    micro: Vec<Option<(TlbKey, TlbEntry)>>,
+    hits: u64,
+    misses: u64,
+    flushes: u64,
+    /// Copy-on-write undo log (see [`Tlb::begin_snapshot`]): pre-image
+    /// of every set mutated since the window opened. `None` when no
+    /// window is open, so the non-snapshot paths pay one branch.
+    undo: Option<HashMap<u32, Option<(TlbKey, TlbEntry)>>>,
+}
+
+/// The O(1)-sized part of a TLB snapshot: statistics and the per-CPU
+/// micro entries. Set contents are *not* copied — they rewind through
+/// the copy-on-write undo log, exactly like guest memory pages, so
+/// snapshotting a TLB never touches its (capacity-sized) set array.
+#[derive(Debug, Clone)]
+pub struct TlbSnapshot {
+    len: usize,
     micro: Vec<Option<(TlbKey, TlbEntry)>>,
     hits: u64,
     misses: u64,
@@ -96,6 +114,68 @@ impl Tlb {
             hits: 0,
             misses: 0,
             flushes: 0,
+            undo: None,
+        }
+    }
+
+    /// Opens a copy-on-write window and returns the small snapshot
+    /// state. From now on every set mutation logs its pre-image;
+    /// [`Tlb::restore_snapshot`] rewinds in time proportional to the
+    /// sets actually touched. Opening a new window forgets the old one.
+    pub fn begin_snapshot(&mut self) -> TlbSnapshot {
+        self.undo = Some(HashMap::new());
+        TlbSnapshot {
+            len: self.len,
+            micro: self.micro.clone(),
+            hits: self.hits,
+            misses: self.misses,
+            flushes: self.flushes,
+        }
+    }
+
+    /// Rewinds to the state captured by the matching
+    /// [`Tlb::begin_snapshot`]. The window stays open (with an empty
+    /// log) so the same snapshot can be restored repeatedly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no window is open.
+    pub fn restore_snapshot(&mut self, snap: &TlbSnapshot) {
+        let undo = self
+            .undo
+            .as_mut()
+            .expect("Tlb::restore_snapshot without begin_snapshot");
+        for (idx, pre) in undo.drain() {
+            self.sets[idx as usize] = pre;
+        }
+        self.len = snap.len;
+        self.micro.clone_from(&snap.micro);
+        self.hits = snap.hits;
+        self.misses = snap.misses;
+        self.flushes = snap.flushes;
+    }
+
+    /// Closes the copy-on-write window (mutations stop logging).
+    pub fn end_snapshot(&mut self) {
+        self.undo = None;
+    }
+
+    /// Logs `idx`'s pre-image if a window is open and this is the first
+    /// mutation of that set since it opened. The common (no-window) case
+    /// is one branch; the logging itself stays out of line so the hot
+    /// insert/flush paths do not carry it.
+    #[inline(always)]
+    fn note_set(&mut self, idx: usize) {
+        if self.undo.is_some() {
+            self.note_set_slow(idx);
+        }
+    }
+
+    #[cold]
+    #[inline(never)]
+    fn note_set_slow(&mut self, idx: usize) {
+        if let Some(undo) = &mut self.undo {
+            undo.entry(idx as u32).or_insert(self.sets[idx]);
         }
     }
 
@@ -146,6 +226,7 @@ impl Tlb {
     /// of the replaced (or re-inserted) key are dropped.
     pub fn insert(&mut self, key: TlbKey, entry: TlbEntry) {
         let set = key.set(self.sets.len());
+        self.note_set(set);
         if let Some((old, _)) = self.sets[set] {
             // Replacing a set occupant (same key or a conflict): any
             // CPU still holding the displaced translation must not
@@ -163,10 +244,20 @@ impl Tlb {
 
     /// Invalidates every entry of one VMID (`tlbi vmalls12e1`).
     pub fn flush_vmid(&mut self, vmid: u16) {
-        for s in &mut self.sets {
-            if matches!(s, Some((k, _)) if k.vmid == vmid) {
-                *s = None;
-                self.len -= 1;
+        if self.undo.is_some() {
+            for i in 0..self.sets.len() {
+                if matches!(self.sets[i], Some((k, _)) if k.vmid == vmid) {
+                    self.note_set_slow(i);
+                    self.sets[i] = None;
+                    self.len -= 1;
+                }
+            }
+        } else {
+            for s in &mut self.sets {
+                if matches!(s, Some((k, _)) if k.vmid == vmid) {
+                    *s = None;
+                    self.len -= 1;
+                }
             }
         }
         for m in &mut self.micro {
@@ -179,7 +270,16 @@ impl Tlb {
 
     /// Invalidates everything (`tlbi alle1`).
     pub fn flush_all(&mut self) {
-        self.sets.fill(None);
+        if self.undo.is_some() {
+            for i in 0..self.sets.len() {
+                if self.sets[i].is_some() {
+                    self.note_set_slow(i);
+                    self.sets[i] = None;
+                }
+            }
+        } else {
+            self.sets.fill(None);
+        }
         self.micro.fill(None);
         self.len = 0;
         self.flushes += 1;
@@ -394,6 +494,50 @@ mod tests {
         t.insert(key(1, 0x5000), entry(0xd000));
         assert_eq!(t.lookup_cpu(2, key(1, 0x5000)).unwrap().out_page, 0xd000);
         assert_eq!(t.lookup_cpu(5, key(1, 0x5000)).unwrap().out_page, 0xd000);
+    }
+
+    #[test]
+    fn snapshot_rewinds_inserts_flushes_and_stats() {
+        let mut t = Tlb::new(16);
+        t.insert(key(1, 0x1000), entry(0x8000));
+        assert!(t.lookup_cpu(0, key(1, 0x1000)).is_some());
+        let stats = t.stats();
+
+        let snap = t.begin_snapshot();
+        t.insert(key(2, 0x3000), entry(0x9000));
+        t.lookup(key(2, 0x3000));
+        t.flush_vmid(1);
+        t.flush_all();
+        assert!(t.is_empty());
+
+        t.restore_snapshot(&snap);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.stats(), stats);
+        assert!(t.lookup_cpu(0, key(1, 0x1000)).is_some());
+        assert!(t.lookup(key(2, 0x3000)).is_none());
+    }
+
+    #[test]
+    fn snapshot_restores_repeatedly_and_end_stops_logging() {
+        let mut t = Tlb::new(16);
+        let snap = t.begin_snapshot();
+        for round in 0..3 {
+            t.insert(key(0, 0x1000), entry(round));
+            t.restore_snapshot(&snap);
+            assert!(t.is_empty(), "round {round}");
+        }
+        t.end_snapshot();
+        t.insert(key(0, 0x1000), entry(9));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "without begin_snapshot")]
+    fn restore_without_window_panics() {
+        let mut t = Tlb::new(4);
+        let mut other = Tlb::new(4);
+        let snap = other.begin_snapshot();
+        t.restore_snapshot(&snap);
     }
 
     #[test]

@@ -131,13 +131,31 @@ fn reset_value(reg: SysReg) -> u64 {
 /// distinguish a register explicitly written with its reset value from
 /// one never touched, exactly as the previous `BTreeMap` representation
 /// did.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, PartialEq, Eq)]
 pub struct RegFile {
     values: Box<[u64; SLOTS]>,
     written: u128,
     /// Indexed registers beyond the dense family capacity. Nothing the
     /// modelled hardware exposes lands here; it keeps the API total.
     overflow: BTreeMap<SysReg, u64>,
+}
+
+impl Clone for RegFile {
+    fn clone(&self) -> Self {
+        Self {
+            values: self.values.clone(),
+            written: self.written,
+            overflow: self.overflow.clone(),
+        }
+    }
+
+    /// Allocation-free: reuses the existing dense array. Snapshot
+    /// restores run this per core, so it is a straight memcpy.
+    fn clone_from(&mut self, source: &Self) {
+        *self.values = *source.values;
+        self.written = source.written;
+        self.overflow.clone_from(&source.overflow);
+    }
 }
 
 /// `MIDR_EL1` value the simulator reports (an ARMv8 implementer code).

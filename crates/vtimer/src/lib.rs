@@ -103,7 +103,7 @@ impl Iterator for Firing {
 impl ExactSizeIterator for Firing {}
 
 /// Per-CPU timer bank.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Copy, Default)]
 struct CpuTimers {
     cntvoff: u64,
     vtimer: Timer,
@@ -119,6 +119,27 @@ pub struct Timers {
     cpus: Vec<CpuTimers>,
     /// Bumped on every mutation; see [`Timers::epoch`].
     epoch: u64,
+}
+
+impl Clone for Timers {
+    fn clone(&self) -> Self {
+        Self {
+            cpus: self.cpus.clone(),
+            epoch: self.epoch,
+        }
+    }
+
+    /// Allocation-free when shapes match (they always do between a
+    /// machine and its own snapshot); machine restore runs this per
+    /// fuzz case.
+    fn clone_from(&mut self, source: &Self) {
+        if self.cpus.len() == source.cpus.len() {
+            self.cpus.copy_from_slice(&source.cpus);
+        } else {
+            self.cpus.clone_from(&source.cpus);
+        }
+        self.epoch = source.epoch;
+    }
 }
 
 impl Timers {

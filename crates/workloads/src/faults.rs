@@ -238,14 +238,17 @@ fn classify(baseline: &CellResult, injected: CellResult) -> (Verdict, String) {
 }
 
 /// Stripes `keys` over `jobs` workers, running `f` on each; results
-/// come back keyed, so the merge is arrival-order independent.
-fn run_striped<K, F>(keys: &[K], jobs: usize, f: F) -> BTreeMap<usize, CellResult>
+/// come back keyed, so the merge is arrival-order independent. A
+/// worker panic surfaces as a structured error instead of poisoning
+/// the caller.
+fn run_striped<K, F>(keys: &[K], jobs: usize, f: F) -> Result<BTreeMap<usize, CellResult>, String>
 where
     K: Sync,
     F: Fn(&K) -> CellResult + Sync,
 {
     let jobs = jobs.max(1).min(keys.len().max(1));
     let mut merged = BTreeMap::new();
+    let mut panicked = false;
     std::thread::scope(|scope| {
         let workers: Vec<_> = (0..jobs)
             .map(|w| {
@@ -261,31 +264,41 @@ where
             })
             .collect();
         for worker in workers {
-            merged.extend(worker.join().expect("campaign worker panicked"));
+            match worker.join() {
+                Ok(chunk) => merged.extend(chunk),
+                Err(_) => panicked = true,
+            }
         }
     });
-    merged
+    if panicked {
+        return Err("campaign worker panicked; partial results discarded".into());
+    }
+    Ok(merged)
 }
 
 /// Runs the full injection campaign described by `spec`.
-pub fn run_campaign(spec: &CampaignSpec) -> CampaignReport {
+///
+/// # Errors
+///
+/// Reports a worker panic or an unknown built-in plan name as a
+/// structured error (both indicate harness bugs, not findings).
+pub fn run_campaign(spec: &CampaignSpec) -> Result<CampaignReport, String> {
     let (cells, plans) = grid(spec.smoke);
     let budget = spec.step_budget.unwrap_or(DEFAULT_CAMPAIGN_BUDGET);
 
     // Fault-free baselines, one per cell (the recovery reference).
-    let baselines = run_striped(&cells, spec.jobs, |&(c, b)| run_cell(c, b, None, budget));
+    let baselines = run_striped(&cells, spec.jobs, |&(c, b)| run_cell(c, b, None, budget))?;
 
     // The injected grid, in deterministic (config, bench, plan) order.
-    let units: Vec<(usize, &'static str, FaultPlan)> = cells
-        .iter()
-        .enumerate()
-        .flat_map(|(i, _)| {
-            plans.iter().map(move |&plan| {
-                let p = FaultPlan::builtin(plan, spec.seed).expect("built-in plan name");
-                (i, plan, p)
-            })
-        })
-        .collect();
+    let mut units: Vec<(usize, &'static str, FaultPlan)> =
+        Vec::with_capacity(cells.len() * plans.len());
+    for i in 0..cells.len() {
+        for &plan in &plans {
+            let p = FaultPlan::builtin(plan, spec.seed)
+                .ok_or_else(|| format!("internal: unknown built-in fault plan `{plan}`"))?;
+            units.push((i, plan, p));
+        }
+    }
 
     let mut entries = Vec::with_capacity(units.len());
     let mut truncated = false;
@@ -311,7 +324,7 @@ pub fn run_campaign(spec: &CampaignSpec) -> CampaignReport {
         let outcomes = run_striped(&units, spec.jobs, |(cell_idx, _, p)| {
             let (config, bench) = cells[*cell_idx];
             run_cell(config, bench, Some(p), budget)
-        });
+        })?;
         for (i, outcome) in outcomes {
             let (cell_idx, plan, _) = &units[i];
             let (config, bench) = cells[*cell_idx];
@@ -326,12 +339,12 @@ pub fn run_campaign(spec: &CampaignSpec) -> CampaignReport {
         }
     }
 
-    CampaignReport {
+    Ok(CampaignReport {
         seed: spec.seed,
         step_budget: budget,
         entries,
         truncated,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -349,8 +362,8 @@ mod tests {
 
     #[test]
     fn smoke_campaign_is_deterministic_and_complete() {
-        let a = run_campaign(&smoke_spec(2017));
-        let b = run_campaign(&smoke_spec(2017));
+        let a = run_campaign(&smoke_spec(2017)).unwrap();
+        let b = run_campaign(&smoke_spec(2017)).unwrap();
         assert_eq!(a.render(), b.render(), "same seed must replay identically");
         // 2 configs x 2 benches x 3 plans, nothing dropped.
         assert_eq!(a.entries.len(), 12);
@@ -359,8 +372,8 @@ mod tests {
 
     #[test]
     fn seeds_change_the_schedule() {
-        let a = run_campaign(&smoke_spec(1));
-        let b = run_campaign(&smoke_spec(2));
+        let a = run_campaign(&smoke_spec(1)).unwrap();
+        let b = run_campaign(&smoke_spec(2)).unwrap();
         // Different injection steps; entry counts match but the reports
         // should not be forced equal. (They can coincide in principle,
         // but not for these seeds — this guards against the seed being
@@ -374,7 +387,7 @@ mod tests {
             fail_fast: true,
             ..smoke_spec(2017)
         };
-        let r = run_campaign(&spec);
+        let r = run_campaign(&spec).unwrap();
         let detections: Vec<_> = r
             .entries
             .iter()

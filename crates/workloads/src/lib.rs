@@ -29,6 +29,7 @@
 pub mod apps;
 pub mod cache;
 pub mod faults;
+pub mod fuzz;
 pub mod oracle;
 pub mod platforms;
 pub mod provenance;
@@ -40,6 +41,7 @@ pub mod throughput;
 pub use apps::{figure2, WorkloadProfile, WorkloadRow, WORKLOADS};
 pub use cache::{load_or_measure, MatrixSource, CACHE_PATH};
 pub use faults::{run_campaign, CampaignReport, CampaignSpec, Verdict};
+pub use fuzz::{run_fuzz, FuzzReport, FuzzSpec, CORPUS_DIR};
 pub use oracle::{
     diff_pair, engine_lockstep, golden_diff, run_checks, trap_algebra, OracleReport, PairReport,
 };
