@@ -32,6 +32,14 @@ fi
 echo "==> correctness oracles (differential + engine lockstep + trap algebra + golden tables)"
 cargo run -q -p neve-cli --offline --bin neve -- check --smoke
 
+echo "==> consolidation smoke (event-wheel tick rig, double-run + --jobs byte-identity)"
+micro_md5_before=$(md5sum results/micro_matrix.json)
+cargo run -q -p neve-cli --offline --bin neve -- consolidate --smoke
+echo "$micro_md5_before" | md5sum -c --quiet - || {
+    echo "results/micro_matrix.json changed under the consolidation rig" >&2
+    exit 1
+}
+
 echo "==> throughput smoke (matrix byte-identity + steps/sec)"
 cargo run -q -p neve-bench --offline --release --bin sim_throughput -- --smoke
 

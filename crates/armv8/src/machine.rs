@@ -23,7 +23,7 @@ use crate::trace::{Trace, TraceEvent};
 use crate::uop::{self, CompiledProgram, Engine, Uop};
 use crate::ArchLevel;
 use neve_core::{Disposition, NeveEngine};
-use neve_cycles::{CostModel, CostTable, CycleCounter, Event, Phase, TrapKind};
+use neve_cycles::{CostModel, CostTable, CycleCounter, Event, Phase, Rank, TrapKind, Waker, Wheel};
 use neve_gic::Gic;
 use neve_memsim::{walk, Access, PageTable, PhysMem, Tlb, TlbKey, TlbSnapshot};
 use neve_sysreg::bits::{esr, hcr, vttbr};
@@ -175,6 +175,19 @@ pub struct Machine {
     /// memory keeps only one copy-on-write window, so only the *latest*
     /// snapshot is restorable.
     snap_epoch: u64,
+    /// The discrete-event wheel: exact wake-ups for parked cores.
+    wheel: Wheel,
+    /// Per-core park state: `Some(waker)` while the core sits in WFI
+    /// with the run loop skipping it entirely (see [`Machine::park`]).
+    parked: Vec<Option<Waker>>,
+    /// The cpus a wheel-driven run loop should step, sorted ascending.
+    /// Exactly the complement of `parked`; maintained incrementally so
+    /// a loop over it costs nothing per parked core.
+    runnable: Vec<usize>,
+    /// The `(timers, gic)` epoch pair last examined by
+    /// [`Machine::service_wakeups`]; an unchanged pair proves no device
+    /// mutation since, so the rescan of parked cores is skipped.
+    serviced_epochs: (u64, u64),
 }
 
 /// Everything [`Machine::restore`] needs to rewind the machine to the
@@ -196,6 +209,10 @@ pub struct MachineSnapshot {
     deferrable_sysreg_traps: u64,
     pending_mmio: Vec<Option<MmioRequest>>,
     programs: Vec<Program>,
+    wheel: Wheel,
+    parked: Vec<Option<Waker>>,
+    runnable: Vec<usize>,
+    serviced_epochs: (u64, u64),
 }
 
 /// A cached "the interrupt poll would find nothing" verdict, valid
@@ -252,6 +269,10 @@ impl Machine {
             compiled: Vec::new(),
             quiet: vec![PollQuiet::default(); ncpus],
             snap_epoch: 0,
+            wheel: Wheel::new(),
+            parked: vec![None; ncpus],
+            runnable: (0..ncpus).collect(),
+            serviced_epochs: (0, 0),
             cfg,
         }
     }
@@ -289,6 +310,10 @@ impl Machine {
             deferrable_sysreg_traps: self.deferrable_sysreg_traps,
             pending_mmio: self.pending_mmio.clone(),
             programs: self.programs.clone(),
+            wheel: self.wheel.clone(),
+            parked: self.parked.clone(),
+            runnable: self.runnable.clone(),
+            serviced_epochs: self.serviced_epochs,
         }
     }
 
@@ -325,6 +350,15 @@ impl Machine {
         self.vncr_deferrals = snap.vncr_deferrals;
         self.deferrable_sysreg_traps = snap.deferrable_sysreg_traps;
         self.pending_mmio.clone_from(&snap.pending_mmio);
+        // Scheduler state rewinds with everything else: a wheel event
+        // posted after the snapshot would otherwise fire against the
+        // restored (earlier) clock — the stale-event use-after-restore
+        // bug — and a core parked after the snapshot would stay
+        // invisibly skipped forever.
+        self.wheel.clone_from(&snap.wheel);
+        self.parked.clone_from(&snap.parked);
+        self.runnable.clone_from(&snap.runnable);
+        self.serviced_epochs = snap.serviced_epochs;
         // Observers are history, and the history just rewound.
         self.trace = None;
         self.fault_plan = None;
@@ -354,6 +388,173 @@ impl Machine {
                 .iter()
                 .map(|p| uop::compile(p, &self.cost_table))
                 .collect();
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Discrete-event scheduling.
+    //
+    // The wheel-driven run loop protocol:
+    //
+    //   1. Step only the cpus in `runnable()`.
+    //   2. A step returning `Wfi` -> `park(hyp, cpu)`; parked cores
+    //      drop out of `runnable` and cost zero host work.
+    //   3. After each step, `service_wakeups(hyp)` — O(1) when nothing
+    //      happened: it compares two epoch words and peeks the wheel.
+    //   4. When `runnable()` is empty, `advance_to_wake(hyp)` jumps the
+    //      clock (as `Phase::Idle` cycles) to the earliest pending
+    //      event; `false` means no event is armed — a real deadlock.
+    //
+    // Everything here is deterministic: wake order is the wheel's
+    // `(time, rank, cpu, seq)` total order, and the epoch rescan walks
+    // cpus in index order. The scheduler only decides *when* a core is
+    // stepped; the step itself charges exactly what it always charged,
+    // which is why the recorded microbenchmark matrices are
+    // bit-identical under it.
+    // ------------------------------------------------------------------
+
+    /// Parks `cpu` after a step returned [`StepOutcome::Wfi`]: the core
+    /// leaves the runnable set and registers a [`Waker`] (its earliest
+    /// armed timer deadline plus the device epochs it observed).
+    ///
+    /// Polls interrupts first — between the WFI step and this call
+    /// another core may have made an interrupt deliverable, and parking
+    /// on top of it would sleep through a wake that already happened.
+    /// Returns `false` (not parked) in that case.
+    pub fn park(&mut self, hyp: &mut dyn Hypervisor, cpu: usize) -> bool {
+        if self.parked[cpu].is_some() {
+            return true;
+        }
+        if self.poll_interrupts(cpu, hyp) || !self.cores[cpu].wfi {
+            return false;
+        }
+        let now = self.counter.cycles();
+        let wake_at = self.timers.next_fire_at(cpu, now);
+        self.parked[cpu] = Some(Waker {
+            wake_at,
+            timers_epoch: self.timers.epoch_of(cpu),
+            gic_epoch: self.gic.epoch_of(cpu),
+        });
+        if wake_at != u64::MAX {
+            self.wheel.post(wake_at, Rank::Timer, cpu);
+        }
+        self.runnable.retain(|&c| c != cpu);
+        true
+    }
+
+    /// The cpus a wheel-driven run loop should step: every core not
+    /// parked, sorted ascending.
+    pub fn runnable(&self) -> &[usize] {
+        &self.runnable
+    }
+
+    /// True while `cpu` is parked (skipped by wheel-driven run loops).
+    pub fn is_parked(&self, cpu: usize) -> bool {
+        self.parked[cpu].is_some()
+    }
+
+    /// Wakes `cpu` out of WFI unconditionally (PSCI `CPU_ON`, explicit
+    /// kicks): clears the wait flag and returns the core to the
+    /// runnable set. Any wheel event it left behind becomes stale and
+    /// is dropped when popped.
+    pub fn kick(&mut self, cpu: usize) {
+        self.cores[cpu].wfi = false;
+        self.unpark(cpu);
+    }
+
+    fn unpark(&mut self, cpu: usize) {
+        if self.parked[cpu].take().is_some() {
+            if let Err(i) = self.runnable.binary_search(&cpu) {
+                self.runnable.insert(i, cpu);
+            }
+        }
+    }
+
+    /// Re-polls a parked core. Unparks (returning `true`) when the poll
+    /// delivers or the wait flag was cleared behind its back; otherwise
+    /// refreshes the waker in place — the deadline may have moved — and
+    /// leaves the core parked.
+    fn try_unpark(&mut self, hyp: &mut dyn Hypervisor, cpu: usize) -> bool {
+        if self.poll_interrupts(cpu, hyp) || !self.cores[cpu].wfi {
+            self.unpark(cpu);
+            return true;
+        }
+        let now = self.counter.cycles();
+        let wake_at = self.timers.next_fire_at(cpu, now);
+        let refreshed = Waker {
+            wake_at,
+            timers_epoch: self.timers.epoch_of(cpu),
+            gic_epoch: self.gic.epoch_of(cpu),
+        };
+        let prev = self.parked[cpu].replace(refreshed);
+        if prev.is_none_or(|p| p.wake_at != wake_at) && wake_at != u64::MAX {
+            self.wheel.post(wake_at, Rank::Timer, cpu);
+        }
+        false
+    }
+
+    /// Delivers every wake-up that is due: pops due wheel events (exact
+    /// timer deadlines) in `(time, rank, cpu, seq)` order, and — only
+    /// when a device epoch moved since the last call — re-polls the
+    /// parked cores whose *own* wake inputs changed (an SGI targeting
+    /// them, their timer bank re-armed, their SPI retargeted). Returns
+    /// true if any core rejoined the runnable set.
+    ///
+    /// Two cost tiers keep this affordable after every step: nothing
+    /// happened is O(1) (one epoch-pair compare), and a world switch on
+    /// a running core — which churns its own timers and list registers
+    /// every trap — costs one cached-u64 compare per parked core, never
+    /// a re-poll. Only a change that actually touches a parked core's
+    /// per-CPU epochs reaches `try_unpark`.
+    pub fn service_wakeups(&mut self, hyp: &mut dyn Hypervisor) -> bool {
+        let mut woke = false;
+        let now = self.counter.cycles();
+        while let Some(ev) = self.wheel.pop_due(now) {
+            // Events for cores that already woke some other way are
+            // stale; the park state is authoritative.
+            if self.parked[ev.cpu].is_some() {
+                woke |= self.try_unpark(hyp, ev.cpu);
+            }
+        }
+        let epochs = (self.timers.epoch(), self.gic.epoch());
+        if epochs != self.serviced_epochs {
+            self.serviced_epochs = epochs;
+            for cpu in 0..self.parked.len() {
+                let Some(w) = self.parked[cpu] else { continue };
+                if w.timers_epoch != self.timers.epoch_of(cpu)
+                    || w.gic_epoch != self.gic.epoch_of(cpu)
+                {
+                    woke |= self.try_unpark(hyp, cpu);
+                }
+            }
+        }
+        woke
+    }
+
+    /// With every core parked, jumps the clock to the next pending
+    /// event and delivers it. The skipped window is charged as
+    /// [`Phase::Idle`] cycles: simulated time passes, host work does
+    /// not. Returns `false` when no event can ever wake the machine
+    /// (every core in WFI with nothing armed — a guest deadlock).
+    pub fn advance_to_wake(&mut self, hyp: &mut dyn Hypervisor) -> bool {
+        loop {
+            let Some(ev) = self.wheel.pop() else {
+                return false;
+            };
+            if self.parked[ev.cpu].is_none() {
+                continue; // stale
+            }
+            let now = self.counter.cycles();
+            if ev.time > now {
+                let prev = self.counter.set_phase(Phase::Idle);
+                self.counter.advance(ev.time - now);
+                self.counter.set_phase(prev);
+            }
+            if self.try_unpark(hyp, ev.cpu) {
+                return true;
+            }
+            // Spurious (e.g. the timer fired but the core keeps IRQs
+            // masked): the waker was refreshed, keep draining.
         }
     }
 
@@ -1591,8 +1792,10 @@ impl Machine {
             return StepOutcome::Executed;
         }
         if self.cores[cpu].wfi {
-            // Idle: model the core sleeping briefly so cross-CPU events
-            // make progress.
+            // Idle. A wheel-driven run loop reacts by parking the core
+            // ([`Machine::park`]) so it costs nothing until an event
+            // targets it; a legacy polling loop just sees `Wfi` again
+            // next round.
             self.counter.advance(0);
             return StepOutcome::Wfi;
         }

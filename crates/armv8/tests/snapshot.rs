@@ -181,31 +181,44 @@ fn restore_after_fault_plan_corruption_yields_clean_machine() {
 /// Restoring must be at least two orders of magnitude faster than
 /// rebuilding the testbed from scratch — this is what makes a
 /// restore-per-case fuzzing loop viable. Best-of-N on both sides to
-/// shield against scheduler noise.
+/// shield against scheduler noise; a restore is only a few µs, so one
+/// preemption by a sibling test inflates a sample by orders of
+/// magnitude — the whole measurement retries before the test fails.
 #[test]
 fn restore_is_100x_faster_than_testbed_rebuild() {
     use std::hint::black_box;
     use std::time::Instant;
 
-    let rebuild = || black_box(testbed(42, 32, Engine::Uop));
-    let mut rebuild_best = std::time::Duration::MAX;
-    for _ in 0..8 {
-        let t = Instant::now();
-        let m = rebuild();
-        rebuild_best = rebuild_best.min(t.elapsed());
-        drop(m);
-    }
+    let measure = || {
+        let rebuild = || black_box(testbed(42, 32, Engine::Uop));
+        let mut rebuild_best = std::time::Duration::MAX;
+        for _ in 0..8 {
+            let t = Instant::now();
+            let m = rebuild();
+            rebuild_best = rebuild_best.min(t.elapsed());
+            drop(m);
+        }
 
-    let mut m = testbed(42, 32, Engine::Uop);
-    let snap = m.snapshot();
-    let mut restore_best = std::time::Duration::MAX;
-    for _ in 0..32 {
-        let _ = observe(&mut m, 400); // dirty some pages
-        let t = Instant::now();
-        m.restore(black_box(&snap));
-        restore_best = restore_best.min(t.elapsed());
-    }
+        let mut m = testbed(42, 32, Engine::Uop);
+        let snap = m.snapshot();
+        let mut restore_best = std::time::Duration::MAX;
+        for _ in 0..32 {
+            let _ = observe(&mut m, 400); // dirty some pages
+            let t = Instant::now();
+            m.restore(black_box(&snap));
+            restore_best = restore_best.min(t.elapsed());
+        }
+        (restore_best, rebuild_best)
+    };
 
+    let mut last = measure();
+    for _ in 0..2 {
+        if last.0 * 100 <= last.1 {
+            break;
+        }
+        last = measure();
+    }
+    let (restore_best, rebuild_best) = last;
     assert!(
         restore_best * 100 <= rebuild_best,
         "restore {restore_best:?} not 100x faster than rebuild {rebuild_best:?}"

@@ -15,10 +15,12 @@
 //!   steps/sec for a quick configuration pair. Exits non-zero on any
 //!   mismatch; never writes `results/`.
 //! - `--guard`: the throughput-regression gate. Freshly measures the
-//!   nested ARM configurations and fails (exit 1) if any best-case
-//!   sample lands more than 20% below the steps/sec recorded in the
-//!   `current` section of `results/bench_throughput.json`. Never
-//!   writes `results/`.
+//!   nested ARM configurations plus the `bigsmp_idle` event-wheel
+//!   scenarios and fails (exit 1) if any best-case sample lands more
+//!   than 20% below the steps/sec recorded in
+//!   `results/bench_throughput.json`, or if the 64-vCPU mostly-idle
+//!   scenario falls more than 2x under the 8-vCPU one (idle cores
+//!   costing host work). Never writes `results/`.
 //!
 //! `--samples N` overrides the timed sample count (default 5).
 //! `--engine uop|interp` selects the step engine for the ARM cells:
@@ -29,7 +31,9 @@ use neve_armv8::Engine;
 use neve_cycles::CostModel;
 use neve_workloads::cache::{self, CACHE_PATH};
 use neve_workloads::platforms::{Config, MicroMatrix};
-use neve_workloads::throughput::{self, measure_config_with, ConfigThroughput, BENCH_PATH};
+use neve_workloads::throughput::{
+    self, measure_config_with, ConfigThroughput, ScenarioThroughput, BENCH_PATH,
+};
 use std::path::Path;
 
 fn usage() -> ! {
@@ -60,6 +64,18 @@ fn print_stats(stats: &[ConfigThroughput]) {
             s.config.label(),
             s.steps_per_sec(),
             s.ns_per_step(),
+            s.steps
+        );
+    }
+}
+
+fn print_scenarios(stats: &[ScenarioThroughput]) {
+    println!("\n{:<20} {:>14} {:>10}", "scenario", "steps/sec", "steps");
+    for s in stats {
+        println!(
+            "{:<20} {:>14.0} {:>10}",
+            s.label,
+            s.steps_per_sec(),
             s.steps
         );
     }
@@ -115,15 +131,23 @@ fn smoke(samples: usize, engine: Engine) {
 /// attempt saw: a genuine regression is slow in both, a co-tenant
 /// burst is not.
 fn guard(samples: usize, engine: Engine) {
-    let recorded = std::fs::read_to_string(BENCH_PATH)
-        .ok()
-        .and_then(|t| throughput::section_from_report(&t, "current"));
+    let report = std::fs::read_to_string(BENCH_PATH).ok();
+    let recorded = report
+        .as_deref()
+        .and_then(|t| throughput::section_from_report(t, "current"));
     let Some(recorded) = recorded else {
         // Nothing recorded yet (fresh checkout before the first full
         // run): the gate has no reference, so it passes vacuously.
         println!("no recorded `current` section in {BENCH_PATH}; guard skipped");
         return;
     };
+    // Reports recorded before the event wheel have no scenario
+    // section; the per-label bands then pass vacuously but the
+    // fresh-vs-fresh idle-scaling bound still applies.
+    let recorded_scenarios = report
+        .as_deref()
+        .and_then(throughput::scenarios_from_report)
+        .unwrap_or_default();
     let measure = || -> Vec<ConfigThroughput> {
         let mut c = criterion::Criterion::default();
         [Config::ArmNestedV83, Config::ArmNestedNeve]
@@ -132,18 +156,35 @@ fn guard(samples: usize, engine: Engine) {
             .collect()
     };
     let mut fresh = measure();
+    let mut fresh_scenarios = throughput::measure_scenarios(samples);
     print_stats(&fresh);
-    let mut bad = throughput::guard_regressions(&fresh, &recorded);
+    print_scenarios(&fresh_scenarios);
+    let verdict = |fresh: &[ConfigThroughput], scen: &[ScenarioThroughput]| -> Vec<String> {
+        let mut bad = throughput::guard_regressions(fresh, &recorded);
+        bad.extend(throughput::guard_scenario_regressions(
+            scen,
+            &recorded_scenarios,
+        ));
+        bad
+    };
+    let mut bad = verdict(&fresh, &fresh_scenarios);
     if !bad.is_empty() {
         println!("\nfirst attempt regressed; re-measuring once (host noise check)");
         let again = measure();
+        let again_scenarios = throughput::measure_scenarios(samples);
         print_stats(&again);
+        print_scenarios(&again_scenarios);
         for (f, a) in fresh.iter_mut().zip(&again) {
             if a.min_ns < f.min_ns {
                 f.min_ns = a.min_ns;
             }
         }
-        bad = throughput::guard_regressions(&fresh, &recorded);
+        for (f, a) in fresh_scenarios.iter_mut().zip(&again_scenarios) {
+            if a.min_ns < f.min_ns {
+                f.min_ns = a.min_ns;
+            }
+        }
+        bad = verdict(&fresh, &fresh_scenarios);
     }
     if !bad.is_empty() {
         eprintln!("\nFAIL: host throughput regressed:");
@@ -153,7 +194,8 @@ fn guard(samples: usize, engine: Engine) {
         std::process::exit(1);
     }
     println!(
-        "\nguard: all configurations within {:.0}% of the recorded steps/sec",
+        "\nguard: all configurations and scenarios within {:.0}% of the \
+         recorded steps/sec, idle scaling within bounds",
         throughput::GUARD_TOLERANCE * 100.0
     );
 }
@@ -212,7 +254,9 @@ fn main() {
     }
 
     let stats = throughput::measure_all_with(samples, engine);
+    let scenarios = throughput::measure_scenarios(samples);
     print_stats(&stats);
+    print_scenarios(&scenarios);
     if engine != Engine::default() {
         // A non-default engine is a manual experiment, not the report
         // artifact: writing it would make the recorded `current`
@@ -225,12 +269,12 @@ fn main() {
     let text = if record_baseline {
         // A baseline-only report: `current` mirrors the baseline until
         // a later default run replaces it.
-        throughput::report_json(&stats, Some(&stats))
+        throughput::report_json_with_scenarios(&stats, Some(&stats), &scenarios)
     } else {
         let baseline = existing
             .as_deref()
             .and_then(|t| throughput::section_from_report(t, "baseline"));
-        throughput::report_json(&stats, baseline.as_deref())
+        throughput::report_json_with_scenarios(&stats, baseline.as_deref(), &scenarios)
     };
     let path = Path::new(BENCH_PATH);
     if let Some(dir) = path.parent() {

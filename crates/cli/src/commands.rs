@@ -91,6 +91,7 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         "fuzz" => fuzz_cmd(&p),
         "check" => check_cmd(&p),
         "bench-sim" => bench_sim_cmd(&p),
+        "consolidate" => consolidate_cmd(&p),
         "help" | "-h" | "--help" => {
             print!("{}", HELP);
             Ok(())
@@ -120,6 +121,9 @@ USAGE:
                                                         golden-table diff
     neve bench-sim [--samples N] [--record-baseline]    host-side simulator
                    [--engine uop|interp]                throughput (steps/sec)
+    neve consolidate [--jobs N] [--smoke] [--json]      multi-VM consolidation
+                                                        table (VMs per host at
+                                                        <=5% tick overhead)
     neve help                                           this text
 
 CONFIGS:    vm v83 v83-vhe neve neve-vhe v83-xen neve-xen
@@ -186,6 +190,19 @@ uop (the pre-decoded micro-op IR, the default) or interp (the
 reference interpreter); a non-default engine prints the table without
 writing the report, so the recorded numbers always describe the
 default engine.
+
+`neve consolidate` measures what an *idle* guest costs its host: each
+configuration runs co-resident single-vCPU idle guests whose only
+activity is the host scheduler tick (the physical EL2 timer), driven
+on the discrete-event wheel so parked cores cost zero host work. From
+the busy simulated cycles per tick it derives the paper's
+consolidation figure — how many such idle guests one host core
+carries before their ticks exceed 5% of the core — for a plain VM,
+ARMv8.3 trap-and-emulate, and NEVE (non-VHE and VHE guest
+hypervisors). Full runs write results/consolidate.json; --smoke runs
+a reduced table twice and demands byte-identical reports (the CI
+gate, also exercised across --jobs fan-outs); --json prints the
+artifact instead of the table.
 ";
 
 fn micro(p: &args::Parsed) -> Result<(), String> {
@@ -330,6 +347,7 @@ fn bench_sim_cmd(p: &args::Parsed) -> Result<(), String> {
         other => return Err(format!("unknown engine `{other}` (expected uop or interp)")),
     };
     let stats = throughput::measure_all_with(samples, engine);
+    let scenarios = throughput::measure_scenarios(samples);
     println!(
         "{:<20} {:>14} {:>14} {:>10}",
         "config", "steps/sec", "ns/step", "steps"
@@ -343,6 +361,15 @@ fn bench_sim_cmd(p: &args::Parsed) -> Result<(), String> {
             s.steps
         );
     }
+    println!("\n{:<20} {:>14} {:>10}", "scenario", "steps/sec", "steps");
+    for s in &scenarios {
+        println!(
+            "{:<20} {:>14.0} {:>10}",
+            s.label,
+            s.steps_per_sec(),
+            s.steps
+        );
+    }
     if engine != Engine::default() {
         // Manual experiment: the recorded report must keep describing
         // the default engine.
@@ -351,12 +378,12 @@ fn bench_sim_cmd(p: &args::Parsed) -> Result<(), String> {
     }
     let existing = std::fs::read_to_string(BENCH_PATH).ok();
     let text = if p.has("record-baseline") {
-        throughput::report_json(&stats, Some(&stats))
+        throughput::report_json_with_scenarios(&stats, Some(&stats), &scenarios)
     } else {
         let baseline = existing
             .as_deref()
             .and_then(|t| throughput::section_from_report(t, "baseline"));
-        throughput::report_json(&stats, baseline.as_deref())
+        throughput::report_json_with_scenarios(&stats, baseline.as_deref(), &scenarios)
     };
     let path = std::path::Path::new(BENCH_PATH);
     if let Some(dir) = path.parent() {
@@ -406,6 +433,54 @@ fn faults_cmd(p: &args::Parsed) -> Result<(), String> {
     if report.truncated {
         return Err("campaign stopped at the first detected fault (--fail-fast)".into());
     }
+    Ok(())
+}
+
+/// Runs the multi-VM consolidation table (`neve consolidate`).
+///
+/// `--smoke` is the CI contract: a reduced table measured twice (the
+/// second time across a `--jobs` fan-out) with byte-identical renders
+/// demanded, and nothing written. Full runs record
+/// `results/consolidate.json`.
+fn consolidate_cmd(p: &args::Parsed) -> Result<(), String> {
+    use neve_workloads::{run_consolidate, ConsolidateSpec, CONSOLIDATE_PATH};
+    let smoke = p.has("smoke");
+    let mut spec = if smoke {
+        ConsolidateSpec::smoke()
+    } else {
+        ConsolidateSpec::full()
+    };
+    let default_jobs = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1) as u64;
+    spec.jobs = p.get_u64("jobs", default_jobs)?.max(1) as usize;
+    let report = run_consolidate(spec)?;
+    if p.has("json") {
+        print!("{}", report.to_json());
+    } else {
+        print!("{}", report.render());
+    }
+    if smoke {
+        // The determinism gate: same table from a serial run and from
+        // a different fan-out.
+        let again = run_consolidate(ConsolidateSpec {
+            jobs: if spec.jobs == 1 { 3 } else { 1 },
+            ..spec
+        })?;
+        if again.render() != report.render() {
+            return Err(
+                "consolidation table is not deterministic: two runs (different \
+                 --jobs) produced different reports"
+                    .into(),
+            );
+        }
+        println!("determinism check: second run (different --jobs) is byte-identical");
+        return Ok(());
+    }
+    report
+        .write()
+        .map_err(|e| format!("failed to write {CONSOLIDATE_PATH}: {e}"))?;
+    println!("\nwrote {CONSOLIDATE_PATH}");
     Ok(())
 }
 

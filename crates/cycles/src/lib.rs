@@ -21,10 +21,12 @@
 pub mod cost;
 pub mod counter;
 pub mod fault;
+pub mod sched;
 
 pub use cost::{ArmCosts, CostModel, CostTable, SoftwareCosts, X86Costs};
 pub use counter::{CounterSnapshot, CycleCounter, Delta, Measured};
 pub use fault::{FaultCause, SimFault};
+pub use sched::{EventKey, Rank, Waker, Wheel};
 
 /// Classification of a trap (exception taken to a hypervisor).
 ///
@@ -144,11 +146,17 @@ pub enum Phase {
     VncrRefresh,
     /// Hardware `eret` from EL2 back to the guest.
     TrapReturn,
+    /// Simulated idle time: the event-wheel run loop jumping the clock
+    /// over a window in which every core was parked (WFI/halted). No
+    /// instruction executes during these cycles; keeping them in their
+    /// own phase lets consolidation workloads separate "the host did
+    /// work" from "simulated time passed".
+    Idle,
 }
 
 impl Phase {
     /// Number of phases (flat-array sizing).
-    pub const COUNT: usize = 11;
+    pub const COUNT: usize = 12;
 
     /// Dense index in `0..COUNT` (declaration order, which matches
     /// [`Phase::all`]'s world-switch order).
@@ -158,7 +166,7 @@ impl Phase {
     }
 
     /// Every phase, in world-switch order.
-    pub fn all() -> [Phase; 11] {
+    pub fn all() -> [Phase; 12] {
         [
             Phase::Guest,
             Phase::TrapEntry,
@@ -171,6 +179,7 @@ impl Phase {
             Phase::EretEmul,
             Phase::VncrRefresh,
             Phase::TrapReturn,
+            Phase::Idle,
         ]
     }
 
@@ -188,6 +197,7 @@ impl Phase {
             Phase::EretEmul => "eret_emul",
             Phase::VncrRefresh => "vncr_refresh",
             Phase::TrapReturn => "trap_return",
+            Phase::Idle => "idle",
         }
     }
 

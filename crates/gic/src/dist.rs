@@ -47,6 +47,10 @@ pub struct Distributor {
     /// cache "nothing pending" verdicts and revalidate with a single
     /// load instead of re-scanning.
     epoch: u64,
+    /// Per-CPU mutation epochs: `epochs[cpu]` is bumped only by
+    /// changes that can alter `pending_for(cpu)` — banked state of
+    /// `cpu`, or an SPI targeting it. See [`Distributor::epoch_of`].
+    epochs: Vec<u64>,
 }
 
 impl Clone for Distributor {
@@ -60,6 +64,7 @@ impl Clone for Distributor {
             pending_banked: self.pending_banked.clone(),
             pending_spis: self.pending_spis,
             epoch: self.epoch,
+            epochs: self.epochs.clone(),
         }
     }
 
@@ -75,6 +80,7 @@ impl Clone for Distributor {
         copy_vec(&mut self.pending_banked, &source.pending_banked);
         self.pending_spis = source.pending_spis;
         self.epoch = source.epoch;
+        copy_vec(&mut self.epochs, &source.epochs);
     }
 }
 
@@ -101,6 +107,7 @@ impl Distributor {
             pending_banked: vec![0; ncpus],
             pending_spis: 0,
             epoch: 0,
+            epochs: vec![0; ncpus],
         }
     }
 
@@ -111,6 +118,33 @@ impl Distributor {
     #[inline]
     pub fn epoch(&self) -> u64 {
         self.epoch
+    }
+
+    /// The per-CPU mutation epoch: strictly increases across any state
+    /// change that could alter a future `pending_for(cpu)` answer for
+    /// *this* CPU, and holds still across changes that cannot (other
+    /// CPUs' banked state, SPIs targeting other CPUs). A parked core's
+    /// cached "nothing deliverable" verdict stays valid while this
+    /// value does not move.
+    #[inline]
+    pub fn epoch_of(&self, cpu: usize) -> u64 {
+        self.epochs[cpu]
+    }
+
+    /// Bumps both the global epoch and `cpu`'s epoch.
+    fn bump(&mut self, cpu: usize) {
+        self.epoch += 1;
+        self.epochs[cpu] += 1;
+    }
+
+    /// The one CPU whose `pending_for` answer can change when `intid`'s
+    /// state does: the banked owner, or the SPI's current target.
+    fn affected_cpu(&self, cpu: usize, intid: IntId) -> usize {
+        if intid < SPI_BASE {
+            cpu
+        } else {
+            self.spi_target[(intid - SPI_BASE) as usize]
+        }
     }
 
     /// CPUs attached.
@@ -138,13 +172,13 @@ impl Distributor {
 
     /// Enables an interrupt for `cpu` (banked) or globally (SPI).
     pub fn enable(&mut self, cpu: usize, intid: IntId) {
-        self.epoch += 1;
+        self.bump(self.affected_cpu(cpu, intid));
         self.state(cpu, intid).enabled = true;
     }
 
     /// Disables an interrupt.
     pub fn disable(&mut self, cpu: usize, intid: IntId) {
-        self.epoch += 1;
+        self.bump(self.affected_cpu(cpu, intid));
         self.state(cpu, intid).enabled = false;
     }
 
@@ -152,18 +186,25 @@ impl Distributor {
     pub fn set_spi_target(&mut self, intid: IntId, cpu: usize) {
         assert!((SPI_BASE..INTID_LIMIT).contains(&intid));
         assert!(cpu < self.ncpus);
-        self.epoch += 1;
+        // Both the old and the new target see a different
+        // `pending_for` answer after a retarget.
+        let old = self.spi_target[(intid - SPI_BASE) as usize];
+        self.bump(old);
+        if cpu != old {
+            self.bump(cpu);
+        }
         self.spi_target[(intid - SPI_BASE) as usize] = cpu;
     }
 
     /// Marks an SPI pending (a device raised its line).
     pub fn raise_spi(&mut self, intid: IntId) {
         assert!(intid >= SPI_BASE);
+        let target = self.spi_target[(intid - SPI_BASE) as usize];
         let s = self.state(0, intid);
         if !s.pending {
             s.pending = true;
             self.pending_spis += 1;
-            self.epoch += 1;
+            self.bump(target);
         }
     }
 
@@ -174,7 +215,7 @@ impl Distributor {
         if !s.pending {
             s.pending = true;
             self.pending_banked[cpu] += 1;
-            self.epoch += 1;
+            self.bump(cpu);
         }
     }
 
@@ -187,7 +228,7 @@ impl Distributor {
                 if !s.pending {
                     s.pending = true;
                     self.pending_banked[cpu] += 1;
-                    self.epoch += 1;
+                    self.bump(cpu);
                 }
             }
         }
@@ -231,7 +272,7 @@ impl Distributor {
     /// `ICC_IAR1_EL1` read): pending -> active.
     pub fn ack(&mut self, cpu: usize) -> Option<IntId> {
         let intid = self.pending_for(cpu)?;
-        self.epoch += 1;
+        self.bump(cpu);
         let s = self.state(cpu, intid);
         s.pending = false;
         s.active = true;
@@ -245,7 +286,9 @@ impl Distributor {
 
     /// Completes an interrupt (physical `ICC_EOIR1_EL1` write).
     pub fn eoi(&mut self, cpu: usize, intid: IntId) {
-        self.epoch += 1;
+        // Deactivation can unblock redelivery, which lands on the
+        // banked owner or the SPI target.
+        self.bump(self.affected_cpu(cpu, intid));
         self.state(cpu, intid).active = false;
     }
 
@@ -355,6 +398,42 @@ mod tests {
         let e4 = d.epoch();
         d.eoi(0, 3);
         assert!(d.epoch() > e4);
+    }
+
+    #[test]
+    fn per_cpu_epochs_move_only_for_affected_cpus() {
+        let mut d = Distributor::new(4);
+        let before: Vec<u64> = (0..4).map(|c| d.epoch_of(c)).collect();
+        // A banked raise touches its owner only.
+        d.enable(1, 27);
+        d.raise_banked(1, 27);
+        assert!(d.epoch_of(1) > before[1]);
+        for c in [0, 2, 3] {
+            assert_eq!(d.epoch_of(c), before[c], "cpu {c} unaffected");
+        }
+        // An SGI touches exactly its targets.
+        let e2 = d.epoch_of(2);
+        d.send_sgi(0, 0b0100, 5);
+        assert!(d.epoch_of(2) > e2);
+        assert_eq!(d.epoch_of(3), before[3]);
+        // SPI state follows the target CPU; a retarget touches both
+        // the old and the new target.
+        let (e0, e3) = (d.epoch_of(0), d.epoch_of(3));
+        d.raise_spi(40);
+        assert!(d.epoch_of(0) > e0, "SPI 40 targets cpu 0 by default");
+        assert_eq!(d.epoch_of(3), e3);
+        let (e0, e3) = (d.epoch_of(0), d.epoch_of(3));
+        d.set_spi_target(40, 3);
+        assert!(d.epoch_of(0) > e0);
+        assert!(d.epoch_of(3) > e3);
+        // Ack/EOI land on the delivery CPU.
+        d.enable(3, 40);
+        let e3 = d.epoch_of(3);
+        assert_eq!(d.ack(3), Some(40));
+        assert!(d.epoch_of(3) > e3);
+        let e3 = d.epoch_of(3);
+        d.eoi(3, 40);
+        assert!(d.epoch_of(3) > e3);
     }
 
     #[test]

@@ -67,6 +67,9 @@ pub struct Gic {
     /// Virtual-interface mutation count (list registers, `ICH_HCR`),
     /// folded into [`Gic::epoch`].
     vif_epoch: u64,
+    /// Per-CPU virtual-interface mutation counts, folded into
+    /// [`Gic::epoch_of`].
+    vif_epochs: Vec<u64>,
 }
 
 impl Clone for Gic {
@@ -75,6 +78,7 @@ impl Clone for Gic {
             dist: self.dist.clone(),
             vifs: self.vifs.clone(),
             vif_epoch: self.vif_epoch,
+            vif_epochs: self.vif_epochs.clone(),
         }
     }
 
@@ -89,6 +93,11 @@ impl Clone for Gic {
             self.vifs.clone_from(&source.vifs);
         }
         self.vif_epoch = source.vif_epoch;
+        if self.vif_epochs.len() == source.vif_epochs.len() {
+            self.vif_epochs.copy_from_slice(&source.vif_epochs);
+        } else {
+            self.vif_epochs.clone_from(&source.vif_epochs);
+        }
     }
 }
 
@@ -99,6 +108,7 @@ impl Gic {
             dist: Distributor::new(ncpus),
             vifs: vec![VirtIf::default(); ncpus],
             vif_epoch: 0,
+            vif_epochs: vec![0; ncpus],
         }
     }
 
@@ -109,6 +119,16 @@ impl Gic {
     #[inline]
     pub fn epoch(&self) -> u64 {
         self.vif_epoch + self.dist.epoch()
+    }
+
+    /// Per-CPU mutation epoch over `cpu`'s virtual interface and the
+    /// distributor state that can feed its deliveries. Holds still
+    /// while *other* CPUs churn their interfaces (every world switch
+    /// rewrites list registers), which is what lets a parked core's
+    /// cached wake verdict survive its neighbours' traps untouched.
+    #[inline]
+    pub fn epoch_of(&self, cpu: usize) -> u64 {
+        self.vif_epochs[cpu] + self.dist.epoch_of(cpu)
     }
 
     // --- Hypervisor control interface (ICH_*) ---
@@ -163,6 +183,7 @@ impl Gic {
     /// status registers are ignored, as in hardware.
     pub fn ich_write(&mut self, cpu: usize, reg: SysReg, value: u64) {
         self.vif_epoch += 1;
+        self.vif_epochs[cpu] += 1;
         let v = &mut self.vifs[cpu];
         match reg {
             SysReg::IchHcrEl2 => v.hcr = value,
@@ -196,6 +217,7 @@ impl Gic {
     /// this without hypervisor involvement.
     pub fn virq_ack(&mut self, cpu: usize) -> Option<IntId> {
         self.vif_epoch += 1;
+        self.vif_epochs[cpu] += 1;
         let v = &mut self.vifs[cpu];
         if v.hcr & ICH_HCR_EN == 0 {
             return None;
@@ -228,6 +250,7 @@ impl Gic {
     /// if a matching active LR was found.
     pub fn virq_eoi(&mut self, cpu: usize, vintid: IntId) -> bool {
         self.vif_epoch += 1;
+        self.vif_epochs[cpu] += 1;
         // Find the matching LR without holding a mutable borrow across
         // the distributor deactivation below.
         let idx = {
@@ -273,6 +296,7 @@ impl Gic {
     /// software and enable the underflow maintenance interrupt).
     pub fn inject_virq(&mut self, cpu: usize, vintid: IntId, priority: u8) -> Option<u8> {
         self.vif_epoch += 1;
+        self.vif_epochs[cpu] += 1;
         let v = &mut self.vifs[cpu];
         for (i, lr) in v.lrs.iter_mut().enumerate() {
             if lr.is_empty() {
@@ -432,6 +456,22 @@ mod tests {
         assert!(g.epoch() > e4, "distributor mutations show through");
         let e5 = g.epoch();
         assert_eq!(g.epoch(), e5, "reads leave the epoch alone");
+    }
+
+    #[test]
+    fn per_cpu_epoch_ignores_other_cpus_interface_churn() {
+        let mut g = Gic::new(2);
+        let e1 = g.epoch_of(1);
+        // cpu 0 churns its interface the way a world switch does:
+        // cpu 1's epoch must not move.
+        g.ich_write(0, SysReg::IchHcrEl2, ICH_HCR_EN);
+        g.inject_virq(0, 32, 0);
+        g.virq_ack(0);
+        g.virq_eoi(0, 32);
+        assert_eq!(g.epoch_of(1), e1);
+        // A change aimed at cpu 1 does move it.
+        g.ich_write(1, SysReg::IchHcrEl2, ICH_HCR_EN);
+        assert!(g.epoch_of(1) > e1);
     }
 
     #[test]

@@ -156,6 +156,50 @@ pub fn ipi_flag(payload_base: u64) -> u64 {
     payload_base + 0x8000
 }
 
+/// Idle payload: `wfi` forever, interrupts masked, nothing armed.
+///
+/// A core running this parks on the event wheel with no waker and
+/// costs exactly one step (the `wfi` itself) for an entire run — the
+/// big-SMP mostly-idle scenarios fill 8..64-vCPU guests with it.
+pub fn wfi_idle(base: u64) -> Program {
+    let mut a = Asm::new(base);
+    let top = a.label();
+    a.bind(top);
+    a.i(Instr::Wfi);
+    a.b(top);
+    a.assemble()
+}
+
+/// Interrupt-driven receiver: like [`ipi_receiver`] but the main loop
+/// sits in `wfi` instead of spinning, so between IPIs the core is
+/// parked and each delivery exercises the wheel's park/wake path
+/// (SGI -> GIC epoch bump -> rescan -> unpark -> vector -> `wfi`).
+///
+/// The image doubles as its own vector table (`VBAR_EL1` = `base`).
+pub fn wfi_receiver(base: u64, flag: u64) -> Program {
+    let mut a = Asm::new(base);
+    // Reset entry: jump over the vectors into the wait loop.
+    a.i(Instr::B(base + 0x300));
+    // IRQ from current EL (SP_ELx): offset 0x280.
+    a.org(0x280);
+    {
+        a.i(Instr::Mrs(2, RegId::Plain(SysReg::IccIar1El1)));
+        a.i(Instr::MovImm(3, flag));
+        a.i(Instr::Ldr(4, 3, 0));
+        a.i(Instr::AddImm(4, 4, 1));
+        a.i(Instr::Str(4, 3, 0));
+        a.i(Instr::Msr(RegId::Plain(SysReg::IccEoir1El1), 2));
+        a.i(Instr::Eret);
+    }
+    // The wait loop.
+    a.org(0x300);
+    let wait = a.label();
+    a.bind(wait);
+    a.i(Instr::Wfi);
+    a.b(wait);
+    a.assemble()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -927,7 +927,10 @@ impl HostHyp {
             irq_masked: true,
             fiq_masked: true,
         };
-        m.core_mut(target).wfi = false;
+        // `kick` rather than a bare `wfi = false`: the target may be
+        // parked on the event wheel, and CPU_ON must return it to the
+        // runnable set immediately.
+        m.kick(target);
         m.core_mut(cpu).set_gpr(0, PSCI_SUCCESS);
     }
 

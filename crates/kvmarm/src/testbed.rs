@@ -90,6 +90,11 @@ pub enum MicroBench {
         /// Device reads per transaction.
         ios: u8,
     },
+    /// Idle vCPU woken only by timer interrupts: the payload sits in
+    /// `wfi` forever and its vector acknowledges whatever fires. The
+    /// consolidation rig's shape — it never halts, so drive it with a
+    /// tick loop ([`TestBed::new_tick`]), not [`TestBed::run`].
+    Idle,
 }
 
 impl MicroBench {
@@ -200,6 +205,7 @@ impl TestBed {
             MicroBench::Mixed { work, hcs, ios } => {
                 m.load(guests::mixed(base, iters, work as u64, hcs, ios))
             }
+            MicroBench::Idle => m.load(guests::wfi_receiver(base, guests::ipi_flag(base))),
         }
     }
 
@@ -213,12 +219,16 @@ impl TestBed {
     fn payload_vbar(bench: MicroBench, base: u64, cpu: usize) -> u64 {
         match (bench, cpu) {
             (MicroBench::VirtualIpi, 1) => base + 0x4000,
+            (MicroBench::Idle, _) => base,
             _ => 0,
         }
     }
 
     fn payload_irqs_unmasked(bench: MicroBench, cpu: usize) -> bool {
-        matches!((bench, cpu), (MicroBench::VirtualIpi, 1))
+        matches!(
+            (bench, cpu),
+            (MicroBench::VirtualIpi, 1) | (MicroBench::Idle, _)
+        )
     }
 
     /// Single-level VM configuration.
@@ -561,10 +571,24 @@ impl TestBed {
         let mut steps: u64 = 0;
         loop {
             let out0 = self.m.step(&mut self.hyp, 0);
+            // A wake-up the sender's step made deliverable (its SGI
+            // bumps the GIC epoch) unparks the receiver before the
+            // burst decides whether to skip it.
+            self.m.service_wakeups(&mut self.hyp);
             // The receiver gets a burst of steps so delivery latency is
-            // not dominated by the interleave ratio.
+            // not dominated by the interleave ratio. A receiver that
+            // went to WFI parks instead of burning the burst polling
+            // it (the benchmark's own receiver spins and never takes
+            // this path; fault-injected or replayed variants do).
             for _ in 0..4 {
+                if self.m.is_parked(1) {
+                    break;
+                }
                 let r = self.m.step(&mut self.hyp, 1);
+                if r == StepOutcome::Wfi {
+                    self.m.park(&mut self.hyp, 1);
+                    continue;
+                }
                 if !matches!(r, StepOutcome::Executed | StepOutcome::Wfi) {
                     return Err(self.fault(
                         FaultCause::UnexpectedStop {
@@ -676,5 +700,196 @@ impl TestBed {
 
     fn fetch_at(&self, pc: u64) -> Option<Instr> {
         self.m.peek(pc)
+    }
+
+    // ------------------------------------------------------------------
+    // The discrete-event driver.
+    // ------------------------------------------------------------------
+
+    /// Big-SMP single-level VM: `vcpus` cores under the host
+    /// hypervisor, with cpu 0 doing the only real work.
+    ///
+    /// - `storm: false` — cpu 0 runs the hypercall loop; every other
+    ///   core executes `wfi` once and parks for the whole run (the
+    ///   mostly-idle shape the O(0)-idle claim is measured on).
+    /// - `storm: true` — cpu 0 sends `iters` SGIs to cpu 1, which
+    ///   waits in WFI between deliveries (each IPI exercises the full
+    ///   park/wake path); cores 2.. park forever.
+    ///
+    /// Drive it with [`TestBed::try_run_wheel`] until cpu 0 halts.
+    pub fn new_bigsmp(vcpus: usize, storm: bool, iters: u64) -> Self {
+        assert!(vcpus >= 2, "big-SMP needs at least a busy and an idle core");
+        let mut m = Machine::new(MachineConfig {
+            arch: ArchLevel::V8_0,
+            ncpus: vcpus,
+            mem_size: layout::RAM_SIZE,
+            cost: Default::default(),
+        });
+        let hyp = HostHyp::new(&mut m, vcpus, None);
+        let base = layout::L1_PAYLOAD_BASE;
+        let flag = guests::ipi_flag(base);
+        // The idle image sits past the IPI flag page so the shared
+        // counter never aliases code.
+        let idle_base = base + 0xc000;
+        let bench = if storm {
+            m.load(guests::ipi_sender(base, flag, iters));
+            m.load(guests::wfi_receiver(base + 0x4000, flag));
+            MicroBench::VirtualIpi
+        } else {
+            m.load(guests::hypercall(base, iters));
+            MicroBench::Hypercall
+        };
+        if vcpus > 2 || !storm {
+            m.load(guests::wfi_idle(idle_base));
+        }
+        for cpu in 0..vcpus {
+            let (entry, vbar, unmasked) = match (storm, cpu) {
+                (_, 0) => (base, 0, false),
+                (true, 1) => (base + 0x4000, base + 0x4000, true),
+                _ => (idle_base, 0, false),
+            };
+            m.core_mut(cpu).pstate = Pstate {
+                el: 1,
+                irq_masked: !unmasked,
+                fiq_masked: true,
+            };
+            m.core_mut(cpu).pc = entry;
+            m.core_mut(cpu).regs.write(SysReg::VbarEl1, vbar);
+            m.core_mut(cpu).regs.write(SysReg::HcrEl2, HCR_VM_RUN);
+            m.core_mut(cpu).regs.write(
+                SysReg::VttbrEl2,
+                vttbr::build(layout::VMID_L1, hyp.host_s2.root),
+            );
+            m.gic.ich_write(cpu, SysReg::IchHcrEl2, ICH_HCR_EN);
+        }
+        Self {
+            m,
+            hyp,
+            cfg: ArmConfig::Vm,
+            bench,
+            step_budget: DEFAULT_STEP_BUDGET,
+        }
+    }
+
+    /// Consolidation stack: `vcpus` idle vCPUs under one host
+    /// hypervisor, each one a full guest-hypervisor stack with an idle
+    /// nested VM (nested configurations) or a plain idle VM
+    /// ([`ArmConfig::Vm`]).
+    ///
+    /// Every payload sits in `wfi`; the only activity is whatever the
+    /// caller arms on the host's physical EL2 timers (the scheduler
+    /// tick, [`neve_vtimer::PPI_HPTIMER`]). The EL2 timer lives in no
+    /// world-switch roster, so a rig-armed deadline survives VM
+    /// entry/exit — unlike the EL1 virtual timer, which the guest
+    /// hypervisor's switch code save/restores. The payloads never
+    /// halt: drive the bed with a tick loop over
+    /// [`Machine::step`]/[`Machine::park`]/[`Machine::advance_to_wake`],
+    /// not [`TestBed::run`].
+    pub fn new_tick(cfg: ArmConfig, vcpus: usize) -> Self {
+        assert!(vcpus >= 1, "a consolidation stack needs at least one vCPU");
+        let bench = MicroBench::Idle;
+        let mut m = Machine::new(MachineConfig {
+            arch: cfg.arch(),
+            ncpus: vcpus,
+            mem_size: layout::RAM_SIZE,
+            cost: Default::default(),
+        });
+        let hyp = match cfg {
+            ArmConfig::Vm => Self::setup_vm(&mut m, bench, 0, vcpus),
+            ArmConfig::Nested {
+                guest_vhe,
+                neve,
+                para,
+            } => Self::setup_nested(
+                &mut m,
+                bench,
+                0,
+                vcpus,
+                NestedMode {
+                    guest_vhe,
+                    neve,
+                    para,
+                    gic_mmio: false,
+                    xen: false,
+                },
+            ),
+        };
+        Self {
+            m,
+            hyp,
+            cfg,
+            bench,
+            step_budget: DEFAULT_STEP_BUDGET,
+        }
+    }
+
+    /// Wheel-driven run loop: steps only the runnable set, parks cores
+    /// that hit WFI, services wake-ups after every step, and — when
+    /// every live core is parked — jumps the clock to the next pending
+    /// event instead of polling. A parked core costs zero host steps.
+    ///
+    /// Runs until `stop` returns true (checked between rounds), a core
+    /// crashes, or the step budget runs out. Cores that halt with
+    /// [`guests::DONE`] drop out of the round quietly. Returns the
+    /// number of host steps retired — the denominator of the big-SMP
+    /// throughput scenarios.
+    ///
+    /// # Errors
+    ///
+    /// A [`SimFault`] for a payload crash, fetch failure, budget
+    /// exhaustion, or a full-machine sleep with no event armed.
+    pub fn try_run_wheel<F>(&mut self, mut stop: F) -> Result<u64, SimFault>
+    where
+        F: FnMut(&Machine) -> bool,
+    {
+        self.m.refresh_cost_table();
+        let budget = self.step_budget;
+        let mut halted = vec![false; self.m.ncpus()];
+        let mut steps: u64 = 0;
+        let mut round: Vec<usize> = Vec::new();
+        loop {
+            if stop(&self.m) {
+                return Ok(steps);
+            }
+            round.clear();
+            round.extend(self.m.runnable().iter().copied().filter(|&c| !halted[c]));
+            if round.is_empty() {
+                // Every live core is parked: leap to the next event.
+                if !self.m.advance_to_wake(&mut self.hyp) {
+                    return Err(self.fault(
+                        FaultCause::UnexpectedStop {
+                            detail: "no runnable core and no pending event".into(),
+                        },
+                        steps,
+                    ));
+                }
+                continue;
+            }
+            for &cpu in &round {
+                match self.m.step(&mut self.hyp, cpu) {
+                    StepOutcome::Executed => {}
+                    StepOutcome::Wfi => {
+                        self.m.park(&mut self.hyp, cpu);
+                    }
+                    StepOutcome::Halted(code) if code == guests::DONE => halted[cpu] = true,
+                    StepOutcome::Halted(code) => {
+                        return Err(self.fault(FaultCause::PayloadCrash { code }, steps));
+                    }
+                    StepOutcome::FetchFailure(pc) => {
+                        return Err(self.fault(
+                            FaultCause::UnexpectedStop {
+                                detail: format!("fetch failure at {pc:#x}"),
+                            },
+                            steps,
+                        ));
+                    }
+                }
+                steps += 1;
+                if steps >= budget {
+                    return Err(self.fault(FaultCause::StepBudgetExhausted { budget }, steps));
+                }
+                self.m.service_wakeups(&mut self.hyp);
+            }
+        }
     }
 }

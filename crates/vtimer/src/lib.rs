@@ -119,6 +119,8 @@ pub struct Timers {
     cpus: Vec<CpuTimers>,
     /// Bumped on every mutation; see [`Timers::epoch`].
     epoch: u64,
+    /// Per-CPU mutation epochs; see [`Timers::epoch_of`].
+    epochs: Vec<u64>,
 }
 
 impl Clone for Timers {
@@ -126,6 +128,7 @@ impl Clone for Timers {
         Self {
             cpus: self.cpus.clone(),
             epoch: self.epoch,
+            epochs: self.epochs.clone(),
         }
     }
 
@@ -139,6 +142,11 @@ impl Clone for Timers {
             self.cpus.clone_from(&source.cpus);
         }
         self.epoch = source.epoch;
+        if self.epochs.len() == source.epochs.len() {
+            self.epochs.copy_from_slice(&source.epochs);
+        } else {
+            self.epochs.clone_from(&source.epochs);
+        }
     }
 }
 
@@ -148,6 +156,7 @@ impl Timers {
         Self {
             cpus: vec![CpuTimers::default(); ncpus],
             epoch: 0,
+            epochs: vec![0; ncpus],
         }
     }
 
@@ -157,6 +166,16 @@ impl Timers {
     #[inline]
     pub fn epoch(&self) -> u64 {
         self.epoch
+    }
+
+    /// Per-CPU mutation epoch: increases only on writes to `cpu`'s own
+    /// timer bank. Timer banks are fully independent, so a cached fact
+    /// about `cpu`'s timers (e.g. a parked core's wake deadline) stays
+    /// valid while this value holds still — even as other CPUs churn
+    /// their banks on every world switch.
+    #[inline]
+    pub fn epoch_of(&self, cpu: usize) -> u64 {
+        self.epochs[cpu]
     }
 
     /// Reads a timer system register on `cpu` with the physical counter
@@ -185,6 +204,7 @@ impl Timers {
     /// Writes a timer system register.
     pub fn write(&mut self, cpu: usize, reg: SysReg, value: u64) {
         self.epoch += 1;
+        self.epochs[cpu] += 1;
         let t = &mut self.cpus[cpu];
         match reg {
             SysReg::CntvoffEl2 => t.cntvoff = value,
@@ -396,6 +416,15 @@ mod tests {
     #[should_panic(expected = "not a timer register")]
     fn reading_non_timer_register_panics() {
         Timers::new(1).read(0, SysReg::HcrEl2, 0);
+    }
+
+    #[test]
+    fn per_cpu_epoch_moves_only_for_the_written_bank() {
+        let mut t = Timers::new(2);
+        let (e0, e1) = (t.epoch_of(0), t.epoch_of(1));
+        t.write(0, SysReg::CntvCvalEl0, 100);
+        assert!(t.epoch_of(0) > e0);
+        assert_eq!(t.epoch_of(1), e1, "cpu 1's bank untouched");
     }
 
     #[test]

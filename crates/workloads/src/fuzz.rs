@@ -985,6 +985,58 @@ mod tests {
     }
 
     #[test]
+    fn snapshot_mid_wfi_restores_pending_timer_wake() {
+        use neve_vtimer::PPI_VTIMER;
+        let mut m = build_machine(true, Engine::Interp).unwrap();
+        // An idle guest: park in `wfi`, halt once woken.
+        let mut a = Asm::new(PROGRAM_BASE);
+        a.i(Instr::Wfi);
+        a.i(Instr::Halt(1));
+        m.replace_program(a.assemble());
+        let mut h = EmulHyp::new();
+        let mut out = StepOutcome::Executed;
+        for _ in 0..64 {
+            out = m.step(&mut h, 0);
+            if out == StepOutcome::Wfi {
+                break;
+            }
+        }
+        assert_eq!(out, StepOutcome::Wfi, "guest never reached its wfi");
+        // Arm the EL1 virtual timer and park: the wake is now a
+        // pending wheel event a snapshot must carry.
+        let deadline = m.counter.cycles() + 10_000;
+        m.gic.dist.enable(0, PPI_VTIMER);
+        m.timers.write(0, SysReg::CntvCvalEl0, deadline);
+        m.timers.write(0, SysReg::CntvCtlEl0, 1);
+        assert!(m.park(&mut h, 0), "core with a future deadline must park");
+        let parked_at = m.counter.cycles();
+        let snap = m.snapshot();
+        // Original timeline: the wake is time-driven (the clock leapt
+        // to the timer deadline, `CNTVOFF`-adjusted by the wheel).
+        assert!(m.advance_to_wake(&mut h));
+        let woke_at = m.counter.cycles();
+        assert!(
+            woke_at >= deadline && woke_at > parked_at,
+            "wake at {woke_at} is not a forward leap to the armed deadline {deadline}"
+        );
+        assert!(!m.is_parked(0));
+        // Restored timeline: same pending event, same simulated time.
+        m.restore(&snap);
+        assert_eq!(m.counter.cycles(), parked_at);
+        assert!(m.is_parked(0), "restore must rewind to the parked state");
+        assert!(
+            m.advance_to_wake(&mut h),
+            "restored wheel lost the armed vtimer event"
+        );
+        assert_eq!(
+            m.counter.cycles(),
+            woke_at,
+            "restored wake landed at a different simulated time"
+        );
+        assert!(!m.is_parked(0));
+    }
+
+    #[test]
     fn campaign_observes_trap_coverage() {
         let r = run_fuzz(&spec(8, 2)).unwrap();
         assert!(

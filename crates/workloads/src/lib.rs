@@ -28,6 +28,7 @@
 
 pub mod apps;
 pub mod cache;
+pub mod consolidate;
 pub mod faults;
 pub mod fuzz;
 pub mod oracle;
@@ -40,15 +41,20 @@ pub mod throughput;
 
 pub use apps::{figure2, WorkloadProfile, WorkloadRow, WORKLOADS};
 pub use cache::{load_or_measure, MatrixSource, CACHE_PATH};
+pub use consolidate::{
+    run_consolidate, ConsolidateReport, ConsolidateRow, ConsolidateSpec, CONSOLIDATE_PATH,
+};
 pub use faults::{run_campaign, CampaignReport, CampaignSpec, Verdict};
 pub use fuzz::{run_fuzz, FuzzReport, FuzzSpec, CORPUS_DIR};
 pub use oracle::{
-    diff_pair, engine_lockstep, golden_diff, run_checks, trap_algebra, OracleReport, PairReport,
+    diff_pair, engine_lockstep, golden_diff, run_checks, trap_algebra, wheel_determinism,
+    OracleReport, PairReport,
 };
 pub use platforms::{Config, MeasureOpts, MicroCosts, MicroMatrix, PhaseStat};
 pub use replay::{replay_vs_model, Mix, ReplayResult};
 pub use session::{Bench, CellMeasurement, CellResult, SimSession};
 pub use tables::{table1, table6, table7, Cell, TableRow};
 pub use throughput::{
-    guard_regressions, measure_all, measure_all_with, ConfigThroughput, BENCH_PATH,
+    guard_regressions, guard_scenario_regressions, measure_all, measure_all_with,
+    measure_scenarios, ConfigThroughput, ScenarioThroughput, BENCH_PATH,
 };

@@ -20,7 +20,7 @@ use crate::session::Bench;
 use criterion::Criterion;
 use neve_armv8::Engine;
 use neve_json::JsonValue;
-use neve_kvmarm::TestBed;
+use neve_kvmarm::{guests, TestBed};
 use neve_x86vt::testbed::{X86Config, X86TestBed};
 use std::collections::BTreeMap;
 
@@ -41,7 +41,12 @@ pub const METHODOLOGY: &str = "One sample = run all four microbenchmarks (hyperc
      commit before the interpreter fast path (indexed fetch, \
      precomputed cost tables, micro-TLB, flat-array counters); the \
      current section is the working tree. speedup = current \
-     steps_per_sec / baseline steps_per_sec.";
+     steps_per_sec / baseline steps_per_sec. The scenarios section \
+     measures event-wheel shapes that are not evaluation-matrix \
+     configurations: bigsmp_idle_N runs an N-vCPU guest with one busy \
+     core (hypercall loop) and N-1 cores parked in wfi on the event \
+     wheel; steps = host steps retired by the wheel run loop, so idle \
+     cores that cost host work show up directly as lost steps/sec.";
 
 /// One configuration's measured throughput.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -172,6 +177,116 @@ pub fn measure_all_with(samples: usize, engine: Engine) -> Vec<ConfigThroughput>
         .collect()
 }
 
+/// vCPU counts of the recorded `bigsmp_idle` scenarios. The pair is
+/// the idle-core-cost axis: the guard asserts the 64-vCPU shape stays
+/// within [`BIGSMP_IDLE_SPREAD`]x of the 8-vCPU shape in host
+/// steps/sec, which only holds while parked cores are free.
+pub const BIGSMP_IDLE_VCPUS: [usize; 2] = [8, 64];
+
+/// Maximum tolerated fresh steps/sec ratio between the smallest and
+/// largest `bigsmp_idle` shapes (the ISSUE acceptance bound: 64 mostly
+/// idle vCPUs within 2x of 8).
+pub const BIGSMP_IDLE_SPREAD: f64 = 2.0;
+
+/// Busy-core hypercall iterations per `bigsmp_idle` sample — enough
+/// work that building 56 extra vCPUs of testbed state does not
+/// dominate the timing (the scenario measures run-loop cost, and the
+/// idle-scaling bound only reflects it once stepping dominates).
+pub const BIGSMP_IDLE_ITERS: u64 = 25_000;
+
+/// Scenario label for an N-vCPU mostly-idle guest.
+pub fn bigsmp_idle_label(vcpus: usize) -> String {
+    format!("bigsmp_idle_{vcpus}")
+}
+
+/// One event-wheel scenario's measured throughput. Unlike
+/// [`ConfigThroughput`] the subject is a named machine shape, not an
+/// evaluation-matrix configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioThroughput {
+    /// Scenario name (e.g. `bigsmp_idle_64`).
+    pub label: String,
+    /// Host steps retired by the wheel run loop per sample
+    /// (deterministic, asserted identical across samples).
+    pub steps: u64,
+    /// Median wall-clock nanoseconds per sample.
+    pub median_ns: u64,
+    /// Fastest sample.
+    pub min_ns: u64,
+    /// Slowest sample.
+    pub max_ns: u64,
+    /// Timed samples (warm-up excluded).
+    pub samples: usize,
+}
+
+impl ScenarioThroughput {
+    /// Host steps per second (median sample).
+    pub fn steps_per_sec(&self) -> f64 {
+        if self.median_ns == 0 {
+            return 0.0;
+        }
+        self.steps as f64 * 1e9 / self.median_ns as f64
+    }
+
+    /// Host steps per second of the fastest sample (what the guards
+    /// compare — see [`guard_regressions`] on why best-case).
+    pub fn best_steps_per_sec(&self) -> f64 {
+        if self.min_ns == 0 {
+            return 0.0;
+        }
+        self.steps as f64 * 1e9 / self.min_ns as f64
+    }
+}
+
+/// Runs one `bigsmp_idle` sample: builds the N-vCPU one-busy-core
+/// testbed and drains it on the event wheel until the busy core halts.
+/// Returns the host steps the run loop retired.
+///
+/// # Panics
+///
+/// Panics if the wheel run faults — like the matrix cells, throughput
+/// is only meaningful on a healthy tree.
+pub fn run_bigsmp_idle(vcpus: usize) -> u64 {
+    let mut tb = TestBed::new_bigsmp(vcpus, false, BIGSMP_IDLE_ITERS);
+    tb.try_run_wheel(|m| m.core(0).halted == Some(guests::DONE))
+        .unwrap_or_else(|f| panic!("bigsmp_idle_{vcpus}: {f}"))
+}
+
+/// Measures every recorded scenario with `samples` timed runs (plus
+/// one untimed warm-up run each).
+///
+/// # Panics
+///
+/// Panics if a run faults or the retired-step count varies across
+/// samples (a determinism violation).
+pub fn measure_scenarios(samples: usize) -> Vec<ScenarioThroughput> {
+    let mut c = Criterion::default();
+    BIGSMP_IDLE_VCPUS
+        .into_iter()
+        .map(|vcpus| {
+            let label = bigsmp_idle_label(vcpus);
+            c.sample_size(samples);
+            let mut step_counts: Vec<u64> = Vec::new();
+            let summary = c.measure(&label, |b| {
+                b.iter(|| step_counts.push(run_bigsmp_idle(vcpus)));
+            });
+            let steps = step_counts[0];
+            assert!(
+                step_counts.iter().all(|&s| s == steps),
+                "retired steps varied across samples for {label}: {step_counts:?}"
+            );
+            ScenarioThroughput {
+                label,
+                steps,
+                median_ns: summary.median.as_nanos() as u64,
+                min_ns: summary.min.as_nanos() as u64,
+                max_ns: summary.max.as_nanos() as u64,
+                samples: summary.samples,
+            }
+        })
+        .collect()
+}
+
 fn stats_to_json(stats: &[ConfigThroughput]) -> JsonValue {
     JsonValue::Object(
         stats
@@ -228,10 +343,80 @@ fn stats_from_json(v: &JsonValue) -> Option<Vec<ConfigThroughput>> {
     Some(out)
 }
 
+fn scenarios_to_json(stats: &[ScenarioThroughput]) -> JsonValue {
+    JsonValue::Object(
+        stats
+            .iter()
+            .map(|s| {
+                (
+                    s.label.clone(),
+                    JsonValue::Object(vec![
+                        ("steps".to_string(), JsonValue::Number(s.steps as f64)),
+                        (
+                            "median_ns".to_string(),
+                            JsonValue::Number(s.median_ns as f64),
+                        ),
+                        ("min_ns".to_string(), JsonValue::Number(s.min_ns as f64)),
+                        ("max_ns".to_string(), JsonValue::Number(s.max_ns as f64)),
+                        ("samples".to_string(), JsonValue::Number(s.samples as f64)),
+                        (
+                            "steps_per_sec".to_string(),
+                            JsonValue::Number(s.steps_per_sec()),
+                        ),
+                    ]),
+                )
+            })
+            .collect(),
+    )
+}
+
+fn scenarios_from_json(v: &JsonValue) -> Option<Vec<ScenarioThroughput>> {
+    let JsonValue::Object(entries) = v else {
+        return None;
+    };
+    let mut out = Vec::new();
+    for (label, stat) in entries {
+        let num = |key: &str| -> Option<f64> {
+            match stat.get(key)? {
+                JsonValue::Number(n) => Some(*n),
+                _ => None,
+            }
+        };
+        out.push(ScenarioThroughput {
+            label: label.clone(),
+            steps: num("steps")? as u64,
+            median_ns: num("median_ns")? as u64,
+            min_ns: num("min_ns")? as u64,
+            max_ns: num("max_ns")? as u64,
+            samples: num("samples")? as usize,
+        });
+    }
+    Some(out)
+}
+
 /// Renders the report JSON. `baseline` is the pre-fast-path
 /// measurement (recorded with `sim_throughput --record-baseline`);
 /// when present, per-configuration speedups are included.
+/// `scenarios` is the event-wheel scenario section (`bigsmp_idle_*`);
+/// an empty slice omits it.
+pub fn report_json_with_scenarios(
+    current: &[ConfigThroughput],
+    baseline: Option<&[ConfigThroughput]>,
+    scenarios: &[ScenarioThroughput],
+) -> String {
+    report_json_inner(current, baseline, scenarios)
+}
+
+/// [`report_json_with_scenarios`] without a scenario section.
 pub fn report_json(current: &[ConfigThroughput], baseline: Option<&[ConfigThroughput]>) -> String {
+    report_json_inner(current, baseline, &[])
+}
+
+fn report_json_inner(
+    current: &[ConfigThroughput],
+    baseline: Option<&[ConfigThroughput]>,
+    scenarios: &[ScenarioThroughput],
+) -> String {
     let mut root: Vec<(String, JsonValue)> = vec![
         (
             "schema".to_string(),
@@ -269,6 +454,9 @@ pub fn report_json(current: &[ConfigThroughput], baseline: Option<&[ConfigThroug
             })
             .collect();
         root.push(("speedup".to_string(), JsonValue::Object(speedups)));
+    }
+    if !scenarios.is_empty() {
+        root.push(("scenarios".to_string(), scenarios_to_json(scenarios)));
     }
     JsonValue::Object(root).pretty()
 }
@@ -326,6 +514,64 @@ pub fn section_from_report(text: &str, section: &str) -> Option<Vec<ConfigThroug
         _ => return None,
     }
     stats_from_json(root.get(section)?)
+}
+
+/// Reads the `"scenarios"` section back from a report file's text.
+/// Returns `None` if the text does not parse, the schema is unknown,
+/// or the section is absent (reports recorded before the event-wheel
+/// scheduler have none).
+pub fn scenarios_from_report(text: &str) -> Option<Vec<ScenarioThroughput>> {
+    let root = neve_json::parse(text).ok()?;
+    match root.get("schema")? {
+        JsonValue::String(s) if s == "neve-bench-throughput-v1" => {}
+        _ => return None,
+    }
+    scenarios_from_json(root.get("scenarios")?)
+}
+
+/// The scenario half of the throughput gate: per-label 20% bands like
+/// [`guard_regressions`], plus the idle-core scaling bound — the
+/// largest fresh `bigsmp_idle` shape must stay within
+/// [`BIGSMP_IDLE_SPREAD`]x of the smallest in host steps/sec. The
+/// scaling bound compares two fresh samples against each other, so
+/// host load cancels out and it holds (or fails) on any machine.
+/// Scenarios absent from the recorded set are skipped.
+pub fn guard_scenario_regressions(
+    fresh: &[ScenarioThroughput],
+    recorded: &[ScenarioThroughput],
+) -> Vec<String> {
+    let by_label: BTreeMap<&str, &ScenarioThroughput> =
+        recorded.iter().map(|s| (s.label.as_str(), s)).collect();
+    let mut bad = Vec::new();
+    for f in fresh {
+        let Some(r) = by_label.get(f.label.as_str()) else {
+            continue;
+        };
+        let floor = r.steps_per_sec() * (1.0 - GUARD_TOLERANCE);
+        if f.best_steps_per_sec() < floor {
+            bad.push(format!(
+                "{}: best fresh sample {:.0} steps/s is more than {:.0}% below \
+                 the recorded {:.0} steps/s",
+                f.label,
+                f.best_steps_per_sec(),
+                GUARD_TOLERANCE * 100.0,
+                r.steps_per_sec()
+            ));
+        }
+    }
+    let [small, large] = BIGSMP_IDLE_VCPUS;
+    let find = |v: usize| fresh.iter().find(|s| s.label == bigsmp_idle_label(v));
+    if let (Some(s), Some(l)) = (find(small), find(large)) {
+        let (s_sps, l_sps) = (s.best_steps_per_sec(), l.best_steps_per_sec());
+        if l_sps * BIGSMP_IDLE_SPREAD < s_sps {
+            bad.push(format!(
+                "{}: {:.0} steps/s is more than {}x slower than {} at {:.0} \
+                 steps/s — idle cores are costing host work again",
+                l.label, l_sps, BIGSMP_IDLE_SPREAD, s.label, s_sps
+            ));
+        }
+    }
+    bad
 }
 
 #[cfg(test)]
@@ -422,5 +668,79 @@ mod tests {
             ..slow
         };
         assert_eq!(guard_regressions(&[other], &[rec]), Vec::<String>::new());
+    }
+
+    fn scenario(label: &str, steps: u64, ns: u64) -> ScenarioThroughput {
+        ScenarioThroughput {
+            label: label.to_string(),
+            steps,
+            median_ns: ns,
+            min_ns: ns,
+            max_ns: ns,
+            samples: 3,
+        }
+    }
+
+    #[test]
+    fn scenarios_roundtrip_through_the_report() {
+        let cur = vec![ConfigThroughput {
+            config: Config::ArmVm,
+            steps: 1_000,
+            median_ns: 1_000_000,
+            min_ns: 900_000,
+            max_ns: 1_100_000,
+            samples: 3,
+        }];
+        let scen = vec![
+            scenario("bigsmp_idle_8", 13_000, 1_000_000),
+            scenario("bigsmp_idle_64", 13_056, 1_200_000),
+        ];
+        let text = report_json_with_scenarios(&cur, None, &scen);
+        assert_eq!(scenarios_from_report(&text).unwrap(), scen);
+        // The matrix sections are unaffected by the extra section.
+        assert_eq!(section_from_report(&text, "current").unwrap(), cur);
+        // A scenario-less report (the pre-wheel format) has no section.
+        let old = report_json(&cur, None);
+        assert!(scenarios_from_report(&old).is_none());
+    }
+
+    #[test]
+    fn scenario_guard_flags_regressions_and_idle_scaling() {
+        let rec = vec![
+            scenario("bigsmp_idle_8", 13_000, 1_000_000),
+            scenario("bigsmp_idle_64", 13_056, 1_200_000),
+        ];
+        // Fresh within band and within the 2x spread: clean.
+        assert_eq!(guard_scenario_regressions(&rec, &rec), Vec::<String>::new());
+        // 64-vCPU shape collapses to 3x slower than recorded *and* more
+        // than 2x under the fresh 8-vCPU shape: both checks fire.
+        let slow = vec![
+            rec[0].clone(),
+            scenario("bigsmp_idle_64", 13_056, 3_600_000),
+        ];
+        let bad = guard_scenario_regressions(&slow, &rec);
+        assert_eq!(bad.len(), 2, "{bad:?}");
+        assert!(bad[1].contains("idle cores"), "{bad:?}");
+        // An unrecorded label is skipped by the band check but the
+        // fresh-vs-fresh scaling bound still applies.
+        let unrecorded = vec![
+            rec[0].clone(),
+            scenario("bigsmp_idle_64", 13_056, 3_600_000),
+        ];
+        let bad = guard_scenario_regressions(&unrecorded, &rec[..1]);
+        assert_eq!(bad.len(), 1, "{bad:?}");
+        assert!(bad[0].contains("idle cores"), "{bad:?}");
+    }
+
+    #[test]
+    fn bigsmp_idle_runs_are_deterministic_and_mostly_free() {
+        let a = run_bigsmp_idle(8);
+        let b = run_bigsmp_idle(8);
+        assert!(a > 0);
+        assert_eq!(a, b);
+        // The idle-core tax in host steps: exactly one step per extra
+        // parked core for the whole run.
+        let wide = run_bigsmp_idle(64);
+        assert_eq!(wide, a + 56);
     }
 }

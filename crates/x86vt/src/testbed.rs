@@ -262,18 +262,28 @@ impl X86TestBed {
         let multi = self.bench == X86Bench::VirtualIpi;
         let mut snap = None;
         let mut steps = 0u64;
+        // Runnable mask: a receiver that halted cleanly leaves the
+        // round instead of being re-stepped (and re-matched) forever.
+        let mut receiver_done = false;
         loop {
             let out = self.m.step(0);
-            if multi {
+            if multi && !receiver_done {
                 for _ in 0..4 {
                     let r = self.m.step(1);
-                    if !matches!(r, X86Step::Executed) {
-                        return Err(self.fault(
-                            FaultCause::UnexpectedStop {
-                                detail: format!("receiver stopped: {r:?}"),
-                            },
-                            steps,
-                        ));
+                    match r {
+                        X86Step::Executed => {}
+                        X86Step::Halted(c) if c == DONE => {
+                            receiver_done = true;
+                            break;
+                        }
+                        _ => {
+                            return Err(self.fault(
+                                FaultCause::UnexpectedStop {
+                                    detail: format!("receiver stopped: {r:?}"),
+                                },
+                                steps,
+                            ));
+                        }
                     }
                 }
             }
