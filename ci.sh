@@ -40,6 +40,31 @@ echo "$micro_md5_before" | md5sum -c --quiet - || {
     exit 1
 }
 
+echo "==> serve smoke (coalescing + matrix byte-identity + budget containment)"
+micro_md5_before=$(md5sum results/micro_matrix.json)
+cargo run -q -p neve-cli --offline --release --bin neve -- serve --smoke
+# A live two-request session: the second identical request must be
+# served entirely from the store (never re-measured), and the streamed
+# full-grid matrix must be the cache file verbatim.
+serve_log=$(printf '%s\n' \
+    '{"id":"a","configs":["vm","x86-vm"],"benches":["hypercall","eoi"]}' \
+    '{"id":"b","configs":["vm","x86-vm"],"benches":["hypercall","eoi"]}' \
+    '{"id":"g"}' \
+    | cargo run -q -p neve-cli --offline --release --bin neve -- serve --jobs 2)
+if printf '%s\n' "$serve_log" | grep '"id":"b"' | grep -q '"source":"measured"'; then
+    echo "serve: the second identical request re-measured a coalesced cell" >&2
+    exit 1
+fi
+disk_cells=$(printf '%s\n' "$serve_log" | grep -c '"source":"disk"') || disk_cells=0
+if [ "$disk_cells" -ne 28 ]; then
+    echo "serve: full-grid request streamed $disk_cells disk cells, expected 28" >&2
+    exit 1
+fi
+echo "$micro_md5_before" | md5sum -c --quiet - || {
+    echo "results/micro_matrix.json changed under the serve engine" >&2
+    exit 1
+}
+
 echo "==> throughput smoke (matrix byte-identity + steps/sec)"
 cargo run -q -p neve-bench --offline --release --bin sim_throughput -- --smoke
 

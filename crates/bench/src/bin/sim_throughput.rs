@@ -127,9 +127,11 @@ fn smoke(samples: usize, engine: Engine) {
 /// best-case sample vs the recorded `current` section.
 ///
 /// Wall clock on a shared host is bursty, so a failed first attempt
-/// re-measures once and the verdict uses the best sample either
-/// attempt saw: a genuine regression is slow in both, a co-tenant
-/// burst is not.
+/// re-measures once and the verdict is re-taken on the retry attempt
+/// *alone* (`throughput::noise_retry_verdict`): a genuine regression
+/// is slow in both attempts, a co-tenant burst is not — and either
+/// way the decision compares exactly `--samples N` clean samples,
+/// never a best-of-both merge.
 fn guard(samples: usize, engine: Engine) {
     let report = std::fs::read_to_string(BENCH_PATH).ok();
     let recorded = report
@@ -155,36 +157,28 @@ fn guard(samples: usize, engine: Engine) {
             .map(|config| measure_config_with(&mut c, config, samples, engine))
             .collect()
     };
-    let mut fresh = measure();
-    let mut fresh_scenarios = throughput::measure_scenarios(samples);
+    let fresh = measure();
+    let fresh_scenarios = throughput::measure_scenarios(samples);
     print_stats(&fresh);
     print_scenarios(&fresh_scenarios);
-    let verdict = |fresh: &[ConfigThroughput], scen: &[ScenarioThroughput]| -> Vec<String> {
-        let mut bad = throughput::guard_regressions(fresh, &recorded);
-        bad.extend(throughput::guard_scenario_regressions(
-            scen,
-            &recorded_scenarios,
-        ));
-        bad
-    };
-    let mut bad = verdict(&fresh, &fresh_scenarios);
+    let mut bad = throughput::noise_retry_verdict(
+        &recorded,
+        &recorded_scenarios,
+        (&fresh, &fresh_scenarios),
+        None,
+    );
     if !bad.is_empty() {
         println!("\nfirst attempt regressed; re-measuring once (host noise check)");
         let again = measure();
         let again_scenarios = throughput::measure_scenarios(samples);
         print_stats(&again);
         print_scenarios(&again_scenarios);
-        for (f, a) in fresh.iter_mut().zip(&again) {
-            if a.min_ns < f.min_ns {
-                f.min_ns = a.min_ns;
-            }
-        }
-        for (f, a) in fresh_scenarios.iter_mut().zip(&again_scenarios) {
-            if a.min_ns < f.min_ns {
-                f.min_ns = a.min_ns;
-            }
-        }
-        bad = verdict(&fresh, &fresh_scenarios);
+        bad = throughput::noise_retry_verdict(
+            &recorded,
+            &recorded_scenarios,
+            (&fresh, &fresh_scenarios),
+            Some((&again, &again_scenarios)),
+        );
     }
     if !bad.is_empty() {
         eprintln!("\nFAIL: host throughput regressed:");

@@ -92,6 +92,7 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         "check" => check_cmd(&p),
         "bench-sim" => bench_sim_cmd(&p),
         "consolidate" => consolidate_cmd(&p),
+        "serve" => serve_cmd(&p),
         "help" | "-h" | "--help" => {
             print!("{}", HELP);
             Ok(())
@@ -124,6 +125,9 @@ USAGE:
     neve consolidate [--jobs N] [--smoke] [--json]      multi-VM consolidation
                                                         table (VMs per host at
                                                         <=5% tick overhead)
+    neve serve   [--jobs N] [--listen ADDR] [--smoke]   long-running job engine:
+                 [--max-queued N] [--no-cache]          batched sweep requests
+                                                        over JSONL (stdin + TCP)
     neve help                                           this text
 
 CONFIGS:    vm v83 v83-vhe neve neve-vhe v83-xen neve-xen
@@ -203,6 +207,22 @@ hypervisors). Full runs write results/consolidate.json; --smoke runs
 a reduced table twice and demands byte-identical reports (the CI
 gate, also exercised across --jobs fan-outs); --json prints the
 artifact instead of the table.
+
+`neve serve` hosts the other job kinds as a long-running engine: each
+stdin (or TCP, with --listen ADDR) line is a JSON request naming a job
+kind (micro, faults, fuzz, consolidate, bench-sim) and its sweep axes
+(configs x benches x engine x budget x fault plan). Requests decompose
+into content-addressed cells scheduled across --jobs workers on a
+work-stealing queue; identical cells — within one request, across
+requests, or across connections — coalesce onto one computation, and
+repeat queries are answered from the in-memory store or the on-disk
+matrix cache. Results stream back as JSONL events (accepted, one cell
+per line with its cycles/traps and provenance source, then done with
+the assembled matrix or rendered report). A cell that exhausts its
+--budget streams as failed while the rest of the batch completes;
+submissions past --max-queued (default 1024) are refused with a
+structured error. --smoke proves the coalescing, byte-identity, and
+budget-containment contracts and exits non-zero on any violation.
 ";
 
 fn micro(p: &args::Parsed) -> Result<(), String> {
@@ -257,8 +277,8 @@ fn matrix(p: &args::Parsed) -> Result<MicroMatrix, String> {
         }
         MatrixSource::Quarantined => {
             println!(
-                "Cache was corrupt; quarantined to {}.corrupt and re-measured \
-                 every configuration ({jobs} worker threads).\n",
+                "Cache was corrupt; quarantined to {}.<pid>.<seq>.corrupt and \
+                 re-measured every configuration ({jobs} worker threads).\n",
                 cache::CACHE_PATH
             );
         }
@@ -481,6 +501,42 @@ fn consolidate_cmd(p: &args::Parsed) -> Result<(), String> {
         .write()
         .map_err(|e| format!("failed to write {CONSOLIDATE_PATH}: {e}"))?;
     println!("\nwrote {CONSOLIDATE_PATH}");
+    Ok(())
+}
+
+/// Hosts the long-running job engine (`neve serve`).
+///
+/// Serves the line-delimited JSON protocol on stdin/stdout and, with
+/// `--listen ADDR`, on a TCP listener sharing the same coalescing
+/// store (so identical requests from different connections cost one
+/// computation). `--smoke` runs the protocol contracts in-process and
+/// exits non-zero on any violation — the CI gate.
+fn serve_cmd(p: &args::Parsed) -> Result<(), String> {
+    use neve_workloads::serve;
+    if p.has("smoke") {
+        return serve::smoke();
+    }
+    let default_jobs = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1) as u64;
+    let jobs = p.get_u64("jobs", default_jobs)?.max(1) as usize;
+    let max_queued = p.get_u64("max-queued", 1024)?.max(1) as usize;
+    let fingerprint = neve_cycles::CostModel::default().fingerprint();
+    let cache_path =
+        (!p.has("no-cache")).then(|| std::path::PathBuf::from(neve_workloads::CACHE_PATH));
+    let engine = std::sync::Arc::new(serve::JobEngine::new(
+        jobs,
+        fingerprint,
+        cache_path,
+        max_queued,
+    ));
+    if let Some(addr) = p.options.get("listen") {
+        let (local, _accept) = serve::listen(std::sync::Arc::clone(&engine), addr)
+            .map_err(|e| format!("cannot listen on {addr}: {e}"))?;
+        eprintln!("listening on {local} ({jobs} workers); also serving stdin");
+    }
+    let sink: serve::Sink = std::sync::Arc::new(std::sync::Mutex::new(std::io::stdout()));
+    serve::run_protocol(std::io::stdin().lock(), &sink, &engine);
     Ok(())
 }
 
@@ -770,6 +826,20 @@ mod tests {
         // --replay of a missing file names the file and fails.
         let err = dispatch(&sv(&["fuzz", "--replay", "/no/such/repro.json"])).unwrap_err();
         assert!(err.contains("/no/such/repro.json"), "unstructured: {err}");
+        // --replay of a truncated reproducer fails structurally too —
+        // a damaged corpus entry must never panic the CLI.
+        let dir = std::env::temp_dir().join(format!("neve-fuzz-cli-tr-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let truncated = dir.join("cut.json");
+        std::fs::write(
+            &truncated,
+            "{\n  \"version\": \"neve-fuzz-repro-v1\",\n  \"campaign_seed\": \"0x9\",\n  \"cas",
+        )
+        .unwrap();
+        let err =
+            dispatch(&sv(&["fuzz", "--replay", &truncated.display().to_string()])).unwrap_err();
+        assert!(err.contains("cut.json"), "file not named: {err}");
+        std::fs::remove_dir_all(&dir).ok();
         // Bad numbers name the flag.
         let err = dispatch(&sv(&["fuzz", "--cases", "lots"])).unwrap_err();
         assert!(err.contains("--cases"), "flag not named: {err}");

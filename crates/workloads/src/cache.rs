@@ -96,11 +96,10 @@ pub fn load_or_measure_at(
             CacheRead::Valid(m) => return (m, MatrixSource::Cache),
             CacheRead::Corrupt => {
                 // Keep the damaged bytes for post-mortem instead of
-                // silently overwriting them; a failed rename (exotic
-                // permissions) still falls through to a re-measure.
-                let mut quarantine = path.as_os_str().to_owned();
-                quarantine.push(".corrupt");
-                let _ = std::fs::rename(path, &quarantine);
+                // silently overwriting them; a failed rename (another
+                // process won the race, exotic permissions) still
+                // falls through to a re-measure.
+                quarantine_corrupt(path);
                 source = MatrixSource::Quarantined;
             }
             CacheRead::Absent | CacheRead::Stale => {}
@@ -118,6 +117,27 @@ pub fn load_or_measure_at(
     // filesystem), then rename into place.
     let _ = write_atomically(path, &to_json(&m, fingerprint));
     (m, source)
+}
+
+/// Moves a corrupt cache file aside as
+/// `<file>.<pid>.<seq>.corrupt` so the damaged bytes survive for
+/// post-mortem. The name is process-unique (pid) *and* call-unique
+/// (an in-process counter), mirroring the temp-file write path: two
+/// processes — or two threads — that both find the same corrupt file
+/// each rename toward a different target, so the race is only over
+/// the source. `rename(2)` is atomic there: exactly one caller wins
+/// the bytes, the losers get a failed rename and simply re-measure.
+///
+/// Returns the quarantine path if this caller won, `None` if the file
+/// was already gone (or undeletable).
+pub fn quarantine_corrupt(path: &Path) -> Option<std::path::PathBuf> {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let seq = SEQ.fetch_add(1, Ordering::Relaxed);
+    let mut quarantine = path.to_path_buf();
+    let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("cache");
+    quarantine.set_file_name(format!("{name}.{}.{seq}.corrupt", std::process::id()));
+    std::fs::rename(path, &quarantine).ok().map(|_| quarantine)
 }
 
 /// Atomically replaces `path` with `contents` (same-directory temp
@@ -361,12 +381,26 @@ mod tests {
         assert_eq!(back, failed);
     }
 
+    /// All `*.corrupt` quarantine files in `dir`, with their contents.
+    fn quarantine_files(dir: &Path) -> Vec<(std::path::PathBuf, String)> {
+        let mut found = Vec::new();
+        for entry in std::fs::read_dir(dir).unwrap() {
+            let p = entry.unwrap().path();
+            if p.to_str().is_some_and(|s| s.ends_with(".corrupt")) {
+                let text = std::fs::read_to_string(&p).unwrap();
+                found.push((p, text));
+            }
+        }
+        found
+    }
+
     #[test]
     fn corrupt_cache_is_quarantined_and_remeasured() {
         // A garbage cache file must be moved aside as `*.corrupt`, a
         // fresh measurement written in its place, and the rewritten
         // cache must then load cleanly under the same fingerprint.
-        let dir = std::env::temp_dir().join(format!("neve-cache-test-{}", std::process::id()));
+        let dir =
+            std::env::temp_dir().join(format!("neve-cache-test-{}-single", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("micro_matrix.json");
@@ -374,16 +408,66 @@ mod tests {
 
         let (m, source) = load_or_measure_at(&path, 4, true);
         assert_eq!(source, MatrixSource::Quarantined);
-        let quarantined = dir.join("micro_matrix.json.corrupt");
+        let quarantined = quarantine_files(&dir);
+        assert_eq!(quarantined.len(), 1, "{quarantined:?}");
         assert_eq!(
-            std::fs::read_to_string(&quarantined).unwrap(),
-            "{ not json at all",
+            quarantined[0].1, "{ not json at all",
             "the damaged bytes must survive for post-mortem"
+        );
+        let name = quarantined[0].0.file_name().unwrap().to_str().unwrap();
+        assert!(
+            name.starts_with(&format!("micro_matrix.json.{}.", std::process::id())),
+            "quarantine name must be process-unique: {name}"
         );
 
         let (again, source2) = load_or_measure_at(&path, 4, true);
         assert_eq!(source2, MatrixSource::Cache);
         assert_eq!(again, m, "re-measured cache must load back identically");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// The satellite bugfix's regression test: two concurrent actors
+    /// that both find the same corrupt cache race on the quarantine.
+    /// With process/call-unique targets, `rename(2)` atomicity on the
+    /// shared *source* guarantees exactly one winner; the loser's
+    /// rename fails cleanly and it just re-measures — the damaged
+    /// bytes are never lost and never duplicated.
+    #[test]
+    fn concurrent_corruption_quarantine_has_exactly_one_winner() {
+        let dir = std::env::temp_dir().join(format!("neve-cache-test-{}-race", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("micro_matrix.json");
+
+        for round in 0..8 {
+            std::fs::write(&path, format!("{{ corrupt round {round}")).unwrap();
+            let barrier = std::sync::Barrier::new(2);
+            let (a, b) = std::thread::scope(|s| {
+                let h1 = s.spawn(|| {
+                    barrier.wait();
+                    quarantine_corrupt(&path)
+                });
+                let h2 = s.spawn(|| {
+                    barrier.wait();
+                    quarantine_corrupt(&path)
+                });
+                (h1.join().unwrap(), h2.join().unwrap())
+            });
+            assert!(
+                a.is_some() ^ b.is_some(),
+                "exactly one racer must win the bytes: {a:?} vs {b:?}"
+            );
+            let winner = a.or(b).unwrap();
+            assert_eq!(
+                std::fs::read_to_string(&winner).unwrap(),
+                format!("{{ corrupt round {round}"),
+                "the winner holds the intact damaged bytes"
+            );
+            assert!(!path.exists(), "the corrupt original must be gone");
+        }
+        // Every round quarantined under a distinct name: nothing was
+        // overwritten across rounds.
+        assert_eq!(quarantine_files(&dir).len(), 8);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

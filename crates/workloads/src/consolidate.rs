@@ -279,8 +279,20 @@ pub fn run_consolidate(spec: ConsolidateSpec) -> Result<ConsolidateReport, Strin
                 })
                 .collect();
             for h in handles {
-                for (i, r) in h.join().expect("consolidate worker panicked") {
-                    slots[i] = Some(r);
+                match h.join() {
+                    Ok(chunk) => {
+                        for (i, r) in chunk {
+                            slots[i] = Some(r);
+                        }
+                    }
+                    Err(payload) => {
+                        let msg = crate::session::panic_message(payload.as_ref());
+                        // The worker's rows never arrived; mark them as
+                        // failed rather than aborting the process.
+                        for slot in slots.iter_mut().filter(|s| s.is_none()) {
+                            *slot = Some(Err(format!("consolidate worker panicked: {msg}")));
+                        }
+                    }
                 }
             }
         });

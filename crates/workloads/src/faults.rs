@@ -248,7 +248,7 @@ where
 {
     let jobs = jobs.max(1).min(keys.len().max(1));
     let mut merged = BTreeMap::new();
-    let mut panicked = false;
+    let mut panicked: Option<String> = None;
     std::thread::scope(|scope| {
         let workers: Vec<_> = (0..jobs)
             .map(|w| {
@@ -266,12 +266,16 @@ where
         for worker in workers {
             match worker.join() {
                 Ok(chunk) => merged.extend(chunk),
-                Err(_) => panicked = true,
+                Err(payload) => {
+                    panicked.get_or_insert_with(|| crate::session::panic_message(payload.as_ref()));
+                }
             }
         }
     });
-    if panicked {
-        return Err("campaign worker panicked; partial results discarded".into());
+    if let Some(msg) = panicked {
+        return Err(format!(
+            "campaign worker panicked ({msg}); partial results discarded"
+        ));
     }
     Ok(merged)
 }

@@ -850,7 +850,10 @@ where
             match worker.join() {
                 Ok(Ok(chunk)) => merged.extend(chunk),
                 Ok(Err(e)) => failures.push(e),
-                Err(_) => failures.push("fuzz worker panicked".into()),
+                Err(payload) => failures.push(format!(
+                    "fuzz worker panicked: {}",
+                    crate::session::panic_message(payload.as_ref())
+                )),
             }
         }
     });
@@ -1091,6 +1094,47 @@ mod tests {
         std::fs::write(&bad, "{\"finding\": \"nope\"}").unwrap();
         let err = replay(&bad.display().to_string()).unwrap_err();
         assert!(err.contains("bad.json"), "error must name the file: {err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// A reproducer whose write was cut short (power loss, full disk)
+    /// must fail the replay with an error naming the file — at *every*
+    /// truncation point (mid-string, mid-field, mid-array). Panicking
+    /// here would turn a damaged corpus entry into a harness crash.
+    #[test]
+    fn truncated_reproducers_fail_structurally_at_every_cut() {
+        let case = case_for_index(0x7e1, 5);
+        let rec = FindingRecord {
+            case_index: 5,
+            injected: vec!["corrupt-shadow-pte"],
+            case: case.clone(),
+            finding: Finding {
+                kind: FindingKind::CheckerViolation,
+                detail: "step 1 cpu0: malformed-stage2: x".into(),
+            },
+            original_len: case.instrs.len(),
+            file: None,
+        };
+        let text = reproducer_json(&rec, 0x7e1);
+        let dir = std::env::temp_dir().join(format!("neve-fuzz-trunc-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("truncated.json");
+        let path_s = path.display().to_string();
+        // Every prefix that drops at least the closing brace; stepping
+        // by a few bytes keeps the test fast while still crossing every
+        // structural boundary (mid-string, mid-field, mid-array).
+        for cut in (0..text.len().saturating_sub(1)).step_by(7) {
+            std::fs::write(&path, &text[..cut]).unwrap();
+            let err = load_reproducer(&path_s).unwrap_err();
+            assert!(
+                err.contains("truncated.json"),
+                "cut at {cut}: error must name the file: {err}"
+            );
+        }
+        // An empty file (zero-byte write) is the degenerate truncation.
+        std::fs::write(&path, "").unwrap();
+        let err = replay(&path_s).unwrap_err();
+        assert!(err.contains("truncated.json"), "{err}");
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -1,0 +1,574 @@
+//! Job requests for the serve engine: the line-delimited JSON schema,
+//! content-addressed cell keys, and the decomposition of one batched
+//! sweep request into independently schedulable cells.
+//!
+//! A request names a *sweep slice* — which job kind, which
+//! configurations, which benchmarks, which step engine, an optional
+//! fault plan and an optional step budget — and the engine splits it
+//! into cells. Two requests that describe the same cell (same cost
+//! model, same knobs) produce the same [`CellKey`], which is what lets
+//! the serve store coalesce duplicate in-flight work and serve repeat
+//! queries from memory.
+
+use crate::consolidate::ConsolidateSpec;
+use crate::faults::CampaignSpec;
+use crate::fuzz::FuzzSpec;
+use crate::platforms::Config;
+use crate::session::Bench;
+use neve_armv8::{Engine, FaultPlan};
+use neve_json::JsonValue;
+
+/// The job kinds a serve request can name (the former one-shot CLI
+/// subcommands, now schedulable as cells).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum JobKind {
+    /// Evaluation-matrix measurement: one cell per (config, bench).
+    Micro,
+    /// The fault-injection campaign (one report cell).
+    Faults,
+    /// The coverage-guided fuzzing campaign (one report cell).
+    Fuzz,
+    /// The multi-VM consolidation table (one report cell).
+    Consolidate,
+    /// Host-throughput measurement (one report cell; wall-clock, so
+    /// never cached in the result store).
+    BenchSim,
+}
+
+impl JobKind {
+    /// Stable wire label.
+    pub fn label(self) -> &'static str {
+        match self {
+            JobKind::Micro => "micro",
+            JobKind::Faults => "faults",
+            JobKind::Fuzz => "fuzz",
+            JobKind::Consolidate => "consolidate",
+            JobKind::BenchSim => "bench-sim",
+        }
+    }
+
+    fn from_label(s: &str) -> Option<JobKind> {
+        [
+            JobKind::Micro,
+            JobKind::Faults,
+            JobKind::Fuzz,
+            JobKind::Consolidate,
+            JobKind::BenchSim,
+        ]
+        .into_iter()
+        .find(|k| k.label() == s)
+    }
+}
+
+/// Resolves a configuration from either its table label (`"ARM VM"`,
+/// the cache's keys) or its CLI alias (`"vm"`, `"v83"`, ...).
+pub fn config_from_name(name: &str) -> Option<Config> {
+    if let Some(c) = Config::from_label(name) {
+        return Some(c);
+    }
+    Some(match name {
+        "vm" => Config::ArmVm,
+        "v83" | "v8.3" | "v8.3-nested" => Config::ArmNestedV83,
+        "v83-vhe" | "v8.3-nested-vhe" => Config::ArmNestedV83Vhe,
+        "neve" | "neve-nested" => Config::ArmNestedNeve,
+        "neve-vhe" | "neve-nested-vhe" => Config::ArmNestedNeveVhe,
+        "x86-vm" => Config::X86Vm,
+        "x86-nested" => Config::X86Nested,
+        _ => return None,
+    })
+}
+
+/// Resolves a benchmark from its label or CLI alias.
+pub fn bench_from_name(name: &str) -> Option<Bench> {
+    if let Some(b) = Bench::from_label(name) {
+        return Some(b);
+    }
+    Some(match name {
+        "devio" => Bench::DeviceIo,
+        "ipi" => Bench::VirtualIpi,
+        "eoi" => Bench::VirtualEoi,
+        _ => return None,
+    })
+}
+
+fn engine_label(e: Engine) -> &'static str {
+    match e {
+        Engine::Uop => "uop",
+        Engine::Interp => "interp",
+    }
+}
+
+/// One parsed request line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Submit a job.
+    Submit(JobRequest),
+    /// Cancel a previously submitted job by id.
+    Cancel(String),
+}
+
+/// A batched sweep request, decomposable into cells.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobRequest {
+    /// Caller-chosen id; every streamed event echoes it.
+    pub id: String,
+    /// Which job kind to run.
+    pub kind: JobKind,
+    /// Configurations to sweep (micro only; defaults to all).
+    pub configs: Vec<Config>,
+    /// Benchmarks to sweep (micro only; defaults to all four).
+    pub benches: Vec<Bench>,
+    /// Step engine for ARM cells.
+    pub engine: Engine,
+    /// Per-cell step budget (micro only; `None` = platform default).
+    /// The PR 3 watchdog turns an exhausted budget into a structured
+    /// `SimFault`, so an over-budget cell streams as `failed` while
+    /// the rest of the batch completes — backpressure, not poison.
+    pub budget: Option<u64>,
+    /// Fault plan `(builtin name, seed)` attached to every ARM cell
+    /// (micro only).
+    pub plan: Option<(String, u64)>,
+    /// Campaign seed (faults/fuzz kinds).
+    pub seed: u64,
+    /// Fuzz first-round cases.
+    pub cases: usize,
+    /// Reduced grid for the campaign kinds.
+    pub smoke: bool,
+    /// Timed samples (bench-sim kind).
+    pub samples: usize,
+}
+
+/// The content address of one schedulable cell. Everything that can
+/// change a cell's result is part of the key — cost-model fingerprint,
+/// configuration, benchmark, engine, budget, fault plan — so equal
+/// keys are interchangeable results and the store can coalesce and
+/// cache on key identity alone. `BTreeMap`-friendly (`Ord`).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct CellKey {
+    /// Cost-model fingerprint the cell is measured under.
+    pub fingerprint: u64,
+    /// Job kind label.
+    pub kind: &'static str,
+    /// Configuration (micro cells; `None` for report cells).
+    pub config: Option<Config>,
+    /// Benchmark (micro cells; `None` for report cells).
+    pub bench: Option<Bench>,
+    /// Step-engine label.
+    pub engine: &'static str,
+    /// Step budget (0 = platform default).
+    pub budget: u64,
+    /// Fault-plan name ("" = none) and seed.
+    pub plan: String,
+    /// Fault-plan seed (0 when `plan` is empty).
+    pub plan_seed: u64,
+    /// Kind-specific parameters of report cells (campaign seed, case
+    /// count, sample count, smoke), rendered canonically.
+    pub params: String,
+}
+
+/// What a worker must execute to produce one cell.
+#[derive(Debug, Clone)]
+pub enum CellWork {
+    /// One evaluation-matrix cell.
+    Micro {
+        /// Configuration to build.
+        config: Config,
+        /// Benchmark to run.
+        bench: Bench,
+        /// Step engine for ARM beds.
+        engine: Engine,
+        /// Optional watchdog budget.
+        budget: Option<u64>,
+        /// Optional fault plan (already resolved).
+        plan: Option<FaultPlan>,
+    },
+    /// A whole fault campaign (renders to a report).
+    Faults(CampaignSpec),
+    /// A whole fuzz campaign.
+    Fuzz(FuzzSpec),
+    /// The consolidation table.
+    Consolidate(ConsolidateSpec),
+    /// A throughput measurement (uncacheable: wall-clock).
+    BenchSim {
+        /// Timed samples.
+        samples: usize,
+        /// Step engine.
+        engine: Engine,
+    },
+}
+
+impl CellWork {
+    /// Whether the result may be kept in the store after delivery.
+    /// Wall-clock measurements go stale immediately; everything else is
+    /// deterministic under its key.
+    pub fn cacheable(&self) -> bool {
+        !matches!(self, CellWork::BenchSim { .. })
+    }
+}
+
+/// What one executed cell produced.
+#[derive(Debug, Clone)]
+pub enum CellOutcome {
+    /// A micro cell's measurement (or contained failure).
+    Micro(crate::session::CellResult),
+    /// A report kind's rendered text.
+    Report(String),
+    /// A report kind's structured error (campaign harness failure).
+    Error(String),
+}
+
+impl JobRequest {
+    /// Splits the request into content-addressed cells. `fingerprint`
+    /// is the current cost model's — requests never choose it; it is
+    /// part of the key so a cost-model edit invalidates every stored
+    /// result at once.
+    ///
+    /// # Errors
+    ///
+    /// An unknown builtin fault-plan name.
+    pub fn cells(&self, fingerprint: u64) -> Result<Vec<(CellKey, CellWork)>, String> {
+        let engine = engine_label(self.engine);
+        match self.kind {
+            JobKind::Micro => {
+                let plan = match &self.plan {
+                    None => None,
+                    Some((name, seed)) => Some((
+                        name.clone(),
+                        *seed,
+                        FaultPlan::builtin(name, *seed)
+                            .ok_or_else(|| format!("unknown fault plan `{name}`"))?,
+                    )),
+                };
+                let mut cells = Vec::new();
+                for &config in &self.configs {
+                    for &bench in &self.benches {
+                        let key = CellKey {
+                            fingerprint,
+                            kind: self.kind.label(),
+                            config: Some(config),
+                            bench: Some(bench),
+                            engine,
+                            budget: self.budget.unwrap_or(0),
+                            plan: plan.as_ref().map(|(n, _, _)| n.clone()).unwrap_or_default(),
+                            plan_seed: plan.as_ref().map(|(_, s, _)| *s).unwrap_or(0),
+                            params: String::new(),
+                        };
+                        let work = CellWork::Micro {
+                            config,
+                            bench,
+                            engine: self.engine,
+                            budget: self.budget,
+                            plan: plan.as_ref().map(|(_, _, p)| p.clone()),
+                        };
+                        cells.push((key, work));
+                    }
+                }
+                Ok(cells)
+            }
+            JobKind::Faults => {
+                let spec = CampaignSpec {
+                    seed: self.seed,
+                    smoke: self.smoke,
+                    jobs: 1, // parallelism lives in the serve queue
+                    fail_fast: false,
+                    step_budget: self.budget,
+                };
+                Ok(vec![(
+                    self.report_key(
+                        fingerprint,
+                        engine,
+                        format!("seed={:#x} smoke={}", self.seed, self.smoke),
+                    ),
+                    CellWork::Faults(spec),
+                )])
+            }
+            JobKind::Fuzz => {
+                let spec = FuzzSpec {
+                    seed: self.seed,
+                    cases: self.cases,
+                    jobs: 1,
+                    corpus_dir: None, // serve results stream; no side files
+                };
+                Ok(vec![(
+                    self.report_key(
+                        fingerprint,
+                        engine,
+                        format!("seed={:#x} cases={}", self.seed, self.cases),
+                    ),
+                    CellWork::Fuzz(spec),
+                )])
+            }
+            JobKind::Consolidate => {
+                let mut spec = if self.smoke {
+                    ConsolidateSpec::smoke()
+                } else {
+                    ConsolidateSpec::full()
+                };
+                spec.jobs = 1;
+                Ok(vec![(
+                    self.report_key(fingerprint, engine, format!("smoke={}", self.smoke)),
+                    CellWork::Consolidate(spec),
+                )])
+            }
+            JobKind::BenchSim => Ok(vec![(
+                self.report_key(fingerprint, engine, format!("samples={}", self.samples)),
+                CellWork::BenchSim {
+                    samples: self.samples,
+                    engine: self.engine,
+                },
+            )]),
+        }
+    }
+
+    fn report_key(&self, fingerprint: u64, engine: &'static str, params: String) -> CellKey {
+        CellKey {
+            fingerprint,
+            kind: self.kind.label(),
+            config: None,
+            bench: None,
+            engine,
+            budget: self.budget.unwrap_or(0),
+            plan: String::new(),
+            plan_seed: 0,
+            params,
+        }
+    }
+
+    /// True when this request describes exactly the evaluation matrix
+    /// the persistent disk cache stores: every configuration, all four
+    /// benchmarks, default engine, no plan, no budget. Only such
+    /// requests may be answered from (or written back to) the disk
+    /// cache — anything narrower goes through the in-memory store.
+    pub fn is_full_default_grid(&self) -> bool {
+        self.kind == JobKind::Micro
+            && self.engine == Engine::default()
+            && self.budget.is_none()
+            && self.plan.is_none()
+            && self.benches.len() == Bench::all().len()
+            && Bench::all().iter().all(|b| self.benches.contains(b))
+            && self.configs.len() == Config::all().len()
+            && Config::all().iter().all(|c| self.configs.contains(c))
+    }
+}
+
+fn str_field(doc: &JsonValue, key: &str) -> Result<Option<String>, String> {
+    match doc.get(key) {
+        None => Ok(None),
+        Some(v) => v
+            .as_str()
+            .map(|s| Some(s.to_string()))
+            .ok_or_else(|| format!("`{key}` must be a string")),
+    }
+}
+
+fn u64_field(doc: &JsonValue, key: &str) -> Result<Option<u64>, String> {
+    match doc.get(key) {
+        None => Ok(None),
+        Some(v) => v
+            .as_u64()
+            .map(Some)
+            .ok_or_else(|| format!("`{key}` must be a non-negative integer")),
+    }
+}
+
+fn bool_field(doc: &JsonValue, key: &str) -> Result<Option<bool>, String> {
+    match doc.get(key) {
+        None => Ok(None),
+        Some(JsonValue::Bool(b)) => Ok(Some(*b)),
+        Some(_) => Err(format!("`{key}` must be a boolean")),
+    }
+}
+
+/// Parses one protocol line.
+///
+/// The submit schema (all fields except `id` optional):
+///
+/// ```json
+/// {"id":"r1","job":"micro","configs":["vm","neve"],
+///  "benches":["hypercall"],"engine":"interp","budget":2000,
+///  "plan":"chaos","plan_seed":7}
+/// ```
+///
+/// and `{"cmd":"cancel","id":"r1"}` cancels.
+///
+/// # Errors
+///
+/// Malformed JSON, unknown fields' values, or a missing `id`.
+pub fn parse_request(line: &str) -> Result<Command, String> {
+    let doc = neve_json::parse(line).map_err(|e| format!("invalid JSON: {e:?}"))?;
+    let id = str_field(&doc, "id")?.ok_or("missing `id`")?;
+    if let Some(cmd) = str_field(&doc, "cmd")? {
+        return match cmd.as_str() {
+            "cancel" => Ok(Command::Cancel(id)),
+            other => Err(format!("unknown cmd `{other}`")),
+        };
+    }
+    let kind_name = str_field(&doc, "job")?.unwrap_or_else(|| "micro".into());
+    let kind =
+        JobKind::from_label(&kind_name).ok_or_else(|| format!("unknown job `{kind_name}`"))?;
+    let configs = match doc.get("configs") {
+        None => Config::all().to_vec(),
+        Some(v) => {
+            let arr = v.as_array().ok_or("`configs` must be an array")?;
+            let mut out = Vec::new();
+            for item in arr {
+                let name = item.as_str().ok_or("`configs` entries must be strings")?;
+                out.push(config_from_name(name).ok_or_else(|| format!("unknown config `{name}`"))?);
+            }
+            if out.is_empty() {
+                return Err("`configs` must not be empty".into());
+            }
+            out
+        }
+    };
+    let benches = match doc.get("benches") {
+        None => Bench::all().to_vec(),
+        Some(v) => {
+            let arr = v.as_array().ok_or("`benches` must be an array")?;
+            let mut out = Vec::new();
+            for item in arr {
+                let name = item.as_str().ok_or("`benches` entries must be strings")?;
+                out.push(bench_from_name(name).ok_or_else(|| format!("unknown bench `{name}`"))?);
+            }
+            if out.is_empty() {
+                return Err("`benches` must not be empty".into());
+            }
+            out
+        }
+    };
+    let engine = match str_field(&doc, "engine")?.as_deref() {
+        None => Engine::default(),
+        Some("uop") => Engine::Uop,
+        Some("interp") => Engine::Interp,
+        Some(other) => return Err(format!("unknown engine `{other}`")),
+    };
+    let plan = match str_field(&doc, "plan")? {
+        None => None,
+        Some(name) => {
+            let seed = u64_field(&doc, "plan_seed")?.unwrap_or(2017);
+            // Resolve now so a bad name fails the request at parse
+            // time, not on a worker.
+            FaultPlan::builtin(&name, seed)
+                .ok_or_else(|| format!("unknown fault plan `{name}`"))?;
+            Some((name, seed))
+        }
+    };
+    Ok(Command::Submit(JobRequest {
+        id,
+        kind,
+        configs,
+        benches,
+        engine,
+        budget: match u64_field(&doc, "budget")? {
+            Some(0) | None => None,
+            Some(b) => Some(b),
+        },
+        plan,
+        seed: u64_field(&doc, "seed")?.unwrap_or(2017),
+        cases: u64_field(&doc, "cases")?.unwrap_or(8).clamp(1, 100_000) as usize,
+        smoke: bool_field(&doc, "smoke")?.unwrap_or(true),
+        samples: u64_field(&doc, "samples")?.unwrap_or(1).clamp(1, 1000) as usize,
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_parse_with_defaults_and_aliases() {
+        let Command::Submit(r) = parse_request(r#"{"id":"a"}"#).unwrap() else {
+            panic!("submit expected")
+        };
+        assert_eq!(r.kind, JobKind::Micro);
+        assert_eq!(r.configs.len(), Config::all().len());
+        assert_eq!(r.benches.len(), 4);
+        assert!(r.is_full_default_grid());
+
+        let Command::Submit(r) = parse_request(
+            r#"{"id":"b","job":"micro","configs":["vm","ARM VM","x86-vm"],
+               "benches":["ipi"],"engine":"interp","budget":500}"#,
+        )
+        .unwrap() else {
+            panic!("submit expected")
+        };
+        assert_eq!(r.configs, vec![Config::ArmVm, Config::ArmVm, Config::X86Vm]);
+        assert_eq!(r.benches, vec![Bench::VirtualIpi]);
+        assert_eq!(r.budget, Some(500));
+        assert!(!r.is_full_default_grid());
+
+        assert_eq!(
+            parse_request(r#"{"cmd":"cancel","id":"b"}"#).unwrap(),
+            Command::Cancel("b".into())
+        );
+    }
+
+    #[test]
+    fn malformed_requests_are_structured_errors() {
+        assert!(parse_request("not json").is_err());
+        assert!(parse_request(r#"{"job":"micro"}"#)
+            .unwrap_err()
+            .contains("id"));
+        assert!(parse_request(r#"{"id":"x","job":"mystery"}"#)
+            .unwrap_err()
+            .contains("mystery"));
+        assert!(parse_request(r#"{"id":"x","configs":["quantum"]}"#)
+            .unwrap_err()
+            .contains("quantum"));
+        assert!(parse_request(r#"{"id":"x","plan":"nope"}"#)
+            .unwrap_err()
+            .contains("nope"));
+        assert!(parse_request(r#"{"id":"x","configs":[]}"#).is_err());
+    }
+
+    #[test]
+    fn cell_keys_are_content_addressed() {
+        let Command::Submit(r) = parse_request(r#"{"id":"a","configs":["vm"]}"#).unwrap() else {
+            panic!()
+        };
+        let Command::Submit(s) = parse_request(r#"{"id":"zzz","configs":["ARM VM"]}"#).unwrap()
+        else {
+            panic!()
+        };
+        // Same sweep under different request ids: identical keys (the
+        // id is routing metadata, not content).
+        let rc = r.cells(7).unwrap();
+        let sc = s.cells(7).unwrap();
+        assert_eq!(rc.len(), 4);
+        assert_eq!(
+            rc.iter().map(|(k, _)| k.clone()).collect::<Vec<_>>(),
+            sc.iter().map(|(k, _)| k.clone()).collect::<Vec<_>>()
+        );
+        // A different fingerprint, engine, or budget changes every key.
+        assert_ne!(rc[0].0, r.cells(8).unwrap()[0].0);
+        let mut rb = r.clone();
+        rb.budget = Some(1000);
+        assert_ne!(rc[0].0, rb.cells(7).unwrap()[0].0);
+        let mut re = r.clone();
+        re.engine = Engine::Interp;
+        assert_ne!(rc[0].0, re.cells(7).unwrap()[0].0);
+    }
+
+    #[test]
+    fn report_kinds_decompose_to_one_uncached_or_cached_cell() {
+        let Command::Submit(r) =
+            parse_request(r#"{"id":"f","job":"faults","seed":99,"smoke":true}"#).unwrap()
+        else {
+            panic!()
+        };
+        let cells = r.cells(7).unwrap();
+        assert_eq!(cells.len(), 1);
+        assert!(cells[0].1.cacheable());
+        assert!(cells[0].0.params.contains("0x63"));
+
+        let Command::Submit(b) = parse_request(r#"{"id":"t","job":"bench-sim"}"#).unwrap() else {
+            panic!()
+        };
+        let cells = b.cells(7).unwrap();
+        assert_eq!(cells.len(), 1);
+        assert!(
+            !cells[0].1.cacheable(),
+            "wall-clock results must not be cached"
+        );
+    }
+}

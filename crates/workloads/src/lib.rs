@@ -25,16 +25,24 @@
 //!   notification-suppression model reproduces the paper's x86
 //!   Memcached anomaly (Section 7.2: "having faster hardware can result
 //!   in more virtualization overhead").
+//! - [`jobs`] and [`serve`]: the long-running job engine behind
+//!   `neve serve` — batched sweep requests over line-delimited JSON,
+//!   decomposed into content-addressed cells on a sharded
+//!   work-stealing queue, with in-flight coalescing, an in-memory
+//!   result store layered over the disk cache, and streaming JSONL
+//!   partial-matrix events.
 
 pub mod apps;
 pub mod cache;
 pub mod consolidate;
 pub mod faults;
 pub mod fuzz;
+pub mod jobs;
 pub mod oracle;
 pub mod platforms;
 pub mod provenance;
 pub mod replay;
+pub mod serve;
 pub mod session;
 pub mod tables;
 pub mod throughput;
@@ -46,12 +54,14 @@ pub use consolidate::{
 };
 pub use faults::{run_campaign, CampaignReport, CampaignSpec, Verdict};
 pub use fuzz::{run_fuzz, FuzzReport, FuzzSpec, CORPUS_DIR};
+pub use jobs::{parse_request, CellKey, CellOutcome, CellWork, Command, JobKind, JobRequest};
 pub use oracle::{
     diff_pair, engine_lockstep, golden_diff, run_checks, trap_algebra, wheel_determinism,
     OracleReport, PairReport,
 };
 pub use platforms::{Config, MeasureOpts, MicroCosts, MicroMatrix, PhaseStat};
 pub use replay::{replay_vs_model, Mix, ReplayResult};
+pub use serve::{listen, run_protocol, JobEngine, SharedBuf, Sink};
 pub use session::{Bench, CellMeasurement, CellResult, SimSession};
 pub use tables::{table1, table6, table7, Cell, TableRow};
 pub use throughput::{

@@ -174,6 +174,32 @@ pub(crate) fn arm_config(c: Config) -> Option<ArmConfig> {
     })
 }
 
+/// Converts one worker bucket's join outcome into cell results. A
+/// worker that panicked outside `SimSession::run`'s own containment
+/// (e.g. in the collection plumbing) must not abort the whole matrix:
+/// every cell the bucket carried degrades to [`CellResult::Failed`]
+/// with the panic message, and the other buckets assemble normally.
+fn joined_bucket(
+    joined: std::thread::Result<Vec<CellResult>>,
+    meta: &[(Config, Bench)],
+) -> Vec<CellResult> {
+    match joined {
+        Ok(cells) => cells,
+        Err(payload) => {
+            let message = crate::session::panic_message(payload.as_ref());
+            meta.iter()
+                .map(|&(config, bench)| CellResult::Failed {
+                    config,
+                    bench,
+                    fault: neve_cycles::SimFault::from_panic(format!(
+                        "evaluation worker panicked: {message}"
+                    )),
+                })
+                .collect()
+        }
+    }
+}
+
 /// Every (configuration, benchmark) cell of the evaluation matrix, in
 /// deterministic (table) order.
 fn all_cells() -> Vec<(Config, Bench)> {
@@ -249,16 +275,22 @@ impl MicroMatrix {
             let workers: Vec<_> = buckets
                 .into_iter()
                 .map(|bucket| {
-                    scope.spawn(move || {
+                    // Cell identities survive outside the worker so a
+                    // panicking worker can still report which cells it
+                    // was carrying.
+                    let meta: Vec<(Config, Bench)> =
+                        bucket.iter().map(|s| (s.config(), s.bench())).collect();
+                    let handle = scope.spawn(move || {
                         bucket
                             .into_iter()
                             .map(SimSession::run)
                             .collect::<Vec<CellResult>>()
-                    })
+                    });
+                    (handle, meta)
                 })
                 .collect();
-            for w in workers {
-                cells.extend(w.join().expect("evaluation worker panicked"));
+            for (w, meta) in workers {
+                cells.extend(joined_bucket(w.join(), &meta));
             }
         });
         Self::assemble(cells)
@@ -355,6 +387,19 @@ impl MicroMatrix {
         }
     }
 
+    /// Assembles a matrix from independently measured cell results —
+    /// the serve engine's finalization path, where cells arrive from a
+    /// shared store in whatever order workers completed them. Arrival
+    /// order never matters (everything keys through `BTreeMap`s), but
+    /// every configuration present must have all four benchmark cells.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a present configuration is missing a benchmark cell.
+    pub fn from_cells(cells: Vec<CellResult>) -> Self {
+        Self::assemble(cells)
+    }
+
     /// Builds a matrix from externally supplied per-config costs (no
     /// trap or phase breakdowns). Used by tests that need synthetic
     /// cost points the real stacks never produce.
@@ -443,5 +488,46 @@ mod tests {
         assert_eq!(Config::ArmNestedNeve.vm_baseline(), Config::ArmVm);
         assert_eq!(Config::X86Nested.vm_baseline(), Config::X86Vm);
         assert_eq!(Config::ArmVm.vm_baseline(), Config::ArmVm);
+    }
+
+    /// The satellite bugfix's regression test: a worker bucket whose
+    /// thread dies with a real panic (not one contained inside
+    /// `SimSession::run`) must surface every carried cell as `Failed`
+    /// with the panic message — never re-raise and abort the matrix.
+    #[test]
+    fn a_panicking_worker_degrades_its_cells_instead_of_aborting() {
+        let meta = [
+            (Config::ArmVm, Bench::Hypercall),
+            (Config::X86Vm, Bench::DeviceIo),
+        ];
+        let joined = std::thread::scope(|scope| {
+            scope
+                .spawn(|| -> Vec<CellResult> { panic!("deliberate worker crash") })
+                .join()
+        });
+        let cells = joined_bucket(joined, &meta);
+        assert_eq!(cells.len(), meta.len());
+        for (cell, &(config, bench)) in cells.iter().zip(&meta) {
+            assert_eq!(cell.config(), config);
+            assert_eq!(cell.bench(), bench);
+            let fault = cell.fault().expect("cell must be Failed");
+            assert!(
+                fault.describe().contains("deliberate worker crash"),
+                "{fault}"
+            );
+        }
+        // And the degraded cells still assemble: zero placeholders plus
+        // failure records, provided the config's other benches exist.
+        let mut all: Vec<CellResult> = Vec::new();
+        for b in Bench::all() {
+            if b != Bench::Hypercall {
+                all.push(SimSession::new(Config::ArmVm, b).run());
+            }
+        }
+        all.push(cells[0].clone());
+        let m = MicroMatrix::from_cells(all);
+        assert!(m.has_failures());
+        assert_eq!(m.failed_cells(), 1);
+        assert_eq!(m.costs(Config::ArmVm).hypercall.cycles, 0);
     }
 }

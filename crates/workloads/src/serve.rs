@@ -1,0 +1,1192 @@
+//! The serve engine: a long-running job host that accepts batched
+//! sweep requests (line-delimited JSON), decomposes them into
+//! content-addressed cells ([`crate::jobs`]), schedules the cells on a
+//! sharded work-stealing queue, and streams results back as JSONL
+//! events.
+//!
+//! The result store is the coalescing layer: a cell key maps to one
+//! slot that is `Queued`, `Running`, or `Done`. The first request to
+//! name a key pays for the computation (`"source":"measured"` in its
+//! cell event); any request arriving while the slot is in flight
+//! attaches as a waiter (`"coalesced"`); a request arriving after
+//! completion is answered from memory (`"memory"`); and a
+//! full-default-grid request with a valid persistent cache file is
+//! answered straight from disk (`"disk"`) without touching the queue.
+//!
+//! Lock order: the store mutex and the requests mutex are never held
+//! at the same time — workers collect deliveries under the store lock,
+//! drop it, then deliver under the requests lock. A faulted or
+//! cancelled cell streams as a `failed`/`cancelled` event and the rest
+//! of the batch completes; nothing poisons the queue.
+
+use crate::cache;
+use crate::consolidate::run_consolidate;
+use crate::faults::run_campaign;
+use crate::fuzz::run_fuzz;
+use crate::jobs::{self, CellKey, CellOutcome, CellWork, Command, JobKind, JobRequest};
+use crate::platforms::MicroMatrix;
+use crate::session::{Bench, CellResult, SimSession};
+use crate::throughput::measure_config_with;
+use neve_json::JsonValue;
+use std::collections::{BTreeMap, VecDeque};
+use std::io::{BufRead, Write};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Where a request's events are written (one JSON object per line).
+pub type Sink = Arc<Mutex<dyn Write + Send>>;
+
+/// One slot of the coalescing result store.
+enum Slot {
+    /// Enqueued, not yet picked up. Holds the work and every request
+    /// waiting on it.
+    Queued {
+        work: Box<CellWork>,
+        waiters: Vec<Waiter>,
+    },
+    /// A worker is executing it; late arrivals still attach here.
+    Running { waiters: Vec<Waiter> },
+    /// Finished; repeat queries are answered from memory.
+    Done(Arc<CellOutcome>),
+}
+
+/// A request waiting on a cell, with the provenance tag its cell event
+/// will carry (assigned at registration time: the registrant that
+/// created the slot is `"measured"`, in-flight joiners `"coalesced"`).
+struct Waiter {
+    request: String,
+    source: &'static str,
+}
+
+/// Per-request bookkeeping, alive from accept to the `done` event.
+struct RequestState {
+    kind: JobKind,
+    /// Every bench per config present and deduped: the `done` event
+    /// may carry an assembled matrix.
+    full_benches: bool,
+    /// Full-default-grid request that missed the disk cache: the
+    /// assembled matrix is written back on completion.
+    write_back: bool,
+    pending: usize,
+    ok: usize,
+    failed: usize,
+    cancelled: usize,
+    cells: Vec<(CellKey, Option<Arc<CellOutcome>>)>,
+    sink: Sink,
+}
+
+struct Signal {
+    /// Cells enqueued and not yet claimed, across every shard.
+    queued: usize,
+    shutdown: bool,
+}
+
+struct Shared {
+    fingerprint: u64,
+    cache_path: Option<PathBuf>,
+    max_queued: usize,
+    queues: Vec<Mutex<VecDeque<CellKey>>>,
+    next_shard: AtomicUsize,
+    signal: Mutex<Signal>,
+    cond: Condvar,
+    store: Mutex<BTreeMap<CellKey, Slot>>,
+    requests: Mutex<BTreeMap<String, RequestState>>,
+    /// Signalled every time a request finalizes (for [`JobEngine::drain`]).
+    done_cond: Condvar,
+    /// Cells actually executed (coalesced and memory hits excluded) —
+    /// the observable the coalescing smoke asserts on.
+    computed: AtomicU64,
+}
+
+/// The long-running job engine. Dropping it stops the workers.
+pub struct JobEngine {
+    shared: Arc<Shared>,
+    workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+fn event(pairs: Vec<(&str, JsonValue)>) -> String {
+    JsonValue::Object(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect()).compact()
+}
+
+fn emit(sink: &Sink, line: &str) {
+    if let Ok(mut s) = sink.lock() {
+        let _ = writeln!(s, "{line}");
+        let _ = s.flush();
+    }
+}
+
+fn error_event(id: &str, error: String) -> String {
+    event(vec![
+        ("event", JsonValue::String("error".into())),
+        ("id", JsonValue::String(id.into())),
+        ("error", JsonValue::String(error)),
+    ])
+}
+
+fn cell_location(pairs: &mut Vec<(&str, JsonValue)>, key: &CellKey) {
+    match (key.config, key.bench) {
+        (Some(c), Some(b)) => {
+            pairs.push(("config", JsonValue::String(c.label().into())));
+            pairs.push(("bench", JsonValue::String(b.label().into())));
+        }
+        _ => pairs.push(("kind", JsonValue::String(key.kind.into()))),
+    }
+}
+
+fn cell_event(id: &str, key: &CellKey, outcome: &CellOutcome, source: &str) -> String {
+    let mut pairs: Vec<(&str, JsonValue)> = vec![
+        ("event", JsonValue::String("cell".into())),
+        ("id", JsonValue::String(id.into())),
+    ];
+    cell_location(&mut pairs, key);
+    match outcome {
+        CellOutcome::Micro(CellResult::Ok(m)) => {
+            pairs.push(("status", JsonValue::String("ok".into())));
+            pairs.push(("cycles", JsonValue::from(m.per_op.cycles)));
+            pairs.push(("traps", JsonValue::from(m.per_op.traps)));
+        }
+        CellOutcome::Micro(CellResult::Failed { fault, .. }) => {
+            pairs.push(("status", JsonValue::String("failed".into())));
+            pairs.push(("error", JsonValue::String(fault.describe())));
+        }
+        CellOutcome::Report(_) => pairs.push(("status", JsonValue::String("ok".into()))),
+        CellOutcome::Error(e) => {
+            pairs.push(("status", JsonValue::String("failed".into())));
+            pairs.push(("error", JsonValue::String(e.clone())));
+        }
+    }
+    pairs.push(("source", JsonValue::String(source.into())));
+    event(pairs)
+}
+
+fn outcome_failed(outcome: &CellOutcome) -> bool {
+    matches!(
+        outcome,
+        CellOutcome::Micro(CellResult::Failed { .. }) | CellOutcome::Error(_)
+    )
+}
+
+fn execute(work: &CellWork) -> CellOutcome {
+    let run = || match work {
+        CellWork::Micro {
+            config,
+            bench,
+            engine,
+            budget,
+            plan,
+        } => {
+            let mut s = SimSession::new(*config, *bench);
+            s.set_engine(*engine);
+            if let Some(plan) = plan {
+                s.attach_fault_plan(plan);
+            }
+            if let Some(budget) = budget {
+                s.set_step_budget(*budget);
+            }
+            CellOutcome::Micro(s.run())
+        }
+        CellWork::Faults(spec) => match run_campaign(spec) {
+            Ok(report) => CellOutcome::Report(report.render()),
+            Err(e) => CellOutcome::Error(e),
+        },
+        CellWork::Fuzz(spec) => match run_fuzz(spec) {
+            Ok(report) => CellOutcome::Report(report.render()),
+            Err(e) => CellOutcome::Error(e),
+        },
+        CellWork::Consolidate(spec) => match run_consolidate(*spec) {
+            Ok(report) => CellOutcome::Report(report.render()),
+            Err(e) => CellOutcome::Error(e),
+        },
+        CellWork::BenchSim { samples, engine } => {
+            let mut c = criterion::Criterion::default();
+            let mut out = String::new();
+            for config in [
+                crate::platforms::Config::ArmVm,
+                crate::platforms::Config::ArmNestedV83,
+            ] {
+                let t = measure_config_with(&mut c, config, *samples, *engine);
+                out.push_str(&format!(
+                    "{:<20} {:>14.0} steps/sec\n",
+                    t.config.label(),
+                    t.steps_per_sec()
+                ));
+            }
+            CellOutcome::Report(out)
+        }
+    };
+    // The last containment layer: a panic in a cell becomes that
+    // cell's structured failure, never a dead worker.
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(run)) {
+        Ok(outcome) => outcome,
+        Err(payload) => CellOutcome::Error(format!(
+            "cell panicked: {}",
+            crate::session::panic_message(payload.as_ref())
+        )),
+    }
+}
+
+/// Delivers one finished cell to its waiters under the requests lock
+/// (the store lock must already be released) and finalizes any request
+/// whose last cell this was.
+fn deliver(shared: &Shared, key: &CellKey, outcome: &Arc<CellOutcome>, waiters: &[Waiter]) {
+    let mut requests = shared.requests.lock().unwrap();
+    let mut finished: Vec<(String, RequestState)> = Vec::new();
+    for waiter in waiters {
+        let Some(state) = requests.get_mut(&waiter.request) else {
+            continue; // cancelled while in flight
+        };
+        let Some(cell) = state
+            .cells
+            .iter_mut()
+            .find(|(k, o)| k == key && o.is_none())
+        else {
+            continue;
+        };
+        cell.1 = Some(Arc::clone(outcome));
+        if outcome_failed(outcome) {
+            state.failed += 1;
+        } else {
+            state.ok += 1;
+        }
+        state.pending -= 1;
+        emit(
+            &state.sink,
+            &cell_event(&waiter.request, key, outcome, waiter.source),
+        );
+        if state.pending == 0 {
+            let state = requests.remove(&waiter.request).unwrap();
+            finished.push((waiter.request.clone(), state));
+        }
+    }
+    drop(requests);
+    for (id, state) in finished {
+        finalize(shared, &id, state);
+    }
+    shared.done_cond.notify_all();
+}
+
+/// Emits a request's `done` event — with the assembled matrix for
+/// full-bench micro requests, or the rendered report for the campaign
+/// kinds — and writes a freshly measured full default grid back to the
+/// disk cache.
+fn finalize(shared: &Shared, id: &str, state: RequestState) {
+    let mut pairs: Vec<(&str, JsonValue)> = vec![
+        ("event", JsonValue::String("done".into())),
+        ("id", JsonValue::String(id.into())),
+        ("ok", JsonValue::from(state.ok as u64)),
+        ("failed", JsonValue::from(state.failed as u64)),
+    ];
+    if state.kind == JobKind::Micro {
+        if state.full_benches {
+            let cells: Vec<CellResult> = state
+                .cells
+                .iter()
+                .filter_map(|(_, o)| match o.as_deref() {
+                    Some(CellOutcome::Micro(r)) => Some(r.clone()),
+                    _ => None,
+                })
+                .collect();
+            if cells.len() == state.cells.len() {
+                let matrix = MicroMatrix::from_cells(cells);
+                let json = cache::to_json(&matrix, shared.fingerprint);
+                if state.write_back && state.failed == 0 {
+                    if let Some(path) = &shared.cache_path {
+                        if let Some(dir) = path.parent() {
+                            let _ = std::fs::create_dir_all(dir);
+                        }
+                        let _ = cache::write_atomically(path, &json);
+                    }
+                }
+                pairs.push(("matrix", JsonValue::String(json)));
+            }
+        }
+    } else if let Some((_, Some(outcome))) = state.cells.first() {
+        // Report kinds have exactly one cell.
+        match outcome.as_ref() {
+            CellOutcome::Report(text) => pairs.push(("report", JsonValue::String(text.clone()))),
+            CellOutcome::Error(e) => pairs.push(("error", JsonValue::String(e.clone()))),
+            CellOutcome::Micro(_) => {}
+        }
+    }
+    emit(&state.sink, &event(pairs));
+}
+
+fn worker_loop(shared: &Shared, shard: usize) {
+    loop {
+        {
+            let mut signal = shared.signal.lock().unwrap();
+            while signal.queued == 0 {
+                if signal.shutdown {
+                    return;
+                }
+                signal = shared.cond.wait(signal).unwrap();
+            }
+            signal.queued -= 1;
+        }
+        // A claim is backed by at least one enqueued key (keys are
+        // enqueued before `queued` is bumped): scan own shard first,
+        // then steal from the others' opposite end.
+        let key = loop {
+            if let Some(k) = shared.queues[shard].lock().unwrap().pop_front() {
+                break k;
+            }
+            let mut stolen = None;
+            for (i, q) in shared.queues.iter().enumerate() {
+                if i == shard {
+                    continue;
+                }
+                if let Some(k) = q.lock().unwrap().pop_back() {
+                    stolen = Some(k);
+                    break;
+                }
+            }
+            if let Some(k) = stolen {
+                break k;
+            }
+            std::thread::yield_now();
+        };
+        let work = {
+            let mut store = shared.store.lock().unwrap();
+            match store.get_mut(&key) {
+                Some(slot @ Slot::Queued { .. }) => {
+                    let Slot::Queued { work, waiters } = std::mem::replace(
+                        slot,
+                        Slot::Running {
+                            waiters: Vec::new(),
+                        },
+                    ) else {
+                        unreachable!()
+                    };
+                    *slot = Slot::Running { waiters };
+                    Some(work)
+                }
+                // Cancelled (slot removed) or already claimed: no-op.
+                _ => None,
+            }
+        };
+        let Some(work) = work else {
+            continue;
+        };
+        let outcome = Arc::new(execute(&work));
+        shared.computed.fetch_add(1, Ordering::Relaxed);
+        let waiters = {
+            let mut store = shared.store.lock().unwrap();
+            let Some(Slot::Running { waiters }) = store.remove(&key) else {
+                continue;
+            };
+            if work.cacheable() {
+                store.insert(key.clone(), Slot::Done(Arc::clone(&outcome)));
+            }
+            waiters
+        };
+        // Lock-order rule: store lock dropped before requests lock.
+        deliver(shared, &key, &outcome, &waiters);
+    }
+}
+
+impl JobEngine {
+    /// Builds an engine with `jobs` worker threads. `cache_path`
+    /// layers the persistent matrix cache under the in-memory store
+    /// (`None` disables the disk tier). `jobs == 0` is a test-only
+    /// shape: cells queue but never execute.
+    pub fn new(
+        jobs: usize,
+        fingerprint: u64,
+        cache_path: Option<PathBuf>,
+        max_queued: usize,
+    ) -> Self {
+        let shards = jobs.max(1);
+        let shared = Arc::new(Shared {
+            fingerprint,
+            cache_path,
+            max_queued,
+            queues: (0..shards).map(|_| Mutex::new(VecDeque::new())).collect(),
+            next_shard: AtomicUsize::new(0),
+            signal: Mutex::new(Signal {
+                queued: 0,
+                shutdown: false,
+            }),
+            cond: Condvar::new(),
+            store: Mutex::new(BTreeMap::new()),
+            requests: Mutex::new(BTreeMap::new()),
+            done_cond: Condvar::new(),
+            computed: AtomicU64::new(0),
+        });
+        let workers = (0..jobs)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&shared, i))
+            })
+            .collect();
+        Self {
+            shared,
+            workers: Mutex::new(workers),
+        }
+    }
+
+    /// Cells executed so far (memory/disk/coalesced hits excluded).
+    pub fn computed(&self) -> u64 {
+        self.shared.computed.load(Ordering::Relaxed)
+    }
+
+    /// Handles one parsed protocol command, streaming this request's
+    /// events to `sink`.
+    pub fn handle(&self, cmd: Command, sink: &Sink) {
+        match cmd {
+            Command::Submit(req) => self.submit(req, sink),
+            Command::Cancel(id) => self.cancel(&id, sink),
+        }
+    }
+
+    /// Submits one job request. Every outcome — acceptance, each cell,
+    /// completion, or a structured refusal — is an event on `sink`.
+    pub fn submit(&self, req: JobRequest, sink: &Sink) {
+        let cells = match req.cells(self.shared.fingerprint) {
+            Ok(cells) => cells,
+            Err(e) => {
+                emit(sink, &error_event(&req.id, e));
+                return;
+            }
+        };
+        // Dedup within the request: duplicate config/bench entries
+        // collapse to one cell (they would race on one store slot).
+        let mut unique: Vec<(CellKey, CellWork)> = Vec::new();
+        for (key, work) in cells {
+            if !unique.iter().any(|(k, _)| *k == key) {
+                unique.push((key, work));
+            }
+        }
+        if self.shared.requests.lock().unwrap().contains_key(&req.id) {
+            emit(
+                sink,
+                &error_event(&req.id, "a request with this id is already active".into()),
+            );
+            return;
+        }
+        emit(
+            sink,
+            &event(vec![
+                ("event", JsonValue::String("accepted".into())),
+                ("id", JsonValue::String(req.id.clone())),
+                ("job", JsonValue::String(req.kind.label().into())),
+                ("cells", JsonValue::from(unique.len() as u64)),
+            ]),
+        );
+
+        // Disk tier: the exact grid the persistent cache stores, with a
+        // valid clean file present, streams straight from disk.
+        let mut disk_miss = false;
+        if req.is_full_default_grid() {
+            if let Some(path) = &self.shared.cache_path {
+                let valid = std::fs::read_to_string(path)
+                    .ok()
+                    .and_then(|text| {
+                        cache::from_json(&text, self.shared.fingerprint).map(|m| (text, m))
+                    })
+                    .filter(|(_, m)| !m.has_failures());
+                match valid {
+                    Some((text, matrix)) => {
+                        stream_from_disk(&req, &unique, &matrix, &text, sink);
+                        return;
+                    }
+                    None => disk_miss = true,
+                }
+            }
+        }
+
+        // Backpressure: refuse rather than queue without bound. The
+        // per-cell step budget (watchdog) bounds each admitted cell.
+        {
+            let signal = self.shared.signal.lock().unwrap();
+            if signal.queued + unique.len() > self.shared.max_queued {
+                drop(signal);
+                emit(
+                    sink,
+                    &error_event(
+                        &req.id,
+                        format!(
+                            "queue full (cap {} cells); retry later",
+                            self.shared.max_queued
+                        ),
+                    ),
+                );
+                return;
+            }
+        }
+
+        let id = req.id.clone();
+        self.shared.requests.lock().unwrap().insert(
+            id.clone(),
+            RequestState {
+                kind: req.kind,
+                full_benches: req.kind == JobKind::Micro
+                    && Bench::all().iter().all(|b| req.benches.contains(b)),
+                write_back: disk_miss,
+                pending: unique.len(),
+                ok: 0,
+                failed: 0,
+                cancelled: 0,
+                cells: unique.iter().map(|(k, _)| (k.clone(), None)).collect(),
+                sink: Arc::clone(sink),
+            },
+        );
+
+        // Register every cell against the store, collecting memory hits
+        // for delivery after the lock drops (lock-order rule).
+        let mut hits: Vec<(CellKey, Arc<CellOutcome>)> = Vec::new();
+        let mut fresh: Vec<CellKey> = Vec::new();
+        {
+            let mut store = self.shared.store.lock().unwrap();
+            for (key, work) in unique {
+                match store.get_mut(&key) {
+                    Some(Slot::Done(outcome)) => hits.push((key, Arc::clone(outcome))),
+                    Some(Slot::Queued { waiters, .. }) | Some(Slot::Running { waiters }) => {
+                        waiters.push(Waiter {
+                            request: id.clone(),
+                            source: "coalesced",
+                        });
+                    }
+                    None => {
+                        store.insert(
+                            key.clone(),
+                            Slot::Queued {
+                                work: Box::new(work),
+                                waiters: vec![Waiter {
+                                    request: id.clone(),
+                                    source: "measured",
+                                }],
+                            },
+                        );
+                        fresh.push(key);
+                    }
+                }
+            }
+        }
+        for key in fresh {
+            let shard =
+                self.shared.next_shard.fetch_add(1, Ordering::Relaxed) % self.shared.queues.len();
+            self.shared.queues[shard].lock().unwrap().push_back(key);
+            self.shared.signal.lock().unwrap().queued += 1;
+            self.shared.cond.notify_one();
+        }
+        for (key, outcome) in hits {
+            deliver(
+                &self.shared,
+                &key,
+                &outcome,
+                &[Waiter {
+                    request: id.clone(),
+                    source: "memory",
+                }],
+            );
+        }
+    }
+
+    /// Cancels an active request: undelivered cells stream as
+    /// `cancelled`, the request finalizes immediately, and orphaned
+    /// queued cells (no remaining waiter) are dropped from the store.
+    pub fn cancel(&self, id: &str, sink: &Sink) {
+        let state = self.shared.requests.lock().unwrap().remove(id);
+        let Some(mut state) = state else {
+            emit(
+                sink,
+                &error_event(id, "no active request with this id".into()),
+            );
+            return;
+        };
+        for (key, outcome) in &state.cells {
+            if outcome.is_some() {
+                continue;
+            }
+            state.cancelled += 1;
+            let mut pairs: Vec<(&str, JsonValue)> = vec![
+                ("event", JsonValue::String("cell".into())),
+                ("id", JsonValue::String(id.into())),
+            ];
+            cell_location(&mut pairs, key);
+            pairs.push(("status", JsonValue::String("cancelled".into())));
+            pairs.push(("source", JsonValue::String("cancelled".into())));
+            emit(&state.sink, &event(pairs));
+        }
+        emit(
+            &state.sink,
+            &event(vec![
+                ("event", JsonValue::String("done".into())),
+                ("id", JsonValue::String(id.into())),
+                ("ok", JsonValue::from(state.ok as u64)),
+                ("failed", JsonValue::from(state.failed as u64)),
+                ("cancelled", JsonValue::from(state.cancelled as u64)),
+            ]),
+        );
+        self.shared.done_cond.notify_all();
+        // Drop this request's waiters; a queued slot nobody waits on
+        // any more is removed (its queue entry becomes a no-op pop).
+        let mut store = self.shared.store.lock().unwrap();
+        let orphaned: Vec<CellKey> = store
+            .iter_mut()
+            .filter_map(|(key, slot)| match slot {
+                Slot::Queued { waiters, .. } => {
+                    waiters.retain(|w| w.request != id);
+                    waiters.is_empty().then(|| key.clone())
+                }
+                Slot::Running { waiters } => {
+                    waiters.retain(|w| w.request != id);
+                    None // the worker owns it; the result lands in Done
+                }
+                Slot::Done(_) => None,
+            })
+            .collect();
+        for key in orphaned {
+            store.remove(&key);
+        }
+    }
+
+    /// Blocks until every active request has finalized.
+    pub fn drain(&self) {
+        let mut requests = self.shared.requests.lock().unwrap();
+        while !requests.is_empty() {
+            requests = self.shared.done_cond.wait(requests).unwrap();
+        }
+    }
+}
+
+impl Drop for JobEngine {
+    fn drop(&mut self) {
+        self.shared.signal.lock().unwrap().shutdown = true;
+        self.shared.cond.notify_all();
+        for w in self.workers.lock().unwrap().drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+fn stream_from_disk(
+    req: &JobRequest,
+    cells: &[(CellKey, CellWork)],
+    matrix: &MicroMatrix,
+    raw: &str,
+    sink: &Sink,
+) {
+    let mut ok = 0u64;
+    for (key, _) in cells {
+        let (Some(config), Some(bench)) = (key.config, key.bench) else {
+            continue;
+        };
+        let costs = matrix.costs(config);
+        let per_op = match bench {
+            Bench::Hypercall => costs.hypercall,
+            Bench::DeviceIo => costs.device_io,
+            Bench::VirtualIpi => costs.virtual_ipi,
+            Bench::VirtualEoi => costs.virtual_eoi,
+        };
+        ok += 1;
+        emit(
+            sink,
+            &event(vec![
+                ("event", JsonValue::String("cell".into())),
+                ("id", JsonValue::String(req.id.clone())),
+                ("config", JsonValue::String(config.label().into())),
+                ("bench", JsonValue::String(bench.label().into())),
+                ("status", JsonValue::String("ok".into())),
+                ("cycles", JsonValue::from(per_op.cycles)),
+                ("traps", JsonValue::from(per_op.traps)),
+                ("source", JsonValue::String("disk".into())),
+            ]),
+        );
+    }
+    // The raw validated file text, verbatim: byte-identity with the
+    // one-shot CLI's `--json` output is the protocol contract.
+    emit(
+        sink,
+        &event(vec![
+            ("event", JsonValue::String("done".into())),
+            ("id", JsonValue::String(req.id.clone())),
+            ("ok", JsonValue::from(ok)),
+            ("failed", JsonValue::from(0u64)),
+            ("matrix", JsonValue::String(raw.to_string())),
+        ]),
+    );
+}
+
+/// Runs the line protocol: one request or cancel per line, events
+/// interleaved onto `sink`, until EOF; then drains the engine so every
+/// accepted request has streamed its `done` event.
+pub fn run_protocol(reader: impl BufRead, sink: &Sink, engine: &JobEngine) {
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        match jobs::parse_request(line) {
+            Ok(cmd) => engine.handle(cmd, sink),
+            Err(e) => emit(sink, &error_event("", e)),
+        }
+    }
+    engine.drain();
+}
+
+/// Binds a TCP listener and serves each connection with the shared
+/// engine (one reader thread per connection; cross-connection requests
+/// coalesce in the same store). Returns the bound address and the
+/// accept-loop handle; the loop runs until the process exits.
+pub fn listen(
+    engine: Arc<JobEngine>,
+    addr: &str,
+) -> std::io::Result<(std::net::SocketAddr, std::thread::JoinHandle<()>)> {
+    let listener = std::net::TcpListener::bind(addr)?;
+    let local = listener.local_addr()?;
+    let handle = std::thread::spawn(move || {
+        for conn in listener.incoming() {
+            let Ok(stream) = conn else { continue };
+            let Ok(reader) = stream.try_clone() else {
+                continue;
+            };
+            let engine = Arc::clone(&engine);
+            std::thread::spawn(move || {
+                let sink: Sink = Arc::new(Mutex::new(stream));
+                run_protocol(std::io::BufReader::new(reader), &sink, &engine);
+            });
+        }
+    });
+    Ok((local, handle))
+}
+
+/// A `Write` handle over a shared byte buffer (test/smoke sinks that
+/// are read back after `drain`).
+#[derive(Clone, Default)]
+pub struct SharedBuf(pub Arc<Mutex<Vec<u8>>>);
+
+impl SharedBuf {
+    /// The buffered text so far.
+    pub fn text(&self) -> String {
+        String::from_utf8_lossy(&self.0.lock().unwrap()).into_owned()
+    }
+
+    /// Wraps this buffer as a protocol sink.
+    pub fn sink(&self) -> Sink {
+        Arc::new(Mutex::new(self.clone()))
+    }
+}
+
+impl Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().unwrap().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Parses the JSONL a sink captured back into event objects.
+pub fn parse_events(text: &str) -> Vec<JsonValue> {
+    text.lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(|l| neve_json::parse(l).expect("engine emitted invalid JSON"))
+        .collect()
+}
+
+fn events_for<'a>(events: &'a [JsonValue], id: &str) -> Vec<&'a JsonValue> {
+    events
+        .iter()
+        .filter(|e| e.get("id").and_then(|v| v.as_str()) == Some(id))
+        .collect()
+}
+
+fn str_of<'a>(e: &'a JsonValue, key: &str) -> &'a str {
+    e.get(key).and_then(|v| v.as_str()).unwrap_or("")
+}
+
+/// The CI smoke: proves the three serve contracts on a live engine.
+///
+/// 1. **Coalescing** — two identical partial-grid requests cost one
+///    computation per cell (`computed == cells`), the second served
+///    entirely from the store (`coalesced`/`memory`, never
+///    `measured`).
+/// 2. **Byte-identity** — a full-default-grid request's `done.matrix`
+///    is byte-identical to the serially assembled one-shot matrix.
+/// 3. **Budget containment** — an under-budget cell streams `failed`
+///    while the rest of the batch completes `ok`.
+///
+/// # Errors
+///
+/// A human-readable description of the first violated contract.
+pub fn smoke() -> Result<(), String> {
+    use crate::platforms::Config;
+    let fingerprint = neve_cycles::CostModel::default().fingerprint();
+
+    // 1: coalescing. Two cheap configs, all four benches, twice.
+    let engine = JobEngine::new(2, fingerprint, None, 1024);
+    let grid = |id: &str| JobRequest {
+        id: id.into(),
+        kind: JobKind::Micro,
+        configs: vec![Config::ArmVm, Config::X86Vm],
+        benches: Bench::all().to_vec(),
+        engine: neve_armv8::Engine::default(),
+        budget: None,
+        plan: None,
+        seed: 2017,
+        cases: 8,
+        smoke: true,
+        samples: 1,
+    };
+    let buf = SharedBuf::default();
+    let sink = buf.sink();
+    engine.submit(grid("a"), &sink);
+    engine.submit(grid("b"), &sink);
+    engine.drain();
+    if engine.computed() != 8 {
+        return Err(format!(
+            "coalescing: expected 8 computed cells for two identical 8-cell requests, got {}",
+            engine.computed()
+        ));
+    }
+    let events = parse_events(&buf.text());
+    let b_cells: Vec<_> = events_for(&events, "b")
+        .into_iter()
+        .filter(|e| str_of(e, "event") == "cell")
+        .collect();
+    if b_cells.len() != 8 {
+        return Err(format!(
+            "coalescing: request b streamed {} cells, expected 8",
+            b_cells.len()
+        ));
+    }
+    if b_cells.iter().any(|e| str_of(e, "source") == "measured") {
+        return Err("coalescing: request b re-measured a cell the store already owned".into());
+    }
+    drop(engine);
+
+    // 2: byte-identity. A full default grid through the engine (disk
+    // tier disabled) must serialize exactly as the serial one-shot
+    // path does.
+    let engine = JobEngine::new(2, fingerprint, None, 1024);
+    let full = JobRequest {
+        id: "full".into(),
+        kind: JobKind::Micro,
+        configs: Config::all().to_vec(),
+        benches: Bench::all().to_vec(),
+        engine: neve_armv8::Engine::default(),
+        budget: None,
+        plan: None,
+        seed: 2017,
+        cases: 8,
+        smoke: true,
+        samples: 1,
+    };
+    let buf = SharedBuf::default();
+    let sink = buf.sink();
+    engine.submit(full, &sink);
+    engine.drain();
+    let events = parse_events(&buf.text());
+    let done = events
+        .iter()
+        .find(|e| str_of(e, "event") == "done" && str_of(e, "id") == "full")
+        .ok_or("byte-identity: no done event for the full-grid request")?;
+    let streamed = str_of(done, "matrix");
+    if streamed.is_empty() {
+        return Err("byte-identity: done event carries no matrix".into());
+    }
+    let serial = cache::to_json(&MicroMatrix::measure(), fingerprint);
+    if streamed != serial {
+        return Err("byte-identity: streamed matrix differs from the serially measured one".into());
+    }
+    // When the repo's cache file is valid for this fingerprint, the
+    // serve output must also match it byte-for-byte.
+    if let Ok(text) = std::fs::read_to_string(cache::CACHE_PATH) {
+        if cache::from_json(&text, fingerprint).is_some() && streamed != text {
+            return Err(format!(
+                "byte-identity: streamed matrix differs from {}",
+                cache::CACHE_PATH
+            ));
+        }
+    }
+    drop(engine);
+
+    // 3: budget containment. 2000 steps admits the single-level
+    // hypercall but starves the nested one; the starved cell must
+    // stream `failed` while the other completes.
+    let engine = JobEngine::new(2, fingerprint, None, 1024);
+    let budget = JobRequest {
+        id: "tight".into(),
+        kind: JobKind::Micro,
+        configs: vec![Config::ArmVm, Config::ArmNestedV83],
+        benches: vec![Bench::Hypercall],
+        engine: neve_armv8::Engine::default(),
+        budget: Some(2000),
+        plan: None,
+        seed: 2017,
+        cases: 8,
+        smoke: true,
+        samples: 1,
+    };
+    let buf = SharedBuf::default();
+    let sink = buf.sink();
+    engine.submit(budget, &sink);
+    engine.drain();
+    let events = parse_events(&buf.text());
+    let done = events
+        .iter()
+        .find(|e| str_of(e, "event") == "done" && str_of(e, "id") == "tight")
+        .ok_or("budget: no done event for the budgeted request")?;
+    let ok = done.get("ok").and_then(|v| v.as_u64());
+    let failed = done.get("failed").and_then(|v| v.as_u64());
+    if (ok, failed) != (Some(1), Some(1)) {
+        return Err(format!(
+            "budget: expected ok=1 failed=1 under a 2000-step budget, got ok={ok:?} failed={failed:?}"
+        ));
+    }
+    let starved = events.iter().any(|e| {
+        str_of(e, "event") == "cell"
+            && str_of(e, "config") == Config::ArmNestedV83.label()
+            && str_of(e, "status") == "failed"
+    });
+    if !starved {
+        return Err("budget: the nested hypercall cell did not stream as failed".into());
+    }
+    println!(
+        "serve smoke: coalescing (8 computed for 16 requested cells), \
+         matrix byte-identity, and budget containment all hold"
+    );
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::platforms::Config;
+
+    fn micro_req(id: &str, configs: Vec<Config>, benches: Vec<Bench>) -> JobRequest {
+        JobRequest {
+            id: id.into(),
+            kind: JobKind::Micro,
+            configs,
+            benches,
+            engine: neve_armv8::Engine::default(),
+            budget: None,
+            plan: None,
+            seed: 2017,
+            cases: 8,
+            smoke: true,
+            samples: 1,
+        }
+    }
+
+    fn done_of<'a>(events: &'a [JsonValue], id: &str) -> &'a JsonValue {
+        events
+            .iter()
+            .find(|e| str_of(e, "event") == "done" && str_of(e, "id") == id)
+            .expect("done event")
+    }
+
+    #[test]
+    fn duplicate_requests_coalesce_onto_one_computation() {
+        let fp = neve_cycles::CostModel::default().fingerprint();
+        let engine = JobEngine::new(2, fp, None, 64);
+        let buf = SharedBuf::default();
+        let sink = buf.sink();
+        // Same cell three times (cheap: single-level x86 hypercall).
+        for id in ["r1", "r2", "r3"] {
+            engine.submit(
+                micro_req(id, vec![Config::X86Vm], vec![Bench::Hypercall]),
+                &sink,
+            );
+        }
+        engine.drain();
+        assert_eq!(engine.computed(), 1, "one cell key, one computation");
+        let events = parse_events(&buf.text());
+        for id in ["r1", "r2", "r3"] {
+            let done = done_of(&events, id);
+            assert_eq!(done.get("ok").and_then(|v| v.as_u64()), Some(1));
+        }
+        // Exactly one request measured; the others hit the store.
+        let sources: Vec<String> = events
+            .iter()
+            .filter(|e| str_of(e, "event") == "cell")
+            .map(|e| str_of(e, "source").to_string())
+            .collect();
+        assert_eq!(sources.iter().filter(|s| *s == "measured").count(), 1);
+        assert_eq!(sources.len(), 3);
+    }
+
+    #[test]
+    fn cell_results_are_byte_identical_to_the_serial_path() {
+        // The full default grid through the engine must assemble to
+        // exactly the serial one-shot bytes (jobs=2 exercises the
+        // work-stealing order independence).
+        let fp = neve_cycles::CostModel::default().fingerprint();
+        let engine = JobEngine::new(2, fp, None, 64);
+        let buf = SharedBuf::default();
+        let sink = buf.sink();
+        engine.submit(
+            micro_req("m", Config::all().to_vec(), Bench::all().to_vec()),
+            &sink,
+        );
+        engine.drain();
+        let events = parse_events(&buf.text());
+        let done = done_of(&events, "m");
+        let streamed = str_of(done, "matrix");
+        assert!(!streamed.is_empty());
+        assert_eq!(
+            streamed,
+            cache::to_json(&MicroMatrix::measure(), fp),
+            "streamed matrix must be byte-identical to the serial path"
+        );
+    }
+
+    #[test]
+    fn budget_starved_cells_stream_failed_without_poisoning_the_batch() {
+        let fp = neve_cycles::CostModel::default().fingerprint();
+        let engine = JobEngine::new(1, fp, None, 64);
+        let buf = SharedBuf::default();
+        let sink = buf.sink();
+        let mut req = micro_req(
+            "b",
+            vec![Config::ArmVm, Config::ArmNestedV83],
+            vec![Bench::Hypercall],
+        );
+        req.budget = Some(2000); // admits ArmVm (98 steps), starves nested
+        engine.submit(req, &sink);
+        engine.drain();
+        let events = parse_events(&buf.text());
+        let done = done_of(&events, "b");
+        assert_eq!(done.get("ok").and_then(|v| v.as_u64()), Some(1));
+        assert_eq!(done.get("failed").and_then(|v| v.as_u64()), Some(1));
+        assert!(events.iter().any(|e| {
+            str_of(e, "config") == Config::ArmNestedV83.label()
+                && str_of(e, "status") == "failed"
+                && !str_of(e, "error").is_empty()
+        }));
+    }
+
+    #[test]
+    fn cancel_streams_cancelled_cells_and_orphans_queued_work() {
+        let fp = neve_cycles::CostModel::default().fingerprint();
+        // Zero workers: everything stays queued, so cancellation is
+        // fully deterministic.
+        let engine = JobEngine::new(0, fp, None, 64);
+        let buf = SharedBuf::default();
+        let sink = buf.sink();
+        engine.submit(
+            micro_req(
+                "c",
+                vec![Config::X86Vm],
+                vec![Bench::Hypercall, Bench::DeviceIo],
+            ),
+            &sink,
+        );
+        engine.cancel("c", &sink);
+        engine.drain(); // returns immediately: cancel finalized it
+        let events = parse_events(&buf.text());
+        let done = done_of(&events, "c");
+        assert_eq!(done.get("cancelled").and_then(|v| v.as_u64()), Some(2));
+        assert_eq!(
+            events
+                .iter()
+                .filter(|e| str_of(e, "status") == "cancelled")
+                .count(),
+            2
+        );
+        // Cancelling an unknown id is a structured error, not a panic.
+        engine.cancel("ghost", &sink);
+        let events = parse_events(&buf.text());
+        assert!(events
+            .iter()
+            .any(|e| str_of(e, "event") == "error" && str_of(e, "id") == "ghost"));
+    }
+
+    #[test]
+    fn the_line_protocol_streams_errors_and_results() {
+        let fp = neve_cycles::CostModel::default().fingerprint();
+        let engine = JobEngine::new(1, fp, None, 64);
+        let buf = SharedBuf::default();
+        let sink = buf.sink();
+        let input = "not json\n\
+                     {\"id\":\"p\",\"configs\":[\"x86-vm\"],\"benches\":[\"hypercall\"]}\n\
+                     {\"id\":\"bad\",\"configs\":[\"warp-drive\"]}\n";
+        run_protocol(std::io::BufReader::new(input.as_bytes()), &sink, &engine);
+        let events = parse_events(&buf.text());
+        assert!(events
+            .iter()
+            .any(|e| str_of(e, "event") == "error" && str_of(e, "error").contains("JSON")));
+        assert!(events
+            .iter()
+            .any(|e| str_of(e, "event") == "error" && str_of(e, "error").contains("warp-drive")));
+        let done = done_of(&events, "p");
+        assert_eq!(done.get("ok").and_then(|v| v.as_u64()), Some(1));
+    }
+
+    #[test]
+    fn disk_tier_serves_a_valid_cache_file_verbatim() {
+        let fp = neve_cycles::CostModel::default().fingerprint();
+        let dir = std::env::temp_dir().join(format!("neve-serve-disk-{}", std::process::id()));
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join("micro_matrix.json");
+        // Seed the disk tier with a measured matrix.
+        let text = cache::to_json(&MicroMatrix::measure(), fp);
+        cache::write_atomically(&path, &text).unwrap();
+
+        let engine = JobEngine::new(1, fp, Some(path.clone()), 64);
+        let buf = SharedBuf::default();
+        let sink = buf.sink();
+        engine.submit(
+            micro_req("d", Config::all().to_vec(), Bench::all().to_vec()),
+            &sink,
+        );
+        engine.drain();
+        assert_eq!(
+            engine.computed(),
+            0,
+            "a valid disk cache costs no computation"
+        );
+        let events = parse_events(&buf.text());
+        let cells: Vec<_> = events
+            .iter()
+            .filter(|e| str_of(e, "event") == "cell")
+            .collect();
+        assert_eq!(cells.len(), Config::all().len() * 4);
+        assert!(cells.iter().all(|e| str_of(e, "source") == "disk"));
+        assert_eq!(str_of(done_of(&events, "d"), "matrix"), text);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn tcp_connections_share_the_coalescing_store() {
+        let fp = neve_cycles::CostModel::default().fingerprint();
+        let engine = Arc::new(JobEngine::new(1, fp, None, 64));
+        let Ok((addr, _accept)) = listen(Arc::clone(&engine), "127.0.0.1:0") else {
+            eprintln!("skipping: cannot bind a loopback listener in this sandbox");
+            return;
+        };
+        let ask = |id: &str| -> Vec<String> {
+            use std::io::{BufRead, BufReader, Write};
+            let mut conn = std::net::TcpStream::connect(addr).unwrap();
+            writeln!(
+                conn,
+                "{{\"id\":\"{id}\",\"configs\":[\"x86-vm\"],\"benches\":[\"hypercall\"]}}"
+            )
+            .unwrap();
+            let mut lines = Vec::new();
+            for line in BufReader::new(conn.try_clone().unwrap()).lines() {
+                let line = line.unwrap();
+                let is_done = line.contains("\"done\"");
+                lines.push(line);
+                if is_done {
+                    break;
+                }
+            }
+            lines
+        };
+        let first = ask("t1");
+        let second = ask("t2");
+        assert!(first.iter().any(|l| l.contains("\"measured\"")));
+        assert!(
+            second.iter().any(|l| l.contains("\"memory\"")),
+            "the second connection must hit the shared store: {second:?}"
+        );
+        assert_eq!(engine.computed(), 1);
+    }
+}

@@ -12,13 +12,28 @@
 //! is bit-identical to a serial one.
 
 use crate::platforms::{Config, PerOpSer};
-use neve_armv8::FaultPlan;
+use neve_armv8::{Engine, FaultPlan};
 use neve_cycles::counter::Measured;
 use neve_cycles::SimFault;
 use neve_kvmarm::{MicroBench, TestBed};
 use neve_x86vt::testbed::{X86Bench, X86Config, X86TestBed};
 use std::collections::BTreeMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Renders a `catch_unwind`/`JoinHandle::join` panic payload as text.
+/// `panic!` with a literal yields `&str`, with a format string yields
+/// `String`; anything else (a `panic_any` value) is opaque. Shared by
+/// every worker-join site in this crate so a panicking worker always
+/// surfaces its message in the structured error instead of re-raising.
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
 
 /// A microbenchmark, platform-neutral (one row of Tables 1/6/7).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -245,6 +260,16 @@ impl SimSession {
         }
     }
 
+    /// Selects the execution engine (ARM beds only; the x86 testbed has
+    /// a single interpreter and ignores the choice). Both engines are
+    /// proven step- and cycle-identical, so this never changes what a
+    /// cell measures — only how fast the host simulates it.
+    pub fn set_engine(&mut self, engine: Engine) {
+        if let Bed::Arm(tb) = &mut self.bed {
+            tb.m.set_engine(engine);
+        }
+    }
+
     /// Overrides the run-loop step budget on either platform.
     pub fn set_step_budget(&mut self, budget: u64) {
         match &mut self.bed {
@@ -283,17 +308,10 @@ impl SimSession {
                 }
             }
             Err(payload) => {
-                let message = if let Some(s) = payload.downcast_ref::<&str>() {
-                    (*s).to_string()
-                } else if let Some(s) = payload.downcast_ref::<String>() {
-                    s.clone()
-                } else {
-                    "opaque panic payload".to_string()
-                };
                 return CellResult::Failed {
                     config,
                     bench,
-                    fault: SimFault::from_panic(message),
+                    fault: SimFault::from_panic(panic_message(payload.as_ref())),
                 };
             }
         };

@@ -574,6 +574,37 @@ pub fn guard_scenario_regressions(
     bad
 }
 
+/// The `--guard` gate's one-noise-retry policy, centralized so the
+/// sample-selection rule is pinned by a unit test: a verdict is the
+/// union of [`guard_regressions`] and [`guard_scenario_regressions`]
+/// over **one attempt's samples alone**. A clean first attempt decides
+/// immediately; a regressed first attempt is discarded wholesale and
+/// the verdict is re-taken on the retry attempt by itself. Samples are
+/// never merged across attempts — `--guard --samples N` always
+/// compares exactly N clean samples, so a lucky fast sample inside a
+/// discarded attempt cannot rescue a configuration that is slow in the
+/// attempt that decides.
+pub fn noise_retry_verdict(
+    recorded: &[ConfigThroughput],
+    recorded_scenarios: &[ScenarioThroughput],
+    first: (&[ConfigThroughput], &[ScenarioThroughput]),
+    retry: Option<(&[ConfigThroughput], &[ScenarioThroughput])>,
+) -> Vec<String> {
+    let verdict = |configs: &[ConfigThroughput], scen: &[ScenarioThroughput]| {
+        let mut bad = guard_regressions(configs, recorded);
+        bad.extend(guard_scenario_regressions(scen, recorded_scenarios));
+        bad
+    };
+    let bad = verdict(first.0, first.1);
+    if bad.is_empty() {
+        return bad;
+    }
+    match retry {
+        Some((configs, scen)) => verdict(configs, scen),
+        None => bad,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -668,6 +699,61 @@ mod tests {
             ..slow
         };
         assert_eq!(guard_regressions(&[other], &[rec]), Vec::<String>::new());
+    }
+
+    /// Pins the retry sample-selection rule (the satellite bugfix): the
+    /// decision always rests on exactly one attempt's N samples. The
+    /// old behaviour min-merged both attempts, so a configuration slow
+    /// in the retry was rescued by a fast first-attempt outlier —
+    /// best-of-2N instead of best-of-N.
+    #[test]
+    fn noise_retry_judges_the_retry_attempt_alone() {
+        let at = |config, min_ns| ConfigThroughput {
+            config,
+            steps: 1_000_000,
+            median_ns: min_ns,
+            min_ns,
+            max_ns: min_ns,
+            samples: 3,
+        };
+        // Recorded: both configs at 10M steps/s; the 20% floor is 8M.
+        let recorded = vec![
+            at(Config::ArmNestedV83, 100_000_000),
+            at(Config::ArmNestedNeve, 100_000_000),
+        ];
+        let fast = 111_111_111; // 9M steps/s: inside the band
+        let slow = 200_000_000; // 5M steps/s: far out of band
+                                // First attempt: V83 slow (triggers the retry), NEVE fast.
+        let first = vec![
+            at(Config::ArmNestedV83, slow),
+            at(Config::ArmNestedNeve, fast),
+        ];
+        // Retry: V83 recovered (it was host noise), NEVE now slow.
+        let retry = vec![
+            at(Config::ArmNestedV83, fast),
+            at(Config::ArmNestedNeve, slow),
+        ];
+
+        // Without a retry the first attempt's verdict stands.
+        let bad = noise_retry_verdict(&recorded, &[], (&first, &[]), None);
+        assert_eq!(bad.len(), 1);
+        assert!(bad[0].contains("ARMv8.3 Nested"), "{bad:?}");
+
+        // With the retry, NEVE must fail: its fast first-attempt sample
+        // is in a discarded attempt and cannot rescue it. (The old
+        // min-merge passed both configs here.)
+        let bad = noise_retry_verdict(&recorded, &[], (&first, &[]), Some((&retry, &[])));
+        assert_eq!(bad.len(), 1, "{bad:?}");
+        assert!(bad[0].contains("NEVE Nested"), "{bad:?}");
+
+        // A clean first attempt decides immediately; a retry attempt is
+        // never consulted (and in practice never measured).
+        let clean = vec![
+            at(Config::ArmNestedV83, fast),
+            at(Config::ArmNestedNeve, fast),
+        ];
+        let bad = noise_retry_verdict(&recorded, &[], (&clean, &[]), Some((&first, &[])));
+        assert_eq!(bad, Vec::<String>::new());
     }
 
     fn scenario(label: &str, steps: u64, ns: u64) -> ScenarioThroughput {
